@@ -1,0 +1,514 @@
+//! Granularity-control program transformation (Sections 2 and 7).
+//!
+//! Given a program whose clause bodies contain parallel conjunctions
+//! (`Goal1 & Goal2 & ...`, as written by the programmer or by an automatic
+//! parallelisation pass) and the results of the granularity analysis, this
+//! pass rewrites each parallel conjunction into conditional code of the form
+//! the paper's compiler generates:
+//!
+//! ```prolog
+//! ( '$grain_ge'(Arg, length, K1), '$grain_ge'(Arg2, length, K2) ->
+//!       Goal1 & Goal2
+//! ;     Goal1, Goal2 )
+//! ```
+//!
+//! where the `'$grain_ge'(Term, Measure, K)` tests are cheap runtime
+//! grain-size checks (the execution engine charges them a small cost — this is
+//! the "runtime overhead" studied in Section 7). Conjunctions whose arms are
+//! all known to be cheap are rewritten to plain sequential conjunctions, and
+//! conjunctions with unbounded (∞) cost arms are left unconditionally
+//! parallel, implementing the paper's "sequentialise a parallel language"
+//! philosophy.
+
+use crate::measure::Measure;
+use crate::pipeline::ProgramAnalysis;
+use crate::threshold::Threshold;
+use granlog_ir::symbol::well_known;
+use granlog_ir::{Clause, PredId, Program, Symbol, Term};
+
+/// Options for the granularity-control transformation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnnotateOptions {
+    /// The task creation/management overhead `W`, in the same units as the
+    /// analysis cost metric.
+    pub overhead: f64,
+}
+
+impl Default for AnnotateOptions {
+    fn default() -> Self {
+        AnnotateOptions { overhead: 48.0 }
+    }
+}
+
+/// The decision taken for one arm of a parallel conjunction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ArmDecision {
+    /// The arm's work is unbounded or always exceeds the overhead: no test.
+    AlwaysParallel,
+    /// The arm's work never exceeds the overhead: spawning it never pays off.
+    NeverParallel,
+    /// Spawn only when the measured size of the given argument reaches `k`.
+    Test {
+        /// The predicate whose argument is measured.
+        pred: PredId,
+        /// The argument position (0-based) whose size is tested.
+        arg_pos: usize,
+        /// The measure used by the test.
+        measure: Measure,
+        /// The threshold size.
+        k: u64,
+    },
+    /// No information about the arm (e.g. it only calls unknown predicates):
+    /// stay parallel, as the paper prescribes.
+    Unknown,
+}
+
+/// The decision record for one parallel conjunction.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConjunctionDecision {
+    /// The predicate whose clause contains the conjunction.
+    pub clause_pred: PredId,
+    /// Index of the clause among the predicate's clauses.
+    pub clause_index: usize,
+    /// Per-arm decisions, in textual order.
+    pub arms: Vec<ArmDecision>,
+    /// The overall outcome: `None` keeps the conjunction parallel
+    /// unconditionally, `Some(true)` guards it with runtime tests,
+    /// `Some(false)` sequentialises it unconditionally.
+    pub guarded: Option<bool>,
+}
+
+/// The result of the transformation.
+#[derive(Debug, Clone)]
+pub struct AnnotatedProgram {
+    /// The transformed program.
+    pub program: Program,
+    /// One record per parallel conjunction encountered.
+    pub decisions: Vec<ConjunctionDecision>,
+}
+
+/// Applies granularity control to every parallel conjunction of `program`.
+pub fn apply_granularity_control(
+    program: &Program,
+    analysis: &ProgramAnalysis,
+    options: &AnnotateOptions,
+) -> AnnotatedProgram {
+    let mut out = Program::new();
+    for directive in program.directives() {
+        out.add_directive(directive.clone());
+    }
+    let mut decisions = Vec::new();
+    for predicate in program.predicates() {
+        // Respect explicit `:- sequential p/N.` markings: strip parallelism.
+        let force_sequential = program.parallel_marking(predicate.id) == Some(false);
+        for (clause_index, clause) in program.clauses_of(predicate.id).into_iter().enumerate() {
+            let mut ctx = ClauseContext {
+                analysis,
+                options,
+                clause_pred: predicate.id,
+                clause_index,
+                force_sequential,
+                decisions: &mut decisions,
+            };
+            let new_body = ctx.rewrite(&clause.body);
+            out.add_clause(Clause::new(clause.head.clone(), new_body, clause.var_names.clone()));
+        }
+    }
+    AnnotatedProgram { program: out, decisions }
+}
+
+/// Removes every parallel annotation, producing the purely sequential version
+/// of a program (used as the `T_seq` baseline in the experiments).
+pub fn sequentialize(program: &Program) -> Program {
+    let mut out = Program::new();
+    for directive in program.directives() {
+        out.add_directive(directive.clone());
+    }
+    for clause in program.clauses() {
+        let body = replace_par_with_seq(&clause.body);
+        out.add_clause(Clause::new(clause.head.clone(), body, clause.var_names.clone()));
+    }
+    out
+}
+
+fn replace_par_with_seq(body: &Term) -> Term {
+    match body {
+        Term::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => Term::Struct(
+            well_known::comma(),
+            vec![replace_par_with_seq(&args[0]), replace_par_with_seq(&args[1])],
+        ),
+        Term::Struct(s, args) => Term::Struct(
+            *s,
+            args.iter().map(replace_par_with_seq).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+struct ClauseContext<'a> {
+    analysis: &'a ProgramAnalysis,
+    options: &'a AnnotateOptions,
+    clause_pred: PredId,
+    clause_index: usize,
+    force_sequential: bool,
+    decisions: &'a mut Vec<ConjunctionDecision>,
+}
+
+impl ClauseContext<'_> {
+    /// Rewrites a body term, transforming every maximal parallel conjunction.
+    fn rewrite(&mut self, body: &Term) -> Term {
+        match body {
+            Term::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => {
+                let mut arms = Vec::new();
+                flatten_par(body, &mut arms);
+                let arms: Vec<Term> = arms.iter().map(|arm| self.rewrite_inside(arm)).collect();
+                self.transform_parallel(&arms)
+            }
+            Term::Struct(s, args) => Term::Struct(
+                *s,
+                args.iter().map(|a| self.rewrite(a)).collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Rewrites the inside of an arm (nested conjunctions may themselves
+    /// contain parallel conjunctions).
+    fn rewrite_inside(&mut self, arm: &Term) -> Term {
+        self.rewrite(arm)
+    }
+
+    fn transform_parallel(&mut self, arms: &[Term]) -> Term {
+        if self.force_sequential {
+            self.decisions.push(ConjunctionDecision {
+                clause_pred: self.clause_pred,
+                clause_index: self.clause_index,
+                arms: vec![ArmDecision::NeverParallel; arms.len()],
+                guarded: Some(false),
+            });
+            return seq_conjunction(arms);
+        }
+        let decisions: Vec<ArmDecision> = arms.iter().map(|arm| self.decide_arm(arm)).collect();
+        let any_never = decisions.iter().any(|d| matches!(d, ArmDecision::NeverParallel));
+        let tests: Vec<Term> = decisions
+            .iter()
+            .zip(arms)
+            .filter_map(|(d, arm)| match d {
+                ArmDecision::Test { pred, arg_pos, measure, k } => {
+                    grain_test_term(arm, *pred, *arg_pos, *measure, *k)
+                }
+                _ => None,
+            })
+            .collect();
+
+        let (result, guarded) = if any_never {
+            // Spawning at least one arm can never pay for itself: run the whole
+            // conjunction sequentially.
+            (seq_conjunction(arms), Some(false))
+        } else if tests.is_empty() {
+            // Nothing to test (all arms unbounded/unknown/always-big): stay
+            // parallel, as the paper prescribes.
+            (par_conjunction(arms), None)
+        } else {
+            let cond = seq_conjunction(&tests);
+            let ite = Term::Struct(
+                well_known::semicolon(),
+                vec![
+                    Term::Struct(well_known::arrow(), vec![cond, par_conjunction(arms)]),
+                    seq_conjunction(arms),
+                ],
+            );
+            (ite, Some(true))
+        };
+        self.decisions.push(ConjunctionDecision {
+            clause_pred: self.clause_pred,
+            clause_index: self.clause_index,
+            arms: decisions,
+            guarded,
+        });
+        result
+    }
+
+    /// Decides how to treat one arm of a parallel conjunction, based on the
+    /// cost of the first analysable goal in it.
+    fn decide_arm(&self, arm: &Term) -> ArmDecision {
+        let goals = collect_goals(arm);
+        for goal in goals {
+            let Some(pred) = PredId::of_term(goal) else { continue };
+            let Some(info) = self.analysis.pred(pred) else { continue };
+            match self.analysis.threshold_for(pred, self.options.overhead) {
+                Threshold::AlwaysParallel => return ArmDecision::AlwaysParallel,
+                Threshold::NeverParallel => return ArmDecision::NeverParallel,
+                Threshold::SizeAtLeast(k) => {
+                    let Some((arg_pos, _param)) = info.driving_input() else {
+                        return ArmDecision::AlwaysParallel;
+                    };
+                    let measure = info
+                        .measures
+                        .get(arg_pos)
+                        .copied()
+                        .unwrap_or(Measure::TermSize);
+                    return ArmDecision::Test { pred, arg_pos, measure, k };
+                }
+            }
+        }
+        ArmDecision::Unknown
+    }
+}
+
+/// Builds the `'$grain_ge'(ArgTerm, measure, K)` runtime test for an arm.
+fn grain_test_term(
+    arm: &Term,
+    pred: PredId,
+    arg_pos: usize,
+    measure: Measure,
+    k: u64,
+) -> Option<Term> {
+    // Find the call to `pred` inside the arm and pull out its argument term.
+    let goal = collect_goals(arm)
+        .into_iter()
+        .find(|g| PredId::of_term(g) == Some(pred))?;
+    let arg = goal.args().get(arg_pos)?.clone();
+    Some(Term::compound(
+        "$grain_ge",
+        vec![
+            arg,
+            Term::atom(measure.name()),
+            Term::Int(i64::try_from(k).unwrap_or(i64::MAX)),
+        ],
+    ))
+}
+
+fn flatten_par<'a>(term: &'a Term, out: &mut Vec<&'a Term>) {
+    match term {
+        Term::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => {
+            flatten_par(&args[0], out);
+            flatten_par(&args[1], out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// The goals of an arm in execution order (descending through `,` only —
+/// nested control stays opaque).
+fn collect_goals(arm: &Term) -> Vec<&Term> {
+    let mut out = Vec::new();
+    fn go<'a>(t: &'a Term, out: &mut Vec<&'a Term>) {
+        match t {
+            Term::Struct(s, args) if *s == well_known::comma() && args.len() == 2 => {
+                go(&args[0], out);
+                go(&args[1], out);
+            }
+            other => out.push(other),
+        }
+    }
+    go(arm, &mut out);
+    out
+}
+
+fn seq_conjunction(goals: &[Term]) -> Term {
+    fold_conjunction(goals, well_known::comma())
+}
+
+fn par_conjunction(goals: &[Term]) -> Term {
+    fold_conjunction(goals, well_known::par_and())
+}
+
+fn fold_conjunction(goals: &[Term], op: Symbol) -> Term {
+    match goals.len() {
+        0 => Term::Atom(well_known::true_()),
+        1 => goals[0].clone(),
+        _ => {
+            let mut iter = goals.iter().rev();
+            let last = iter.next().expect("len >= 2").clone();
+            iter.fold(last, |acc, g| Term::Struct(op, vec![g.clone(), acc]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_program, AnalysisOptions};
+    use granlog_ir::parser::parse_program;
+
+    const QSORT_PAR: &str = r#"
+        :- mode qsort(+, -).
+        :- mode partition(+, +, -, -).
+        :- mode app(+, +, -).
+        qsort([], []).
+        qsort([P|Xs], S) :-
+            partition(Xs, P, Small, Big),
+            qsort(Small, SS) & qsort(Big, BS),
+            app(SS, [P|BS], S).
+        partition([], _, [], []).
+        partition([X|Xs], P, [X|S], B) :- X =< P, partition(Xs, P, S, B).
+        partition([X|Xs], P, S, [X|B]) :- X > P, partition(Xs, P, S, B).
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    "#;
+
+    fn annotate(src: &str, overhead: f64) -> AnnotatedProgram {
+        let program = parse_program(src).unwrap();
+        let analysis = analyze_program(&program, &AnalysisOptions::default());
+        apply_granularity_control(&program, &analysis, &AnnotateOptions { overhead })
+    }
+
+    #[test]
+    fn qsort_parallel_conjunction_gets_grain_tests() {
+        let annotated = annotate(QSORT_PAR, 20.0);
+        assert_eq!(annotated.decisions.len(), 1);
+        let decision = &annotated.decisions[0];
+        assert_eq!(decision.clause_pred, PredId::parse("qsort", 2));
+        assert_eq!(decision.guarded, Some(true));
+        assert_eq!(decision.arms.len(), 2);
+        for arm in &decision.arms {
+            match arm {
+                ArmDecision::Test { pred, arg_pos, measure, k } => {
+                    assert_eq!(*pred, PredId::parse("qsort", 2));
+                    assert_eq!(*arg_pos, 0);
+                    assert_eq!(*measure, Measure::ListLength);
+                    assert!(*k >= 1);
+                }
+                other => panic!("expected a grain test, got {other:?}"),
+            }
+        }
+        // The rewritten clause contains the $grain_ge test and both a parallel
+        // and a sequential version of the conjunction.
+        let qsort_clauses = annotated.program.clauses_of(PredId::parse("qsort", 2));
+        let body = qsort_clauses[1].display().to_string();
+        assert!(body.contains("$grain_ge"), "{body}");
+        assert!(body.contains('&'), "{body}");
+        assert!(body.contains("length"), "{body}");
+    }
+
+    #[test]
+    fn huge_overhead_sequentialises_unconditionally() {
+        // With an overhead beyond the search cap the analysis concludes the
+        // spawned work can never pay for itself for qsort-sized inputs only if
+        // the cost is bounded; qsort's bound grows without limit, so instead we
+        // check a program whose parallel goals have constant cost.
+        let src = r#"
+            :- mode main(+).
+            main(X) :- tiny(X) & tiny(X).
+            tiny(_).
+        "#;
+        let annotated = annotate(src, 48.0);
+        assert_eq!(annotated.decisions.len(), 1);
+        assert_eq!(annotated.decisions[0].guarded, Some(false));
+        // The '&' disappeared from the transformed clause.
+        let main = annotated.program.clauses_of(PredId::parse("main", 1));
+        assert!(!main[0].display().to_string().contains('&'));
+    }
+
+    #[test]
+    fn tiny_overhead_keeps_parallelism_unconditional() {
+        // Overhead smaller than any call's cost: always parallel, no tests.
+        let annotated = annotate(QSORT_PAR, 0.5);
+        assert_eq!(annotated.decisions.len(), 1);
+        assert_eq!(annotated.decisions[0].guarded, None);
+        let qsort_clauses = annotated.program.clauses_of(PredId::parse("qsort", 2));
+        let body = qsort_clauses[1].display().to_string();
+        assert!(body.contains('&'));
+        assert!(!body.contains("$grain_ge"));
+    }
+
+    #[test]
+    fn unknown_goals_stay_parallel() {
+        let src = r#"
+            :- mode p(+).
+            p(X) :- mystery_a(X) & mystery_b(X).
+        "#;
+        let annotated = annotate(src, 48.0);
+        assert_eq!(annotated.decisions[0].guarded, None);
+        assert!(annotated.decisions[0]
+            .arms
+            .iter()
+            .all(|a| matches!(a, ArmDecision::Unknown)));
+    }
+
+    #[test]
+    fn sequential_directive_forces_sequentialisation() {
+        let src = r#"
+            :- mode p(+, -).
+            :- sequential p/2.
+            p([], []).
+            p([H|T], [H|R]) :- q(T, A) & q(T, B), app(A, B, R).
+            q([], []).
+            q([H|T], [H|R]) :- q(T, R).
+            app([], L, L).
+            app([H|T], L, [H|R]) :- app(T, L, R).
+        "#;
+        let annotated = annotate(src, 1.0);
+        assert_eq!(annotated.decisions.len(), 1);
+        assert_eq!(annotated.decisions[0].guarded, Some(false));
+        let p = annotated.program.clauses_of(PredId::parse("p", 2));
+        assert!(!p[1].display().to_string().contains('&'));
+    }
+
+    #[test]
+    fn sequentialize_strips_all_parallelism() {
+        let program = parse_program(QSORT_PAR).unwrap();
+        let seq = sequentialize(&program);
+        assert_eq!(seq.len(), program.len());
+        for clause in seq.clauses() {
+            assert!(!clause.display().to_string().contains('&'));
+        }
+        // Directives survive.
+        assert!(seq.mode_of(PredId::parse("qsort", 2)).is_some());
+    }
+
+    #[test]
+    fn clauses_without_parallelism_are_untouched() {
+        let annotated = annotate(QSORT_PAR, 20.0);
+        let app = PredId::parse("app", 3);
+        let original = parse_program(QSORT_PAR).unwrap();
+        assert_eq!(
+            annotated.program.clauses_of(app)[1].body,
+            original.clauses_of(app)[1].body
+        );
+        // Same number of clauses overall.
+        assert_eq!(annotated.program.len(), original.len());
+    }
+
+    #[test]
+    fn nested_parallel_conjunctions_are_all_transformed() {
+        let src = r#"
+            :- mode t(+, -).
+            :- mode work(+, -).
+            t(N, R) :- ( work(N, A) & work(N, B) ) & work(N, C), R = [A, B, C].
+            work(0, 0).
+            work(N, R) :- N > 0, N1 is N - 1, work(N1, R1), R is R1 + 1.
+        "#;
+        let annotated = annotate(src, 5.0);
+        // The flattener treats the nested '&' as one three-arm conjunction.
+        assert_eq!(annotated.decisions.len(), 1);
+        assert_eq!(annotated.decisions[0].arms.len(), 3);
+        assert_eq!(annotated.decisions[0].guarded, Some(true));
+        let t = annotated.program.clauses_of(PredId::parse("t", 2));
+        let body = t[0].display().to_string();
+        assert!(body.matches("$grain_ge").count() >= 3, "{body}");
+    }
+
+    #[test]
+    fn grain_test_uses_int_measure_for_numeric_recursion() {
+        let src = r#"
+            :- mode fibpair(+, -).
+            fibpair(N, [A, B]) :- fib(N, A) & fib(N, B).
+            fib(0, 0).
+            fib(1, 1).
+            fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                         fib(M1, N1), fib(M2, N2), N is N1 + N2.
+        "#;
+        let annotated = annotate(src, 30.0);
+        let d = &annotated.decisions[0];
+        assert_eq!(d.guarded, Some(true));
+        match &d.arms[0] {
+            ArmDecision::Test { measure, k, .. } => {
+                assert_eq!(*measure, Measure::IntValue);
+                assert!(*k <= 10, "fib threshold should be small, got {k}");
+            }
+            other => panic!("expected test, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! Difference equations (the output of Sections 3 and 4, the input of
+//! Section 5).
+//!
+//! Both argument-size relations of recursive predicates and cost relations
+//! are difference equations: a function `f` of the head's input sizes is
+//! defined by *base cases* (contributed by nonrecursive clauses) and
+//! *recursive cases* whose right-hand sides apply `f` (or, for mutual
+//! recursion, other functions of the same SCC) to smaller arguments.
+
+use crate::expr::{Expr, FnRef};
+use granlog_ir::Symbol;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// How the per-clause contributions of a predicate combine into the
+/// predicate-level equation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CombineMode {
+    /// Clauses are mutually exclusive (first-argument indexing or arithmetic
+    /// guards): take the maximum of the applicable clauses — the paper's
+    /// indexing refinement of equation (1).
+    Exclusive,
+    /// No exclusivity information: sum the clause costs/sizes (the paper's
+    /// conservative default, equation (1)).
+    Additive,
+}
+
+/// A base case: the clause applies when the induction parameters have the
+/// given constant sizes (a `None` entry means "any size"), and contributes the
+/// given value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaseCase {
+    /// Constant input sizes handled by the clause, one entry per parameter.
+    pub when: Vec<Option<i64>>,
+    /// The clause's contribution (an expression over the parameters).
+    pub value: Expr,
+}
+
+/// A difference equation for a single function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEq {
+    /// The function being defined.
+    pub func: FnRef,
+    /// Parameter symbols, one per input argument position of the predicate.
+    pub params: Vec<Symbol>,
+    /// Contributions of nonrecursive clauses.
+    pub base_cases: Vec<BaseCase>,
+    /// Right-hand sides of recursive clauses; each contains at least one
+    /// application of `func` (or of another function of the same SCC).
+    pub recursive_cases: Vec<Expr>,
+    /// How the clause contributions combine.
+    pub combine: CombineMode,
+}
+
+impl DiffEq {
+    /// Assembles a difference equation from per-clause contributions.
+    ///
+    /// `clauses` pairs, for every clause of the predicate, the constant sizes
+    /// of its head input positions (where defined) with the clause's
+    /// contribution expression. A clause is a base case if its contribution
+    /// applies no function of `scc_funcs`, and a recursive case otherwise.
+    pub fn assemble(
+        func: FnRef,
+        params: Vec<Symbol>,
+        clauses: Vec<(Vec<Option<i64>>, Expr)>,
+        scc_funcs: &BTreeSet<FnRef>,
+        combine: CombineMode,
+    ) -> DiffEq {
+        let mut base_cases = Vec::new();
+        let mut recursive_cases = Vec::new();
+        for (when, value) in clauses {
+            let is_recursive = value.calls().iter().any(|c| scc_funcs.contains(c));
+            if is_recursive {
+                recursive_cases.push(value);
+            } else {
+                base_cases.push(BaseCase { when, value });
+            }
+        }
+        DiffEq { func, params, base_cases, recursive_cases, combine }
+    }
+
+    /// Returns `true` if the equation has no recursive case (the predicate is
+    /// effectively nonrecursive for this function).
+    pub fn is_closed(&self) -> bool {
+        self.recursive_cases.is_empty()
+    }
+
+    /// The combined right-hand side of the recursive cases (max for exclusive
+    /// clause groups, sum otherwise).
+    pub fn combined_recursive_rhs(&self) -> Expr {
+        combine(&self.recursive_cases, self.combine)
+    }
+
+    /// The combined value of the base cases.
+    pub fn combined_base_value(&self) -> Expr {
+        let values: Vec<Expr> = self.base_cases.iter().map(|b| b.value.clone()).collect();
+        combine(&values, self.combine)
+    }
+
+    /// The largest constant mentioned by any base case for parameter `idx`
+    /// (the boundary point `n0` of the recursion), if any.
+    pub fn base_point(&self, idx: usize) -> Option<i64> {
+        self.base_cases
+            .iter()
+            .filter_map(|b| b.when.get(idx).copied().flatten())
+            .max()
+    }
+
+    /// All functions of the same system referenced by the recursive cases.
+    pub fn referenced_functions(&self) -> BTreeSet<FnRef> {
+        self.recursive_cases.iter().flat_map(|e| e.calls()).collect()
+    }
+}
+
+fn combine(values: &[Expr], mode: CombineMode) -> Expr {
+    match values.len() {
+        0 => Expr::Num(0.0),
+        1 => values[0].clone(),
+        _ => match mode {
+            CombineMode::Exclusive => Expr::Max(values.to_vec()).simplify(),
+            CombineMode::Additive => Expr::Add(values.to_vec()).simplify(),
+        },
+    }
+}
+
+impl fmt::Display for DiffEq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let params: Vec<String> = self.params.iter().map(|p| p.to_string()).collect();
+        for b in &self.base_cases {
+            let args: Vec<String> = b
+                .when
+                .iter()
+                .zip(&params)
+                .map(|(w, p)| match w {
+                    Some(c) => c.to_string(),
+                    None => p.clone(),
+                })
+                .collect();
+            writeln!(f, "{}({}) = {}", self.func, args.join(", "), b.value)?;
+        }
+        for r in &self.recursive_cases {
+            writeln!(f, "{}({}) = {}", self.func, params.join(", "), r)?;
+        }
+        Ok(())
+    }
+}
+
+/// A system of difference equations for a mutually recursive SCC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEqSystem {
+    /// One equation per function of the SCC.
+    pub equations: Vec<DiffEq>,
+}
+
+impl DiffEqSystem {
+    /// Creates a system from its member equations.
+    pub fn new(equations: Vec<DiffEq>) -> Self {
+        DiffEqSystem { equations }
+    }
+
+    /// The equation defining `func`, if present.
+    pub fn equation_for(&self, func: FnRef) -> Option<&DiffEq> {
+        self.equations.iter().find(|e| e.func == func)
+    }
+
+    /// The set of functions defined by the system.
+    pub fn functions(&self) -> BTreeSet<FnRef> {
+        self.equations.iter().map(|e| e.func).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::PredId;
+
+    fn nrev_cost_eq() -> DiffEq {
+        // Cost_nrev(0) = 1; Cost_nrev(n) = Cost_nrev(n-1) + n + 1.
+        let nrev = PredId::parse("nrev", 2);
+        let f = FnRef::Cost(nrev);
+        let n = Expr::var("n");
+        let rec = Expr::sum(vec![
+            Expr::call(f, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            n.clone(),
+            Expr::num(1.0),
+        ]);
+        DiffEq::assemble(
+            f,
+            vec![Symbol::intern("n")],
+            vec![(vec![Some(0)], Expr::num(1.0)), (vec![None], rec)],
+            &[f].into_iter().collect(),
+            CombineMode::Exclusive,
+        )
+    }
+
+    #[test]
+    fn assemble_splits_base_and_recursive() {
+        let eq = nrev_cost_eq();
+        assert_eq!(eq.base_cases.len(), 1);
+        assert_eq!(eq.recursive_cases.len(), 1);
+        assert!(!eq.is_closed());
+        assert_eq!(eq.base_cases[0].when, vec![Some(0)]);
+        assert_eq!(eq.base_cases[0].value, Expr::Num(1.0));
+        assert_eq!(eq.base_point(0), Some(0));
+    }
+
+    #[test]
+    fn combined_base_and_recursive_rhs() {
+        let eq = nrev_cost_eq();
+        assert_eq!(eq.combined_base_value(), Expr::Num(1.0));
+        let rhs = eq.combined_recursive_rhs();
+        assert!(rhs.contains_call(eq.func));
+    }
+
+    #[test]
+    fn additive_combination_sums_clauses() {
+        let p = PredId::parse("p", 1);
+        let f = FnRef::Cost(p);
+        let eq = DiffEq {
+            func: f,
+            params: vec![Symbol::intern("n")],
+            base_cases: vec![
+                BaseCase { when: vec![Some(0)], value: Expr::num(1.0) },
+                BaseCase { when: vec![Some(0)], value: Expr::num(2.0) },
+            ],
+            recursive_cases: vec![Expr::num(3.0), Expr::num(4.0)],
+            combine: CombineMode::Additive,
+        };
+        assert_eq!(eq.combined_base_value(), Expr::Num(3.0));
+        assert_eq!(eq.combined_recursive_rhs(), Expr::Num(7.0));
+    }
+
+    #[test]
+    fn exclusive_combination_takes_max() {
+        let p = PredId::parse("p", 1);
+        let f = FnRef::Cost(p);
+        let eq = DiffEq {
+            func: f,
+            params: vec![Symbol::intern("n")],
+            base_cases: vec![
+                BaseCase { when: vec![Some(0)], value: Expr::num(1.0) },
+                BaseCase { when: vec![Some(1)], value: Expr::num(5.0) },
+            ],
+            recursive_cases: vec![],
+            combine: CombineMode::Exclusive,
+        };
+        assert_eq!(eq.combined_base_value(), Expr::Num(5.0));
+        assert_eq!(eq.base_point(0), Some(1));
+        assert!(eq.is_closed());
+    }
+
+    #[test]
+    fn referenced_functions_cover_mutual_recursion() {
+        let even = FnRef::Cost(PredId::parse("even", 1));
+        let odd = FnRef::Cost(PredId::parse("odd", 1));
+        let n = Expr::var("n");
+        let eq = DiffEq::assemble(
+            even,
+            vec![Symbol::intern("n")],
+            vec![
+                (vec![Some(0)], Expr::num(1.0)),
+                (
+                    vec![None],
+                    Expr::add(
+                        Expr::call(odd, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+                        Expr::num(1.0),
+                    ),
+                ),
+            ],
+            &[even, odd].into_iter().collect(),
+            CombineMode::Exclusive,
+        );
+        assert_eq!(eq.referenced_functions(), [odd].into_iter().collect());
+        let sys = DiffEqSystem::new(vec![eq.clone()]);
+        assert_eq!(sys.functions(), [even].into_iter().collect());
+        assert!(sys.equation_for(even).is_some());
+        assert!(sys.equation_for(odd).is_none());
+    }
+
+    #[test]
+    fn display_shows_all_cases() {
+        let eq = nrev_cost_eq();
+        let shown = eq.to_string();
+        assert!(shown.contains("cost_nrev/2(0) = 1"));
+        assert!(shown.contains("cost_nrev/2(n) = cost_nrev/2(n - 1) + n + 1"));
+    }
+
+    #[test]
+    fn base_point_with_no_constant_cases() {
+        let p = PredId::parse("p", 1);
+        let f = FnRef::Cost(p);
+        let eq = DiffEq {
+            func: f,
+            params: vec![Symbol::intern("n")],
+            base_cases: vec![BaseCase { when: vec![None], value: Expr::var("n") }],
+            recursive_cases: vec![],
+            combine: CombineMode::Exclusive,
+        };
+        assert_eq!(eq.base_point(0), None);
+    }
+}

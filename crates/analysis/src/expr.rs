@@ -1,0 +1,1166 @@
+//! Symbolic cost and size expressions.
+//!
+//! The granularity analysis manipulates symbolic expressions over argument
+//! sizes: argument size relations (Section 3), cost equations (Section 4) and
+//! the closed forms produced by the difference-equation solver (Section 5) are
+//! all values of type [`Expr`].
+//!
+//! Expressions support the operations the paper needs: polynomial arithmetic,
+//! `max`/`min` (for indexed clause groups), exponentials and logarithms (for
+//! divide-and-conquer and geometric solutions), symbolic applications of
+//! not-yet-solved size/cost functions ([`Expr::Call`]), the special value
+//! [`Expr::Infinity`] ("always parallelise": returned when no schema matches),
+//! and [`Expr::Undefined`] (the paper's ⊥).
+
+use granlog_ir::{PredId, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A reference to a function whose definition may not be known yet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum FnRef {
+    /// The output-size function Ψ of output argument `pos` of a predicate,
+    /// as a function of its input argument sizes.
+    OutputSize(PredId, usize),
+    /// The cost function of a predicate, as a function of its input argument
+    /// sizes.
+    Cost(PredId),
+    /// An uninterpreted named function (used in tests and by the solver).
+    Sym(Symbol),
+}
+
+impl fmt::Display for FnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FnRef::OutputSize(p, i) => write!(f, "psi_{}#{}/{}", p.name, i, p.arity),
+            FnRef::Cost(p) => write!(f, "cost_{}/{}", p.name, p.arity),
+            FnRef::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A symbolic arithmetic expression over argument sizes.
+///
+/// Construct expressions with the helper constructors ([`Expr::num`],
+/// [`Expr::var`], [`Expr::add`], [`Expr::mul`], ...) and normalise them with
+/// [`Expr::simplify`].
+///
+/// # Example
+///
+/// ```
+/// use granlog_analysis::expr::Expr;
+/// let n = Expr::var("n");
+/// let e = Expr::add(Expr::mul(n.clone(), n.clone()), Expr::mul(Expr::num(2.0), n.clone()));
+/// assert_eq!(e.clone().simplify().to_string(), "2*n + n^2");
+/// assert_eq!(e.eval_with(&[("n", 10.0)]), Some(120.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Expr {
+    /// A numeric constant.
+    Num(f64),
+    /// A size variable (e.g. the size of a head input argument).
+    Var(Symbol),
+    /// A sum of terms.
+    Add(Vec<Expr>),
+    /// A product of factors.
+    Mul(Vec<Expr>),
+    /// `base ^ exponent`.
+    Pow(Box<Expr>, Box<Expr>),
+    /// `numerator / denominator`.
+    Div(Box<Expr>, Box<Expr>),
+    /// Maximum of the operands.
+    Max(Vec<Expr>),
+    /// Minimum of the operands.
+    Min(Vec<Expr>),
+    /// Base-2 logarithm, clamped below at 0 (i.e. `log2(max(x, 1))`).
+    Log2(Box<Expr>),
+    /// Application of a (possibly not yet solved) function.
+    Call(FnRef, Vec<Expr>),
+    /// The function that is larger than everything: "no bound known, always
+    /// parallelise" (Section 5).
+    Infinity,
+    /// The undefined value ⊥ (a size or cost that could not be related).
+    Undefined,
+}
+
+impl Expr {
+    /// Numeric constant.
+    pub fn num(v: f64) -> Expr {
+        Expr::Num(v)
+    }
+
+    /// Integer constant (convenience).
+    pub fn int(v: i64) -> Expr {
+        Expr::Num(v as f64)
+    }
+
+    /// A size variable with the given name.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(Symbol::intern(name))
+    }
+
+    /// A size variable from an interned symbol.
+    pub fn var_sym(name: Symbol) -> Expr {
+        Expr::Var(name)
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(vec![a, b])
+    }
+
+    /// Sum of many terms.
+    pub fn sum<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        Expr::Add(items.into_iter().collect())
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Add(vec![a, Expr::Mul(vec![Expr::Num(-1.0), b])])
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(vec![a, b])
+    }
+
+    /// Product of many factors.
+    pub fn product<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        Expr::Mul(items.into_iter().collect())
+    }
+
+    /// `-a`.
+    pub fn neg(a: Expr) -> Expr {
+        Expr::Mul(vec![Expr::Num(-1.0), a])
+    }
+
+    /// `a / b`.
+    pub fn div(a: Expr, b: Expr) -> Expr {
+        Expr::Div(Box::new(a), Box::new(b))
+    }
+
+    /// `a ^ b`.
+    pub fn pow(a: Expr, b: Expr) -> Expr {
+        Expr::Pow(Box::new(a), Box::new(b))
+    }
+
+    /// `max(a, b)`.
+    pub fn max(a: Expr, b: Expr) -> Expr {
+        Expr::Max(vec![a, b])
+    }
+
+    /// Maximum of many operands.
+    pub fn max_of<I: IntoIterator<Item = Expr>>(items: I) -> Expr {
+        Expr::Max(items.into_iter().collect())
+    }
+
+    /// `min(a, b)`.
+    pub fn min(a: Expr, b: Expr) -> Expr {
+        Expr::Min(vec![a, b])
+    }
+
+    /// `log2(max(a, 1))`.
+    pub fn log2(a: Expr) -> Expr {
+        Expr::Log2(Box::new(a))
+    }
+
+    /// Application `f(args...)`.
+    pub fn call(f: FnRef, args: Vec<Expr>) -> Expr {
+        Expr::Call(f, args)
+    }
+
+    /// Returns the constant value if the (simplified) expression is a number.
+    pub fn as_const(&self) -> Option<f64> {
+        match self.clone().simplify() {
+            Expr::Num(v) => Some(v),
+            Expr::Infinity => Some(f64::INFINITY),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the expression (after simplification) is ⊥.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self.clone().simplify(), Expr::Undefined)
+    }
+
+    /// Returns `true` if the expression (after simplification) is ∞.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self.clone().simplify(), Expr::Infinity)
+    }
+
+    /// The set of size variables occurring in the expression.
+    pub fn variables(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |e| {
+            if let Expr::Var(s) = e {
+                out.insert(*s);
+            }
+        });
+        out
+    }
+
+    /// The set of function references applied in the expression.
+    pub fn calls(&self) -> BTreeSet<FnRef> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |e| {
+            if let Expr::Call(f, _) = e {
+                out.insert(*f);
+            }
+        });
+        out
+    }
+
+    /// Returns `true` if the expression applies `f` anywhere.
+    pub fn contains_call(&self, f: FnRef) -> bool {
+        self.calls().contains(&f)
+    }
+
+    fn walk(&self, visit: &mut impl FnMut(&Expr)) {
+        visit(self);
+        match self {
+            Expr::Add(xs) | Expr::Mul(xs) | Expr::Max(xs) | Expr::Min(xs) => {
+                for x in xs {
+                    x.walk(visit);
+                }
+            }
+            Expr::Pow(a, b) | Expr::Div(a, b) => {
+                a.walk(visit);
+                b.walk(visit);
+            }
+            Expr::Log2(a) => a.walk(visit),
+            Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(visit);
+                }
+            }
+            Expr::Num(_) | Expr::Var(_) | Expr::Infinity | Expr::Undefined => {}
+        }
+    }
+
+    /// Replaces every occurrence of the given variables by the corresponding
+    /// expressions.
+    pub fn subst_vars(&self, map: &BTreeMap<Symbol, Expr>) -> Expr {
+        self.transform(&mut |e| match e {
+            Expr::Var(s) => map.get(s).cloned(),
+            _ => None,
+        })
+    }
+
+    /// Replaces a single variable.
+    pub fn subst_var(&self, var: Symbol, value: &Expr) -> Expr {
+        let mut map = BTreeMap::new();
+        map.insert(var, value.clone());
+        self.subst_vars(&map)
+    }
+
+    /// Rewrites every function application for which `f` returns a
+    /// replacement. The replacement function receives the (already rewritten)
+    /// argument expressions.
+    pub fn subst_calls(&self, f: &impl Fn(FnRef, &[Expr]) -> Option<Expr>) -> Expr {
+        match self {
+            Expr::Call(r, args) => {
+                let new_args: Vec<Expr> = args.iter().map(|a| a.subst_calls(f)).collect();
+                match f(*r, &new_args) {
+                    Some(replacement) => replacement,
+                    None => Expr::Call(*r, new_args),
+                }
+            }
+            Expr::Add(xs) => Expr::Add(xs.iter().map(|x| x.subst_calls(f)).collect()),
+            Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| x.subst_calls(f)).collect()),
+            Expr::Max(xs) => Expr::Max(xs.iter().map(|x| x.subst_calls(f)).collect()),
+            Expr::Min(xs) => Expr::Min(xs.iter().map(|x| x.subst_calls(f)).collect()),
+            Expr::Pow(a, b) => Expr::Pow(Box::new(a.subst_calls(f)), Box::new(b.subst_calls(f))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.subst_calls(f)), Box::new(b.subst_calls(f))),
+            Expr::Log2(a) => Expr::Log2(Box::new(a.subst_calls(f))),
+            other => other.clone(),
+        }
+    }
+
+    /// Generic bottom-up rewriting: `rewrite` is tried on every node after its
+    /// children have been rewritten; `None` keeps the node.
+    pub fn transform(&self, rewrite: &mut impl FnMut(&Expr) -> Option<Expr>) -> Expr {
+        let rebuilt = match self {
+            Expr::Add(xs) => Expr::Add(xs.iter().map(|x| x.transform(rewrite)).collect()),
+            Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| x.transform(rewrite)).collect()),
+            Expr::Max(xs) => Expr::Max(xs.iter().map(|x| x.transform(rewrite)).collect()),
+            Expr::Min(xs) => Expr::Min(xs.iter().map(|x| x.transform(rewrite)).collect()),
+            Expr::Pow(a, b) => {
+                Expr::Pow(Box::new(a.transform(rewrite)), Box::new(b.transform(rewrite)))
+            }
+            Expr::Div(a, b) => {
+                Expr::Div(Box::new(a.transform(rewrite)), Box::new(b.transform(rewrite)))
+            }
+            Expr::Log2(a) => Expr::Log2(Box::new(a.transform(rewrite))),
+            Expr::Call(f, args) => {
+                Expr::Call(*f, args.iter().map(|a| a.transform(rewrite)).collect())
+            }
+            other => other.clone(),
+        };
+        rewrite(&rebuilt).unwrap_or(rebuilt)
+    }
+
+    /// Evaluates the expression under a variable assignment.
+    ///
+    /// Returns `None` if the expression contains ⊥, an unassigned variable or
+    /// an unresolved function application. `Infinity` evaluates to
+    /// [`f64::INFINITY`].
+    pub fn eval(&self, env: &BTreeMap<Symbol, f64>) -> Option<f64> {
+        match self {
+            Expr::Num(v) => Some(*v),
+            Expr::Var(s) => env.get(s).copied(),
+            Expr::Add(xs) => xs.iter().map(|x| x.eval(env)).try_fold(0.0, |acc, v| Some(acc + v?)),
+            Expr::Mul(xs) => xs.iter().map(|x| x.eval(env)).try_fold(1.0, |acc, v| Some(acc * v?)),
+            Expr::Pow(a, b) => Some(a.eval(env)?.powf(b.eval(env)?)),
+            Expr::Div(a, b) => Some(a.eval(env)? / b.eval(env)?),
+            Expr::Max(xs) => xs
+                .iter()
+                .map(|x| x.eval(env))
+                .try_fold(f64::NEG_INFINITY, |acc, v| Some(acc.max(v?))),
+            Expr::Min(xs) => xs
+                .iter()
+                .map(|x| x.eval(env))
+                .try_fold(f64::INFINITY, |acc, v| Some(acc.min(v?))),
+            Expr::Log2(a) => Some(a.eval(env)?.max(1.0).log2()),
+            Expr::Call(..) => None,
+            Expr::Infinity => Some(f64::INFINITY),
+            Expr::Undefined => None,
+        }
+    }
+
+    /// Evaluates with a small inline environment (convenience for tests and
+    /// threshold search).
+    pub fn eval_with(&self, bindings: &[(&str, f64)]) -> Option<f64> {
+        let env: BTreeMap<Symbol, f64> = bindings
+            .iter()
+            .map(|(name, v)| (Symbol::intern(name), *v))
+            .collect();
+        self.eval(&env)
+    }
+
+    /// Simplifies the expression into a semi-canonical polynomial-like form:
+    /// constants folded, sums and products flattened and like terms combined.
+    pub fn simplify(self) -> Expr {
+        simplify(self)
+    }
+
+    /// `true` if the simplified expression syntactically equals another
+    /// simplified expression. This is the equality used by the tests that
+    /// compare against the paper's closed forms.
+    pub fn equivalent(&self, other: &Expr) -> bool {
+        self.clone().simplify() == other.clone().simplify()
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Self {
+        Expr::Num(v)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Num(v as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simplification
+// ---------------------------------------------------------------------------
+
+fn is_zero(e: &Expr) -> bool {
+    matches!(e, Expr::Num(v) if *v == 0.0)
+}
+
+fn is_one(e: &Expr) -> bool {
+    matches!(e, Expr::Num(v) if *v == 1.0)
+}
+
+/// Stable ordering key for canonicalising operand order.
+fn sort_key(e: &Expr) -> String {
+    format!("{e:?}")
+}
+
+fn simplify(e: Expr) -> Expr {
+    match e {
+        Expr::Num(_) | Expr::Var(_) | Expr::Infinity | Expr::Undefined => e,
+        Expr::Add(xs) => simplify_add(xs),
+        Expr::Mul(xs) => simplify_mul(xs),
+        Expr::Pow(a, b) => simplify_pow(simplify(*a), simplify(*b)),
+        Expr::Div(a, b) => simplify_div(simplify(*a), simplify(*b)),
+        Expr::Max(xs) => simplify_minmax(xs, true),
+        Expr::Min(xs) => simplify_minmax(xs, false),
+        Expr::Log2(a) => {
+            let a = simplify(*a);
+            match a {
+                Expr::Undefined => Expr::Undefined,
+                Expr::Infinity => Expr::Infinity,
+                Expr::Num(v) => Expr::Num(v.max(1.0).log2()),
+                other => Expr::Log2(Box::new(other)),
+            }
+        }
+        Expr::Call(f, args) => Expr::Call(f, args.into_iter().map(simplify).collect()),
+    }
+}
+
+fn simplify_add(xs: Vec<Expr>) -> Expr {
+    // Flatten, simplify children, fold constants, combine like terms.
+    let mut terms: Vec<Expr> = Vec::new();
+    let mut constant = 0.0;
+    let mut has_infinity = false;
+    let mut stack: Vec<Expr> = xs;
+    while let Some(x) = stack.pop() {
+        match simplify(x) {
+            Expr::Undefined => return Expr::Undefined,
+            Expr::Infinity => has_infinity = true,
+            Expr::Num(v) => constant += v,
+            Expr::Add(inner) => stack.extend(inner),
+            other => terms.push(other),
+        }
+    }
+    if has_infinity {
+        return Expr::Infinity;
+    }
+    // Combine like terms: split each term into (coefficient, key factors).
+    let mut combined: BTreeMap<String, (f64, Expr)> = BTreeMap::new();
+    for term in terms {
+        let (coeff, body) = split_coefficient(term);
+        let key = sort_key(&body);
+        combined
+            .entry(key)
+            .and_modify(|(c, _)| *c += coeff)
+            .or_insert((coeff, body));
+    }
+    let mut result: Vec<Expr> = Vec::new();
+    for (_, (coeff, body)) in combined {
+        if coeff == 0.0 {
+            continue;
+        }
+        if is_one(&Expr::Num(coeff)) {
+            result.push(body);
+        } else if is_one(&body) {
+            result.push(Expr::Num(coeff));
+        } else {
+            result.push(Expr::Mul(vec![Expr::Num(coeff), body]));
+        }
+    }
+    result.sort_by_key(sort_key);
+    // The numeric constant is kept as the last addend ("n + 1", not "1 + n").
+    if constant != 0.0 || result.is_empty() {
+        result.push(Expr::Num(constant));
+    }
+    if result.len() == 1 {
+        result.pop().expect("nonempty")
+    } else {
+        Expr::Add(result)
+    }
+}
+
+/// Splits a (simplified) term into a numeric coefficient and the remaining
+/// factor expression (1 if purely numeric).
+fn split_coefficient(term: Expr) -> (f64, Expr) {
+    match term {
+        Expr::Num(v) => (v, Expr::Num(1.0)),
+        Expr::Mul(factors) => {
+            let mut coeff = 1.0;
+            let mut rest: Vec<Expr> = Vec::new();
+            for f in factors {
+                match f {
+                    Expr::Num(v) => coeff *= v,
+                    other => rest.push(other),
+                }
+            }
+            let body = match rest.len() {
+                0 => Expr::Num(1.0),
+                1 => rest.pop().expect("nonempty"),
+                _ => {
+                    rest.sort_by_key(sort_key);
+                    Expr::Mul(rest)
+                }
+            };
+            (coeff, body)
+        }
+        other => (1.0, other),
+    }
+}
+
+fn simplify_mul(xs: Vec<Expr>) -> Expr {
+    let mut factors: Vec<Expr> = Vec::new();
+    let mut constant = 1.0;
+    let mut has_infinity = false;
+    let mut stack: Vec<Expr> = xs;
+    while let Some(x) = stack.pop() {
+        match simplify(x) {
+            Expr::Undefined => return Expr::Undefined,
+            Expr::Infinity => has_infinity = true,
+            Expr::Num(v) => constant *= v,
+            Expr::Mul(inner) => stack.extend(inner),
+            other => factors.push(other),
+        }
+    }
+    if constant == 0.0 && !has_infinity {
+        return Expr::Num(0.0);
+    }
+    if has_infinity {
+        return Expr::Infinity;
+    }
+    // Distribute over sums so that polynomials reach a flat normal form
+    // (e.g. 0.5*(n^2 + n) + n  ⇒  0.5*n^2 + 1.5*n).
+    if factors.iter().any(|f| matches!(f, Expr::Add(_))) {
+        let mut expanded: Vec<Expr> = vec![Expr::Num(constant)];
+        for factor in factors {
+            match factor {
+                Expr::Add(addends) => {
+                    let mut next = Vec::with_capacity(expanded.len() * addends.len());
+                    for t in &expanded {
+                        for a in &addends {
+                            next.push(Expr::Mul(vec![t.clone(), a.clone()]));
+                        }
+                    }
+                    expanded = next;
+                }
+                other => {
+                    expanded = expanded
+                        .into_iter()
+                        .map(|t| Expr::Mul(vec![t, other.clone()]))
+                        .collect();
+                }
+            }
+        }
+        return simplify_add(expanded);
+    }
+    // Combine repeated factors into powers.
+    let mut powers: BTreeMap<String, (Expr, f64)> = BTreeMap::new();
+    for f in factors {
+        let (base, exp) = match f {
+            Expr::Pow(b, e) => match *e {
+                Expr::Num(v) => (*b, v),
+                other => (Expr::Pow(b, Box::new(other)), 1.0),
+            },
+            other => (other, 1.0),
+        };
+        let key = sort_key(&base);
+        powers
+            .entry(key)
+            .and_modify(|(_, e)| *e += exp)
+            .or_insert((base, exp));
+    }
+    let mut result: Vec<Expr> = Vec::new();
+    for (_, (base, exp)) in powers {
+        if exp == 0.0 {
+            continue;
+        } else if exp == 1.0 {
+            result.push(base);
+        } else {
+            result.push(Expr::Pow(Box::new(base), Box::new(Expr::Num(exp))));
+        }
+    }
+    result.sort_by_key(sort_key);
+    if constant != 1.0 || result.is_empty() {
+        result.insert(0, Expr::Num(constant));
+    }
+    if result.len() == 1 {
+        result.pop().expect("nonempty")
+    } else {
+        Expr::Mul(result)
+    }
+}
+
+fn simplify_pow(base: Expr, exp: Expr) -> Expr {
+    match (&base, &exp) {
+        (Expr::Undefined, _) | (_, Expr::Undefined) => Expr::Undefined,
+        (Expr::Num(b), Expr::Num(e)) => Expr::Num(b.powf(*e)),
+        (_, Expr::Num(e)) if *e == 0.0 => Expr::Num(1.0),
+        (_, Expr::Num(e)) if *e == 1.0 => base,
+        (Expr::Infinity, _) | (_, Expr::Infinity) => Expr::Infinity,
+        _ => Expr::Pow(Box::new(base), Box::new(exp)),
+    }
+}
+
+fn simplify_div(num: Expr, den: Expr) -> Expr {
+    match (&num, &den) {
+        (Expr::Undefined, _) | (_, Expr::Undefined) => Expr::Undefined,
+        (Expr::Num(a), Expr::Num(b)) if *b != 0.0 => Expr::Num(a / b),
+        (_, Expr::Num(b)) if *b != 0.0 => {
+            simplify(Expr::Mul(vec![Expr::Num(1.0 / b), num]))
+        }
+        (Expr::Num(a), _) if *a == 0.0 => Expr::Num(0.0),
+        (Expr::Infinity, _) => Expr::Infinity,
+        _ => Expr::Div(Box::new(num), Box::new(den)),
+    }
+}
+
+fn simplify_minmax(xs: Vec<Expr>, is_max: bool) -> Expr {
+    let mut items: Vec<Expr> = Vec::new();
+    let mut best_const: Option<f64> = None;
+    let mut stack = xs;
+    while let Some(x) = stack.pop() {
+        match simplify(x) {
+            Expr::Undefined => return Expr::Undefined,
+            Expr::Infinity => {
+                if is_max {
+                    return Expr::Infinity;
+                }
+                // min(∞, rest) = rest; just skip.
+            }
+            Expr::Num(v) => {
+                best_const = Some(match best_const {
+                    None => v,
+                    Some(b) if is_max => b.max(v),
+                    Some(b) => b.min(v),
+                });
+            }
+            Expr::Max(inner) if is_max => stack.extend(inner),
+            Expr::Min(inner) if !is_max => stack.extend(inner),
+            other => items.push(other),
+        }
+    }
+    if let Some(c) = best_const {
+        items.push(Expr::Num(c));
+    }
+    items.sort_by_key(sort_key);
+    items.dedup_by(|a, b| sort_key(a) == sort_key(b));
+    match items.len() {
+        0 => Expr::Num(0.0),
+        1 => items.pop().expect("nonempty"),
+        _ if is_max => Expr::Max(items),
+        _ => Expr::Min(items),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Polynomial helpers
+// ---------------------------------------------------------------------------
+
+/// A polynomial view of an expression in a single variable: coefficient of
+/// degree `i` is `coeffs[i]` (each coefficient itself an [`Expr`] free of the
+/// variable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    /// Coefficients by ascending degree.
+    pub coeffs: Vec<Expr>,
+}
+
+impl Polynomial {
+    /// Degree of the polynomial (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// The coefficient of degree `d` (0 if absent).
+    pub fn coeff(&self, d: usize) -> Expr {
+        self.coeffs.get(d).cloned().unwrap_or(Expr::Num(0.0))
+    }
+
+    /// Rebuilds the expression `Σ coeffs[i] * var^i`.
+    pub fn to_expr(&self, var: Symbol) -> Expr {
+        let terms: Vec<Expr> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                Expr::Mul(vec![
+                    c.clone(),
+                    Expr::Pow(Box::new(Expr::Var(var)), Box::new(Expr::Num(i as f64))),
+                ])
+            })
+            .collect();
+        Expr::Add(terms).simplify()
+    }
+}
+
+/// Attempts to view `e` as a polynomial in `var` with coefficients free of
+/// `var`. Returns `None` if `e` is not polynomial in `var` (e.g. contains
+/// `var` inside a call, exponent, log, division, max or min).
+pub fn as_polynomial(e: &Expr, var: Symbol) -> Option<Polynomial> {
+    fn go(e: &Expr, var: Symbol) -> Option<Vec<Expr>> {
+        match e {
+            Expr::Var(s) if *s == var => Some(vec![Expr::Num(0.0), Expr::Num(1.0)]),
+            Expr::Num(_) | Expr::Var(_) => Some(vec![e.clone()]),
+            Expr::Add(xs) => {
+                let mut acc: Vec<Expr> = vec![];
+                for x in xs {
+                    let p = go(x, var)?;
+                    if p.len() > acc.len() {
+                        acc.resize(p.len(), Expr::Num(0.0));
+                    }
+                    for (i, c) in p.into_iter().enumerate() {
+                        acc[i] = Expr::add(acc[i].clone(), c);
+                    }
+                }
+                Some(acc)
+            }
+            Expr::Mul(xs) => {
+                let mut acc: Vec<Expr> = vec![Expr::Num(1.0)];
+                for x in xs {
+                    let p = go(x, var)?;
+                    let mut next = vec![Expr::Num(0.0); acc.len() + p.len() - 1];
+                    for (i, a) in acc.iter().enumerate() {
+                        for (j, b) in p.iter().enumerate() {
+                            next[i + j] =
+                                Expr::add(next[i + j].clone(), Expr::mul(a.clone(), b.clone()));
+                        }
+                    }
+                    acc = next;
+                }
+                Some(acc)
+            }
+            Expr::Pow(base, exp) => {
+                let exp_val = match exp.as_ref() {
+                    Expr::Num(v) if *v >= 0.0 && v.fract() == 0.0 => *v as usize,
+                    _ => {
+                        // Exponent is not a small literal: only allowed if the
+                        // whole subexpression is free of `var`.
+                        return if e.variables().contains(&var) {
+                            None
+                        } else {
+                            Some(vec![e.clone()])
+                        };
+                    }
+                };
+                let base_p = go(base, var)?;
+                let mut acc = vec![Expr::Num(1.0)];
+                for _ in 0..exp_val {
+                    let mut next = vec![Expr::Num(0.0); acc.len() + base_p.len() - 1];
+                    for (i, a) in acc.iter().enumerate() {
+                        for (j, b) in base_p.iter().enumerate() {
+                            next[i + j] =
+                                Expr::add(next[i + j].clone(), Expr::mul(a.clone(), b.clone()));
+                        }
+                    }
+                    acc = next;
+                }
+                Some(acc)
+            }
+            // Anything else is allowed only if it does not mention `var`.
+            other => {
+                if other.variables().contains(&var) || matches!(other, Expr::Undefined) {
+                    None
+                } else {
+                    Some(vec![other.clone()])
+                }
+            }
+        }
+    }
+    let coeffs = go(&e.clone().simplify(), var)?;
+    let mut coeffs: Vec<Expr> = coeffs.into_iter().map(Expr::simplify).collect();
+    while coeffs.len() > 1 && is_zero(coeffs.last().expect("nonempty")) {
+        coeffs.pop();
+    }
+    Some(Polynomial { coeffs })
+}
+
+// ---------------------------------------------------------------------------
+// Display
+// ---------------------------------------------------------------------------
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f, 0)
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+    // precedence: 0 add, 1 mul, 2 pow/atom
+    match e {
+        Expr::Num(v) => {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                write!(f, "{}", *v as i64)
+            } else {
+                write!(f, "{v}")
+            }
+        }
+        Expr::Var(s) => write!(f, "{s}"),
+        Expr::Infinity => write!(f, "inf"),
+        Expr::Undefined => write!(f, "undefined"),
+        Expr::Add(xs) => {
+            let open = parent_prec > 0;
+            if open {
+                write!(f, "(")?;
+            }
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    // Render negative-coefficient terms with a minus sign.
+                    let (coeff, _) = split_coefficient(x.clone());
+                    if coeff < 0.0 {
+                        write!(f, " - ")?;
+                        let negated = Expr::Mul(vec![Expr::Num(-1.0), x.clone()]).simplify();
+                        fmt_expr(&negated, f, 1)?;
+                        continue;
+                    }
+                    write!(f, " + ")?;
+                }
+                fmt_expr(x, f, 1)?;
+            }
+            if open {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Mul(xs) => {
+            let open = parent_prec > 1;
+            if open {
+                write!(f, "(")?;
+            }
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "*")?;
+                }
+                fmt_expr(x, f, 2)?;
+            }
+            if open {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Expr::Pow(a, b) => {
+            fmt_expr(a, f, 2)?;
+            write!(f, "^")?;
+            fmt_expr(b, f, 2)
+        }
+        Expr::Div(a, b) => {
+            fmt_expr(a, f, 2)?;
+            write!(f, "/")?;
+            fmt_expr(b, f, 2)
+        }
+        Expr::Max(xs) | Expr::Min(xs) => {
+            write!(f, "{}(", if matches!(e, Expr::Max(_)) { "max" } else { "min" })?;
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(x, f, 0)?;
+            }
+            write!(f, ")")
+        }
+        Expr::Log2(a) => {
+            write!(f, "log2(")?;
+            fmt_expr(a, f, 0)?;
+            write!(f, ")")
+        }
+        Expr::Call(r, args) => {
+            write!(f, "{r}(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                fmt_expr(a, f, 0)?;
+            }
+            write!(f, ")")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n() -> Expr {
+        Expr::var("n")
+    }
+
+    #[test]
+    fn constant_folding() {
+        let e = Expr::add(Expr::num(2.0), Expr::num(3.0)).simplify();
+        assert_eq!(e, Expr::Num(5.0));
+        let e = Expr::mul(Expr::num(2.0), Expr::num(3.0)).simplify();
+        assert_eq!(e, Expr::Num(6.0));
+        let e = Expr::sub(Expr::num(2.0), Expr::num(3.0)).simplify();
+        assert_eq!(e, Expr::Num(-1.0));
+        let e = Expr::div(Expr::num(3.0), Expr::num(2.0)).simplify();
+        assert_eq!(e, Expr::Num(1.5));
+        let e = Expr::pow(Expr::num(2.0), Expr::num(10.0)).simplify();
+        assert_eq!(e, Expr::Num(1024.0));
+    }
+
+    #[test]
+    fn additive_identities() {
+        let e = Expr::add(n(), Expr::num(0.0)).simplify();
+        assert_eq!(e, n());
+        let e = Expr::mul(n(), Expr::num(1.0)).simplify();
+        assert_eq!(e, n());
+        let e = Expr::mul(n(), Expr::num(0.0)).simplify();
+        assert_eq!(e, Expr::Num(0.0));
+    }
+
+    #[test]
+    fn like_terms_combine() {
+        // n + n + 1 + 2 => 2n + 3
+        let e = Expr::sum(vec![n(), n(), Expr::num(1.0), Expr::num(2.0)]).simplify();
+        assert_eq!(e.to_string(), "2*n + 3");
+        // 3n - n => 2n
+        let e = Expr::sub(Expr::mul(Expr::num(3.0), n()), n()).simplify();
+        assert_eq!(e.to_string(), "2*n");
+        // n - n => 0
+        let e = Expr::sub(n(), n()).simplify();
+        assert_eq!(e, Expr::Num(0.0));
+    }
+
+    #[test]
+    fn products_combine_into_powers() {
+        let e = Expr::mul(n(), n()).simplify();
+        assert_eq!(e.to_string(), "n^2");
+        let e = Expr::product(vec![n(), n(), n(), Expr::num(2.0)]).simplify();
+        assert_eq!(e.to_string(), "2*n^3");
+    }
+
+    #[test]
+    fn nested_sums_flatten() {
+        let e = Expr::add(Expr::add(n(), Expr::num(1.0)), Expr::add(n(), Expr::num(2.0))).simplify();
+        assert_eq!(e.to_string(), "2*n + 3");
+    }
+
+    #[test]
+    fn undefined_propagates() {
+        let e = Expr::add(n(), Expr::Undefined).simplify();
+        assert_eq!(e, Expr::Undefined);
+        let e = Expr::mul(Expr::num(0.0), Expr::Undefined).simplify();
+        assert_eq!(e, Expr::Undefined);
+        assert!(Expr::max(n(), Expr::Undefined).is_undefined());
+    }
+
+    #[test]
+    fn infinity_propagates() {
+        let e = Expr::add(n(), Expr::Infinity).simplify();
+        assert_eq!(e, Expr::Infinity);
+        let e = Expr::max(n(), Expr::Infinity).simplify();
+        assert_eq!(e, Expr::Infinity);
+        assert_eq!(Expr::Infinity.eval(&BTreeMap::new()), Some(f64::INFINITY));
+        // min(inf, n) drops the infinity.
+        let e = Expr::min(Expr::Infinity, n()).simplify();
+        assert_eq!(e, n());
+    }
+
+    #[test]
+    fn evaluation() {
+        // 0.5 n^2 + 1.5 n + 1 at n = 10 => 66
+        let e = Expr::sum(vec![
+            Expr::mul(Expr::num(0.5), Expr::pow(n(), Expr::num(2.0))),
+            Expr::mul(Expr::num(1.5), n()),
+            Expr::num(1.0),
+        ]);
+        assert_eq!(e.eval_with(&[("n", 10.0)]), Some(66.0));
+        assert_eq!(e.eval_with(&[]), None);
+    }
+
+    #[test]
+    fn substitution_of_variables() {
+        let e = Expr::add(n(), Expr::var("m"));
+        let out = e.subst_var(Symbol::intern("m"), &Expr::num(4.0)).simplify();
+        assert_eq!(out.to_string(), "n + 4");
+        // Substituting n := n - 1 in n^2
+        let e = Expr::pow(n(), Expr::num(2.0));
+        let out = e
+            .subst_var(Symbol::intern("n"), &Expr::sub(n(), Expr::num(1.0)))
+            .simplify();
+        assert_eq!(out.eval_with(&[("n", 5.0)]), Some(16.0));
+    }
+
+    #[test]
+    fn substitution_of_calls() {
+        let p = PredId::parse("append", 3);
+        let psi = FnRef::OutputSize(p, 2);
+        // psi(x, y) gets replaced by x + y.
+        let e = Expr::call(psi, vec![Expr::var("a"), Expr::var("b")]);
+        let out = e
+            .subst_calls(&|f, args| {
+                (f == psi).then(|| Expr::add(args[0].clone(), args[1].clone()))
+            })
+            .simplify();
+        assert_eq!(out.to_string(), "a + b");
+        // Untouched calls stay.
+        let other = FnRef::Cost(p);
+        let e = Expr::call(other, vec![Expr::var("a")]);
+        let out = e.subst_calls(&|f, _| (f == psi).then(|| Expr::num(0.0)));
+        assert!(out.contains_call(other));
+    }
+
+    #[test]
+    fn variables_and_calls_are_collected() {
+        let p = PredId::parse("nrev", 2);
+        let e = Expr::add(
+            Expr::call(FnRef::Cost(p), vec![Expr::var("x")]),
+            Expr::mul(Expr::var("y"), Expr::var("x")),
+        );
+        let vars: Vec<&str> = e.variables().into_iter().map(|s| s.as_str()).collect();
+        assert_eq!(vars, vec!["x", "y"]);
+        assert!(e.contains_call(FnRef::Cost(p)));
+        assert!(!e.contains_call(FnRef::OutputSize(p, 1)));
+    }
+
+    #[test]
+    fn max_min_simplification() {
+        let e = Expr::max_of(vec![Expr::num(3.0), Expr::num(7.0), Expr::num(5.0)]).simplify();
+        assert_eq!(e, Expr::Num(7.0));
+        let e = Expr::max(n(), n()).simplify();
+        assert_eq!(e, n());
+        let e = Expr::min(Expr::num(3.0), Expr::num(7.0)).simplify();
+        assert_eq!(e, Expr::Num(3.0));
+        let e = Expr::max(n(), Expr::num(2.0)).simplify();
+        assert_eq!(e.eval_with(&[("n", 1.0)]), Some(2.0));
+        assert_eq!(e.eval_with(&[("n", 9.0)]), Some(9.0));
+    }
+
+    #[test]
+    fn log_simplification() {
+        assert_eq!(Expr::log2(Expr::num(8.0)).simplify(), Expr::Num(3.0));
+        // log2 clamps below at 1.
+        assert_eq!(Expr::log2(Expr::num(0.0)).simplify(), Expr::Num(0.0));
+        let e = Expr::log2(n()).simplify();
+        assert_eq!(e.eval_with(&[("n", 16.0)]), Some(4.0));
+    }
+
+    #[test]
+    fn polynomial_extraction() {
+        // 0.5 n^2 + 1.5 n + 1
+        let e = Expr::sum(vec![
+            Expr::mul(Expr::num(0.5), Expr::mul(n(), n())),
+            Expr::mul(Expr::num(1.5), n()),
+            Expr::num(1.0),
+        ]);
+        let p = as_polynomial(&e, Symbol::intern("n")).unwrap();
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.coeff(2), Expr::Num(0.5));
+        assert_eq!(p.coeff(1), Expr::Num(1.5));
+        assert_eq!(p.coeff(0), Expr::Num(1.0));
+        // Round trip.
+        assert!(p.to_expr(Symbol::intern("n")).equivalent(&e));
+    }
+
+    #[test]
+    fn polynomial_with_symbolic_coefficients() {
+        // y + x treated as polynomial in x has coefficients [y, 1].
+        let e = Expr::add(Expr::var("y"), Expr::var("x"));
+        let p = as_polynomial(&e, Symbol::intern("x")).unwrap();
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeff(0), Expr::var("y"));
+        assert_eq!(p.coeff(1), Expr::Num(1.0));
+    }
+
+    #[test]
+    fn non_polynomial_is_rejected() {
+        let e = Expr::pow(Expr::num(2.0), n());
+        assert!(as_polynomial(&e, Symbol::intern("n")).is_none());
+        let e = Expr::log2(n());
+        assert!(as_polynomial(&e, Symbol::intern("n")).is_none());
+        // But expressions not mentioning the variable are degree-0.
+        let e = Expr::pow(Expr::num(2.0), Expr::var("m"));
+        let p = as_polynomial(&e, Symbol::intern("n")).unwrap();
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Expr::sum(vec![
+            Expr::mul(Expr::num(0.5), Expr::pow(n(), Expr::num(2.0))),
+            Expr::mul(Expr::num(1.5), n()),
+            Expr::num(1.0),
+        ])
+        .simplify();
+        assert_eq!(e.to_string(), "0.5*n^2 + 1.5*n + 1");
+        let e = Expr::sub(n(), Expr::num(1.0)).simplify();
+        assert_eq!(e.to_string(), "n - 1");
+        let e = Expr::call(FnRef::Cost(PredId::parse("nrev", 2)), vec![n()]);
+        assert_eq!(e.to_string(), "cost_nrev/2(n)");
+    }
+
+    #[test]
+    fn equivalence_is_modulo_simplification() {
+        let a = Expr::add(n(), n());
+        let b = Expr::mul(Expr::num(2.0), n());
+        assert!(a.equivalent(&b));
+        let c = Expr::mul(Expr::num(3.0), n());
+        assert!(!a.equivalent(&c));
+    }
+
+    #[test]
+    fn as_const_detects_constants() {
+        assert_eq!(Expr::add(Expr::num(1.0), Expr::num(2.0)).as_const(), Some(3.0));
+        assert_eq!(n().as_const(), None);
+        assert_eq!(Expr::Infinity.as_const(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn simplify_is_idempotent_on_samples() {
+        let samples = vec![
+            Expr::sum(vec![n(), Expr::mul(Expr::num(2.0), n()), Expr::num(3.0)]),
+            Expr::mul(Expr::add(n(), Expr::num(1.0)), Expr::num(2.0)),
+            Expr::max(Expr::add(n(), Expr::num(1.0)), Expr::num(0.0)),
+            Expr::pow(Expr::add(n(), Expr::num(1.0)), Expr::num(2.0)),
+            Expr::div(n(), Expr::num(4.0)),
+        ];
+        for s in samples {
+            let once = s.clone().simplify();
+            let twice = once.clone().simplify();
+            assert_eq!(once, twice, "simplify not idempotent for {s:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-20.0..20.0f64).prop_map(Expr::Num),
+            Just(Expr::var("x")),
+            Just(Expr::var("y")),
+        ];
+        leaf.prop_recursive(4, 48, 3, |inner| {
+            prop_oneof![
+                prop::collection::vec(inner.clone(), 2..4).prop_map(Expr::Add),
+                prop::collection::vec(inner.clone(), 2..3).prop_map(Expr::Mul),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::max(a, b)),
+                inner.prop_map(|a| Expr::mul(Expr::num(2.0), a)),
+            ]
+        })
+    }
+
+    proptest! {
+        /// Simplification must preserve the value of the expression.
+        #[test]
+        fn simplify_preserves_value(e in arb_expr(), x in -10.0..10.0f64, y in -10.0..10.0f64) {
+            let env: BTreeMap<Symbol, f64> =
+                [(Symbol::intern("x"), x), (Symbol::intern("y"), y)].into_iter().collect();
+            let before = e.eval(&env);
+            let after = e.clone().simplify().eval(&env);
+            match (before, after) {
+                (Some(a), Some(b)) => {
+                    let scale = a.abs().max(b.abs()).max(1.0);
+                    prop_assert!((a - b).abs() <= 1e-6 * scale,
+                        "value changed: {a} vs {b} for {e:?}");
+                }
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+
+        /// Simplification is idempotent.
+        #[test]
+        fn simplify_idempotent(e in arb_expr()) {
+            let once = e.clone().simplify();
+            let twice = once.clone().simplify();
+            prop_assert_eq!(once, twice);
+        }
+
+        /// Variable substitution followed by evaluation equals evaluation with
+        /// the extended environment.
+        #[test]
+        fn substitution_consistent_with_eval(e in arb_expr(), x in -5.0..5.0f64, y in -5.0..5.0f64) {
+            let env: BTreeMap<Symbol, f64> =
+                [(Symbol::intern("x"), x), (Symbol::intern("y"), y)].into_iter().collect();
+            let direct = e.eval(&env);
+            let substituted = e
+                .subst_var(Symbol::intern("x"), &Expr::Num(x))
+                .subst_var(Symbol::intern("y"), &Expr::Num(y))
+                .eval(&BTreeMap::new());
+            match (direct, substituted) {
+                (Some(a), Some(b)) => {
+                    let scale = a.abs().max(b.abs()).max(1.0);
+                    prop_assert!((a - b).abs() <= 1e-6 * scale);
+                }
+                (a, b) => prop_assert_eq!(a.is_some(), b.is_some()),
+            }
+        }
+    }
+}

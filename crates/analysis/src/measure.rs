@@ -1,0 +1,562 @@
+//! Size measures: the paper's `|·|_m` functions, and the derived `size` and
+//! `diff` functions of Section 3.
+//!
+//! A measure maps ground terms to natural numbers (or ⊥ when it does not
+//! apply). For terms containing variables, [`Measure::size`] is defined only
+//! when every grounding gives the same value, and [`Measure::diff`] is defined
+//! only when the size difference between the two terms is the same under
+//! every grounding — exactly the `size`/`diff` functions of the paper.
+//!
+//! The convention used here is `diff(t1, t2) = |θ(t2)| − |θ(t1)|`, so that the
+//! inter-literal relation `size_i = size_j + diff(T_j, T_i)` holds (e.g.
+//! `diff([H|L], L) = −1` gives `body[1] = head[1] − 1` for `nrev`).
+
+use granlog_ir::{Symbol, Term};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A size measure (the paper's `m`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Measure {
+    /// Length of a proper list (`list_length`).
+    ListLength,
+    /// Number of constant and function symbols (`term_size`).
+    TermSize,
+    /// Depth of the term's tree representation (`term_depth`).
+    TermDepth,
+    /// The value of an integer (`int_value`), clamped below at 0 for use as a
+    /// size.
+    IntValue,
+    /// The argument does not carry size information relevant to the analysis.
+    Ignore,
+}
+
+impl Measure {
+    /// Parses a measure name as used in `:- measure p(length, ...)` directives.
+    pub fn from_name(name: &str) -> Option<Measure> {
+        match name {
+            "length" | "list_length" | "list" => Some(Measure::ListLength),
+            "size" | "term_size" => Some(Measure::TermSize),
+            "depth" | "term_depth" => Some(Measure::TermDepth),
+            "int" | "value" | "int_value" | "nat" => Some(Measure::IntValue),
+            "void" | "ignore" | "none" | "_" => Some(Measure::Ignore),
+            _ => None,
+        }
+    }
+
+    /// The measure's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Measure::ListLength => "length",
+            Measure::TermSize => "size",
+            Measure::TermDepth => "depth",
+            Measure::IntValue => "int",
+            Measure::Ignore => "void",
+        }
+    }
+
+    /// `|t|_m` for a ground term: the size of `t` under this measure, or
+    /// `None` (⊥) if the measure does not apply.
+    pub fn ground_size(self, t: &Term) -> Option<i64> {
+        match self {
+            Measure::ListLength => t.list_length().map(|n| n as i64),
+            Measure::TermSize => t.is_ground().then(|| t.term_size() as i64),
+            Measure::TermDepth => t.is_ground().then(|| t.term_depth() as i64),
+            Measure::IntValue => match t {
+                Term::Int(v) => Some((*v).max(0)),
+                _ => None,
+            },
+            Measure::Ignore => Some(0),
+        }
+    }
+
+    /// The paper's `size_m(t)`: defined iff every grounding of `t` has the same
+    /// size under the measure.
+    pub fn size(self, t: &Term) -> Option<i64> {
+        match self {
+            Measure::Ignore => Some(0),
+            Measure::IntValue => match t {
+                Term::Int(v) => Some((*v).max(0)),
+                _ => None,
+            },
+            Measure::ListLength => {
+                // A proper list has a fixed length even if its elements are
+                // variables; a partial list or non-list does not.
+                t.list_length().map(|n| n as i64)
+            }
+            Measure::TermSize | Measure::TermDepth => {
+                if t.is_ground() {
+                    self.ground_size(t)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// The paper's `diff_m(t1, t2) = |θ(t2)| − |θ(t1)|`, when that difference
+    /// is the same for every grounding `θ`.
+    pub fn diff(self, t1: &Term, t2: &Term) -> Option<i64> {
+        if t1 == t2 {
+            return Some(0);
+        }
+        match self {
+            Measure::Ignore => Some(0),
+            Measure::IntValue => match (self.size(t1), self.size(t2)) {
+                (Some(a), Some(b)) => Some(b - a),
+                _ => None,
+            },
+            Measure::ListLength => diff_list_length(t1, t2),
+            Measure::TermSize | Measure::TermDepth => {
+                if t1.is_ground() && t2.is_ground() {
+                    return Some(self.ground_size(t2)? - self.ground_size(t1)?);
+                }
+                match self {
+                    Measure::TermSize => {
+                        diff_structural(t1, t2, |ctx| Some(ctx.symbols as i64))
+                    }
+                    Measure::TermDepth => diff_structural(t1, t2, |ctx| {
+                        // The depth offset is exact only when the occurrence
+                        // path is at least as deep as every sibling branch;
+                        // otherwise ⊥.
+                        if ctx.path_dominates {
+                            Some(ctx.depth as i64)
+                        } else {
+                            None
+                        }
+                    }),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Picks a default measure for a term appearing in an argument position:
+    /// lists get `length`, integers `int`, other compound/atomic terms `size`.
+    pub fn default_for_term(t: &Term) -> Measure {
+        if t.is_nil() || t.is_cons() {
+            Measure::ListLength
+        } else {
+            match t {
+                Term::Int(_) => Measure::IntValue,
+                _ => Measure::TermSize,
+            }
+        }
+    }
+}
+
+impl fmt::Display for Measure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// `diff` for list length: strip list prefixes; defined when the remaining
+/// tails are syntactically equal (so the unknown part cancels) or when both
+/// are proper lists.
+fn diff_list_length(t1: &Term, t2: &Term) -> Option<i64> {
+    fn spine(t: &Term) -> (i64, &Term) {
+        let mut count = 0;
+        let mut cur = t;
+        while let Term::Struct(s, args) = cur {
+            if s.as_str() == "." && args.len() == 2 {
+                count += 1;
+                cur = &args[1];
+            } else {
+                break;
+            }
+        }
+        (count, cur)
+    }
+    let (n1, rest1) = spine(t1);
+    let (n2, rest2) = spine(t2);
+    if rest1 == rest2 {
+        Some(n2 - n1)
+    } else if rest1.is_nil() && rest2.is_nil() {
+        Some(n2 - n1)
+    } else {
+        None
+    }
+}
+
+/// Description of where one term occurs inside another.
+struct Occurrence {
+    /// Number of constant/function symbols in the surrounding context
+    /// (counting the hole as zero symbols).
+    symbols: usize,
+    /// Depth of the hole below the root.
+    depth: usize,
+    /// `true` if along the path to the hole, the hole's subtree is the deepest
+    /// branch at every ancestor (so the depth offset is exact).
+    path_dominates: bool,
+}
+
+/// Structural `diff`: handles (a) both terms ground, (b) one term occurring as
+/// a subterm of the other with an otherwise-ground context. `offset` converts
+/// the occurrence description into a size offset, or `None` if the measure
+/// cannot give an exact difference for this occurrence.
+fn diff_structural(
+    t1: &Term,
+    t2: &Term,
+    offset: impl Fn(&Occurrence) -> Option<i64> + Copy,
+) -> Option<i64> {
+    if let Some(occ) = find_occurrence(t2, t1) {
+        // t1 occurs inside t2: |t2| = |t1| + context ⇒ diff = +offset.
+        return offset(&occ);
+    }
+    if let Some(occ) = find_occurrence(t1, t2) {
+        // t2 occurs inside t1: diff = −offset.
+        return offset(&occ).map(|d| -d);
+    }
+    None
+}
+
+/// Finds an occurrence of `needle` inside `haystack` such that the rest of
+/// `haystack` (outside the occurrence) is ground, and describes the context.
+fn find_occurrence(haystack: &Term, needle: &Term) -> Option<Occurrence> {
+    if haystack == needle {
+        return Some(Occurrence { symbols: 0, depth: 0, path_dominates: true });
+    }
+    if let Term::Struct(_, args) = haystack {
+        for (i, arg) in args.iter().enumerate() {
+            if let Some(inner) = find_occurrence(arg, needle) {
+                // All sibling arguments must be ground for the context size to
+                // be fixed.
+                let siblings_ground = args
+                    .iter()
+                    .enumerate()
+                    .all(|(j, a)| j == i || a.is_ground());
+                if !siblings_ground {
+                    return None;
+                }
+                let sibling_symbols: usize = args
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| a.term_size())
+                    .sum();
+                let sibling_depth_max = args
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| a.term_depth())
+                    .max()
+                    .unwrap_or(0);
+                // The hole path dominates if the needle side is at least as
+                // deep as every ground sibling (which we can only know when
+                // the needle itself is deeper than the siblings could matter;
+                // we conservatively require siblings to be shallower than the
+                // hole depth contribution — siblings of depth 0 always pass).
+                let path_dominates = inner.path_dominates && sibling_depth_max == 0;
+                return Some(Occurrence {
+                    symbols: inner.symbols + 1 + sibling_symbols,
+                    depth: inner.depth + 1,
+                    path_dominates,
+                });
+            }
+        }
+    }
+    None
+}
+
+/// The per-argument measure assignment of a predicate.
+pub type MeasureVec = Vec<Measure>;
+
+/// Chooses measures for every argument position of every predicate.
+///
+/// Declared `:- measure` directives win; otherwise the measure is guessed from
+/// the terms appearing in that argument position across the predicate's clause
+/// heads, and — for positions whose head arguments are always variables — from
+/// the terms appearing at that position in call sites (e.g. `append`'s second
+/// argument is always a variable in its own clauses, but `nrev` calls it with
+/// the list `[H]`). Lists give `length`, integers `int`; positions with no
+/// evidence default to `size`.
+pub fn assign_measures(program: &granlog_ir::Program) -> BTreeMap<granlog_ir::PredId, MeasureVec> {
+    use granlog_ir::PredId;
+    let mut declared: BTreeMap<PredId, MeasureVec> = BTreeMap::new();
+    let mut guesses: BTreeMap<PredId, Vec<Option<Measure>>> = BTreeMap::new();
+
+    fn merge(slot: &mut Option<Measure>, guess: Measure) {
+        match *slot {
+            None => *slot = Some(guess),
+            Some(prev) if prev == guess => {}
+            // Conflicting evidence (e.g. both `0` and `[H|T]` heads): prefer
+            // the list measure, else the integer measure, else term size.
+            Some(prev) => {
+                *slot = Some(if prev == Measure::ListLength || guess == Measure::ListLength {
+                    Measure::ListLength
+                } else if prev == Measure::IntValue || guess == Measure::IntValue {
+                    Measure::IntValue
+                } else {
+                    Measure::TermSize
+                });
+            }
+        }
+    }
+
+    for predicate in program.predicates() {
+        let pred = predicate.id;
+        if let Some(names) = program.measure_of(pred) {
+            let ms: MeasureVec = names
+                .iter()
+                .map(|s| Measure::from_name(s.as_str()).unwrap_or(Measure::TermSize))
+                .collect();
+            declared.insert(pred, ms);
+            continue;
+        }
+        let slots = guesses.entry(pred).or_insert_with(|| vec![None; pred.arity]);
+        for clause in program.clauses_of(pred) {
+            for (i, arg) in clause.head.args().iter().enumerate() {
+                if let Term::Var(_) = arg {
+                    continue;
+                }
+                merge(&mut slots[i], Measure::default_for_term(arg));
+            }
+        }
+    }
+
+    // Second pass: call-site evidence for undeclared predicates.
+    for clause in program.clauses() {
+        for goal in clause.called_goals() {
+            let Some(pred) = granlog_ir::PredId::of_term(goal) else { continue };
+            let Some(slots) = guesses.get_mut(&pred) else { continue };
+            for (i, arg) in goal.args().iter().enumerate() {
+                if let Term::Var(_) = arg {
+                    continue;
+                }
+                if i < slots.len() {
+                    merge(&mut slots[i], Measure::default_for_term(arg));
+                }
+            }
+        }
+    }
+
+    let mut out = declared;
+    for (pred, slots) in guesses {
+        out.insert(
+            pred,
+            slots.into_iter().map(|m| m.unwrap_or(Measure::TermSize)).collect(),
+        );
+    }
+    out
+}
+
+/// Parses a measure symbol (used when reading `:- measure` directives).
+pub fn measure_from_symbol(s: Symbol) -> Option<Measure> {
+    Measure::from_name(s.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::parser::{parse_program, parse_term};
+    use granlog_ir::PredId;
+
+    fn t(src: &str) -> Term {
+        parse_term(src).unwrap().0
+    }
+
+    #[test]
+    fn ground_sizes() {
+        assert_eq!(Measure::ListLength.ground_size(&t("[a, b]")), Some(2));
+        assert_eq!(Measure::ListLength.ground_size(&t("f(a)")), None);
+        assert_eq!(Measure::TermSize.ground_size(&t("f(a, g(b, c))")), Some(5));
+        assert_eq!(Measure::TermDepth.ground_size(&t("f(a, g(b))")), Some(2));
+        assert_eq!(Measure::IntValue.ground_size(&t("7")), Some(7));
+        assert_eq!(Measure::IntValue.ground_size(&t("-7")), Some(0));
+        assert_eq!(Measure::IntValue.ground_size(&t("a")), None);
+        assert_eq!(Measure::Ignore.ground_size(&t("whatever")), Some(0));
+    }
+
+    #[test]
+    fn size_of_nonground_terms() {
+        // The paper: |[a,b]|_list_length = 2, |f(a)|_list_length = ⊥.
+        assert_eq!(Measure::ListLength.size(&t("[a, b]")), Some(2));
+        assert_eq!(Measure::ListLength.size(&t("f(a)")), None);
+        // A list of variables still has a definite length.
+        assert_eq!(Measure::ListLength.size(&t("[X, Y, Z]")), Some(3));
+        // A partial list does not.
+        assert_eq!(Measure::ListLength.size(&t("[X | T]")), None);
+        // term_size of a non-ground term is ⊥ (it varies with the grounding).
+        assert_eq!(Measure::TermSize.size(&t("f(X)")), None);
+        assert_eq!(Measure::TermSize.size(&t("f(a)")), Some(2));
+        // A bare variable has no intrinsic size.
+        assert_eq!(Measure::ListLength.size(&t("X")), None);
+        assert_eq!(Measure::IntValue.size(&t("X")), None);
+    }
+
+    #[test]
+    fn list_length_diff_examples_from_paper() {
+        // diff_list_length([c|L], [a,b|L]) = 1.
+        // Parse both sides in one term so the variable L is shared.
+        let pair = t("pair([c | L], [a, b | L])");
+        let t1 = &pair.args()[0];
+        let t2 = &pair.args()[1];
+        assert_eq!(Measure::ListLength.diff(t1, t2), Some(1));
+        // diff([H|L], L) = −1 (the nrev head-to-body relation).
+        let pair = t("pair([H | L], L)");
+        assert_eq!(Measure::ListLength.diff(&pair.args()[0], &pair.args()[1]), Some(-1));
+        // Ground lists.
+        assert_eq!(Measure::ListLength.diff(&t("[a]"), &t("[a, b, c]")), Some(2));
+        // Different unknown tails: ⊥.
+        let pair = t("pair([a | L1], [b | L2])");
+        assert_eq!(Measure::ListLength.diff(&pair.args()[0], &pair.args()[1]), None);
+    }
+
+    #[test]
+    fn term_size_diff() {
+        // t1 inside t2 with ground context: f(a, X) vs X → diff(X, f(a,X)) = +2.
+        let pair = t("pair(X, f(a, X))");
+        assert_eq!(Measure::TermSize.diff(&pair.args()[0], &pair.args()[1]), Some(2));
+        // And the reverse direction is negative.
+        assert_eq!(Measure::TermSize.diff(&pair.args()[1], &pair.args()[0]), Some(-2));
+        // Non-ground sibling context: ⊥.
+        let pair = t("pair(X, f(Y, X))");
+        assert_eq!(Measure::TermSize.diff(&pair.args()[0], &pair.args()[1]), None);
+        // Ground terms.
+        assert_eq!(Measure::TermSize.diff(&t("f(a)"), &t("g(a, b, c)")), Some(2));
+    }
+
+    #[test]
+    fn term_depth_diff() {
+        // The paper: diff_term_depth(f(a, g(X)), X) is defined (magnitude 2);
+        // with our orientation |X| − |f(a,g(X))| = −2.
+        let pair = t("pair(f(a, g(X)), X)");
+        assert_eq!(Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]), Some(-2));
+        // diff_term_depth(f(X, Y), X) = ⊥ (Y's depth unknown).
+        let pair = t("pair(f(X, Y), X)");
+        assert_eq!(Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]), None);
+        // Sibling with nonzero depth makes the offset inexact: ⊥.
+        let pair = t("pair(f(g(a), X), X)");
+        assert_eq!(Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]), None);
+    }
+
+    #[test]
+    fn int_value_diff() {
+        assert_eq!(Measure::IntValue.diff(&t("3"), &t("7")), Some(4));
+        assert_eq!(Measure::IntValue.diff(&t("7"), &t("3")), Some(-4));
+        assert_eq!(Measure::IntValue.diff(&t("X"), &t("3")), None);
+        let pair = t("pair(X, X)");
+        assert_eq!(Measure::IntValue.diff(&pair.args()[0], &pair.args()[1]), Some(0));
+    }
+
+    #[test]
+    fn measure_names_round_trip() {
+        for m in [
+            Measure::ListLength,
+            Measure::TermSize,
+            Measure::TermDepth,
+            Measure::IntValue,
+            Measure::Ignore,
+        ] {
+            assert_eq!(Measure::from_name(m.name()), Some(m));
+        }
+        assert_eq!(Measure::from_name("list_length"), Some(Measure::ListLength));
+        assert_eq!(Measure::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn default_measures_from_head_terms() {
+        let p = parse_program(
+            "app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R). fib(0, 0). fib(1, 1).",
+        )
+        .unwrap();
+        let measures = assign_measures(&p);
+        let app = &measures[&PredId::parse("app", 3)];
+        assert_eq!(app[0], Measure::ListLength);
+        assert_eq!(app[2], Measure::ListLength);
+        let fib = &measures[&PredId::parse("fib", 2)];
+        assert_eq!(fib[0], Measure::IntValue);
+        assert_eq!(fib[1], Measure::IntValue);
+    }
+
+    #[test]
+    fn declared_measures_override_guesses() {
+        let p = parse_program(
+            ":- measure weird(depth, void). weird(f(X), [a]).",
+        )
+        .unwrap();
+        let measures = assign_measures(&p);
+        let w = &measures[&PredId::parse("weird", 2)];
+        assert_eq!(w[0], Measure::TermDepth);
+        assert_eq!(w[1], Measure::Ignore);
+    }
+
+    #[test]
+    fn mixed_evidence_prefers_list_then_int() {
+        // First argument is sometimes a list, sometimes an atom: prefer length.
+        let p = parse_program("m([], a). m(x, b).").unwrap();
+        let measures = assign_measures(&p);
+        assert_eq!(measures[&PredId::parse("m", 2)][0], Measure::ListLength);
+        // Integer vs atom: prefer int.
+        let p = parse_program("k(0). k(stop).").unwrap();
+        let measures = assign_measures(&p);
+        assert_eq!(measures[&PredId::parse("k", 1)][0], Measure::IntValue);
+    }
+
+    #[test]
+    fn variable_only_positions_default_to_term_size() {
+        let p = parse_program("id(X, X).").unwrap();
+        let measures = assign_measures(&p);
+        assert_eq!(measures[&PredId::parse("id", 2)][0], Measure::TermSize);
+    }
+
+    #[test]
+    fn diff_of_identical_terms_is_zero_for_all_measures() {
+        for m in [
+            Measure::ListLength,
+            Measure::TermSize,
+            Measure::TermDepth,
+            Measure::IntValue,
+            Measure::Ignore,
+        ] {
+            let pair = t("pair(f(X, [a|T]), f(X, [a|T]))");
+            assert_eq!(m.diff(&pair.args()[0], &pair.args()[1]), Some(0), "measure {m}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ground_list(max_len: usize) -> impl Strategy<Value = Term> {
+        prop::collection::vec(0i64..50, 0..max_len).prop_map(|xs| {
+            Term::list(xs.into_iter().map(Term::int))
+        })
+    }
+
+    proptest! {
+        /// For ground lists, size agrees with the actual length and diff with
+        /// the length difference.
+        #[test]
+        fn list_length_size_and_diff_consistent(a in arb_ground_list(12), b in arb_ground_list(12)) {
+            let la = Measure::ListLength.size(&a).unwrap();
+            let lb = Measure::ListLength.size(&b).unwrap();
+            prop_assert_eq!(la as usize, a.as_list().unwrap().len());
+            prop_assert_eq!(Measure::ListLength.diff(&a, &b), Some(lb - la));
+        }
+
+        /// diff(t, t) = 0 and diff is antisymmetric when defined.
+        #[test]
+        fn diff_antisymmetric(a in arb_ground_list(8), b in arb_ground_list(8)) {
+            for m in [Measure::ListLength, Measure::TermSize] {
+                prop_assert_eq!(m.diff(&a, &a), Some(0));
+                let ab = m.diff(&a, &b);
+                let ba = m.diff(&b, &a);
+                if let (Some(x), Some(y)) = (ab, ba) {
+                    prop_assert_eq!(x, -y);
+                }
+            }
+        }
+
+        /// Consing onto a list increases list_length by one and term_size by two.
+        #[test]
+        fn cons_increases_sizes(a in arb_ground_list(8), x in 0i64..10) {
+            let consed = Term::cons(Term::int(x), a.clone());
+            prop_assert_eq!(Measure::ListLength.diff(&a, &consed), Some(1));
+            prop_assert_eq!(Measure::TermSize.diff(&a, &consed), Some(2));
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The whole-program analysis driver.
+//!
+//! [`analyze_program`] runs the full pipeline of the paper over a program:
+//!
+//! 1. determine modes and size measures;
+//! 2. build the call graph and process its SCCs in topological (callee-first)
+//!    order;
+//! 3. for each SCC, derive and solve the argument-size difference equations
+//!    (Section 3 + 5), then — with the solved Ψ functions available — derive
+//!    and solve the cost difference equations (Section 4 + 5);
+//! 4. record, per predicate, the closed-form output sizes, the closed-form
+//!    cost upper bound, and enough metadata (parameters, measures, input
+//!    positions) for threshold computation and program annotation.
+
+use crate::cost::{clause_cost, combine_mode, CostContext, CostDb, CostMetric, PredCost};
+use crate::ddg::Ddg;
+use crate::diffeq::{DiffEq, DiffEqSystem};
+use crate::expr::{Expr, FnRef};
+use crate::measure::{assign_measures, MeasureVec};
+use crate::sizerel::{analyze_clause, param_symbol, PredSizes, SizeContext, SizeDb};
+use crate::solver::{solve_system, SchemaKind};
+use crate::threshold::{driving_parameter, threshold, Threshold, DEFAULT_SEARCH_CAP};
+use granlog_ir::{CallGraph, ModeDecl, PredId, Program, RecursionClass, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Options controlling the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AnalysisOptions {
+    /// Cost metric (resolutions by default, as in the paper's examples).
+    pub metric: CostMetric,
+    /// Cap for threshold searches.
+    pub threshold_cap: u64,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions { metric: CostMetric::Resolutions, threshold_cap: DEFAULT_SEARCH_CAP }
+    }
+}
+
+/// Per-predicate analysis results.
+#[derive(Debug, Clone)]
+pub struct PredAnalysis {
+    /// The predicate.
+    pub pred: PredId,
+    /// Its recursion class in the call graph.
+    pub recursion: RecursionClass,
+    /// Declared/inferred input argument positions (0-based, ascending).
+    pub input_positions: Vec<usize>,
+    /// Size parameter symbols, one per input position (same order).
+    pub params: Vec<Symbol>,
+    /// The measure used for each argument position.
+    pub measures: MeasureVec,
+    /// Closed-form upper bound on each output argument's size, in terms of
+    /// `params`.
+    pub output_sizes: BTreeMap<usize, Expr>,
+    /// The solver schema used for each output size.
+    pub size_schemas: BTreeMap<usize, SchemaKind>,
+    /// Closed-form upper bound on the predicate's cost, in terms of `params`.
+    pub cost: Expr,
+    /// The solver schema used for the cost.
+    pub cost_schema: SchemaKind,
+}
+
+impl PredAnalysis {
+    /// Evaluates the cost bound at concrete input sizes (one per input
+    /// position, in order). Returns `None` if the cost cannot be evaluated.
+    pub fn cost_at(&self, sizes: &[f64]) -> Option<f64> {
+        if sizes.len() != self.params.len() {
+            return None;
+        }
+        let env: BTreeMap<Symbol, f64> = self
+            .params
+            .iter()
+            .copied()
+            .zip(sizes.iter().copied())
+            .collect();
+        self.cost.eval(&env)
+    }
+
+    /// The input position whose size the runtime grain test should measure
+    /// (the one driving the cost), together with its parameter symbol.
+    pub fn driving_input(&self) -> Option<(usize, Symbol)> {
+        let param = driving_parameter(&self.cost)?;
+        let idx = self.params.iter().position(|p| *p == param)?;
+        Some((self.input_positions[idx], param))
+    }
+}
+
+/// Whole-program analysis results.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Per-predicate results.
+    pub preds: BTreeMap<PredId, PredAnalysis>,
+    /// The mode table used (declared plus inferred).
+    pub modes: BTreeMap<PredId, ModeDecl>,
+    /// The measure assignment used.
+    pub measures: BTreeMap<PredId, MeasureVec>,
+    /// The cost metric used.
+    pub metric: CostMetric,
+    /// The threshold search cap used.
+    pub threshold_cap: u64,
+}
+
+impl ProgramAnalysis {
+    /// The analysis record for a predicate.
+    pub fn pred(&self, pred: PredId) -> Option<&PredAnalysis> {
+        self.preds.get(&pred)
+    }
+
+    /// The closed-form cost bound of a predicate.
+    pub fn cost_of(&self, pred: PredId) -> Option<&Expr> {
+        self.preds.get(&pred).map(|p| &p.cost)
+    }
+
+    /// The closed-form output-size bound of a predicate's argument position.
+    pub fn output_size_of(&self, pred: PredId, pos: usize) -> Option<&Expr> {
+        self.preds.get(&pred).and_then(|p| p.output_sizes.get(&pos))
+    }
+
+    /// The grain-size threshold of a predicate for a given task-management
+    /// overhead `W` (in the same cost units as the analysis metric).
+    pub fn threshold_for(&self, pred: PredId, overhead: f64) -> Threshold {
+        let Some(info) = self.preds.get(&pred) else {
+            return Threshold::AlwaysParallel;
+        };
+        if info.params.is_empty() {
+            return match info.cost.as_const() {
+                Some(c) if c <= overhead => Threshold::NeverParallel,
+                _ => Threshold::AlwaysParallel,
+            };
+        }
+        let param = driving_parameter(&info.cost).unwrap_or(info.params[0]);
+        threshold(&info.cost, param, overhead, self.threshold_cap)
+    }
+}
+
+/// Runs the complete granularity analysis over a program.
+pub fn analyze_program(program: &Program, options: &AnalysisOptions) -> ProgramAnalysis {
+    let modes = granlog_ir::modes::infer_modes(program);
+    let measures = assign_measures(program);
+    let callgraph = CallGraph::build(program);
+
+    let mut size_db: SizeDb = SizeDb::new();
+    let mut cost_db: CostDb = CostDb::new();
+    let mut preds: BTreeMap<PredId, PredAnalysis> = BTreeMap::new();
+
+    for scc in callgraph.topological_sccs() {
+        let scc_set: BTreeSet<PredId> = scc.members.iter().copied().collect();
+
+        // ------------------------------------------------------------------
+        // Phase 1: argument-size analysis for the SCC.
+        // ------------------------------------------------------------------
+        let mut size_equations: Vec<DiffEq> = Vec::new();
+        let mut pred_meta: BTreeMap<PredId, (Vec<usize>, Vec<Symbol>)> = BTreeMap::new();
+        let scc_size_funcs: BTreeSet<FnRef> = scc_set
+            .iter()
+            .flat_map(|&p| {
+                let decl = granlog_ir::modes::mode_or_default(&modes, p).into_owned();
+                decl.output_positions()
+                    .into_iter()
+                    .map(move |k| FnRef::OutputSize(p, k))
+            })
+            .collect();
+
+        for &pred in &scc_set {
+            let decl = granlog_ir::modes::mode_or_default(&modes, pred).into_owned();
+            let input_positions = decl.input_positions();
+            let params: Vec<Symbol> = input_positions
+                .iter()
+                .map(|&i| param_symbol(&input_positions, i))
+                .collect();
+            pred_meta.insert(pred, (input_positions.clone(), params.clone()));
+
+            let mut per_output: BTreeMap<usize, Vec<(Vec<Option<i64>>, Expr)>> = BTreeMap::new();
+            for out_pos in decl.output_positions() {
+                per_output.insert(out_pos, Vec::new());
+            }
+            for clause in program.clauses_of(pred) {
+                let ddg = Ddg::build(clause, &decl);
+                let ctx = SizeContext {
+                    modes: &modes,
+                    measures: &measures,
+                    size_db: &size_db,
+                    scc: &scc_set,
+                };
+                let analysis = analyze_clause(&ddg, &ctx);
+                let when: Vec<Option<i64>> = input_positions
+                    .iter()
+                    .map(|i| analysis.head_input_constants.get(i).copied().flatten())
+                    .collect();
+                for out_pos in decl.output_positions() {
+                    let value = analysis
+                        .head_output_sizes
+                        .get(&out_pos)
+                        .cloned()
+                        .unwrap_or(Expr::Undefined);
+                    per_output
+                        .get_mut(&out_pos)
+                        .expect("initialised above")
+                        .push((when.clone(), value));
+                }
+            }
+            let combine = combine_mode(program, pred, &decl);
+            for (out_pos, clauses) in per_output {
+                size_equations.push(DiffEq::assemble(
+                    FnRef::OutputSize(pred, out_pos),
+                    params.clone(),
+                    clauses,
+                    &scc_size_funcs,
+                    combine,
+                ));
+            }
+        }
+
+        let size_solutions = solve_system(&DiffEqSystem::new(size_equations));
+        let mut size_schemas: BTreeMap<PredId, BTreeMap<usize, SchemaKind>> = BTreeMap::new();
+        for &pred in &scc_set {
+            let (input_positions, params) = pred_meta[&pred].clone();
+            let mut outputs = BTreeMap::new();
+            let mut schemas = BTreeMap::new();
+            for sol in &size_solutions {
+                if let FnRef::OutputSize(p, k) = sol.func {
+                    if p == pred {
+                        outputs.insert(k, sol.closed_form.clone());
+                        schemas.insert(k, sol.schema);
+                    }
+                }
+            }
+            size_db.insert(pred, PredSizes { input_positions, params, outputs });
+            size_schemas.insert(pred, schemas);
+        }
+
+        // ------------------------------------------------------------------
+        // Phase 2: cost analysis for the SCC (with Ψ of the SCC now solved).
+        // ------------------------------------------------------------------
+        let empty_scc: BTreeSet<PredId> = BTreeSet::new();
+        let scc_cost_funcs: BTreeSet<FnRef> =
+            scc_set.iter().map(|&p| FnRef::Cost(p)).collect();
+        let mut cost_equations: Vec<DiffEq> = Vec::new();
+        for &pred in &scc_set {
+            let decl = granlog_ir::modes::mode_or_default(&modes, pred).into_owned();
+            let (input_positions, params) = pred_meta[&pred].clone();
+            let mut clause_contribs: Vec<(Vec<Option<i64>>, Expr)> = Vec::new();
+            for clause in program.clauses_of(pred) {
+                let ddg = Ddg::build(clause, &decl);
+                let size_ctx = SizeContext {
+                    modes: &modes,
+                    measures: &measures,
+                    size_db: &size_db,
+                    scc: &empty_scc,
+                };
+                let analysis = analyze_clause(&ddg, &size_ctx);
+                let cost_ctx = CostContext {
+                    modes: &modes,
+                    cost_db: &cost_db,
+                    scc: &scc_set,
+                    metric: options.metric,
+                };
+                let cost = clause_cost(clause, &analysis, &cost_ctx);
+                let when: Vec<Option<i64>> = input_positions
+                    .iter()
+                    .map(|i| analysis.head_input_constants.get(i).copied().flatten())
+                    .collect();
+                clause_contribs.push((when, cost));
+            }
+            let combine = combine_mode(program, pred, &decl);
+            cost_equations.push(DiffEq::assemble(
+                FnRef::Cost(pred),
+                params,
+                clause_contribs,
+                &scc_cost_funcs,
+                combine,
+            ));
+        }
+        let cost_solutions = solve_system(&DiffEqSystem::new(cost_equations));
+
+        // ------------------------------------------------------------------
+        // Record per-predicate results.
+        // ------------------------------------------------------------------
+        for &pred in &scc_set {
+            let (input_positions, params) = pred_meta[&pred].clone();
+            let cost_sol = cost_solutions
+                .iter()
+                .find(|s| s.func == FnRef::Cost(pred))
+                .expect("every SCC member has a cost equation");
+            cost_db.insert(
+                pred,
+                PredCost {
+                    input_positions: input_positions.clone(),
+                    params: params.clone(),
+                    cost: cost_sol.closed_form.clone(),
+                },
+            );
+            let sizes = size_db.get(&pred).expect("inserted in phase 1");
+            preds.insert(
+                pred,
+                PredAnalysis {
+                    pred,
+                    recursion: callgraph.classify_predicate(pred),
+                    input_positions,
+                    params,
+                    measures: measures.get(&pred).cloned().unwrap_or_default(),
+                    output_sizes: sizes.outputs.clone(),
+                    size_schemas: size_schemas.remove(&pred).unwrap_or_default(),
+                    cost: cost_sol.closed_form.clone(),
+                    cost_schema: cost_sol.schema,
+                },
+            );
+        }
+    }
+
+    ProgramAnalysis {
+        preds,
+        modes,
+        measures,
+        metric: options.metric,
+        threshold_cap: options.threshold_cap,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::parser::parse_program;
+
+    const NREV: &str = r#"
+        :- mode nrev(+, -).
+        :- mode append(+, +, -).
+        nrev([], []).
+        nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+        append([], L, L).
+        append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+    "#;
+
+    fn analyze(src: &str) -> ProgramAnalysis {
+        let program = parse_program(src).unwrap();
+        analyze_program(&program, &AnalysisOptions::default())
+    }
+
+    #[test]
+    fn appendix_nrev_closed_forms() {
+        let a = analyze(NREV);
+        let nrev = PredId::parse("nrev", 2);
+        let append = PredId::parse("append", 3);
+        // Ψ_append(x, y) = x + y.
+        assert_eq!(a.output_size_of(append, 2).unwrap().to_string(), "n1 + n2");
+        // Cost_append(x, y) = x + 1.
+        assert_eq!(a.cost_of(append).unwrap().to_string(), "n1 + 1");
+        // Ψ_nrev(n) = n.
+        assert_eq!(a.output_size_of(nrev, 1).unwrap().to_string(), "n");
+        // Cost_nrev(n) = 0.5n² + 1.5n + 1.
+        assert_eq!(a.cost_of(nrev).unwrap().to_string(), "0.5*n^2 + 1.5*n + 1");
+        // Evaluate: nrev of a 30-element list costs 496 resolutions.
+        assert_eq!(a.pred(nrev).unwrap().cost_at(&[30.0]), Some(496.0));
+    }
+
+    #[test]
+    fn nrev_thresholds() {
+        let a = analyze(NREV);
+        let nrev = PredId::parse("nrev", 2);
+        // With overhead 48: 0.5n² + 1.5n + 1 > 48 first at n = 9.
+        assert_eq!(a.threshold_for(nrev, 48.0), Threshold::SizeAtLeast(9));
+        // With an overhead below even the empty call's cost, always parallel.
+        assert_eq!(a.threshold_for(nrev, 0.5), Threshold::AlwaysParallel);
+    }
+
+    #[test]
+    fn fib_cost_is_exponential_bound() {
+        let src = r#"
+            :- mode fib(+, -).
+            fib(0, 0).
+            fib(1, 1).
+            fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                         fib(M1, N1), fib(M2, N2), N is N1 + N2.
+        "#;
+        let a = analyze(src);
+        let fib = PredId::parse("fib", 2);
+        let info = a.pred(fib).unwrap();
+        assert_eq!(info.cost_schema, SchemaKind::GeometricConstant);
+        // The bound dominates the true resolution count (which is O(φ^n)).
+        let bound15 = info.cost_at(&[15.0]).unwrap();
+        assert!(bound15 >= 1973.0, "bound {bound15} must dominate the true cost");
+        // Threshold exists and is small for any realistic overhead.
+        match a.threshold_for(fib, 100.0) {
+            Threshold::SizeAtLeast(k) => assert!(k <= 10, "k = {k}"),
+            other => panic!("unexpected threshold {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonrecursive_predicates_get_constant_costs() {
+        let src = r#"
+            :- mode top(+).
+            top(X) :- mid(X), mid(X).
+            mid(X) :- leaf(X).
+            leaf(_).
+        "#;
+        let a = analyze(src);
+        assert_eq!(a.cost_of(PredId::parse("leaf", 1)).unwrap().as_const(), Some(1.0));
+        assert_eq!(a.cost_of(PredId::parse("mid", 1)).unwrap().as_const(), Some(2.0));
+        assert_eq!(a.cost_of(PredId::parse("top", 1)).unwrap().as_const(), Some(5.0));
+        assert_eq!(
+            a.pred(PredId::parse("top", 1)).unwrap().recursion,
+            RecursionClass::NonRecursive
+        );
+        // Constant cost below the overhead: never parallelise.
+        assert_eq!(a.threshold_for(PredId::parse("top", 1), 48.0), Threshold::NeverParallel);
+        assert_eq!(a.threshold_for(PredId::parse("top", 1), 3.0), Threshold::AlwaysParallel);
+    }
+
+    #[test]
+    fn mutual_recursion_is_analysed() {
+        let src = r#"
+            :- mode even(+).
+            :- mode odd(+).
+            even(0).
+            even(N) :- N > 0, N1 is N - 1, odd(N1).
+            odd(1).
+            odd(N) :- N > 1, N1 is N - 1, even(N1).
+        "#;
+        let a = analyze(src);
+        let even = PredId::parse("even", 1);
+        let odd = PredId::parse("odd", 1);
+        assert_eq!(a.pred(even).unwrap().recursion, RecursionClass::MutuallyRecursive);
+        // Costs are finite, linear-ish bounds.
+        let c_even = a.pred(even).unwrap().cost_at(&[20.0]).unwrap();
+        let c_odd = a.pred(odd).unwrap().cost_at(&[20.0]).unwrap();
+        assert!(c_even.is_finite() && c_even >= 21.0, "even bound {c_even}");
+        assert!(c_odd.is_finite() && c_odd >= 20.0, "odd bound {c_odd}");
+        assert!(c_even <= 200.0 && c_odd <= 200.0);
+    }
+
+    #[test]
+    fn unanalysable_predicate_gets_infinite_cost() {
+        // No mode/measure information that relates the recursion to a size.
+        let src = r#"
+            :- mode loop(+).
+            loop(X) :- loop(X).
+        "#;
+        let a = analyze(src);
+        let loop_p = PredId::parse("loop", 1);
+        assert!(a.cost_of(loop_p).unwrap().is_infinite());
+        assert_eq!(a.threshold_for(loop_p, 1e9), Threshold::AlwaysParallel);
+    }
+
+    #[test]
+    fn quicksort_style_program_is_bounded() {
+        let src = r#"
+            :- mode qsort(+, -).
+            :- mode partition(+, +, -, -).
+            :- mode app(+, +, -).
+            qsort([], []).
+            qsort([P|Xs], S) :-
+                partition(Xs, P, Small, Big),
+                qsort(Small, SS), qsort(Big, BS),
+                app(SS, [P|BS], S).
+            partition([], _, [], []).
+            partition([X|Xs], P, [X|S], B) :- X =< P, partition(Xs, P, S, B).
+            partition([X|Xs], P, S, [X|B]) :- X > P, partition(Xs, P, S, B).
+            app([], L, L).
+            app([H|T], L, [H|R]) :- app(T, L, R).
+        "#;
+        let a = analyze(src);
+        let qsort = PredId::parse("qsort", 2);
+        let partition = PredId::parse("partition", 4);
+        // Partition's output lists are bounded by the input length.
+        let psi = a.output_size_of(partition, 2).unwrap();
+        let v = psi.eval_with(&[("n1", 10.0), ("n2", 10.0)]).unwrap();
+        assert!((10.0..=11.0).contains(&v), "|Small| bound {v}");
+        // Partition cost is linear in the list length.
+        let pcost = a.pred(partition).unwrap().cost_at(&[20.0, 5.0]).unwrap();
+        assert!((21.0..=42.0).contains(&pcost), "partition cost {pcost}");
+        // Quicksort's upper bound is finite (exponential in the worst case for
+        // this analysis) and dominates the true cost.
+        let qcost = a.pred(qsort).unwrap().cost_at(&[8.0]).unwrap();
+        assert!(qcost.is_finite());
+        assert!(qcost >= 50.0);
+    }
+
+    #[test]
+    fn driving_input_identifies_the_list_argument() {
+        let a = analyze(NREV);
+        let nrev = PredId::parse("nrev", 2);
+        let (pos, param) = a.pred(nrev).unwrap().driving_input().unwrap();
+        assert_eq!(pos, 0);
+        assert_eq!(param.as_str(), "n");
+        let append = PredId::parse("append", 3);
+        let (pos, param) = a.pred(append).unwrap().driving_input().unwrap();
+        assert_eq!(pos, 0);
+        assert_eq!(param.as_str(), "n1");
+    }
+
+    #[test]
+    fn zero_arity_predicates_do_not_panic() {
+        let src = "main :- helper. helper.";
+        let a = analyze(src);
+        let main = PredId::parse("main", 0);
+        assert_eq!(a.cost_of(main).unwrap().as_const(), Some(2.0));
+        assert_eq!(a.threshold_for(main, 10.0), Threshold::NeverParallel);
+    }
+
+    #[test]
+    fn analysis_covers_every_defined_predicate() {
+        let a = analyze(NREV);
+        assert_eq!(a.preds.len(), 2);
+        for info in a.preds.values() {
+            assert!(!info.params.is_empty());
+            assert!(!info.cost.is_undefined());
+        }
+    }
+}

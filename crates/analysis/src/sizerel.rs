@@ -1,0 +1,788 @@
+//! Argument size relations and their normalization (Section 3).
+//!
+//! For each clause, this module derives, from the data dependency graph and
+//! the `size`/`diff` functions of [`crate::measure`]:
+//!
+//! * the size of every body-literal *input* argument position, expressed in
+//!   terms of the sizes of the head's input argument positions (the paper's
+//!   inter-literal relations, already normalized);
+//! * the size of every body-literal *output* argument position, by applying
+//!   the callee's output-size function Ψ (the intra-literal relations) — kept
+//!   symbolic for recursive literals;
+//! * the size of every head *output* argument position, which for recursive
+//!   clauses yields a difference equation in Ψ of the head predicate.
+//!
+//! The paper presents this as a fixpoint normalization over a set of
+//! equations; because clause bodies execute left to right the same result is
+//! obtained by a single forward pass that substitutes eagerly, which is what
+//! [`analyze_clause`] does. The individual (pre-substitution) relations are
+//! still recorded in [`ClauseSizeAnalysis::relations`] so that examples and
+//! reports can show the normalization steps of the Appendix.
+
+use crate::expr::{Expr, FnRef};
+use crate::measure::{Measure, MeasureVec};
+use crate::ddg::{ArgPos, Ddg, NodeId};
+use granlog_ir::{ModeDecl, PredId, Symbol, Term, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The canonical size-parameter symbol for a head input position.
+///
+/// Predicates with a single input argument use `n`; predicates with several
+/// use `n1`, `n2`, ... (numbered by 1-based argument position).
+pub fn param_symbol(input_positions: &[usize], pos: usize) -> Symbol {
+    if input_positions.len() == 1 {
+        Symbol::intern("n")
+    } else {
+        Symbol::intern(&format!("n{}", pos + 1))
+    }
+}
+
+/// Closed-form output-size information for an already-analysed predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredSizes {
+    /// The predicate's declared input positions (0-based), in order.
+    pub input_positions: Vec<usize>,
+    /// The parameter symbols corresponding to `input_positions`.
+    pub params: Vec<Symbol>,
+    /// Closed-form size of each output position in terms of `params`.
+    /// `Expr::Undefined` when the analysis could not derive a bound.
+    pub outputs: BTreeMap<usize, Expr>,
+}
+
+impl PredSizes {
+    /// Applies the output-size function of `pos` to concrete argument size
+    /// expressions (one per declared input position, in order).
+    pub fn apply(&self, pos: usize, args: &[Expr]) -> Expr {
+        match self.outputs.get(&pos) {
+            None => Expr::Undefined,
+            Some(body) => {
+                if args.len() != self.params.len() {
+                    return Expr::Undefined;
+                }
+                let map: BTreeMap<Symbol, Expr> = self
+                    .params
+                    .iter()
+                    .copied()
+                    .zip(args.iter().cloned())
+                    .collect();
+                body.subst_vars(&map).simplify()
+            }
+        }
+    }
+}
+
+/// A database of solved output-size functions, filled in call-graph
+/// topological order by the pipeline.
+pub type SizeDb = BTreeMap<PredId, PredSizes>;
+
+/// One recorded argument size relation (for reports and the worked examples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizeRelation {
+    /// The argument position whose size the relation defines.
+    pub lhs: ArgPos,
+    /// A human-readable left-hand side (e.g. `body2[1]` or `psi_nrev(head[1])`).
+    pub lhs_text: String,
+    /// The size expression, in terms of head input size parameters.
+    pub rhs: Expr,
+}
+
+/// The result of size analysis on a single clause.
+#[derive(Debug, Clone)]
+pub struct ClauseSizeAnalysis {
+    /// Parameter symbol per head input position.
+    pub params: BTreeMap<usize, Symbol>,
+    /// Ordered declared input positions of the head predicate.
+    pub input_positions: Vec<usize>,
+    /// For each body literal, the size of each of its input positions.
+    pub literal_input_sizes: Vec<BTreeMap<usize, Expr>>,
+    /// For each body literal, the size of each of its output positions.
+    pub literal_output_sizes: Vec<BTreeMap<usize, Expr>>,
+    /// Size of each head output position (the clause's contribution to Ψ of
+    /// the head predicate). For recursive clauses this contains symbolic
+    /// `Call(OutputSize(p, k), ...)` applications: a difference equation.
+    pub head_output_sizes: BTreeMap<usize, Expr>,
+    /// The constant size of each head *input* position's term, when defined
+    /// (used to recognise base cases such as `nrev([], [])` handling size 0).
+    pub head_input_constants: BTreeMap<usize, Option<i64>>,
+    /// The normalized relations, in derivation order.
+    pub relations: Vec<SizeRelation>,
+}
+
+impl ClauseSizeAnalysis {
+    /// The parameter expressions in declared input-position order.
+    pub fn param_exprs(&self) -> Vec<Expr> {
+        self.input_positions
+            .iter()
+            .map(|i| Expr::Var(self.params[i]))
+            .collect()
+    }
+
+    /// The input-size expressions of body literal `j`, ordered by the callee's
+    /// declared input positions `callee_inputs`. Positions that were not
+    /// classified as inputs at this call site yield `Expr::Undefined`.
+    pub fn literal_input_args(&self, j: usize, callee_inputs: &[usize]) -> Vec<Expr> {
+        callee_inputs
+            .iter()
+            .map(|i| {
+                self.literal_input_sizes
+                    .get(j)
+                    .and_then(|m| m.get(i))
+                    .cloned()
+                    .unwrap_or(Expr::Undefined)
+            })
+            .collect()
+    }
+}
+
+/// Everything `analyze_clause` needs to know about the rest of the program.
+#[derive(Debug, Clone)]
+pub struct SizeContext<'a> {
+    /// Mode declarations for every predicate (declared or inferred).
+    pub modes: &'a BTreeMap<PredId, ModeDecl>,
+    /// Measure assignment for every predicate.
+    pub measures: &'a BTreeMap<PredId, MeasureVec>,
+    /// Output-size functions of already-analysed predicates.
+    pub size_db: &'a SizeDb,
+    /// The members of the SCC currently being analysed (calls to these stay
+    /// symbolic).
+    pub scc: &'a BTreeSet<PredId>,
+}
+
+/// Analyses the argument size relations of one clause.
+pub fn analyze_clause(ddg: &Ddg, ctx: &SizeContext<'_>) -> ClauseSizeAnalysis {
+    let head_pred = ddg.head_pred();
+    let input_positions = ddg.head_modes().input_positions();
+    let params: BTreeMap<usize, Symbol> = input_positions
+        .iter()
+        .map(|&i| (i, param_symbol(&input_positions, i)))
+        .collect();
+
+    let mut known: BTreeMap<ArgPos, Expr> = BTreeMap::new();
+    // Sizes of bare variables under a given measure (used for arithmetic
+    // builtins and unification).
+    let mut var_sizes: BTreeMap<(VarId, Measure), Expr> = BTreeMap::new();
+    let mut relations: Vec<SizeRelation> = Vec::new();
+
+    let head_measures = head_pred
+        .and_then(|p| ctx.measures.get(&p))
+        .cloned()
+        .unwrap_or_default();
+
+    let mut head_input_constants = BTreeMap::new();
+    for &i in &input_positions {
+        let pos = ArgPos::new(NodeId::Start, i);
+        let measure = head_measures
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| Measure::default_for_term(ddg.term_at(pos)));
+        let expr = Expr::Var(params[&i]);
+        record_var_size(ddg.term_at(pos), measure, &expr, &mut var_sizes);
+        head_input_constants.insert(i, measure.size(ddg.term_at(pos)));
+        known.insert(pos, expr);
+    }
+
+    let mut literal_input_sizes: Vec<BTreeMap<usize, Expr>> = Vec::new();
+    let mut literal_output_sizes: Vec<BTreeMap<usize, Expr>> = Vec::new();
+
+    for (j, literal) in ddg.literals().iter().enumerate() {
+        let node = NodeId::Body(j);
+        let callee = PredId::of_term(literal);
+        let callee_measures: MeasureVec = callee
+            .and_then(|p| ctx.measures.get(&p))
+            .cloned()
+            .unwrap_or_else(|| {
+                literal
+                    .args()
+                    .iter()
+                    .map(Measure::default_for_term)
+                    .collect()
+            });
+
+        // --- input positions ---------------------------------------------
+        let mut inputs = BTreeMap::new();
+        for i in ddg.input(node) {
+            let pos = ArgPos::new(node, i);
+            let measure = callee_measures
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| Measure::default_for_term(ddg.term_at(pos)));
+            let expr = derive_consumed_size(ddg, pos, measure, &known, &var_sizes);
+            relations.push(SizeRelation {
+                lhs: pos,
+                lhs_text: pos.to_string(),
+                rhs: expr.clone(),
+            });
+            record_var_size(ddg.term_at(pos), measure, &expr, &mut var_sizes);
+            known.insert(pos, expr.clone());
+            inputs.insert(i, expr);
+        }
+
+        // --- output positions --------------------------------------------
+        let mut outputs = BTreeMap::new();
+        let output_positions = ddg.output(node);
+        if !output_positions.is_empty() {
+            let out_exprs = literal_output_exprs(
+                literal,
+                callee,
+                &output_positions,
+                &inputs,
+                &callee_measures,
+                &var_sizes,
+                ctx,
+            );
+            for (&i, expr) in output_positions.iter().zip(out_exprs.iter()) {
+                let pos = ArgPos::new(node, i);
+                relations.push(SizeRelation {
+                    lhs: pos,
+                    lhs_text: pos.to_string(),
+                    rhs: expr.clone(),
+                });
+                let measure = callee_measures
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| Measure::default_for_term(ddg.term_at(pos)));
+                record_var_size(ddg.term_at(pos), measure, expr, &mut var_sizes);
+                known.insert(pos, expr.clone());
+                outputs.insert(i, expr.clone());
+            }
+        }
+
+        literal_input_sizes.push(inputs);
+        literal_output_sizes.push(outputs);
+    }
+
+    // --- head output positions --------------------------------------------
+    let mut head_output_sizes = BTreeMap::new();
+    for i in ddg.head_modes().output_positions() {
+        let pos = ArgPos::new(NodeId::End, i);
+        let measure = head_measures
+            .get(i)
+            .copied()
+            .unwrap_or_else(|| Measure::default_for_term(ddg.term_at(pos)));
+        let expr = derive_consumed_size(ddg, pos, measure, &known, &var_sizes);
+        let lhs_text = match head_pred {
+            Some(p) => format!(
+                "psi_{}[{}]({})",
+                p.name,
+                i + 1,
+                input_positions
+                    .iter()
+                    .map(|&k| params[&k].to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            None => pos.to_string(),
+        };
+        relations.push(SizeRelation { lhs: pos, lhs_text, rhs: expr.clone() });
+        head_output_sizes.insert(i, expr);
+    }
+
+    ClauseSizeAnalysis {
+        params,
+        input_positions,
+        literal_input_sizes,
+        literal_output_sizes,
+        head_output_sizes,
+        head_input_constants,
+        relations,
+    }
+}
+
+/// Derives the size of a "consuming" position (body input or head output):
+/// either directly via `size`, or from a predecessor position via `diff`
+/// (the paper's inter-literal relations), or from a recorded bare-variable
+/// size. Returns ⊥ when no relation applies.
+fn derive_consumed_size(
+    ddg: &Ddg,
+    pos: ArgPos,
+    measure: Measure,
+    known: &BTreeMap<ArgPos, Expr>,
+    var_sizes: &BTreeMap<(VarId, Measure), Expr>,
+) -> Expr {
+    let term = ddg.term_at(pos);
+    if let Some(n) = measure.size(term) {
+        return Expr::Num(n as f64);
+    }
+    // A bare variable whose size was recorded (e.g. bound by `is/2`).
+    if let Term::Var(v) = term {
+        if let Some(e) = var_sizes.get(&(*v, measure)) {
+            return e.clone();
+        }
+    }
+    for src in ddg.sources_of(pos) {
+        let Some(src_size) = known.get(src) else { continue };
+        if src_size.is_undefined() {
+            continue;
+        }
+        if let Some(d) = measure.diff(ddg.term_at(*src), term) {
+            return Expr::add(src_size.clone(), Expr::Num(d as f64)).simplify();
+        }
+    }
+    // Last resort: the term is built from variables whose sizes are known
+    // under this measure (e.g. the list [X|Xs] where |Xs| is known).
+    if let Some(e) = size_from_parts(term, measure, var_sizes) {
+        return e;
+    }
+    Expr::Undefined
+}
+
+/// Computes the size of a structured term from the recorded sizes of its
+/// variable parts, when the measure decomposes over the structure
+/// (currently: list length of partial lists whose tail size is known).
+fn size_from_parts(
+    term: &Term,
+    measure: Measure,
+    var_sizes: &BTreeMap<(VarId, Measure), Expr>,
+) -> Option<Expr> {
+    match measure {
+        Measure::ListLength => {
+            let mut count = 0i64;
+            let mut cur = term;
+            loop {
+                match cur {
+                    t if t.is_nil() => return Some(Expr::Num(count as f64)),
+                    Term::Struct(s, args) if s.as_str() == "." && args.len() == 2 => {
+                        count += 1;
+                        cur = &args[1];
+                    }
+                    Term::Var(v) => {
+                        let tail = var_sizes.get(&(*v, Measure::ListLength))?;
+                        return Some(
+                            Expr::add(tail.clone(), Expr::Num(count as f64)).simplify(),
+                        );
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        Measure::IntValue => match term {
+            Term::Var(v) => var_sizes.get(&(*v, Measure::IntValue)).cloned(),
+            Term::Int(n) => Some(Expr::Num((*n).max(0) as f64)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Records the size of a bare-variable term under a measure.
+fn record_var_size(
+    term: &Term,
+    measure: Measure,
+    expr: &Expr,
+    var_sizes: &mut BTreeMap<(VarId, Measure), Expr>,
+) {
+    if expr.is_undefined() {
+        return;
+    }
+    if let Term::Var(v) = term {
+        var_sizes.entry((*v, measure)).or_insert_with(|| expr.clone());
+    }
+}
+
+/// Computes the output-size expressions of a body literal, in the order of
+/// `output_positions`.
+#[allow(clippy::too_many_arguments)]
+fn literal_output_exprs(
+    literal: &Term,
+    callee: Option<PredId>,
+    output_positions: &[usize],
+    input_sizes: &BTreeMap<usize, Expr>,
+    callee_measures: &[Measure],
+    var_sizes: &BTreeMap<(VarId, Measure), Expr>,
+    ctx: &SizeContext<'_>,
+) -> Vec<Expr> {
+    let Some(callee) = callee else {
+        return vec![Expr::Undefined; output_positions.len()];
+    };
+    let name = callee.name.as_str();
+
+    // --- builtins -----------------------------------------------------------
+    match (name, callee.arity) {
+        ("is", 2) => {
+            // X is Expr: the output's integer value is the arithmetic
+            // expression over the sizes of its variables.
+            let value = translate_arith(&literal.args()[1], var_sizes);
+            return output_positions
+                .iter()
+                .map(|&i| if i == 0 { value.clone() } else { Expr::Undefined })
+                .collect();
+        }
+        ("=", 2) => {
+            // Unification: the output side gets the size of the input side
+            // (under the output side's measure).
+            return output_positions
+                .iter()
+                .map(|&i| {
+                    let other = &literal.args()[1 - i];
+                    let measure = callee_measures
+                        .get(i)
+                        .copied()
+                        .unwrap_or_else(|| Measure::default_for_term(other));
+                    if let Some(n) = measure.size(other) {
+                        Expr::Num(n as f64)
+                    } else if let Some(e) = size_from_parts(other, measure, var_sizes) {
+                        e
+                    } else if let Some(e) = input_sizes.get(&(1 - i)) {
+                        e.clone()
+                    } else {
+                        Expr::Undefined
+                    }
+                })
+                .collect();
+        }
+        ("length", 2) => {
+            return output_positions
+                .iter()
+                .map(|&i| {
+                    if i == 1 {
+                        input_sizes.get(&0).cloned().unwrap_or(Expr::Undefined)
+                    } else {
+                        Expr::Undefined
+                    }
+                })
+                .collect();
+        }
+        ("functor", 3) | ("arg", 3) | ("=..", 2) | ("copy_term", 2) => {
+            return vec![Expr::Undefined; output_positions.len()];
+        }
+        _ => {}
+    }
+
+    // --- user predicates -----------------------------------------------------
+    let decl = granlog_ir::modes::mode_or_default(ctx.modes, callee);
+    let callee_inputs = decl.input_positions();
+    let args: Vec<Expr> = callee_inputs
+        .iter()
+        .map(|i| input_sizes.get(i).cloned().unwrap_or(Expr::Undefined))
+        .collect();
+
+    output_positions
+        .iter()
+        .map(|&i| {
+            if !decl.mode(i.min(decl.modes.len().saturating_sub(1))).is_output()
+                && decl.modes.len() > i
+            {
+                // The call site treats this argument as an output but the
+                // callee's declared mode says input: no size information.
+                return Expr::Undefined;
+            }
+            if ctx.scc.contains(&callee) {
+                Expr::Call(FnRef::OutputSize(callee, i), args.clone())
+            } else if let Some(sizes) = ctx.size_db.get(&callee) {
+                sizes.apply(i, &args)
+            } else {
+                Expr::Undefined
+            }
+        })
+        .collect()
+}
+
+/// Translates an arithmetic term (`M - 1`, `N1 + N2`, ...) into a size
+/// expression over recorded variable sizes.
+fn translate_arith(term: &Term, var_sizes: &BTreeMap<(VarId, Measure), Expr>) -> Expr {
+    match term {
+        Term::Int(n) => Expr::Num(*n as f64),
+        Term::Float(x) => Expr::Num(x.0),
+        Term::Var(v) => var_sizes
+            .get(&(*v, Measure::IntValue))
+            .cloned()
+            .unwrap_or(Expr::Undefined),
+        Term::Struct(f, args) => {
+            let name = f.as_str();
+            match (name, args.len()) {
+                ("+", 2) => Expr::add(
+                    translate_arith(&args[0], var_sizes),
+                    translate_arith(&args[1], var_sizes),
+                ),
+                ("-", 2) => Expr::sub(
+                    translate_arith(&args[0], var_sizes),
+                    translate_arith(&args[1], var_sizes),
+                ),
+                ("*", 2) => Expr::mul(
+                    translate_arith(&args[0], var_sizes),
+                    translate_arith(&args[1], var_sizes),
+                ),
+                ("/", 2) | ("//", 2) | ("div", 2) => Expr::div(
+                    translate_arith(&args[0], var_sizes),
+                    translate_arith(&args[1], var_sizes),
+                ),
+                ("-", 1) => Expr::neg(translate_arith(&args[0], var_sizes)),
+                ("+", 1) => translate_arith(&args[0], var_sizes),
+                ("min", 2) => Expr::min(
+                    translate_arith(&args[0], var_sizes),
+                    translate_arith(&args[1], var_sizes),
+                ),
+                ("max", 2) => Expr::max(
+                    translate_arith(&args[0], var_sizes),
+                    translate_arith(&args[1], var_sizes),
+                ),
+                ("abs", 1) => translate_arith(&args[0], var_sizes),
+                ("mod", 2) | ("rem", 2) => {
+                    // 0 <= a mod b < b: bounded above by the divisor minus one.
+                    Expr::sub(translate_arith(&args[1], var_sizes), Expr::Num(1.0))
+                }
+                (">>", 2) => Expr::div(
+                    translate_arith(&args[0], var_sizes),
+                    Expr::pow(Expr::Num(2.0), translate_arith(&args[1], var_sizes)),
+                ),
+                ("<<", 2) => Expr::mul(
+                    translate_arith(&args[0], var_sizes),
+                    Expr::pow(Expr::Num(2.0), translate_arith(&args[1], var_sizes)),
+                ),
+                _ => Expr::Undefined,
+            }
+        }
+        Term::Atom(_) => Expr::Undefined,
+    }
+    .simplify()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::modes::infer_modes;
+    use granlog_ir::parser::parse_program;
+    use granlog_ir::Program;
+
+    fn setup(src: &str) -> (Program, BTreeMap<PredId, ModeDecl>, BTreeMap<PredId, MeasureVec>) {
+        let p = parse_program(src).unwrap();
+        let modes = infer_modes(&p);
+        let measures = crate::measure::assign_measures(&p);
+        (p, modes, measures)
+    }
+
+    fn clause_analysis(
+        program: &Program,
+        modes: &BTreeMap<PredId, ModeDecl>,
+        measures: &BTreeMap<PredId, MeasureVec>,
+        size_db: &SizeDb,
+        scc: &BTreeSet<PredId>,
+        pred: PredId,
+        idx: usize,
+    ) -> ClauseSizeAnalysis {
+        let clause = program.clauses_of(pred)[idx];
+        let ddg = Ddg::build(clause, &modes[&pred]);
+        let ctx = SizeContext { modes, measures, size_db, scc };
+        analyze_clause(&ddg, &ctx)
+    }
+
+    const NREV: &str = r#"
+        :- mode nrev(+, -).
+        :- mode append(+, +, -).
+        nrev([], []).
+        nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+        append([], L, L).
+        append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+    "#;
+
+    #[test]
+    fn append_recursive_clause_relations() {
+        let (p, modes, measures) = setup(NREV);
+        let append = PredId::parse("append", 3);
+        let scc: BTreeSet<PredId> = [append].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, append, 1);
+        // body1[1] = n1 - 1, body1[2] = n2 (the paper's Appendix).
+        assert_eq!(a.literal_input_sizes[0][&0].to_string(), "n1 - 1");
+        assert_eq!(a.literal_input_sizes[0][&1].to_string(), "n2");
+        // Head output: psi_append(n1, n2) = psi_append(n1 - 1, n2) + 1.
+        let head_out = &a.head_output_sizes[&2];
+        assert!(head_out.contains_call(FnRef::OutputSize(append, 2)));
+        assert_eq!(head_out.to_string(), "psi_append#2/3(n1 - 1, n2) + 1");
+    }
+
+    #[test]
+    fn append_base_clause_gives_boundary_condition() {
+        let (p, modes, measures) = setup(NREV);
+        let append = PredId::parse("append", 3);
+        let scc: BTreeSet<PredId> = [append].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, append, 0);
+        // append([], L, L): head input 1 has constant size 0, output = n2.
+        assert_eq!(a.head_input_constants[&0], Some(0));
+        assert_eq!(a.head_input_constants[&1], None);
+        assert_eq!(a.head_output_sizes[&2].to_string(), "n2");
+    }
+
+    #[test]
+    fn nrev_recursive_clause_with_solved_append() {
+        let (p, modes, measures) = setup(NREV);
+        let nrev = PredId::parse("nrev", 2);
+        let append = PredId::parse("append", 3);
+        // Pretend append/3 has already been solved: Ψ_append(x, y) = x + y.
+        let mut size_db = SizeDb::new();
+        size_db.insert(
+            append,
+            PredSizes {
+                input_positions: vec![0, 1],
+                params: vec![Symbol::intern("n1"), Symbol::intern("n2")],
+                outputs: [(2usize, Expr::add(Expr::var("n1"), Expr::var("n2")))]
+                    .into_iter()
+                    .collect(),
+            },
+        );
+        let scc: BTreeSet<PredId> = [nrev].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &size_db, &scc, nrev, 1);
+        // body1[1] = n - 1 (Example 3.2 / 3.3).
+        assert_eq!(a.literal_input_sizes[0][&0].to_string(), "n - 1");
+        // body2[1] = Ψ_nrev(n - 1) — still symbolic (recursive literal).
+        let b21 = &a.literal_input_sizes[1][&0];
+        assert!(b21.contains_call(FnRef::OutputSize(nrev, 1)));
+        // body2[2] = 1.
+        assert_eq!(a.literal_input_sizes[1][&1], Expr::Num(1.0));
+        // Head output: Ψ_nrev(n) = Ψ_nrev(n-1) + 1 after Ψ_append is substituted
+        // (Example 3.3's normalized equation).
+        let head_out = &a.head_output_sizes[&1];
+        assert_eq!(head_out.to_string(), "psi_nrev#1/2(n - 1) + 1");
+    }
+
+    #[test]
+    fn nrev_base_clause() {
+        let (p, modes, measures) = setup(NREV);
+        let nrev = PredId::parse("nrev", 2);
+        let scc: BTreeSet<PredId> = [nrev].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, nrev, 0);
+        assert_eq!(a.head_input_constants[&0], Some(0));
+        assert_eq!(a.head_output_sizes[&1], Expr::Num(0.0));
+    }
+
+    #[test]
+    fn arithmetic_recursion_sizes() {
+        let src = r#"
+            :- mode fib(+, -).
+            fib(0, 0).
+            fib(1, 1).
+            fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                         fib(M1, N1), fib(M2, N2), N is N1 + N2.
+        "#;
+        let (p, modes, measures) = setup(src);
+        let fib = PredId::parse("fib", 2);
+        let scc: BTreeSet<PredId> = [fib].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, fib, 2);
+        // The recursive calls receive sizes n-1 and n-2.
+        assert_eq!(a.literal_input_sizes[3][&0].to_string(), "n - 1");
+        assert_eq!(a.literal_input_sizes[4][&0].to_string(), "n - 2");
+        // Base clauses handle sizes 0 and 1.
+        let a0 = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, fib, 0);
+        assert_eq!(a0.head_input_constants[&0], Some(0));
+        let a1 = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, fib, 1);
+        assert_eq!(a1.head_input_constants[&0], Some(1));
+    }
+
+    #[test]
+    fn halving_recursion_sizes() {
+        let src = r#"
+            :- mode halves(+, -).
+            halves(0, 0).
+            halves(N, R) :- N > 0, N1 is N // 2, halves(N1, R1), R is R1 + 1.
+        "#;
+        let (p, modes, measures) = setup(src);
+        let pred = PredId::parse("halves", 2);
+        let scc: BTreeSet<PredId> = [pred].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, pred, 1);
+        assert_eq!(a.literal_input_sizes[2][&0].to_string(), "0.5*n");
+    }
+
+    #[test]
+    fn partial_list_construction_size() {
+        // The head output [H|T1] where |T1| is an output of the body.
+        let src = r#"
+            :- mode copylist(+, -).
+            copylist([], []).
+            copylist([H|T], [H|T1]) :- copylist(T, T1).
+        "#;
+        let (p, modes, measures) = setup(src);
+        let pred = PredId::parse("copylist", 2);
+        let scc: BTreeSet<PredId> = [pred].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, pred, 1);
+        let out = &a.head_output_sizes[&1];
+        assert_eq!(out.to_string(), "psi_copylist#1/2(n - 1) + 1");
+    }
+
+    #[test]
+    fn unification_builtin_transfers_size() {
+        let src = r#"
+            :- mode dup(+, -).
+            dup(L, R) :- R = L.
+        "#;
+        let (p, modes, measures) = setup(src);
+        let pred = PredId::parse("dup", 2);
+        let scc = BTreeSet::new();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, pred, 0);
+        assert_eq!(a.head_output_sizes[&1].to_string(), "n");
+    }
+
+    #[test]
+    fn unknown_callee_output_is_undefined() {
+        let src = r#"
+            :- mode p(+, -).
+            p(X, Y) :- mystery(X, Y).
+        "#;
+        let (p, modes, measures) = setup(src);
+        let pred = PredId::parse("p", 2);
+        let scc = BTreeSet::new();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, pred, 0);
+        assert!(a.head_output_sizes[&1].is_undefined());
+    }
+
+    #[test]
+    fn ground_output_has_constant_size() {
+        let src = r#"
+            :- mode k(+, -).
+            k(_, [a, b, c]).
+        "#;
+        let (p, modes, measures) = setup(src);
+        let pred = PredId::parse("k", 2);
+        let scc = BTreeSet::new();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, pred, 0);
+        assert_eq!(a.head_output_sizes[&1], Expr::Num(3.0));
+    }
+
+    #[test]
+    fn relations_are_recorded_in_derivation_order() {
+        let (p, modes, measures) = setup(NREV);
+        let nrev = PredId::parse("nrev", 2);
+        let scc: BTreeSet<PredId> = [nrev].into_iter().collect();
+        let a = clause_analysis(&p, &modes, &measures, &SizeDb::new(), &scc, nrev, 1);
+        let texts: Vec<String> = a.relations.iter().map(|r| r.lhs_text.clone()).collect();
+        assert_eq!(
+            texts,
+            vec!["body1[1]", "body1[2]", "body2[1]", "body2[2]", "body2[3]", "psi_nrev[2](n)"]
+        );
+    }
+
+    #[test]
+    fn param_symbols_single_vs_multiple_inputs() {
+        assert_eq!(param_symbol(&[0], 0).as_str(), "n");
+        assert_eq!(param_symbol(&[0, 1], 0).as_str(), "n1");
+        assert_eq!(param_symbol(&[0, 1], 1).as_str(), "n2");
+        assert_eq!(param_symbol(&[0, 2], 2).as_str(), "n3");
+    }
+
+    #[test]
+    fn pred_sizes_apply_substitutes_params() {
+        let sizes = PredSizes {
+            input_positions: vec![0, 1],
+            params: vec![Symbol::intern("n1"), Symbol::intern("n2")],
+            outputs: [(2usize, Expr::add(Expr::var("n1"), Expr::var("n2")))]
+                .into_iter()
+                .collect(),
+        };
+        let out = sizes.apply(2, &[Expr::var("a"), Expr::Num(1.0)]);
+        assert_eq!(out.to_string(), "a + 1");
+        assert!(sizes.apply(0, &[Expr::var("a"), Expr::Num(1.0)]).is_undefined());
+        assert!(sizes.apply(2, &[Expr::var("a")]).is_undefined());
+    }
+
+    #[test]
+    fn translate_arith_operations() {
+        let mut vs = BTreeMap::new();
+        vs.insert((0usize, Measure::IntValue), Expr::var("n"));
+        let t = granlog_ir::parser::parse_term("_X").unwrap();
+        let _ = t;
+        let (term, _) = granlog_ir::parser::parse_term("3 * 4 + 1").unwrap();
+        assert_eq!(translate_arith(&term, &vs), Expr::Num(13.0));
+        // A variable with unknown size is undefined.
+        let (term, _) = granlog_ir::parser::parse_term("Y + 1").unwrap();
+        // Y gets var id 0 in this standalone term, which maps to "n".
+        assert_eq!(translate_arith(&term, &vs).to_string(), "n + 1");
+    }
+}

@@ -1,0 +1,51 @@
+//! Criterion benchmark: how fast is the static analysis itself?
+//!
+//! The paper stresses that granularity analysis must be cheap enough to live
+//! inside a compiler. This bench measures `analyze_program` (argument-size
+//! analysis, cost analysis, difference-equation solving) on the Appendix
+//! example and on every benchmark program of the suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
+use granlog_benchmarks::{all_benchmarks, nrev_benchmark};
+use std::hint::black_box;
+
+fn bench_nrev_analysis(c: &mut Criterion) {
+    let program = nrev_benchmark().program().expect("nrev parses");
+    c.bench_function("analyze nrev (Appendix A)", |b| {
+        b.iter(|| analyze_program(black_box(&program), &AnalysisOptions::default()))
+    });
+}
+
+fn bench_suite_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze benchmark programs");
+    for bench in all_benchmarks() {
+        let program = bench.program().expect("benchmark parses");
+        group.bench_function(bench.name, |b| {
+            b.iter(|| analyze_program(black_box(&program), &AnalysisOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_suite_at_once(c: &mut Criterion) {
+    let programs: Vec<_> = all_benchmarks()
+        .iter()
+        .map(|b| b.program().expect("parses"))
+        .collect();
+    c.bench_function("analyze all 12 programs", |b| {
+        b.iter(|| {
+            for p in &programs {
+                black_box(analyze_program(p, &AnalysisOptions::default()));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_nrev_analysis,
+    bench_suite_analysis,
+    bench_whole_suite_at_once
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion benchmark: the execution engine on representative workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granlog_benchmarks::{benchmark, nrev_benchmark};
+use granlog_engine::Machine;
+use std::hint::black_box;
+
+fn run(name: &str, size: usize) -> f64 {
+    let bench = benchmark(name).expect("benchmark exists");
+    let program = bench.program().expect("parses");
+    let query = bench.query(size);
+    let mut machine = Machine::new(&program);
+    machine.run_query(&query).expect("runs").work
+}
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine: nrev(30)", |b| {
+        let bench = nrev_benchmark();
+        let program = bench.program().expect("parses");
+        let query = bench.query(30);
+        b.iter(|| {
+            let mut machine = Machine::new(&program);
+            black_box(machine.run_query(&query).expect("runs").work)
+        })
+    });
+    c.bench_function("engine: fib(12)", |b| b.iter(|| black_box(run("fib", 12))));
+    c.bench_function("engine: quick_sort(40)", |b| b.iter(|| black_box(run("quick_sort", 40))));
+    c.bench_function("engine: matrix_mult(6)", |b| b.iter(|| black_box(run("matrix_mult", 6))));
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

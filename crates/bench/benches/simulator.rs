@@ -1,0 +1,42 @@
+//! Criterion benchmark: the multiprocessor scheduling simulator on task trees
+//! of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use granlog_engine::{TaskRecorder, TaskTree};
+use granlog_sim::{simulate, SimConfig};
+use std::hint::black_box;
+
+/// Builds a balanced fork-join tree with `depth` levels of binary forks and
+/// the given leaf work.
+fn balanced_tree(depth: usize, leaf_work: f64) -> TaskTree {
+    fn go(r: &mut TaskRecorder, depth: usize, leaf_work: f64) {
+        if depth == 0 {
+            r.record_work(leaf_work);
+            return;
+        }
+        r.record_work(1.0);
+        let kids = r.record_fork(2);
+        for k in kids {
+            r.push(k);
+            go(r, depth - 1, leaf_work);
+            r.pop();
+        }
+    }
+    let mut r = TaskRecorder::new();
+    go(&mut r, depth, leaf_work);
+    r.into_tree()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate balanced tree");
+    for depth in [8usize, 10, 12] {
+        let tree = balanced_tree(depth, 25.0);
+        group.bench_with_input(BenchmarkId::from_parameter(tree.len()), &tree, |b, tree| {
+            b.iter(|| black_box(simulate(tree, &SimConfig::rolog4())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benchmark: the table-driven difference-equation solver
+//! (Section 5) on the equation shapes that occur in practice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use granlog_analysis::diffeq::{BaseCase, CombineMode, DiffEq, DiffEqSystem};
+use granlog_analysis::expr::{Expr, FnRef};
+use granlog_analysis::solver::{solve, solve_system};
+use granlog_ir::{PredId, Symbol};
+use std::hint::black_box;
+
+fn nrev_equation() -> DiffEq {
+    let f = FnRef::Cost(PredId::parse("nrev", 2));
+    let n = Expr::var("n");
+    DiffEq {
+        func: f,
+        params: vec![Symbol::intern("n")],
+        base_cases: vec![BaseCase { when: vec![Some(0)], value: Expr::num(1.0) }],
+        recursive_cases: vec![Expr::sum(vec![
+            Expr::call(f, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            n,
+            Expr::num(1.0),
+        ])],
+        combine: CombineMode::Exclusive,
+    }
+}
+
+fn fib_equation() -> DiffEq {
+    let f = FnRef::Cost(PredId::parse("fib", 2));
+    let n = Expr::var("n");
+    DiffEq {
+        func: f,
+        params: vec![Symbol::intern("n")],
+        base_cases: vec![
+            BaseCase { when: vec![Some(0)], value: Expr::num(1.0) },
+            BaseCase { when: vec![Some(1)], value: Expr::num(1.0) },
+        ],
+        recursive_cases: vec![Expr::sum(vec![
+            Expr::call(f, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            Expr::call(f, vec![Expr::sub(n.clone(), Expr::num(2.0))]),
+            Expr::num(1.0),
+        ])],
+        combine: CombineMode::Exclusive,
+    }
+}
+
+fn mutual_system() -> DiffEqSystem {
+    let even = FnRef::Cost(PredId::parse("even", 1));
+    let odd = FnRef::Cost(PredId::parse("odd", 1));
+    let n = Expr::var("n");
+    let mk = |func: FnRef, other: FnRef, base: i64| DiffEq {
+        func,
+        params: vec![Symbol::intern("n")],
+        base_cases: vec![BaseCase { when: vec![Some(base)], value: Expr::num(1.0) }],
+        recursive_cases: vec![Expr::add(
+            Expr::call(other, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            Expr::num(1.0),
+        )],
+        combine: CombineMode::Exclusive,
+    };
+    DiffEqSystem::new(vec![mk(even, odd, 0), mk(odd, even, 1)])
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let nrev = nrev_equation();
+    let fib = fib_equation();
+    let system = mutual_system();
+    c.bench_function("solve nrev cost equation", |b| b.iter(|| solve(black_box(&nrev))));
+    c.bench_function("solve fib cost equation", |b| b.iter(|| solve(black_box(&fib))));
+    c.bench_function("solve mutual-recursion system", |b| {
+        b.iter(|| solve_system(black_box(&system)))
+    });
+}
+
+fn bench_threshold(c: &mut Criterion) {
+    let sol = solve(&nrev_equation());
+    c.bench_function("threshold search on nrev closed form", |b| {
+        b.iter(|| {
+            granlog_analysis::threshold::threshold_default(
+                black_box(&sol.closed_form),
+                Symbol::intern("n"),
+                black_box(1000.0),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_solver, bench_threshold);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Runs every experiment of the paper in one go, plus the ablations discussed
+//! in DESIGN.md (overhead-scaling sweep and per-metric analysis comparison).
+//!
+//! ```text
+//! cargo run --release -p granlog-bench --bin run_all_experiments -- [--small] [--ablations]
+//! ```
+
+use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
+use granlog_analysis::CostMetric;
+use granlog_bench::{default_grain_sizes, emit, format_sweep, format_table};
+use granlog_benchmarks::{
+    all_benchmarks, benchmark, grain_size_sweep, table2_benchmarks, table_row,
+};
+use granlog_ir::PredId;
+use granlog_sim::{OverheadModel, SimConfig};
+use std::fmt::Write as _;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let ablations = args.iter().any(|a| a == "--ablations");
+
+    // ---- Table 1 ----------------------------------------------------------
+    let rolog = SimConfig::rolog4();
+    let mut rows = Vec::new();
+    for bench in all_benchmarks() {
+        let size = if small { bench.test_size } else { bench.default_size };
+        eprintln!("[table 1] {}({size})", bench.name);
+        rows.push(table_row(&bench, size, &rolog));
+    }
+    emit(
+        "table1_rolog",
+        &format_table("Table 1 — ROLOG-like machine, 4 processors", &rows),
+    );
+
+    // ---- Table 2 ----------------------------------------------------------
+    let andp = SimConfig::and_prolog4();
+    let mut rows = Vec::new();
+    for bench in table2_benchmarks() {
+        let size = if small { bench.test_size } else { bench.default_size };
+        eprintln!("[table 2] {}({size})", bench.name);
+        rows.push(table_row(&bench, size, &andp));
+    }
+    emit(
+        "table2_andprolog",
+        &format_table("Table 2 — &-Prolog-like machine, 4 processors", &rows),
+    );
+
+    // ---- Figure 2 ---------------------------------------------------------
+    let mut fig2 = String::new();
+    for (name, size) in [("fib", if small { 12 } else { 15 }), ("quick_sort", if small { 25 } else { 75 })] {
+        let bench = benchmark(name).expect("benchmark exists");
+        eprintln!("[figure 2] {name}({size})");
+        let points = grain_size_sweep(&bench, size, &rolog, &default_grain_sizes());
+        fig2.push_str(&format_sweep(
+            &format!("Figure 2 — {name}({size}) on the ROLOG-like machine"),
+            &points,
+        ));
+        fig2.push('\n');
+    }
+    emit("fig2_grainsize", &fig2);
+
+    if !ablations {
+        return;
+    }
+
+    // ---- Ablation 1: sensitivity to the overhead estimate -----------------
+    let mut text = String::from("Ablation — speedup of granularity control vs. task overhead (fib)\n");
+    let bench = benchmark("fib").expect("fib exists");
+    let size = if small { 12 } else { 15 };
+    for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let config = SimConfig::new(4, OverheadModel::rolog_like().scaled(scale));
+        let row = table_row(&bench, size, &config);
+        let _ = writeln!(
+            text,
+            "  overhead x{scale:<4}: T0 = {:>9.0}  T1 = {:>9.0}  speedup = {:>6.1}%",
+            row.t_without, row.t_with, row.speedup_percent
+        );
+    }
+    emit("ablation_overhead", &text);
+
+    // ---- Ablation 2: cost metric comparison -------------------------------
+    let mut text = String::from("Ablation — cost bounds for quick_sort under different metrics\n");
+    let program = benchmark("quick_sort").expect("exists").program().expect("parses");
+    for metric in [CostMetric::Resolutions, CostMetric::Unifications, CostMetric::Steps] {
+        let analysis = analyze_program(
+            &program,
+            &AnalysisOptions { metric, ..AnalysisOptions::default() },
+        );
+        let qsort = PredId::parse("qsort", 2);
+        let partition = PredId::parse("partition", 4);
+        let _ = writeln!(
+            text,
+            "  {metric:<13} cost(partition/4) = {}",
+            analysis.cost_of(partition).expect("analysed")
+        );
+        let _ = writeln!(
+            text,
+            "  {metric:<13} threshold(qsort/2, W = 60) = {}",
+            analysis.threshold_for(qsort, 60.0)
+        );
+    }
+    emit("ablation_metric", &text);
+}

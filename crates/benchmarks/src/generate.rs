@@ -1,0 +1,209 @@
+//! Deterministic workload generators.
+//!
+//! Every generator is a pure function of its parameters (a small linear
+//! congruential generator provides "random" data), so experiment runs are
+//! exactly reproducible.
+
+/// A tiny deterministic pseudo-random sequence (LCG, Numerical Recipes
+/// constants). Good enough for generating benchmark inputs; not for
+/// statistics.
+#[derive(Debug, Clone)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Lcg { state: seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) }
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 11
+    }
+
+    /// Next value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A list of `n` pseudo-random integers in `0..bound`, rendered as Prolog
+/// list syntax.
+pub fn int_list(n: usize, bound: u64, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let items: Vec<String> = (0..n).map(|_| rng.below(bound).to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// A list of `chunks` lists whose lengths sum to `total` (as even as
+/// possible), each containing pseudo-random integers.
+pub fn list_of_lists(total: usize, chunks: usize, bound: u64, seed: u64) -> String {
+    let chunks = chunks.max(1);
+    let mut rng = Lcg::new(seed);
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        let items: Vec<String> = (0..len).map(|_| rng.below(bound).to_string()).collect();
+        out.push(format!("[{}]", items.join(",")));
+    }
+    format!("[{}]", out.join(","))
+}
+
+/// An `n × n` matrix of small integers in Prolog list-of-rows syntax.
+pub fn matrix(n: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let rows: Vec<String> = (0..n)
+        .map(|_| {
+            let row: Vec<String> = (0..n).map(|_| rng.below(10).to_string()).collect();
+            format!("[{}]", row.join(","))
+        })
+        .collect();
+    format!("[{}]", rows.join(","))
+}
+
+/// A complete binary tree of the given depth with integer leaves, as a
+/// `node/2` / `leaf/1` term.
+pub fn full_tree(depth: usize, seed: u64) -> String {
+    fn go(depth: usize, rng: &mut Lcg) -> String {
+        if depth == 0 {
+            format!("leaf({})", rng.below(100))
+        } else {
+            let left = go(depth - 1, rng);
+            let right = go(depth - 1, rng);
+            format!("node({left},{right})")
+        }
+    }
+    let mut rng = Lcg::new(seed);
+    go(depth, &mut rng)
+}
+
+/// A list of `n` complex points `c(Re, 0.0)` with pseudo-random real parts.
+pub fn complex_points(n: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let items: Vec<String> = (0..n)
+        .map(|_| format!("c({}.0,0.0)", rng.below(16)))
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// A convex-ish polygon with `vertices` vertices as a list of `v(X, Y)` terms
+/// (a scaled dodecagon-like ring; exact geometry is irrelevant, the benchmark
+/// only needs a fixed edge list).
+pub fn polygon(vertices: usize, radius: i64) -> String {
+    let v: Vec<String> = (0..vertices.max(3))
+        .map(|i| {
+            let angle = i as f64 / vertices.max(3) as f64 * std::f64::consts::TAU;
+            let x = (angle.cos() * radius as f64).round() as i64;
+            let y = (angle.sin() * radius as f64).round() as i64;
+            format!("v({x},{y})")
+        })
+        .collect();
+    format!("[{}]", v.join(","))
+}
+
+/// A list of `n` query points `p(X, Y)` scattered over a square of the given
+/// half-width.
+pub fn points(n: usize, half_width: u64, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let items: Vec<String> = (0..n)
+        .map(|_| {
+            let x = rng.below(2 * half_width) as i64 - half_width as i64;
+            let y = rng.below(2 * half_width) as i64 - half_width as i64;
+            format!("p({x},{y})")
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+/// A list of `sets` item sets (lists of small integers) for the LR(1)-set
+/// benchmark.
+pub fn item_sets(sets: usize, items_per_set: usize, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let out: Vec<String> = (0..sets)
+        .map(|_| {
+            let items: Vec<String> = (0..items_per_set).map(|_| rng.below(97).to_string()).collect();
+            format!("[{}]", items.join(","))
+        })
+        .collect();
+    format!("[{}]", out.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::parser::parse_term;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(int_list(5, 100, 42), int_list(5, 100, 42));
+        assert_ne!(int_list(5, 100, 42), int_list(5, 100, 43));
+        assert_eq!(matrix(3, 7), matrix(3, 7));
+    }
+
+    #[test]
+    fn generated_terms_parse() {
+        for src in [
+            int_list(10, 100, 1),
+            list_of_lists(20, 4, 50, 2),
+            matrix(4, 3),
+            full_tree(3, 4),
+            complex_points(4, 5),
+            polygon(12, 100),
+            points(5, 50, 6),
+            item_sets(3, 4, 7),
+        ] {
+            let parsed = parse_term(&src);
+            assert!(parsed.is_ok(), "failed to parse generated term: {src}");
+        }
+    }
+
+    #[test]
+    fn int_list_has_requested_length() {
+        let (t, _) = parse_term(&int_list(17, 10, 9)).unwrap();
+        assert_eq!(t.list_length(), Some(17));
+        let (t, _) = parse_term(&int_list(0, 10, 9)).unwrap();
+        assert_eq!(t.list_length(), Some(0));
+    }
+
+    #[test]
+    fn list_of_lists_totals_match() {
+        let (t, _) = parse_term(&list_of_lists(37, 5, 10, 1)).unwrap();
+        let outer = t.as_list().unwrap();
+        assert_eq!(outer.len(), 5);
+        let total: usize = outer.iter().map(|l| l.list_length().unwrap()).sum();
+        assert_eq!(total, 37);
+    }
+
+    #[test]
+    fn tree_depth_matches() {
+        let (t, _) = parse_term(&full_tree(4, 1)).unwrap();
+        assert_eq!(t.term_depth(), 4 + 1); // leaf(V) adds one level
+    }
+
+    #[test]
+    fn polygon_has_requested_vertices() {
+        let (t, _) = parse_term(&polygon(30, 100)).unwrap();
+        assert_eq!(t.list_length(), Some(30));
+    }
+
+    #[test]
+    fn lcg_below_respects_bound() {
+        let mut rng = Lcg::new(123);
+        for _ in 0..1000 {
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(Lcg::new(1).below(0), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! The benchmark registry: the twelve programs of the paper's Tables 1 and 2,
+//! plus the Appendix's `nrev` example.
+
+use crate::generate;
+use granlog_ir::{parser::parse_program, ParseError, Program};
+
+/// A benchmark: a Prolog program (annotated with `&` parallel conjunctions)
+/// plus a query generator parameterised by a single "size".
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Short name (matches the paper's tables, e.g. `"fib"`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// The Prolog source text.
+    pub source: &'static str,
+    /// The size used in the paper's tables (e.g. 15 for `fib(15)`).
+    pub default_size: usize,
+    /// Builds the query string for a given size.
+    query: fn(usize) -> String,
+    /// Smaller size suitable for unit/integration tests.
+    pub test_size: usize,
+}
+
+impl Benchmark {
+    /// Parses the benchmark's program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the embedded source is malformed (a bug).
+    pub fn program(&self) -> Result<Program, ParseError> {
+        parse_program(self.source)
+    }
+
+    /// The query string for the given input size.
+    pub fn query(&self, size: usize) -> String {
+        (self.query)(size)
+    }
+
+    /// The query string at the paper's default size.
+    pub fn default_query(&self) -> String {
+        self.query(self.default_size)
+    }
+
+    /// The paper's label for this entry, e.g. `fib(15)`.
+    pub fn label(&self) -> String {
+        format!("{}({})", self.name, self.default_size)
+    }
+}
+
+fn fib_query(n: usize) -> String {
+    format!("fib({n}, Result)")
+}
+
+fn hanoi_query(n: usize) -> String {
+    format!("hanoi({n}, a, b, c, Moves)")
+}
+
+fn quick_sort_query(n: usize) -> String {
+    format!("qsort({}, Sorted)", generate::int_list(n, 1000, 7))
+}
+
+fn merge_sort_query(n: usize) -> String {
+    format!("msort({}, Sorted)", generate::int_list(n, 1000, 11))
+}
+
+fn double_sum_query(total: usize) -> String {
+    let chunks = (total / 32).max(1);
+    format!("double_sum({}, Sum)", generate::list_of_lists(total, chunks, 100, 13))
+}
+
+fn matrix_query(n: usize) -> String {
+    format!(
+        "mmult({}, {}, Product)",
+        generate::matrix(n, 17),
+        generate::matrix(n, 19)
+    )
+}
+
+fn tree_query(depth: usize) -> String {
+    format!("tsum({}, Sum)", generate::full_tree(depth, 23))
+}
+
+fn flatten_query(total: usize) -> String {
+    let chunks = (total / 4).max(1);
+    format!("flat({}, Flat)", generate::list_of_lists(total, chunks, 100, 29))
+}
+
+fn consistency_query(n: usize) -> String {
+    format!("consistent({})", generate::int_list(n, 1000, 31))
+}
+
+fn fft_query(n: usize) -> String {
+    format!("fft({}, Spectrum)", generate::complex_points(n, 37))
+}
+
+fn poly_query(vertices: usize) -> String {
+    format!(
+        "poly_inclusion({}, {}, Results)",
+        generate::points(40, 120, 41),
+        generate::polygon(vertices, 100)
+    )
+}
+
+fn lr1_query(rounds: usize) -> String {
+    format!("lr_sets({rounds}, {}, Sets)", generate::item_sets(12, 6, 43))
+}
+
+fn nrev_query(n: usize) -> String {
+    format!("nrev({}, Reversed)", generate::int_list(n, 100, 47))
+}
+
+/// All benchmarks of the paper's Table 1, in the paper's order.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "consistency",
+            description: "independent consistency checks over a constraint list",
+            source: include_str!("../programs/consistency.pl"),
+            default_size: 500,
+            query: consistency_query,
+            test_size: 40,
+        },
+        Benchmark {
+            name: "fib",
+            description: "doubly recursive Fibonacci",
+            source: include_str!("../programs/fib.pl"),
+            default_size: 15,
+            query: fib_query,
+            test_size: 10,
+        },
+        Benchmark {
+            name: "hanoi",
+            description: "towers of Hanoi producing the move list",
+            source: include_str!("../programs/hanoi.pl"),
+            default_size: 6,
+            query: hanoi_query,
+            test_size: 4,
+        },
+        Benchmark {
+            name: "quick_sort",
+            description: "quicksort with parallel recursive calls",
+            source: include_str!("../programs/quick_sort.pl"),
+            default_size: 75,
+            query: quick_sort_query,
+            test_size: 20,
+        },
+        Benchmark {
+            name: "lr1_set",
+            description: "LR(1)-style item-set closure rounds",
+            source: include_str!("../programs/lr1_set.pl"),
+            default_size: 3,
+            query: lr1_query,
+            test_size: 1,
+        },
+        Benchmark {
+            name: "double_sum",
+            description: "sum of the sums of a list of lists",
+            source: include_str!("../programs/double_sum.pl"),
+            default_size: 2048,
+            query: double_sum_query,
+            test_size: 64,
+        },
+        Benchmark {
+            name: "fft",
+            description: "radix-2 FFT over complex points",
+            source: include_str!("../programs/fft.pl"),
+            default_size: 256,
+            query: fft_query,
+            test_size: 16,
+        },
+        Benchmark {
+            name: "flatten",
+            description: "concatenation of many short lists",
+            source: include_str!("../programs/flatten.pl"),
+            default_size: 536,
+            query: flatten_query,
+            test_size: 40,
+        },
+        Benchmark {
+            name: "matrix_mult",
+            description: "matrix multiplication with row-level parallelism",
+            source: include_str!("../programs/matrix_mult.pl"),
+            default_size: 8,
+            query: matrix_query,
+            test_size: 4,
+        },
+        Benchmark {
+            name: "merge_sort",
+            description: "merge sort with parallel recursive calls",
+            source: include_str!("../programs/merge_sort.pl"),
+            default_size: 128,
+            query: merge_sort_query,
+            test_size: 24,
+        },
+        Benchmark {
+            name: "poly_inclusion",
+            description: "point-in-polygon classification",
+            source: include_str!("../programs/poly_inclusion.pl"),
+            default_size: 30,
+            query: poly_query,
+            test_size: 8,
+        },
+        Benchmark {
+            name: "tree_traversal",
+            description: "binary tree traversal summing the leaves",
+            source: include_str!("../programs/tree_traversal.pl"),
+            default_size: 8,
+            query: tree_query,
+            test_size: 4,
+        },
+    ]
+}
+
+/// The `nrev` program of the paper's Appendix A (not part of the tables).
+pub fn nrev_benchmark() -> Benchmark {
+    Benchmark {
+        name: "nrev",
+        description: "naive reverse (the Appendix A worked example)",
+        source: include_str!("../programs/nrev.pl"),
+        default_size: 30,
+        query: nrev_query,
+        test_size: 10,
+    }
+}
+
+/// The subset of benchmarks used for the paper's Table 2 (&-Prolog).
+pub fn table2_benchmarks() -> Vec<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| matches!(b.name, "consistency" | "fib" | "hanoi" | "quick_sort"))
+        .collect()
+}
+
+/// Looks a benchmark up by name.
+pub fn benchmark(name: &str) -> Option<Benchmark> {
+    all_benchmarks()
+        .into_iter()
+        .chain(std::iter::once(nrev_benchmark()))
+        .find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_the_paper() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 12);
+        let labels: Vec<String> = all.iter().map(Benchmark::label).collect();
+        for expected in [
+            "consistency(500)",
+            "fib(15)",
+            "hanoi(6)",
+            "quick_sort(75)",
+            "lr1_set(3)",
+            "double_sum(2048)",
+            "fft(256)",
+            "flatten(536)",
+            "matrix_mult(8)",
+            "merge_sort(128)",
+            "poly_inclusion(30)",
+            "tree_traversal(8)",
+        ] {
+            assert!(labels.contains(&expected.to_string()), "missing {expected}");
+        }
+        assert_eq!(table2_benchmarks().len(), 4);
+    }
+
+    #[test]
+    fn every_program_parses() {
+        for b in all_benchmarks().iter().chain(std::iter::once(&nrev_benchmark())) {
+            let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!program.is_empty(), "{} has no clauses", b.name);
+        }
+    }
+
+    #[test]
+    fn every_query_parses() {
+        for b in all_benchmarks() {
+            let q = b.query(b.test_size);
+            assert!(
+                granlog_ir::parser::parse_term(&q).is_ok(),
+                "{}: query does not parse: {q}",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn every_table1_program_contains_parallelism() {
+        for b in all_benchmarks() {
+            assert!(b.source.contains('&'), "{} has no parallel conjunction", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("fib").is_some());
+        assert!(benchmark("nrev").is_some());
+        assert!(benchmark("does_not_exist").is_none());
+    }
+}

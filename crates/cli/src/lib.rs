@@ -1,0 +1,430 @@
+//! Implementation of the `granlog` command-line tool.
+//!
+//! The logic lives in a library (with the binary as a thin wrapper) so that
+//! the argument parsing and each subcommand can be unit-tested without
+//! spawning processes.
+
+use granlog_analysis::annotate::{apply_granularity_control, sequentialize, AnnotateOptions};
+use granlog_analysis::ddg::Ddg;
+use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
+use granlog_analysis::report::render_report;
+use granlog_analysis::CostMetric;
+use granlog_engine::{Machine, MachineConfig};
+use granlog_ir::{parser::parse_program, PredId, Program};
+use granlog_sim::{simulate, OverheadModel, SimConfig};
+use std::fmt;
+use std::io::Write;
+
+/// The usage string printed on argument errors.
+pub const USAGE: &str = "\
+usage:
+  granlog analyze  <file.pl> [--overhead W] [--metric resolutions|unifications|steps]
+  granlog annotate <file.pl> [--overhead W]
+  granlog run      <file.pl> <query> [--processors P] [--overhead W]
+                   [--control | --no-control | --sequential]
+  granlog ddg      <file.pl> <name/arity>";
+
+/// Errors surfaced to the user by the CLI.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line itself was malformed.
+    Usage(String),
+    /// A file could not be read.
+    Io(std::io::Error),
+    /// The program or query did not parse.
+    Parse(granlog_ir::ParseError),
+    /// The engine reported an error while running a query.
+    Engine(granlog_engine::EngineError),
+    /// Anything else (missing predicate, bad indicator, ...).
+    Other(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse(e) => write!(f, "{e}"),
+            CliError::Engine(e) => write!(f, "execution error: {e}"),
+            CliError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<granlog_ir::ParseError> for CliError {
+    fn from(e: granlog_ir::ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<granlog_engine::EngineError> for CliError {
+    fn from(e: granlog_engine::EngineError) -> Self {
+        CliError::Engine(e)
+    }
+}
+
+/// Parsed command-line options shared by the subcommands.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    overhead: f64,
+    metric: CostMetric,
+    processors: usize,
+    mode: RunMode,
+    positional: Vec<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    Control,
+    NoControl,
+    Sequential,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CliError> {
+    let mut options = Options {
+        overhead: OverheadModel::rolog_like().per_task_overhead(),
+        metric: CostMetric::Resolutions,
+        processors: 4,
+        mode: RunMode::Control,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--overhead" => {
+                let value = iter.next().ok_or_else(|| usage("--overhead needs a value"))?;
+                options.overhead = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid overhead {value:?}")))?;
+            }
+            "--processors" => {
+                let value = iter.next().ok_or_else(|| usage("--processors needs a value"))?;
+                options.processors = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid processor count {value:?}")))?;
+                if options.processors == 0 {
+                    return Err(usage("--processors must be at least 1"));
+                }
+            }
+            "--metric" => {
+                let value = iter.next().ok_or_else(|| usage("--metric needs a value"))?;
+                options.metric = match value.as_str() {
+                    "resolutions" => CostMetric::Resolutions,
+                    "unifications" => CostMetric::Unifications,
+                    "steps" => CostMetric::Steps,
+                    other => return Err(usage(&format!("unknown metric {other:?}"))),
+                };
+            }
+            "--control" => options.mode = RunMode::Control,
+            "--no-control" => options.mode = RunMode::NoControl,
+            "--sequential" => options.mode = RunMode::Sequential,
+            other if other.starts_with("--") => {
+                return Err(usage(&format!("unknown option {other}")));
+            }
+            other => options.positional.push(other.to_owned()),
+        }
+    }
+    Ok(options)
+}
+
+fn usage(msg: &str) -> CliError {
+    CliError::Usage(msg.to_owned())
+}
+
+fn load_program(path: &str) -> Result<Program, CliError> {
+    let source = std::fs::read_to_string(path)?;
+    Ok(parse_program(&source)?)
+}
+
+/// Entry point shared by the binary and the tests. `args` excludes the program
+/// name; all regular output is written to `out`.
+pub fn run_cli(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(usage("missing subcommand"));
+    };
+    let options = parse_options(rest)?;
+    match command.as_str() {
+        "analyze" => cmd_analyze(&options, out),
+        "annotate" => cmd_annotate(&options, out),
+        "run" => cmd_run(&options, out),
+        "ddg" => cmd_ddg(&options, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(usage(&format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn cmd_analyze(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let [path] = options.positional.as_slice() else {
+        return Err(usage("analyze expects exactly one file"));
+    };
+    let program = load_program(path)?;
+    let analysis = analyze_program(
+        &program,
+        &AnalysisOptions { metric: options.metric, ..AnalysisOptions::default() },
+    );
+    write!(out, "{}", render_report(&analysis, Some(options.overhead)))?;
+    Ok(())
+}
+
+fn cmd_annotate(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let [path] = options.positional.as_slice() else {
+        return Err(usage("annotate expects exactly one file"));
+    };
+    let program = load_program(path)?;
+    let analysis = analyze_program(&program, &AnalysisOptions::default());
+    let annotated = apply_granularity_control(
+        &program,
+        &analysis,
+        &AnnotateOptions { overhead: options.overhead },
+    );
+    writeln!(
+        out,
+        "% granularity control for a per-task overhead of {} units",
+        options.overhead
+    )?;
+    write!(out, "{}", annotated.program)?;
+    writeln!(out)?;
+    for decision in &annotated.decisions {
+        writeln!(
+            out,
+            "% clause {} of {}: {:?}",
+            decision.clause_index + 1,
+            decision.clause_pred,
+            decision.guarded
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let [path, query] = options.positional.as_slice() else {
+        return Err(usage("run expects a file and a query"));
+    };
+    let program = load_program(path)?;
+    let analysis = analyze_program(&program, &AnalysisOptions::default());
+    let prepared = match options.mode {
+        RunMode::Sequential => sequentialize(&program),
+        RunMode::NoControl => program.clone(),
+        RunMode::Control => {
+            apply_granularity_control(
+                &program,
+                &analysis,
+                &AnnotateOptions { overhead: options.overhead },
+            )
+            .program
+        }
+    };
+    let mut machine = Machine::with_config(&prepared, MachineConfig::default());
+    let outcome = machine.run_query(query)?;
+    if outcome.succeeded {
+        writeln!(out, "yes")?;
+        for (name, value) in &outcome.bindings {
+            if name.as_str() != "_" {
+                writeln!(out, "  {name} = {value}")?;
+            }
+        }
+    } else {
+        writeln!(out, "no")?;
+    }
+    writeln!(
+        out,
+        "work: {:.0} units ({} resolutions, {} grain tests); tasks spawned: {}",
+        outcome.work,
+        outcome.counters.resolutions,
+        outcome.counters.grain_tests,
+        outcome.task_tree.spawned_tasks()
+    )?;
+    let scaled = OverheadModel::rolog_like();
+    let per_task = scaled.per_task_overhead();
+    let overhead = scaled.scaled(options.overhead / per_task.max(1e-9));
+    let sim = simulate(&outcome.task_tree, &SimConfig::new(options.processors, overhead));
+    writeln!(
+        out,
+        "simulated time on {} processors: {:.0} units (speedup {:.2}x, utilisation {:.0}%)",
+        options.processors,
+        sim.makespan,
+        sim.speedup_vs_sequential,
+        sim.utilisation * 100.0
+    )?;
+    Ok(())
+}
+
+fn cmd_ddg(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    let [path, indicator] = options.positional.as_slice() else {
+        return Err(usage("ddg expects a file and a predicate indicator (name/arity)"));
+    };
+    let program = load_program(path)?;
+    let pred = parse_indicator(indicator)?;
+    if !program.defines(pred) {
+        return Err(CliError::Other(format!("{pred} is not defined in {path}")));
+    }
+    let modes = granlog_ir::modes::infer_modes(&program);
+    let decl = granlog_ir::modes::mode_or_default(&modes, pred).into_owned();
+    for (i, clause) in program.clauses_of(pred).iter().enumerate() {
+        let ddg = Ddg::build(clause, &decl);
+        writeln!(out, "% clause {}: {}", i + 1, clause.display())?;
+        write!(out, "{}", ddg.to_ascii())?;
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+fn parse_indicator(text: &str) -> Result<PredId, CliError> {
+    let Some((name, arity)) = text.rsplit_once('/') else {
+        return Err(usage(&format!("bad predicate indicator {text:?} (expected name/arity)")));
+    };
+    let arity: usize = arity
+        .parse()
+        .map_err(|_| usage(&format!("bad arity in {text:?}")))?;
+    Ok(PredId::parse(name, arity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("granlog-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run_cli(&args, &mut out)?;
+        Ok(String::from_utf8(out).unwrap())
+    }
+
+    const NREV: &str = r#"
+        :- mode nrev(+, -).
+        :- mode append(+, +, -).
+        nrev([], []).
+        nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+        append([], L, L).
+        append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+    "#;
+
+    const QSORT: &str = r#"
+        :- mode qsort(+, -).
+        :- mode partition(+, +, -, -).
+        :- mode app(+, +, -).
+        qsort([], []).
+        qsort([P|Xs], S) :- partition(Xs, P, Sm, Bg), qsort(Sm, S1) & qsort(Bg, S2), app(S1, [P|S2], S).
+        partition([], _, [], []).
+        partition([X|Xs], P, [X|S], B) :- X =< P, partition(Xs, P, S, B).
+        partition([X|Xs], P, S, [X|B]) :- X > P, partition(Xs, P, S, B).
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    "#;
+
+    #[test]
+    fn analyze_prints_costs_and_thresholds() {
+        let path = write_temp("nrev_analyze.pl", NREV);
+        let out = run(&["analyze", path.to_str().unwrap(), "--overhead", "48"]).unwrap();
+        assert!(out.contains("0.5*n^2 + 1.5*n + 1"));
+        assert!(out.contains("threshold"));
+        assert!(out.contains("nrev/2"));
+    }
+
+    #[test]
+    fn analyze_respects_metric_flag() {
+        let path = write_temp("nrev_metric.pl", NREV);
+        let resolutions = run(&["analyze", path.to_str().unwrap()]).unwrap();
+        let steps = run(&["analyze", path.to_str().unwrap(), "--metric", "steps"]).unwrap();
+        assert_ne!(resolutions, steps);
+        assert!(run(&["analyze", path.to_str().unwrap(), "--metric", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn annotate_inserts_grain_tests() {
+        let path = write_temp("qsort_annotate.pl", QSORT);
+        let out = run(&["annotate", path.to_str().unwrap(), "--overhead", "40"]).unwrap();
+        assert!(out.contains("$grain_ge"), "{out}");
+        assert!(out.contains('&'));
+        assert!(out.contains("% clause"));
+    }
+
+    #[test]
+    fn run_executes_queries_with_and_without_control() {
+        let path = write_temp("qsort_run.pl", QSORT);
+        for mode in ["--control", "--no-control", "--sequential"] {
+            let out = run(&[
+                "run",
+                path.to_str().unwrap(),
+                "qsort([3,1,2], S)",
+                mode,
+                "--processors",
+                "2",
+            ])
+            .unwrap();
+            assert!(out.contains("yes"), "{mode}: {out}");
+            assert!(out.contains("S = [1,2,3]"), "{mode}: {out}");
+            assert!(out.contains("simulated time"), "{mode}: {out}");
+        }
+    }
+
+    #[test]
+    fn run_reports_failure() {
+        let path = write_temp("fail_run.pl", "p(1).");
+        let out = run(&["run", path.to_str().unwrap(), "p(2)"]).unwrap();
+        assert!(out.contains("no"));
+    }
+
+    #[test]
+    fn ddg_prints_graphs() {
+        let path = write_temp("nrev_ddg.pl", NREV);
+        let out = run(&["ddg", path.to_str().unwrap(), "nrev/2"]).unwrap();
+        assert!(out.contains("start"));
+        assert!(out.contains("{body2_1, body2_2, body2_3}"));
+        assert!(run(&["ddg", path.to_str().unwrap(), "missing/9"]).is_err());
+        assert!(run(&["ddg", path.to_str().unwrap(), "nonsense"]).is_err());
+    }
+
+    #[test]
+    fn usage_errors() {
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["analyze"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["analyze", "a.pl", "--overhead"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["run", "x.pl", "q", "--processors", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        let help = run(&["help"]).unwrap();
+        assert!(help.contains("usage"));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        assert!(matches!(
+            run(&["analyze", "/definitely/not/here.pl"]),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let path = write_temp("broken.pl", "p(a");
+        assert!(matches!(
+            run(&["analyze", path.to_str().unwrap()]),
+            Err(CliError::Parse(_))
+        ));
+    }
+}

@@ -1,0 +1,288 @@
+//! Arithmetic evaluation for `is/2` and the arithmetic comparison builtins.
+
+use crate::error::{EngineError, EngineResult};
+use crate::machine::Machine;
+use crate::rterm::RTerm;
+use std::cmp::Ordering;
+
+/// A Prolog number: integer or float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// An integer value.
+    Int(i64),
+    /// A floating-point value.
+    Float(f64),
+}
+
+impl Num {
+    /// The value as a float.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::Int(i) => i as f64,
+            Num::Float(x) => x,
+        }
+    }
+
+    /// Converts to a runtime term.
+    pub fn to_rterm(self) -> RTerm {
+        match self {
+            Num::Int(i) => RTerm::Int(i),
+            Num::Float(x) => RTerm::Float(x),
+        }
+    }
+
+    /// Numeric comparison (floats and integers compare by value).
+    pub fn compare(self, other: Num) -> Ordering {
+        match (self, other) {
+            (Num::Int(a), Num::Int(b)) => a.cmp(&b),
+            (a, b) => a
+                .as_f64()
+                .partial_cmp(&b.as_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+fn err(msg: impl Into<String>) -> EngineError {
+    EngineError::Arithmetic(msg.into())
+}
+
+fn binary_int_or_float(a: Num, b: Num, fi: impl Fn(i64, i64) -> i64, ff: impl Fn(f64, f64) -> f64) -> Num {
+    match (a, b) {
+        (Num::Int(x), Num::Int(y)) => Num::Int(fi(x, y)),
+        _ => Num::Float(ff(a.as_f64(), b.as_f64())),
+    }
+}
+
+/// Evaluates an arithmetic expression term.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Arithmetic`] for unbound variables, non-numeric
+/// operands, unknown functions, or division by zero.
+pub fn eval(machine: &Machine<'_>, term: &RTerm) -> EngineResult<Num> {
+    let t = machine.deref(term);
+    match &t {
+        RTerm::Int(i) => Ok(Num::Int(*i)),
+        RTerm::Float(x) => Ok(Num::Float(*x)),
+        RTerm::Var(_) => Err(err("unbound variable in arithmetic expression")),
+        RTerm::Atom(s) => match s.as_str() {
+            "pi" => Ok(Num::Float(std::f64::consts::PI)),
+            "e" => Ok(Num::Float(std::f64::consts::E)),
+            other => Err(err(format!("unknown arithmetic constant {other}"))),
+        },
+        RTerm::Struct(name, args) => {
+            let name = name.as_str();
+            match (name, args.len()) {
+                ("+", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    Ok(binary_int_or_float(a, b, i64::wrapping_add, |x, y| x + y))
+                }
+                ("-", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    Ok(binary_int_or_float(a, b, i64::wrapping_sub, |x, y| x - y))
+                }
+                ("*", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    Ok(binary_int_or_float(a, b, i64::wrapping_mul, |x, y| x * y))
+                }
+                ("/", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    if b.as_f64() == 0.0 {
+                        return Err(err("division by zero"));
+                    }
+                    match (a, b) {
+                        (Num::Int(x), Num::Int(y)) if x % y == 0 => Ok(Num::Int(x / y)),
+                        _ => Ok(Num::Float(a.as_f64() / b.as_f64())),
+                    }
+                }
+                ("//", 2) | ("div", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (_, Num::Int(0)) => Err(err("division by zero")),
+                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x.div_euclid(y))),
+                        _ => Err(err("// requires integer operands")),
+                    }
+                }
+                ("mod", 2) | ("rem", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (_, Num::Int(0)) => Err(err("modulo by zero")),
+                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(if name == "mod" {
+                            x.rem_euclid(y)
+                        } else {
+                            x % y
+                        })),
+                        _ => Err(err("mod requires integer operands")),
+                    }
+                }
+                ("-", 1) => {
+                    let a = eval(machine, &args[0])?;
+                    Ok(match a {
+                        Num::Int(x) => Num::Int(-x),
+                        Num::Float(x) => Num::Float(-x),
+                    })
+                }
+                ("+", 1) => eval(machine, &args[0]),
+                ("abs", 1) => {
+                    let a = eval(machine, &args[0])?;
+                    Ok(match a {
+                        Num::Int(x) => Num::Int(x.abs()),
+                        Num::Float(x) => Num::Float(x.abs()),
+                    })
+                }
+                ("sign", 1) => {
+                    let a = eval(machine, &args[0])?;
+                    Ok(match a {
+                        Num::Int(x) => Num::Int(x.signum()),
+                        Num::Float(x) => Num::Float(x.signum()),
+                    })
+                }
+                ("min", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    Ok(if a.compare(b) == Ordering::Greater { b } else { a })
+                }
+                ("max", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    Ok(if a.compare(b) == Ordering::Less { b } else { a })
+                }
+                ("**", 2) | ("^", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (Num::Int(x), Num::Int(y)) if y >= 0 && name == "^" => {
+                            Ok(Num::Int(x.pow(u32::try_from(y).map_err(|_| err("exponent too large"))?)))
+                        }
+                        _ => Ok(Num::Float(a.as_f64().powf(b.as_f64()))),
+                    }
+                }
+                ("sqrt", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().sqrt())),
+                ("sin", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().sin())),
+                ("cos", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().cos())),
+                ("atan", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().atan())),
+                ("log", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().ln())),
+                ("exp", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().exp())),
+                ("float", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64())),
+                ("integer", 1) | ("truncate", 1) => {
+                    Ok(Num::Int(eval(machine, &args[0])?.as_f64().trunc() as i64))
+                }
+                ("round", 1) => Ok(Num::Int(eval(machine, &args[0])?.as_f64().round() as i64)),
+                ("floor", 1) => Ok(Num::Int(eval(machine, &args[0])?.as_f64().floor() as i64)),
+                ("ceiling", 1) => Ok(Num::Int(eval(machine, &args[0])?.as_f64().ceil() as i64)),
+                (">>", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x >> y.clamp(0, 63))),
+                        _ => Err(err(">> requires integers")),
+                    }
+                }
+                ("<<", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x << y.clamp(0, 63))),
+                        _ => Err(err("<< requires integers")),
+                    }
+                }
+                ("/\\", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x & y)),
+                        _ => Err(err("/\\ requires integers")),
+                    }
+                }
+                ("\\/", 2) => {
+                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
+                    match (a, b) {
+                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x | y)),
+                        _ => Err(err("\\/ requires integers")),
+                    }
+                }
+                (other, n) => Err(err(format!("unknown arithmetic function {other}/{n}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use granlog_ir::parser::{parse_program, parse_term};
+    use granlog_ir::Program;
+
+    fn empty_program() -> Program {
+        parse_program("dummy.").unwrap()
+    }
+
+    fn eval_src(src: &str) -> EngineResult<Num> {
+        let program = empty_program();
+        let machine = Machine::new(&program);
+        let (t, _) = parse_term(src).unwrap();
+        let r = RTerm::from_ir(&t, 0);
+        // No variables are bound in these tests, so a fresh machine suffices.
+        eval(&machine, &r)
+    }
+
+    #[test]
+    fn basic_operations() {
+        assert_eq!(eval_src("1 + 2 * 3").unwrap(), Num::Int(7));
+        assert_eq!(eval_src("10 - 4 - 3").unwrap(), Num::Int(3));
+        assert_eq!(eval_src("7 // 2").unwrap(), Num::Int(3));
+        assert_eq!(eval_src("7 mod 2").unwrap(), Num::Int(1));
+        assert_eq!(eval_src("-3 + 1").unwrap(), Num::Int(-2));
+        assert_eq!(eval_src("6 / 3").unwrap(), Num::Int(2));
+        assert_eq!(eval_src("7 / 2").unwrap(), Num::Float(3.5));
+    }
+
+    #[test]
+    fn float_operations() {
+        assert_eq!(eval_src("1.5 + 2.5").unwrap(), Num::Float(4.0));
+        assert_eq!(eval_src("2 * 1.5").unwrap(), Num::Float(3.0));
+        match eval_src("sqrt(2.0)").unwrap() {
+            Num::Float(x) => assert!((x - std::f64::consts::SQRT_2).abs() < 1e-12),
+            other => panic!("expected float, got {other:?}"),
+        }
+        match eval_src("cos(0)").unwrap() {
+            Num::Float(x) => assert!((x - 1.0).abs() < 1e-12),
+            other => panic!("expected float, got {other:?}"),
+        }
+        assert_eq!(eval_src("truncate(3.9)").unwrap(), Num::Int(3));
+        assert_eq!(eval_src("round(3.5)").unwrap(), Num::Int(4));
+    }
+
+    #[test]
+    fn constants_and_powers() {
+        match eval_src("pi").unwrap() {
+            Num::Float(x) => assert!((x - std::f64::consts::PI).abs() < 1e-12),
+            other => panic!("expected float, got {other:?}"),
+        }
+        assert_eq!(eval_src("2 ^ 10").unwrap(), Num::Int(1024));
+        assert_eq!(eval_src("abs(-4)").unwrap(), Num::Int(4));
+        assert_eq!(eval_src("min(3, 5)").unwrap(), Num::Int(3));
+        assert_eq!(eval_src("max(3, 5)").unwrap(), Num::Int(5));
+        assert_eq!(eval_src("4 << 2").unwrap(), Num::Int(16));
+        assert_eq!(eval_src("16 >> 3").unwrap(), Num::Int(2));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(eval_src("1 / 0").is_err());
+        assert!(eval_src("5 // 0").is_err());
+        assert!(eval_src("X + 1").is_err());
+        assert!(eval_src("foo(3)").is_err());
+        assert!(eval_src("hello").is_err());
+    }
+
+    #[test]
+    fn comparison_ordering() {
+        assert_eq!(Num::Int(3).compare(Num::Int(4)), Ordering::Less);
+        assert_eq!(Num::Float(3.0).compare(Num::Int(3)), Ordering::Equal);
+        assert_eq!(Num::Int(5).compare(Num::Float(4.5)), Ordering::Greater);
+    }
+
+    #[test]
+    fn to_rterm_round_trip() {
+        assert_eq!(Num::Int(7).to_rterm(), RTerm::Int(7));
+        assert_eq!(Num::Float(1.5).to_rterm(), RTerm::Float(1.5));
+        assert_eq!(Num::Int(7).as_f64(), 7.0);
+    }
+}

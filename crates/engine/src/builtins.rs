@@ -1,0 +1,492 @@
+//! Builtin predicates.
+//!
+//! All builtins are deterministic (at most one solution). [`call`] returns
+//! `Ok(None)` when the goal is not a builtin, so the machine falls back to
+//! user-clause resolution.
+
+use crate::arith::eval;
+use crate::error::{EngineError, EngineResult};
+use crate::machine::Machine;
+use crate::rterm::RTerm;
+use granlog_ir::Symbol;
+use std::cmp::Ordering;
+
+/// Executes a builtin goal. Returns `Ok(None)` if the goal is not a builtin,
+/// otherwise `Ok(Some(success))`.
+///
+/// # Errors
+///
+/// Propagates arithmetic and type errors from the individual builtins.
+pub fn call(machine: &mut Machine<'_>, goal: &RTerm) -> EngineResult<Option<bool>> {
+    let Some((name, arity)) = goal.functor() else { return Ok(None) };
+    let args = goal.args();
+    let result = match (name.as_str(), arity) {
+        ("=", 2) => {
+            machine.charge_builtin();
+            machine.unify(&args[0], &args[1])
+        }
+        ("\\=", 2) => {
+            machine.charge_builtin();
+            // Not-unifiable test must not leave bindings behind; probe on
+            // resolved copies via structural comparison where possible, else
+            // use a throwaway unification on fresh terms.
+            let a = machine.resolve(&args[0]);
+            let b = machine.resolve(&args[1]);
+            granlog_ir::unify::mgu(&a, &b).is_none()
+        }
+        ("==", 2) => {
+            machine.charge_builtin();
+            machine.resolve(&args[0]) == machine.resolve(&args[1])
+        }
+        ("\\==", 2) => {
+            machine.charge_builtin();
+            machine.resolve(&args[0]) != machine.resolve(&args[1])
+        }
+        ("@<", 2) | ("@>", 2) | ("@=<", 2) | ("@>=", 2) => {
+            machine.charge_builtin();
+            let a = machine.resolve(&args[0]);
+            let b = machine.resolve(&args[1]);
+            let ord = a.cmp(&b);
+            match name.as_str() {
+                "@<" => ord == Ordering::Less,
+                "@>" => ord == Ordering::Greater,
+                "@=<" => ord != Ordering::Greater,
+                _ => ord != Ordering::Less,
+            }
+        }
+        ("is", 2) => {
+            machine.charge_builtin();
+            let value = eval(machine, &args[1])?;
+            machine.unify(&args[0], &value.to_rterm())
+        }
+        ("<", 2) | (">", 2) | ("=<", 2) | (">=", 2) | ("=:=", 2) | ("=\\=", 2) => {
+            machine.charge_builtin();
+            let a = eval(machine, &args[0])?;
+            let b = eval(machine, &args[1])?;
+            let ord = a.compare(b);
+            match name.as_str() {
+                "<" => ord == Ordering::Less,
+                ">" => ord == Ordering::Greater,
+                "=<" => ord != Ordering::Greater,
+                ">=" => ord != Ordering::Less,
+                "=:=" => ord == Ordering::Equal,
+                _ => ord != Ordering::Equal,
+            }
+        }
+        ("var", 1) => {
+            machine.charge_builtin();
+            matches!(machine.deref(&args[0]), RTerm::Var(_))
+        }
+        ("nonvar", 1) => {
+            machine.charge_builtin();
+            !matches!(machine.deref(&args[0]), RTerm::Var(_))
+        }
+        ("atom", 1) => {
+            machine.charge_builtin();
+            matches!(machine.deref(&args[0]), RTerm::Atom(_))
+        }
+        ("number", 1) => {
+            machine.charge_builtin();
+            matches!(machine.deref(&args[0]), RTerm::Int(_) | RTerm::Float(_))
+        }
+        ("integer", 1) => {
+            machine.charge_builtin();
+            matches!(machine.deref(&args[0]), RTerm::Int(_))
+        }
+        ("float", 1) => {
+            machine.charge_builtin();
+            matches!(machine.deref(&args[0]), RTerm::Float(_))
+        }
+        ("atomic", 1) => {
+            machine.charge_builtin();
+            matches!(
+                machine.deref(&args[0]),
+                RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_)
+            )
+        }
+        ("ground", 1) => {
+            machine.charge_builtin();
+            machine.resolve(&args[0]).is_ground()
+        }
+        ("is_list", 1) => {
+            machine.charge_builtin();
+            list_length(machine, &args[0], u64::MAX).is_some()
+        }
+        ("functor", 3) => {
+            machine.charge_builtin();
+            builtin_functor(machine, args)?
+        }
+        ("arg", 3) => {
+            machine.charge_builtin();
+            let n = match machine.deref(&args[0]) {
+                RTerm::Int(i) => i,
+                other => {
+                    return Err(EngineError::TypeError {
+                        builtin: "arg",
+                        message: format!("first argument must be an integer, got {other:?}"),
+                    })
+                }
+            };
+            let t = machine.deref(&args[1]);
+            match t {
+                RTerm::Struct(_, children) if n >= 1 && (n as usize) <= children.len() => {
+                    let child = children[(n - 1) as usize].clone();
+                    machine.unify(&args[2], &child)
+                }
+                _ => false,
+            }
+        }
+        ("=..", 2) => {
+            machine.charge_builtin();
+            builtin_univ(machine, args)?
+        }
+        ("length", 2) => {
+            machine.charge_builtin();
+            match list_length(machine, &args[0], u64::MAX) {
+                Some(n) => machine.unify(&args[1], &RTerm::Int(n as i64)),
+                None => false,
+            }
+        }
+        ("$grain_ge", 3) => {
+            let threshold = match machine.deref(&args[2]) {
+                RTerm::Int(k) => k.max(0) as u64,
+                _ => 0,
+            };
+            let measure = match machine.deref(&args[1]) {
+                RTerm::Atom(s) => s,
+                _ => Symbol::intern("size"),
+            };
+            grain_test(machine, &args[0], measure, threshold)
+        }
+        ("write", 1) | ("print", 1) | ("write_canonical", 1) | ("tab", 1) => {
+            machine.charge_builtin();
+            true
+        }
+        ("nl", 0) => {
+            machine.charge_builtin();
+            true
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(result))
+}
+
+fn builtin_functor(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bool> {
+    let t = machine.deref(&args[0]);
+    match &t {
+        RTerm::Var(_) => {
+            // Construct: functor(T, Name, Arity).
+            let name = machine.deref(&args[1]);
+            let arity = match machine.deref(&args[2]) {
+                RTerm::Int(i) if i >= 0 => i as usize,
+                _ => {
+                    return Err(EngineError::TypeError {
+                        builtin: "functor",
+                        message: "arity must be a non-negative integer".into(),
+                    })
+                }
+            };
+            match name {
+                RTerm::Atom(s) => {
+                    let fresh_base = machine.heap.len();
+                    machine
+                        .heap
+                        .resize(fresh_base + arity, None);
+                    let term = RTerm::structure(
+                        s,
+                        (0..arity).map(|i| RTerm::Var(fresh_base + i)).collect(),
+                    );
+                    Ok(machine.unify(&args[0], &term))
+                }
+                RTerm::Int(_) | RTerm::Float(_) if arity == 0 => Ok(machine.unify(&args[0], &name)),
+                _ => Ok(false),
+            }
+        }
+        RTerm::Atom(s) => {
+            Ok(machine.unify(&args[1], &RTerm::Atom(*s)) && machine.unify(&args[2], &RTerm::Int(0)))
+        }
+        RTerm::Int(_) | RTerm::Float(_) => {
+            Ok(machine.unify(&args[1], &t) && machine.unify(&args[2], &RTerm::Int(0)))
+        }
+        RTerm::Struct(s, children) => Ok(machine.unify(&args[1], &RTerm::Atom(*s))
+            && machine.unify(&args[2], &RTerm::Int(children.len() as i64))),
+    }
+}
+
+fn builtin_univ(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bool> {
+    let t = machine.deref(&args[0]);
+    match &t {
+        RTerm::Struct(s, children) => {
+            let mut items = vec![RTerm::Atom(*s)];
+            items.extend(children.iter().cloned());
+            let list = RTerm::list(items);
+            Ok(machine.unify(&args[1], &list))
+        }
+        RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_) => {
+            Ok(machine.unify(&args[1], &RTerm::list(vec![t.clone()])))
+        }
+        RTerm::Var(_) => {
+            // Construct from the list.
+            let mut items = Vec::new();
+            let mut cur = machine.deref(&args[1]);
+            loop {
+                if cur.is_nil() {
+                    break;
+                }
+                if !cur.is_cons() {
+                    return Err(EngineError::TypeError {
+                        builtin: "=..",
+                        message: "second argument must be a proper list".into(),
+                    });
+                }
+                items.push(machine.deref(&cur.args()[0]));
+                cur = machine.deref(&cur.args()[1]);
+            }
+            let Some((head, rest)) = items.split_first() else {
+                return Ok(false);
+            };
+            match head {
+                RTerm::Atom(s) => {
+                    let term = RTerm::structure(*s, rest.to_vec());
+                    Ok(machine.unify(&args[0], &term))
+                }
+                RTerm::Int(_) | RTerm::Float(_) if rest.is_empty() => {
+                    Ok(machine.unify(&args[0], head))
+                }
+                _ => Ok(false),
+            }
+        }
+    }
+}
+
+/// Walks a list spine counting elements, up to `limit`. Returns `None` for
+/// partial or improper lists.
+fn list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> Option<u64> {
+    let mut count = 0u64;
+    let mut cur = machine.deref(t);
+    loop {
+        if cur.is_nil() {
+            return Some(count);
+        }
+        if cur.is_cons() {
+            count += 1;
+            if count >= limit {
+                return Some(count);
+            }
+            cur = machine.deref(&cur.args()[1]);
+        } else {
+            return None;
+        }
+    }
+}
+
+/// The `$grain_ge(Term, Measure, K)` runtime grain-size test: succeeds iff the
+/// size of `Term` under `Measure` is at least `K`. Charges the machine a cost
+/// proportional to the number of elements it had to traverse (for list/term
+/// measures traversal stops as soon as `K` elements have been seen, mirroring
+/// the cheap tests the paper generates).
+fn grain_test(machine: &mut Machine<'_>, term: &RTerm, measure: Symbol, k: u64) -> bool {
+    match measure.as_str() {
+        "length" | "list_length" | "list" => {
+            let seen = bounded_list_length(machine, term, k);
+            machine.charge_grain_test(seen.min(k));
+            seen >= k
+        }
+        "int" | "value" | "int_value" | "nat" => {
+            machine.charge_grain_test(1);
+            match machine.deref(term) {
+                RTerm::Int(v) => (v.max(0) as u64) >= k,
+                RTerm::Float(v) => v >= k as f64,
+                _ => true, // unknown size: err on the parallel side
+            }
+        }
+        "depth" | "term_depth" => {
+            let d = bounded_depth(machine, term, k);
+            machine.charge_grain_test(d.min(k));
+            d >= k
+        }
+        _ => {
+            // term size (default): count symbols up to K.
+            let s = bounded_term_size(machine, term, k);
+            machine.charge_grain_test(s.min(k));
+            s >= k
+        }
+    }
+}
+
+fn bounded_list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
+    let mut count = 0u64;
+    let mut cur = machine.deref(t);
+    while count < limit && cur.is_cons() {
+        count += 1;
+        cur = machine.deref(&cur.args()[1]);
+    }
+    count
+}
+
+fn bounded_term_size(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
+    let mut stack = vec![machine.deref(t)];
+    let mut count = 0u64;
+    while let Some(cur) = stack.pop() {
+        if count >= limit {
+            return count;
+        }
+        match cur {
+            RTerm::Var(_) => {}
+            RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_) => count += 1,
+            RTerm::Struct(_, args) => {
+                count += 1;
+                for a in args.iter() {
+                    stack.push(machine.deref(a));
+                }
+            }
+        }
+    }
+    count
+}
+
+fn bounded_depth(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
+    fn go(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
+        if limit == 0 {
+            return 0;
+        }
+        match machine.deref(t) {
+            RTerm::Struct(_, args) => {
+                1 + args
+                    .iter()
+                    .map(|a| go(machine, a, limit - 1))
+                    .max()
+                    .unwrap_or(0)
+            }
+            _ => 0,
+        }
+    }
+    go(machine, t, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::machine::{Machine, QueryOutcome};
+    use granlog_ir::parser::parse_program;
+    use granlog_ir::Term;
+
+    fn run(query: &str) -> QueryOutcome {
+        let program = parse_program("dummy.").unwrap();
+        let mut machine = Machine::new(&program);
+        machine.run_query(query).unwrap()
+    }
+
+    #[test]
+    fn unification_and_disequality() {
+        assert!(run("X = f(1), X = f(1)").succeeded);
+        assert!(!run("f(1) = f(2)").succeeded);
+        assert!(run("f(1) \\= f(2)").succeeded);
+        assert!(!run("X \\= f(2)").succeeded);
+        assert!(run("X = 3, X == 3").succeeded);
+        assert!(run("f(X) \\== f(Y)").succeeded);
+    }
+
+    #[test]
+    fn term_ordering() {
+        assert!(run("a @< b").succeeded);
+        assert!(run("f(a) @> a").succeeded);
+        assert!(run("a @=< a").succeeded);
+        assert!(!run("b @< a").succeeded);
+    }
+
+    #[test]
+    fn arithmetic_builtins() {
+        let out = run("X is 3 * 4 + 1");
+        assert_eq!(out.binding("X").unwrap(), &Term::int(13));
+        assert!(run("3 < 4").succeeded);
+        assert!(!run("4 < 3").succeeded);
+        assert!(run("2 + 2 =:= 4").succeeded);
+        assert!(run("2 + 2 =\\= 5").succeeded);
+        assert!(run("4 >= 4").succeeded);
+        assert!(run("3 =< 4").succeeded);
+    }
+
+    #[test]
+    fn type_tests() {
+        assert!(run("var(X)").succeeded);
+        assert!(!run("X = 1, var(X)").succeeded);
+        assert!(run("X = 1, nonvar(X)").succeeded);
+        assert!(run("atom(foo)").succeeded);
+        assert!(!run("atom(1)").succeeded);
+        assert!(run("number(3)").succeeded);
+        assert!(run("integer(3)").succeeded);
+        assert!(!run("integer(3.5)").succeeded);
+        assert!(run("float(3.5)").succeeded);
+        assert!(run("atomic([])").succeeded);
+        assert!(run("ground(f(1, a))").succeeded);
+        assert!(!run("ground(f(1, X))").succeeded);
+        assert!(run("is_list([1,2,3])").succeeded);
+        assert!(!run("is_list([1|_])").succeeded);
+    }
+
+    #[test]
+    fn functor_and_arg() {
+        let out = run("functor(f(a, b), N, A)");
+        assert_eq!(out.binding("N").unwrap(), &Term::atom("f"));
+        assert_eq!(out.binding("A").unwrap(), &Term::int(2));
+        let out = run("functor(T, f, 2)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("T").unwrap().functor().unwrap().1, 2);
+        let out = run("arg(2, f(a, b, c), X)");
+        assert_eq!(out.binding("X").unwrap(), &Term::atom("b"));
+        assert!(!run("arg(5, f(a), _X)").succeeded);
+        assert!(run("functor(foo, foo, 0)").succeeded);
+        assert!(run("functor(42, 42, 0)").succeeded);
+    }
+
+    #[test]
+    fn univ() {
+        let out = run("f(a, b) =.. L");
+        assert_eq!(out.binding("L").unwrap().to_string(), "[f,a,b]");
+        let out = run("T =.. [g, 1, 2]");
+        assert_eq!(out.binding("T").unwrap().to_string(), "g(1,2)");
+        let out = run("foo =.. L");
+        assert_eq!(out.binding("L").unwrap().to_string(), "[foo]");
+    }
+
+    #[test]
+    fn length_builtin() {
+        let out = run("length([a, b, c], N)");
+        assert_eq!(out.binding("N").unwrap(), &Term::int(3));
+        assert!(run("length([], 0)").succeeded);
+        assert!(!run("length([a|_T], _N)").succeeded);
+    }
+
+    #[test]
+    fn grain_test_on_lists() {
+        assert!(run("'$grain_ge'([1,2,3,4], length, 3)").succeeded);
+        assert!(!run("'$grain_ge'([1,2], length, 3)").succeeded);
+        assert!(run("'$grain_ge'([1,2,3], length, 3)").succeeded);
+        // The traversal is bounded by K, so the charged elements are at most K.
+        let out = run("'$grain_ge'([1,2,3,4,5,6,7,8,9,10], length, 3)");
+        assert!(out.counters.grain_test_elements <= 3);
+        assert_eq!(out.counters.grain_tests, 1);
+    }
+
+    #[test]
+    fn grain_test_on_integers_and_terms() {
+        assert!(run("'$grain_ge'(10, int, 5)").succeeded);
+        assert!(!run("'$grain_ge'(3, int, 5)").succeeded);
+        assert!(run("'$grain_ge'(f(g(h(a))), depth, 3)").succeeded);
+        assert!(!run("'$grain_ge'(f(a), depth, 3)").succeeded);
+        assert!(run("'$grain_ge'(f(a, b, c), size, 4)").succeeded);
+        // Unbound sizes err on the parallel side.
+        assert!(run("'$grain_ge'(X, int, 5)").succeeded);
+    }
+
+    #[test]
+    fn io_builtins_are_noops() {
+        assert!(run("write(hello), nl, tab(3)").succeeded);
+    }
+
+    #[test]
+    fn builtin_counter_increments() {
+        let out = run("X is 1 + 1, X > 1, atom(foo)");
+        assert_eq!(out.counters.builtins, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Work accounting.
+//!
+//! The engine counts the operations it performs in the same abstract units the
+//! static analysis reasons about (resolutions, unifications, builtin calls,
+//! grain-size tests). A [`CostModel`] converts those counters into a single
+//! scalar number of *work units*, which is what the task tree records and the
+//! multiprocessor simulator schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// Raw operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Number of successful clause resolutions (clause body entries).
+    pub resolutions: u64,
+    /// Number of head-unification attempts (successful or not).
+    pub head_attempts: u64,
+    /// Number of elementary unification steps performed.
+    pub unifications: u64,
+    /// Number of builtin calls executed.
+    pub builtins: u64,
+    /// Number of `$grain_ge` tests executed.
+    pub grain_tests: u64,
+    /// Number of list/term elements traversed by grain-size tests (the runtime
+    /// overhead of maintaining/evaluating size information).
+    pub grain_test_elements: u64,
+}
+
+impl Counters {
+    /// Component-wise difference (`self − earlier`), used to attribute work to
+    /// a task segment.
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            resolutions: self.resolutions - earlier.resolutions,
+            head_attempts: self.head_attempts - earlier.head_attempts,
+            unifications: self.unifications - earlier.unifications,
+            builtins: self.builtins - earlier.builtins,
+            grain_tests: self.grain_tests - earlier.grain_tests,
+            grain_test_elements: self.grain_test_elements - earlier.grain_test_elements,
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &Counters) -> Counters {
+        Counters {
+            resolutions: self.resolutions + other.resolutions,
+            head_attempts: self.head_attempts + other.head_attempts,
+            unifications: self.unifications + other.unifications,
+            builtins: self.builtins + other.builtins,
+            grain_tests: self.grain_tests + other.grain_tests,
+            grain_test_elements: self.grain_test_elements + other.grain_test_elements,
+        }
+    }
+}
+
+/// Weights converting operation counters into scalar work units.
+///
+/// The defaults mirror the paper's "resolutions" metric: each resolution is
+/// one unit, unification and builtins are free, and grain-size tests charge
+/// one unit plus one unit per traversed element (the runtime overhead of
+/// granularity control, studied in Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Work per successful resolution.
+    pub per_resolution: f64,
+    /// Work per head-unification attempt (including failing ones).
+    pub per_head_attempt: f64,
+    /// Work per elementary unification step.
+    pub per_unification: f64,
+    /// Work per builtin call.
+    pub per_builtin: f64,
+    /// Fixed work per `$grain_ge` test.
+    pub per_grain_test: f64,
+    /// Work per element traversed by a grain-size test.
+    pub per_grain_test_element: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            per_resolution: 1.0,
+            per_head_attempt: 0.0,
+            per_unification: 0.0,
+            per_builtin: 0.0,
+            per_grain_test: 1.0,
+            per_grain_test_element: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model that counts every elementary operation (closer to "number of
+    /// instructions executed").
+    pub fn instruction_like() -> Self {
+        CostModel {
+            per_resolution: 4.0,
+            per_head_attempt: 1.0,
+            per_unification: 1.0,
+            per_builtin: 2.0,
+            per_grain_test: 2.0,
+            per_grain_test_element: 1.0,
+        }
+    }
+
+    /// Converts counters into scalar work units under this model.
+    pub fn work(&self, c: &Counters) -> f64 {
+        self.per_resolution * c.resolutions as f64
+            + self.per_head_attempt * c.head_attempts as f64
+            + self.per_unification * c.unifications as f64
+            + self.per_builtin * c.builtins as f64
+            + self.per_grain_test * c.grain_tests as f64
+            + self.per_grain_test_element * c.grain_test_elements as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_counts_resolutions_and_tests() {
+        let c = Counters {
+            resolutions: 10,
+            head_attempts: 15,
+            unifications: 40,
+            builtins: 5,
+            grain_tests: 2,
+            grain_test_elements: 6,
+        };
+        let w = CostModel::default().work(&c);
+        assert_eq!(w, 10.0 + 2.0 + 6.0);
+    }
+
+    #[test]
+    fn instruction_model_counts_everything() {
+        let c = Counters { resolutions: 1, head_attempts: 1, unifications: 1, builtins: 1, grain_tests: 1, grain_test_elements: 1 };
+        let w = CostModel::instruction_like().work(&c);
+        assert_eq!(w, 4.0 + 1.0 + 1.0 + 2.0 + 2.0 + 1.0);
+    }
+
+    #[test]
+    fn since_and_add_are_inverse() {
+        let a = Counters { resolutions: 5, head_attempts: 7, unifications: 9, builtins: 1, grain_tests: 0, grain_test_elements: 0 };
+        let b = Counters { resolutions: 2, head_attempts: 3, unifications: 4, builtins: 1, grain_tests: 0, grain_test_elements: 0 };
+        let diff = a.since(&b);
+        assert_eq!(diff.add(&b), a);
+        assert_eq!(diff.resolutions, 3);
+    }
+}

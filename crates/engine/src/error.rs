@@ -1,0 +1,69 @@
+//! Errors raised by the execution engine.
+
+use granlog_ir::{PredId, Term};
+use std::fmt;
+
+/// An error produced while executing a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A goal called a predicate that is neither defined by the program nor a
+    /// builtin.
+    UnknownPredicate(PredId),
+    /// The configured resolution-step limit was exceeded.
+    StepLimit(u64),
+    /// The configured recursion-depth limit was exceeded.
+    DepthLimit(usize),
+    /// An arithmetic expression could not be evaluated (unbound variable,
+    /// non-numeric operand, unknown function, division by zero).
+    Arithmetic(String),
+    /// A builtin was called with arguments it cannot handle.
+    TypeError {
+        /// The builtin concerned.
+        builtin: &'static str,
+        /// Explanation of the problem.
+        message: String,
+    },
+    /// A goal was not callable (e.g. an unbound variable or a number).
+    NotCallable(Term),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownPredicate(p) => write!(f, "unknown predicate {p}"),
+            EngineError::StepLimit(n) => write!(f, "step limit of {n} resolutions exceeded"),
+            EngineError::DepthLimit(n) => write!(f, "depth limit of {n} exceeded"),
+            EngineError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            EngineError::TypeError { builtin, message } => {
+                write!(f, "type error in {builtin}: {message}")
+            }
+            EngineError::NotCallable(t) => write!(f, "goal is not callable: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Result alias for engine operations.
+pub type EngineResult<T> = Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = EngineError::UnknownPredicate(PredId::parse("foo", 3));
+        assert!(e.to_string().contains("foo/3"));
+        let e = EngineError::StepLimit(10);
+        assert!(e.to_string().contains("10"));
+        let e = EngineError::Arithmetic("unbound variable".into());
+        assert!(e.to_string().contains("unbound"));
+        let e = EngineError::NotCallable(Term::int(3));
+        assert!(e.to_string().contains('3'));
+        let e = EngineError::TypeError { builtin: "functor", message: "bad".into() };
+        assert!(e.to_string().contains("functor"));
+        let e = EngineError::DepthLimit(5);
+        assert!(e.to_string().contains('5'));
+    }
+}

@@ -1,0 +1,757 @@
+//! The sequential resolution engine.
+//!
+//! [`Machine`] executes queries against a [`Program`] by SLD resolution with
+//! chronological backtracking, first-argument indexing and a small set of
+//! builtins (see [`crate::builtins`]). It is intentionally a straightforward
+//! structure-sharing interpreter rather than a WAM: the quantities the
+//! experiments need are *operation counts* (resolutions, unifications, grain
+//! tests) and the *fork-join task structure*, both of which it records
+//! faithfully while executing the program sequentially.
+//!
+//! Parallel conjunctions (`&`) are executed with independent and-parallel
+//! semantics: each arm is solved to its first solution in order, and the
+//! conjunction fails if any arm fails (no backtracking across arms). The
+//! fork/join structure and each arm's work are recorded in a
+//! [`crate::tasktree::TaskTree`] for the multiprocessor simulator.
+
+use crate::cost::{CostModel, Counters};
+use crate::error::{EngineError, EngineResult};
+use crate::rterm::RTerm;
+use crate::tasktree::{TaskRecorder, TaskTree};
+use granlog_ir::symbol::well_known;
+use granlog_ir::{parser, PredId, Program, Symbol, Term};
+use std::rc::Rc;
+
+/// Configuration of a [`Machine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Maximum number of head-unification attempts before aborting with
+    /// [`EngineError::StepLimit`].
+    pub max_steps: u64,
+    /// Maximum solver recursion depth (pending goals along one path).
+    pub max_depth: usize,
+    /// The cost model converting operations into work units.
+    pub cost_model: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            max_steps: 200_000_000,
+            max_depth: 4_000_000,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// The outcome of running a query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Did the query succeed?
+    pub succeeded: bool,
+    /// Bindings of the query's named variables (resolved), in source order.
+    pub bindings: Vec<(Symbol, Term)>,
+    /// Raw operation counters.
+    pub counters: Counters,
+    /// Total work in cost-model units.
+    pub work: f64,
+    /// The recorded fork-join task tree.
+    pub task_tree: TaskTree,
+}
+
+impl QueryOutcome {
+    /// The binding of a variable by name, if any.
+    pub fn binding(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// Goal continuation: a shared cons-list of pending goals.
+type Goals = Option<Rc<Frame>>;
+
+struct Frame {
+    goal: RTerm,
+    rest: Goals,
+}
+
+fn push_goal(goal: RTerm, rest: &Goals) -> Goals {
+    Some(Rc::new(Frame { goal, rest: rest.clone() }))
+}
+
+/// The resolution engine.
+pub struct Machine<'p> {
+    program: &'p Program,
+    config: MachineConfig,
+    pub(crate) heap: Vec<Option<RTerm>>,
+    trail: Vec<usize>,
+    pub(crate) counters: Counters,
+    recorder: TaskRecorder,
+}
+
+impl<'p> Machine<'p> {
+    /// Creates a machine with the default configuration.
+    pub fn new(program: &'p Program) -> Self {
+        Machine::with_config(program, MachineConfig::default())
+    }
+
+    /// Creates a machine with an explicit configuration.
+    pub fn with_config(program: &'p Program, config: MachineConfig) -> Self {
+        Machine {
+            program,
+            config,
+            heap: Vec::new(),
+            trail: Vec::new(),
+            counters: Counters::default(),
+            recorder: TaskRecorder::new(),
+        }
+    }
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        self.program
+    }
+
+    /// The operation counters accumulated so far.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Parses and runs a query (e.g. `"fib(15, X)"`), returning its outcome.
+    ///
+    /// The machine's heap, counters and task recording are reset first, so a
+    /// machine can be reused for several queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query does not parse or execution hits a limit
+    /// or runtime error.
+    pub fn run_query(&mut self, query: &str) -> EngineResult<QueryOutcome> {
+        let (goal, var_names) = parser::parse_term(query).map_err(|e| EngineError::TypeError {
+            builtin: "query",
+            message: e.to_string(),
+        })?;
+        self.run_goal(&goal, &var_names)
+    }
+
+    /// Runs an already-parsed goal term whose variables are numbered
+    /// `0..var_names.len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution hits a limit or runtime error.
+    pub fn run_goal(&mut self, goal: &Term, var_names: &[Symbol]) -> EngineResult<QueryOutcome> {
+        self.heap.clear();
+        self.trail.clear();
+        self.counters = Counters::default();
+        self.recorder = TaskRecorder::new();
+
+        let nvars = var_names.len().max(goal.var_bound());
+        self.heap.resize(nvars, None);
+        let rgoal = RTerm::from_ir(goal, 0);
+        let goals = push_goal(rgoal, &None);
+        let succeeded = self.solve(&goals, 0)?;
+
+        let bindings = var_names
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (*name, self.resolve(&RTerm::Var(i))))
+            .collect();
+        Ok(QueryOutcome {
+            succeeded,
+            bindings,
+            counters: self.counters,
+            work: self.config.cost_model.work(&self.counters),
+            task_tree: std::mem::take(&mut self.recorder).into_tree(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Term plumbing
+    // ------------------------------------------------------------------
+
+    /// Dereferences a term: follows bound-variable chains. O(chain length);
+    /// the returned term is an O(1) clone (structure is shared).
+    pub(crate) fn deref(&self, term: &RTerm) -> RTerm {
+        let mut cur = term.clone();
+        loop {
+            match cur {
+                RTerm::Var(v) => match self.heap.get(v) {
+                    Some(Some(next)) => cur = next.clone(),
+                    _ => return RTerm::Var(v),
+                },
+                other => return other,
+            }
+        }
+    }
+
+    /// Fully resolves a runtime term back into a source-level [`Term`]
+    /// (unbound variables become fresh source variables numbered by their heap
+    /// index).
+    pub(crate) fn resolve(&self, term: &RTerm) -> Term {
+        match self.deref(term) {
+            RTerm::Var(v) => Term::Var(v),
+            RTerm::Atom(s) => Term::Atom(s),
+            RTerm::Int(i) => Term::Int(i),
+            RTerm::Float(x) => Term::float(x),
+            RTerm::Struct(name, args) => {
+                Term::Struct(name, args.iter().map(|a| self.resolve(a)).collect())
+            }
+        }
+    }
+
+    pub(crate) fn bind(&mut self, var: usize, value: RTerm) {
+        debug_assert!(self.heap[var].is_none(), "binding an already-bound variable");
+        self.heap[var] = Some(value);
+        self.trail.push(var);
+    }
+
+    fn undo_trail(&mut self, mark: usize) {
+        while self.trail.len() > mark {
+            let var = self.trail.pop().expect("trail length checked");
+            self.heap[var] = None;
+        }
+    }
+
+    /// Unifies two terms, recording bindings on the trail.
+    pub(crate) fn unify(&mut self, a: &RTerm, b: &RTerm) -> bool {
+        self.counters.unifications += 1;
+        self.record_work(self.config.cost_model.per_unification);
+        let a = self.deref(a);
+        let b = self.deref(b);
+        match (&a, &b) {
+            (RTerm::Var(x), RTerm::Var(y)) if x == y => true,
+            (RTerm::Var(x), _) => {
+                self.bind(*x, b);
+                true
+            }
+            (_, RTerm::Var(y)) => {
+                self.bind(*y, a);
+                true
+            }
+            (RTerm::Atom(x), RTerm::Atom(y)) => x == y,
+            (RTerm::Int(x), RTerm::Int(y)) => x == y,
+            (RTerm::Float(x), RTerm::Float(y)) => x == y,
+            (RTerm::Struct(f, xs), RTerm::Struct(g, ys)) => {
+                if f != g || xs.len() != ys.len() {
+                    return false;
+                }
+                // Iterate over shared argument vectors without cloning them.
+                let xs = xs.clone();
+                let ys = ys.clone();
+                xs.iter().zip(ys.iter()).all(|(x, y)| self.unify(x, y))
+            }
+            _ => false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Work accounting
+    // ------------------------------------------------------------------
+
+    fn record_work(&mut self, units: f64) {
+        if units > 0.0 {
+            self.recorder.record_work(units);
+        }
+    }
+
+    pub(crate) fn charge_builtin(&mut self) {
+        self.counters.builtins += 1;
+        self.record_work(self.config.cost_model.per_builtin);
+    }
+
+    pub(crate) fn charge_grain_test(&mut self, elements: u64) {
+        self.counters.grain_tests += 1;
+        self.counters.grain_test_elements += elements;
+        self.record_work(
+            self.config.cost_model.per_grain_test
+                + self.config.cost_model.per_grain_test_element * elements as f64,
+        );
+    }
+
+    fn charge_head_attempt(&mut self) -> EngineResult<()> {
+        self.counters.head_attempts += 1;
+        self.record_work(self.config.cost_model.per_head_attempt);
+        if self.counters.head_attempts > self.config.max_steps {
+            return Err(EngineError::StepLimit(self.config.max_steps));
+        }
+        Ok(())
+    }
+
+    fn charge_resolution(&mut self) {
+        self.counters.resolutions += 1;
+        self.record_work(self.config.cost_model.per_resolution);
+    }
+
+    // ------------------------------------------------------------------
+    // The solver
+    // ------------------------------------------------------------------
+
+    /// Solves a goal list to its first solution.
+    ///
+    /// The function is written as a loop over the continuation ("last-call
+    /// optimisation"): it only recurses when a choice point must be kept open
+    /// (several candidate clauses, disjunctions, negation, if-then-else
+    /// conditions, parallel arms). Deterministic recursion — the common case
+    /// in the benchmark suite thanks to first-argument indexing and guards —
+    /// therefore runs in bounded stack space.
+    fn solve(&mut self, goals: &Goals, depth: usize) -> EngineResult<bool> {
+        if depth > self.config.max_depth {
+            return Err(EngineError::DepthLimit(self.config.max_depth));
+        }
+        let mut goals: Goals = goals.clone();
+        loop {
+            let Some(frame) = &goals else { return Ok(true) };
+            let goal = self.deref(&frame.goal);
+            let rest = frame.rest.clone();
+
+            let Some((name, arity)) = goal.functor() else {
+                return Err(EngineError::NotCallable(self.resolve(&goal)));
+            };
+
+            match (name.as_str(), arity) {
+                ("true", 0) => {
+                    goals = rest;
+                }
+                ("fail", 0) | ("false", 0) => return Ok(false),
+                // Cut is approximated as `true`: the benchmark programs use
+                // mutually exclusive guards rather than cuts for control.
+                ("!", 0) => {
+                    goals = rest;
+                }
+                (",", 2) => {
+                    let args = goal.args();
+                    goals = push_goal(args[0].clone(), &push_goal(args[1].clone(), &rest));
+                }
+                ("&", 2) => match self.solve_parallel(&goal, &rest, depth)? {
+                    Step::Return(v) => return Ok(v),
+                    Step::Continue(next) => goals = next,
+                },
+                (";", 2) => {
+                    let args = goal.args();
+                    // (Cond -> Then ; Else)
+                    let cond_then = match &self.deref(&args[0]) {
+                        RTerm::Struct(arrow, ct) if arrow.as_str() == "->" && ct.len() == 2 => {
+                            Some((ct[0].clone(), ct[1].clone()))
+                        }
+                        _ => None,
+                    };
+                    if let Some((cond, then)) = cond_then {
+                        let mark = self.trail.len();
+                        if self.solve(&push_goal(cond, &None), depth + 1)? {
+                            goals = push_goal(then, &rest);
+                        } else {
+                            self.undo_trail(mark);
+                            goals = push_goal(args[1].clone(), &rest);
+                        }
+                    } else {
+                        let mark = self.trail.len();
+                        if self.solve(&push_goal(args[0].clone(), &rest), depth + 1)? {
+                            return Ok(true);
+                        }
+                        self.undo_trail(mark);
+                        goals = push_goal(args[1].clone(), &rest);
+                    }
+                }
+                ("->", 2) => {
+                    let args = goal.args();
+                    let mark = self.trail.len();
+                    if self.solve(&push_goal(args[0].clone(), &None), depth + 1)? {
+                        goals = push_goal(args[1].clone(), &rest);
+                    } else {
+                        self.undo_trail(mark);
+                        return Ok(false);
+                    }
+                }
+                ("\\+", 1) => {
+                    let args = goal.args();
+                    let mark = self.trail.len();
+                    let succeeded = self.solve(&push_goal(args[0].clone(), &None), depth + 1)?;
+                    self.undo_trail(mark);
+                    if succeeded {
+                        return Ok(false);
+                    }
+                    goals = rest;
+                }
+                _ => {
+                    // Builtin?
+                    if let Some(result) = crate::builtins::call(self, &goal)? {
+                        if result {
+                            goals = rest;
+                            continue;
+                        }
+                        return Ok(false);
+                    }
+                    // User predicate.
+                    match self.solve_user_goal(&goal, name, arity, &rest, depth)? {
+                        Step::Return(v) => return Ok(v),
+                        Step::Continue(next) => goals = next,
+                    }
+                }
+            }
+        }
+    }
+
+    fn solve_user_goal(
+        &mut self,
+        goal: &RTerm,
+        name: Symbol,
+        arity: usize,
+        rest: &Goals,
+        depth: usize,
+    ) -> EngineResult<Step> {
+        let pred = PredId::new(name, arity);
+        if !self.program.defines(pred) {
+            return Err(EngineError::UnknownPredicate(pred));
+        }
+        // First-argument indexing: skip clauses whose first head argument has
+        // a different principal functor than the (bound) first goal argument.
+        let goal_key = goal.args().first().map(|a| principal_functor(&self.deref(a)));
+        let all_ids = self.program.clause_ids_of(pred);
+        let mut candidates: Vec<usize> = Vec::with_capacity(all_ids.len());
+        for &clause_id in all_ids {
+            let clause = &self.program.clauses()[clause_id];
+            if let (Some(Some(gk)), Some(head_arg)) = (goal_key.as_ref(), clause.head.args().first())
+            {
+                if let Some(hk) = principal_functor_ir(head_arg) {
+                    if hk != *gk {
+                        continue;
+                    }
+                }
+            }
+            candidates.push(clause_id);
+        }
+        let last_index = candidates.len().checked_sub(1);
+        for (i, clause_id) in candidates.iter().copied().enumerate() {
+            let clause = &self.program.clauses()[clause_id];
+            self.charge_head_attempt()?;
+            let trail_mark = self.trail.len();
+            let heap_mark = self.heap.len();
+            self.heap.resize(heap_mark + clause.num_vars(), None);
+            let head = RTerm::from_ir(&clause.head, heap_mark);
+            if self.unify(goal, &head) {
+                self.charge_resolution();
+                let body = RTerm::from_ir(&clause.body, heap_mark);
+                let new_goals = push_goal(body, rest);
+                if Some(i) == last_index {
+                    // Last (or only) candidate: no choice point to keep —
+                    // continue iteratively in the caller's loop.
+                    return Ok(Step::Continue(new_goals));
+                }
+                if self.solve(&new_goals, depth + 1)? {
+                    return Ok(Step::Return(true));
+                }
+            }
+            self.undo_trail(trail_mark);
+            self.heap.truncate(heap_mark);
+        }
+        Ok(Step::Return(false))
+    }
+
+    fn solve_parallel(&mut self, goal: &RTerm, rest: &Goals, depth: usize) -> EngineResult<Step> {
+        let mut arms = Vec::new();
+        flatten_par(self, goal, &mut arms);
+        let mark = self.trail.len();
+        let children = self.recorder.record_fork(arms.len());
+        for (arm, child) in arms.into_iter().zip(children) {
+            self.recorder.push(child);
+            let result = self.solve(&push_goal(arm, &None), depth + 1);
+            self.recorder.pop();
+            match result {
+                Ok(true) => {}
+                Ok(false) => {
+                    // Independent and-parallelism: if one arm fails the whole
+                    // conjunction fails (no backtracking across arms).
+                    self.undo_trail(mark);
+                    return Ok(Step::Return(false));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(Step::Continue(rest.clone()))
+    }
+}
+
+/// Outcome of a non-tail step of the solver: either a final answer or the
+/// continuation to keep executing iteratively.
+enum Step {
+    Return(bool),
+    Continue(Goals),
+}
+
+fn flatten_par(machine: &Machine<'_>, goal: &RTerm, out: &mut Vec<RTerm>) {
+    let g = machine.deref(goal);
+    match &g {
+        RTerm::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => {
+            flatten_par(machine, &args[0], out);
+            flatten_par(machine, &args[1], out);
+        }
+        _ => out.push(g),
+    }
+}
+
+/// The principal functor of a runtime term (used for indexing). `None` for
+/// variables (which match everything).
+fn principal_functor(t: &RTerm) -> Option<(Symbol, usize)> {
+    match t {
+        RTerm::Var(_) => None,
+        RTerm::Atom(s) => Some((*s, 0)),
+        RTerm::Int(i) => Some((Symbol::intern(&format!("$int{i}")), 0)),
+        RTerm::Float(x) => Some((Symbol::intern(&format!("$flt{x}")), 0)),
+        RTerm::Struct(s, args) => Some((*s, args.len())),
+    }
+}
+
+fn principal_functor_ir(t: &Term) -> Option<(Symbol, usize)> {
+    match t {
+        Term::Var(_) => None,
+        Term::Atom(s) => Some((*s, 0)),
+        Term::Int(i) => Some((Symbol::intern(&format!("$int{i}")), 0)),
+        Term::Float(x) => Some((Symbol::intern(&format!("$flt{}", x.0)), 0)),
+        Term::Struct(s, args) => Some((*s, args.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::parser::parse_program;
+
+    fn run(program_src: &str, query: &str) -> QueryOutcome {
+        let program = parse_program(program_src).unwrap();
+        let mut machine = Machine::new(&program);
+        machine.run_query(query).unwrap()
+    }
+
+    const APPEND: &str = r#"
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+    "#;
+
+    #[test]
+    fn facts_and_failure() {
+        let out = run("likes(mary, wine). likes(john, beer).", "likes(mary, wine)");
+        assert!(out.succeeded);
+        let out = run("likes(mary, wine).", "likes(mary, beer)");
+        assert!(!out.succeeded);
+    }
+
+    #[test]
+    fn append_computes_and_counts() {
+        let out = run(APPEND, "append([1,2,3], [4,5], X)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap().to_string(), "[1,2,3,4,5]");
+        // Cost_append(n) = n + 1 resolutions (the Appendix).
+        assert_eq!(out.counters.resolutions, 4);
+        assert_eq!(out.work, 4.0);
+    }
+
+    #[test]
+    fn nrev_resolution_count_matches_closed_form() {
+        let src = r#"
+            nrev([], []).
+            nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+            append([], L, L).
+            append([H|T], L, [H|R]) :- append(T, L, R).
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        for n in [0usize, 1, 5, 10, 20] {
+            let list: Vec<String> = (0..n).map(|i| i.to_string()).collect();
+            let query = format!("nrev([{}], X)", list.join(","));
+            let out = machine.run_query(&query).unwrap();
+            assert!(out.succeeded);
+            // The paper's closed form: 0.5 n^2 + 1.5 n + 1 resolutions.
+            let expected = (n * n) as f64 * 0.5 + 1.5 * n as f64 + 1.0;
+            assert_eq!(out.counters.resolutions as f64, expected, "n = {n}");
+            // And the output is the reversed list.
+            if n > 0 {
+                let reversed = out.binding("X").unwrap().as_list().unwrap();
+                assert_eq!(reversed.len(), n);
+                assert_eq!(reversed[0].to_string(), (n - 1).to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let src = r#"
+            fib(0, 0).
+            fib(1, 1).
+            fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                         fib(M1, N1), fib(M2, N2), N is N1 + N2.
+        "#;
+        // fib(11) keeps the solver's continuation depth well within the default
+        // test-thread stack; larger workloads run via `with_large_stack`.
+        let out = run(src, "fib(11, X)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap(), &Term::int(89));
+        assert!(out.counters.resolutions > 200);
+    }
+
+    #[test]
+    fn backtracking_finds_later_clauses() {
+        let src = r#"
+            color(red). color(green). color(blue).
+            nice(green).
+            pick(C) :- color(C), nice(C).
+        "#;
+        let out = run(src, "pick(X)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap(), &Term::atom("green"));
+    }
+
+    #[test]
+    fn backtracking_undoes_bindings() {
+        let src = r#"
+            p(1, a). p(2, b).
+            q(2).
+            r(X, Y) :- p(X, Y), q(X).
+        "#;
+        let out = run(src, "r(X, Y)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap(), &Term::int(2));
+        assert_eq!(out.binding("Y").unwrap(), &Term::atom("b"));
+    }
+
+    #[test]
+    fn if_then_else() {
+        let src = r#"
+            classify(X, small) :- ( X < 10 -> true ; fail ).
+            classify(X, big) :- ( X < 10 -> fail ; true ).
+        "#;
+        let out = run(src, "classify(3, C)");
+        assert_eq!(out.binding("C").unwrap(), &Term::atom("small"));
+        let out = run(src, "classify(30, C)");
+        assert_eq!(out.binding("C").unwrap(), &Term::atom("big"));
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let src = "p(1). q(X) :- \\+ p(X).";
+        assert!(!run(src, "q(1)").succeeded);
+        assert!(run(src, "q(2)").succeeded);
+    }
+
+    #[test]
+    fn disjunction() {
+        let src = "p(X) :- ( X = a ; X = b ).";
+        assert!(run(src, "p(a)").succeeded);
+        assert!(run(src, "p(b)").succeeded);
+        assert!(!run(src, "p(c)").succeeded);
+    }
+
+    #[test]
+    fn parallel_conjunction_records_fork() {
+        let src = r#"
+            work(0).
+            work(N) :- N > 0, N1 is N - 1, work(N1).
+            both(N) :- work(N) & work(N).
+        "#;
+        let out = run(src, "both(10)");
+        assert!(out.succeeded);
+        let tree = &out.task_tree;
+        assert_eq!(tree.spawned_tasks(), 2);
+        assert_eq!(tree.fork_count(), 1);
+        // Each arm does 11 resolutions of work/1.
+        let kids = tree.task(tree.root()).children();
+        assert_eq!(tree.task(kids[0]).local_work(), 11.0);
+        assert_eq!(tree.task(kids[1]).local_work(), 11.0);
+        // Total = 1 (both/1) + 2×11.
+        assert_eq!(tree.total_work(), 23.0);
+        // Critical path = 1 + max(11, 11).
+        assert_eq!(tree.critical_path(), 12.0);
+    }
+
+    #[test]
+    fn parallel_conjunction_fails_if_any_arm_fails() {
+        let src = r#"
+            ok.
+            both :- ok & fail.
+        "#;
+        assert!(!run(src, "both").succeeded);
+    }
+
+    #[test]
+    fn unknown_predicate_is_an_error() {
+        let program = parse_program("p(1).").unwrap();
+        let mut machine = Machine::new(&program);
+        let err = machine.run_query("q(1)").unwrap_err();
+        assert!(matches!(err, EngineError::UnknownPredicate(_)));
+    }
+
+    #[test]
+    fn step_limit_is_enforced() {
+        let program = parse_program("loop :- loop.").unwrap();
+        let mut machine = Machine::with_config(
+            &program,
+            MachineConfig { max_steps: 1000, ..MachineConfig::default() },
+        );
+        let err = machine.run_query("loop").unwrap_err();
+        assert!(matches!(err, EngineError::StepLimit(_) | EngineError::DepthLimit(_)));
+    }
+
+    #[test]
+    fn grain_test_builtin_guides_execution() {
+        let src = r#"
+            qs([], []).
+            qs([P|Xs], S) :-
+                part(Xs, P, Sm, Bg),
+                ( '$grain_ge'(Sm, length, 3), '$grain_ge'(Bg, length, 3) ->
+                    qs(Sm, S1) & qs(Bg, S2)
+                ;   qs(Sm, S1), qs(Bg, S2) ),
+                app(S1, [P|S2], S).
+            part([], _, [], []).
+            part([X|Xs], P, [X|S], B) :- X =< P, part(Xs, P, S, B).
+            part([X|Xs], P, S, [X|B]) :- X > P, part(Xs, P, S, B).
+            app([], L, L).
+            app([H|T], L, [H|R]) :- app(T, L, R).
+        "#;
+        let out = run(src, "qs([5,3,8,1,9,2,7,4,6,0], S)");
+        assert!(out.succeeded);
+        let sorted = out.binding("S").unwrap();
+        assert_eq!(sorted.to_string(), "[0,1,2,3,4,5,6,7,8,9]");
+        assert!(out.counters.grain_tests > 0);
+        // Some conjunctions ran in parallel (big sublists), some sequentially.
+        assert!(out.task_tree.spawned_tasks() > 0);
+    }
+
+    #[test]
+    fn indexing_skips_mismatched_clauses() {
+        let src = r#"
+            kind(0, zero).
+            kind(1, one).
+            kind(2, two).
+        "#;
+        let out = run(src, "kind(2, K)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("K").unwrap(), &Term::atom("two"));
+        // With first-argument indexing only one head attempt is needed.
+        assert_eq!(out.counters.head_attempts, 1);
+    }
+
+    #[test]
+    fn machine_is_reusable_across_queries() {
+        let program = parse_program(APPEND).unwrap();
+        let mut machine = Machine::new(&program);
+        let a = machine.run_query("append([1], [2], X)").unwrap();
+        let b = machine.run_query("append([], [], X)").unwrap();
+        assert!(a.succeeded && b.succeeded);
+        // Counters are reset between queries.
+        assert_eq!(b.counters.resolutions, 1);
+    }
+
+    #[test]
+    fn work_respects_cost_model() {
+        let program = parse_program(APPEND).unwrap();
+        let mut machine = Machine::with_config(
+            &program,
+            MachineConfig { cost_model: CostModel::instruction_like(), ..MachineConfig::default() },
+        );
+        let out = machine.run_query("append([1,2], [3], X)").unwrap();
+        assert!(out.succeeded);
+        assert!(out.work > out.counters.resolutions as f64);
+    }
+}

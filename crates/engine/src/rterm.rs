@@ -1,0 +1,147 @@
+//! Runtime term representation.
+//!
+//! The engine does not execute [`granlog_ir::Term`] trees directly: runtime
+//! terms share structure through [`std::rc::Rc`] so that dereferencing,
+//! unification and argument passing never deep-copy. Variables are global
+//! indices into the machine's binding store ("heap"); a clause is *renamed*
+//! into runtime form by offsetting its clause-local variable indices by the
+//! current heap size.
+
+use granlog_ir::{Symbol, Term};
+use std::rc::Rc;
+
+/// A runtime term. Cloning is O(1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RTerm {
+    /// A variable: an index into the machine's binding store.
+    Var(usize),
+    /// An atom.
+    Atom(Symbol),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A compound term; the argument vector is shared.
+    Struct(Symbol, Rc<Vec<RTerm>>),
+}
+
+impl RTerm {
+    /// Converts a source term into runtime form, offsetting its variables.
+    pub fn from_ir(term: &Term, var_offset: usize) -> RTerm {
+        match term {
+            Term::Var(v) => RTerm::Var(v + var_offset),
+            Term::Atom(s) => RTerm::Atom(*s),
+            Term::Int(i) => RTerm::Int(*i),
+            Term::Float(x) => RTerm::Float(x.0),
+            Term::Struct(name, args) => RTerm::Struct(
+                *name,
+                Rc::new(args.iter().map(|a| RTerm::from_ir(a, var_offset)).collect()),
+            ),
+        }
+    }
+
+    /// The functor name and arity of a callable term.
+    pub fn functor(&self) -> Option<(Symbol, usize)> {
+        match self {
+            RTerm::Atom(s) => Some((*s, 0)),
+            RTerm::Struct(s, args) => Some((*s, args.len())),
+            _ => None,
+        }
+    }
+
+    /// The arguments of a compound term (empty for everything else).
+    pub fn args(&self) -> &[RTerm] {
+        match self {
+            RTerm::Struct(_, args) => args,
+            _ => &[],
+        }
+    }
+
+    /// Is this the atom `[]`?
+    pub fn is_nil(&self) -> bool {
+        matches!(self, RTerm::Atom(s) if s.as_str() == "[]")
+    }
+
+    /// Is this a `'.'/2` list cell?
+    pub fn is_cons(&self) -> bool {
+        matches!(self, RTerm::Struct(s, args) if s.as_str() == "." && args.len() == 2)
+    }
+
+    /// Builds an atom.
+    pub fn atom(name: &str) -> RTerm {
+        RTerm::Atom(Symbol::intern(name))
+    }
+
+    /// Builds a compound term.
+    pub fn structure(name: Symbol, args: Vec<RTerm>) -> RTerm {
+        if args.is_empty() {
+            RTerm::Atom(name)
+        } else {
+            RTerm::Struct(name, Rc::new(args))
+        }
+    }
+
+    /// Builds a list cell.
+    pub fn cons(head: RTerm, tail: RTerm) -> RTerm {
+        RTerm::Struct(Symbol::intern("."), Rc::new(vec![head, tail]))
+    }
+
+    /// Builds a proper list.
+    pub fn list<I: IntoIterator<Item = RTerm>>(items: I) -> RTerm {
+        let items: Vec<RTerm> = items.into_iter().collect();
+        items
+            .into_iter()
+            .rev()
+            .fold(RTerm::atom("[]"), |acc, x| RTerm::cons(x, acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::parser::parse_term;
+
+    #[test]
+    fn conversion_offsets_variables() {
+        let (t, _) = parse_term("f(X, g(Y, X), 3)").unwrap();
+        let r = RTerm::from_ir(&t, 10);
+        assert_eq!(r.functor().unwrap().1, 3);
+        assert_eq!(r.args()[0], RTerm::Var(10));
+        match &r.args()[1] {
+            RTerm::Struct(_, args) => {
+                assert_eq!(args[0], RTerm::Var(11));
+                assert_eq!(args[1], RTerm::Var(10));
+            }
+            other => panic!("expected struct, got {other:?}"),
+        }
+        assert_eq!(r.args()[2], RTerm::Int(3));
+    }
+
+    #[test]
+    fn list_helpers() {
+        let l = RTerm::list(vec![RTerm::Int(1), RTerm::Int(2)]);
+        assert!(l.is_cons());
+        assert_eq!(l.args()[0], RTerm::Int(1));
+        assert!(RTerm::atom("[]").is_nil());
+        assert!(!RTerm::atom("nil").is_nil());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let big = RTerm::list((0..1000).map(RTerm::Int));
+        let copy = big.clone();
+        // Structural sharing: the argument vectors are the same allocation.
+        match (&big, &copy) {
+            (RTerm::Struct(_, a), RTerm::Struct(_, b)) => assert!(Rc::ptr_eq(a, b)),
+            _ => panic!("expected structs"),
+        }
+    }
+
+    #[test]
+    fn structure_with_no_args_is_atom() {
+        assert_eq!(
+            RTerm::structure(Symbol::intern("foo"), vec![]),
+            RTerm::atom("foo")
+        );
+    }
+}

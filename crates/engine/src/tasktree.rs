@@ -1,0 +1,339 @@
+//! And-parallel task trees.
+//!
+//! While the engine executes a program *sequentially*, it records the
+//! fork/join structure induced by parallel conjunctions (`&`) together with
+//! the sequential work performed inside each task. The result is a
+//! [`TaskTree`]: a fork-join DAG whose nodes alternate between chunks of
+//! sequential work and forks of child tasks. The multiprocessor simulator in
+//! `granlog-sim` schedules this tree on P processors under a configurable
+//! overhead model, which is how the paper's Tables 1–2 and Figure 2 are
+//! reproduced without the original Sequent Symmetry hardware.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a task within a [`TaskTree`].
+pub type TaskId = usize;
+
+/// One step in a task's sequential execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Segment {
+    /// Sequential work, in work units.
+    Work(f64),
+    /// Fork the given child tasks, then wait for all of them to finish
+    /// (fork-join / independent and-parallelism semantics).
+    Fork(Vec<TaskId>),
+}
+
+/// A single task: a sequence of work chunks and forks.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// The task's segments, in execution order.
+    pub segments: Vec<Segment>,
+}
+
+impl Task {
+    /// Total sequential work directly inside this task (excluding children).
+    pub fn local_work(&self) -> f64 {
+        self.segments
+            .iter()
+            .map(|s| match s {
+                Segment::Work(w) => *w,
+                Segment::Fork(_) => 0.0,
+            })
+            .sum()
+    }
+
+    /// The child tasks forked by this task.
+    pub fn children(&self) -> Vec<TaskId> {
+        self.segments
+            .iter()
+            .flat_map(|s| match s {
+                Segment::Fork(kids) => kids.clone(),
+                Segment::Work(_) => Vec::new(),
+            })
+            .collect()
+    }
+}
+
+/// A fork-join task tree recorded during execution. Task 0 is the root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskTree {
+    tasks: Vec<Task>,
+}
+
+impl Default for TaskTree {
+    fn default() -> Self {
+        TaskTree { tasks: vec![Task::default()] }
+    }
+}
+
+impl TaskTree {
+    /// Creates a tree containing only an empty root task.
+    pub fn new() -> Self {
+        TaskTree::default()
+    }
+
+    /// The root task's id.
+    pub fn root(&self) -> TaskId {
+        0
+    }
+
+    /// Number of tasks (including the root).
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` if the tree only contains the root task.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.len() <= 1
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id]
+    }
+
+    /// All tasks, indexed by id.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Total sequential work over all tasks — the single-processor execution
+    /// time (excluding any task-management overhead).
+    pub fn total_work(&self) -> f64 {
+        self.tasks.iter().map(Task::local_work).sum()
+    }
+
+    /// The critical-path length: the minimum possible execution time with
+    /// unlimited processors and zero overhead.
+    pub fn critical_path(&self) -> f64 {
+        self.critical_path_of(self.root())
+    }
+
+    fn critical_path_of(&self, id: TaskId) -> f64 {
+        let mut total = 0.0;
+        for segment in &self.tasks[id].segments {
+            match segment {
+                Segment::Work(w) => total += w,
+                Segment::Fork(kids) => {
+                    let longest = kids
+                        .iter()
+                        .map(|&k| self.critical_path_of(k))
+                        .fold(0.0f64, f64::max);
+                    total += longest;
+                }
+            }
+        }
+        total
+    }
+
+    /// Number of fork points in the whole tree (each fork is a task-spawning
+    /// event the simulator charges overhead for).
+    pub fn fork_count(&self) -> usize {
+        self.tasks
+            .iter()
+            .flat_map(|t| &t.segments)
+            .filter(|s| matches!(s, Segment::Fork(_)))
+            .count()
+    }
+
+    /// Total number of spawned (non-root) tasks.
+    pub fn spawned_tasks(&self) -> usize {
+        self.tasks.len().saturating_sub(1)
+    }
+
+    // -- construction (used by the recorder) --------------------------------
+
+    /// Adds a fresh, empty task and returns its id.
+    pub fn add_task(&mut self) -> TaskId {
+        self.tasks.push(Task::default());
+        self.tasks.len() - 1
+    }
+
+    /// Appends work to a task, merging with a trailing work segment.
+    pub fn add_work(&mut self, id: TaskId, work: f64) {
+        if work <= 0.0 {
+            return;
+        }
+        match self.tasks[id].segments.last_mut() {
+            Some(Segment::Work(w)) => *w += work,
+            _ => self.tasks[id].segments.push(Segment::Work(work)),
+        }
+    }
+
+    /// Appends a fork segment to a task.
+    pub fn add_fork(&mut self, id: TaskId, children: Vec<TaskId>) {
+        self.tasks[id].segments.push(Segment::Fork(children));
+    }
+}
+
+/// Records the task structure during execution: a stack of "current" tasks.
+#[derive(Debug, Clone)]
+pub struct TaskRecorder {
+    tree: TaskTree,
+    stack: Vec<TaskId>,
+}
+
+impl Default for TaskRecorder {
+    fn default() -> Self {
+        let tree = TaskTree::new();
+        let root = tree.root();
+        TaskRecorder { tree, stack: vec![root] }
+    }
+}
+
+impl TaskRecorder {
+    /// Creates a recorder with an empty root task.
+    pub fn new() -> Self {
+        TaskRecorder::default()
+    }
+
+    /// The task currently accumulating work.
+    pub fn current(&self) -> TaskId {
+        *self.stack.last().expect("the root task is never popped")
+    }
+
+    /// Adds sequential work to the current task.
+    pub fn record_work(&mut self, work: f64) {
+        let id = self.current();
+        self.tree.add_work(id, work);
+    }
+
+    /// Records a fork of `n` children in the current task and returns their
+    /// ids (in order).
+    pub fn record_fork(&mut self, n: usize) -> Vec<TaskId> {
+        let children: Vec<TaskId> = (0..n).map(|_| self.tree.add_task()).collect();
+        let id = self.current();
+        self.tree.add_fork(id, children.clone());
+        children
+    }
+
+    /// Makes `task` the current task (entering a forked arm).
+    pub fn push(&mut self, task: TaskId) {
+        self.stack.push(task);
+    }
+
+    /// Leaves the current forked arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called more often than [`TaskRecorder::push`].
+    pub fn pop(&mut self) {
+        assert!(self.stack.len() > 1, "cannot pop the root task");
+        self.stack.pop();
+    }
+
+    /// Finishes recording and returns the tree.
+    pub fn into_tree(self) -> TaskTree {
+        self.tree
+    }
+
+    /// The tree recorded so far.
+    pub fn tree(&self) -> &TaskTree {
+        &self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the tree for: root does 10 units, forks two children doing 30
+    /// and 50 units, then does 5 more units.
+    fn sample() -> TaskTree {
+        let mut r = TaskRecorder::new();
+        r.record_work(10.0);
+        let kids = r.record_fork(2);
+        r.push(kids[0]);
+        r.record_work(30.0);
+        r.pop();
+        r.push(kids[1]);
+        r.record_work(50.0);
+        r.pop();
+        r.record_work(5.0);
+        r.into_tree()
+    }
+
+    #[test]
+    fn total_and_critical_path() {
+        let t = sample();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_work(), 95.0);
+        // Critical path: 10 + max(30, 50) + 5 = 65.
+        assert_eq!(t.critical_path(), 65.0);
+        assert_eq!(t.fork_count(), 1);
+        assert_eq!(t.spawned_tasks(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = TaskTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.total_work(), 0.0);
+        assert_eq!(t.critical_path(), 0.0);
+        assert_eq!(t.fork_count(), 0);
+    }
+
+    #[test]
+    fn work_segments_merge() {
+        let mut r = TaskRecorder::new();
+        r.record_work(1.0);
+        r.record_work(2.0);
+        let t = r.into_tree();
+        assert_eq!(t.task(0).segments.len(), 1);
+        assert_eq!(t.task(0).local_work(), 3.0);
+    }
+
+    #[test]
+    fn zero_work_is_ignored() {
+        let mut r = TaskRecorder::new();
+        r.record_work(0.0);
+        let t = r.into_tree();
+        assert!(t.task(0).segments.is_empty());
+    }
+
+    #[test]
+    fn nested_forks() {
+        let mut r = TaskRecorder::new();
+        r.record_work(1.0);
+        let outer = r.record_fork(2);
+        r.push(outer[0]);
+        r.record_work(2.0);
+        let inner = r.record_fork(2);
+        r.push(inner[0]);
+        r.record_work(4.0);
+        r.pop();
+        r.push(inner[1]);
+        r.record_work(8.0);
+        r.pop();
+        r.pop();
+        r.push(outer[1]);
+        r.record_work(16.0);
+        r.pop();
+        let t = r.into_tree();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.total_work(), 31.0);
+        // Critical path: 1 + max(2 + max(4, 8), 16) = 1 + 16 = 17.
+        assert_eq!(t.critical_path(), 17.0);
+        assert_eq!(t.task(outer[0]).children(), inner);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot pop the root task")]
+    fn popping_root_panics() {
+        let mut r = TaskRecorder::new();
+        r.pop();
+    }
+
+    #[test]
+    fn children_listing() {
+        let t = sample();
+        assert_eq!(t.task(0).children(), vec![1, 2]);
+        assert!(t.task(1).children().is_empty());
+    }
+}

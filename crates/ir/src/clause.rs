@@ -1,0 +1,325 @@
+//! Clauses and structured views of clause bodies.
+
+use crate::program::PredId;
+use crate::symbol::{well_known, Symbol};
+use crate::term::Term;
+use std::fmt;
+
+/// Index of a clause within a [`crate::Program`].
+pub type ClauseId = usize;
+
+/// A program clause `Head :- Body.` (facts have body `true`).
+///
+/// Variables inside `head` and `body` are clause-local indices into
+/// [`Clause::var_names`].
+///
+/// # Example
+///
+/// ```
+/// use granlog_ir::parser::parse_program;
+/// let p = parse_program("app([], L, L). app([H|T], L, [H|R]) :- app(T, L, R).").unwrap();
+/// let c = &p.clauses()[1];
+/// assert_eq!(c.head_pred().unwrap().to_string(), "app/3");
+/// assert_eq!(c.body_literals().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// The clause head (an atom or compound term).
+    pub head: Term,
+    /// The clause body; the atom `true` for facts.
+    pub body: Term,
+    /// Source names of the clause's variables, indexed by [`crate::VarId`].
+    pub var_names: Vec<Symbol>,
+}
+
+impl Clause {
+    /// Creates a clause from a head, body and variable-name table.
+    pub fn new(head: Term, body: Term, var_names: Vec<Symbol>) -> Self {
+        Clause { head, body, var_names }
+    }
+
+    /// Creates a fact (a clause whose body is `true`).
+    pub fn fact(head: Term, var_names: Vec<Symbol>) -> Self {
+        Clause {
+            head,
+            body: Term::Atom(well_known::true_()),
+            var_names,
+        }
+    }
+
+    /// Returns `true` if the clause is a fact (body is the atom `true`).
+    pub fn is_fact(&self) -> bool {
+        matches!(&self.body, Term::Atom(s) if *s == well_known::true_())
+    }
+
+    /// The predicate defined by this clause, if the head is callable.
+    pub fn head_pred(&self) -> Option<PredId> {
+        self.head.functor().map(|(name, arity)| PredId::new(name, arity))
+    }
+
+    /// Number of distinct variables in the clause.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Flattens the body into a left-to-right list of literals.
+    ///
+    /// Conjunctions (`,`) and parallel conjunctions (`&`) are flattened;
+    /// control structures (`;`, `->`, `\+`) are kept as single literals, as is
+    /// each ordinary goal. The atom `true` yields an empty list.
+    pub fn body_literals(&self) -> Vec<&Term> {
+        let mut out = Vec::new();
+        collect_literals(&self.body, &mut out);
+        out
+    }
+
+    /// Structured view of the body (see [`BodyView`]).
+    pub fn body_view(&self) -> BodyView<'_> {
+        BodyView::of(&self.body)
+    }
+
+    /// Returns the goal terms called by this clause, descending into control
+    /// structures (`;`, `->`, `\+`, `&`, `,`). Used for call-graph
+    /// construction.
+    pub fn called_goals(&self) -> Vec<&Term> {
+        let mut out = Vec::new();
+        collect_called_goals(&self.body, &mut out);
+        out
+    }
+
+    /// Renders the clause with its source variable names.
+    pub fn display(&self) -> ClauseDisplay<'_> {
+        ClauseDisplay(self)
+    }
+}
+
+fn collect_literals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
+    match body {
+        Term::Atom(s) if *s == well_known::true_() => {}
+        Term::Struct(s, args)
+            if (*s == well_known::comma() || *s == well_known::par_and()) && args.len() == 2 =>
+        {
+            collect_literals(&args[0], out);
+            collect_literals(&args[1], out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn collect_called_goals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
+    match body {
+        Term::Atom(s) if *s == well_known::true_() => {}
+        Term::Struct(s, args)
+            if args.len() == 2
+                && (*s == well_known::comma()
+                    || *s == well_known::par_and()
+                    || *s == well_known::semicolon()
+                    || *s == well_known::arrow()) =>
+        {
+            collect_called_goals(&args[0], out);
+            collect_called_goals(&args[1], out);
+        }
+        Term::Struct(s, args) if s.as_str() == "\\+" && args.len() == 1 => {
+            collect_called_goals(&args[0], out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// A structured, borrowed view of a clause body.
+///
+/// This decomposes the control skeleton that both the execution engine and the
+/// cost analysis care about, leaving ordinary goals as leaves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BodyView<'a> {
+    /// The trivial body `true`.
+    True,
+    /// A sequential conjunction `G1, G2, ..., Gn` (flattened, n >= 2).
+    Conj(Vec<BodyView<'a>>),
+    /// A parallel conjunction `G1 & G2 & ... & Gn` (flattened, n >= 2).
+    Par(Vec<BodyView<'a>>),
+    /// A disjunction `G1 ; G2`.
+    Disj(Box<BodyView<'a>>, Box<BodyView<'a>>),
+    /// An if-then-else `(Cond -> Then ; Else)`.
+    IfThenElse(Box<BodyView<'a>>, Box<BodyView<'a>>, Box<BodyView<'a>>),
+    /// An if-then without an else `(Cond -> Then)`.
+    IfThen(Box<BodyView<'a>>, Box<BodyView<'a>>),
+    /// Negation as failure `\+ G`.
+    Not(Box<BodyView<'a>>),
+    /// An ordinary goal.
+    Goal(&'a Term),
+}
+
+impl<'a> BodyView<'a> {
+    /// Builds the structured view of a body term.
+    pub fn of(body: &'a Term) -> BodyView<'a> {
+        match body {
+            Term::Atom(s) if *s == well_known::true_() => BodyView::True,
+            Term::Struct(s, args) if *s == well_known::comma() && args.len() == 2 => {
+                let mut items = Vec::new();
+                flatten_assoc(body, well_known::comma(), &mut items);
+                BodyView::Conj(items.into_iter().map(BodyView::of).collect())
+            }
+            Term::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => {
+                let mut items = Vec::new();
+                flatten_assoc(body, well_known::par_and(), &mut items);
+                BodyView::Par(items.into_iter().map(BodyView::of).collect())
+            }
+            Term::Struct(s, args) if *s == well_known::semicolon() && args.len() == 2 => {
+                // Recognize (Cond -> Then ; Else).
+                if let Term::Struct(arrow, ite) = &args[0] {
+                    if *arrow == well_known::arrow() && ite.len() == 2 {
+                        return BodyView::IfThenElse(
+                            Box::new(BodyView::of(&ite[0])),
+                            Box::new(BodyView::of(&ite[1])),
+                            Box::new(BodyView::of(&args[1])),
+                        );
+                    }
+                }
+                BodyView::Disj(Box::new(BodyView::of(&args[0])), Box::new(BodyView::of(&args[1])))
+            }
+            Term::Struct(s, args) if *s == well_known::arrow() && args.len() == 2 => {
+                BodyView::IfThen(Box::new(BodyView::of(&args[0])), Box::new(BodyView::of(&args[1])))
+            }
+            Term::Struct(s, args) if s.as_str() == "\\+" && args.len() == 1 => {
+                BodyView::Not(Box::new(BodyView::of(&args[0])))
+            }
+            other => BodyView::Goal(other),
+        }
+    }
+
+    /// Iterates over every goal leaf in the view.
+    pub fn goals(&self) -> Vec<&'a Term> {
+        let mut out = Vec::new();
+        self.collect_goals(&mut out);
+        out
+    }
+
+    fn collect_goals(&self, out: &mut Vec<&'a Term>) {
+        match self {
+            BodyView::True => {}
+            BodyView::Conj(items) | BodyView::Par(items) => {
+                for item in items {
+                    item.collect_goals(out);
+                }
+            }
+            BodyView::Disj(a, b) | BodyView::IfThen(a, b) => {
+                a.collect_goals(out);
+                b.collect_goals(out);
+            }
+            BodyView::IfThenElse(c, t, e) => {
+                c.collect_goals(out);
+                t.collect_goals(out);
+                e.collect_goals(out);
+            }
+            BodyView::Not(g) => g.collect_goals(out),
+            BodyView::Goal(g) => out.push(g),
+        }
+    }
+}
+
+fn flatten_assoc<'a>(term: &'a Term, op: Symbol, out: &mut Vec<&'a Term>) {
+    match term {
+        Term::Struct(s, args) if *s == op && args.len() == 2 => {
+            flatten_assoc(&args[0], op, out);
+            flatten_assoc(&args[1], op, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Display adapter rendering a clause with its variable names.
+#[derive(Debug, Clone, Copy)]
+pub struct ClauseDisplay<'a>(&'a Clause);
+
+impl fmt::Display for ClauseDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.0;
+        crate::pretty::fmt_term(&c.head, Some(&c.var_names), f)?;
+        if !c.is_fact() {
+            write!(f, " :- ")?;
+            crate::pretty::fmt_term(&c.body, Some(&c.var_names), f)?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn fact_detection() {
+        let p = parse_program("p(a). q(X) :- p(X).").unwrap();
+        assert!(p.clauses()[0].is_fact());
+        assert!(!p.clauses()[1].is_fact());
+        assert!(p.clauses()[0].body_literals().is_empty());
+    }
+
+    #[test]
+    fn body_literals_flatten_conjunctions() {
+        let p = parse_program("p(X) :- a(X), b(X), c(X).").unwrap();
+        let lits = p.clauses()[0].body_literals();
+        assert_eq!(lits.len(), 3);
+        assert_eq!(lits[0].functor().unwrap().0.as_str(), "a");
+        assert_eq!(lits[2].functor().unwrap().0.as_str(), "c");
+    }
+
+    #[test]
+    fn body_literals_flatten_parallel_conjunctions() {
+        let p = parse_program("p(X) :- a(X) & b(X), c(X).").unwrap();
+        let lits = p.clauses()[0].body_literals();
+        assert_eq!(lits.len(), 3);
+    }
+
+    #[test]
+    fn body_view_if_then_else() {
+        let p = parse_program("p(X) :- ( X > 1 -> a(X) ; b(X) ).").unwrap();
+        match p.clauses()[0].body_view() {
+            BodyView::IfThenElse(c, t, e) => {
+                assert!(matches!(*c, BodyView::Goal(_)));
+                assert!(matches!(*t, BodyView::Goal(_)));
+                assert!(matches!(*e, BodyView::Goal(_)));
+            }
+            other => panic!("expected if-then-else, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn body_view_parallel() {
+        let p = parse_program("p(X) :- a(X) & b(X) & c(X).").unwrap();
+        match p.clauses()[0].body_view() {
+            BodyView::Par(items) => assert_eq!(items.len(), 3),
+            other => panic!("expected parallel conjunction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn called_goals_descend_into_control() {
+        let p = parse_program("p(X) :- ( a(X) -> b(X) ; c(X), d(X) ).").unwrap();
+        let goals = p.clauses()[0].called_goals();
+        let names: Vec<&str> = goals
+            .iter()
+            .map(|g| g.functor().unwrap().0.as_str())
+            .collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn clause_display_uses_source_names() {
+        let p = parse_program("nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).").unwrap();
+        let shown = p.clauses()[0].display().to_string();
+        assert!(shown.contains("nrev([H|L],R)"), "got: {shown}");
+        assert!(shown.contains("R1"));
+        assert!(shown.ends_with('.'));
+    }
+
+    #[test]
+    fn head_pred() {
+        let p = parse_program("foo(a, b, c).").unwrap();
+        let id = p.clauses()[0].head_pred().unwrap();
+        assert_eq!(id.name.as_str(), "foo");
+        assert_eq!(id.arity, 3);
+    }
+}

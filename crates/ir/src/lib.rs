@@ -1,0 +1,56 @@
+//! # granlog-ir
+//!
+//! Intermediate representation for logic programs, used by the granularity
+//! analysis described in *Task Granularity Analysis in Logic Programs*
+//! (Debray, Lin & Hermenegildo, PLDI 1990) and by the execution substrates
+//! that reproduce its evaluation.
+//!
+//! The crate provides:
+//!
+//! * [`Symbol`] — a cheap interned representation of Prolog atoms and functor
+//!   names (see [`symbol`]).
+//! * [`Term`] — the Prolog term algebra: variables, atoms, integers, floats
+//!   and compound terms, with list sugar (see [`term`]).
+//! * [`parser`] — a tokenizer and operator-precedence reader for a practical
+//!   subset of ISO Prolog syntax, including the directives the analysis
+//!   consumes (`:- mode ...`, `:- measure ...`, `:- parallel ...`).
+//! * [`Clause`], [`Program`], [`PredId`] — clause and program containers
+//!   (see [`clause`] and [`program`]).
+//! * [`modes`] — argument mode (input/output) declarations and a simple
+//!   left-to-right mode inference fallback.
+//! * [`callgraph`] — predicate call graphs, Tarjan SCCs, topological
+//!   processing order and the recursion classification used in Section 3 of
+//!   the paper (nonrecursive / simple recursive / mutually recursive).
+//! * [`unify`] — substitution-based unification over [`Term`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use granlog_ir::parser::parse_program;
+//!
+//! let src = r#"
+//!     :- mode nrev(+, -).
+//!     nrev([], []).
+//!     nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+//! "#;
+//! let program = parse_program(src).unwrap();
+//! assert_eq!(program.predicates().count(), 1);
+//! ```
+
+pub mod callgraph;
+pub mod clause;
+pub mod modes;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+pub mod symbol;
+pub mod term;
+pub mod unify;
+
+pub use callgraph::{CallGraph, RecursionClass, Scc};
+pub use clause::{Clause, ClauseId};
+pub use modes::{ArgMode, ModeDecl};
+pub use parser::{parse_program, parse_term, ParseError};
+pub use program::{Directive, PredId, Predicate, Program};
+pub use symbol::Symbol;
+pub use term::{Term, VarId};

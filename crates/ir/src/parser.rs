@@ -1,0 +1,1009 @@
+//! A tokenizer and operator-precedence reader for a practical subset of
+//! Prolog syntax.
+//!
+//! Supported syntax:
+//!
+//! * facts, rules (`:-`) and directives (`:- ...`), terminated by `.`;
+//! * atoms (unquoted, quoted and symbolic), variables, integers, floats;
+//! * lists `[a, b | T]`, curly braces `{...}`, parenthesised terms;
+//! * the standard operator table, extended with `&` (parallel conjunction, as
+//!   in &-Prolog) at priority 950, binding tighter than `,`;
+//! * `%` line comments and `/* ... */` block comments.
+//!
+//! Directives recognised and turned into [`Directive`] values:
+//! `mode`, `measure`, `parallel`, `sequential`, `entry`. Anything else is kept
+//! as [`Directive::Other`].
+
+use crate::clause::Clause;
+use crate::modes::ArgMode;
+use crate::program::{Directive, PredId, Program};
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// 1-based line number where the error was detected.
+    pub line: usize,
+    /// 1-based column number where the error was detected.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    Float(f64),
+    Punct(char), // ( ) [ ] { } , |
+    End,         // clause-terminating '.'
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+const SYMBOL_CHARS: &str = "+-*/\\^<>=~:.?@#&$";
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, column: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), line: self.line, column: self.column }
+    }
+
+    fn peek_char(&self) -> Option<char> {
+        if self.pos < self.src.len() {
+            Some(self.src[self.pos] as char)
+        } else {
+            None
+        }
+    }
+
+    fn peek_char_at(&self, offset: usize) -> Option<char> {
+        self.src.get(self.pos + offset).map(|&b| b as char)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek_char()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek_char() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some('%') => {
+                    while let Some(c) = self.peek_char() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek_char_at(1) == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek_char() {
+                            Some('*') if self.peek_char_at(1) == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_ws_and_comments()?;
+            let line = self.line;
+            let column = self.column;
+            let Some(c) = self.peek_char() else {
+                tokens.push(Token { tok: Tok::Eof, line, column });
+                return Ok(tokens);
+            };
+            let tok = if c.is_ascii_digit() {
+                self.lex_number()?
+            } else if c.is_ascii_uppercase() || c == '_' {
+                self.lex_variable()
+            } else if c.is_ascii_lowercase() {
+                self.lex_plain_atom()
+            } else if c == '\'' {
+                self.lex_quoted_atom()?
+            } else if "()[]{},|".contains(c) {
+                self.bump();
+                // '|' doubles as the list-tail separator and (rarely) an
+                // operator; we always emit it as punctuation.
+                Tok::Punct(c)
+            } else if c == '!' {
+                self.bump();
+                Tok::Atom("!".to_owned())
+            } else if c == ';' {
+                self.bump();
+                Tok::Atom(";".to_owned())
+            } else if SYMBOL_CHARS.contains(c) {
+                self.lex_symbolic_atom()
+            } else {
+                return Err(self.error(format!("unexpected character {c:?}")));
+            };
+            tokens.push(Token { tok, line, column });
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Tok, ParseError> {
+        let start = self.pos;
+        while matches!(self.peek_char(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        // 0'c character code notation.
+        if self.pos - start == 1
+            && self.src[start] == b'0'
+            && self.peek_char() == Some('\'')
+        {
+            self.bump();
+            let c = self.bump().ok_or_else(|| self.error("unterminated character code"))?;
+            return Ok(Tok::Int(c as i64));
+        }
+        let mut is_float = false;
+        if self.peek_char() == Some('.')
+            && matches!(self.peek_char_at(1), Some(c) if c.is_ascii_digit())
+        {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek_char(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek_char(), Some('e' | 'E'))
+            && (matches!(self.peek_char_at(1), Some(c) if c.is_ascii_digit())
+                || (matches!(self.peek_char_at(1), Some('+' | '-'))
+                    && matches!(self.peek_char_at(2), Some(c) if c.is_ascii_digit())))
+        {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek_char(), Some('+' | '-')) {
+                self.bump();
+            }
+            while matches!(self.peek_char(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii digits");
+        if is_float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|e| self.error(format!("bad float literal {text:?}: {e}")))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.error(format!("bad integer literal {text:?}: {e}")))
+        }
+    }
+
+    fn lex_variable(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek_char(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        Tok::Var(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn lex_plain_atom(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek_char(), Some(c) if c.is_ascii_alphanumeric() || c == '_') {
+            self.bump();
+        }
+        Tok::Atom(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn lex_quoted_atom(&mut self) -> Result<Tok, ParseError> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                Some('\'') => {
+                    if self.peek_char() == Some('\'') {
+                        self.bump();
+                        text.push('\'');
+                    } else {
+                        return Ok(Tok::Atom(text));
+                    }
+                }
+                Some('\\') => {
+                    let esc = self.bump().ok_or_else(|| self.error("unterminated escape"))?;
+                    let replacement = match esc {
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        '\\' => '\\',
+                        '\'' => '\'',
+                        other => other,
+                    };
+                    text.push(replacement);
+                }
+                Some(c) => text.push(c),
+                None => return Err(self.error("unterminated quoted atom")),
+            }
+        }
+    }
+
+    fn lex_symbolic_atom(&mut self) -> Tok {
+        let start = self.pos;
+        while matches!(self.peek_char(), Some(c) if SYMBOL_CHARS.contains(c)) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        // A solitary '.' (not part of a longer symbolic atom) terminates a clause.
+        if text == "." {
+            Tok::End
+        } else {
+            Tok::Atom(text)
+        }
+    }
+}
+
+/// Operator fixity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fixity {
+    Xfx,
+    Xfy,
+    Yfx,
+    Fy,
+    Fx,
+}
+
+fn infix_op(name: &str) -> Option<(u32, Fixity)> {
+    let entry = match name {
+        ":-" | "-->" => (1200, Fixity::Xfx),
+        ";" => (1100, Fixity::Xfy),
+        "->" => (1050, Fixity::Xfy),
+        "&" => (950, Fixity::Xfy),
+        "," => (1000, Fixity::Xfy),
+        "=" | "\\=" | "==" | "\\==" | "is" | "=.." | "<" | ">" | "=<" | ">=" | "=:=" | "=\\="
+        | "@<" | "@>" | "@=<" | "@>=" => (700, Fixity::Xfx),
+        "+" | "-" | "/\\" | "\\/" | "xor" => (500, Fixity::Yfx),
+        "*" | "/" | "//" | "mod" | "rem" | "div" | "<<" | ">>" => (400, Fixity::Yfx),
+        "**" => (200, Fixity::Xfx),
+        "^" => (200, Fixity::Xfy),
+        _ => return None,
+    };
+    Some(entry)
+}
+
+fn prefix_op(name: &str) -> Option<(u32, Fixity)> {
+    let entry = match name {
+        ":-" | "?-" => (1200, Fixity::Fx),
+        // Directive keywords behave as low-priority prefix operators so that
+        // `:- mode nrev(+, -).` parses as `mode(nrev(+, -))`.
+        "mode" | "measure" | "parallel" | "sequential" | "entry" | "dynamic"
+        | "discontiguous" | "multifile" | "module" | "use_module" | "public" => {
+            (1150, Fixity::Fx)
+        }
+        "\\+" => (900, Fixity::Fy),
+        "-" | "+" | "\\" => (200, Fixity::Fy),
+        _ => return None,
+    };
+    Some(entry)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    vars: HashMap<String, usize>,
+    var_names: Vec<Symbol>,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0, vars: HashMap::new(), var_names: Vec::new() }
+    }
+
+    fn reset_clause_state(&mut self) {
+        self.vars.clear();
+        self.var_names.clear();
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_tok(&self) -> &Tok {
+        &self.peek().tok
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError { message: message.into(), line: t.line, column: t.column }
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek_tok(), Tok::Eof)
+    }
+
+    fn var_id(&mut self, name: &str) -> usize {
+        if name == "_" {
+            let id = self.var_names.len();
+            self.var_names.push(Symbol::intern("_"));
+            return id;
+        }
+        if let Some(&id) = self.vars.get(name) {
+            return id;
+        }
+        let id = self.var_names.len();
+        self.vars.insert(name.to_owned(), id);
+        self.var_names.push(Symbol::intern(name));
+        id
+    }
+
+    /// Parses one term with priority at most `max_prec`.
+    fn parse_expr(&mut self, max_prec: u32) -> Result<Term, ParseError> {
+        let mut left = self.parse_primary(max_prec)?;
+        loop {
+            // The comma punctuation acts as the 1000-priority infix ','.
+            let (op_name, prec, fixity) = match self.peek_tok() {
+                Tok::Punct(',') if max_prec >= 1000 => (",".to_owned(), 1000, Fixity::Xfy),
+                Tok::Punct('|') if max_prec >= 1100 => (";".to_owned(), 1100, Fixity::Xfy),
+                Tok::Atom(name) => match infix_op(name) {
+                    Some((prec, fixity)) if prec <= max_prec => (name.clone(), prec, fixity),
+                    _ => break,
+                },
+                _ => break,
+            };
+            self.bump();
+            let right_max = match fixity {
+                Fixity::Xfx | Fixity::Yfx => prec - 1,
+                Fixity::Xfy => prec,
+                Fixity::Fy | Fixity::Fx => unreachable!("prefix fixity in infix position"),
+            };
+            let right = self.parse_expr(right_max)?;
+            left = Term::compound(&op_name, vec![left, right]);
+            if fixity == Fixity::Xfx {
+                // xfx operators do not chain at the same priority.
+                // (Continuing the loop with prec-1 left operand is handled by
+                // the next iteration's precedence check.)
+            }
+        }
+        Ok(left)
+    }
+
+    fn parse_primary(&mut self, max_prec: u32) -> Result<Term, ParseError> {
+        let token = self.bump();
+        match token.tok {
+            Tok::Int(i) => Ok(Term::Int(i)),
+            Tok::Float(x) => Ok(Term::float(x)),
+            Tok::Var(name) => Ok(Term::Var(self.var_id(&name))),
+            Tok::Punct('(') => {
+                let t = self.parse_expr(1200)?;
+                self.expect_punct(')')?;
+                Ok(t)
+            }
+            Tok::Punct('[') => self.parse_list(),
+            Tok::Punct('{') => {
+                if matches!(self.peek_tok(), Tok::Punct('}')) {
+                    self.bump();
+                    return Ok(Term::atom("{}"));
+                }
+                let t = self.parse_expr(1200)?;
+                self.expect_punct('}')?;
+                Ok(Term::compound("{}", vec![t]))
+            }
+            Tok::Atom(name) => {
+                // Compound term: atom immediately followed by '('.
+                if matches!(self.peek_tok(), Tok::Punct('(')) {
+                    self.bump();
+                    let args = self.parse_arglist()?;
+                    self.expect_punct(')')?;
+                    return Ok(Term::compound(&name, args));
+                }
+                // Negative numeric literal.
+                if name == "-" {
+                    if let Tok::Int(i) = *self.peek_tok() {
+                        self.bump();
+                        return Ok(Term::Int(-i));
+                    }
+                    if let Tok::Float(x) = *self.peek_tok() {
+                        self.bump();
+                        return Ok(Term::float(-x));
+                    }
+                }
+                // Prefix operator application.
+                if let Some((prec, fixity)) = prefix_op(&name) {
+                    if prec <= max_prec && self.starts_term() {
+                        let arg_max = match fixity {
+                            Fixity::Fy => prec,
+                            Fixity::Fx => prec - 1,
+                            _ => unreachable!(),
+                        };
+                        let arg = self.parse_expr(arg_max)?;
+                        return Ok(Term::compound(&name, vec![arg]));
+                    }
+                }
+                Ok(Term::atom(&name))
+            }
+            Tok::End => Err(ParseError {
+                message: "unexpected end of clause".into(),
+                line: token.line,
+                column: token.column,
+            }),
+            Tok::Eof => Err(ParseError {
+                message: "unexpected end of input".into(),
+                line: token.line,
+                column: token.column,
+            }),
+            Tok::Punct(c) => Err(ParseError {
+                message: format!("unexpected {c:?}"),
+                line: token.line,
+                column: token.column,
+            }),
+        }
+    }
+
+    /// Can the upcoming token begin a term? (Used to decide whether a prefix
+    /// operator is being applied or stands alone as an atom.)
+    fn starts_term(&self) -> bool {
+        match self.peek_tok() {
+            Tok::Int(_) | Tok::Float(_) | Tok::Var(_) => true,
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => true,
+            Tok::Atom(name) => {
+                // An infix operator cannot start a term (e.g. `- , foo`).
+                infix_op(name).is_none() || prefix_op(name).is_some()
+            }
+            _ => false,
+        }
+    }
+
+    fn parse_arglist(&mut self) -> Result<Vec<Term>, ParseError> {
+        let mut args = vec![self.parse_expr(999)?];
+        while matches!(self.peek_tok(), Tok::Punct(',')) {
+            self.bump();
+            args.push(self.parse_expr(999)?);
+        }
+        Ok(args)
+    }
+
+    fn parse_list(&mut self) -> Result<Term, ParseError> {
+        if matches!(self.peek_tok(), Tok::Punct(']')) {
+            self.bump();
+            return Ok(Term::nil());
+        }
+        let mut items = vec![self.parse_expr(999)?];
+        let mut tail = Term::nil();
+        loop {
+            match self.peek_tok() {
+                Tok::Punct(',') => {
+                    self.bump();
+                    items.push(self.parse_expr(999)?);
+                }
+                Tok::Punct('|') => {
+                    self.bump();
+                    tail = self.parse_expr(999)?;
+                    break;
+                }
+                _ => break,
+            }
+        }
+        self.expect_punct(']')?;
+        Ok(Term::list_with_tail(items, tail))
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        if matches!(self.peek_tok(), Tok::Punct(p) if *p == c) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {c:?}, found {:?}", self.peek_tok())))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if matches!(self.peek_tok(), Tok::End) {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected '.', found {:?}", self.peek_tok())))
+        }
+    }
+
+    /// Parses a full clause-level term followed by `.`; returns the term and
+    /// its variable-name table.
+    fn parse_clause_term(&mut self) -> Result<(Term, Vec<Symbol>), ParseError> {
+        self.reset_clause_state();
+        let term = self.parse_expr(1200)?;
+        self.expect_end()?;
+        Ok((term, std::mem::take(&mut self.var_names)))
+    }
+}
+
+/// Parses a single Prolog term (without the terminating `.`).
+///
+/// Returns the term and the names of its variables ([`crate::VarId`] `i` has
+/// name `names[i]`).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+///
+/// # Example
+///
+/// ```
+/// use granlog_ir::parser::parse_term;
+/// let (t, names) = parse_term("f(X, [1,2|T])").unwrap();
+/// assert_eq!(names.len(), 2);
+/// assert_eq!(t.to_string(), "f(_0,[1,2|_1])");
+/// ```
+pub fn parse_term(src: &str) -> Result<(Term, Vec<Symbol>), ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let term = parser.parse_expr(1200)?;
+    if !parser.at_eof() && !matches!(parser.peek_tok(), Tok::End) {
+        return Err(parser.error_here(format!("trailing input: {:?}", parser.peek_tok())));
+    }
+    Ok((term, parser.var_names))
+}
+
+/// Parses a Prolog program: a sequence of clauses and directives.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered.
+///
+/// # Example
+///
+/// ```
+/// use granlog_ir::parser::parse_program;
+/// let p = parse_program(":- mode fib(+, -). fib(0, 0). fib(1, 1).").unwrap();
+/// assert_eq!(p.len(), 2);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = Lexer::new(src).tokenize()?;
+    let mut parser = Parser::new(tokens);
+    let mut program = Program::new();
+    while !parser.at_eof() {
+        let (term, var_names) = parser.parse_clause_term()?;
+        match term {
+            // Directive `:- D.`
+            Term::Struct(neck, args) if neck.as_str() == ":-" && args.len() == 1 => {
+                let directive = interpret_directive(&args[0]);
+                program.add_directive(directive);
+            }
+            // Rule `H :- B.`
+            Term::Struct(neck, mut args) if neck.as_str() == ":-" && args.len() == 2 => {
+                let body = args.pop().expect("arity checked");
+                let head = args.pop().expect("arity checked");
+                if !head.is_callable() {
+                    return Err(ParseError {
+                        message: format!("clause head must be callable, found {head}"),
+                        line: 0,
+                        column: 0,
+                    });
+                }
+                program.add_clause(Clause::new(head, body, var_names));
+            }
+            // Fact.
+            head => {
+                if !head.is_callable() {
+                    return Err(ParseError {
+                        message: format!("clause head must be callable, found {head}"),
+                        line: 0,
+                        column: 0,
+                    });
+                }
+                program.add_clause(Clause::fact(head, var_names));
+            }
+        }
+    }
+    Ok(program)
+}
+
+/// Interprets a directive body term into a [`Directive`].
+fn interpret_directive(body: &Term) -> Directive {
+    let Some((name, _arity)) = body.functor() else {
+        return Directive::Other(body.clone());
+    };
+    match name.as_str() {
+        "mode" if body.args().len() == 1 => {
+            // :- mode p(+, -).  (equivalently :- mode(p(+, -)).)
+            parse_mode_spec(&body.args()[0])
+                .map(|(pred, modes)| Directive::Mode(pred, modes))
+                .unwrap_or_else(|| Directive::Other(body.clone()))
+        }
+        "measure" if body.args().len() == 1 => {
+            let spec = &body.args()[0];
+            match spec.functor() {
+                Some((pred_name, arity)) if arity > 0 => {
+                    let measures: Vec<Symbol> = spec
+                        .args()
+                        .iter()
+                        .map(|a| match a.functor() {
+                            Some((m, 0)) => m,
+                            _ => Symbol::intern("unknown"),
+                        })
+                        .collect();
+                    Directive::Measure(PredId::new(pred_name, arity), measures)
+                }
+                _ => Directive::Other(body.clone()),
+            }
+        }
+        "parallel" | "sequential" if body.args().len() == 1 => {
+            match parse_pred_indicator(&body.args()[0]) {
+                Some(pred) if name.as_str() == "parallel" => Directive::Parallel(pred),
+                Some(pred) => Directive::Sequential(pred),
+                None => Directive::Other(body.clone()),
+            }
+        }
+        "entry" if body.args().len() == 1 => parse_mode_spec(&body.args()[0])
+            .map(|(pred, modes)| Directive::Entry(pred, modes))
+            .unwrap_or_else(|| Directive::Other(body.clone())),
+        _ => Directive::Other(body.clone()),
+    }
+}
+
+/// Parses `p(+,-)`-style mode specs.
+fn parse_mode_spec(spec: &Term) -> Option<(PredId, Vec<ArgMode>)> {
+    let (name, arity) = spec.functor()?;
+    if arity == 0 {
+        return None;
+    }
+    let modes: Option<Vec<ArgMode>> = spec
+        .args()
+        .iter()
+        .map(|a| match a.functor() {
+            Some((ind, 0)) => ArgMode::from_indicator(ind.as_str()),
+            _ => None,
+        })
+        .collect();
+    Some((PredId::new(name, arity), modes?))
+}
+
+/// Parses `p/2`-style predicate indicators (also accepts a bare callable term,
+/// using its own functor/arity).
+fn parse_pred_indicator(term: &Term) -> Option<PredId> {
+    if let Term::Struct(slash, args) = term {
+        if slash.as_str() == "/" && args.len() == 2 {
+            if let (Some((name, 0)), Term::Int(arity)) = (args[0].functor(), &args[1]) {
+                return Some(PredId::new(name, usize::try_from(*arity).ok()?));
+            }
+        }
+    }
+    PredId::of_term(term)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::ArgMode;
+
+    #[test]
+    fn parse_simple_fact() {
+        let p = parse_program("likes(mary, wine).").unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(p.clauses()[0].is_fact());
+        assert_eq!(p.clauses()[0].head.to_string(), "likes(mary,wine)");
+    }
+
+    #[test]
+    fn parse_rule_with_conjunction() {
+        let p = parse_program("happy(X) :- rich(X), healthy(X).").unwrap();
+        let c = &p.clauses()[0];
+        assert_eq!(c.body_literals().len(), 2);
+        assert_eq!(c.var_names.len(), 1);
+        assert_eq!(c.var_names[0].as_str(), "X");
+    }
+
+    #[test]
+    fn parse_lists() {
+        let (t, _) = parse_term("[1, 2, 3]").unwrap();
+        assert_eq!(t.list_length(), Some(3));
+        let (t, names) = parse_term("[H | T]").unwrap();
+        assert!(t.is_cons());
+        assert_eq!(names.len(), 2);
+        let (t, _) = parse_term("[]").unwrap();
+        assert!(t.is_nil());
+        let (t, _) = parse_term("[a, b | [c]]").unwrap();
+        assert_eq!(t.list_length(), Some(3));
+    }
+
+    #[test]
+    fn parse_arithmetic_precedence() {
+        let (t, _) = parse_term("1 + 2 * 3").unwrap();
+        assert_eq!(t.to_string(), "(1+(2*3))");
+        let (t, _) = parse_term("1 * 2 + 3").unwrap();
+        assert_eq!(t.to_string(), "((1*2)+3)");
+        let (t, _) = parse_term("1 - 2 - 3").unwrap();
+        // yfx: left associative
+        assert_eq!(t.to_string(), "((1-2)-3)");
+        let (t, _) = parse_term("2 ** 3").unwrap();
+        assert_eq!(t.functor().unwrap().0.as_str(), "**");
+    }
+
+    #[test]
+    fn parse_is_and_comparison() {
+        let p = parse_program("p(X, Y) :- Y is X - 1, X > 0.").unwrap();
+        let lits = p.clauses()[0].body_literals();
+        assert_eq!(lits.len(), 2);
+        assert_eq!(lits[0].functor().unwrap().0.as_str(), "is");
+        assert_eq!(lits[1].functor().unwrap().0.as_str(), ">");
+    }
+
+    #[test]
+    fn parse_negative_numbers() {
+        let (t, _) = parse_term("-5").unwrap();
+        assert_eq!(t, Term::int(-5));
+        let (t, _) = parse_term("f(-5, -1.5)").unwrap();
+        assert_eq!(t.args()[0], Term::int(-5));
+        assert_eq!(t.args()[1], Term::float(-1.5));
+        // Unary minus applied to a variable stays symbolic.
+        let (t, _) = parse_term("-X").unwrap();
+        assert_eq!(t.functor().unwrap().0.as_str(), "-");
+    }
+
+    #[test]
+    fn parse_floats_and_char_codes() {
+        let (t, _) = parse_term("3.25").unwrap();
+        assert_eq!(t, Term::float(3.25));
+        let (t, _) = parse_term("1.0e3").unwrap();
+        assert_eq!(t, Term::float(1000.0));
+        let (t, _) = parse_term("0'a").unwrap();
+        assert_eq!(t, Term::int('a' as i64));
+    }
+
+    #[test]
+    fn parse_quoted_atoms() {
+        let (t, _) = parse_term("'hello world'").unwrap();
+        assert_eq!(t, Term::atom("hello world"));
+        let (t, _) = parse_term("'it''s'").unwrap();
+        assert_eq!(t, Term::atom("it's"));
+        let (t, _) = parse_term("'line\\nbreak'").unwrap();
+        assert_eq!(t, Term::atom("line\nbreak"));
+    }
+
+    #[test]
+    fn parse_if_then_else() {
+        let p = parse_program("p(X) :- ( X > 1 -> q(X) ; r(X) ).").unwrap();
+        let body = &p.clauses()[0].body;
+        assert_eq!(body.functor().unwrap().0.as_str(), ";");
+        assert_eq!(body.args()[0].functor().unwrap().0.as_str(), "->");
+    }
+
+    #[test]
+    fn parse_parallel_conjunction() {
+        let p = parse_program("qs(L, S) :- part(L, A, B), qs(A, SA) & qs(B, SB), app(SA, SB, S).").unwrap();
+        let lits = p.clauses()[0].body_literals();
+        assert_eq!(lits.len(), 4);
+    }
+
+    #[test]
+    fn parse_negation() {
+        let p = parse_program("p(X) :- \\+ q(X).").unwrap();
+        let body = &p.clauses()[0].body;
+        assert_eq!(body.functor().unwrap(), (Symbol::intern("\\+"), 1));
+    }
+
+    #[test]
+    fn parse_cut_and_true() {
+        let p = parse_program("p(X) :- q(X), !, r(X). t.").unwrap();
+        let lits = p.clauses()[0].body_literals();
+        assert_eq!(lits[1], &Term::atom("!"));
+        assert!(p.clauses()[1].is_fact());
+    }
+
+    #[test]
+    fn parse_mode_directive_plus_minus() {
+        let p = parse_program(":- mode append(+, +, -). append([], L, L).").unwrap();
+        let m = p.mode_of(PredId::parse("append", 3)).unwrap();
+        assert_eq!(m.modes, vec![ArgMode::In, ArgMode::In, ArgMode::Out]);
+    }
+
+    #[test]
+    fn parse_mode_directive_io_atoms() {
+        let p = parse_program(":- mode nrev(i, o). nrev([], []).").unwrap();
+        let m = p.mode_of(PredId::parse("nrev", 2)).unwrap();
+        assert_eq!(m.modes, vec![ArgMode::In, ArgMode::Out]);
+    }
+
+    #[test]
+    fn parse_mode_directive_wrapped() {
+        let p = parse_program(":- mode(fib(+, -)). fib(0, 0).").unwrap();
+        assert!(p.mode_of(PredId::parse("fib", 2)).is_some());
+    }
+
+    #[test]
+    fn parse_measure_directive() {
+        let p = parse_program(":- measure append(length, length, length). append([], L, L).").unwrap();
+        let ms = p.measure_of(PredId::parse("append", 3)).unwrap();
+        assert_eq!(ms.len(), 3);
+        assert_eq!(ms[0].as_str(), "length");
+    }
+
+    #[test]
+    fn parse_parallel_and_sequential_directives() {
+        let p = parse_program(":- parallel qs/2.\n:- sequential part/4.\nqs([], []).").unwrap();
+        assert_eq!(p.parallel_marking(PredId::parse("qs", 2)), Some(true));
+        assert_eq!(p.parallel_marking(PredId::parse("part", 4)), Some(false));
+    }
+
+    #[test]
+    fn parse_entry_directive() {
+        let p = parse_program(":- entry main(+). main(X) :- write(X).").unwrap();
+        assert_eq!(p.entries().len(), 1);
+        assert_eq!(p.entries()[0].0, PredId::parse("main", 1));
+    }
+
+    #[test]
+    fn unknown_directives_are_preserved() {
+        let p = parse_program(":- dynamic foo/1. foo(1).").unwrap();
+        assert!(matches!(p.directives()[0], Directive::Other(_)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "% a line comment\np(1). /* block\ncomment */ p(2). % trailing";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn variables_are_scoped_per_clause() {
+        let p = parse_program("p(X) :- q(X). r(X) :- s(X).").unwrap();
+        // Each clause numbers its own X from zero.
+        assert_eq!(p.clauses()[0].var_names.len(), 1);
+        assert_eq!(p.clauses()[1].var_names.len(), 1);
+        assert_eq!(p.clauses()[0].head.args()[0], Term::var(0));
+        assert_eq!(p.clauses()[1].head.args()[0], Term::var(0));
+    }
+
+    #[test]
+    fn anonymous_variables_are_distinct() {
+        let p = parse_program("p(_, _, X, X).").unwrap();
+        let head = &p.clauses()[0].head;
+        assert_ne!(head.args()[0], head.args()[1]);
+        assert_eq!(head.args()[2], head.args()[3]);
+    }
+
+    #[test]
+    fn error_on_unterminated_clause() {
+        let err = parse_program("p(a)").unwrap_err();
+        assert!(err.to_string().contains("expected '.'"), "{err}");
+    }
+
+    #[test]
+    fn error_on_unbalanced_paren() {
+        assert!(parse_program("p(a.").is_err());
+        assert!(parse_program("p(a)) .").is_err());
+    }
+
+    #[test]
+    fn error_on_unterminated_atom_and_comment() {
+        assert!(parse_program("p('abc).").is_err());
+        assert!(parse_program("/* never closed").is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_program("p(a).\nq(b\n).x").unwrap_err();
+        assert!(err.line >= 2, "line was {}", err.line);
+    }
+
+    #[test]
+    fn nrev_appendix_program_parses() {
+        let src = r#"
+            :- mode nrev(+, -).
+            :- mode append(+, +, -).
+            nrev([], []).
+            nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+            append([], L, L).
+            append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.predicates().count(), 2);
+        let rec = &p.clauses_of(PredId::parse("nrev", 2))[1];
+        assert_eq!(rec.body_literals().len(), 2);
+        assert_eq!(rec.var_names.len(), 4); // H, L, R, R1
+    }
+
+    #[test]
+    fn fib_program_parses() {
+        let src = r#"
+            fib(0, 0).
+            fib(1, 1).
+            fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                         fib(M1, N1), fib(M2, N2), N is N1 + N2.
+        "#;
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.clauses()[2].body_literals().len(), 6);
+    }
+
+    #[test]
+    fn operators_as_atoms_in_arglists() {
+        let (t, _) = parse_term("f(+, -)").unwrap();
+        assert_eq!(t.args()[0], Term::atom("+"));
+        assert_eq!(t.args()[1], Term::atom("-"));
+    }
+
+    #[test]
+    fn deep_nesting_parses() {
+        let mut src = String::from("p(");
+        for _ in 0..200 {
+            src.push_str("f(");
+        }
+        src.push('a');
+        for _ in 0..200 {
+            src.push(')');
+        }
+        src.push_str(").");
+        let p = parse_program(&src).unwrap();
+        assert_eq!(p.clauses()[0].head.args()[0].term_depth(), 200);
+    }
+
+    #[test]
+    fn pred_indicator_parsing() {
+        let (t, _) = parse_term("foo/3").unwrap();
+        assert_eq!(parse_pred_indicator(&t), Some(PredId::parse("foo", 3)));
+        let (t, _) = parse_term("foo(a, b)").unwrap();
+        assert_eq!(parse_pred_indicator(&t), Some(PredId::parse("foo", 2)));
+    }
+
+    #[test]
+    fn semicolon_binds_looser_than_comma() {
+        let (t, _) = parse_term("a, b ; c").unwrap();
+        assert_eq!(t.functor().unwrap().0.as_str(), ";");
+        let (t, _) = parse_term("a ; b, c").unwrap();
+        assert_eq!(t.functor().unwrap().0.as_str(), ";");
+        assert_eq!(t.args()[1].functor().unwrap().0.as_str(), ",");
+    }
+}

@@ -1,0 +1,194 @@
+//! Human-readable rendering of terms and clauses.
+//!
+//! The printer aims at readability rather than strict re-parsability: lists
+//! print in bracket notation, well-known binary operators print infix, and
+//! variables print either by their source name (when a name table is
+//! supplied) or as `_N`.
+
+use crate::symbol::Symbol;
+use crate::term::Term;
+use std::fmt;
+
+/// Operators rendered infix by the pretty printer, with their display glyph.
+fn infix_glyph(name: &str, arity: usize) -> Option<&'static str> {
+    if arity != 2 {
+        return None;
+    }
+    let glyph = match name {
+        "," => ",",
+        ";" => ";",
+        "->" => "->",
+        "&" => "&",
+        ":-" => ":-",
+        "is" => " is ",
+        "=" => "=",
+        "\\=" => "\\=",
+        "==" => "==",
+        "\\==" => "\\==",
+        "<" => "<",
+        ">" => ">",
+        "=<" => "=<",
+        ">=" => ">=",
+        "=:=" => "=:=",
+        "=\\=" => "=\\=",
+        "+" => "+",
+        "-" => "-",
+        "*" => "*",
+        "/" => "/",
+        "//" => "//",
+        "mod" => " mod ",
+        _ => return None,
+    };
+    Some(glyph)
+}
+
+/// Formats a single term.
+///
+/// `var_names`, when provided, maps [`crate::term::VarId`]s to their source
+/// names; variables outside the table (or when the table is absent) render as
+/// `_N`.
+pub fn fmt_term(term: &Term, var_names: Option<&[Symbol]>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match term {
+        Term::Var(v) => match var_names.and_then(|names| names.get(*v)) {
+            Some(name) => write!(f, "{name}"),
+            None => write!(f, "_{v}"),
+        },
+        Term::Int(i) => write!(f, "{i}"),
+        Term::Float(x) => write!(f, "{}", x.0),
+        Term::Atom(a) => write!(f, "{}", atom_text(a.as_str())),
+        Term::Struct(_, _) if term.is_cons() => fmt_list(term, var_names, f),
+        Term::Struct(name, args) => {
+            if let Some(glyph) = infix_glyph(name.as_str(), args.len()) {
+                write!(f, "(")?;
+                fmt_term(&args[0], var_names, f)?;
+                write!(f, "{glyph}")?;
+                fmt_term(&args[1], var_names, f)?;
+                write!(f, ")")
+            } else {
+                write!(f, "{}(", atom_text(name.as_str()))?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    fmt_term(arg, var_names, f)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn fmt_list(term: &Term, var_names: Option<&[Symbol]>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(f, "[")?;
+    let mut cur = term;
+    let mut first = true;
+    loop {
+        match cur {
+            Term::Struct(s, args) if s.as_str() == "." && args.len() == 2 => {
+                if !first {
+                    write!(f, ",")?;
+                }
+                fmt_term(&args[0], var_names, f)?;
+                first = false;
+                cur = &args[1];
+            }
+            t if t.is_nil() => break,
+            tail => {
+                write!(f, "|")?;
+                fmt_term(tail, var_names, f)?;
+                break;
+            }
+        }
+    }
+    write!(f, "]")
+}
+
+/// Quotes an atom's text if it would not read back as an unquoted atom.
+fn atom_text(s: &str) -> String {
+    let plain_alpha = s
+        .chars()
+        .next()
+        .map(|c| c.is_ascii_lowercase())
+        .unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+    let symbolic = !s.is_empty() && s.chars().all(|c| "+-*/\\^<>=~:.?@#&$".contains(c));
+    let special = matches!(s, "[]" | "!" | ";" | "{}" | ",");
+    if plain_alpha || symbolic || special {
+        s.to_owned()
+    } else {
+        format!("'{}'", s.replace('\'', "\\'"))
+    }
+}
+
+/// A display adapter pairing a term with a variable-name table.
+///
+/// # Example
+///
+/// ```
+/// use granlog_ir::{parser::parse_program, pretty::TermWithNames};
+/// let p = parse_program("p(X) :- q(X).").unwrap();
+/// let clause = &p.clauses()[0];
+/// let shown = TermWithNames::new(&clause.head, &clause.var_names).to_string();
+/// assert_eq!(shown, "p(X)");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TermWithNames<'a> {
+    term: &'a Term,
+    names: &'a [Symbol],
+}
+
+impl<'a> TermWithNames<'a> {
+    /// Pairs `term` with the variable-name table `names`.
+    pub fn new(term: &'a Term, names: &'a [Symbol]) -> Self {
+        TermWithNames { term, names }
+    }
+}
+
+impl fmt::Display for TermWithNames<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_term(self.term, Some(self.names), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::term::Term;
+
+    #[test]
+    fn quoting_of_atoms() {
+        assert_eq!(Term::atom("foo").to_string(), "foo");
+        assert_eq!(Term::atom("Foo bar").to_string(), "'Foo bar'");
+        assert_eq!(Term::atom("[]").to_string(), "[]");
+        assert_eq!(Term::atom("+").to_string(), "+");
+        assert_eq!(Term::atom("hello world").to_string(), "'hello world'");
+    }
+
+    #[test]
+    fn infix_operators_render_infix() {
+        let t = Term::compound(">", vec![Term::var(0), Term::var(1)]);
+        assert_eq!(t.to_string(), "(_0>_1)");
+        let t = Term::compound("is", vec![Term::var(0), Term::compound("+", vec![Term::int(1), Term::int(2)])]);
+        assert_eq!(t.to_string(), "(_0 is (1+2))");
+    }
+
+    #[test]
+    fn improper_lists_show_tail() {
+        let t = Term::list_with_tail(vec![Term::int(1), Term::int(2)], Term::var(3));
+        assert_eq!(t.to_string(), "[1,2|_3]");
+    }
+
+    #[test]
+    fn nested_lists() {
+        let t = Term::list(vec![Term::list(vec![Term::int(1)]), Term::nil()]);
+        assert_eq!(t.to_string(), "[[1],[]]");
+    }
+
+    #[test]
+    fn conjunction_renders() {
+        let t = Term::compound(
+            ",",
+            vec![Term::atom("a"), Term::compound(",", vec![Term::atom("b"), Term::atom("c")])],
+        );
+        assert_eq!(t.to_string(), "(a,(b,c))");
+    }
+}

@@ -1,0 +1,231 @@
+//! Interned atom / functor names.
+//!
+//! Prolog programs mention the same small set of atoms over and over
+//! (`[]`, `'.'`, predicate names, ...). [`Symbol`] interns those strings in a
+//! process-wide, append-only table so that atoms compare and hash as a single
+//! `u32` and terms stay `Copy`-light.
+//!
+//! The table is append-only and never freed: the set of distinct atoms in a
+//! compilation session is tiny compared to the terms built from them, so the
+//! leak is bounded and intentional (the same strategy used by most compilers'
+//! string interners).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned string naming an atom, functor or predicate.
+///
+/// Two `Symbol`s are equal if and only if the strings they intern are equal.
+/// Symbols are cheap to copy, compare and hash.
+///
+/// # Example
+///
+/// ```
+/// use granlog_ir::Symbol;
+/// let a = Symbol::intern("append");
+/// let b = Symbol::intern("append");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "append");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `s` and returns its symbol.
+    ///
+    /// Interning the same string twice returns the same symbol.
+    pub fn intern(s: &str) -> Symbol {
+        let mut guard = interner().lock().expect("symbol interner poisoned");
+        if let Some(&id) = guard.map.get(s) {
+            return Symbol(id);
+        }
+        let id = guard.strings.len() as u32;
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        guard.strings.push(leaked);
+        guard.map.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// Returns the interned string.
+    pub fn as_str(self) -> &'static str {
+        let guard = interner().lock().expect("symbol interner poisoned");
+        guard.strings[self.0 as usize]
+    }
+
+    /// Returns the raw interner index. Only useful for debugging or dense maps.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol::intern(&s)
+    }
+}
+
+impl serde::Serialize for Symbol {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Symbol {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Symbol::intern(&s))
+    }
+}
+
+/// Well-known symbols used throughout the system.
+pub mod well_known {
+    use super::Symbol;
+
+    /// The empty-list atom `[]`.
+    pub fn nil() -> Symbol {
+        Symbol::intern("[]")
+    }
+
+    /// The list constructor `'.'`.
+    pub fn cons() -> Symbol {
+        Symbol::intern(".")
+    }
+
+    /// The atom `true`.
+    pub fn true_() -> Symbol {
+        Symbol::intern("true")
+    }
+
+    /// The atom `fail`.
+    pub fn fail() -> Symbol {
+        Symbol::intern("fail")
+    }
+
+    /// The conjunction functor `','`.
+    pub fn comma() -> Symbol {
+        Symbol::intern(",")
+    }
+
+    /// The disjunction functor `';'`.
+    pub fn semicolon() -> Symbol {
+        Symbol::intern(";")
+    }
+
+    /// The if-then functor `'->'`.
+    pub fn arrow() -> Symbol {
+        Symbol::intern("->")
+    }
+
+    /// The parallel-conjunction functor `'&'`.
+    pub fn par_and() -> Symbol {
+        Symbol::intern("&")
+    }
+
+    /// The clause-neck functor `':-'`.
+    pub fn neck() -> Symbol {
+        Symbol::intern(":-")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("foo");
+        let b = Symbol::intern("foo");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("foo_distinct_1");
+        let b = Symbol::intern("foo_distinct_2");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn as_str_round_trips() {
+        let s = "a_rather_unusual_atom_name";
+        assert_eq!(Symbol::intern(s).as_str(), s);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Symbol::intern("hello");
+        assert_eq!(s.to_string(), "hello");
+        assert!(format!("{s:?}").contains("hello"));
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "xyz".into();
+        let b: Symbol = String::from("xyz").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn well_known_symbols() {
+        assert_eq!(well_known::nil().as_str(), "[]");
+        assert_eq!(well_known::cons().as_str(), ".");
+        assert_eq!(well_known::comma().as_str(), ",");
+        assert_eq!(well_known::par_and().as_str(), "&");
+    }
+
+    #[test]
+    fn symbols_are_ordered_consistently() {
+        let a = Symbol::intern("aaa_order");
+        let b = Symbol::intern("bbb_order");
+        // Ordering is by interner index, not lexicographic; it just needs to be
+        // a total order usable in BTreeMap keys.
+        assert!(a < b || b < a);
+    }
+
+    #[test]
+    fn empty_string_is_internable() {
+        let e = Symbol::intern("");
+        assert_eq!(e.as_str(), "");
+    }
+
+    #[test]
+    fn unicode_atoms() {
+        let s = Symbol::intern("átomo_π");
+        assert_eq!(s.as_str(), "átomo_π");
+    }
+}

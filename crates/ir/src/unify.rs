@@ -1,0 +1,289 @@
+//! Substitution-based unification over [`Term`]s.
+//!
+//! This is the simple, persistent-map implementation used by the analysis and
+//! by tests; the execution engine in `granlog-engine` uses its own
+//! binding-array representation with trailing for speed.
+
+use crate::term::{Term, VarId};
+use std::collections::BTreeMap;
+
+/// A substitution: a finite map from variables to terms.
+///
+/// # Example
+///
+/// ```
+/// use granlog_ir::{Term, unify::{unify, Subst}};
+/// let mut s = Subst::new();
+/// let t1 = Term::compound("f", vec![Term::var(0), Term::atom("b")]);
+/// let t2 = Term::compound("f", vec![Term::atom("a"), Term::var(1)]);
+/// assert!(unify(&t1, &t2, &mut s));
+/// assert_eq!(s.resolve(&Term::var(0)), Term::atom("a"));
+/// assert_eq!(s.resolve(&Term::var(1)), Term::atom("b"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    bindings: BTreeMap<VarId, Term>,
+}
+
+impl Subst {
+    /// The empty substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Returns `true` if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// The binding of `v`, if any (not dereferenced further).
+    pub fn get(&self, v: VarId) -> Option<&Term> {
+        self.bindings.get(&v)
+    }
+
+    /// Binds `v` to `t`. Overwrites silently; callers are expected to bind
+    /// only unbound variables (as `unify` does).
+    pub fn bind(&mut self, v: VarId, t: Term) {
+        self.bindings.insert(v, t);
+    }
+
+    /// Dereferences a term one level: follows variable bindings until an
+    /// unbound variable or a non-variable term is reached.
+    pub fn walk<'a>(&'a self, term: &'a Term) -> &'a Term {
+        let mut cur = term;
+        let mut steps = 0usize;
+        while let Term::Var(v) = cur {
+            match self.bindings.get(v) {
+                Some(next) => {
+                    cur = next;
+                    steps += 1;
+                    debug_assert!(steps <= self.bindings.len() + 1, "cycle in substitution");
+                    if steps > self.bindings.len() + 1 {
+                        break;
+                    }
+                }
+                None => break,
+            }
+        }
+        cur
+    }
+
+    /// Fully applies the substitution to a term, producing a new term in which
+    /// every bound variable has been replaced by its (resolved) binding.
+    pub fn resolve(&self, term: &Term) -> Term {
+        let walked = self.walk(term);
+        match walked {
+            Term::Var(_) | Term::Atom(_) | Term::Int(_) | Term::Float(_) => walked.clone(),
+            Term::Struct(name, args) => {
+                Term::Struct(*name, args.iter().map(|a| self.resolve(a)).collect())
+            }
+        }
+    }
+
+    /// Iterates over bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &Term)> {
+        self.bindings.iter()
+    }
+}
+
+/// Unifies `t1` and `t2` under substitution `subst`, extending it on success.
+///
+/// Performs the occurs check, so cyclic bindings are rejected (returns
+/// `false`). On failure the substitution may contain bindings added before the
+/// failure was discovered; callers that need transactional behaviour should
+/// clone first.
+pub fn unify(t1: &Term, t2: &Term, subst: &mut Subst) -> bool {
+    let a = subst.walk(t1).clone();
+    let b = subst.walk(t2).clone();
+    match (&a, &b) {
+        (Term::Var(x), Term::Var(y)) if x == y => true,
+        (Term::Var(x), other) => {
+            if occurs(*x, other, subst) {
+                false
+            } else {
+                subst.bind(*x, other.clone());
+                true
+            }
+        }
+        (other, Term::Var(y)) => {
+            if occurs(*y, other, subst) {
+                false
+            } else {
+                subst.bind(*y, other.clone());
+                true
+            }
+        }
+        (Term::Atom(x), Term::Atom(y)) => x == y,
+        (Term::Int(x), Term::Int(y)) => x == y,
+        (Term::Float(x), Term::Float(y)) => x == y,
+        (Term::Struct(f, xs), Term::Struct(g, ys)) => {
+            if f != g || xs.len() != ys.len() {
+                return false;
+            }
+            xs.iter().zip(ys).all(|(x, y)| unify(x, y, subst))
+        }
+        _ => false,
+    }
+}
+
+/// Returns `true` if variable `v` occurs in `term` under `subst`.
+pub fn occurs(v: VarId, term: &Term, subst: &Subst) -> bool {
+    match subst.walk(term) {
+        Term::Var(w) => *w == v,
+        Term::Atom(_) | Term::Int(_) | Term::Float(_) => false,
+        Term::Struct(_, args) => args.iter().any(|a| occurs(v, a, subst)),
+    }
+}
+
+/// Convenience: unifies two terms starting from the empty substitution and
+/// returns the most general unifier on success.
+pub fn mgu(t1: &Term, t2: &Term) -> Option<Subst> {
+    let mut s = Subst::new();
+    if unify(t1, t2, &mut s) {
+        Some(s)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unify_atoms_and_ints() {
+        assert!(mgu(&Term::atom("a"), &Term::atom("a")).is_some());
+        assert!(mgu(&Term::atom("a"), &Term::atom("b")).is_none());
+        assert!(mgu(&Term::int(3), &Term::int(3)).is_some());
+        assert!(mgu(&Term::int(3), &Term::int(4)).is_none());
+        assert!(mgu(&Term::int(3), &Term::atom("3")).is_none());
+    }
+
+    #[test]
+    fn unify_variable_binds() {
+        let s = mgu(&Term::var(0), &Term::atom("a")).unwrap();
+        assert_eq!(s.resolve(&Term::var(0)), Term::atom("a"));
+        let s = mgu(&Term::atom("a"), &Term::var(0)).unwrap();
+        assert_eq!(s.resolve(&Term::var(0)), Term::atom("a"));
+    }
+
+    #[test]
+    fn unify_structures() {
+        let t1 = Term::compound("f", vec![Term::var(0), Term::compound("g", vec![Term::var(1)])]);
+        let t2 = Term::compound("f", vec![Term::atom("a"), Term::compound("g", vec![Term::int(2)])]);
+        let s = mgu(&t1, &t2).unwrap();
+        assert_eq!(s.resolve(&t1), s.resolve(&t2));
+        assert_eq!(s.resolve(&Term::var(1)), Term::int(2));
+    }
+
+    #[test]
+    fn unify_arity_mismatch_fails() {
+        let t1 = Term::compound("f", vec![Term::var(0)]);
+        let t2 = Term::compound("f", vec![Term::var(1), Term::var(2)]);
+        assert!(mgu(&t1, &t2).is_none());
+    }
+
+    #[test]
+    fn variable_chains_resolve() {
+        // X = Y, Y = Z, Z = 42.
+        let mut s = Subst::new();
+        assert!(unify(&Term::var(0), &Term::var(1), &mut s));
+        assert!(unify(&Term::var(1), &Term::var(2), &mut s));
+        assert!(unify(&Term::var(2), &Term::int(42), &mut s));
+        assert_eq!(s.resolve(&Term::var(0)), Term::int(42));
+    }
+
+    #[test]
+    fn occurs_check_rejects_cyclic_binding() {
+        // X = f(X) must fail.
+        let t = Term::compound("f", vec![Term::var(0)]);
+        assert!(mgu(&Term::var(0), &t).is_none());
+    }
+
+    #[test]
+    fn self_unification_of_variable_is_noop() {
+        let s = mgu(&Term::var(5), &Term::var(5)).unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn unify_lists() {
+        // [H|T] = [1,2,3]
+        let pat = Term::cons(Term::var(0), Term::var(1));
+        let lst = Term::list(vec![Term::int(1), Term::int(2), Term::int(3)]);
+        let s = mgu(&pat, &lst).unwrap();
+        assert_eq!(s.resolve(&Term::var(0)), Term::int(1));
+        assert_eq!(s.resolve(&Term::var(1)).list_length(), Some(2));
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        let t1 = Term::compound("f", vec![Term::var(0), Term::var(1)]);
+        let t2 = Term::compound("f", vec![Term::var(1), Term::atom("k")]);
+        let s = mgu(&t1, &t2).unwrap();
+        let once = s.resolve(&t1);
+        let twice = s.resolve(&once);
+        assert_eq!(once, twice);
+        assert!(once.is_ground());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_ground_term() -> impl Strategy<Value = Term> {
+        let leaf = prop_oneof![
+            (0i64..100).prop_map(Term::int),
+            "[a-c]{1,3}".prop_map(|s| Term::atom(&s)),
+        ];
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop::collection::vec(inner, 1..3)
+                .prop_map(|args| Term::compound("f", args))
+        })
+    }
+
+    fn arb_term() -> impl Strategy<Value = Term> {
+        let leaf = prop_oneof![
+            (0usize..4).prop_map(Term::var),
+            (0i64..100).prop_map(Term::int),
+            "[a-c]{1,3}".prop_map(|s| Term::atom(&s)),
+        ];
+        leaf.prop_recursive(3, 24, 3, |inner| {
+            prop::collection::vec(inner, 1..3)
+                .prop_map(|args| Term::compound("f", args))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn ground_terms_unify_iff_equal(a in arb_ground_term(), b in arb_ground_term()) {
+            let unifies = mgu(&a, &b).is_some();
+            prop_assert_eq!(unifies, a == b);
+        }
+
+        #[test]
+        fn unification_produces_common_instance(a in arb_term(), b in arb_term()) {
+            if let Some(s) = mgu(&a, &b) {
+                prop_assert_eq!(s.resolve(&a), s.resolve(&b));
+            }
+        }
+
+        #[test]
+        fn term_unifies_with_itself(a in arb_term()) {
+            prop_assert!(mgu(&a, &a).is_some());
+        }
+
+        #[test]
+        fn fresh_variable_unifies_with_anything(a in arb_ground_term()) {
+            let s = mgu(&Term::var(99), &a).unwrap();
+            prop_assert_eq!(s.resolve(&Term::var(99)), a);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulated machine configurations: processor count and task-management
+//! overhead models.
+//!
+//! The paper's experiments compare two real systems whose main difference, for
+//! granularity purposes, is how expensive task creation and management is:
+//! ROLOG (process-based reduce-or model, relatively high overhead) and
+//! &-Prolog (RAP-WAM based, quite low overhead), both on a 4-processor Sequent
+//! Symmetry. We model a system by four scalar overheads expressed in the same
+//! abstract work units the execution engine counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Task-management overheads, in work units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// Work the parent performs to create one child task (allocation,
+    /// publishing the goal, bookkeeping).
+    pub spawn_parent: f64,
+    /// Work performed on the processor that picks a task up before the task's
+    /// own work starts (scheduling, environment setup, possible migration).
+    pub task_startup: f64,
+    /// Work the parent performs per fork when it resumes after the join.
+    pub join: f64,
+    /// Dispatch cost charged every time a processor takes work from the ready
+    /// queue (including resumptions).
+    pub dispatch: f64,
+}
+
+impl OverheadModel {
+    /// An idealised machine with free task management.
+    pub fn zero() -> Self {
+        OverheadModel { spawn_parent: 0.0, task_startup: 0.0, join: 0.0, dispatch: 0.0 }
+    }
+
+    /// A ROLOG-like profile: process-based task creation with relatively high
+    /// creation and scheduling costs.
+    pub fn rolog_like() -> Self {
+        OverheadModel { spawn_parent: 25.0, task_startup: 20.0, join: 7.0, dispatch: 8.0 }
+    }
+
+    /// An &-Prolog-like profile: goal-stack based task creation with low
+    /// overheads.
+    pub fn and_prolog_like() -> Self {
+        OverheadModel { spawn_parent: 3.0, task_startup: 2.0, join: 1.0, dispatch: 1.0 }
+    }
+
+    /// Total overhead attributable to one spawned task (used by the analysis
+    /// side to pick the threshold `W`).
+    pub fn per_task_overhead(&self) -> f64 {
+        self.spawn_parent + self.task_startup + self.join + self.dispatch
+    }
+
+    /// Uniformly scales every overhead component.
+    pub fn scaled(&self, factor: f64) -> Self {
+        OverheadModel {
+            spawn_parent: self.spawn_parent * factor,
+            task_startup: self.task_startup * factor,
+            join: self.join * factor,
+            dispatch: self.dispatch * factor,
+        }
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel::and_prolog_like()
+    }
+}
+
+/// A simulated machine: a number of identical processors plus an overhead
+/// model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of processors.
+    pub processors: usize,
+    /// Task-management overheads.
+    pub overhead: OverheadModel,
+}
+
+impl SimConfig {
+    /// A machine with `processors` processors and the given overhead model.
+    pub fn new(processors: usize, overhead: OverheadModel) -> Self {
+        assert!(processors >= 1, "a machine needs at least one processor");
+        SimConfig { processors, overhead }
+    }
+
+    /// The 4-processor ROLOG-like configuration used for Table 1.
+    pub fn rolog4() -> Self {
+        SimConfig::new(4, OverheadModel::rolog_like())
+    }
+
+    /// The 4-processor &-Prolog-like configuration used for Table 2.
+    pub fn and_prolog4() -> Self {
+        SimConfig::new(4, OverheadModel::and_prolog_like())
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig::and_prolog4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_relative_magnitudes() {
+        let rolog = OverheadModel::rolog_like();
+        let andp = OverheadModel::and_prolog_like();
+        assert!(rolog.per_task_overhead() > 5.0 * andp.per_task_overhead());
+        assert_eq!(OverheadModel::zero().per_task_overhead(), 0.0);
+    }
+
+    #[test]
+    fn scaling() {
+        let m = OverheadModel::and_prolog_like().scaled(2.0);
+        assert_eq!(m.spawn_parent, 6.0);
+        assert_eq!(m.per_task_overhead(), 2.0 * OverheadModel::and_prolog_like().per_task_overhead());
+    }
+
+    #[test]
+    fn configs() {
+        assert_eq!(SimConfig::rolog4().processors, 4);
+        assert_eq!(SimConfig::and_prolog4().processors, 4);
+        assert_eq!(SimConfig::default(), SimConfig::and_prolog4());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        SimConfig::new(0, OverheadModel::zero());
+    }
+}

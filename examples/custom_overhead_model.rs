@@ -1,0 +1,48 @@
+//! Model your own parallel machine: define a custom overhead model, let the
+//! analysis pick thresholds for it, and see how the simulated execution time
+//! of a benchmark responds as the overhead grows.
+//!
+//! ```text
+//! cargo run --release -p granlog-benchmarks --example custom_overhead_model
+//! ```
+
+use granlog_benchmarks::harness::{run_benchmark, ControlMode};
+use granlog_benchmarks::benchmark;
+use granlog_sim::{speedup_percent, OverheadModel, SimConfig};
+
+fn main() {
+    let bench = benchmark("merge_sort").expect("registered");
+    let size = 64;
+
+    println!("merge_sort({size}) on 4 processors, varying the task-management overhead\n");
+    println!(
+        "{:>18} {:>14} {:>14} {:>10}",
+        "per-task overhead", "T0 (no ctrl)", "T1 (control)", "speedup"
+    );
+
+    for scale in [0.0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        // A custom machine: message-passing flavoured (expensive spawn,
+        // moderate startup), scaled up and down.
+        let overhead = OverheadModel {
+            spawn_parent: 30.0 * scale,
+            task_startup: 15.0 * scale,
+            join: 5.0 * scale,
+            dispatch: 5.0 * scale,
+        };
+        let config = SimConfig::new(4, overhead);
+        let without = run_benchmark(&bench, size, &config, ControlMode::NoControl);
+        let with = run_benchmark(&bench, size, &config, ControlMode::WithControl);
+        println!(
+            "{:>18.0} {:>14.0} {:>14.0} {:>9.1}%",
+            overhead.per_task_overhead(),
+            without.time(),
+            with.time(),
+            speedup_percent(without.time(), with.time())
+        );
+    }
+
+    println!(
+        "\nThe more expensive task management is, the more granularity control pays off —\n\
+         the observation Tables 1 and 2 of the paper make by comparing ROLOG with &-Prolog."
+    );
+}

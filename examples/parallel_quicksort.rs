@@ -1,0 +1,42 @@
+//! Run the quicksort benchmark with and without granularity control on the
+//! two simulated machines of the paper (ROLOG-like and &-Prolog-like) and
+//! compare the simulated execution times.
+//!
+//! ```text
+//! cargo run --release -p granlog-benchmarks --example parallel_quicksort
+//! ```
+
+use granlog_benchmarks::harness::{run_benchmark, ControlMode};
+use granlog_benchmarks::benchmark;
+use granlog_sim::{speedup_percent, SimConfig};
+
+fn main() {
+    let bench = benchmark("quick_sort").expect("quick_sort is registered");
+    let size = 75;
+
+    for (label, config) in [
+        ("ROLOG-like (high overhead)", SimConfig::rolog4()),
+        ("&-Prolog-like (low overhead)", SimConfig::and_prolog4()),
+    ] {
+        println!("== {label}: quick_sort({size}) on {} processors ==", config.processors);
+        let seq = run_benchmark(&bench, size, &config, ControlMode::Sequential);
+        let without = run_benchmark(&bench, size, &config, ControlMode::NoControl);
+        let with = run_benchmark(&bench, size, &config, ControlMode::WithControl);
+        println!("  sequential            : {:>10.0} units", seq.time());
+        println!(
+            "  parallel, no control  : {:>10.0} units   ({} tasks)",
+            without.time(),
+            without.spawned_tasks
+        );
+        println!(
+            "  parallel, with control: {:>10.0} units   ({} tasks, {} grain tests)",
+            with.time(),
+            with.spawned_tasks,
+            with.grain_tests
+        );
+        println!(
+            "  speedup of control    : {:>9.1}%\n",
+            speedup_percent(without.time(), with.time())
+        );
+    }
+}

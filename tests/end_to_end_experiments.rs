@@ -1,0 +1,167 @@
+//! Integration test: small-scale versions of the paper's experiments, checking
+//! the qualitative claims the evaluation section rests on:
+//!
+//! * under a high task-management overhead (ROLOG-like), granularity control
+//!   speeds up fine-grained benchmarks (Table 1's positive rows);
+//! * under a very low overhead (&-Prolog-like), control changes little
+//!   (Table 2's small numbers);
+//! * sweeping the grain-size threshold produces the Figure 2 curve: slow at
+//!   threshold 0 (over-spawning), a trough in the middle, slow again for huge
+//!   thresholds (no parallelism) — with a reasonably wide trough.
+
+use granlog_benchmarks::harness::{grain_size_sweep, run_benchmark, table_row, ControlMode};
+use granlog_benchmarks::{benchmark, table2_benchmarks};
+use granlog_sim::{OverheadModel, SimConfig};
+
+fn rolog() -> SimConfig {
+    SimConfig::rolog4()
+}
+
+fn and_prolog() -> SimConfig {
+    SimConfig::and_prolog4()
+}
+
+#[test]
+fn granularity_control_helps_fib_under_high_overhead() {
+    let fib = benchmark("fib").unwrap();
+    let row = table_row(&fib, 13, &rolog());
+    assert!(
+        row.speedup_percent > 10.0,
+        "expected a clear speedup for fib under ROLOG-like overhead, got {:.1}% (T0 = {:.0}, T1 = {:.0})",
+        row.speedup_percent,
+        row.t_without,
+        row.t_with
+    );
+    assert!(row.tasks_with < row.tasks_without);
+}
+
+#[test]
+fn granularity_control_helps_consistency_under_high_overhead() {
+    let c = benchmark("consistency").unwrap();
+    let row = table_row(&c, 60, &rolog());
+    assert!(
+        row.speedup_percent > 5.0,
+        "consistency should benefit from sequentialising its tiny checks, got {:.1}%",
+        row.speedup_percent
+    );
+    // All the fine-grained checks were sequentialised.
+    assert_eq!(row.tasks_with, 0);
+}
+
+#[test]
+fn low_overhead_machine_behaves_like_table2() {
+    // Table 2's flavour: with cheap task management the gains (and losses) of
+    // granularity control are moderate — the paper reports +29.2% (fib),
+    // +16.2% (quick-sort), 0% (consistency) and −15.9% (hanoi). We check the
+    // numbers stay in a sane band and that consistency specifically is close
+    // to a wash (its per-check work exceeds the &-Prolog-like overhead, so
+    // control leaves it parallel).
+    for bench in table2_benchmarks() {
+        let size = bench.test_size;
+        let row = table_row(&bench, size, &and_prolog());
+        assert!(
+            row.speedup_percent > -30.0 && row.speedup_percent < 80.0,
+            "{}: {:.1}% outside the expected band under low overhead",
+            bench.name,
+            row.speedup_percent
+        );
+        if bench.name == "consistency" {
+            assert!(
+                row.speedup_percent.abs() < 15.0,
+                "consistency should change little under low overhead, got {:.1}%",
+                row.speedup_percent
+            );
+        }
+    }
+}
+
+#[test]
+fn controlled_run_is_never_dramatically_worse() {
+    // The runtime overhead of the grain tests is bounded; even when control
+    // does not help, it must not blow the execution time up.
+    for (name, size) in [("quick_sort", 25), ("merge_sort", 24), ("double_sum", 96), ("flatten", 40)] {
+        let bench = benchmark(name).unwrap();
+        let without = run_benchmark(&bench, size, &rolog(), ControlMode::NoControl);
+        let with = run_benchmark(&bench, size, &rolog(), ControlMode::WithControl);
+        assert!(
+            with.time() <= without.time() * 1.3,
+            "{name}: controlled time {:.0} vs uncontrolled {:.0}",
+            with.time(),
+            without.time()
+        );
+    }
+}
+
+#[test]
+fn figure2_curve_has_the_documented_shape() {
+    let fib = benchmark("fib").unwrap();
+    let grains = [0u64, 2, 4, 6, 8, 12, 1_000_000];
+    let points = grain_size_sweep(&fib, 13, &rolog(), &grains);
+    let time_at = |k: u64| points.iter().find(|p| p.grain_size == k).unwrap().time;
+    let best = points.iter().map(|p| p.time).fold(f64::INFINITY, f64::min);
+
+    // Over-spawning (threshold 0) is worse than the best threshold.
+    assert!(
+        time_at(0) > best * 1.1,
+        "threshold 0 should pay for over-spawning: {} vs best {}",
+        time_at(0),
+        best
+    );
+    // Killing all parallelism is also worse than the best threshold.
+    assert!(
+        time_at(1_000_000) > best * 1.1,
+        "a huge threshold should lose the parallel speedup: {} vs best {}",
+        time_at(1_000_000),
+        best
+    );
+    // The trough has some width: several intermediate thresholds clearly beat
+    // both extremes (the paper's argument that the compile-time estimate need
+    // not be precise).
+    let worst_extreme = time_at(0).min(time_at(1_000_000));
+    let in_trough = points
+        .iter()
+        .filter(|p| p.grain_size > 0 && p.grain_size < 1_000_000)
+        .filter(|p| p.time <= worst_extreme * 0.9)
+        .count();
+    assert!(in_trough >= 2, "only {in_trough} thresholds clearly beat the extremes");
+}
+
+#[test]
+fn spawned_tasks_decrease_monotonically_with_grain_size() {
+    let qs = benchmark("quick_sort").unwrap();
+    let grains = [0u64, 2, 4, 8, 16, 64, 100_000];
+    let points = grain_size_sweep(&qs, 30, &rolog(), &grains);
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].spawned_tasks <= pair[0].spawned_tasks,
+            "task count increased from grain {} to {}",
+            pair[0].grain_size,
+            pair[1].grain_size
+        );
+    }
+    assert_eq!(points.last().unwrap().spawned_tasks, 0);
+}
+
+#[test]
+fn overhead_free_machines_make_control_pointless() {
+    // With zero overhead the best policy is to spawn everything; control (which
+    // pays for its tests) can only be equal or slightly worse.
+    let fib = benchmark("fib").unwrap();
+    let config = SimConfig::new(4, OverheadModel::zero());
+    let without = run_benchmark(&fib, 12, &config, ControlMode::NoControl);
+    let with = run_benchmark(&fib, 12, &config, ControlMode::WithControl);
+    assert!(with.time() >= without.time() * 0.999);
+}
+
+#[test]
+fn more_processors_help_the_uncontrolled_coarse_benchmarks() {
+    let mm = benchmark("matrix_mult").unwrap();
+    let p1 = run_benchmark(&mm, 6, &SimConfig::new(1, OverheadModel::and_prolog_like()), ControlMode::NoControl);
+    let p4 = run_benchmark(&mm, 6, &SimConfig::new(4, OverheadModel::and_prolog_like()), ControlMode::NoControl);
+    assert!(
+        p4.time() < p1.time() * 0.6,
+        "matrix multiplication should scale: P1 = {:.0}, P4 = {:.0}",
+        p1.time(),
+        p4.time()
+    );
+}

@@ -1,0 +1,104 @@
+//! Integration test: properties of the simulator on *real* task trees (the
+//! ones recorded while executing the benchmark programs), as opposed to the
+//! synthetic trees used in the simulator's unit tests.
+
+use granlog_benchmarks::harness::{execute, prepare_program, ControlMode};
+use granlog_benchmarks::benchmark;
+use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
+use granlog_engine::TaskTree;
+use granlog_sim::{simulate, OverheadModel, SimConfig};
+
+fn record_tree(name: &str, size: usize, mode: ControlMode) -> TaskTree {
+    let bench = benchmark(name).unwrap();
+    let program = bench.program().expect("parses");
+    let analysis = analyze_program(&program, &AnalysisOptions::default());
+    let prepared = prepare_program(&program, &analysis, mode, 60.0);
+    execute(prepared, bench.query(size)).task_tree
+}
+
+#[test]
+fn makespan_is_bracketed_by_critical_path_and_total_work() {
+    for name in ["fib", "quick_sort", "double_sum", "matrix_mult"] {
+        let size = benchmark(name).unwrap().test_size;
+        let tree = record_tree(name, size, ControlMode::NoControl);
+        let zero = SimConfig::new(4, OverheadModel::zero());
+        let out = simulate(&tree, &zero);
+        assert!(
+            out.makespan + 1e-6 >= tree.critical_path(),
+            "{name}: makespan below the critical path"
+        );
+        assert!(
+            out.makespan <= tree.total_work() + 1e-6,
+            "{name}: zero-overhead makespan above total work"
+        );
+    }
+}
+
+#[test]
+fn single_processor_zero_overhead_equals_sequential_work() {
+    for name in ["fib", "merge_sort"] {
+        let size = benchmark(name).unwrap().test_size;
+        let tree = record_tree(name, size, ControlMode::NoControl);
+        let out = simulate(&tree, &SimConfig::new(1, OverheadModel::zero()));
+        assert!((out.makespan - tree.total_work()).abs() < 1e-6, "{name}");
+    }
+}
+
+#[test]
+fn processor_scaling_is_monotone_for_recorded_trees() {
+    let tree = record_tree("quick_sort", 30, ControlMode::NoControl);
+    let mut last = f64::INFINITY;
+    for p in [1usize, 2, 4, 8, 16] {
+        let out = simulate(&tree, &SimConfig::new(p, OverheadModel::zero()));
+        assert!(out.makespan <= last + 1e-6, "more processors made things slower at P={p}");
+        last = out.makespan;
+    }
+}
+
+#[test]
+fn overhead_scaling_is_monotone_for_recorded_trees() {
+    let tree = record_tree("fib", 12, ControlMode::NoControl);
+    let mut last = 0.0;
+    for scale in [0.0, 0.5, 1.0, 2.0, 4.0] {
+        let out = simulate(
+            &tree,
+            &SimConfig::new(4, OverheadModel::rolog_like().scaled(scale)),
+        );
+        assert!(out.makespan + 1e-6 >= last, "higher overhead made things faster at x{scale}");
+        last = out.makespan;
+    }
+}
+
+#[test]
+fn controlled_trees_have_fewer_forks_and_less_overhead() {
+    let without = record_tree("fib", 13, ControlMode::NoControl);
+    let with = record_tree("fib", 13, ControlMode::WithControl);
+    assert!(with.fork_count() < without.fork_count());
+    let config = SimConfig::rolog4();
+    let o_without = simulate(&without, &config).total_overhead;
+    let o_with = simulate(&with, &config).total_overhead;
+    assert!(o_with < o_without, "control should reduce total task-management overhead");
+}
+
+#[test]
+fn utilisation_never_exceeds_one() {
+    for name in ["fib", "quick_sort", "consistency"] {
+        let size = benchmark(name).unwrap().test_size;
+        let tree = record_tree(name, size, ControlMode::NoControl);
+        for config in [SimConfig::rolog4(), SimConfig::and_prolog4()] {
+            let out = simulate(&tree, &config);
+            assert!(out.utilisation > 0.0 && out.utilisation <= 1.0 + 1e-9);
+            assert_eq!(out.processor_busy.len(), config.processors);
+        }
+    }
+}
+
+#[test]
+fn sequential_trees_have_no_forks() {
+    let tree = record_tree("quick_sort", 20, ControlMode::Sequential);
+    assert_eq!(tree.fork_count(), 0);
+    assert_eq!(tree.spawned_tasks(), 0);
+    let out = simulate(&tree, &SimConfig::rolog4());
+    // Only the initial dispatch overhead applies.
+    assert!(out.total_overhead <= OverheadModel::rolog_like().dispatch + 1e-9);
+}
