@@ -111,10 +111,17 @@ pub fn apply_granularity_control(
                 decisions: &mut decisions,
             };
             let new_body = ctx.rewrite(&clause.body);
-            out.add_clause(Clause::new(clause.head.clone(), new_body, clause.var_names.clone()));
+            out.add_clause(Clause::new(
+                clause.head.clone(),
+                new_body,
+                clause.var_names.clone(),
+            ));
         }
     }
-    AnnotatedProgram { program: out, decisions }
+    AnnotatedProgram {
+        program: out,
+        decisions,
+    }
 }
 
 /// Removes every parallel annotation, producing the purely sequential version
@@ -126,7 +133,11 @@ pub fn sequentialize(program: &Program) -> Program {
     }
     for clause in program.clauses() {
         let body = replace_par_with_seq(&clause.body);
-        out.add_clause(Clause::new(clause.head.clone(), body, clause.var_names.clone()));
+        out.add_clause(Clause::new(
+            clause.head.clone(),
+            body,
+            clause.var_names.clone(),
+        ));
     }
     out
 }
@@ -135,12 +146,12 @@ fn replace_par_with_seq(body: &Term) -> Term {
     match body {
         Term::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => Term::Struct(
             well_known::comma(),
-            vec![replace_par_with_seq(&args[0]), replace_par_with_seq(&args[1])],
+            vec![
+                replace_par_with_seq(&args[0]),
+                replace_par_with_seq(&args[1]),
+            ],
         ),
-        Term::Struct(s, args) => Term::Struct(
-            *s,
-            args.iter().map(replace_par_with_seq).collect(),
-        ),
+        Term::Struct(s, args) => Term::Struct(*s, args.iter().map(replace_par_with_seq).collect()),
         other => other.clone(),
     }
 }
@@ -164,10 +175,9 @@ impl ClauseContext<'_> {
                 let arms: Vec<Term> = arms.iter().map(|arm| self.rewrite_inside(arm)).collect();
                 self.transform_parallel(&arms)
             }
-            Term::Struct(s, args) => Term::Struct(
-                *s,
-                args.iter().map(|a| self.rewrite(a)).collect(),
-            ),
+            Term::Struct(s, args) => {
+                Term::Struct(*s, args.iter().map(|a| self.rewrite(a)).collect())
+            }
             other => other.clone(),
         }
     }
@@ -189,14 +199,19 @@ impl ClauseContext<'_> {
             return seq_conjunction(arms);
         }
         let decisions: Vec<ArmDecision> = arms.iter().map(|arm| self.decide_arm(arm)).collect();
-        let any_never = decisions.iter().any(|d| matches!(d, ArmDecision::NeverParallel));
+        let any_never = decisions
+            .iter()
+            .any(|d| matches!(d, ArmDecision::NeverParallel));
         let tests: Vec<Term> = decisions
             .iter()
             .zip(arms)
             .filter_map(|(d, arm)| match d {
-                ArmDecision::Test { pred, arg_pos, measure, k } => {
-                    grain_test_term(arm, *pred, *arg_pos, *measure, *k)
-                }
+                ArmDecision::Test {
+                    pred,
+                    arg_pos,
+                    measure,
+                    k,
+                } => grain_test_term(arm, *pred, *arg_pos, *measure, *k),
                 _ => None,
             })
             .collect();
@@ -234,8 +249,12 @@ impl ClauseContext<'_> {
     fn decide_arm(&self, arm: &Term) -> ArmDecision {
         let goals = collect_goals(arm);
         for goal in goals {
-            let Some(pred) = PredId::of_term(goal) else { continue };
-            let Some(info) = self.analysis.pred(pred) else { continue };
+            let Some(pred) = PredId::of_term(goal) else {
+                continue;
+            };
+            let Some(info) = self.analysis.pred(pred) else {
+                continue;
+            };
             match self.analysis.threshold_for(pred, self.options.overhead) {
                 Threshold::AlwaysParallel => return ArmDecision::AlwaysParallel,
                 Threshold::NeverParallel => return ArmDecision::NeverParallel,
@@ -248,7 +267,12 @@ impl ClauseContext<'_> {
                         .get(arg_pos)
                         .copied()
                         .unwrap_or(Measure::TermSize);
-                    return ArmDecision::Test { pred, arg_pos, measure, k };
+                    return ArmDecision::Test {
+                        pred,
+                        arg_pos,
+                        measure,
+                        k,
+                    };
                 }
             }
         }
@@ -364,7 +388,12 @@ mod tests {
         assert_eq!(decision.arms.len(), 2);
         for arm in &decision.arms {
             match arm {
-                ArmDecision::Test { pred, arg_pos, measure, k } => {
+                ArmDecision::Test {
+                    pred,
+                    arg_pos,
+                    measure,
+                    k,
+                } => {
                     assert_eq!(*pred, PredId::parse("qsort", 2));
                     assert_eq!(*arg_pos, 0);
                     assert_eq!(*measure, Measure::ListLength);

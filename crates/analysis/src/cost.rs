@@ -263,9 +263,12 @@ pub fn clauses_are_exclusive(program: &Program, pred: PredId, modes: &ModeDecl) 
 
 /// Does the clause start (possibly after other guards) with an arithmetic
 /// comparison mentioning one of the given head variables?
-fn has_leading_guard(clause: &Clause, vars: &std::collections::BTreeSet<granlog_ir::VarId>) -> bool {
+fn has_leading_guard(
+    clause: &Clause,
+    vars: &std::collections::BTreeSet<granlog_ir::VarId>,
+) -> bool {
     for literal in clause.body_literals() {
-        let Some((name, 2)) = literal.functor().map(|(s, a)| (s, a)) else {
+        let Some((name, 2)) = literal.functor() else {
             return false;
         };
         match name.as_str() {
@@ -323,7 +326,11 @@ mod tests {
         let program = parse_program(src).unwrap();
         let modes = infer_modes(&program);
         let measures = assign_measures(&program);
-        Setup { program, modes, measures }
+        Setup {
+            program,
+            modes,
+            measures,
+        }
     }
 
     fn clause_sizes(
@@ -420,9 +427,7 @@ mod tests {
 
     #[test]
     fn builtins_cost_zero_resolutions() {
-        let s = setup(
-            ":- mode p(+, -). p(X, Y) :- X > 1, Y is X - 1.",
-        );
+        let s = setup(":- mode p(+, -). p(X, Y) :- X > 1, Y is X - 1.");
         let p = PredId::parse("p", 2);
         let scc = BTreeSet::new();
         let size_db = SizeDb::new();
@@ -436,7 +441,10 @@ mod tests {
         };
         assert_eq!(clause_cost(&c, &a, &ctx), Expr::Num(1.0));
         // Under the Steps metric the builtins do cost something.
-        let ctx = CostContext { metric: CostMetric::Steps, ..ctx };
+        let ctx = CostContext {
+            metric: CostMetric::Steps,
+            ..ctx
+        };
         assert_eq!(clause_cost(&c, &a, &ctx).as_const(), Some(3.0 + 1.0 + 2.0));
     }
 
@@ -487,7 +495,10 @@ mod tests {
         );
         let fib = PredId::parse("fib", 2);
         assert!(clauses_are_exclusive(&s.program, fib, &s.modes[&fib]));
-        assert_eq!(combine_mode(&s.program, fib, &s.modes[&fib]), CombineMode::Exclusive);
+        assert_eq!(
+            combine_mode(&s.program, fib, &s.modes[&fib]),
+            CombineMode::Exclusive
+        );
     }
 
     #[test]
@@ -502,7 +513,10 @@ mod tests {
         );
         let color = PredId::parse("color", 2);
         assert!(!clauses_are_exclusive(&s.program, color, &s.modes[&color]));
-        assert_eq!(combine_mode(&s.program, color, &s.modes[&color]), CombineMode::Additive);
+        assert_eq!(
+            combine_mode(&s.program, color, &s.modes[&color]),
+            CombineMode::Additive
+        );
     }
 
     #[test]

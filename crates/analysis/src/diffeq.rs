@@ -76,7 +76,13 @@ impl DiffEq {
                 base_cases.push(BaseCase { when, value });
             }
         }
-        DiffEq { func, params, base_cases, recursive_cases, combine }
+        DiffEq {
+            func,
+            params,
+            base_cases,
+            recursive_cases,
+            combine,
+        }
     }
 
     /// Returns `true` if the equation has no recursive case (the predicate is
@@ -108,7 +114,10 @@ impl DiffEq {
 
     /// All functions of the same system referenced by the recursive cases.
     pub fn referenced_functions(&self) -> BTreeSet<FnRef> {
-        self.recursive_cases.iter().flat_map(|e| e.calls()).collect()
+        self.recursive_cases
+            .iter()
+            .flat_map(|e| e.calls())
+            .collect()
     }
 }
 
@@ -220,8 +229,14 @@ mod tests {
             func: f,
             params: vec![Symbol::intern("n")],
             base_cases: vec![
-                BaseCase { when: vec![Some(0)], value: Expr::num(1.0) },
-                BaseCase { when: vec![Some(0)], value: Expr::num(2.0) },
+                BaseCase {
+                    when: vec![Some(0)],
+                    value: Expr::num(1.0),
+                },
+                BaseCase {
+                    when: vec![Some(0)],
+                    value: Expr::num(2.0),
+                },
             ],
             recursive_cases: vec![Expr::num(3.0), Expr::num(4.0)],
             combine: CombineMode::Additive,
@@ -238,8 +253,14 @@ mod tests {
             func: f,
             params: vec![Symbol::intern("n")],
             base_cases: vec![
-                BaseCase { when: vec![Some(0)], value: Expr::num(1.0) },
-                BaseCase { when: vec![Some(1)], value: Expr::num(5.0) },
+                BaseCase {
+                    when: vec![Some(0)],
+                    value: Expr::num(1.0),
+                },
+                BaseCase {
+                    when: vec![Some(1)],
+                    value: Expr::num(5.0),
+                },
             ],
             recursive_cases: vec![],
             combine: CombineMode::Exclusive,
@@ -292,7 +313,10 @@ mod tests {
         let eq = DiffEq {
             func: f,
             params: vec![Symbol::intern("n")],
-            base_cases: vec![BaseCase { when: vec![None], value: Expr::var("n") }],
+            base_cases: vec![BaseCase {
+                when: vec![None],
+                value: Expr::var("n"),
+            }],
             recursive_cases: vec![],
             combine: CombineMode::Exclusive,
         };

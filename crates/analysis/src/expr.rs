@@ -17,7 +17,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A reference to a function whose definition may not be known yet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum FnRef {
     /// The output-size function Ψ of output argument `pos` of a predicate,
     /// as a function of its input argument sizes.
@@ -105,6 +107,7 @@ impl Expr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)] // constructor, not operator overloading
     pub fn add(a: Expr, b: Expr) -> Expr {
         Expr::Add(vec![a, b])
     }
@@ -115,11 +118,13 @@ impl Expr {
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
         Expr::Add(vec![a, Expr::Mul(vec![Expr::Num(-1.0), b])])
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
         Expr::Mul(vec![a, b])
     }
@@ -130,11 +135,13 @@ impl Expr {
     }
 
     /// `-a`.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(a: Expr) -> Expr {
         Expr::Mul(vec![Expr::Num(-1.0), a])
     }
 
     /// `a / b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(a: Expr, b: Expr) -> Expr {
         Expr::Div(Box::new(a), Box::new(b))
     }
@@ -284,12 +291,14 @@ impl Expr {
             Expr::Mul(xs) => Expr::Mul(xs.iter().map(|x| x.transform(rewrite)).collect()),
             Expr::Max(xs) => Expr::Max(xs.iter().map(|x| x.transform(rewrite)).collect()),
             Expr::Min(xs) => Expr::Min(xs.iter().map(|x| x.transform(rewrite)).collect()),
-            Expr::Pow(a, b) => {
-                Expr::Pow(Box::new(a.transform(rewrite)), Box::new(b.transform(rewrite)))
-            }
-            Expr::Div(a, b) => {
-                Expr::Div(Box::new(a.transform(rewrite)), Box::new(b.transform(rewrite)))
-            }
+            Expr::Pow(a, b) => Expr::Pow(
+                Box::new(a.transform(rewrite)),
+                Box::new(b.transform(rewrite)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(a.transform(rewrite)),
+                Box::new(b.transform(rewrite)),
+            ),
             Expr::Log2(a) => Expr::Log2(Box::new(a.transform(rewrite))),
             Expr::Call(f, args) => {
                 Expr::Call(*f, args.iter().map(|a| a.transform(rewrite)).collect())
@@ -308,8 +317,14 @@ impl Expr {
         match self {
             Expr::Num(v) => Some(*v),
             Expr::Var(s) => env.get(s).copied(),
-            Expr::Add(xs) => xs.iter().map(|x| x.eval(env)).try_fold(0.0, |acc, v| Some(acc + v?)),
-            Expr::Mul(xs) => xs.iter().map(|x| x.eval(env)).try_fold(1.0, |acc, v| Some(acc * v?)),
+            Expr::Add(xs) => xs
+                .iter()
+                .map(|x| x.eval(env))
+                .try_fold(0.0, |acc, v| Some(acc + v?)),
+            Expr::Mul(xs) => xs
+                .iter()
+                .map(|x| x.eval(env))
+                .try_fold(1.0, |acc, v| Some(acc * v?)),
             Expr::Pow(a, b) => Some(a.eval(env)?.powf(b.eval(env)?)),
             Expr::Div(a, b) => Some(a.eval(env)? / b.eval(env)?),
             Expr::Max(xs) => xs
@@ -580,9 +595,7 @@ fn simplify_div(num: Expr, den: Expr) -> Expr {
     match (&num, &den) {
         (Expr::Undefined, _) | (_, Expr::Undefined) => Expr::Undefined,
         (Expr::Num(a), Expr::Num(b)) if *b != 0.0 => Expr::Num(a / b),
-        (_, Expr::Num(b)) if *b != 0.0 => {
-            simplify(Expr::Mul(vec![Expr::Num(1.0 / b), num]))
-        }
+        (_, Expr::Num(b)) if *b != 0.0 => simplify(Expr::Mul(vec![Expr::Num(1.0 / b), num])),
         (Expr::Num(a), _) if *a == 0.0 => Expr::Num(0.0),
         (Expr::Infinity, _) => Expr::Infinity,
         _ => Expr::Div(Box::new(num), Box::new(den)),
@@ -823,7 +836,15 @@ fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Resul
             fmt_expr(b, f, 2)
         }
         Expr::Max(xs) | Expr::Min(xs) => {
-            write!(f, "{}(", if matches!(e, Expr::Max(_)) { "max" } else { "min" })?;
+            write!(
+                f,
+                "{}(",
+                if matches!(e, Expr::Max(_)) {
+                    "max"
+                } else {
+                    "min"
+                }
+            )?;
             for (i, x) in xs.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
@@ -905,7 +926,11 @@ mod tests {
 
     #[test]
     fn nested_sums_flatten() {
-        let e = Expr::add(Expr::add(n(), Expr::num(1.0)), Expr::add(n(), Expr::num(2.0))).simplify();
+        let e = Expr::add(
+            Expr::add(n(), Expr::num(1.0)),
+            Expr::add(n(), Expr::num(2.0)),
+        )
+        .simplify();
         assert_eq!(e.to_string(), "2*n + 3");
     }
 
@@ -962,9 +987,7 @@ mod tests {
         // psi(x, y) gets replaced by x + y.
         let e = Expr::call(psi, vec![Expr::var("a"), Expr::var("b")]);
         let out = e
-            .subst_calls(&|f, args| {
-                (f == psi).then(|| Expr::add(args[0].clone(), args[1].clone()))
-            })
+            .subst_calls(&|f, args| (f == psi).then(|| Expr::add(args[0].clone(), args[1].clone())))
             .simplify();
         assert_eq!(out.to_string(), "a + b");
         // Untouched calls stay.
@@ -1074,7 +1097,10 @@ mod tests {
 
     #[test]
     fn as_const_detects_constants() {
-        assert_eq!(Expr::add(Expr::num(1.0), Expr::num(2.0)).as_const(), Some(3.0));
+        assert_eq!(
+            Expr::add(Expr::num(1.0), Expr::num(2.0)).as_const(),
+            Some(3.0)
+        );
         assert_eq!(n().as_const(), None);
         assert_eq!(Expr::Infinity.as_const(), Some(f64::INFINITY));
     }

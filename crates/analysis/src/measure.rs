@@ -16,7 +16,9 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A size measure (the paper's `m`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum Measure {
     /// Length of a proper list (`list_length`).
     ListLength,
@@ -112,9 +114,7 @@ impl Measure {
                     return Some(self.ground_size(t2)? - self.ground_size(t1)?);
                 }
                 match self {
-                    Measure::TermSize => {
-                        diff_structural(t1, t2, |ctx| Some(ctx.symbols as i64))
-                    }
+                    Measure::TermSize => diff_structural(t1, t2, |ctx| Some(ctx.symbols as i64)),
                     Measure::TermDepth => diff_structural(t1, t2, |ctx| {
                         // The depth offset is exact only when the occurrence
                         // path is at least as deep as every sibling branch;
@@ -170,9 +170,8 @@ fn diff_list_length(t1: &Term, t2: &Term) -> Option<i64> {
     }
     let (n1, rest1) = spine(t1);
     let (n2, rest2) = spine(t2);
+    // (Two nil tails compare equal, so proper lists need no separate case.)
     if rest1 == rest2 {
-        Some(n2 - n1)
-    } else if rest1.is_nil() && rest2.is_nil() {
         Some(n2 - n1)
     } else {
         None
@@ -215,7 +214,11 @@ fn diff_structural(
 /// `haystack` (outside the occurrence) is ground, and describes the context.
 fn find_occurrence(haystack: &Term, needle: &Term) -> Option<Occurrence> {
     if haystack == needle {
-        return Some(Occurrence { symbols: 0, depth: 0, path_dominates: true });
+        return Some(Occurrence {
+            symbols: 0,
+            depth: 0,
+            path_dominates: true,
+        });
     }
     if let Term::Struct(_, args) = haystack {
         for (i, arg) in args.iter().enumerate() {
@@ -283,13 +286,15 @@ pub fn assign_measures(program: &granlog_ir::Program) -> BTreeMap<granlog_ir::Pr
             // Conflicting evidence (e.g. both `0` and `[H|T]` heads): prefer
             // the list measure, else the integer measure, else term size.
             Some(prev) => {
-                *slot = Some(if prev == Measure::ListLength || guess == Measure::ListLength {
-                    Measure::ListLength
-                } else if prev == Measure::IntValue || guess == Measure::IntValue {
-                    Measure::IntValue
-                } else {
-                    Measure::TermSize
-                });
+                *slot = Some(
+                    if prev == Measure::ListLength || guess == Measure::ListLength {
+                        Measure::ListLength
+                    } else if prev == Measure::IntValue || guess == Measure::IntValue {
+                        Measure::IntValue
+                    } else {
+                        Measure::TermSize
+                    },
+                );
             }
         }
     }
@@ -304,7 +309,9 @@ pub fn assign_measures(program: &granlog_ir::Program) -> BTreeMap<granlog_ir::Pr
             declared.insert(pred, ms);
             continue;
         }
-        let slots = guesses.entry(pred).or_insert_with(|| vec![None; pred.arity]);
+        let slots = guesses
+            .entry(pred)
+            .or_insert_with(|| vec![None; pred.arity]);
         for clause in program.clauses_of(pred) {
             for (i, arg) in clause.head.args().iter().enumerate() {
                 if let Term::Var(_) = arg {
@@ -318,8 +325,12 @@ pub fn assign_measures(program: &granlog_ir::Program) -> BTreeMap<granlog_ir::Pr
     // Second pass: call-site evidence for undeclared predicates.
     for clause in program.clauses() {
         for goal in clause.called_goals() {
-            let Some(pred) = granlog_ir::PredId::of_term(goal) else { continue };
-            let Some(slots) = guesses.get_mut(&pred) else { continue };
+            let Some(pred) = granlog_ir::PredId::of_term(goal) else {
+                continue;
+            };
+            let Some(slots) = guesses.get_mut(&pred) else {
+                continue;
+            };
             for (i, arg) in goal.args().iter().enumerate() {
                 if let Term::Var(_) = arg {
                     continue;
@@ -335,7 +346,10 @@ pub fn assign_measures(program: &granlog_ir::Program) -> BTreeMap<granlog_ir::Pr
     for (pred, slots) in guesses {
         out.insert(
             pred,
-            slots.into_iter().map(|m| m.unwrap_or(Measure::TermSize)).collect(),
+            slots
+                .into_iter()
+                .map(|m| m.unwrap_or(Measure::TermSize))
+                .collect(),
         );
     }
     out
@@ -395,26 +409,47 @@ mod tests {
         assert_eq!(Measure::ListLength.diff(t1, t2), Some(1));
         // diff([H|L], L) = −1 (the nrev head-to-body relation).
         let pair = t("pair([H | L], L)");
-        assert_eq!(Measure::ListLength.diff(&pair.args()[0], &pair.args()[1]), Some(-1));
+        assert_eq!(
+            Measure::ListLength.diff(&pair.args()[0], &pair.args()[1]),
+            Some(-1)
+        );
         // Ground lists.
-        assert_eq!(Measure::ListLength.diff(&t("[a]"), &t("[a, b, c]")), Some(2));
+        assert_eq!(
+            Measure::ListLength.diff(&t("[a]"), &t("[a, b, c]")),
+            Some(2)
+        );
         // Different unknown tails: ⊥.
         let pair = t("pair([a | L1], [b | L2])");
-        assert_eq!(Measure::ListLength.diff(&pair.args()[0], &pair.args()[1]), None);
+        assert_eq!(
+            Measure::ListLength.diff(&pair.args()[0], &pair.args()[1]),
+            None
+        );
     }
 
     #[test]
     fn term_size_diff() {
         // t1 inside t2 with ground context: f(a, X) vs X → diff(X, f(a,X)) = +2.
         let pair = t("pair(X, f(a, X))");
-        assert_eq!(Measure::TermSize.diff(&pair.args()[0], &pair.args()[1]), Some(2));
+        assert_eq!(
+            Measure::TermSize.diff(&pair.args()[0], &pair.args()[1]),
+            Some(2)
+        );
         // And the reverse direction is negative.
-        assert_eq!(Measure::TermSize.diff(&pair.args()[1], &pair.args()[0]), Some(-2));
+        assert_eq!(
+            Measure::TermSize.diff(&pair.args()[1], &pair.args()[0]),
+            Some(-2)
+        );
         // Non-ground sibling context: ⊥.
         let pair = t("pair(X, f(Y, X))");
-        assert_eq!(Measure::TermSize.diff(&pair.args()[0], &pair.args()[1]), None);
+        assert_eq!(
+            Measure::TermSize.diff(&pair.args()[0], &pair.args()[1]),
+            None
+        );
         // Ground terms.
-        assert_eq!(Measure::TermSize.diff(&t("f(a)"), &t("g(a, b, c)")), Some(2));
+        assert_eq!(
+            Measure::TermSize.diff(&t("f(a)"), &t("g(a, b, c)")),
+            Some(2)
+        );
     }
 
     #[test]
@@ -422,13 +457,22 @@ mod tests {
         // The paper: diff_term_depth(f(a, g(X)), X) is defined (magnitude 2);
         // with our orientation |X| − |f(a,g(X))| = −2.
         let pair = t("pair(f(a, g(X)), X)");
-        assert_eq!(Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]), Some(-2));
+        assert_eq!(
+            Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]),
+            Some(-2)
+        );
         // diff_term_depth(f(X, Y), X) = ⊥ (Y's depth unknown).
         let pair = t("pair(f(X, Y), X)");
-        assert_eq!(Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]), None);
+        assert_eq!(
+            Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]),
+            None
+        );
         // Sibling with nonzero depth makes the offset inexact: ⊥.
         let pair = t("pair(f(g(a), X), X)");
-        assert_eq!(Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]), None);
+        assert_eq!(
+            Measure::TermDepth.diff(&pair.args()[0], &pair.args()[1]),
+            None
+        );
     }
 
     #[test]
@@ -437,7 +481,10 @@ mod tests {
         assert_eq!(Measure::IntValue.diff(&t("7"), &t("3")), Some(-4));
         assert_eq!(Measure::IntValue.diff(&t("X"), &t("3")), None);
         let pair = t("pair(X, X)");
-        assert_eq!(Measure::IntValue.diff(&pair.args()[0], &pair.args()[1]), Some(0));
+        assert_eq!(
+            Measure::IntValue.diff(&pair.args()[0], &pair.args()[1]),
+            Some(0)
+        );
     }
 
     #[test]
@@ -472,10 +519,7 @@ mod tests {
 
     #[test]
     fn declared_measures_override_guesses() {
-        let p = parse_program(
-            ":- measure weird(depth, void). weird(f(X), [a]).",
-        )
-        .unwrap();
+        let p = parse_program(":- measure weird(depth, void). weird(f(X), [a]).").unwrap();
         let measures = assign_measures(&p);
         let w = &measures[&PredId::parse("weird", 2)];
         assert_eq!(w[0], Measure::TermDepth);
@@ -511,7 +555,11 @@ mod tests {
             Measure::Ignore,
         ] {
             let pair = t("pair(f(X, [a|T]), f(X, [a|T]))");
-            assert_eq!(m.diff(&pair.args()[0], &pair.args()[1]), Some(0), "measure {m}");
+            assert_eq!(
+                m.diff(&pair.args()[0], &pair.args()[1]),
+                Some(0),
+                "measure {m}"
+            );
         }
     }
 }
@@ -522,9 +570,8 @@ mod proptests {
     use proptest::prelude::*;
 
     fn arb_ground_list(max_len: usize) -> impl Strategy<Value = Term> {
-        prop::collection::vec(0i64..50, 0..max_len).prop_map(|xs| {
-            Term::list(xs.into_iter().map(Term::int))
-        })
+        prop::collection::vec(0i64..50, 0..max_len)
+            .prop_map(|xs| Term::list(xs.into_iter().map(Term::int)))
     }
 
     proptest! {

@@ -23,6 +23,11 @@ use crate::threshold::{driving_parameter, threshold, Threshold, DEFAULT_SEARCH_C
 use granlog_ir::{CallGraph, ModeDecl, PredId, Program, RecursionClass, Symbol};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Per-clause contributions to one difference equation: the base-case guard
+/// (constant head-input sizes, `None` when unconstrained) plus the clause's
+/// derived expression.
+type ClauseContribs = Vec<(Vec<Option<i64>>, Expr)>;
+
 /// Options controlling the analysis.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct AnalysisOptions {
@@ -34,7 +39,10 @@ pub struct AnalysisOptions {
 
 impl Default for AnalysisOptions {
     fn default() -> Self {
-        AnalysisOptions { metric: CostMetric::Resolutions, threshold_cap: DEFAULT_SEARCH_CAP }
+        AnalysisOptions {
+            metric: CostMetric::Resolutions,
+            threshold_cap: DEFAULT_SEARCH_CAP,
+        }
     }
 }
 
@@ -172,7 +180,7 @@ pub fn analyze_program(program: &Program, options: &AnalysisOptions) -> ProgramA
                 .collect();
             pred_meta.insert(pred, (input_positions.clone(), params.clone()));
 
-            let mut per_output: BTreeMap<usize, Vec<(Vec<Option<i64>>, Expr)>> = BTreeMap::new();
+            let mut per_output: BTreeMap<usize, ClauseContribs> = BTreeMap::new();
             for out_pos in decl.output_positions() {
                 per_output.insert(out_pos, Vec::new());
             }
@@ -227,7 +235,14 @@ pub fn analyze_program(program: &Program, options: &AnalysisOptions) -> ProgramA
                     }
                 }
             }
-            size_db.insert(pred, PredSizes { input_positions, params, outputs });
+            size_db.insert(
+                pred,
+                PredSizes {
+                    input_positions,
+                    params,
+                    outputs,
+                },
+            );
             size_schemas.insert(pred, schemas);
         }
 
@@ -235,13 +250,12 @@ pub fn analyze_program(program: &Program, options: &AnalysisOptions) -> ProgramA
         // Phase 2: cost analysis for the SCC (with Ψ of the SCC now solved).
         // ------------------------------------------------------------------
         let empty_scc: BTreeSet<PredId> = BTreeSet::new();
-        let scc_cost_funcs: BTreeSet<FnRef> =
-            scc_set.iter().map(|&p| FnRef::Cost(p)).collect();
+        let scc_cost_funcs: BTreeSet<FnRef> = scc_set.iter().map(|&p| FnRef::Cost(p)).collect();
         let mut cost_equations: Vec<DiffEq> = Vec::new();
         for &pred in &scc_set {
             let decl = granlog_ir::modes::mode_or_default(&modes, pred).into_owned();
             let (input_positions, params) = pred_meta[&pred].clone();
-            let mut clause_contribs: Vec<(Vec<Option<i64>>, Expr)> = Vec::new();
+            let mut clause_contribs: ClauseContribs = Vec::new();
             for clause in program.clauses_of(pred) {
                 let ddg = Ddg::build(clause, &decl);
                 let size_ctx = SizeContext {
@@ -380,7 +394,10 @@ mod tests {
         assert_eq!(info.cost_schema, SchemaKind::GeometricConstant);
         // The bound dominates the true resolution count (which is O(φ^n)).
         let bound15 = info.cost_at(&[15.0]).unwrap();
-        assert!(bound15 >= 1973.0, "bound {bound15} must dominate the true cost");
+        assert!(
+            bound15 >= 1973.0,
+            "bound {bound15} must dominate the true cost"
+        );
         // Threshold exists and is small for any realistic overhead.
         match a.threshold_for(fib, 100.0) {
             Threshold::SizeAtLeast(k) => assert!(k <= 10, "k = {k}"),
@@ -397,16 +414,31 @@ mod tests {
             leaf(_).
         "#;
         let a = analyze(src);
-        assert_eq!(a.cost_of(PredId::parse("leaf", 1)).unwrap().as_const(), Some(1.0));
-        assert_eq!(a.cost_of(PredId::parse("mid", 1)).unwrap().as_const(), Some(2.0));
-        assert_eq!(a.cost_of(PredId::parse("top", 1)).unwrap().as_const(), Some(5.0));
+        assert_eq!(
+            a.cost_of(PredId::parse("leaf", 1)).unwrap().as_const(),
+            Some(1.0)
+        );
+        assert_eq!(
+            a.cost_of(PredId::parse("mid", 1)).unwrap().as_const(),
+            Some(2.0)
+        );
+        assert_eq!(
+            a.cost_of(PredId::parse("top", 1)).unwrap().as_const(),
+            Some(5.0)
+        );
         assert_eq!(
             a.pred(PredId::parse("top", 1)).unwrap().recursion,
             RecursionClass::NonRecursive
         );
         // Constant cost below the overhead: never parallelise.
-        assert_eq!(a.threshold_for(PredId::parse("top", 1), 48.0), Threshold::NeverParallel);
-        assert_eq!(a.threshold_for(PredId::parse("top", 1), 3.0), Threshold::AlwaysParallel);
+        assert_eq!(
+            a.threshold_for(PredId::parse("top", 1), 48.0),
+            Threshold::NeverParallel
+        );
+        assert_eq!(
+            a.threshold_for(PredId::parse("top", 1), 3.0),
+            Threshold::AlwaysParallel
+        );
     }
 
     #[test]
@@ -422,7 +454,10 @@ mod tests {
         let a = analyze(src);
         let even = PredId::parse("even", 1);
         let odd = PredId::parse("odd", 1);
-        assert_eq!(a.pred(even).unwrap().recursion, RecursionClass::MutuallyRecursive);
+        assert_eq!(
+            a.pred(even).unwrap().recursion,
+            RecursionClass::MutuallyRecursive
+        );
         // Costs are finite, linear-ish bounds.
         let c_even = a.pred(even).unwrap().cost_at(&[20.0]).unwrap();
         let c_odd = a.pred(odd).unwrap().cost_at(&[20.0]).unwrap();

@@ -15,7 +15,11 @@ use std::fmt::Write as _;
 /// When `overhead` is provided, a threshold column is included.
 pub fn render_report(analysis: &ProgramAnalysis, overhead: Option<f64>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "granularity analysis report ({} metric)", analysis.metric);
+    let _ = writeln!(
+        out,
+        "granularity analysis report ({} metric)",
+        analysis.metric
+    );
     let _ = writeln!(out, "{}", "=".repeat(72));
     for (pred, info) in &analysis.preds {
         let _ = writeln!(out, "predicate {pred}  [{}]", info.recursion);
@@ -74,7 +78,13 @@ pub fn render_table(analysis: &ProgramAnalysis, overhead: f64) -> String {
             Threshold::NeverParallel => "never parallel".to_owned(),
             Threshold::SizeAtLeast(k) => format!("size >= {k}"),
         };
-        let _ = writeln!(out, "{:<24} {:<40} {:<20}", pred.to_string(), info.cost.to_string(), threshold_text);
+        let _ = writeln!(
+            out,
+            "{:<24} {:<40} {:<20}",
+            pred.to_string(),
+            info.cost.to_string(),
+            threshold_text
+        );
     }
     out
 }

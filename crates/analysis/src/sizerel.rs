@@ -19,9 +19,9 @@
 //! still recorded in [`ClauseSizeAnalysis::relations`] so that examples and
 //! reports can show the normalization steps of the Appendix.
 
+use crate::ddg::{ArgPos, Ddg, NodeId};
 use crate::expr::{Expr, FnRef};
 use crate::measure::{Measure, MeasureVec};
-use crate::ddg::{ArgPos, Ddg, NodeId};
 use granlog_ir::{ModeDecl, PredId, Symbol, Term, VarId};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -273,7 +273,11 @@ pub fn analyze_clause(ddg: &Ddg, ctx: &SizeContext<'_>) -> ClauseSizeAnalysis {
             ),
             None => pos.to_string(),
         };
-        relations.push(SizeRelation { lhs: pos, lhs_text, rhs: expr.clone() });
+        relations.push(SizeRelation {
+            lhs: pos,
+            lhs_text,
+            rhs: expr.clone(),
+        });
         head_output_sizes.insert(i, expr);
     }
 
@@ -310,7 +314,9 @@ fn derive_consumed_size(
         }
     }
     for src in ddg.sources_of(pos) {
-        let Some(src_size) = known.get(src) else { continue };
+        let Some(src_size) = known.get(src) else {
+            continue;
+        };
         if src_size.is_undefined() {
             continue;
         }
@@ -347,9 +353,7 @@ fn size_from_parts(
                     }
                     Term::Var(v) => {
                         let tail = var_sizes.get(&(*v, Measure::ListLength))?;
-                        return Some(
-                            Expr::add(tail.clone(), Expr::Num(count as f64)).simplify(),
-                        );
+                        return Some(Expr::add(tail.clone(), Expr::Num(count as f64)).simplify());
                     }
                     _ => return None,
                 }
@@ -375,7 +379,9 @@ fn record_var_size(
         return;
     }
     if let Term::Var(v) = term {
-        var_sizes.entry((*v, measure)).or_insert_with(|| expr.clone());
+        var_sizes
+            .entry((*v, measure))
+            .or_insert_with(|| expr.clone());
     }
 }
 
@@ -404,7 +410,13 @@ fn literal_output_exprs(
             let value = translate_arith(&literal.args()[1], var_sizes);
             return output_positions
                 .iter()
-                .map(|&i| if i == 0 { value.clone() } else { Expr::Undefined })
+                .map(|&i| {
+                    if i == 0 {
+                        value.clone()
+                    } else {
+                        Expr::Undefined
+                    }
+                })
                 .collect();
         }
         ("=", 2) => {
@@ -459,7 +471,9 @@ fn literal_output_exprs(
     output_positions
         .iter()
         .map(|&i| {
-            if !decl.mode(i.min(decl.modes.len().saturating_sub(1))).is_output()
+            if !decl
+                .mode(i.min(decl.modes.len().saturating_sub(1)))
+                .is_output()
                 && decl.modes.len() > i
             {
                 // The call site treats this argument as an output but the
@@ -544,7 +558,13 @@ mod tests {
     use granlog_ir::parser::parse_program;
     use granlog_ir::Program;
 
-    fn setup(src: &str) -> (Program, BTreeMap<PredId, ModeDecl>, BTreeMap<PredId, MeasureVec>) {
+    fn setup(
+        src: &str,
+    ) -> (
+        Program,
+        BTreeMap<PredId, ModeDecl>,
+        BTreeMap<PredId, MeasureVec>,
+    ) {
         let p = parse_program(src).unwrap();
         let modes = infer_modes(&p);
         let measures = crate::measure::assign_measures(&p);
@@ -562,7 +582,12 @@ mod tests {
     ) -> ClauseSizeAnalysis {
         let clause = program.clauses_of(pred)[idx];
         let ddg = Ddg::build(clause, &modes[&pred]);
-        let ctx = SizeContext { modes, measures, size_db, scc };
+        let ctx = SizeContext {
+            modes,
+            measures,
+            size_db,
+            scc,
+        };
         analyze_clause(&ddg, &ctx)
     }
 
@@ -745,7 +770,14 @@ mod tests {
         let texts: Vec<String> = a.relations.iter().map(|r| r.lhs_text.clone()).collect();
         assert_eq!(
             texts,
-            vec!["body1[1]", "body1[2]", "body2[1]", "body2[2]", "body2[3]", "psi_nrev[2](n)"]
+            vec![
+                "body1[1]",
+                "body1[2]",
+                "body2[1]",
+                "body2[2]",
+                "body2[3]",
+                "psi_nrev[2](n)"
+            ]
         );
     }
 
@@ -768,7 +800,9 @@ mod tests {
         };
         let out = sizes.apply(2, &[Expr::var("a"), Expr::Num(1.0)]);
         assert_eq!(out.to_string(), "a + 1");
-        assert!(sizes.apply(0, &[Expr::var("a"), Expr::Num(1.0)]).is_undefined());
+        assert!(sizes
+            .apply(0, &[Expr::var("a"), Expr::Num(1.0)])
+            .is_undefined());
         assert!(sizes.apply(2, &[Expr::var("a")]).is_undefined());
     }
 

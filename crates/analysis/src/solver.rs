@@ -141,7 +141,11 @@ pub fn solve(eq: &DiffEq) -> Solution {
         return Solution {
             func: eq.func,
             params: eq.params.clone(),
-            closed_form: if value.is_undefined() { Expr::Infinity } else { value },
+            closed_form: if value.is_undefined() {
+                Expr::Infinity
+            } else {
+                value
+            },
             schema: SchemaKind::Closed,
         };
     }
@@ -160,7 +164,10 @@ pub fn solve(eq: &DiffEq) -> Solution {
             .recursive_cases
             .iter()
             .map(|rc| {
-                solve(&DiffEq { recursive_cases: vec![rc.clone()], ..eq.clone() })
+                solve(&DiffEq {
+                    recursive_cases: vec![rc.clone()],
+                    ..eq.clone()
+                })
             })
             .collect();
         let schema = branches
@@ -267,11 +274,7 @@ pub fn solve_system(system: &DiffEqSystem) -> Vec<Solution> {
         .equations
         .iter()
         .map(|eq| {
-            if eq
-                .referenced_functions()
-                .iter()
-                .all(|f| *f == eq.func)
-            {
+            if eq.referenced_functions().iter().all(|f| *f == eq.func) {
                 return solve(eq);
             }
             match eliminate(eq, system, system.equations.len()) {
@@ -329,15 +332,15 @@ fn eliminate(eq: &DiffEq, system: &DiffEqSystem, fuel: usize) -> Option<DiffEq> 
                         .collect();
                     // f_other(args) ≤ rhs_other[params := args] + base_other
                     // (the base term accounts for the unfolding bottoming out).
-                    Some(
-                        Expr::add(other_rhs.subst_vars(&map), other_base.clone())
-                            .simplify(),
-                    )
+                    Some(Expr::add(other_rhs.subst_vars(&map), other_base.clone()).simplify())
                 });
             }
             new_cases.push(rewritten.simplify());
         }
-        current = DiffEq { recursive_cases: new_cases, ..current };
+        current = DiffEq {
+            recursive_cases: new_cases,
+            ..current
+        };
     }
     None
 }
@@ -380,7 +383,9 @@ fn analyze_recursion(eq: &DiffEq, rhs: &Expr) -> Option<RecursionShape> {
             if args.len() != eq.params.len() {
                 continue 'param;
             }
-            let Some(step) = classify_step(&args[idx], param) else { continue 'param };
+            let Some(step) = classify_step(&args[idx], param) else {
+                continue 'param;
+            };
             let shrinking = match step {
                 Step::Decrement(k) => k > 0.0,
                 Step::Divide(b) => b > 1.0,
@@ -403,7 +408,9 @@ fn analyze_recursion(eq: &DiffEq, rhs: &Expr) -> Option<RecursionShape> {
         }
         // Majorise: use the slowest shrinking step (minimum decrement /
         // minimum divisor), which over-approximates every call (monotonicity).
-        let Some(slowest) = steps.iter().copied().reduce(slowest_step) else { continue 'param };
+        let Some(slowest) = steps.iter().copied().reduce(slowest_step) else {
+            continue 'param;
+        };
         return Some(RecursionShape {
             induction: Induction::Param(idx),
             multiplicity,
@@ -565,7 +572,10 @@ fn solve_linear(n: Symbol, n0: f64, f0: &Expr, g: &Expr, k: f64) -> (Expr, Schem
     if k == 1.0 {
         if let Some(poly) = as_polynomial(g, n) {
             if poly.degree() <= 3
-                && poly.coeffs.iter().all(|c| !c.clone().simplify().is_undefined())
+                && poly
+                    .coeffs
+                    .iter()
+                    .all(|c| !c.clone().simplify().is_undefined())
             {
                 // Exact: f(n) = f0 + Σ_{i=n0+1}^{n} g(i).
                 let sum = polynomial_prefix_sum(&poly, n, n0);
@@ -577,10 +587,7 @@ fn solve_linear(n: Symbol, n0: f64, f0: &Expr, g: &Expr, k: f64) -> (Expr, Schem
         }
     }
     // Bound: f(n) ≤ f0 + ((n − n0)/k) · g(n)   (g monotone nondecreasing).
-    let steps = Expr::div(
-        Expr::sub(Expr::Var(n), Expr::Num(n0)),
-        Expr::Num(k),
-    );
+    let steps = Expr::div(Expr::sub(Expr::Var(n), Expr::Num(n0)), Expr::Num(k));
     let bound = Expr::add(f0.clone(), Expr::mul(steps, g.clone()));
     (bound, SchemaKind::LinearBound)
 }
@@ -633,14 +640,7 @@ fn polynomial_prefix_sum(poly: &crate::expr::Polynomial, n: Symbol, n0: f64) -> 
 }
 
 /// `f(n) = a·f(n−k) + g(n)`, `a ≥ 2`.
-fn solve_geometric(
-    n: Symbol,
-    n0: f64,
-    f0: &Expr,
-    g: &Expr,
-    a: f64,
-    k: f64,
-) -> (Expr, SchemaKind) {
+fn solve_geometric(n: Symbol, n0: f64, f0: &Expr, g: &Expr, a: f64, k: f64) -> (Expr, SchemaKind) {
     let exponent = Expr::div(Expr::sub(Expr::Var(n), Expr::Num(n0)), Expr::Num(k));
     let growth = Expr::pow(Expr::Num(a), exponent);
     if let Some(b) = g.as_const() {
@@ -662,13 +662,7 @@ fn solve_geometric(
 }
 
 /// `f(n) = a·f(n/b) + g(n)` — master-theorem style upper bounds.
-fn solve_divide_and_conquer(
-    n: Symbol,
-    f0: &Expr,
-    g: &Expr,
-    a: f64,
-    b: f64,
-) -> (Expr, SchemaKind) {
+fn solve_divide_and_conquer(n: Symbol, f0: &Expr, g: &Expr, a: f64, b: f64) -> (Expr, SchemaKind) {
     let nvar = Expr::Var(n);
     let levels = Expr::add(
         Expr::div(Expr::log2(nvar.clone()), Expr::Num(b.log2())),
@@ -691,7 +685,11 @@ fn solve_divide_and_conquer(
             Expr::product(vec![
                 Expr::add(f0.clone(), g.clone()),
                 Expr::pow(nvar, Expr::Num(log_b_a.max(0.0))),
-                if degree.is_some() { Expr::Num(1.0) } else { levels },
+                if degree.is_some() {
+                    Expr::Num(1.0)
+                } else {
+                    levels
+                },
             ])
         }
     };
@@ -718,7 +716,10 @@ mod tests {
             params: vec![sym("n")],
             base_cases: base
                 .into_iter()
-                .map(|(when, v)| BaseCase { when, value: Expr::Num(v) })
+                .map(|(when, v)| BaseCase {
+                    when,
+                    value: Expr::Num(v),
+                })
                 .collect(),
             recursive_cases: vec![rec],
             combine: CombineMode::Exclusive,
@@ -778,14 +779,17 @@ mod tests {
             Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(2.0))]),
             Expr::num(1.0),
         ]);
-        let sol = solve(&single(vec![(vec![Some(0)], 1.0), (vec![Some(1)], 1.0)], rec));
+        let sol = solve(&single(
+            vec![(vec![Some(0)], 1.0), (vec![Some(1)], 1.0)],
+            rec,
+        ));
         assert_eq!(sol.schema, SchemaKind::GeometricConstant);
         // The paper (with base at 0) reports 2^(n+1) − 1; with the tighter
         // boundary point n0 = 1 the bound is 2^n − 1. Both are upper bounds on
         // the true fib cost; check the bound property and the exact form.
         assert_eq!(eval(&sol, 1.0), 1.0);
         assert_eq!(eval(&sol, 5.0), 31.0); // 2^5 − 1
-        // True cost of fib(5) with this metric is 15 ≤ 31.
+                                           // True cost of fib(5) with this metric is 15 ≤ 31.
         assert!(eval(&sol, 10.0) >= 177.0);
     }
 
@@ -794,7 +798,10 @@ mod tests {
         // f(0) = 1; f(n) = 2 f(n−1) + n.
         let n = Expr::var("n");
         let rec = Expr::sum(vec![
-            Expr::mul(Expr::num(2.0), Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(1.0))])),
+            Expr::mul(
+                Expr::num(2.0),
+                Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            ),
             n.clone(),
         ]);
         let sol = solve(&single(vec![(vec![Some(0)], 1.0)], rec));
@@ -822,7 +829,10 @@ mod tests {
         // f(1) = 1; f(n) = 2 f(n/2) + n  ⇒  Θ(n log n); bound must dominate.
         let n = Expr::var("n");
         let rec = Expr::add(
-            Expr::mul(Expr::num(2.0), Expr::call(f(), vec![Expr::div(n.clone(), Expr::num(2.0))])),
+            Expr::mul(
+                Expr::num(2.0),
+                Expr::call(f(), vec![Expr::div(n.clone(), Expr::num(2.0))]),
+            ),
             n.clone(),
         );
         let sol = solve(&single(vec![(vec![Some(1)], 1.0)], rec));
@@ -853,7 +863,10 @@ mod tests {
         // f(1) = 1; f(n) = 4 f(n/2) + n ⇒ Θ(n²).
         let n = Expr::var("n");
         let rec = Expr::add(
-            Expr::mul(Expr::num(4.0), Expr::call(f(), vec![Expr::div(n.clone(), Expr::num(2.0))])),
+            Expr::mul(
+                Expr::num(4.0),
+                Expr::call(f(), vec![Expr::div(n.clone(), Expr::num(2.0))]),
+            ),
             n.clone(),
         );
         let sol = solve(&single(vec![(vec![Some(1)], 1.0)], rec));
@@ -879,7 +892,10 @@ mod tests {
         let eq = DiffEq {
             func: f(),
             params: vec![sym("n")],
-            base_cases: vec![BaseCase { when: vec![None], value: Expr::var("n") }],
+            base_cases: vec![BaseCase {
+                when: vec![None],
+                value: Expr::var("n"),
+            }],
             recursive_cases: vec![],
             combine: CombineMode::Exclusive,
         };
@@ -940,9 +956,15 @@ mod tests {
         let eq = DiffEq {
             func: g,
             params: vec![sym("n1"), sym("n2")],
-            base_cases: vec![BaseCase { when: vec![Some(0), None], value: Expr::var("n2") }],
+            base_cases: vec![BaseCase {
+                when: vec![Some(0), None],
+                value: Expr::var("n2"),
+            }],
             recursive_cases: vec![Expr::add(
-                Expr::call(g, vec![Expr::sub(Expr::var("n1"), Expr::num(1.0)), Expr::var("n2")]),
+                Expr::call(
+                    g,
+                    vec![Expr::sub(Expr::var("n1"), Expr::num(1.0)), Expr::var("n2")],
+                ),
                 Expr::num(1.0),
             )],
             combine: CombineMode::Exclusive,
@@ -967,7 +989,10 @@ mod tests {
                 value: Expr::add(Expr::var("n2"), Expr::num(1.0)),
             }],
             recursive_cases: vec![Expr::add(
-                Expr::call(f(), vec![Expr::sub(Expr::var("n1"), Expr::num(1.0)), Expr::var("n2")]),
+                Expr::call(
+                    f(),
+                    vec![Expr::sub(Expr::var("n1"), Expr::num(1.0)), Expr::var("n2")],
+                ),
                 Expr::num(1.0),
             )],
             combine: CombineMode::Exclusive,
@@ -986,7 +1011,10 @@ mod tests {
         let even_eq = DiffEq {
             func: even,
             params: vec![sym("n")],
-            base_cases: vec![BaseCase { when: vec![Some(0)], value: Expr::num(1.0) }],
+            base_cases: vec![BaseCase {
+                when: vec![Some(0)],
+                value: Expr::num(1.0),
+            }],
             recursive_cases: vec![Expr::add(
                 Expr::call(odd, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
                 Expr::num(1.0),
@@ -996,7 +1024,10 @@ mod tests {
         let odd_eq = DiffEq {
             func: odd,
             params: vec![sym("n")],
-            base_cases: vec![BaseCase { when: vec![Some(1)], value: Expr::num(2.0) }],
+            base_cases: vec![BaseCase {
+                when: vec![Some(1)],
+                value: Expr::num(2.0),
+            }],
             recursive_cases: vec![Expr::add(
                 Expr::call(even, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
                 Expr::num(1.0),
@@ -1011,7 +1042,11 @@ mod tests {
             // The true cost is about n+1; the bound must dominate it and stay
             // polynomial (here linear-ish).
             assert!(v >= 11.0, "bound {v} too small for {:?}", sol.func);
-            assert!(v <= 100.0, "bound {v} unexpectedly large for {:?}", sol.func);
+            assert!(
+                v <= 100.0,
+                "bound {v} unexpectedly large for {:?}",
+                sol.func
+            );
         }
     }
 
@@ -1021,7 +1056,10 @@ mod tests {
         let eq = DiffEq {
             func: g,
             params: vec![sym("n")],
-            base_cases: vec![BaseCase { when: vec![Some(0)], value: Expr::num(0.0) }],
+            base_cases: vec![BaseCase {
+                when: vec![Some(0)],
+                value: Expr::num(0.0),
+            }],
             recursive_cases: vec![Expr::add(
                 Expr::call(g, vec![Expr::sub(Expr::var("n"), Expr::num(1.0))]),
                 Expr::num(2.0),
@@ -1049,12 +1087,21 @@ mod tests {
         // Two recursive clauses, not exclusive: their costs add.
         // f(0)=1; f(n) = [f(n−1)+1] + [f(n−1)+2] = 2 f(n−1) + 3.
         let n = Expr::var("n");
-        let c1 = Expr::add(Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(1.0))]), Expr::num(1.0));
-        let c2 = Expr::add(Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(1.0))]), Expr::num(2.0));
+        let c1 = Expr::add(
+            Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            Expr::num(1.0),
+        );
+        let c2 = Expr::add(
+            Expr::call(f(), vec![Expr::sub(n.clone(), Expr::num(1.0))]),
+            Expr::num(2.0),
+        );
         let eq = DiffEq {
             func: f(),
             params: vec![sym("n")],
-            base_cases: vec![BaseCase { when: vec![Some(0)], value: Expr::num(1.0) }],
+            base_cases: vec![BaseCase {
+                when: vec![Some(0)],
+                value: Expr::num(1.0),
+            }],
             recursive_cases: vec![c1, c2],
             combine: CombineMode::Additive,
         };

@@ -194,15 +194,24 @@ mod tests {
 
     #[test]
     fn infinite_cost_is_always_parallel() {
-        assert_eq!(threshold_default(&Expr::Infinity, n(), 1e12), Threshold::AlwaysParallel);
-        assert_eq!(threshold_default(&Expr::Undefined, n(), 1.0), Threshold::AlwaysParallel);
+        assert_eq!(
+            threshold_default(&Expr::Infinity, n(), 1e12),
+            Threshold::AlwaysParallel
+        );
+        assert_eq!(
+            threshold_default(&Expr::Undefined, n(), 1.0),
+            Threshold::AlwaysParallel
+        );
     }
 
     #[test]
     fn exponential_cost_has_small_threshold() {
         // 2^n − 1 > 1000 first at n = 10.
         let cost = Expr::sub(Expr::pow(Expr::num(2.0), Expr::var("n")), Expr::num(1.0));
-        assert_eq!(threshold_default(&cost, n(), 1000.0), Threshold::SizeAtLeast(10));
+        assert_eq!(
+            threshold_default(&cost, n(), 1000.0),
+            Threshold::SizeAtLeast(10)
+        );
     }
 
     #[test]
@@ -240,10 +249,7 @@ mod tests {
     #[test]
     fn driving_parameter_picks_dominant_variable() {
         // n² + m: n dominates.
-        let cost = Expr::add(
-            Expr::pow(Expr::var("n"), Expr::num(2.0)),
-            Expr::var("m"),
-        );
+        let cost = Expr::add(Expr::pow(Expr::var("n"), Expr::num(2.0)), Expr::var("m"));
         assert_eq!(driving_parameter(&cost), Some(Symbol::intern("n")));
         // 2^m + n: m dominates (non-polynomial).
         let cost = Expr::add(Expr::pow(Expr::num(2.0), Expr::var("m")), Expr::var("n"));

@@ -24,8 +24,12 @@ fn bench_engine(c: &mut Criterion) {
         })
     });
     c.bench_function("engine: fib(12)", |b| b.iter(|| black_box(run("fib", 12))));
-    c.bench_function("engine: quick_sort(40)", |b| b.iter(|| black_box(run("quick_sort", 40))));
-    c.bench_function("engine: matrix_mult(6)", |b| b.iter(|| black_box(run("matrix_mult", 6))));
+    c.bench_function("engine: quick_sort(40)", |b| {
+        b.iter(|| black_box(run("quick_sort", 40)))
+    });
+    c.bench_function("engine: matrix_mult(6)", |b| {
+        b.iter(|| black_box(run("matrix_mult", 6)))
+    });
 }
 
 criterion_group!(benches, bench_engine);

@@ -14,7 +14,10 @@ fn nrev_equation() -> DiffEq {
     DiffEq {
         func: f,
         params: vec![Symbol::intern("n")],
-        base_cases: vec![BaseCase { when: vec![Some(0)], value: Expr::num(1.0) }],
+        base_cases: vec![BaseCase {
+            when: vec![Some(0)],
+            value: Expr::num(1.0),
+        }],
         recursive_cases: vec![Expr::sum(vec![
             Expr::call(f, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
             n,
@@ -31,8 +34,14 @@ fn fib_equation() -> DiffEq {
         func: f,
         params: vec![Symbol::intern("n")],
         base_cases: vec![
-            BaseCase { when: vec![Some(0)], value: Expr::num(1.0) },
-            BaseCase { when: vec![Some(1)], value: Expr::num(1.0) },
+            BaseCase {
+                when: vec![Some(0)],
+                value: Expr::num(1.0),
+            },
+            BaseCase {
+                when: vec![Some(1)],
+                value: Expr::num(1.0),
+            },
         ],
         recursive_cases: vec![Expr::sum(vec![
             Expr::call(f, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
@@ -50,7 +59,10 @@ fn mutual_system() -> DiffEqSystem {
     let mk = |func: FnRef, other: FnRef, base: i64| DiffEq {
         func,
         params: vec![Symbol::intern("n")],
-        base_cases: vec![BaseCase { when: vec![Some(base)], value: Expr::num(1.0) }],
+        base_cases: vec![BaseCase {
+            when: vec![Some(base)],
+            value: Expr::num(1.0),
+        }],
         recursive_cases: vec![Expr::add(
             Expr::call(other, vec![Expr::sub(n.clone(), Expr::num(1.0))]),
             Expr::num(1.0),
@@ -64,8 +76,12 @@ fn bench_solver(c: &mut Criterion) {
     let nrev = nrev_equation();
     let fib = fib_equation();
     let system = mutual_system();
-    c.bench_function("solve nrev cost equation", |b| b.iter(|| solve(black_box(&nrev))));
-    c.bench_function("solve fib cost equation", |b| b.iter(|| solve(black_box(&fib))));
+    c.bench_function("solve nrev cost equation", |b| {
+        b.iter(|| solve(black_box(&nrev)))
+    });
+    c.bench_function("solve fib cost equation", |b| {
+        b.iter(|| solve(black_box(&fib)))
+    });
     c.bench_function("solve mutual-recursion system", |b| {
         b.iter(|| solve_system(black_box(&system)))
     });

@@ -19,7 +19,11 @@ fn main() {
         let modes = program.mode_of(pid).expect("modes declared").clone();
         for (i, clause) in program.clauses_of(pid).iter().enumerate() {
             let ddg = Ddg::build(clause, &modes);
-            let _ = writeln!(out, "Figure 1 — data dependency graph of {pred}/{arity}, clause {}", i + 1);
+            let _ = writeln!(
+                out,
+                "Figure 1 — data dependency graph of {pred}/{arity}, clause {}",
+                i + 1
+            );
             let _ = writeln!(out, "  clause: {}", clause.display());
             let _ = writeln!(out, "{}", indent(&ddg.to_ascii(), 2));
             let _ = writeln!(out, "  graphviz:\n{}", indent(&ddg.to_dot(), 4));

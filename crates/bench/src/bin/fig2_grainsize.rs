@@ -31,7 +31,10 @@ fn main() {
     let mut output = String::new();
     for (name, size) in subjects {
         let bench = benchmark(name).expect("benchmark exists");
-        eprintln!("sweeping {name}({size}) over {} grain sizes ...", grains.len());
+        eprintln!(
+            "sweeping {name}({size}) over {} grain sizes ...",
+            grains.len()
+        );
         let points = grain_size_sweep(&bench, size, &config, &grains);
         output.push_str(&format_sweep(
             &format!("Figure 2 — {name}({size}), execution time vs. grain size"),

@@ -24,7 +24,11 @@ fn main() {
     let rolog = SimConfig::rolog4();
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
-        let size = if small { bench.test_size } else { bench.default_size };
+        let size = if small {
+            bench.test_size
+        } else {
+            bench.default_size
+        };
         eprintln!("[table 1] {}({size})", bench.name);
         rows.push(table_row(&bench, size, &rolog));
     }
@@ -37,7 +41,11 @@ fn main() {
     let andp = SimConfig::and_prolog4();
     let mut rows = Vec::new();
     for bench in table2_benchmarks() {
-        let size = if small { bench.test_size } else { bench.default_size };
+        let size = if small {
+            bench.test_size
+        } else {
+            bench.default_size
+        };
         eprintln!("[table 2] {}({size})", bench.name);
         rows.push(table_row(&bench, size, &andp));
     }
@@ -48,7 +56,10 @@ fn main() {
 
     // ---- Figure 2 ---------------------------------------------------------
     let mut fig2 = String::new();
-    for (name, size) in [("fib", if small { 12 } else { 15 }), ("quick_sort", if small { 25 } else { 75 })] {
+    for (name, size) in [
+        ("fib", if small { 12 } else { 15 }),
+        ("quick_sort", if small { 25 } else { 75 }),
+    ] {
         let bench = benchmark(name).expect("benchmark exists");
         eprintln!("[figure 2] {name}({size})");
         let points = grain_size_sweep(&bench, size, &rolog, &default_grain_sizes());
@@ -65,7 +76,8 @@ fn main() {
     }
 
     // ---- Ablation 1: sensitivity to the overhead estimate -----------------
-    let mut text = String::from("Ablation — speedup of granularity control vs. task overhead (fib)\n");
+    let mut text =
+        String::from("Ablation — speedup of granularity control vs. task overhead (fib)\n");
     let bench = benchmark("fib").expect("fib exists");
     let size = if small { 12 } else { 15 };
     for scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
@@ -81,11 +93,21 @@ fn main() {
 
     // ---- Ablation 2: cost metric comparison -------------------------------
     let mut text = String::from("Ablation — cost bounds for quick_sort under different metrics\n");
-    let program = benchmark("quick_sort").expect("exists").program().expect("parses");
-    for metric in [CostMetric::Resolutions, CostMetric::Unifications, CostMetric::Steps] {
+    let program = benchmark("quick_sort")
+        .expect("exists")
+        .program()
+        .expect("parses");
+    for metric in [
+        CostMetric::Resolutions,
+        CostMetric::Unifications,
+        CostMetric::Steps,
+    ] {
         let analysis = analyze_program(
             &program,
-            &AnalysisOptions { metric, ..AnalysisOptions::default() },
+            &AnalysisOptions {
+                metric,
+                ..AnalysisOptions::default()
+            },
         );
         let qsort = PredId::parse("qsort", 2);
         let partition = PredId::parse("partition", 4);

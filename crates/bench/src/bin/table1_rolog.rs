@@ -18,7 +18,11 @@ fn main() {
     let config = SimConfig::rolog4();
     let mut rows = Vec::new();
     for bench in all_benchmarks() {
-        let size = if small { bench.test_size } else { bench.default_size };
+        let size = if small {
+            bench.test_size
+        } else {
+            bench.default_size
+        };
         eprintln!("running {}({size}) ...", bench.name);
         rows.push(table_row(&bench, size, &config));
     }

@@ -15,7 +15,11 @@ fn main() {
     let config = SimConfig::and_prolog4();
     let mut rows = Vec::new();
     for bench in table2_benchmarks() {
-        let size = if small { bench.test_size } else { bench.default_size };
+        let size = if small {
+            bench.test_size
+        } else {
+            bench.default_size
+        };
         eprintln!("running {}({size}) ...", bench.name);
         rows.push(table_row(&bench, size, &config));
     }

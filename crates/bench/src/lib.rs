@@ -54,8 +54,16 @@ pub fn format_sweep(title: &str, points: &[granlog_benchmarks::SweepPoint]) -> S
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
     let _ = writeln!(out, "{}", "=".repeat(title.len()));
-    let max_time = points.iter().map(|p| p.time).fold(0.0f64, f64::max).max(1.0);
-    let _ = writeln!(out, "{:>10} {:>14} {:>8}   profile", "grain", "time (units)", "tasks");
+    let max_time = points
+        .iter()
+        .map(|p| p.time)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>8}   profile",
+        "grain", "time (units)", "tasks"
+    );
     for p in points {
         let bar_len = ((p.time / max_time) * 50.0).round() as usize;
         let _ = writeln!(
@@ -82,7 +90,9 @@ pub fn emit(name: &str, content: &str) {
 
 /// The grain-size grid used for the Figure 2 sweep.
 pub fn default_grain_sizes() -> Vec<u64> {
-    vec![0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024, 4096]
+    vec![
+        0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 256, 512, 1024, 4096,
+    ]
 }
 
 #[cfg(test)]
@@ -114,18 +124,33 @@ mod tests {
     #[test]
     fn sweep_formatting_scales_bars() {
         let points = vec![
-            SweepPoint { grain_size: 0, time: 100.0, spawned_tasks: 50 },
-            SweepPoint { grain_size: 8, time: 50.0, spawned_tasks: 10 },
-            SweepPoint { grain_size: 1024, time: 200.0, spawned_tasks: 0 },
+            SweepPoint {
+                grain_size: 0,
+                time: 100.0,
+                spawned_tasks: 50,
+            },
+            SweepPoint {
+                grain_size: 8,
+                time: 50.0,
+                spawned_tasks: 10,
+            },
+            SweepPoint {
+                grain_size: 1024,
+                time: 200.0,
+                spawned_tasks: 0,
+            },
         ];
         let text = format_sweep("Figure 2", &points);
         assert!(text.contains("Figure 2"));
-        assert_eq!(text.matches('\n').count() >= 5, true);
+        assert!(text.matches('\n').count() >= 5);
         // The largest time gets the longest bar.
         let lines: Vec<&str> = text.lines().collect();
         let bar_len = |line: &str| line.chars().filter(|c| *c == '#').count();
         let last = lines.iter().find(|l| l.contains("1024")).unwrap();
-        let first = lines.iter().find(|l| l.trim_start().starts_with('0')).unwrap();
+        let first = lines
+            .iter()
+            .find(|l| l.trim_start().starts_with('0'))
+            .unwrap();
         assert!(bar_len(last) > bar_len(first));
     }
 

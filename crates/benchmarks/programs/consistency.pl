@@ -1,0 +1,17 @@
+% Independent consistency checks over a constraint list. Every check does a
+% small, bounded amount of work (W = X mod 16 + 10 <= 25 spin steps), so its
+% cost is *constant*: under a high task-management overhead the analysis
+% sequentialises every spawn (threshold: never parallel), while under a cheap
+% one it keeps them all (always parallel) — the crux of Table 1 vs Table 2.
+:- mode consistent(+).
+:- mode check(+).
+:- mode spin(+).
+:- measure spin(int).
+
+consistent([]).
+consistent([X|Xs]) :- check(X) & consistent(Xs).
+
+check(X) :- W is X mod 16 + 10, spin(W).
+
+spin(N) :- N =< 0.
+spin(N) :- N > 0, N1 is N - 1, spin(N1).

@@ -1,0 +1,13 @@
+% Sum of the sums of a list of lists: each inner sum is an independent
+% parallel task whose size is the inner list's length — the textbook case for
+% a '$grain_ge'(L, length, K) runtime test (Cost_sum_list(n) = n + 1).
+:- mode double_sum(+, -).
+:- mode sum_list(+, -).
+
+double_sum([], 0).
+double_sum([L|Ls], S) :-
+    sum_list(L, S1) & double_sum(Ls, S2),
+    S is S1 + S2.
+
+sum_list([], 0).
+sum_list([X|Xs], S) :- sum_list(Xs, S1), S is X + S1.

@@ -1,0 +1,36 @@
+% Radix-2 decimation-in-time FFT over complex points c(Re, Im). The split
+% halves the input (Psi_fsplit = n/2), the two half-size transforms run in
+% parallel, and the butterfly recombines them with twiddle factors.
+:- mode fft(+, -).
+:- mode fsplit(+, -, -).
+:- mode butterfly(+, +, +, +, -, -).
+:- mode fapp(+, +, -).
+
+fft([], []).
+fft([X], [X]).
+fft([X, Y|Zs], Spectrum) :-
+    fsplit([X, Y|Zs], Evens, Odds),
+    fft(Evens, E) & fft(Odds, O),
+    length([X, Y|Zs], N),
+    butterfly(E, O, N, 0, Plus, Minus),
+    fapp(Plus, Minus, Spectrum).
+
+fsplit([], [], []).
+fsplit([X|Xs], [X|B], A) :- fsplit(Xs, A, B).
+
+% X[k] = E[k] + w_N^k O[k]; X[k + N/2] = E[k] - w_N^k O[k].
+butterfly([], [], _, _, [], []).
+butterfly([c(Er, Ei)|Es], [c(Or, Oi)|Os], N, K, [c(Pr, Pi)|Ps], [c(Mr, Mi)|Ms]) :-
+    Wr is cos(2 * pi * K / N),
+    Wi is -(sin(2 * pi * K / N)),
+    Tr is Wr * Or - Wi * Oi,
+    Ti is Wr * Oi + Wi * Or,
+    Pr is Er + Tr,
+    Pi is Ei + Ti,
+    Mr is Er - Tr,
+    Mi is Ei - Ti,
+    K1 is K + 1,
+    butterfly(Es, Os, N, K1, Ps, Ms).
+
+fapp([], L, L).
+fapp([H|T], L, [H|R]) :- fapp(T, L, R).

@@ -1,0 +1,13 @@
+% Doubly recursive Fibonacci with and-parallel recursive calls.
+% The analysis majorises the two calls to 2*Cost(n-1) + 1, giving the
+% geometric bound 2^n - 1 and a small spawn threshold.
+:- mode fib(+, -).
+
+fib(0, 0).
+fib(1, 1).
+fib(M, N) :-
+    M > 1,
+    M1 is M - 1,
+    M2 is M - 2,
+    fib(M1, N1) & fib(M2, N2),
+    N is N1 + N2.

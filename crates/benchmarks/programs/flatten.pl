@@ -1,0 +1,17 @@
+% Concatenation of many short lists. Copying a chunk is independent of
+% flattening the remaining chunks, so the two run in parallel; the chunks are
+% tiny, which makes uncontrolled spawning pay pure overhead.
+:- mode flat(+, -).
+:- mode fcopy(+, -).
+:- mode fapp(+, +, -).
+
+flat([], []).
+flat([L|Ls], F) :-
+    fcopy(L, C) & flat(Ls, F1),
+    fapp(C, F1, F).
+
+fcopy([], []).
+fcopy([X|Xs], [X|Ys]) :- fcopy(Xs, Ys).
+
+fapp([], L, L).
+fapp([H|T], L, [H|R]) :- fapp(T, L, R).

@@ -1,0 +1,14 @@
+% Towers of Hanoi producing the move list, with the two subtowers moved in
+% parallel. hanoi(N) produces 2^N - 1 moves.
+:- mode hanoi(+, +, +, +, -).
+:- mode happ(+, +, -).
+
+hanoi(0, _, _, _, []).
+hanoi(N, From, To, Via, Moves) :-
+    N > 0,
+    N1 is N - 1,
+    hanoi(N1, From, Via, To, Before) & hanoi(N1, Via, To, From, After),
+    happ(Before, [mv(From, To)|After], Moves).
+
+happ([], L, L).
+happ([H|T], L, [H|R]) :- happ(T, L, R).

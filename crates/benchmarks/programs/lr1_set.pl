@@ -1,0 +1,23 @@
+% LR(1)-style item-set closure rounds: every round recomputes the closure of
+% each item set, and the per-set closures are independent parallel tasks.
+:- mode lr_sets(+, +, -).
+:- mode close_all(+, -).
+:- mode close_set(+, -).
+
+lr_sets(0, Sets, Sets).
+lr_sets(N, Sets, Out) :-
+    N > 0,
+    N1 is N - 1,
+    close_all(Sets, Next),
+    lr_sets(N1, Next, Out).
+
+close_all([], []).
+close_all([S|Ss], [C|Cs]) :-
+    close_set(S, C) & close_all(Ss, Cs).
+
+% A cheap deterministic "closure": advance every item through the item
+% automaton's transition hash.
+close_set([], []).
+close_set([I|Is], [J|Js]) :-
+    J is (I * 31 + 17) mod 97,
+    close_set(Is, Js).

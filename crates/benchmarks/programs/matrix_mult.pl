@@ -1,0 +1,20 @@
+% Matrix multiplication with row-level parallelism. The second matrix is
+% supplied in transposed form (a list of columns), so every result row is an
+% independent list of dot products: mmult(A, Bt, C) with C[i][j] = A[i] . Bt[j].
+:- mode mmult(+, +, -).
+:- mode mrow(+, +, -).
+:- mode dot(+, +, -).
+
+mmult([], _, []).
+mmult([R|Rs], Cols, [P|Ps]) :-
+    mrow(Cols, R, P) & mmult(Rs, Cols, Ps).
+
+mrow([], _, []).
+mrow([C|Cs], R, [V|Vs]) :-
+    dot(R, C, V),
+    mrow(Cs, R, Vs).
+
+dot([], _, 0).
+dot([X|Xs], [Y|Ys], S) :-
+    dot(Xs, Ys, S1),
+    S is S1 + X * Y.

@@ -1,0 +1,21 @@
+% Merge sort with parallel recursive calls. The split halves its input
+% (Psi_msplit = n/2), so the cost recurrence is divide-and-conquer; merge
+% recurses on the *sum* of its two list arguments.
+:- mode msort(+, -).
+:- mode msplit(+, -, -).
+:- mode merge(+, +, -).
+
+msort([], []).
+msort([X], [X]).
+msort([X, Y|Zs], S) :-
+    msplit([X, Y|Zs], A, B),
+    msort(A, SA) & msort(B, SB),
+    merge(SA, SB, S).
+
+msplit([], [], []).
+msplit([X|Xs], [X|B], A) :- msplit(Xs, A, B).
+
+merge([], L, L).
+merge([X|Xs], [], [X|Xs]).
+merge([X|Xs], [Y|Ys], [X|R]) :- X =< Y, merge(Xs, [Y|Ys], R).
+merge([X|Xs], [Y|Ys], [Y|R]) :- X > Y, merge([X|Xs], Ys, R).

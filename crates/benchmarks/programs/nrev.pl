@@ -1,0 +1,10 @@
+% Naive reverse — the worked example of the paper's Appendix A.
+% Cost_nrev(n) = 0.5 n^2 + 1.5 n + 1 resolutions; Psi_nrev(n) = n.
+:- mode nrev(+, -).
+:- mode append(+, +, -).
+
+nrev([], []).
+nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+
+append([], L, L).
+append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).

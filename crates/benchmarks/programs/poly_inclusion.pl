@@ -1,0 +1,32 @@
+% Point-in-polygon classification: every query point is classified against
+% the polygon's edge list independently (crossing-number parity test), so the
+% per-point checks run in parallel.
+:- mode poly_inclusion(+, +, -).
+:- mode classify(+, +, -).
+:- mode edge_count(+, +, +, -).
+
+poly_inclusion([], _, []).
+poly_inclusion([P|Ps], Poly, [R|Rs]) :-
+    classify(P, Poly, R) & poly_inclusion(Ps, Poly, Rs).
+
+classify(p(X, Y), Poly, R) :-
+    edge_count(Poly, X, Y, C),
+    ( 1 is C mod 2 -> R = inside ; R = outside ).
+
+edge_count([], _, _, 0).
+edge_count([_], _, _, 0).
+edge_count([v(X1, Y1), v(X2, Y2)|Vs], X, Y, C) :-
+    crossing(Y1, Y2, X1, X2, X, Y, D),
+    edge_count([v(X2, Y2)|Vs], X, Y, C1),
+    C is C1 + D.
+
+% A horizontal ray to the right of (X, Y) crosses the edge when the edge
+% spans Y vertically and lies to the right of X on average.
+crossing(Y1, Y2, X1, X2, X, Y, D) :-
+    (   Y1 =< Y, Y2 > Y -> edge_side(X1, X2, X, D)
+    ;   Y2 =< Y, Y1 > Y -> edge_side(X1, X2, X, D)
+    ;   D = 0
+    ).
+
+edge_side(X1, X2, X, D) :-
+    ( X1 + X2 > 2 * X -> D = 1 ; D = 0 ).

@@ -1,0 +1,18 @@
+% Quicksort with parallel recursive calls (the paper's running example of a
+% program whose task sizes shrink as the recursion deepens).
+:- mode qsort(+, -).
+:- mode partition(+, +, -, -).
+:- mode qapp(+, +, -).
+
+qsort([], []).
+qsort([P|Xs], S) :-
+    partition(Xs, P, Small, Big),
+    qsort(Small, S1) & qsort(Big, S2),
+    qapp(S1, [P|S2], S).
+
+partition([], _, [], []).
+partition([X|Xs], P, [X|S], B) :- X =< P, partition(Xs, P, S, B).
+partition([X|Xs], P, S, [X|B]) :- X > P, partition(Xs, P, S, B).
+
+qapp([], L, L).
+qapp([H|T], L, [H|R]) :- qapp(T, L, R).

@@ -1,0 +1,11 @@
+% Binary tree traversal summing the leaves. The recursion descends into
+% subterms whose sizes the list-length / term-size measures cannot relate
+% exactly (each subtree's sibling is non-ground), so the cost analysis answers
+% infinity and the conjunction stays unconditionally parallel — the paper's
+% "sequentialise only when it can be proven better" philosophy.
+:- mode tsum(+, -).
+
+tsum(leaf(V), V).
+tsum(node(L, R), S) :-
+    tsum(L, S1) & tsum(R, S2),
+    S is S1 + S2.

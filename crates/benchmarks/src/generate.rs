@@ -15,7 +15,11 @@ pub struct Lcg {
 impl Lcg {
     /// Creates a generator from a seed.
     pub fn new(seed: u64) -> Self {
-        Lcg { state: seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407) }
+        Lcg {
+            state: seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407),
+        }
     }
 
     /// Next raw value.
@@ -133,7 +137,9 @@ pub fn item_sets(sets: usize, items_per_set: usize, seed: u64) -> String {
     let mut rng = Lcg::new(seed);
     let out: Vec<String> = (0..sets)
         .map(|_| {
-            let items: Vec<String> = (0..items_per_set).map(|_| rng.below(97).to_string()).collect();
+            let items: Vec<String> = (0..items_per_set)
+                .map(|_| rng.below(97).to_string())
+                .collect();
             format!("[{}]", items.join(","))
         })
         .collect();

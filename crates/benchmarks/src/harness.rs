@@ -126,7 +126,11 @@ pub fn with_fixed_grain_size(program: &Program, analysis: &ProgramAnalysis, k: u
     }
     for clause in program.clauses() {
         let body = rewrite_fixed(&clause.body, analysis, k);
-        out.add_clause(Clause::new(clause.head.clone(), body, clause.var_names.clone()));
+        out.add_clause(Clause::new(
+            clause.head.clone(),
+            body,
+            clause.var_names.clone(),
+        ));
     }
     out
 }
@@ -163,8 +167,12 @@ fn rewrite_fixed(body: &Term, analysis: &ProgramAnalysis, k: u64) -> Term {
 fn fixed_test_for_arm(arm: &Term, analysis: &ProgramAnalysis, k: u64) -> Option<Term> {
     let goals = conj_goals(arm);
     for goal in goals {
-        let Some(pred) = PredId::of_term(goal) else { continue };
-        let Some(info) = analysis.pred(pred) else { continue };
+        let Some(pred) = PredId::of_term(goal) else {
+            continue;
+        };
+        let Some(info) = analysis.pred(pred) else {
+            continue;
+        };
         if info.params.is_empty() {
             continue;
         }
@@ -175,7 +183,11 @@ fn fixed_test_for_arm(arm: &Term, analysis: &ProgramAnalysis, k: u64) -> Option<
         let measure = info.measures.get(pos).copied().unwrap_or(Measure::TermSize);
         return Some(Term::compound(
             "$grain_ge",
-            vec![arg, Term::atom(measure.name()), Term::Int(i64::try_from(k).unwrap_or(i64::MAX))],
+            vec![
+                arg,
+                Term::atom(measure.name()),
+                Term::Int(i64::try_from(k).unwrap_or(i64::MAX)),
+            ],
         ));
     }
     None
@@ -293,7 +305,11 @@ pub fn grain_size_sweep(
         .iter()
         .map(|&k| {
             let result = run_benchmark(bench, size, sim_config, ControlMode::FixedThreshold(k));
-            SweepPoint { grain_size: k, time: result.time(), spawned_tasks: result.spawned_tasks }
+            SweepPoint {
+                grain_size: k,
+                time: result.time(),
+                spawned_tasks: result.spawned_tasks,
+            }
         })
         .collect()
 }
@@ -355,7 +371,12 @@ mod tests {
     #[test]
     fn huge_fixed_threshold_behaves_like_sequential() {
         let fib = benchmark("fib").unwrap();
-        let fixed = run_benchmark(&fib, 10, &small_config(), ControlMode::FixedThreshold(1_000_000));
+        let fixed = run_benchmark(
+            &fib,
+            10,
+            &small_config(),
+            ControlMode::FixedThreshold(1_000_000),
+        );
         assert_eq!(fixed.spawned_tasks, 0);
         let seq = run_benchmark(&fib, 10, &small_config(), ControlMode::Sequential);
         // The fixed-threshold run pays for its grain tests, so it is at least

@@ -66,7 +66,10 @@ fn merge_sort_query(n: usize) -> String {
 
 fn double_sum_query(total: usize) -> String {
     let chunks = (total / 32).max(1);
-    format!("double_sum({}, Sum)", generate::list_of_lists(total, chunks, 100, 13))
+    format!(
+        "double_sum({}, Sum)",
+        generate::list_of_lists(total, chunks, 100, 13)
+    )
 }
 
 fn matrix_query(n: usize) -> String {
@@ -83,7 +86,10 @@ fn tree_query(depth: usize) -> String {
 
 fn flatten_query(total: usize) -> String {
     let chunks = (total / 4).max(1);
-    format!("flat({}, Flat)", generate::list_of_lists(total, chunks, 100, 29))
+    format!(
+        "flat({}, Flat)",
+        generate::list_of_lists(total, chunks, 100, 29)
+    )
 }
 
 fn consistency_query(n: usize) -> String {
@@ -103,7 +109,10 @@ fn poly_query(vertices: usize) -> String {
 }
 
 fn lr1_query(rounds: usize) -> String {
-    format!("lr_sets({rounds}, {}, Sets)", generate::item_sets(12, 6, 43))
+    format!(
+        "lr_sets({rounds}, {}, Sets)",
+        generate::item_sets(12, 6, 43)
+    )
 }
 
 fn nrev_query(n: usize) -> String {
@@ -270,7 +279,10 @@ mod tests {
 
     #[test]
     fn every_program_parses() {
-        for b in all_benchmarks().iter().chain(std::iter::once(&nrev_benchmark())) {
+        for b in all_benchmarks()
+            .iter()
+            .chain(std::iter::once(&nrev_benchmark()))
+        {
             let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(!program.is_empty(), "{} has no clauses", b.name);
         }
@@ -291,7 +303,11 @@ mod tests {
     #[test]
     fn every_table1_program_contains_parallelism() {
         for b in all_benchmarks() {
-            assert!(b.source.contains('&'), "{} has no parallel conjunction", b.name);
+            assert!(
+                b.source.contains('&'),
+                "{} has no parallel conjunction",
+                b.name
+            );
         }
     }
 

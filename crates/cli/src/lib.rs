@@ -100,13 +100,17 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--overhead" => {
-                let value = iter.next().ok_or_else(|| usage("--overhead needs a value"))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--overhead needs a value"))?;
                 options.overhead = value
                     .parse()
                     .map_err(|_| usage(&format!("invalid overhead {value:?}")))?;
             }
             "--processors" => {
-                let value = iter.next().ok_or_else(|| usage("--processors needs a value"))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--processors needs a value"))?;
                 options.processors = value
                     .parse()
                     .map_err(|_| usage(&format!("invalid processor count {value:?}")))?;
@@ -171,7 +175,10 @@ fn cmd_analyze(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let program = load_program(path)?;
     let analysis = analyze_program(
         &program,
-        &AnalysisOptions { metric: options.metric, ..AnalysisOptions::default() },
+        &AnalysisOptions {
+            metric: options.metric,
+            ..AnalysisOptions::default()
+        },
     );
     write!(out, "{}", render_report(&analysis, Some(options.overhead)))?;
     Ok(())
@@ -186,7 +193,9 @@ fn cmd_annotate(options: &Options, out: &mut dyn Write) -> Result<(), CliError> 
     let annotated = apply_granularity_control(
         &program,
         &analysis,
-        &AnnotateOptions { overhead: options.overhead },
+        &AnnotateOptions {
+            overhead: options.overhead,
+        },
     );
     writeln!(
         out,
@@ -220,7 +229,9 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             apply_granularity_control(
                 &program,
                 &analysis,
-                &AnnotateOptions { overhead: options.overhead },
+                &AnnotateOptions {
+                    overhead: options.overhead,
+                },
             )
             .program
         }
@@ -248,7 +259,10 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let scaled = OverheadModel::rolog_like();
     let per_task = scaled.per_task_overhead();
     let overhead = scaled.scaled(options.overhead / per_task.max(1e-9));
-    let sim = simulate(&outcome.task_tree, &SimConfig::new(options.processors, overhead));
+    let sim = simulate(
+        &outcome.task_tree,
+        &SimConfig::new(options.processors, overhead),
+    );
     writeln!(
         out,
         "simulated time on {} processors: {:.0} units (speedup {:.2}x, utilisation {:.0}%)",
@@ -262,7 +276,9 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn cmd_ddg(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
     let [path, indicator] = options.positional.as_slice() else {
-        return Err(usage("ddg expects a file and a predicate indicator (name/arity)"));
+        return Err(usage(
+            "ddg expects a file and a predicate indicator (name/arity)",
+        ));
     };
     let program = load_program(path)?;
     let pred = parse_indicator(indicator)?;
@@ -282,7 +298,9 @@ fn cmd_ddg(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
 
 fn parse_indicator(text: &str) -> Result<PredId, CliError> {
     let Some((name, arity)) = text.rsplit_once('/') else {
-        return Err(usage(&format!("bad predicate indicator {text:?} (expected name/arity)")));
+        return Err(usage(&format!(
+            "bad predicate indicator {text:?} (expected name/arity)"
+        )));
     };
     let arity: usize = arity
         .parse()

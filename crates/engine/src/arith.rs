@@ -47,7 +47,12 @@ fn err(msg: impl Into<String>) -> EngineError {
     EngineError::Arithmetic(msg.into())
 }
 
-fn binary_int_or_float(a: Num, b: Num, fi: impl Fn(i64, i64) -> i64, ff: impl Fn(f64, f64) -> f64) -> Num {
+fn binary_int_or_float(
+    a: Num,
+    b: Num,
+    fi: impl Fn(i64, i64) -> i64,
+    ff: impl Fn(f64, f64) -> f64,
+) -> Num {
     match (a, b) {
         (Num::Int(x), Num::Int(y)) => Num::Int(fi(x, y)),
         _ => Num::Float(ff(a.as_f64(), b.as_f64())),
@@ -140,7 +145,11 @@ pub fn eval(machine: &Machine<'_>, term: &RTerm) -> EngineResult<Num> {
                 }
                 ("min", 2) => {
                     let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    Ok(if a.compare(b) == Ordering::Greater { b } else { a })
+                    Ok(if a.compare(b) == Ordering::Greater {
+                        b
+                    } else {
+                        a
+                    })
                 }
                 ("max", 2) => {
                     let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
@@ -149,9 +158,9 @@ pub fn eval(machine: &Machine<'_>, term: &RTerm) -> EngineResult<Num> {
                 ("**", 2) | ("^", 2) => {
                     let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
                     match (a, b) {
-                        (Num::Int(x), Num::Int(y)) if y >= 0 && name == "^" => {
-                            Ok(Num::Int(x.pow(u32::try_from(y).map_err(|_| err("exponent too large"))?)))
-                        }
+                        (Num::Int(x), Num::Int(y)) if y >= 0 && name == "^" => Ok(Num::Int(
+                            x.pow(u32::try_from(y).map_err(|_| err("exponent too large"))?),
+                        )),
                         _ => Ok(Num::Float(a.as_f64().powf(b.as_f64()))),
                     }
                 }

@@ -18,7 +18,9 @@ use std::cmp::Ordering;
 ///
 /// Propagates arithmetic and type errors from the individual builtins.
 pub fn call(machine: &mut Machine<'_>, goal: &RTerm) -> EngineResult<Option<bool>> {
-    let Some((name, arity)) = goal.functor() else { return Ok(None) };
+    let Some((name, arity)) = goal.functor() else {
+        return Ok(None);
+    };
     let args = goal.args();
     let result = match (name.as_str(), arity) {
         ("=", 2) => {
@@ -189,9 +191,7 @@ fn builtin_functor(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bo
             match name {
                 RTerm::Atom(s) => {
                     let fresh_base = machine.heap.len();
-                    machine
-                        .heap
-                        .resize(fresh_base + arity, None);
+                    machine.heap.resize(fresh_base + arity, None);
                     let term = RTerm::structure(
                         s,
                         (0..arity).map(|i| RTerm::Var(fresh_base + i)).collect(),
@@ -202,9 +202,9 @@ fn builtin_functor(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bo
                 _ => Ok(false),
             }
         }
-        RTerm::Atom(s) => {
-            Ok(machine.unify(&args[1], &RTerm::Atom(*s)) && machine.unify(&args[2], &RTerm::Int(0)))
-        }
+        RTerm::Atom(s) => Ok(
+            machine.unify(&args[1], &RTerm::Atom(*s)) && machine.unify(&args[2], &RTerm::Int(0))
+        ),
         RTerm::Int(_) | RTerm::Float(_) => {
             Ok(machine.unify(&args[1], &t) && machine.unify(&args[2], &RTerm::Int(0)))
         }

@@ -133,15 +133,36 @@ mod tests {
 
     #[test]
     fn instruction_model_counts_everything() {
-        let c = Counters { resolutions: 1, head_attempts: 1, unifications: 1, builtins: 1, grain_tests: 1, grain_test_elements: 1 };
+        let c = Counters {
+            resolutions: 1,
+            head_attempts: 1,
+            unifications: 1,
+            builtins: 1,
+            grain_tests: 1,
+            grain_test_elements: 1,
+        };
         let w = CostModel::instruction_like().work(&c);
         assert_eq!(w, 4.0 + 1.0 + 1.0 + 2.0 + 2.0 + 1.0);
     }
 
     #[test]
     fn since_and_add_are_inverse() {
-        let a = Counters { resolutions: 5, head_attempts: 7, unifications: 9, builtins: 1, grain_tests: 0, grain_test_elements: 0 };
-        let b = Counters { resolutions: 2, head_attempts: 3, unifications: 4, builtins: 1, grain_tests: 0, grain_test_elements: 0 };
+        let a = Counters {
+            resolutions: 5,
+            head_attempts: 7,
+            unifications: 9,
+            builtins: 1,
+            grain_tests: 0,
+            grain_test_elements: 0,
+        };
+        let b = Counters {
+            resolutions: 2,
+            head_attempts: 3,
+            unifications: 4,
+            builtins: 1,
+            grain_tests: 0,
+            grain_test_elements: 0,
+        };
         let diff = a.since(&b);
         assert_eq!(diff.add(&b), a);
         assert_eq!(diff.resolutions, 3);

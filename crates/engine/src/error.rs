@@ -61,7 +61,10 @@ mod tests {
         assert!(e.to_string().contains("unbound"));
         let e = EngineError::NotCallable(Term::int(3));
         assert!(e.to_string().contains('3'));
-        let e = EngineError::TypeError { builtin: "functor", message: "bad".into() };
+        let e = EngineError::TypeError {
+            builtin: "functor",
+            message: "bad".into(),
+        };
         assert!(e.to_string().contains("functor"));
         let e = EngineError::DepthLimit(5);
         assert!(e.to_string().contains('5'));

@@ -80,10 +80,8 @@ mod tests {
     #[test]
     fn with_large_stack_runs_deep_recursion() {
         let result = with_large_stack(|| {
-            let program = parse_program(
-                "count(0). count(N) :- N > 0, N1 is N - 1, count(N1).",
-            )
-            .unwrap();
+            let program =
+                parse_program("count(0). count(N) :- N > 0, N1 is N - 1, count(N1).").unwrap();
             let mut machine = Machine::new(&program);
             let out = machine.run_query("count(50000)").unwrap();
             out.counters.resolutions

@@ -78,7 +78,10 @@ struct Frame {
 }
 
 fn push_goal(goal: RTerm, rest: &Goals) -> Goals {
-    Some(Rc::new(Frame { goal, rest: rest.clone() }))
+    Some(Rc::new(Frame {
+        goal,
+        rest: rest.clone(),
+    }))
 }
 
 /// The resolution engine.
@@ -203,7 +206,10 @@ impl<'p> Machine<'p> {
     }
 
     pub(crate) fn bind(&mut self, var: usize, value: RTerm) {
-        debug_assert!(self.heap[var].is_none(), "binding an already-bound variable");
+        debug_assert!(
+            self.heap[var].is_none(),
+            "binding an already-bound variable"
+        );
         self.heap[var] = Some(value);
         self.trail.push(var);
     }
@@ -408,12 +414,16 @@ impl<'p> Machine<'p> {
         }
         // First-argument indexing: skip clauses whose first head argument has
         // a different principal functor than the (bound) first goal argument.
-        let goal_key = goal.args().first().map(|a| principal_functor(&self.deref(a)));
+        let goal_key = goal
+            .args()
+            .first()
+            .map(|a| principal_functor(&self.deref(a)));
         let all_ids = self.program.clause_ids_of(pred);
         let mut candidates: Vec<usize> = Vec::with_capacity(all_ids.len());
         for &clause_id in all_ids {
             let clause = &self.program.clauses()[clause_id];
-            if let (Some(Some(gk)), Some(head_arg)) = (goal_key.as_ref(), clause.head.args().first())
+            if let (Some(Some(gk)), Some(head_arg)) =
+                (goal_key.as_ref(), clause.head.args().first())
             {
                 if let Some(hk) = principal_functor_ir(head_arg) {
                     if hk != *gk {
@@ -687,10 +697,16 @@ mod tests {
         let program = parse_program("loop :- loop.").unwrap();
         let mut machine = Machine::with_config(
             &program,
-            MachineConfig { max_steps: 1000, ..MachineConfig::default() },
+            MachineConfig {
+                max_steps: 1000,
+                ..MachineConfig::default()
+            },
         );
         let err = machine.run_query("loop").unwrap_err();
-        assert!(matches!(err, EngineError::StepLimit(_) | EngineError::DepthLimit(_)));
+        assert!(matches!(
+            err,
+            EngineError::StepLimit(_) | EngineError::DepthLimit(_)
+        ));
     }
 
     #[test]
@@ -748,7 +764,10 @@ mod tests {
         let program = parse_program(APPEND).unwrap();
         let mut machine = Machine::with_config(
             &program,
-            MachineConfig { cost_model: CostModel::instruction_like(), ..MachineConfig::default() },
+            MachineConfig {
+                cost_model: CostModel::instruction_like(),
+                ..MachineConfig::default()
+            },
         );
         let out = machine.run_query("append([1,2], [3], X)").unwrap();
         assert!(out.succeeded);

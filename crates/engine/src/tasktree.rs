@@ -63,7 +63,9 @@ pub struct TaskTree {
 
 impl Default for TaskTree {
     fn default() -> Self {
-        TaskTree { tasks: vec![Task::default()] }
+        TaskTree {
+            tasks: vec![Task::default()],
+        }
     }
 }
 
@@ -182,7 +184,10 @@ impl Default for TaskRecorder {
     fn default() -> Self {
         let tree = TaskTree::new();
         let root = tree.root();
-        TaskRecorder { tree, stack: vec![root] }
+        TaskRecorder {
+            tree,
+            stack: vec![root],
+        }
     }
 }
 

@@ -14,7 +14,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// How a clause (or predicate) recurses, following the paper's terminology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum RecursionClass {
     /// No body literal is part of a call-graph cycle through the head.
     NonRecursive,
@@ -208,7 +210,9 @@ impl CallGraph {
     /// otherwise.
     pub fn classify_predicate(&self, pred: PredId) -> RecursionClass {
         match self.scc_of(pred) {
-            Some(scc) if scc.recursive && scc.members.len() > 1 => RecursionClass::MutuallyRecursive,
+            Some(scc) if scc.recursive && scc.members.len() > 1 => {
+                RecursionClass::MutuallyRecursive
+            }
             Some(scc) if scc.recursive => RecursionClass::SimpleRecursive,
             _ => RecursionClass::NonRecursive,
         }
@@ -349,19 +353,34 @@ mod tests {
         let order = g.topological_predicates();
         let pos_append = order.iter().position(|&x| x == pid("append", 3)).unwrap();
         let pos_nrev = order.iter().position(|&x| x == pid("nrev", 2)).unwrap();
-        assert!(pos_append < pos_nrev, "append must be processed before nrev");
+        assert!(
+            pos_append < pos_nrev,
+            "append must be processed before nrev"
+        );
     }
 
     #[test]
     fn recursion_classification_simple() {
         let p = parse_program(NREV).unwrap();
         let g = CallGraph::build(&p);
-        assert_eq!(g.classify_predicate(pid("nrev", 2)), RecursionClass::SimpleRecursive);
-        assert_eq!(g.classify_predicate(pid("append", 3)), RecursionClass::SimpleRecursive);
+        assert_eq!(
+            g.classify_predicate(pid("nrev", 2)),
+            RecursionClass::SimpleRecursive
+        );
+        assert_eq!(
+            g.classify_predicate(pid("append", 3)),
+            RecursionClass::SimpleRecursive
+        );
         // Clause-level: the fact is nonrecursive, the recursive clause is simple recursive.
         let nrev_clauses = p.clauses_of(pid("nrev", 2));
-        assert_eq!(g.classify_clause(nrev_clauses[0]), RecursionClass::NonRecursive);
-        assert_eq!(g.classify_clause(nrev_clauses[1]), RecursionClass::SimpleRecursive);
+        assert_eq!(
+            g.classify_clause(nrev_clauses[0]),
+            RecursionClass::NonRecursive
+        );
+        assert_eq!(
+            g.classify_clause(nrev_clauses[1]),
+            RecursionClass::SimpleRecursive
+        );
     }
 
     #[test]
@@ -373,11 +392,20 @@ mod tests {
         "#;
         let p = parse_program(src).unwrap();
         let g = CallGraph::build(&p);
-        assert_eq!(g.classify_predicate(pid("even", 1)), RecursionClass::MutuallyRecursive);
-        assert_eq!(g.classify_predicate(pid("odd", 1)), RecursionClass::MutuallyRecursive);
+        assert_eq!(
+            g.classify_predicate(pid("even", 1)),
+            RecursionClass::MutuallyRecursive
+        );
+        assert_eq!(
+            g.classify_predicate(pid("odd", 1)),
+            RecursionClass::MutuallyRecursive
+        );
         assert!(g.same_scc(pid("even", 1), pid("odd", 1)));
         let even_clauses = p.clauses_of(pid("even", 1));
-        assert_eq!(g.classify_clause(even_clauses[1]), RecursionClass::MutuallyRecursive);
+        assert_eq!(
+            g.classify_clause(even_clauses[1]),
+            RecursionClass::MutuallyRecursive
+        );
     }
 
     #[test]
@@ -385,7 +413,10 @@ mod tests {
         let p = parse_program("top(X) :- mid(X). mid(X) :- leaf(X). leaf(_).").unwrap();
         let g = CallGraph::build(&p);
         for name in ["top", "mid", "leaf"] {
-            assert_eq!(g.classify_predicate(pid(name, 1)), RecursionClass::NonRecursive);
+            assert_eq!(
+                g.classify_predicate(pid(name, 1)),
+                RecursionClass::NonRecursive
+            );
             assert!(!g.is_recursive(pid(name, 1)));
         }
         let order = g.topological_predicates();
@@ -405,7 +436,10 @@ mod tests {
         let p = parse_program("p(X) :- ( q(X) -> r(X) ; s(X) ). q(_). r(_). s(_).").unwrap();
         let g = CallGraph::build(&p);
         for callee in ["q", "r", "s"] {
-            assert!(g.calls(pid("p", 1), pid(callee, 1)), "missing edge to {callee}");
+            assert!(
+                g.calls(pid("p", 1), pid(callee, 1)),
+                "missing edge to {callee}"
+            );
         }
     }
 

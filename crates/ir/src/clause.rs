@@ -35,7 +35,11 @@ pub struct Clause {
 impl Clause {
     /// Creates a clause from a head, body and variable-name table.
     pub fn new(head: Term, body: Term, var_names: Vec<Symbol>) -> Self {
-        Clause { head, body, var_names }
+        Clause {
+            head,
+            body,
+            var_names,
+        }
     }
 
     /// Creates a fact (a clause whose body is `true`).
@@ -54,7 +58,9 @@ impl Clause {
 
     /// The predicate defined by this clause, if the head is callable.
     pub fn head_pred(&self) -> Option<PredId> {
-        self.head.functor().map(|(name, arity)| PredId::new(name, arity))
+        self.head
+            .functor()
+            .map(|(name, arity)| PredId::new(name, arity))
     }
 
     /// Number of distinct variables in the clause.
@@ -176,10 +182,16 @@ impl<'a> BodyView<'a> {
                         );
                     }
                 }
-                BodyView::Disj(Box::new(BodyView::of(&args[0])), Box::new(BodyView::of(&args[1])))
+                BodyView::Disj(
+                    Box::new(BodyView::of(&args[0])),
+                    Box::new(BodyView::of(&args[1])),
+                )
             }
             Term::Struct(s, args) if *s == well_known::arrow() && args.len() == 2 => {
-                BodyView::IfThen(Box::new(BodyView::of(&args[0])), Box::new(BodyView::of(&args[1])))
+                BodyView::IfThen(
+                    Box::new(BodyView::of(&args[0])),
+                    Box::new(BodyView::of(&args[1])),
+                )
             }
             Term::Struct(s, args) if s.as_str() == "\\+" && args.len() == 1 => {
                 BodyView::Not(Box::new(BodyView::of(&args[0])))

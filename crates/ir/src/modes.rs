@@ -15,7 +15,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// The mode of a single argument position.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum ArgMode {
     /// The argument is bound (an input) at call time.
     In,
@@ -92,7 +94,10 @@ impl ModeDecl {
 
     /// Declares every argument position as input.
     pub fn all_input(pred: PredId) -> Self {
-        ModeDecl { pred, modes: vec![ArgMode::In; pred.arity] }
+        ModeDecl {
+            pred,
+            modes: vec![ArgMode::In; pred.arity],
+        }
     }
 
     /// Zero-based indices of the input argument positions.
@@ -138,16 +143,33 @@ fn builtin_modes(pred: PredId) -> Option<Vec<ArgMode>> {
     let modes = match (name, pred.arity) {
         ("is", 2) => vec![ArgMode::Out, ArgMode::In],
         ("=", 2) => vec![ArgMode::Out, ArgMode::In],
-        ("<", 2) | (">", 2) | ("=<", 2) | (">=", 2) | ("=:=", 2) | ("=\\=", 2)
-        | ("==", 2) | ("\\==", 2) | ("@<", 2) | ("@>", 2) | ("@=<", 2) | ("@>=", 2) => {
+        ("<", 2)
+        | (">", 2)
+        | ("=<", 2)
+        | (">=", 2)
+        | ("=:=", 2)
+        | ("=\\=", 2)
+        | ("==", 2)
+        | ("\\==", 2)
+        | ("@<", 2)
+        | ("@>", 2)
+        | ("@=<", 2)
+        | ("@>=", 2) => {
             vec![ArgMode::In, ArgMode::In]
         }
         ("true", 0) | ("fail", 0) | ("!", 0) => vec![],
         ("functor", 3) => vec![ArgMode::In, ArgMode::Out, ArgMode::Out],
         ("arg", 3) => vec![ArgMode::In, ArgMode::In, ArgMode::Out],
         ("length", 2) => vec![ArgMode::In, ArgMode::Out],
-        ("write", 1) | ("nl", 0) | ("atom", 1) | ("integer", 1) | ("var", 1) | ("nonvar", 1)
-        | ("number", 1) | ("atomic", 1) | ("ground", 1) => vec![ArgMode::In; pred.arity],
+        ("write", 1)
+        | ("nl", 0)
+        | ("atom", 1)
+        | ("integer", 1)
+        | ("var", 1)
+        | ("nonvar", 1)
+        | ("number", 1)
+        | ("atomic", 1)
+        | ("ground", 1) => vec![ArgMode::In; pred.arity],
         _ => return None,
     };
     Some(modes)
@@ -173,7 +195,9 @@ pub fn infer_modes(program: &Program) -> BTreeMap<PredId, ModeDecl> {
         if !visited.insert(pred) {
             continue;
         }
-        let Some(decl) = result.get(&pred).cloned() else { continue };
+        let Some(decl) = result.get(&pred).cloned() else {
+            continue;
+        };
         if !program.defines(pred) {
             continue;
         }
@@ -185,7 +209,9 @@ pub fn infer_modes(program: &Program) -> BTreeMap<PredId, ModeDecl> {
                 }
             }
             for goal in clause.called_goals() {
-                let Some(goal_pred) = PredId::of_term(goal) else { continue };
+                let Some(goal_pred) = PredId::of_term(goal) else {
+                    continue;
+                };
                 let inferred: Vec<ArgMode> = goal
                     .args()
                     .iter()

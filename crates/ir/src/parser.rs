@@ -35,7 +35,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -70,11 +74,20 @@ const SYMBOL_CHARS: &str = "+-*/\\^<>=~:.?@#&$";
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, column: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), line: self.line, column: self.column }
+        ParseError {
+            message: message.into(),
+            line: self.line,
+            column: self.column,
+        }
     }
 
     fn peek_char(&self) -> Option<char> {
@@ -144,7 +157,11 @@ impl<'a> Lexer<'a> {
             let line = self.line;
             let column = self.column;
             let Some(c) = self.peek_char() else {
-                tokens.push(Token { tok: Tok::Eof, line, column });
+                tokens.push(Token {
+                    tok: Tok::Eof,
+                    line,
+                    column,
+                });
                 return Ok(tokens);
             };
             let tok = if c.is_ascii_digit() {
@@ -181,12 +198,11 @@ impl<'a> Lexer<'a> {
             self.bump();
         }
         // 0'c character code notation.
-        if self.pos - start == 1
-            && self.src[start] == b'0'
-            && self.peek_char() == Some('\'')
-        {
+        if self.pos - start == 1 && self.src[start] == b'0' && self.peek_char() == Some('\'') {
             self.bump();
-            let c = self.bump().ok_or_else(|| self.error("unterminated character code"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("unterminated character code"))?;
             return Ok(Tok::Int(c as i64));
         }
         let mut is_float = false;
@@ -255,7 +271,9 @@ impl<'a> Lexer<'a> {
                     }
                 }
                 Some('\\') => {
-                    let esc = self.bump().ok_or_else(|| self.error("unterminated escape"))?;
+                    let esc = self
+                        .bump()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
                     let replacement = match esc {
                         'n' => '\n',
                         't' => '\t',
@@ -320,10 +338,8 @@ fn prefix_op(name: &str) -> Option<(u32, Fixity)> {
         ":-" | "?-" => (1200, Fixity::Fx),
         // Directive keywords behave as low-priority prefix operators so that
         // `:- mode nrev(+, -).` parses as `mode(nrev(+, -))`.
-        "mode" | "measure" | "parallel" | "sequential" | "entry" | "dynamic"
-        | "discontiguous" | "multifile" | "module" | "use_module" | "public" => {
-            (1150, Fixity::Fx)
-        }
+        "mode" | "measure" | "parallel" | "sequential" | "entry" | "dynamic" | "discontiguous"
+        | "multifile" | "module" | "use_module" | "public" => (1150, Fixity::Fx),
         "\\+" => (900, Fixity::Fy),
         "-" | "+" | "\\" => (200, Fixity::Fy),
         _ => return None,
@@ -340,7 +356,12 @@ struct Parser {
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, pos: 0, vars: HashMap::new(), var_names: Vec::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            vars: HashMap::new(),
+            var_names: Vec::new(),
+        }
     }
 
     fn reset_clause_state(&mut self) {
@@ -366,7 +387,11 @@ impl Parser {
 
     fn error_here(&self, message: impl Into<String>) -> ParseError {
         let t = self.peek();
-        ParseError { message: message.into(), line: t.line, column: t.column }
+        ParseError {
+            message: message.into(),
+            line: t.line,
+            column: t.column,
+        }
     }
 
     fn at_eof(&self) -> bool {
@@ -820,7 +845,8 @@ mod tests {
 
     #[test]
     fn parse_parallel_conjunction() {
-        let p = parse_program("qs(L, S) :- part(L, A, B), qs(A, SA) & qs(B, SB), app(SA, SB, S).").unwrap();
+        let p = parse_program("qs(L, S) :- part(L, A, B), qs(A, SA) & qs(B, SB), app(SA, SB, S).")
+            .unwrap();
         let lits = p.clauses()[0].body_literals();
         assert_eq!(lits.len(), 4);
     }
@@ -862,7 +888,8 @@ mod tests {
 
     #[test]
     fn parse_measure_directive() {
-        let p = parse_program(":- measure append(length, length, length). append([], L, L).").unwrap();
+        let p =
+            parse_program(":- measure append(length, length, length). append([], L, L).").unwrap();
         let ms = p.measure_of(PredId::parse("append", 3)).unwrap();
         assert_eq!(ms.len(), 3);
         assert_eq!(ms[0].as_str(), "length");

@@ -47,7 +47,11 @@ fn infix_glyph(name: &str, arity: usize) -> Option<&'static str> {
 /// `var_names`, when provided, maps [`crate::term::VarId`]s to their source
 /// names; variables outside the table (or when the table is absent) render as
 /// `_N`.
-pub fn fmt_term(term: &Term, var_names: Option<&[Symbol]>, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+pub fn fmt_term(
+    term: &Term,
+    var_names: Option<&[Symbol]>,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
     match term {
         Term::Var(v) => match var_names.and_then(|names| names.get(*v)) {
             Some(name) => write!(f, "{name}"),
@@ -167,7 +171,13 @@ mod tests {
     fn infix_operators_render_infix() {
         let t = Term::compound(">", vec![Term::var(0), Term::var(1)]);
         assert_eq!(t.to_string(), "(_0>_1)");
-        let t = Term::compound("is", vec![Term::var(0), Term::compound("+", vec![Term::int(1), Term::int(2)])]);
+        let t = Term::compound(
+            "is",
+            vec![
+                Term::var(0),
+                Term::compound("+", vec![Term::int(1), Term::int(2)]),
+            ],
+        );
         assert_eq!(t.to_string(), "(_0 is (1+2))");
     }
 
@@ -187,7 +197,10 @@ mod tests {
     fn conjunction_renders() {
         let t = Term::compound(
             ",",
-            vec![Term::atom("a"), Term::compound(",", vec![Term::atom("b"), Term::atom("c")])],
+            vec![
+                Term::atom("a"),
+                Term::compound(",", vec![Term::atom("b"), Term::atom("c")]),
+            ],
         );
         assert_eq!(t.to_string(), "(a,(b,c))");
     }

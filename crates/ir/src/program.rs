@@ -16,7 +16,9 @@ use std::fmt;
 /// let p = PredId::new(Symbol::intern("append"), 3);
 /// assert_eq!(p.to_string(), "append/3");
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct PredId {
     /// Predicate (functor) name.
     pub name: Symbol,
@@ -124,7 +126,10 @@ impl Program {
         self.clauses.push(clause);
         self.predicates
             .entry(pred)
-            .or_insert_with(|| Predicate { id: pred, clause_ids: Vec::new() })
+            .or_insert_with(|| Predicate {
+                id: pred,
+                clause_ids: Vec::new(),
+            })
             .clause_ids
             .push(id);
         id
@@ -135,7 +140,8 @@ impl Program {
     pub fn add_directive(&mut self, directive: Directive) {
         match &directive {
             Directive::Mode(pred, modes) => {
-                self.modes.insert(*pred, ModeDecl::new(*pred, modes.clone()));
+                self.modes
+                    .insert(*pred, ModeDecl::new(*pred, modes.clone()));
             }
             Directive::Measure(pred, ms) => {
                 self.measures.insert(*pred, ms.clone());
@@ -281,10 +287,7 @@ mod tests {
 
     #[test]
     fn predicates_are_grouped() {
-        let p = parse_program(
-            "p(1). p(2). q(X) :- p(X). p(3).",
-        )
-        .unwrap();
+        let p = parse_program("p(1). p(2). q(X) :- p(X). p(3).").unwrap();
         let pid = PredId::parse("p", 1);
         let qid = PredId::parse("q", 1);
         assert_eq!(p.clauses_of(pid).len(), 3);
@@ -298,7 +301,11 @@ mod tests {
     fn clause_order_is_preserved() {
         let p = parse_program("p(1). p(2). p(3).").unwrap();
         let pid = PredId::parse("p", 1);
-        let heads: Vec<String> = p.clauses_of(pid).iter().map(|c| c.head.to_string()).collect();
+        let heads: Vec<String> = p
+            .clauses_of(pid)
+            .iter()
+            .map(|c| c.head.to_string())
+            .collect();
         assert_eq!(heads, vec!["p(1)", "p(2)", "p(3)"]);
     }
 

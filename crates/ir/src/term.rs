@@ -277,9 +277,7 @@ impl Term {
         match self {
             Term::Var(v) => f(*v),
             Term::Atom(_) | Term::Int(_) | Term::Float(_) => self.clone(),
-            Term::Struct(s, args) => {
-                Term::Struct(*s, args.iter().map(|a| a.map_vars(f)).collect())
-            }
+            Term::Struct(s, args) => Term::Struct(*s, args.iter().map(|a| a.map_vars(f)).collect()),
         }
     }
 
@@ -430,7 +428,10 @@ mod tests {
     fn offset_vars_shifts_all() {
         let t = Term::compound("f", vec![Term::var(0), Term::var(2)]);
         let shifted = t.offset_vars(10);
-        assert_eq!(shifted.variables().into_iter().collect::<Vec<_>>(), vec![10, 12]);
+        assert_eq!(
+            shifted.variables().into_iter().collect::<Vec<_>>(),
+            vec![10, 12]
+        );
     }
 
     #[test]

@@ -174,8 +174,14 @@ mod tests {
 
     #[test]
     fn unify_structures() {
-        let t1 = Term::compound("f", vec![Term::var(0), Term::compound("g", vec![Term::var(1)])]);
-        let t2 = Term::compound("f", vec![Term::atom("a"), Term::compound("g", vec![Term::int(2)])]);
+        let t1 = Term::compound(
+            "f",
+            vec![Term::var(0), Term::compound("g", vec![Term::var(1)])],
+        );
+        let t2 = Term::compound(
+            "f",
+            vec![Term::atom("a"), Term::compound("g", vec![Term::int(2)])],
+        );
         let s = mgu(&t1, &t2).unwrap();
         assert_eq!(s.resolve(&t1), s.resolve(&t2));
         assert_eq!(s.resolve(&Term::var(1)), Term::int(2));
@@ -244,8 +250,7 @@ mod proptests {
             "[a-c]{1,3}".prop_map(|s| Term::atom(&s)),
         ];
         leaf.prop_recursive(3, 24, 3, |inner| {
-            prop::collection::vec(inner, 1..3)
-                .prop_map(|args| Term::compound("f", args))
+            prop::collection::vec(inner, 1..3).prop_map(|args| Term::compound("f", args))
         })
     }
 
@@ -256,8 +261,7 @@ mod proptests {
             "[a-c]{1,3}".prop_map(|s| Term::atom(&s)),
         ];
         leaf.prop_recursive(3, 24, 3, |inner| {
-            prop::collection::vec(inner, 1..3)
-                .prop_map(|args| Term::compound("f", args))
+            prop::collection::vec(inner, 1..3).prop_map(|args| Term::compound("f", args))
         })
     }
 

@@ -29,19 +29,34 @@ pub struct OverheadModel {
 impl OverheadModel {
     /// An idealised machine with free task management.
     pub fn zero() -> Self {
-        OverheadModel { spawn_parent: 0.0, task_startup: 0.0, join: 0.0, dispatch: 0.0 }
+        OverheadModel {
+            spawn_parent: 0.0,
+            task_startup: 0.0,
+            join: 0.0,
+            dispatch: 0.0,
+        }
     }
 
     /// A ROLOG-like profile: process-based task creation with relatively high
     /// creation and scheduling costs.
     pub fn rolog_like() -> Self {
-        OverheadModel { spawn_parent: 25.0, task_startup: 20.0, join: 7.0, dispatch: 8.0 }
+        OverheadModel {
+            spawn_parent: 25.0,
+            task_startup: 20.0,
+            join: 7.0,
+            dispatch: 8.0,
+        }
     }
 
     /// An &-Prolog-like profile: goal-stack based task creation with low
     /// overheads.
     pub fn and_prolog_like() -> Self {
-        OverheadModel { spawn_parent: 3.0, task_startup: 2.0, join: 1.0, dispatch: 1.0 }
+        OverheadModel {
+            spawn_parent: 3.0,
+            task_startup: 2.0,
+            join: 1.0,
+            dispatch: 1.0,
+        }
     }
 
     /// Total overhead attributable to one spawned task (used by the analysis
@@ -81,7 +96,10 @@ impl SimConfig {
     /// A machine with `processors` processors and the given overhead model.
     pub fn new(processors: usize, overhead: OverheadModel) -> Self {
         assert!(processors >= 1, "a machine needs at least one processor");
-        SimConfig { processors, overhead }
+        SimConfig {
+            processors,
+            overhead,
+        }
     }
 
     /// The 4-processor ROLOG-like configuration used for Table 1.
@@ -117,7 +135,10 @@ mod tests {
     fn scaling() {
         let m = OverheadModel::and_prolog_like().scaled(2.0);
         assert_eq!(m.spawn_parent, 6.0);
-        assert_eq!(m.per_task_overhead(), 2.0 * OverheadModel::and_prolog_like().per_task_overhead());
+        assert_eq!(
+            m.per_task_overhead(),
+            2.0 * OverheadModel::and_prolog_like().per_task_overhead()
+        );
     }
 
     #[test]

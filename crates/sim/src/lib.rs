@@ -70,7 +70,10 @@ mod tests {
         let tree = r.into_tree();
         let outs = compare(
             &tree,
-            &[SimConfig::new(1, OverheadModel::zero()), SimConfig::rolog4()],
+            &[
+                SimConfig::new(1, OverheadModel::zero()),
+                SimConfig::rolog4(),
+            ],
         );
         assert_eq!(outs.len(), 2);
         assert_eq!(outs[0].makespan, 100.0);

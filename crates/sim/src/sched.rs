@@ -101,7 +101,13 @@ pub fn simulate(tree: &TaskTree, config: &SimConfig) -> SimOutcome {
     let mut total_overhead = 0.0f64;
     let mut makespan = 0.0f64;
 
-    ready.push(Ready { time: 0.0, sequence: 0, task: tree.root(), segment: 0, resume: false });
+    ready.push(Ready {
+        time: 0.0,
+        sequence: 0,
+        task: tree.root(),
+        segment: 0,
+        resume: false,
+    });
 
     while let Some(activation) = ready.pop() {
         // Pick the processor that becomes free earliest.
@@ -199,7 +205,11 @@ pub fn simulate(tree: &TaskTree, config: &SimConfig) -> SimOutcome {
         total_overhead,
         processor_busy: proc_busy,
         spawned_tasks: tree.spawned_tasks(),
-        speedup_vs_sequential: if makespan > 0.0 { total_work / makespan } else { 1.0 },
+        speedup_vs_sequential: if makespan > 0.0 {
+            total_work / makespan
+        } else {
+            1.0
+        },
         utilisation,
     }
 }
@@ -312,7 +322,11 @@ mod tests {
         let tree = r.into_tree();
         let out = simulate(&tree, &SimConfig::rolog4());
         let sequential = tree.total_work();
-        assert!(out.makespan < sequential / 2.5, "expected near-4x speedup, got {}", sequential / out.makespan);
+        assert!(
+            out.makespan < sequential / 2.5,
+            "expected near-4x speedup, got {}",
+            sequential / out.makespan
+        );
     }
 
     #[test]

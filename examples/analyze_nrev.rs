@@ -35,7 +35,12 @@ fn main() {
     let scc: BTreeSet<PredId> = [nrev].into_iter().collect();
     let clause = &program.clauses_of(nrev)[1];
     let ddg = Ddg::build(clause, &modes[&nrev]);
-    let ctx = SizeContext { modes: &modes, measures: &measures, size_db: &size_db, scc: &scc };
+    let ctx = SizeContext {
+        modes: &modes,
+        measures: &measures,
+        size_db: &size_db,
+        scc: &scc,
+    };
     let sizes = analyze_clause(&ddg, &ctx);
     for relation in &sizes.relations {
         println!("  {} = {}", relation.lhs_text, relation.rhs);
@@ -48,9 +53,18 @@ fn main() {
         "  psi_append(n1, n2) = {}",
         analysis.output_size_of(append, 2).expect("solved")
     );
-    println!("  psi_nrev(n)        = {}", analysis.output_size_of(nrev, 1).expect("solved"));
-    println!("  Cost_append(n1)    = {}", analysis.cost_of(append).expect("solved"));
-    println!("  Cost_nrev(n)       = {}", analysis.cost_of(nrev).expect("solved"));
+    println!(
+        "  psi_nrev(n)        = {}",
+        analysis.output_size_of(nrev, 1).expect("solved")
+    );
+    println!(
+        "  Cost_append(n1)    = {}",
+        analysis.cost_of(append).expect("solved")
+    );
+    println!(
+        "  Cost_nrev(n)       = {}",
+        analysis.cost_of(nrev).expect("solved")
+    );
 
     // --- Thresholds ----------------------------------------------------------
     println!("\n== Thresholds (Section 5) ==");

@@ -6,8 +6,8 @@
 //! cargo run --release -p granlog-benchmarks --example custom_overhead_model
 //! ```
 
-use granlog_benchmarks::harness::{run_benchmark, ControlMode};
 use granlog_benchmarks::benchmark;
+use granlog_benchmarks::harness::{run_benchmark, ControlMode};
 use granlog_sim::{speedup_percent, OverheadModel, SimConfig};
 
 fn main() {

@@ -6,8 +6,8 @@
 //! cargo run --release -p granlog-benchmarks --example parallel_quicksort
 //! ```
 
-use granlog_benchmarks::harness::{run_benchmark, ControlMode};
 use granlog_benchmarks::benchmark;
+use granlog_benchmarks::harness::{run_benchmark, ControlMode};
 use granlog_sim::{speedup_percent, SimConfig};
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
         ("ROLOG-like (high overhead)", SimConfig::rolog4()),
         ("&-Prolog-like (low overhead)", SimConfig::and_prolog4()),
     ] {
-        println!("== {label}: quick_sort({size}) on {} processors ==", config.processors);
+        println!(
+            "== {label}: quick_sort({size}) on {} processors ==",
+            config.processors
+        );
         let seq = run_benchmark(&bench, size, &config, ControlMode::Sequential);
         let without = run_benchmark(&bench, size, &config, ControlMode::NoControl);
         let with = run_benchmark(&bench, size, &config, ControlMode::WithControl);

@@ -18,7 +18,8 @@ fn main() {
     for bench in all_benchmarks() {
         let program = bench.program().expect("benchmark parses");
         let analysis = analyze_program(&program, &AnalysisOptions::default());
-        let annotated = apply_granularity_control(&program, &analysis, &AnnotateOptions { overhead });
+        let annotated =
+            apply_granularity_control(&program, &analysis, &AnnotateOptions { overhead });
 
         println!("=== {} ===", bench.label());
         for decision in &annotated.decisions {
@@ -27,10 +28,19 @@ fn main() {
                 Some(false) => "sequentialised unconditionally",
                 None => "left unconditionally parallel",
             };
-            println!("  clause {} of {}: {verdict}", decision.clause_index + 1, decision.clause_pred);
+            println!(
+                "  clause {} of {}: {verdict}",
+                decision.clause_index + 1,
+                decision.clause_pred
+            );
             for (i, arm) in decision.arms.iter().enumerate() {
                 match arm {
-                    ArmDecision::Test { pred, arg_pos, measure, k } => println!(
+                    ArmDecision::Test {
+                        pred,
+                        arg_pos,
+                        measure,
+                        k,
+                    } => println!(
                         "    arm {}: test {}(arg {}) under '{measure}' against threshold {k}",
                         i + 1,
                         pred,

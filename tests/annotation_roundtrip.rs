@@ -6,9 +6,9 @@
 //! answers are identical, and that only the task structure (and the small
 //! grain-test overhead) differs.
 
+use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
 use granlog_benchmarks::harness::{execute, prepare_program, ControlMode};
 use granlog_benchmarks::{benchmark, nrev_benchmark, Benchmark};
-use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
 use granlog_ir::Term;
 use granlog_sim::OverheadModel;
 
@@ -75,7 +75,10 @@ fn quick_sort_actually_sorts() {
         })
         .collect();
     assert_eq!(items.len(), 30);
-    assert!(items.windows(2).all(|w| w[0] <= w[1]), "not sorted: {items:?}");
+    assert!(
+        items.windows(2).all(|w| w[0] <= w[1]),
+        "not sorted: {items:?}"
+    );
 }
 
 #[test]
@@ -117,10 +120,7 @@ fn matrix_mult_is_correct_on_a_small_instance() {
     let program = bench.program().expect("parses");
     // [[1,2],[3,4]] × [[5,6],[7,8]] with the second matrix transposed:
     // columns of B are [5,7] and [6,8].
-    let outcome = execute(
-        program,
-        "mmult([[1,2],[3,4]], [[5,7],[6,8]], C)".to_owned(),
-    );
+    let outcome = execute(program, "mmult([[1,2],[3,4]], [[5,7],[6,8]], C)".to_owned());
     assert!(outcome.succeeded);
     assert_eq!(
         outcome.binding("C").unwrap().to_string(),
@@ -173,7 +173,10 @@ fn fft_reproduces_a_known_small_transform() {
     assert!((re0 - 4.0).abs() < 1e-9 && im0.abs() < 1e-9);
     for t in &spectrum[1..] {
         let (re, im) = component(t);
-        assert!(re.abs() < 1e-9 && im.abs() < 1e-9, "nonzero bin: {re} + {im}i");
+        assert!(
+            re.abs() < 1e-9 && im.abs() < 1e-9,
+            "nonzero bin: {re} + {im}i"
+        );
     }
 }
 
@@ -189,7 +192,13 @@ fn nrev_answers_are_mode_independent() {
 
 #[test]
 fn with_control_never_spawns_more_tasks_than_no_control() {
-    for name in ["fib", "quick_sort", "merge_sort", "consistency", "double_sum"] {
+    for name in [
+        "fib",
+        "quick_sort",
+        "merge_sort",
+        "consistency",
+        "double_sum",
+    ] {
         let bench = benchmark(name).unwrap();
         let program = bench.program().expect("parses");
         let analysis = analyze_program(&program, &AnalysisOptions::default());

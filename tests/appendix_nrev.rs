@@ -34,7 +34,10 @@ fn appendix_closed_forms_are_reproduced() {
 
     // Argument size functions.
     assert_eq!(
-        analysis.output_size_of(append_pid(), 2).unwrap().to_string(),
+        analysis
+            .output_size_of(append_pid(), 2)
+            .unwrap()
+            .to_string(),
         "n1 + n2",
         "Ψ_append(x, y) = x + y"
     );
@@ -100,7 +103,10 @@ fn figure1_ddg_structure() {
 
     // Node labels use the paper's notation.
     assert_eq!(g2.node_label(NodeId::Start), "{head_1}");
-    assert_eq!(g2.node_label(NodeId::Body(1)), "{body2_1, body2_2, body2_3}");
+    assert_eq!(
+        g2.node_label(NodeId::Body(1)),
+        "{body2_1, body2_2, body2_3}"
+    );
 }
 
 #[test]
@@ -130,7 +136,10 @@ fn section2_threshold_example() {
     // overhead 48 the threshold is 9.
     let program = nrev_benchmark().program().expect("nrev parses");
     let analysis = analyze_program(&program, &AnalysisOptions::default());
-    assert_eq!(analysis.threshold_for(nrev_pid(), 48.0), Threshold::SizeAtLeast(9));
+    assert_eq!(
+        analysis.threshold_for(nrev_pid(), 48.0),
+        Threshold::SizeAtLeast(9)
+    );
     // The threshold grows monotonically with the overhead.
     let mut last = 0;
     for w in [1.0, 10.0, 100.0, 1000.0] {
@@ -139,5 +148,8 @@ fn section2_threshold_example() {
         last = t;
     }
     // append/3, being linear, has threshold ≈ W.
-    assert_eq!(analysis.threshold_for(append_pid(), 10.0), Threshold::SizeAtLeast(10));
+    assert_eq!(
+        analysis.threshold_for(append_pid(), 10.0),
+        Threshold::SizeAtLeast(10)
+    );
 }

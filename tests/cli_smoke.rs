@@ -1,0 +1,117 @@
+//! End-to-end smoke test for the `granlog` command-line tool.
+//!
+//! Drives the *actual binary* (not just the library entry point) on the
+//! paper's Appendix-A `nrev` example and checks the full pipeline: analysis
+//! prints the closed-form cost, annotation emits the `'$grain_ge'` threshold
+//! test, and `run` executes an annotated query on the simulated machine.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The Appendix-A program: naive reverse with its append helper.
+const NREV: &str = r#"
+    :- mode nrev(+, -).
+    :- mode append(+, +, -).
+    nrev([], []).
+    nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+    append([], L, L).
+    append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+"#;
+
+/// A parallel quicksort, whose `&` conjunction is what annotation guards.
+const QSORT: &str = r#"
+    :- mode qsort(+, -).
+    :- mode partition(+, +, -, -).
+    :- mode app(+, +, -).
+    qsort([], []).
+    qsort([P|Xs], S) :- partition(Xs, P, Sm, Bg), qsort(Sm, S1) & qsort(Bg, S2), app(S1, [P|S2], S).
+    partition([], _, [], []).
+    partition([X|Xs], P, [X|S], B) :- X =< P, partition(Xs, P, S, B).
+    partition([X|Xs], P, S, [X|B]) :- X > P, partition(Xs, P, S, B).
+    app([], L, L).
+    app([H|T], L, [H|R]) :- app(T, L, R).
+"#;
+
+fn write_temp(name: &str, contents: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("granlog-cli-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+fn granlog(args: &[&str]) -> (String, String, bool) {
+    let output = Command::new(env!("CARGO_BIN_EXE_granlog"))
+        .args(args)
+        .output()
+        .expect("granlog binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn analyze_reports_appendix_closed_form() {
+    let path = write_temp("nrev.pl", NREV);
+    let (stdout, stderr, ok) = granlog(&["analyze", path.to_str().unwrap(), "--overhead", "48"]);
+    assert!(ok, "analyze failed: {stderr}");
+    // Appendix A: Cost_nrev(n) = 0.5 n^2 + 1.5 n + 1.
+    assert!(
+        stdout.contains("0.5*n^2 + 1.5*n + 1"),
+        "missing nrev closed form:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("nrev/2"),
+        "missing predicate entry:\n{stdout}"
+    );
+}
+
+#[test]
+fn annotate_emits_grain_size_threshold_test() {
+    let path = write_temp("qsort.pl", QSORT);
+    let (stdout, stderr, ok) = granlog(&["annotate", path.to_str().unwrap(), "--overhead", "40"]);
+    assert!(ok, "annotate failed: {stderr}");
+    assert!(
+        stdout.contains("$grain_ge"),
+        "annotation did not emit a grain-size threshold test:\n{stdout}"
+    );
+    assert!(
+        stdout.contains('&'),
+        "annotated program lost its parallel conjunction:\n{stdout}"
+    );
+}
+
+#[test]
+fn run_executes_annotated_program_on_simulated_machine() {
+    let path = write_temp("qsort_run.pl", QSORT);
+    let (stdout, stderr, ok) = granlog(&[
+        "run",
+        path.to_str().unwrap(),
+        "qsort([3,1,4,1,5,9,2,6], S)",
+        "--control",
+        "--processors",
+        "4",
+    ]);
+    assert!(ok, "run failed: {stderr}");
+    assert!(stdout.contains("yes"), "query did not succeed:\n{stdout}");
+    assert!(
+        stdout.contains("S = [1,1,2,3,4,5,6,9]"),
+        "wrong answer:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("simulated time"),
+        "missing simulator summary:\n{stdout}"
+    );
+}
+
+#[test]
+fn usage_errors_exit_nonzero() {
+    let (_, stderr, ok) = granlog(&["frobnicate"]);
+    assert!(!ok, "unknown subcommand should fail");
+    assert!(
+        !stderr.is_empty(),
+        "error output should explain the failure"
+    );
+}

@@ -79,7 +79,12 @@ fn low_overhead_machine_behaves_like_table2() {
 fn controlled_run_is_never_dramatically_worse() {
     // The runtime overhead of the grain tests is bounded; even when control
     // does not help, it must not blow the execution time up.
-    for (name, size) in [("quick_sort", 25), ("merge_sort", 24), ("double_sum", 96), ("flatten", 40)] {
+    for (name, size) in [
+        ("quick_sort", 25),
+        ("merge_sort", 24),
+        ("double_sum", 96),
+        ("flatten", 40),
+    ] {
         let bench = benchmark(name).unwrap();
         let without = run_benchmark(&bench, size, &rolog(), ControlMode::NoControl);
         let with = run_benchmark(&bench, size, &rolog(), ControlMode::WithControl);
@@ -123,7 +128,10 @@ fn figure2_curve_has_the_documented_shape() {
         .filter(|p| p.grain_size > 0 && p.grain_size < 1_000_000)
         .filter(|p| p.time <= worst_extreme * 0.9)
         .count();
-    assert!(in_trough >= 2, "only {in_trough} thresholds clearly beat the extremes");
+    assert!(
+        in_trough >= 2,
+        "only {in_trough} thresholds clearly beat the extremes"
+    );
 }
 
 #[test]
@@ -156,8 +164,18 @@ fn overhead_free_machines_make_control_pointless() {
 #[test]
 fn more_processors_help_the_uncontrolled_coarse_benchmarks() {
     let mm = benchmark("matrix_mult").unwrap();
-    let p1 = run_benchmark(&mm, 6, &SimConfig::new(1, OverheadModel::and_prolog_like()), ControlMode::NoControl);
-    let p4 = run_benchmark(&mm, 6, &SimConfig::new(4, OverheadModel::and_prolog_like()), ControlMode::NoControl);
+    let p1 = run_benchmark(
+        &mm,
+        6,
+        &SimConfig::new(1, OverheadModel::and_prolog_like()),
+        ControlMode::NoControl,
+    );
+    let p4 = run_benchmark(
+        &mm,
+        6,
+        &SimConfig::new(4, OverheadModel::and_prolog_like()),
+        ControlMode::NoControl,
+    );
     assert!(
         p4.time() < p1.time() * 0.6,
         "matrix multiplication should scale: P1 = {:.0}, P4 = {:.0}",

@@ -59,7 +59,10 @@ fn quick_sort_partition_results() {
     let cost = analysis.pred(partition).unwrap();
     let c10 = cost.cost_at(&[10.0, 0.0]).unwrap();
     let c20 = cost.cost_at(&[20.0, 0.0]).unwrap();
-    assert!((c20 - 2.0 * c10).abs() <= 2.0, "partition cost not linear: {c10} vs {c20}");
+    assert!(
+        (c20 - 2.0 * c10).abs() <= 2.0,
+        "partition cost not linear: {c10} vs {c20}"
+    );
     // Its output lists are no longer than the input list (plus a constant).
     let psi = analysis.output_size_of(partition, 2).unwrap();
     let bound = psi.eval_with(&[("n1", 30.0), ("n2", 5.0)]).unwrap();
@@ -88,13 +91,23 @@ fn double_sum_inner_sum_is_linear() {
 fn consistency_check_has_constant_cost() {
     let (_, analysis) = analyze("consistency");
     let check = PredId::parse("check", 1);
-    let cost = analysis.cost_of(check).unwrap().as_const().expect("constant cost");
+    let cost = analysis
+        .cost_of(check)
+        .unwrap()
+        .as_const()
+        .expect("constant cost");
     // W is X mod 16 + 10 spins at most 25 times, plus the two clause entries.
     assert!((20.0..=40.0).contains(&cost), "check cost {cost}");
     // Below the ROLOG-like overhead (sequentialise), above the &-Prolog-like
     // one (keep parallel): the crux of the consistency benchmark.
-    assert_eq!(analysis.threshold_for(check, 60.0), Threshold::NeverParallel);
-    assert_eq!(analysis.threshold_for(check, 7.0), Threshold::AlwaysParallel);
+    assert_eq!(
+        analysis.threshold_for(check, 60.0),
+        Threshold::NeverParallel
+    );
+    assert_eq!(
+        analysis.threshold_for(check, 7.0),
+        Threshold::AlwaysParallel
+    );
 }
 
 #[test]
@@ -104,7 +117,10 @@ fn matrix_mult_row_cost_grows_with_both_dimensions() {
     let info = analysis.pred(mrow).unwrap();
     let small = info.cost_at(&[4.0, 4.0]).unwrap();
     let big = info.cost_at(&[8.0, 8.0]).unwrap();
-    assert!(big > 2.0 * small, "mrow cost should grow superlinearly in (rows, cols)");
+    assert!(
+        big > 2.0 * small,
+        "mrow cost should grow superlinearly in (rows, cols)"
+    );
     assert!(big.is_finite());
 }
 
@@ -114,7 +130,10 @@ fn fft_split_halves_the_input() {
     let fsplit = PredId::parse("fsplit", 3);
     let psi = analysis.output_size_of(fsplit, 1).unwrap();
     let half = psi.eval_with(&[("n", 16.0)]).unwrap();
-    assert!((8.0..=9.0).contains(&half), "|evens| of 16 points bounded by {half}");
+    assert!(
+        (8.0..=9.0).contains(&half),
+        "|evens| of 16 points bounded by {half}"
+    );
     // The fft itself gets a finite divide-and-conquer-style bound or, at
     // worst, ∞ (always parallel) — never ⊥.
     let fft = PredId::parse("fft", 2);
@@ -135,7 +154,13 @@ fn unbounded_predicates_default_to_always_parallel() {
 
 #[test]
 fn annotation_produces_guards_under_high_overhead() {
-    for name in ["fib", "quick_sort", "merge_sort", "double_sum", "consistency"] {
+    for name in [
+        "fib",
+        "quick_sort",
+        "merge_sort",
+        "double_sum",
+        "consistency",
+    ] {
         let (program, analysis) = analyze(name);
         let annotated =
             apply_granularity_control(&program, &analysis, &AnnotateOptions { overhead: 60.0 });
@@ -161,7 +186,11 @@ fn annotation_is_a_noop_under_negligible_overhead() {
             apply_granularity_control(&program, &analysis, &AnnotateOptions { overhead: 0.25 });
         // With (almost) free task creation, everything stays parallel.
         for d in &annotated.decisions {
-            assert_ne!(d.guarded, Some(false), "{name}: sequentialised despite cheap tasks");
+            assert_ne!(
+                d.guarded,
+                Some(false),
+                "{name}: sequentialised despite cheap tasks"
+            );
         }
         assert!(!annotated.program.to_string().contains("$grain_ge") || name == "quick_sort");
     }

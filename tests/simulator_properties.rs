@@ -2,9 +2,9 @@
 //! ones recorded while executing the benchmark programs), as opposed to the
 //! synthetic trees used in the simulator's unit tests.
 
-use granlog_benchmarks::harness::{execute, prepare_program, ControlMode};
-use granlog_benchmarks::benchmark;
 use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
+use granlog_benchmarks::benchmark;
+use granlog_benchmarks::harness::{execute, prepare_program, ControlMode};
 use granlog_engine::TaskTree;
 use granlog_sim::{simulate, OverheadModel, SimConfig};
 
@@ -50,7 +50,10 @@ fn processor_scaling_is_monotone_for_recorded_trees() {
     let mut last = f64::INFINITY;
     for p in [1usize, 2, 4, 8, 16] {
         let out = simulate(&tree, &SimConfig::new(p, OverheadModel::zero()));
-        assert!(out.makespan <= last + 1e-6, "more processors made things slower at P={p}");
+        assert!(
+            out.makespan <= last + 1e-6,
+            "more processors made things slower at P={p}"
+        );
         last = out.makespan;
     }
 }
@@ -64,7 +67,10 @@ fn overhead_scaling_is_monotone_for_recorded_trees() {
             &tree,
             &SimConfig::new(4, OverheadModel::rolog_like().scaled(scale)),
         );
-        assert!(out.makespan + 1e-6 >= last, "higher overhead made things faster at x{scale}");
+        assert!(
+            out.makespan + 1e-6 >= last,
+            "higher overhead made things faster at x{scale}"
+        );
         last = out.makespan;
     }
 }
@@ -77,7 +83,10 @@ fn controlled_trees_have_fewer_forks_and_less_overhead() {
     let config = SimConfig::rolog4();
     let o_without = simulate(&without, &config).total_overhead;
     let o_with = simulate(&with, &config).total_overhead;
-    assert!(o_with < o_without, "control should reduce total task-management overhead");
+    assert!(
+        o_with < o_without,
+        "control should reduce total task-management overhead"
+    );
 }
 
 #[test]
@@ -101,4 +110,40 @@ fn sequential_trees_have_no_forks() {
     let out = simulate(&tree, &SimConfig::rolog4());
     // Only the initial dispatch overhead applies.
     assert!(out.total_overhead <= OverheadModel::rolog_like().dispatch + 1e-9);
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        // Recording a task tree runs the whole analysis + engine pipeline, so
+        // each case is expensive: the checked-in config bounds the suite at 8
+        // cases per property (no shrinking) to keep it well under a minute in
+        // CI. Raise PROPTEST_CASES locally for a more thorough run.
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// For any benchmark size and processor count, the makespan of a real
+        /// recorded tree stays between the critical path and the total work.
+        #[test]
+        fn makespan_bracketed_for_random_sizes(size in 5usize..25, procs in 1usize..9) {
+            let tree = record_tree("quick_sort", size, ControlMode::NoControl);
+            let out = simulate(&tree, &SimConfig::new(procs, OverheadModel::zero()));
+            prop_assert!(out.makespan + 1e-6 >= tree.critical_path());
+            prop_assert!(out.makespan <= tree.total_work() + 1e-6);
+        }
+
+        /// Scaling the overhead model up never makes a recorded tree finish
+        /// earlier, whatever the benchmark size.
+        #[test]
+        fn overhead_monotone_for_random_sizes(size in 6usize..13, scale in 0.0f64..4.0) {
+            let tree = record_tree("fib", size, ControlMode::NoControl);
+            let base = simulate(&tree, &SimConfig::new(4, OverheadModel::zero()));
+            let scaled = simulate(
+                &tree,
+                &SimConfig::new(4, OverheadModel::rolog_like().scaled(scale)),
+            );
+            prop_assert!(scaled.makespan + 1e-9 >= base.makespan);
+        }
+    }
 }

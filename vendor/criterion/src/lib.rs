@@ -1,0 +1,214 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the API surface the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery.
+//!
+//! Each benchmark is warmed up once, then run for a fixed measurement window
+//! (or exactly one iteration under `--test`, which is what `cargo test`
+//! passes to `harness = false` targets). The mean time per iteration is
+//! printed in criterion's familiar `name ... time: [...]` shape. Swapping
+//! this crate for the real `criterion = "0.5"` is a one-line change in the
+//! workspace manifest and requires no source edits.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How long each benchmark runs in measurement mode.
+const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Test mode (a single iteration per benchmark) is selected by a `--test`
+    /// argument, matching what cargo passes to `harness = false` bench
+    /// targets during `cargo test`.
+    fn default() -> Self {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.test_mode, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named group of benchmarks, as `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.test_mode, &mut |b: &mut Bencher| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group. Retained for API compatibility; the stub reports each
+    /// benchmark as it finishes, so there is nothing left to flush.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, as `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name plus a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    test_mode: bool,
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // One warmup call, also used to size the measurement loop.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_batch = (MEASUREMENT_WINDOW.as_nanos() / 10 / warmup.as_nanos()).clamp(1, 10_000);
+
+        let mut iterations = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASUREMENT_WINDOW {
+            for _ in 0..per_batch {
+                black_box(routine());
+            }
+            iterations += per_batch as u64;
+        }
+        self.iterations = iterations;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, f: &mut F) {
+    let mut bencher = Bencher {
+        test_mode,
+        iterations: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{label}: test passed (1 iteration)");
+    } else if bencher.iterations > 0 {
+        let mean = bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64;
+        println!(
+            "{label:<50} time: [{}]  ({} iterations)",
+            format_ns(mean),
+            bencher.iterations
+        );
+    } else {
+        println!("{label}: no measurement taken (Bencher::iter never called)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, as
+/// `criterion::criterion_group!`. Only the simple positional form is
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits a `main` that runs the given groups, as `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,128 @@
+//! Vendored minimal stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the subset of proptest's API that the granlog workspace uses: the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` / `prop_recursive`,
+//! range / tuple / string-pattern / `Just` / union strategies,
+//! `prop::collection::vec`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_oneof!` macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * generation is driven by a deterministic splitmix64 RNG seeded from the
+//!   test's module path, so failures are reproducible without a persistence
+//!   file;
+//! * there is no shrinking — a failing case reports the exact inputs that
+//!   failed instead of a minimised counterexample;
+//! * the default number of cases is 64 (override with the `PROPTEST_CASES`
+//!   environment variable or `#![proptest_config(...)]`), keeping the suites
+//!   CI-friendly.
+//!
+//! Swapping this crate for the real `proptest = "1"` is a one-line change in
+//! the workspace manifest and requires no source edits.
+
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property-test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+///
+/// Unlike the real crate (which threads a `Result` back to the runner), this
+/// stub panics; the `proptest!` harness catches the panic and reports the
+/// generated inputs before propagating it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Asserts inequality inside a `proptest!` body. See [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => { assert_ne!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_ne!($left, $right, $($fmt)+) };
+}
+
+/// Chooses uniformly between several strategies producing the same value
+/// type, mirroring `proptest::prop_oneof!`. Weighted arms are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Declares property tests, mirroring `proptest::proptest!`.
+///
+/// Each `fn name(arg in strategy, ...) { body }` becomes a `#[test]` that
+/// evaluates its strategies once, then generates and checks
+/// [`ProptestConfig::cases`](test_runner::ProptestConfig) random cases. On
+/// failure the generated inputs are printed (there is no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($config; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                $(let $arg = $strat;)+
+                for __case in 0..__config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::new_value(&$arg, &mut __rng);)+
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let ::std::result::Result::Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest: {} failed at case {}/{} with inputs:",
+                            stringify!($name),
+                            __case + 1,
+                            __config.cases,
+                        );
+                        $(eprintln!(
+                            "  {} = {:?}",
+                            stringify!($arg),
+                            &$arg,
+                        );)+
+                        ::std::panic::resume_unwind(__panic);
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,111 @@
+//! String-pattern strategies: `&str` as a strategy over a small regex subset.
+//!
+//! The real proptest interprets any `&str` as a full regex. This stub
+//! supports the subset the workspace uses: literal characters, character
+//! classes `[a-z]` (ranges and single characters), and the repetition
+//! suffixes `{m}`, `{m,n}`, `?`, `*` and `+` (the unbounded forms are capped
+//! at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// One pattern atom: a set of candidate characters plus a repetition range.
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut class = Vec::new();
+                for d in chars.by_ref() {
+                    if d == ']' {
+                        break;
+                    }
+                    class.push(d);
+                }
+                let mut i = 0;
+                while i < class.len() {
+                    if i + 2 < class.len() && class[i + 1] == '-' {
+                        let (lo, hi) = (class[i], class[i + 2]);
+                        set.extend((lo..=hi).filter(|ch| ch.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(class[i]);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                set
+            }
+            '\\' => vec![chars.next().expect("dangling escape in pattern")],
+            other => vec![other],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = if atom.min >= atom.max {
+                atom.min
+            } else {
+                rng.usize_in(atom.min, atom.max + 1)
+            };
+            for _ in 0..count {
+                out.push(atom.choices[rng.usize_in(0, atom.choices.len())]);
+            }
+        }
+        out
+    }
+}

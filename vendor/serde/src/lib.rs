@@ -1,0 +1,77 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the *trait surface* the granlog crates actually use:
+//! the `Serialize`/`Deserialize` traits, the `Serializer`/`Deserializer`
+//! abstractions they are written against, and derive macros re-exported from
+//! [`serde_derive`]. No data format ships with the workspace, so the derives
+//! only need to produce well-typed impls; swapping this crate for the real
+//! `serde = { version = "1", features = ["derive"] }` is a one-line change in
+//! the workspace manifest and requires no source edits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A value that can be serialized into any [`Serializer`].
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A value that can be deserialized from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value of this type from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The subset of serde's serializer abstraction exercised by this workspace.
+pub trait Serializer: Sized {
+    /// The output type produced on success.
+    type Ok;
+    /// The error type produced on failure.
+    type Error;
+
+    /// Serializes a string slice.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serializes a unit value. Derived impls in this vendored facade lower
+    /// every aggregate to a unit marker, which is sufficient because no data
+    /// format is instantiated inside the workspace.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The subset of serde's deserializer abstraction exercised by this workspace.
+pub trait Deserializer<'de>: Sized {
+    /// The error type produced on failure.
+    type Error;
+
+    /// Deserializes an owned string.
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+
+    /// Produces the error a derived (stub) impl reports when asked to
+    /// reconstruct an aggregate value.
+    fn unsupported(self, type_name: &'static str) -> Self::Error;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}

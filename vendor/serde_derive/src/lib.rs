@@ -1,0 +1,57 @@
+//! Vendored minimal derive macros for the stub `serde` facade.
+//!
+//! The derives parse just enough of the item (its name) to emit well-typed
+//! `Serialize`/`Deserialize` impls against the vendored trait surface. The
+//! workspace never instantiates a data format, so the impl bodies lower every
+//! aggregate to a unit marker rather than walking fields. No `syn`/`quote`
+//! dependency: the item name is extracted by scanning the raw token stream.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier following the `struct`/`enum` keyword, skipping
+/// outer attributes and visibility qualifiers.
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+                panic!("serde_derive stub: expected an identifier after `{word}`");
+            }
+        }
+    }
+    panic!("serde_derive stub: input is not a struct, enum or union");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 serializer.serialize_unit()\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 ::core::result::Result::Err(deserializer.unsupported(\"{name}\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated impl must parse")
+}
