@@ -156,10 +156,11 @@ impl fmt::Display for Measure {
 /// are proper lists.
 fn diff_list_length(t1: &Term, t2: &Term) -> Option<i64> {
     fn spine(t: &Term) -> (i64, &Term) {
+        let cons = granlog_ir::symbol::well_known::cons();
         let mut count = 0;
         let mut cur = t;
         while let Term::Struct(s, args) = cur {
-            if s.as_str() == "." && args.len() == 2 {
+            if *s == cons && args.len() == 2 {
                 count += 1;
                 cur = &args[1];
             } else {

@@ -347,7 +347,9 @@ fn size_from_parts(
             loop {
                 match cur {
                     t if t.is_nil() => return Some(Expr::Num(count as f64)),
-                    Term::Struct(s, args) if s.as_str() == "." && args.len() == 2 => {
+                    Term::Struct(s, args)
+                        if *s == granlog_ir::symbol::well_known::cons() && args.len() == 2 =>
+                    {
                         count += 1;
                         cur = &args[1];
                     }

@@ -1,0 +1,52 @@
+//! Diagnostic: counts allocator traffic and per-resolution cost on the
+//! allocation-heavy benchmark programs, attributing engine hot-path time
+//! between allocator pressure and interpretive overhead.
+
+use granlog_benchmarks::benchmark;
+use granlog_engine::Machine;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static FREES: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        FREES.fetch_add(1, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn main() {
+    for name in ["nrev", "hanoi", "flatten", "quick_sort"] {
+        let bench = benchmark(name).expect("exists");
+        let program = bench.program().expect("parses");
+        let (goal, vars) =
+            granlog_ir::parser::parse_term(&bench.query(bench.default_size)).expect("parses");
+        let mut machine = Machine::new(&program);
+        // warm up
+        let out = machine.run_goal(&goal, &vars).expect("runs");
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let t0 = std::time::Instant::now();
+        let out2 = machine.run_goal(&goal, &vars).expect("runs");
+        let dt = t0.elapsed().as_secs_f64() * 1e9;
+        let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+        let res = out2.counters.resolutions;
+        println!(
+            "{name:12} resolutions {res:8} unif {:9} allocs {allocs:8} ({:.2}/res)  {:.0} ns/res  total {:.0} us",
+            out.counters.unifications,
+            allocs as f64 / res as f64,
+            dt / res as f64,
+            dt / 1e3,
+        );
+    }
+}

@@ -1,0 +1,230 @@
+//! Emits `BENCH_engine.json`: per-program wall time and operation counters for
+//! the 13 benchmark programs (the 12 Table-1 entries plus the Appendix's
+//! `nrev`), executed raw (as annotated, no granularity-control preparation) on
+//! the resolution engine.
+//!
+//! ```text
+//! cargo run --release -p granlog-bench --bin bench_snapshot -- \
+//!     [--small] [--runs N] [--output PATH] [--baseline PATH]
+//! ```
+//!
+//! With `--baseline PATH`, a previously emitted snapshot is read back; its
+//! wall times become the `baseline_wall_ms` of the new snapshot (with a
+//! derived `speedup` factor), and its operation counters are cross-checked —
+//! any divergence is reported loudly, because an engine optimisation must not
+//! change the operation semantics the experiments count.
+
+use granlog_benchmarks::{all_benchmarks, nrev_benchmark, Benchmark};
+use granlog_engine::{Counters, Machine};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    name: String,
+    label: String,
+    wall_ms: f64,
+    counters: Counters,
+    work: f64,
+}
+
+/// Each timed sample batches enough query repetitions to run at least this
+/// long, so sub-millisecond programs are not at the mercy of timer and
+/// scheduler jitter.
+const MIN_SAMPLE_MS: f64 = 2.0;
+
+fn measure(bench: &Benchmark, size: usize, runs: usize) -> Row {
+    let program = bench
+        .program()
+        .unwrap_or_else(|e| panic!("{} does not parse: {e}", bench.name));
+    // Parse the query once, outside the timed region: the snapshot measures
+    // engine execution, not query parsing.
+    let (goal, var_names) = granlog_ir::parser::parse_term(&bench.query(size))
+        .unwrap_or_else(|e| panic!("{} query does not parse: {e}", bench.name));
+    let mut machine = Machine::new(&program);
+    // Warmup run: checks the query succeeds, captures counters, and sizes the
+    // per-sample repetition count.
+    let warm_start = Instant::now();
+    let out = machine
+        .run_goal(&goal, &var_names)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name));
+    let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    assert!(out.succeeded, "{} query did not succeed", bench.name);
+    let reps = ((MIN_SAMPLE_MS / warm_ms.max(1e-6)).ceil() as usize).clamp(1, 10_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let out = machine
+                .run_goal(&goal, &var_names)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name));
+            std::hint::black_box(out.succeeded);
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    Row {
+        name: bench.name.to_owned(),
+        label: format!("{}({size})", bench.name),
+        wall_ms: best,
+        counters: out.counters,
+        work: out.work,
+    }
+}
+
+fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[(String, f64, Counters)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"granlog/bench-engine/v1\",");
+    let _ = writeln!(
+        out,
+        "  \"sizes\": \"{}\",",
+        if small { "small" } else { "default" }
+    );
+    let _ = writeln!(out, "  \"runs\": {runs},");
+    let _ = writeln!(out, "  \"programs\": [");
+    for (i, row) in rows.iter().enumerate() {
+        let c = &row.counters;
+        let mut line = format!(
+            "    {{\"name\": \"{}\", \"label\": \"{}\", \"wall_ms\": {:.3}, \
+             \"resolutions\": {}, \"head_attempts\": {}, \"unifications\": {}, \
+             \"builtins\": {}, \"grain_tests\": {}, \"grain_test_elements\": {}, \
+             \"work\": {:.1}",
+            row.name,
+            row.label,
+            row.wall_ms,
+            c.resolutions,
+            c.head_attempts,
+            c.unifications,
+            c.builtins,
+            c.grain_tests,
+            c.grain_test_elements,
+            row.work,
+        );
+        if let Some((_, base_ms, base_counters)) = baseline.iter().find(|(n, _, _)| *n == row.name)
+        {
+            let _ = write!(
+                line,
+                ", \"baseline_wall_ms\": {:.3}, \"speedup\": {:.2}, \"counters_match\": {}",
+                base_ms,
+                base_ms / row.wall_ms.max(1e-9),
+                base_counters == c
+            );
+        }
+        let _ = writeln!(out, "{line}}}{}", if i + 1 < rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Extracts `"key": <number>` from a snapshot line (the emitter writes one
+/// program object per line, so a full JSON parser is not needed).
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|ch: char| !(ch.is_ascii_digit() || ch == '.' || ch == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+fn read_baseline(path: &str) -> Vec<(String, f64, Counters)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        eprintln!("warning: baseline {path} not readable; emitting without baseline");
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let name = field_str(line, "name")?;
+            let wall = field_num(line, "wall_ms")?;
+            let counters = Counters {
+                resolutions: field_num(line, "resolutions")? as u64,
+                head_attempts: field_num(line, "head_attempts")? as u64,
+                unifications: field_num(line, "unifications")? as u64,
+                builtins: field_num(line, "builtins")? as u64,
+                grain_tests: field_num(line, "grain_tests")? as u64,
+                grain_test_elements: field_num(line, "grain_test_elements")? as u64,
+            };
+            Some((name, wall, counters))
+        })
+        .collect()
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let runs: usize = arg_value(&args, "--runs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let output = arg_value(&args, "--output").unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let baseline = arg_value(&args, "--baseline")
+        .map(|p| read_baseline(&p))
+        .unwrap_or_default();
+
+    let rows = granlog_engine::with_large_stack(move || {
+        let mut rows = Vec::new();
+        for bench in all_benchmarks()
+            .into_iter()
+            .chain(std::iter::once(nrev_benchmark()))
+        {
+            let size = if small {
+                bench.test_size
+            } else {
+                bench.default_size
+            };
+            eprintln!("[bench_snapshot] {}({size})", bench.name);
+            rows.push(measure(&bench, size, runs));
+        }
+        rows
+    });
+
+    let mut counters_diverged = false;
+    for row in &rows {
+        if let Some((_, base_ms, base_counters)) = baseline.iter().find(|(n, _, _)| *n == row.name)
+        {
+            if *base_counters != row.counters {
+                counters_diverged = true;
+                eprintln!(
+                    "WARNING: {}: operation counters diverge from baseline \
+                     (baseline resolutions {}, now {})",
+                    row.name, base_counters.resolutions, row.counters.resolutions
+                );
+            }
+            eprintln!(
+                "[bench_snapshot] {:<20} {:>9.3} ms (baseline {:>9.3} ms, {:.2}x)",
+                row.label,
+                row.wall_ms,
+                base_ms,
+                base_ms / row.wall_ms.max(1e-9)
+            );
+        } else {
+            eprintln!("[bench_snapshot] {:<20} {:>9.3} ms", row.label, row.wall_ms);
+        }
+    }
+
+    let json = to_json(&rows, runs, small, &baseline);
+    std::fs::write(&output, &json).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    eprintln!("[bench_snapshot] wrote {output}");
+    if counters_diverged {
+        // Timing may drift with the host; operation counts must not. A
+        // divergence means the engine's observable semantics changed.
+        eprintln!("[bench_snapshot] FAILING: operation counters diverged from the baseline");
+        std::process::exit(1);
+    }
+}

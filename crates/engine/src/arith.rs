@@ -3,7 +3,10 @@
 use crate::error::{EngineError, EngineResult};
 use crate::machine::Machine;
 use crate::rterm::RTerm;
+use crate::template::Cell;
+use granlog_ir::{FastMap, Symbol};
 use std::cmp::Ordering;
+use std::sync::OnceLock;
 
 /// A Prolog number: integer or float.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +62,104 @@ fn binary_int_or_float(
     }
 }
 
+/// An arithmetic function identified by one `(functor, arity)` entry of the
+/// dispatch table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IntDiv,
+    Mod,
+    Rem,
+    Neg,
+    Plus,
+    Abs,
+    Sign,
+    Min,
+    Max,
+    PowFloat,
+    PowInt,
+    Sqrt,
+    Sin,
+    Cos,
+    Atan,
+    Log,
+    Exp,
+    ToFloat,
+    Truncate,
+    Round,
+    Floor,
+    Ceiling,
+    Shr,
+    Shl,
+    BitAnd,
+    BitOr,
+}
+
+/// Arithmetic constants recognised in atom position.
+struct ArithConsts {
+    pi: Symbol,
+    e: Symbol,
+}
+
+fn consts() -> &'static ArithConsts {
+    static CONSTS: OnceLock<ArithConsts> = OnceLock::new();
+    CONSTS.get_or_init(|| ArithConsts {
+        pi: Symbol::intern("pi"),
+        e: Symbol::intern("e"),
+    })
+}
+
+/// The function dispatch table: interned `(functor, arity)` → operation,
+/// built once per process so evaluating an expression node costs one hash
+/// probe instead of a string match (and its interner lock).
+fn table() -> &'static FastMap<(Symbol, usize), ArithOp> {
+    static TABLE: OnceLock<FastMap<(Symbol, usize), ArithOp>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use ArithOp::*;
+        let entries: &[(&str, usize, ArithOp)] = &[
+            ("+", 2, Add),
+            ("-", 2, Sub),
+            ("*", 2, Mul),
+            ("/", 2, Div),
+            ("//", 2, IntDiv),
+            ("div", 2, IntDiv),
+            ("mod", 2, Mod),
+            ("rem", 2, Rem),
+            ("-", 1, Neg),
+            ("+", 1, Plus),
+            ("abs", 1, Abs),
+            ("sign", 1, Sign),
+            ("min", 2, Min),
+            ("max", 2, Max),
+            ("**", 2, PowFloat),
+            ("^", 2, PowInt),
+            ("sqrt", 1, Sqrt),
+            ("sin", 1, Sin),
+            ("cos", 1, Cos),
+            ("atan", 1, Atan),
+            ("log", 1, Log),
+            ("exp", 1, Exp),
+            ("float", 1, ToFloat),
+            ("integer", 1, Truncate),
+            ("truncate", 1, Truncate),
+            ("round", 1, Round),
+            ("floor", 1, Floor),
+            ("ceiling", 1, Ceiling),
+            (">>", 2, Shr),
+            ("<<", 2, Shl),
+            ("/\\", 2, BitAnd),
+            ("\\/", 2, BitOr),
+        ];
+        entries
+            .iter()
+            .map(|&(name, arity, op)| ((Symbol::intern(name), arity), op))
+            .collect()
+    })
+}
+
 /// Evaluates an arithmetic expression term.
 ///
 /// # Errors
@@ -66,148 +167,190 @@ fn binary_int_or_float(
 /// Returns [`EngineError::Arithmetic`] for unbound variables, non-numeric
 /// operands, unknown functions, or division by zero.
 pub fn eval(machine: &Machine<'_>, term: &RTerm) -> EngineResult<Num> {
-    let t = machine.deref(term);
-    match &t {
+    match machine.deref_ref(term) {
         RTerm::Int(i) => Ok(Num::Int(*i)),
         RTerm::Float(x) => Ok(Num::Float(*x)),
         RTerm::Var(_) => Err(err("unbound variable in arithmetic expression")),
-        RTerm::Atom(s) => match s.as_str() {
-            "pi" => Ok(Num::Float(std::f64::consts::PI)),
-            "e" => Ok(Num::Float(std::f64::consts::E)),
-            other => Err(err(format!("unknown arithmetic constant {other}"))),
-        },
-        RTerm::Struct(name, args) => {
-            let name = name.as_str();
-            match (name, args.len()) {
-                ("+", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    Ok(binary_int_or_float(a, b, i64::wrapping_add, |x, y| x + y))
-                }
-                ("-", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    Ok(binary_int_or_float(a, b, i64::wrapping_sub, |x, y| x - y))
-                }
-                ("*", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    Ok(binary_int_or_float(a, b, i64::wrapping_mul, |x, y| x * y))
-                }
-                ("/", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    if b.as_f64() == 0.0 {
-                        return Err(err("division by zero"));
-                    }
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) if x % y == 0 => Ok(Num::Int(x / y)),
-                        _ => Ok(Num::Float(a.as_f64() / b.as_f64())),
-                    }
-                }
-                ("//", 2) | ("div", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (_, Num::Int(0)) => Err(err("division by zero")),
-                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x.div_euclid(y))),
-                        _ => Err(err("// requires integer operands")),
-                    }
-                }
-                ("mod", 2) | ("rem", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (_, Num::Int(0)) => Err(err("modulo by zero")),
-                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(if name == "mod" {
-                            x.rem_euclid(y)
-                        } else {
-                            x % y
-                        })),
-                        _ => Err(err("mod requires integer operands")),
-                    }
-                }
-                ("-", 1) => {
-                    let a = eval(machine, &args[0])?;
-                    Ok(match a {
-                        Num::Int(x) => Num::Int(-x),
-                        Num::Float(x) => Num::Float(-x),
-                    })
-                }
-                ("+", 1) => eval(machine, &args[0]),
-                ("abs", 1) => {
-                    let a = eval(machine, &args[0])?;
-                    Ok(match a {
-                        Num::Int(x) => Num::Int(x.abs()),
-                        Num::Float(x) => Num::Float(x.abs()),
-                    })
-                }
-                ("sign", 1) => {
-                    let a = eval(machine, &args[0])?;
-                    Ok(match a {
-                        Num::Int(x) => Num::Int(x.signum()),
-                        Num::Float(x) => Num::Float(x.signum()),
-                    })
-                }
-                ("min", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    Ok(if a.compare(b) == Ordering::Greater {
-                        b
-                    } else {
-                        a
-                    })
-                }
-                ("max", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    Ok(if a.compare(b) == Ordering::Less { b } else { a })
-                }
-                ("**", 2) | ("^", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) if y >= 0 && name == "^" => Ok(Num::Int(
-                            x.pow(u32::try_from(y).map_err(|_| err("exponent too large"))?),
-                        )),
-                        _ => Ok(Num::Float(a.as_f64().powf(b.as_f64()))),
-                    }
-                }
-                ("sqrt", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().sqrt())),
-                ("sin", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().sin())),
-                ("cos", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().cos())),
-                ("atan", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().atan())),
-                ("log", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().ln())),
-                ("exp", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64().exp())),
-                ("float", 1) => Ok(Num::Float(eval(machine, &args[0])?.as_f64())),
-                ("integer", 1) | ("truncate", 1) => {
-                    Ok(Num::Int(eval(machine, &args[0])?.as_f64().trunc() as i64))
-                }
-                ("round", 1) => Ok(Num::Int(eval(machine, &args[0])?.as_f64().round() as i64)),
-                ("floor", 1) => Ok(Num::Int(eval(machine, &args[0])?.as_f64().floor() as i64)),
-                ("ceiling", 1) => Ok(Num::Int(eval(machine, &args[0])?.as_f64().ceil() as i64)),
-                (">>", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x >> y.clamp(0, 63))),
-                        _ => Err(err(">> requires integers")),
-                    }
-                }
-                ("<<", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x << y.clamp(0, 63))),
-                        _ => Err(err("<< requires integers")),
-                    }
-                }
-                ("/\\", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x & y)),
-                        _ => Err(err("/\\ requires integers")),
-                    }
-                }
-                ("\\/", 2) => {
-                    let (a, b) = (eval(machine, &args[0])?, eval(machine, &args[1])?);
-                    match (a, b) {
-                        (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x | y)),
-                        _ => Err(err("\\/ requires integers")),
-                    }
-                }
-                (other, n) => Err(err(format!("unknown arithmetic function {other}/{n}"))),
+        RTerm::Atom(s) => {
+            let c = consts();
+            if *s == c.pi {
+                Ok(Num::Float(std::f64::consts::PI))
+            } else if *s == c.e {
+                Ok(Num::Float(std::f64::consts::E))
+            } else {
+                Err(err(format!("unknown arithmetic constant {s}")))
             }
         }
+        RTerm::Struct(name, args) => {
+            let Some(&op) = table().get(&(*name, args.len())) else {
+                return Err(err(format!(
+                    "unknown arithmetic function {name}/{}",
+                    args.len()
+                )));
+            };
+            let a = eval(machine, &args[0])?;
+            let b = if args.len() == 2 {
+                Some(eval(machine, &args[1])?)
+            } else {
+                None
+            };
+            apply_op(op, a, b)
+        }
+    }
+}
+
+/// Evaluates an arithmetic expression directly from precompiled template
+/// cells (the subtree starting at `*pos`, clause-local variables offset by
+/// `var_offset`), advancing `*pos` past it. Semantically identical to
+/// materializing the subtree and calling [`eval`], but allocation-free: the
+/// eager-builtin fast path of clause activation uses this to run arithmetic
+/// guards and `is/2` without ever building the expression term.
+///
+/// # Errors
+///
+/// Same as [`eval`].
+pub(crate) fn eval_template(
+    machine: &Machine<'_>,
+    cells: &[Cell],
+    pos: &mut usize,
+    var_offset: usize,
+) -> EngineResult<Num> {
+    let cell = cells[*pos];
+    *pos += 1;
+    match cell {
+        Cell::Int(i) => Ok(Num::Int(i)),
+        Cell::Float(x) => Ok(Num::Float(x)),
+        Cell::Var(v) | Cell::VarFirst(v) => {
+            let r = RTerm::Var(v as usize + var_offset);
+            eval(machine, &r)
+        }
+        Cell::Atom(s) => {
+            let c = consts();
+            if s == c.pi {
+                Ok(Num::Float(std::f64::consts::PI))
+            } else if s == c.e {
+                Ok(Num::Float(std::f64::consts::E))
+            } else {
+                Err(err(format!("unknown arithmetic constant {s}")))
+            }
+        }
+        Cell::Struct(name, arity) => {
+            let Some(&op) = table().get(&(name, arity as usize)) else {
+                return Err(err(format!("unknown arithmetic function {name}/{arity}")));
+            };
+            let a = eval_template(machine, cells, pos, var_offset)?;
+            let b = if arity == 2 {
+                Some(eval_template(machine, cells, pos, var_offset)?)
+            } else {
+                None
+            };
+            apply_op(op, a, b)
+        }
+    }
+}
+
+/// Applies an arithmetic operation to already-evaluated operands (`b` is
+/// `None` for unary operations — the table keys operations by arity, so the
+/// operand count always matches).
+fn apply_op(op: ArithOp, a: Num, b: Option<Num>) -> EngineResult<Num> {
+    match op {
+        ArithOp::Add => {
+            let b = b.expect("binary op");
+            Ok(binary_int_or_float(a, b, i64::wrapping_add, |x, y| x + y))
+        }
+        ArithOp::Sub => {
+            let b = b.expect("binary op");
+            Ok(binary_int_or_float(a, b, i64::wrapping_sub, |x, y| x - y))
+        }
+        ArithOp::Mul => {
+            let b = b.expect("binary op");
+            Ok(binary_int_or_float(a, b, i64::wrapping_mul, |x, y| x * y))
+        }
+        ArithOp::Div => {
+            let b = b.expect("binary op");
+            if b.as_f64() == 0.0 {
+                return Err(err("division by zero"));
+            }
+            match (a, b) {
+                (Num::Int(x), Num::Int(y)) if x % y == 0 => Ok(Num::Int(x / y)),
+                _ => Ok(Num::Float(a.as_f64() / b.as_f64())),
+            }
+        }
+        ArithOp::IntDiv => match (a, b.expect("binary op")) {
+            (_, Num::Int(0)) => Err(err("division by zero")),
+            (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x.div_euclid(y))),
+            _ => Err(err("// requires integer operands")),
+        },
+        ArithOp::Mod | ArithOp::Rem => match (a, b.expect("binary op")) {
+            (_, Num::Int(0)) => Err(err("modulo by zero")),
+            (Num::Int(x), Num::Int(y)) => Ok(Num::Int(if op == ArithOp::Mod {
+                x.rem_euclid(y)
+            } else {
+                x % y
+            })),
+            _ => Err(err("mod requires integer operands")),
+        },
+        ArithOp::Neg => Ok(match a {
+            Num::Int(x) => Num::Int(-x),
+            Num::Float(x) => Num::Float(-x),
+        }),
+        ArithOp::Plus => Ok(a),
+        ArithOp::Abs => Ok(match a {
+            Num::Int(x) => Num::Int(x.abs()),
+            Num::Float(x) => Num::Float(x.abs()),
+        }),
+        ArithOp::Sign => Ok(match a {
+            Num::Int(x) => Num::Int(x.signum()),
+            Num::Float(x) => Num::Float(x.signum()),
+        }),
+        ArithOp::Min => {
+            let b = b.expect("binary op");
+            Ok(if a.compare(b) == Ordering::Greater {
+                b
+            } else {
+                a
+            })
+        }
+        ArithOp::Max => {
+            let b = b.expect("binary op");
+            Ok(if a.compare(b) == Ordering::Less { b } else { a })
+        }
+        ArithOp::PowFloat | ArithOp::PowInt => {
+            let b = b.expect("binary op");
+            match (a, b) {
+                (Num::Int(x), Num::Int(y)) if y >= 0 && op == ArithOp::PowInt => Ok(Num::Int(
+                    x.pow(u32::try_from(y).map_err(|_| err("exponent too large"))?),
+                )),
+                _ => Ok(Num::Float(a.as_f64().powf(b.as_f64()))),
+            }
+        }
+        ArithOp::Sqrt => Ok(Num::Float(a.as_f64().sqrt())),
+        ArithOp::Sin => Ok(Num::Float(a.as_f64().sin())),
+        ArithOp::Cos => Ok(Num::Float(a.as_f64().cos())),
+        ArithOp::Atan => Ok(Num::Float(a.as_f64().atan())),
+        ArithOp::Log => Ok(Num::Float(a.as_f64().ln())),
+        ArithOp::Exp => Ok(Num::Float(a.as_f64().exp())),
+        ArithOp::ToFloat => Ok(Num::Float(a.as_f64())),
+        ArithOp::Truncate => Ok(Num::Int(a.as_f64().trunc() as i64)),
+        ArithOp::Round => Ok(Num::Int(a.as_f64().round() as i64)),
+        ArithOp::Floor => Ok(Num::Int(a.as_f64().floor() as i64)),
+        ArithOp::Ceiling => Ok(Num::Int(a.as_f64().ceil() as i64)),
+        ArithOp::Shr => match (a, b.expect("binary op")) {
+            (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x >> y.clamp(0, 63))),
+            _ => Err(err(">> requires integers")),
+        },
+        ArithOp::Shl => match (a, b.expect("binary op")) {
+            (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x << y.clamp(0, 63))),
+            _ => Err(err("<< requires integers")),
+        },
+        ArithOp::BitAnd => match (a, b.expect("binary op")) {
+            (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x & y)),
+            _ => Err(err("/\\ requires integers")),
+        },
+        ArithOp::BitOr => match (a, b.expect("binary op")) {
+            (Num::Int(x), Num::Int(y)) => Ok(Num::Int(x | y)),
+            _ => Err(err("\\/ requires integers")),
+        },
     }
 }
 

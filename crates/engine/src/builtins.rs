@@ -1,33 +1,125 @@
 //! Builtin predicates.
 //!
-//! All builtins are deterministic (at most one solution). [`call`] returns
-//! `Ok(None)` when the goal is not a builtin, so the machine falls back to
+//! All builtins are deterministic (at most one solution). The machine folds
+//! [`table`] into its per-program call-target map at load time and invokes
+//! [`dispatch`] directly; goals absent from the table fall back to
 //! user-clause resolution.
 
 use crate::arith::eval;
 use crate::error::{EngineError, EngineResult};
 use crate::machine::Machine;
 use crate::rterm::RTerm;
-use granlog_ir::Symbol;
+use granlog_ir::{FastMap, Symbol};
 use std::cmp::Ordering;
+use std::sync::OnceLock;
 
-/// Executes a builtin goal. Returns `Ok(None)` if the goal is not a builtin,
-/// otherwise `Ok(Some(success))`.
+/// The builtin identified by one `(functor, arity)` pair of the dispatch
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Builtin {
+    Unify,
+    NotUnifiable,
+    StructEq,
+    StructNe,
+    TermLt,
+    TermGt,
+    TermLe,
+    TermGe,
+    Is,
+    NumLt,
+    NumGt,
+    NumLe,
+    NumGe,
+    NumEq,
+    NumNe,
+    IsVar,
+    Nonvar,
+    IsAtom,
+    IsNumber,
+    IsInteger,
+    IsFloat,
+    IsAtomic,
+    Ground,
+    IsList,
+    Functor,
+    Arg,
+    Univ,
+    Length,
+    GrainGe,
+    WriteLike,
+    Nl,
+}
+
+/// The dispatch table: interned `(functor, arity)` → builtin, built once per
+/// process. Lookup is a single hash probe on a `Copy` key — no string
+/// comparison (and no interner lock) per call. The machine folds this table
+/// into its per-program call-target map at load time, so the solve loop pays
+/// one probe total per goal.
+pub(crate) fn table() -> &'static FastMap<(Symbol, usize), Builtin> {
+    static TABLE: OnceLock<FastMap<(Symbol, usize), Builtin>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        use Builtin::*;
+        let entries: &[(&str, usize, Builtin)] = &[
+            ("=", 2, Unify),
+            ("\\=", 2, NotUnifiable),
+            ("==", 2, StructEq),
+            ("\\==", 2, StructNe),
+            ("@<", 2, TermLt),
+            ("@>", 2, TermGt),
+            ("@=<", 2, TermLe),
+            ("@>=", 2, TermGe),
+            ("is", 2, Is),
+            ("<", 2, NumLt),
+            (">", 2, NumGt),
+            ("=<", 2, NumLe),
+            (">=", 2, NumGe),
+            ("=:=", 2, NumEq),
+            ("=\\=", 2, NumNe),
+            ("var", 1, IsVar),
+            ("nonvar", 1, Nonvar),
+            ("atom", 1, IsAtom),
+            ("number", 1, IsNumber),
+            ("integer", 1, IsInteger),
+            ("float", 1, IsFloat),
+            ("atomic", 1, IsAtomic),
+            ("ground", 1, Ground),
+            ("is_list", 1, IsList),
+            ("functor", 3, Functor),
+            ("arg", 3, Arg),
+            ("=..", 2, Univ),
+            ("length", 2, Length),
+            ("$grain_ge", 3, GrainGe),
+            ("write", 1, WriteLike),
+            ("print", 1, WriteLike),
+            ("write_canonical", 1, WriteLike),
+            ("tab", 1, WriteLike),
+            ("nl", 0, Nl),
+        ];
+        entries
+            .iter()
+            .map(|&(name, arity, builtin)| ((Symbol::intern(name), arity), builtin))
+            .collect()
+    })
+}
+
+/// Executes an already-identified builtin (the machine resolves the goal to a
+/// [`Builtin`] through its per-program call-target map).
 ///
 /// # Errors
 ///
 /// Propagates arithmetic and type errors from the individual builtins.
-pub fn call(machine: &mut Machine<'_>, goal: &RTerm) -> EngineResult<Option<bool>> {
-    let Some((name, arity)) = goal.functor() else {
-        return Ok(None);
-    };
+pub(crate) fn dispatch(
+    machine: &mut Machine<'_>,
+    builtin: Builtin,
+    goal: &RTerm,
+) -> EngineResult<bool> {
     let args = goal.args();
-    let result = match (name.as_str(), arity) {
-        ("=", 2) => {
+    let result = match builtin {
+        Builtin::Unify => {
             machine.charge_builtin();
             machine.unify(&args[0], &args[1])
         }
-        ("\\=", 2) => {
+        Builtin::NotUnifiable => {
             machine.charge_builtin();
             // Not-unifiable test must not leave bindings behind; probe on
             // resolved copies via structural comparison where possible, else
@@ -36,89 +128,94 @@ pub fn call(machine: &mut Machine<'_>, goal: &RTerm) -> EngineResult<Option<bool
             let b = machine.resolve(&args[1]);
             granlog_ir::unify::mgu(&a, &b).is_none()
         }
-        ("==", 2) => {
+        Builtin::StructEq => {
             machine.charge_builtin();
             machine.resolve(&args[0]) == machine.resolve(&args[1])
         }
-        ("\\==", 2) => {
+        Builtin::StructNe => {
             machine.charge_builtin();
             machine.resolve(&args[0]) != machine.resolve(&args[1])
         }
-        ("@<", 2) | ("@>", 2) | ("@=<", 2) | ("@>=", 2) => {
+        Builtin::TermLt | Builtin::TermGt | Builtin::TermLe | Builtin::TermGe => {
             machine.charge_builtin();
             let a = machine.resolve(&args[0]);
             let b = machine.resolve(&args[1]);
             let ord = a.cmp(&b);
-            match name.as_str() {
-                "@<" => ord == Ordering::Less,
-                "@>" => ord == Ordering::Greater,
-                "@=<" => ord != Ordering::Greater,
+            match builtin {
+                Builtin::TermLt => ord == Ordering::Less,
+                Builtin::TermGt => ord == Ordering::Greater,
+                Builtin::TermLe => ord != Ordering::Greater,
                 _ => ord != Ordering::Less,
             }
         }
-        ("is", 2) => {
+        Builtin::Is => {
             machine.charge_builtin();
             let value = eval(machine, &args[1])?;
             machine.unify(&args[0], &value.to_rterm())
         }
-        ("<", 2) | (">", 2) | ("=<", 2) | (">=", 2) | ("=:=", 2) | ("=\\=", 2) => {
+        Builtin::NumLt
+        | Builtin::NumGt
+        | Builtin::NumLe
+        | Builtin::NumGe
+        | Builtin::NumEq
+        | Builtin::NumNe => {
             machine.charge_builtin();
             let a = eval(machine, &args[0])?;
             let b = eval(machine, &args[1])?;
             let ord = a.compare(b);
-            match name.as_str() {
-                "<" => ord == Ordering::Less,
-                ">" => ord == Ordering::Greater,
-                "=<" => ord != Ordering::Greater,
-                ">=" => ord != Ordering::Less,
-                "=:=" => ord == Ordering::Equal,
+            match builtin {
+                Builtin::NumLt => ord == Ordering::Less,
+                Builtin::NumGt => ord == Ordering::Greater,
+                Builtin::NumLe => ord != Ordering::Greater,
+                Builtin::NumGe => ord != Ordering::Less,
+                Builtin::NumEq => ord == Ordering::Equal,
                 _ => ord != Ordering::Equal,
             }
         }
-        ("var", 1) => {
+        Builtin::IsVar => {
             machine.charge_builtin();
-            matches!(machine.deref(&args[0]), RTerm::Var(_))
+            matches!(machine.deref_ref(&args[0]), RTerm::Var(_))
         }
-        ("nonvar", 1) => {
+        Builtin::Nonvar => {
             machine.charge_builtin();
-            !matches!(machine.deref(&args[0]), RTerm::Var(_))
+            !matches!(machine.deref_ref(&args[0]), RTerm::Var(_))
         }
-        ("atom", 1) => {
+        Builtin::IsAtom => {
             machine.charge_builtin();
-            matches!(machine.deref(&args[0]), RTerm::Atom(_))
+            matches!(machine.deref_ref(&args[0]), RTerm::Atom(_))
         }
-        ("number", 1) => {
+        Builtin::IsNumber => {
             machine.charge_builtin();
-            matches!(machine.deref(&args[0]), RTerm::Int(_) | RTerm::Float(_))
+            matches!(machine.deref_ref(&args[0]), RTerm::Int(_) | RTerm::Float(_))
         }
-        ("integer", 1) => {
+        Builtin::IsInteger => {
             machine.charge_builtin();
-            matches!(machine.deref(&args[0]), RTerm::Int(_))
+            matches!(machine.deref_ref(&args[0]), RTerm::Int(_))
         }
-        ("float", 1) => {
+        Builtin::IsFloat => {
             machine.charge_builtin();
-            matches!(machine.deref(&args[0]), RTerm::Float(_))
+            matches!(machine.deref_ref(&args[0]), RTerm::Float(_))
         }
-        ("atomic", 1) => {
+        Builtin::IsAtomic => {
             machine.charge_builtin();
             matches!(
-                machine.deref(&args[0]),
+                machine.deref_ref(&args[0]),
                 RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_)
             )
         }
-        ("ground", 1) => {
+        Builtin::Ground => {
             machine.charge_builtin();
             machine.resolve(&args[0]).is_ground()
         }
-        ("is_list", 1) => {
+        Builtin::IsList => {
             machine.charge_builtin();
             list_length(machine, &args[0], u64::MAX).is_some()
         }
-        ("functor", 3) => {
+        Builtin::Functor => {
             machine.charge_builtin();
             builtin_functor(machine, args)?
         }
-        ("arg", 3) => {
+        Builtin::Arg => {
             machine.charge_builtin();
             let n = match machine.deref(&args[0]) {
                 RTerm::Int(i) => i,
@@ -138,39 +235,34 @@ pub fn call(machine: &mut Machine<'_>, goal: &RTerm) -> EngineResult<Option<bool
                 _ => false,
             }
         }
-        ("=..", 2) => {
+        Builtin::Univ => {
             machine.charge_builtin();
             builtin_univ(machine, args)?
         }
-        ("length", 2) => {
+        Builtin::Length => {
             machine.charge_builtin();
             match list_length(machine, &args[0], u64::MAX) {
                 Some(n) => machine.unify(&args[1], &RTerm::Int(n as i64)),
                 None => false,
             }
         }
-        ("$grain_ge", 3) => {
-            let threshold = match machine.deref(&args[2]) {
-                RTerm::Int(k) => k.max(0) as u64,
+        Builtin::GrainGe => {
+            let threshold = match machine.deref_ref(&args[2]) {
+                RTerm::Int(k) => (*k).max(0) as u64,
                 _ => 0,
             };
-            let measure = match machine.deref(&args[1]) {
-                RTerm::Atom(s) => s,
+            let measure = match machine.deref_ref(&args[1]) {
+                RTerm::Atom(s) => *s,
                 _ => Symbol::intern("size"),
             };
             grain_test(machine, &args[0], measure, threshold)
         }
-        ("write", 1) | ("print", 1) | ("write_canonical", 1) | ("tab", 1) => {
+        Builtin::WriteLike | Builtin::Nl => {
             machine.charge_builtin();
             true
         }
-        ("nl", 0) => {
-            machine.charge_builtin();
-            true
-        }
-        _ => return Ok(None),
     };
-    Ok(Some(result))
+    Ok(result)
 }
 
 fn builtin_functor(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bool> {
@@ -260,10 +352,11 @@ fn builtin_univ(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bool>
 }
 
 /// Walks a list spine counting elements, up to `limit`. Returns `None` for
-/// partial or improper lists.
+/// partial or improper lists. Uses borrowed dereferencing: no clones, no
+/// refcount traffic along the spine.
 fn list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> Option<u64> {
     let mut count = 0u64;
-    let mut cur = machine.deref(t);
+    let mut cur = machine.deref_ref(t);
     loop {
         if cur.is_nil() {
             return Some(count);
@@ -273,11 +366,44 @@ fn list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> Option<u64> {
             if count >= limit {
                 return Some(count);
             }
-            cur = machine.deref(&cur.args()[1]);
+            cur = machine.deref_ref(&cur.args()[1]);
         } else {
             return None;
         }
     }
+}
+
+/// The size measure named by a `$grain_ge` second argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MeasureKind {
+    Length,
+    Int,
+    Depth,
+    Size,
+}
+
+/// Measure-name dispatch table (interned once; a grain test resolves its
+/// measure with one hash probe instead of a string match).
+fn measure_kind(measure: Symbol) -> MeasureKind {
+    static TABLE: OnceLock<FastMap<Symbol, MeasureKind>> = OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let entries: &[(&str, MeasureKind)] = &[
+            ("length", MeasureKind::Length),
+            ("list_length", MeasureKind::Length),
+            ("list", MeasureKind::Length),
+            ("int", MeasureKind::Int),
+            ("value", MeasureKind::Int),
+            ("int_value", MeasureKind::Int),
+            ("nat", MeasureKind::Int),
+            ("depth", MeasureKind::Depth),
+            ("term_depth", MeasureKind::Depth),
+        ];
+        entries
+            .iter()
+            .map(|&(name, kind)| (Symbol::intern(name), kind))
+            .collect()
+    });
+    table.get(&measure).copied().unwrap_or(MeasureKind::Size)
 }
 
 /// The `$grain_ge(Term, Measure, K)` runtime grain-size test: succeeds iff the
@@ -286,26 +412,26 @@ fn list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> Option<u64> {
 /// measures traversal stops as soon as `K` elements have been seen, mirroring
 /// the cheap tests the paper generates).
 fn grain_test(machine: &mut Machine<'_>, term: &RTerm, measure: Symbol, k: u64) -> bool {
-    match measure.as_str() {
-        "length" | "list_length" | "list" => {
+    match measure_kind(measure) {
+        MeasureKind::Length => {
             let seen = bounded_list_length(machine, term, k);
             machine.charge_grain_test(seen.min(k));
             seen >= k
         }
-        "int" | "value" | "int_value" | "nat" => {
+        MeasureKind::Int => {
             machine.charge_grain_test(1);
-            match machine.deref(term) {
-                RTerm::Int(v) => (v.max(0) as u64) >= k,
-                RTerm::Float(v) => v >= k as f64,
+            match machine.deref_ref(term) {
+                RTerm::Int(v) => ((*v).max(0) as u64) >= k,
+                RTerm::Float(v) => *v >= k as f64,
                 _ => true, // unknown size: err on the parallel side
             }
         }
-        "depth" | "term_depth" => {
+        MeasureKind::Depth => {
             let d = bounded_depth(machine, term, k);
             machine.charge_grain_test(d.min(k));
             d >= k
         }
-        _ => {
+        MeasureKind::Size => {
             // term size (default): count symbols up to K.
             let s = bounded_term_size(machine, term, k);
             machine.charge_grain_test(s.min(k));
@@ -316,16 +442,16 @@ fn grain_test(machine: &mut Machine<'_>, term: &RTerm, measure: Symbol, k: u64) 
 
 fn bounded_list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
     let mut count = 0u64;
-    let mut cur = machine.deref(t);
+    let mut cur = machine.deref_ref(t);
     while count < limit && cur.is_cons() {
         count += 1;
-        cur = machine.deref(&cur.args()[1]);
+        cur = machine.deref_ref(&cur.args()[1]);
     }
     count
 }
 
 fn bounded_term_size(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
-    let mut stack = vec![machine.deref(t)];
+    let mut stack = vec![machine.deref_ref(t)];
     let mut count = 0u64;
     while let Some(cur) = stack.pop() {
         if count >= limit {
@@ -337,7 +463,7 @@ fn bounded_term_size(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
             RTerm::Struct(_, args) => {
                 count += 1;
                 for a in args.iter() {
-                    stack.push(machine.deref(a));
+                    stack.push(machine.deref_ref(a));
                 }
             }
         }
@@ -350,7 +476,7 @@ fn bounded_depth(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
         if limit == 0 {
             return 0;
         }
-        match machine.deref(t) {
+        match machine.deref_ref(t) {
             RTerm::Struct(_, args) => {
                 1 + args
                     .iter()

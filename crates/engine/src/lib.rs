@@ -46,11 +46,13 @@ pub mod error;
 pub mod machine;
 pub mod rterm;
 pub mod tasktree;
+pub mod template;
 
 pub use cost::{CostModel, Counters};
 pub use error::{EngineError, EngineResult};
-pub use machine::{Machine, MachineConfig, QueryOutcome};
+pub use machine::{ClauseSelection, Machine, MachineConfig, QueryOutcome};
 pub use tasktree::{Segment, Task, TaskId, TaskRecorder, TaskTree};
+pub use template::{Cell, ClauseTemplate};
 
 /// Runs a closure on a thread with a large stack.
 ///

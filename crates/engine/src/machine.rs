@@ -14,13 +14,29 @@
 //! fork/join structure and each arm's work are recorded in a
 //! [`crate::tasktree::TaskTree`] for the multiprocessor simulator.
 
+use crate::builtins::{self, Builtin};
 use crate::cost::{CostModel, Counters};
 use crate::error::{EngineError, EngineResult};
 use crate::rterm::RTerm;
 use crate::tasktree::{TaskRecorder, TaskTree};
+use crate::template::{self, ClauseTemplate};
 use granlog_ir::symbol::well_known;
-use granlog_ir::{parser, PredId, Program, Symbol, Term};
+use granlog_ir::{parser, ClauseId, FastMap, IndexKey, PredId, Predicate, Program, Symbol, Term};
 use std::rc::Rc;
+
+/// How candidate clauses are selected for a user-predicate call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClauseSelection {
+    /// Use the program's persistent first-argument index: one hash probe
+    /// returning a borrowed candidate slice (the default).
+    Indexed,
+    /// Reference semantics: linearly scan the predicate's clauses on every
+    /// call, filtering by first-argument principal functor (the seed
+    /// engine's behaviour). Kept for differential testing — it must agree
+    /// with [`ClauseSelection::Indexed`] on outcome, bindings, counters and
+    /// clause-trial order.
+    LinearScan,
+}
 
 /// Configuration of a [`Machine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +48,17 @@ pub struct MachineConfig {
     pub max_depth: usize,
     /// The cost model converting operations into work units.
     pub cost_model: CostModel,
+    /// Candidate-clause selection strategy.
+    pub clause_selection: ClauseSelection,
+    /// Compress bound-variable chains during dereferencing (trail-aware, so
+    /// backtracking still restores the exact pre-compression bindings).
+    ///
+    /// Off by default: the benchmark suite's variable chains are 1–2 links,
+    /// where the side-trail bookkeeping costs more than the hops it saves
+    /// (measured ~5% end-to-end). Enable it for workloads that alias long
+    /// variable chains — the `deref chain` microbenchmark in
+    /// `crates/bench/benches/engine_micro.rs` shows the crossover.
+    pub path_compression: bool,
 }
 
 impl Default for MachineConfig {
@@ -40,6 +67,8 @@ impl Default for MachineConfig {
             max_steps: 200_000_000,
             max_depth: 4_000_000,
             cost_model: CostModel::default(),
+            clause_selection: ClauseSelection::Indexed,
+            path_compression: false,
         }
     }
 }
@@ -84,12 +113,48 @@ fn push_goal(goal: RTerm, rest: &Goals) -> Goals {
     }))
 }
 
+/// Upper bound on recycled continuation frames kept by a machine. Frames past
+/// this just drop; the pool exists to make the common deterministic
+/// pop-frame / push-body-goal cycle allocation-free, not to hoard memory.
+const FRAME_POOL_LIMIT: usize = 1024;
+
+/// What a non-control goal resolves to: a builtin or a user predicate. The
+/// machine builds one `(functor, arity)` → `CallTarget` map at program load,
+/// so the solve loop identifies a goal with a single fast-hash probe instead
+/// of a missed builtin-table probe followed by a `BTreeMap` predicate walk.
+#[derive(Debug, Clone, Copy)]
+enum CallTarget<'p> {
+    Builtin(Builtin),
+    User(&'p Predicate),
+}
+
+/// An undone-on-backtracking record of a path-compression rewrite: at trail
+/// length `trail_len`, `heap[var]` (already bound) was shortcut from `old` to
+/// the chain's end. Compressions only reference bindings made strictly before
+/// `trail_len`, so a compression stays valid exactly as long as the trail is
+/// not unwound below it.
+struct CompressEntry {
+    trail_len: usize,
+    var: usize,
+    old: RTerm,
+}
+
 /// The resolution engine.
 pub struct Machine<'p> {
     program: &'p Program,
     config: MachineConfig,
+    /// Precompiled clause templates, indexed by [`ClauseId`]. Shared via `Rc`
+    /// so clause activation can borrow a template while mutating the machine.
+    templates: Rc<[ClauseTemplate]>,
+    /// `(functor, arity)` → call target, built once at load. Builtins shadow
+    /// user predicates of the same name and arity, as they always have.
+    dispatch: FastMap<(Symbol, usize), CallTarget<'p>>,
     pub(crate) heap: Vec<Option<RTerm>>,
     trail: Vec<usize>,
+    compress_trail: Vec<CompressEntry>,
+    /// Recycled, uniquely-owned continuation frames (see
+    /// [`Machine::pop_frame`]).
+    frame_pool: Vec<Rc<Frame>>,
     pub(crate) counters: Counters,
     recorder: TaskRecorder,
 }
@@ -101,14 +166,69 @@ impl<'p> Machine<'p> {
     }
 
     /// Creates a machine with an explicit configuration.
+    ///
+    /// Program load happens here: every clause is compiled once into its
+    /// [`ClauseTemplate`], and the goal-dispatch map (builtins and user
+    /// predicates) is built, so the solve loop never revisits the IR and
+    /// identifies every goal with one hash probe.
     pub fn with_config(program: &'p Program, config: MachineConfig) -> Self {
+        let mut dispatch: FastMap<(Symbol, usize), CallTarget<'p>> = FastMap::default();
+        for predicate in program.predicates() {
+            dispatch.insert(
+                (predicate.id.name, predicate.id.arity),
+                CallTarget::User(predicate),
+            );
+        }
+        for (&key, &builtin) in builtins::table() {
+            dispatch.insert(key, CallTarget::Builtin(builtin));
+        }
         Machine {
             program,
             config,
+            templates: template::compile_program(program).into(),
+            dispatch,
             heap: Vec::new(),
             trail: Vec::new(),
+            compress_trail: Vec::new(),
+            frame_pool: Vec::new(),
             counters: Counters::default(),
             recorder: TaskRecorder::new(),
+        }
+    }
+
+    /// Pops the front frame of a goal list, returning its goal and the rest.
+    ///
+    /// When the frame is uniquely owned (no choice point shares it — the
+    /// common deterministic case) both fields are *moved* out, refcount-free,
+    /// and the emptied frame allocation goes back to the pool for
+    /// [`Machine::push_goal_pooled`] to reuse. Shared frames fall back to
+    /// cloning.
+    fn pop_frame(&mut self, mut frame: Rc<Frame>) -> (RTerm, Goals) {
+        match Rc::get_mut(&mut frame) {
+            Some(f) => {
+                let goal = std::mem::replace(&mut f.goal, RTerm::Int(0));
+                let rest = f.rest.take();
+                if self.frame_pool.len() < FRAME_POOL_LIMIT {
+                    self.frame_pool.push(frame);
+                }
+                (goal, rest)
+            }
+            None => (frame.goal.clone(), frame.rest.clone()),
+        }
+    }
+
+    /// `push_goal`, but reusing a pooled frame allocation when one is
+    /// available. The deterministic pop/push cycle of the solve loop ping-
+    /// pongs a handful of frames through the pool and allocates nothing.
+    fn push_goal_pooled(&mut self, goal: RTerm, rest: Goals) -> Goals {
+        match self.frame_pool.pop() {
+            Some(mut rc) => {
+                let f = Rc::get_mut(&mut rc).expect("pooled frames are uniquely owned");
+                f.goal = goal;
+                f.rest = rest;
+                Some(rc)
+            }
+            None => Some(Rc::new(Frame { goal, rest })),
         }
     }
 
@@ -148,6 +268,7 @@ impl<'p> Machine<'p> {
     pub fn run_goal(&mut self, goal: &Term, var_names: &[Symbol]) -> EngineResult<QueryOutcome> {
         self.heap.clear();
         self.trail.clear();
+        self.compress_trail.clear();
         self.counters = Counters::default();
         self.recorder = TaskRecorder::new();
 
@@ -175,19 +296,67 @@ impl<'p> Machine<'p> {
     // Term plumbing
     // ------------------------------------------------------------------
 
+    /// Dereferences a term to a borrowed view: follows bound-variable chains
+    /// without cloning anything. O(chain length), zero allocation, zero
+    /// refcount traffic — the cheap read-only sibling of [`Machine::deref`].
+    pub(crate) fn deref_ref<'a>(&'a self, term: &'a RTerm) -> &'a RTerm {
+        let mut cur = term;
+        while let RTerm::Var(v) = cur {
+            match self.heap.get(*v) {
+                Some(Some(next)) => cur = next,
+                _ => break,
+            }
+        }
+        cur
+    }
+
     /// Dereferences a term: follows bound-variable chains. O(chain length);
     /// the returned term is an O(1) clone (structure is shared).
     pub(crate) fn deref(&self, term: &RTerm) -> RTerm {
-        let mut cur = term.clone();
-        loop {
-            match cur {
-                RTerm::Var(v) => match self.heap.get(v) {
-                    Some(Some(next)) => cur = next.clone(),
-                    _ => return RTerm::Var(v),
-                },
-                other => return other,
+        self.deref_ref(term).clone()
+    }
+
+    /// Dereferences with path compression: when following a chain of two or
+    /// more links, the chain's first variable is rewritten to point directly
+    /// at the result, so subsequent derefs are O(1). The rewrite is recorded
+    /// on a side trail tagged with the current trail length; backtracking
+    /// below that point restores the original link (see
+    /// [`Machine::undo_trail`]), because the shortcut may then refer to
+    /// bindings that no longer exist.
+    pub(crate) fn deref_compress(&mut self, term: &RTerm) -> RTerm {
+        let RTerm::Var(first) = *term else {
+            return term.clone();
+        };
+        let mut cur = first;
+        let mut hops = 0usize;
+        let result = loop {
+            match self.heap.get(cur) {
+                Some(Some(RTerm::Var(next))) => {
+                    cur = *next;
+                    hops += 1;
+                }
+                Some(Some(value)) => break value.clone(),
+                _ => break RTerm::Var(cur),
             }
+        };
+        // `hops` counts var→var links followed. Short chains are not worth
+        // compressing: the side-trail entry plus its eventual restore costs
+        // more than the one or two dereference hops it saves, as measured on
+        // the benchmark suite. Only genuinely long chains (≥2 intermediate
+        // links, which only degenerate variable-aliasing workloads build) pay
+        // for the rewrite.
+        let worthwhile = hops >= 2;
+        if worthwhile && self.config.path_compression {
+            let old = self.heap[first]
+                .replace(result.clone())
+                .expect("compressed variable is bound");
+            self.compress_trail.push(CompressEntry {
+                trail_len: self.trail.len(),
+                var: first,
+                old,
+            });
         }
+        result
     }
 
     /// Fully resolves a runtime term back into a source-level [`Term`]
@@ -215,6 +384,17 @@ impl<'p> Machine<'p> {
     }
 
     fn undo_trail(&mut self, mark: usize) {
+        // Undo path compressions recorded after the mark first (newest first),
+        // restoring the original links, *then* unbind trailed variables — a
+        // variable both compressed and bound after the mark must end up
+        // unbound.
+        while let Some(entry) = self.compress_trail.last() {
+            if entry.trail_len <= mark {
+                break;
+            }
+            let entry = self.compress_trail.pop().expect("checked non-empty");
+            self.heap[entry.var] = Some(entry.old);
+        }
         while self.trail.len() > mark {
             let var = self.trail.pop().expect("trail length checked");
             self.heap[var] = None;
@@ -225,8 +405,8 @@ impl<'p> Machine<'p> {
     pub(crate) fn unify(&mut self, a: &RTerm, b: &RTerm) -> bool {
         self.counters.unifications += 1;
         self.record_work(self.config.cost_model.per_unification);
-        let a = self.deref(a);
-        let b = self.deref(b);
+        let a = self.deref_compress(a);
+        let b = self.deref_compress(b);
         match (&a, &b) {
             (RTerm::Var(x), RTerm::Var(y)) if x == y => true,
             (RTerm::Var(x), _) => {
@@ -244,9 +424,9 @@ impl<'p> Machine<'p> {
                 if f != g || xs.len() != ys.len() {
                     return false;
                 }
-                // Iterate over shared argument vectors without cloning them.
-                let xs = xs.clone();
-                let ys = ys.clone();
+                // `a` and `b` are owned dereference results, so their
+                // argument slices can be walked directly while unification
+                // mutates the machine.
                 xs.iter().zip(ys.iter()).all(|(x, y)| self.unify(x, y))
             }
             _ => false,
@@ -307,74 +487,86 @@ impl<'p> Machine<'p> {
         if depth > self.config.max_depth {
             return Err(EngineError::DepthLimit(self.config.max_depth));
         }
+        let wk = well_known::get();
         let mut goals: Goals = goals.clone();
         loop {
-            let Some(frame) = &goals else { return Ok(true) };
-            let goal = self.deref(&frame.goal);
-            let rest = frame.rest.clone();
+            let Some(frame) = goals.take() else {
+                return Ok(true);
+            };
+            // Move the goal and continuation out (recycling the frame), and
+            // only pay a dereference when the goal is actually a variable.
+            let (goal, rest) = self.pop_frame(frame);
+            let goal = match goal {
+                RTerm::Var(_) => self.deref_compress(&goal),
+                other => other,
+            };
 
             let Some((name, arity)) = goal.functor() else {
                 return Err(EngineError::NotCallable(self.resolve(&goal)));
             };
 
-            match (name.as_str(), arity) {
-                ("true", 0) => {
-                    goals = rest;
-                }
-                ("fail", 0) | ("false", 0) => return Ok(false),
+            // Control constructs dispatch on cached interned symbols — no
+            // string comparison (and no interner lock) on the hot path.
+            match arity {
                 // Cut is approximated as `true`: the benchmark programs use
                 // mutually exclusive guards rather than cuts for control.
-                ("!", 0) => {
+                0 if name == wk.true_ || name == wk.cut => {
                     goals = rest;
                 }
-                (",", 2) => {
+                0 if name == wk.fail || name == wk.false_ => return Ok(false),
+                2 if name == wk.comma => {
                     let args = goal.args();
-                    goals = push_goal(args[0].clone(), &push_goal(args[1].clone(), &rest));
+                    let tail = self.push_goal_pooled(args[1].clone(), rest);
+                    goals = self.push_goal_pooled(args[0].clone(), tail);
                 }
-                ("&", 2) => match self.solve_parallel(&goal, &rest, depth)? {
+                2 if name == wk.par_and => match self.solve_parallel(&goal, &rest, depth)? {
                     Step::Return(v) => return Ok(v),
                     Step::Continue(next) => goals = next,
                 },
-                (";", 2) => {
+                2 if name == wk.semicolon => {
                     let args = goal.args();
                     // (Cond -> Then ; Else)
-                    let cond_then = match &self.deref(&args[0]) {
-                        RTerm::Struct(arrow, ct) if arrow.as_str() == "->" && ct.len() == 2 => {
+                    let cond_then = match self.deref_ref(&args[0]) {
+                        RTerm::Struct(arrow, ct) if *arrow == wk.arrow && ct.len() == 2 => {
                             Some((ct[0].clone(), ct[1].clone()))
                         }
                         _ => None,
                     };
                     if let Some((cond, then)) = cond_then {
                         let mark = self.trail.len();
-                        if self.solve(&push_goal(cond, &None), depth + 1)? {
-                            goals = push_goal(then, &rest);
+                        let cond_goals = self.push_goal_pooled(cond, None);
+                        if self.solve(&cond_goals, depth + 1)? {
+                            goals = self.push_goal_pooled(then, rest);
                         } else {
                             self.undo_trail(mark);
-                            goals = push_goal(args[1].clone(), &rest);
+                            goals = self.push_goal_pooled(args[1].clone(), rest);
                         }
                     } else {
                         let mark = self.trail.len();
-                        if self.solve(&push_goal(args[0].clone(), &rest), depth + 1)? {
+                        let first = self.push_goal_pooled(args[0].clone(), rest.clone());
+                        if self.solve(&first, depth + 1)? {
                             return Ok(true);
                         }
                         self.undo_trail(mark);
-                        goals = push_goal(args[1].clone(), &rest);
+                        goals = self.push_goal_pooled(args[1].clone(), rest);
                     }
                 }
-                ("->", 2) => {
+                2 if name == wk.arrow => {
                     let args = goal.args();
                     let mark = self.trail.len();
-                    if self.solve(&push_goal(args[0].clone(), &None), depth + 1)? {
-                        goals = push_goal(args[1].clone(), &rest);
+                    let cond_goals = self.push_goal_pooled(args[0].clone(), None);
+                    if self.solve(&cond_goals, depth + 1)? {
+                        goals = self.push_goal_pooled(args[1].clone(), rest);
                     } else {
                         self.undo_trail(mark);
                         return Ok(false);
                     }
                 }
-                ("\\+", 1) => {
+                1 if name == wk.not => {
                     let args = goal.args();
                     let mark = self.trail.len();
-                    let succeeded = self.solve(&push_goal(args[0].clone(), &None), depth + 1)?;
+                    let inner = self.push_goal_pooled(args[0].clone(), None);
+                    let succeeded = self.solve(&inner, depth + 1)?;
                     self.undo_trail(mark);
                     if succeeded {
                         return Ok(false);
@@ -382,18 +574,25 @@ impl<'p> Machine<'p> {
                     goals = rest;
                 }
                 _ => {
-                    // Builtin?
-                    if let Some(result) = crate::builtins::call(self, &goal)? {
-                        if result {
-                            goals = rest;
-                            continue;
+                    // One probe identifies the goal: builtin or user
+                    // predicate (builtins shadow same-name user predicates).
+                    match self.dispatch.get(&(name, arity)).copied() {
+                        Some(CallTarget::Builtin(builtin)) => {
+                            if builtins::dispatch(self, builtin, &goal)? {
+                                goals = rest;
+                                continue;
+                            }
+                            return Ok(false);
                         }
-                        return Ok(false);
-                    }
-                    // User predicate.
-                    match self.solve_user_goal(&goal, name, arity, &rest, depth)? {
-                        Step::Return(v) => return Ok(v),
-                        Step::Continue(next) => goals = next,
+                        Some(CallTarget::User(predicate)) => {
+                            match self.solve_user_goal(&goal, predicate, &rest, depth)? {
+                                Step::Return(v) => return Ok(v),
+                                Step::Continue(next) => goals = next,
+                            }
+                        }
+                        None => {
+                            return Err(EngineError::UnknownPredicate(PredId::new(name, arity)))
+                        }
                     }
                 }
             }
@@ -403,55 +602,78 @@ impl<'p> Machine<'p> {
     fn solve_user_goal(
         &mut self,
         goal: &RTerm,
-        name: Symbol,
-        arity: usize,
+        predicate: &'p Predicate,
         rest: &Goals,
         depth: usize,
     ) -> EngineResult<Step> {
-        let pred = PredId::new(name, arity);
-        if !self.program.defines(pred) {
-            return Err(EngineError::UnknownPredicate(pred));
-        }
-        // First-argument indexing: skip clauses whose first head argument has
-        // a different principal functor than the (bound) first goal argument.
+        // First-argument indexing: the principal functor of the dereferenced
+        // first goal argument selects the candidate clauses.
         let goal_key = goal
             .args()
             .first()
-            .map(|a| principal_functor(&self.deref(a)));
-        let all_ids = self.program.clause_ids_of(pred);
-        let mut candidates: Vec<usize> = Vec::with_capacity(all_ids.len());
-        for &clause_id in all_ids {
-            let clause = &self.program.clauses()[clause_id];
-            if let (Some(Some(gk)), Some(head_arg)) =
-                (goal_key.as_ref(), clause.head.args().first())
-            {
-                if let Some(hk) = principal_functor_ir(head_arg) {
-                    if hk != *gk {
-                        continue;
-                    }
-                }
+            .and_then(|a| rterm_index_key(self.deref_ref(a)));
+        let scratch: Vec<ClauseId>;
+        let candidates: &[ClauseId] = match self.config.clause_selection {
+            // Fast path: one probe of the persistent index, borrowing the
+            // precomputed candidate list — no per-call allocation or scan.
+            ClauseSelection::Indexed => predicate.candidates(goal_key.as_ref()),
+            // Reference path: the seed's per-call linear scan with a key
+            // filter, kept for differential testing of the index.
+            ClauseSelection::LinearScan => {
+                let clauses = self.program.clauses();
+                scratch = predicate
+                    .clause_ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| {
+                        match (goal_key.as_ref(), IndexKey::of_clause_head(&clauses[id])) {
+                            (Some(gk), Some(hk)) => *gk == hk,
+                            _ => true,
+                        }
+                    })
+                    .collect();
+                &scratch
             }
-            candidates.push(clause_id);
-        }
+        };
+        let templates = Rc::clone(&self.templates);
         let last_index = candidates.len().checked_sub(1);
-        for (i, clause_id) in candidates.iter().copied().enumerate() {
-            let clause = &self.program.clauses()[clause_id];
+        for (i, &clause_id) in candidates.iter().enumerate() {
+            let templ = &templates[clause_id];
             self.charge_head_attempt()?;
             let trail_mark = self.trail.len();
             let heap_mark = self.heap.len();
-            self.heap.resize(heap_mark + clause.num_vars(), None);
-            let head = RTerm::from_ir(&clause.head, heap_mark);
-            if self.unify(goal, &head) {
+            self.heap.resize(heap_mark + templ.num_vars(), None);
+            if self.unify_head(goal, templ, heap_mark) {
                 self.charge_resolution();
-                let body = RTerm::from_ir(&clause.body, heap_mark);
-                let new_goals = push_goal(body, rest);
-                if Some(i) == last_index {
-                    // Last (or only) candidate: no choice point to keep —
-                    // continue iteratively in the caller's loop.
-                    return Ok(Step::Continue(new_goals));
-                }
-                if self.solve(&new_goals, depth + 1)? {
-                    return Ok(Step::Return(true));
+                // Run the body's leading builtins straight off the template
+                // (no materialization, no frames). A failure here fails the
+                // activation exactly where solving the pushed goal would
+                // have.
+                if self.run_eager_prefix(templ, heap_mark)? {
+                    // Materialize the precompiled body goals (right to left),
+                    // so the conjunction spine is never built as a term and
+                    // never re-decomposed by the solve loop. Facts push
+                    // nothing.
+                    let cells = templ.cells();
+                    let mut new_goals = rest.clone();
+                    for &start in templ.body_goals().iter().rev() {
+                        let mut pos = start as usize;
+                        let body_goal = template::materialize(cells, &mut pos, heap_mark);
+                        new_goals = self.push_goal_pooled(body_goal, new_goals);
+                    }
+                    if Some(i) == last_index {
+                        // Last (or only) candidate: no choice point to keep —
+                        // continue iteratively in the caller's loop.
+                        return Ok(Step::Continue(new_goals));
+                    }
+                    if self.solve(&new_goals, depth + 1)? {
+                        return Ok(Step::Return(true));
+                    }
+                } else if Some(i) == last_index {
+                    // A failed body builtin on the last candidate propagates
+                    // failure without undoing this activation, exactly as a
+                    // builtin failing in the solve loop would.
+                    return Ok(Step::Return(false));
                 }
             }
             self.undo_trail(trail_mark);
@@ -460,14 +682,181 @@ impl<'p> Machine<'p> {
         Ok(Step::Return(false))
     }
 
+    /// Executes a clause body's eager builtin prefix directly from the
+    /// template cells. Returns `Ok(false)` as soon as one builtin fails.
+    /// Counter-for-counter identical to materializing each goal and running
+    /// it through the solve loop, minus the allocations.
+    fn run_eager_prefix(&mut self, templ: &ClauseTemplate, heap_mark: usize) -> EngineResult<bool> {
+        for step in templ.eager() {
+            let cells = templ.cells();
+            let ok = match *step {
+                template::EagerGoal::NumCompare { op, lhs, rhs } => {
+                    self.charge_builtin();
+                    let mut pos = lhs as usize;
+                    let a = crate::arith::eval_template(self, cells, &mut pos, heap_mark)?;
+                    let mut pos = rhs as usize;
+                    let b = crate::arith::eval_template(self, cells, &mut pos, heap_mark)?;
+                    let ord = a.compare(b);
+                    match op {
+                        Builtin::NumLt => ord == std::cmp::Ordering::Less,
+                        Builtin::NumGt => ord == std::cmp::Ordering::Greater,
+                        Builtin::NumLe => ord != std::cmp::Ordering::Greater,
+                        Builtin::NumGe => ord != std::cmp::Ordering::Less,
+                        Builtin::NumEq => ord == std::cmp::Ordering::Equal,
+                        _ => ord != std::cmp::Ordering::Equal,
+                    }
+                }
+                template::EagerGoal::Is { lhs, rhs } => {
+                    self.charge_builtin();
+                    let mut pos = rhs as usize;
+                    let value = crate::arith::eval_template(self, cells, &mut pos, heap_mark)?;
+                    let mut pos = lhs as usize;
+                    self.unify_template(&value.to_rterm(), cells, &mut pos, heap_mark)
+                }
+                template::EagerGoal::Other { builtin, goal } => {
+                    let mut pos = goal as usize;
+                    let g = template::materialize(cells, &mut pos, heap_mark);
+                    builtins::dispatch(self, builtin, &g)?
+                }
+            };
+            if !ok {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Unifies a goal with a clause head template, renaming clause-local
+    /// variables by `var_offset`.
+    ///
+    /// Counts exactly the unifications the seed's `unify(goal, from_ir(head))`
+    /// counted — one for the whole-head pair plus one per visited subterm
+    /// pair — but materializes a runtime term for a template subtree *only*
+    /// when the corresponding goal position is an unbound variable. Bound
+    /// goal arguments unify against the flat cell array with no allocation.
+    fn unify_head(&mut self, goal: &RTerm, templ: &ClauseTemplate, var_offset: usize) -> bool {
+        self.counters.unifications += 1;
+        self.record_work(self.config.cost_model.per_unification);
+        let cells = templ.cells();
+        let goal_args = goal.args();
+        for (k, start) in templ.head_arg_positions().iter().enumerate() {
+            let mut pos = *start as usize;
+            if !self.unify_template(&goal_args[k], cells, &mut pos, var_offset) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Unifies one goal subterm against the template subtree at `*pos`,
+    /// advancing `*pos` past it on success (on failure the cursor is
+    /// abandoned along with the whole head attempt).
+    fn unify_template(
+        &mut self,
+        goal: &RTerm,
+        cells: &[template::Cell],
+        pos: &mut usize,
+        var_offset: usize,
+    ) -> bool {
+        let cell = cells[*pos];
+        match cell {
+            template::Cell::Var(v) => {
+                *pos += 1;
+                self.unify(goal, &RTerm::Var(v as usize + var_offset))
+            }
+            // Constant cells unify in place: same one-unification count and
+            // case analysis as `unify(goal, const)`, without the call and the
+            // redundant dereference of an already-constant right-hand side.
+            template::Cell::Atom(s) => {
+                *pos += 1;
+                self.counters.unifications += 1;
+                self.record_work(self.config.cost_model.per_unification);
+                match self.deref_compress(goal) {
+                    RTerm::Var(x) => {
+                        self.bind(x, RTerm::Atom(s));
+                        true
+                    }
+                    RTerm::Atom(g) => g == s,
+                    _ => false,
+                }
+            }
+            template::Cell::Int(i) => {
+                *pos += 1;
+                self.counters.unifications += 1;
+                self.record_work(self.config.cost_model.per_unification);
+                match self.deref_compress(goal) {
+                    RTerm::Var(x) => {
+                        self.bind(x, RTerm::Int(i));
+                        true
+                    }
+                    RTerm::Int(g) => g == i,
+                    _ => false,
+                }
+            }
+            template::Cell::Float(x) => {
+                *pos += 1;
+                self.counters.unifications += 1;
+                self.record_work(self.config.cost_model.per_unification);
+                match self.deref_compress(goal) {
+                    RTerm::Var(v) => {
+                        self.bind(v, RTerm::Float(x));
+                        true
+                    }
+                    RTerm::Float(g) => g == x,
+                    _ => false,
+                }
+            }
+            template::Cell::VarFirst(v) => {
+                // First occurrence of a head variable: its heap slot is
+                // unbound by construction, so this is a plain bind — same
+                // one-unification count and binding direction as the general
+                // path, minus its dereferences.
+                *pos += 1;
+                self.counters.unifications += 1;
+                self.record_work(self.config.cost_model.per_unification);
+                let head_var = v as usize + var_offset;
+                debug_assert!(self.heap[head_var].is_none(), "first occurrence is unbound");
+                match self.deref_compress(goal) {
+                    RTerm::Var(x) => self.bind(x, RTerm::Var(head_var)),
+                    value => self.bind(head_var, value),
+                }
+                true
+            }
+            template::Cell::Struct(f, arity) => {
+                self.counters.unifications += 1;
+                self.record_work(self.config.cost_model.per_unification);
+                match self.deref_compress(goal) {
+                    RTerm::Var(x) => {
+                        // Materialization on demand: only here does a
+                        // template subtree become a heap term.
+                        let value = template::materialize(cells, pos, var_offset);
+                        self.bind(x, value);
+                        true
+                    }
+                    RTerm::Struct(gf, gargs) if gf == f && gargs.len() == arity as usize => {
+                        *pos += 1;
+                        for ga in gargs.iter() {
+                            if !self.unify_template(ga, cells, pos, var_offset) {
+                                return false;
+                            }
+                        }
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
     fn solve_parallel(&mut self, goal: &RTerm, rest: &Goals, depth: usize) -> EngineResult<Step> {
-        let mut arms = Vec::new();
+        let mut arms = Vec::with_capacity(2);
         flatten_par(self, goal, &mut arms);
         let mark = self.trail.len();
         let children = self.recorder.record_fork(arms.len());
         for (arm, child) in arms.into_iter().zip(children) {
             self.recorder.push(child);
-            let result = self.solve(&push_goal(arm, &None), depth + 1);
+            let arm_goals = self.push_goal_pooled(arm, None);
+            let result = self.solve(&arm_goals, depth + 1);
             self.recorder.pop();
             match result {
                 Ok(true) => {}
@@ -502,25 +891,16 @@ fn flatten_par(machine: &Machine<'_>, goal: &RTerm, out: &mut Vec<RTerm>) {
     }
 }
 
-/// The principal functor of a runtime term (used for indexing). `None` for
-/// variables (which match everything).
-fn principal_functor(t: &RTerm) -> Option<(Symbol, usize)> {
+/// The index key of a (dereferenced) runtime term: the goal-side counterpart
+/// of [`IndexKey::of_term`]. `None` for variables, which match every bucket.
+/// A small `Copy` value — no interner traffic, no formatting, no allocation.
+fn rterm_index_key(t: &RTerm) -> Option<IndexKey> {
     match t {
         RTerm::Var(_) => None,
-        RTerm::Atom(s) => Some((*s, 0)),
-        RTerm::Int(i) => Some((Symbol::intern(&format!("$int{i}")), 0)),
-        RTerm::Float(x) => Some((Symbol::intern(&format!("$flt{x}")), 0)),
-        RTerm::Struct(s, args) => Some((*s, args.len())),
-    }
-}
-
-fn principal_functor_ir(t: &Term) -> Option<(Symbol, usize)> {
-    match t {
-        Term::Var(_) => None,
-        Term::Atom(s) => Some((*s, 0)),
-        Term::Int(i) => Some((Symbol::intern(&format!("$int{i}")), 0)),
-        Term::Float(x) => Some((Symbol::intern(&format!("$flt{}", x.0)), 0)),
-        Term::Struct(s, args) => Some((*s, args.len())),
+        RTerm::Atom(s) => Some(IndexKey::Atom(*s)),
+        RTerm::Int(i) => Some(IndexKey::Int(*i)),
+        RTerm::Float(x) => Some(IndexKey::of_float(*x)),
+        RTerm::Struct(s, args) => Some(IndexKey::Struct(*s, args.len())),
     }
 }
 

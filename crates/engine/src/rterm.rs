@@ -7,6 +7,7 @@
 //! into runtime form by offsetting its clause-local variable indices by the
 //! current heap size.
 
+use granlog_ir::symbol::well_known;
 use granlog_ir::{Symbol, Term};
 use std::rc::Rc;
 
@@ -21,8 +22,11 @@ pub enum RTerm {
     Int(i64),
     /// A float.
     Float(f64),
-    /// A compound term; the argument vector is shared.
-    Struct(Symbol, Rc<Vec<RTerm>>),
+    /// A compound term; the argument slice is shared. `Rc<[RTerm]>` keeps the
+    /// refcount and the arguments in one allocation — half the allocator
+    /// traffic of an `Rc<Vec<RTerm>>` per constructed node, which matters
+    /// because term construction is the engine's dominant allocation source.
+    Struct(Symbol, Rc<[RTerm]>),
 }
 
 impl RTerm {
@@ -35,7 +39,9 @@ impl RTerm {
             Term::Float(x) => RTerm::Float(x.0),
             Term::Struct(name, args) => RTerm::Struct(
                 *name,
-                Rc::new(args.iter().map(|a| RTerm::from_ir(a, var_offset)).collect()),
+                // Exact-size collect: one allocation, elements written in
+                // place.
+                args.iter().map(|a| RTerm::from_ir(a, var_offset)).collect(),
             ),
         }
     }
@@ -57,14 +63,16 @@ impl RTerm {
         }
     }
 
-    /// Is this the atom `[]`?
+    /// Is this the atom `[]`? (An interned-symbol comparison — no string
+    /// lookup.)
     pub fn is_nil(&self) -> bool {
-        matches!(self, RTerm::Atom(s) if s.as_str() == "[]")
+        matches!(self, RTerm::Atom(s) if *s == well_known::get().nil)
     }
 
-    /// Is this a `'.'/2` list cell?
+    /// Is this a `'.'/2` list cell? (An interned-symbol comparison — no
+    /// string lookup.)
     pub fn is_cons(&self) -> bool {
-        matches!(self, RTerm::Struct(s, args) if s.as_str() == "." && args.len() == 2)
+        matches!(self, RTerm::Struct(s, args) if *s == well_known::get().cons && args.len() == 2)
     }
 
     /// Builds an atom.
@@ -77,22 +85,23 @@ impl RTerm {
         if args.is_empty() {
             RTerm::Atom(name)
         } else {
-            RTerm::Struct(name, Rc::new(args))
+            RTerm::Struct(name, args.into())
         }
     }
 
     /// Builds a list cell.
     pub fn cons(head: RTerm, tail: RTerm) -> RTerm {
-        RTerm::Struct(Symbol::intern("."), Rc::new(vec![head, tail]))
+        RTerm::Struct(well_known::get().cons, Rc::from([head, tail]))
     }
 
     /// Builds a proper list.
     pub fn list<I: IntoIterator<Item = RTerm>>(items: I) -> RTerm {
+        let nil = RTerm::Atom(well_known::get().nil);
         let items: Vec<RTerm> = items.into_iter().collect();
         items
             .into_iter()
             .rev()
-            .fold(RTerm::atom("[]"), |acc, x| RTerm::cons(x, acc))
+            .fold(nil, |acc, x| RTerm::cons(x, acc))
     }
 }
 

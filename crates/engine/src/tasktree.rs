@@ -156,6 +156,13 @@ impl TaskTree {
         self.tasks.len() - 1
     }
 
+    /// Adds `n` fresh, empty tasks and returns their (consecutive) id range.
+    pub fn add_tasks(&mut self, n: usize) -> std::ops::Range<TaskId> {
+        let start = self.tasks.len();
+        self.tasks.resize_with(start + n, Task::default);
+        start..start + n
+    }
+
     /// Appends work to a task, merging with a trailing work segment.
     pub fn add_work(&mut self, id: TaskId, work: f64) {
         if work <= 0.0 {
@@ -174,10 +181,16 @@ impl TaskTree {
 }
 
 /// Records the task structure during execution: a stack of "current" tasks.
+///
+/// Work is accumulated in a scalar and only flushed into the tree at task
+/// boundaries (forks, arm entry/exit, finish), so the per-operation cost of
+/// work recording on the engine's hot path is a single float add.
 #[derive(Debug, Clone)]
 pub struct TaskRecorder {
     tree: TaskTree,
     stack: Vec<TaskId>,
+    /// Work recorded for the current task but not yet written to the tree.
+    pending: f64,
 }
 
 impl Default for TaskRecorder {
@@ -187,6 +200,7 @@ impl Default for TaskRecorder {
         TaskRecorder {
             tree,
             stack: vec![root],
+            pending: 0.0,
         }
     }
 }
@@ -202,23 +216,34 @@ impl TaskRecorder {
         *self.stack.last().expect("the root task is never popped")
     }
 
+    fn flush(&mut self) {
+        if self.pending > 0.0 {
+            let id = self.current();
+            let work = std::mem::take(&mut self.pending);
+            self.tree.add_work(id, work);
+        }
+    }
+
     /// Adds sequential work to the current task.
     pub fn record_work(&mut self, work: f64) {
-        let id = self.current();
-        self.tree.add_work(id, work);
+        self.pending += work;
     }
 
     /// Records a fork of `n` children in the current task and returns their
-    /// ids (in order).
-    pub fn record_fork(&mut self, n: usize) -> Vec<TaskId> {
-        let children: Vec<TaskId> = (0..n).map(|_| self.tree.add_task()).collect();
+    /// ids (in order). Child ids are consecutive, so the returned range
+    /// carries them without allocating; the stored fork segment owns the only
+    /// id vector.
+    pub fn record_fork(&mut self, n: usize) -> std::ops::Range<TaskId> {
+        self.flush();
+        let children = self.tree.add_tasks(n);
         let id = self.current();
-        self.tree.add_fork(id, children.clone());
+        self.tree.add_fork(id, children.clone().collect());
         children
     }
 
     /// Makes `task` the current task (entering a forked arm).
     pub fn push(&mut self, task: TaskId) {
+        self.flush();
         self.stack.push(task);
     }
 
@@ -229,15 +254,18 @@ impl TaskRecorder {
     /// Panics if called more often than [`TaskRecorder::push`].
     pub fn pop(&mut self) {
         assert!(self.stack.len() > 1, "cannot pop the root task");
+        self.flush();
         self.stack.pop();
     }
 
     /// Finishes recording and returns the tree.
-    pub fn into_tree(self) -> TaskTree {
+    pub fn into_tree(mut self) -> TaskTree {
+        self.flush();
         self.tree
     }
 
-    /// The tree recorded so far.
+    /// The tree recorded so far (pending work not yet flushed is invisible —
+    /// call sites that need exact totals should use [`Self::into_tree`]).
     pub fn tree(&self) -> &TaskTree {
         &self.tree
     }
@@ -252,7 +280,7 @@ mod tests {
     fn sample() -> TaskTree {
         let mut r = TaskRecorder::new();
         r.record_work(10.0);
-        let kids = r.record_fork(2);
+        let kids: Vec<TaskId> = r.record_fork(2).collect();
         r.push(kids[0]);
         r.record_work(30.0);
         r.pop();
@@ -306,10 +334,10 @@ mod tests {
     fn nested_forks() {
         let mut r = TaskRecorder::new();
         r.record_work(1.0);
-        let outer = r.record_fork(2);
+        let outer: Vec<TaskId> = r.record_fork(2).collect();
         r.push(outer[0]);
         r.record_work(2.0);
-        let inner = r.record_fork(2);
+        let inner: Vec<TaskId> = r.record_fork(2).collect();
         r.push(inner[0]);
         r.record_work(4.0);
         r.pop();

@@ -1,0 +1,403 @@
+//! Precompiled clause templates: a WAM-lite flattening of clause heads and
+//! bodies into compact preorder cell arrays.
+//!
+//! The seed interpreter re-translated every candidate clause's head (and, on
+//! success, its body) from the IR tree into `Rc`-based runtime terms on
+//! *every* activation attempt — a tree walk plus one allocation per compound
+//! subterm, dominating the engine's hot path. A [`ClauseTemplate`] is built
+//! once per clause at program-load time instead:
+//!
+//! * the head's arguments and the body are flattened into one contiguous
+//!   [`Cell`] array in preorder, so walking a template is a cursor bump over
+//!   a cache-friendly slice rather than pointer chasing;
+//! * head unification ([`crate::machine::Machine`]) matches goal arguments
+//!   directly against the cells and only *materializes* a runtime term for a
+//!   template subtree when unification actually demands one (the goal side is
+//!   an unbound variable) — bound input arguments unify with zero
+//!   allocations;
+//! * the body is materialized at most once per successful resolution, and
+//!   `true` bodies (facts) are recognised up front and never materialized at
+//!   all.
+
+use crate::builtins::{self, Builtin};
+use crate::rterm::RTerm;
+use granlog_ir::symbol::well_known;
+use granlog_ir::{Clause, Program, Symbol, Term};
+use std::rc::Rc;
+
+/// One node of a flattened term, in preorder. A [`Cell::Struct`] with arity
+/// `n` is immediately followed by its `n` argument subtrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Cell {
+    /// A clause-local variable index (offset by the activation's heap mark).
+    Var(u32),
+    /// Like [`Cell::Var`], but statically known to be this variable's *first*
+    /// occurrence within the clause head. At activation time the heap slot is
+    /// therefore guaranteed unbound, so head unification binds it directly
+    /// without dereferencing it first. (Materialization treats it exactly
+    /// like `Var`; a first occurrence consumed by materialization leaves the
+    /// slot unbound, which later `Var` occurrences handle by the general
+    /// path.)
+    VarFirst(u32),
+    /// An atom.
+    Atom(Symbol),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A compound term: functor and arity; arguments follow in preorder.
+    Struct(Symbol, u32),
+}
+
+/// A body goal the engine can execute *eagerly* during clause activation,
+/// straight off the template cells, without materializing the goal term or
+/// pushing a continuation frame. Only the deterministic builtin prefix of a
+/// body qualifies — execution order is preserved exactly, so counters and
+/// bindings are identical to pushing and popping the goals one by one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EagerGoal {
+    /// An arithmetic comparison (`<`, `>`, `=<`, `>=`, `=:=`, `=\=`): both
+    /// operand subtrees are evaluated directly from the cells.
+    NumCompare { op: Builtin, lhs: u32, rhs: u32 },
+    /// `Lhs is Rhs`: the right-hand side is evaluated from the cells and the
+    /// result unified with the left-hand subtree.
+    Is { lhs: u32, rhs: u32 },
+    /// Any other builtin: the goal term is materialized and dispatched.
+    Other { builtin: Builtin, goal: u32 },
+}
+
+/// A clause compiled to preorder cell arrays: head argument subtrees first,
+/// then the body subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClauseTemplate {
+    cells: Vec<Cell>,
+    /// Start offset of each head argument's subtree within `cells`.
+    head_args: Vec<u32>,
+    /// Start offset of the body subtree within `cells`.
+    body_start: u32,
+    /// The body's leading builtin goals, executed during activation without
+    /// materialization (see [`EagerGoal`]).
+    eager: Vec<EagerGoal>,
+    /// Start offsets of the body's remaining top-level sequential goals (the
+    /// body with `','` flattened, `true` literals dropped, and the eager
+    /// prefix removed). The engine pushes these as goal frames directly,
+    /// skipping both the materialization of the conjunction spine and its
+    /// re-decomposition in the solve loop.
+    body_goals: Vec<u32>,
+    num_vars: u32,
+}
+
+impl ClauseTemplate {
+    /// Compiles a clause into its template.
+    pub fn compile(clause: &Clause) -> ClauseTemplate {
+        let mut cells = Vec::new();
+        let mut head_args = Vec::with_capacity(clause.head.args().len());
+        for arg in clause.head.args() {
+            head_args.push(cells.len() as u32);
+            flatten(arg, &mut cells);
+        }
+        // Mark first occurrences of head variables (head traversal order is
+        // exactly head-unification order).
+        let mut seen = vec![false; clause.num_vars()];
+        for cell in &mut cells {
+            if let Cell::Var(v) = *cell {
+                if !std::mem::replace(&mut seen[v as usize], true) {
+                    *cell = Cell::VarFirst(v);
+                }
+            }
+        }
+        let body_start = cells.len() as u32;
+        flatten(&clause.body, &mut cells);
+        let mut goal_offsets = Vec::new();
+        collect_body_goals(&cells, body_start as usize, &mut goal_offsets);
+        // Split off the eagerly executable builtin prefix.
+        let mut eager = Vec::new();
+        let mut body_goals = Vec::new();
+        let mut prefix = true;
+        for &pos in &goal_offsets {
+            if prefix {
+                if let Some(step) = classify_eager(&cells, pos as usize) {
+                    eager.push(step);
+                    continue;
+                }
+                prefix = false;
+            }
+            body_goals.push(pos);
+        }
+        ClauseTemplate {
+            cells,
+            head_args,
+            body_start,
+            eager,
+            body_goals,
+            num_vars: clause.num_vars() as u32,
+        }
+    }
+
+    /// The flattened cell array (head argument subtrees, then the body).
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Start offsets of the head argument subtrees within [`Self::cells`].
+    pub fn head_arg_positions(&self) -> &[u32] {
+        &self.head_args
+    }
+
+    /// Number of distinct variables in the clause.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Start offsets (within [`Self::cells`]) of the body's top-level
+    /// sequential goals after the eager prefix, `','`-flattened with `true`
+    /// literals dropped. Empty for facts: nothing to materialize, nothing to
+    /// push.
+    pub fn body_goals(&self) -> &[u32] {
+        &self.body_goals
+    }
+
+    /// The body's eagerly executable builtin prefix.
+    pub(crate) fn eager(&self) -> &[EagerGoal] {
+        &self.eager
+    }
+
+    /// `true` if the clause body contributes no goals (a fact, or a body that
+    /// is only `true` literals).
+    pub fn body_is_true(&self) -> bool {
+        self.body_goals.is_empty() && self.eager.is_empty()
+    }
+
+    /// Materializes the whole clause body as a runtime term, renaming
+    /// clause-local variables by `var_offset`. (The engine's fast path pushes
+    /// [`Self::body_goals`] individually instead; this is the one-shot
+    /// equivalent, kept for comparison benchmarks and tests.)
+    pub fn materialize_body(&self, var_offset: usize) -> RTerm {
+        let mut pos = self.body_start as usize;
+        materialize(&self.cells, &mut pos, var_offset)
+    }
+}
+
+/// Compiles every clause of a program, indexed by clause id.
+pub fn compile_program(program: &Program) -> Vec<ClauseTemplate> {
+    program
+        .clauses()
+        .iter()
+        .map(ClauseTemplate::compile)
+        .collect()
+}
+
+/// Collects the start offsets of the top-level sequential goals of the body
+/// subtree rooted at `pos`, flattening `','` and dropping `true` literals —
+/// the compile-time image of what the solve loop's conjunction dispatch would
+/// do at run time. Returns the offset just past the subtree.
+fn collect_body_goals(cells: &[Cell], pos: usize, out: &mut Vec<u32>) -> usize {
+    let wk = well_known::get();
+    match cells[pos] {
+        Cell::Struct(s, 2) if s == wk.comma => {
+            let mid = collect_body_goals(cells, pos + 1, out);
+            collect_body_goals(cells, mid, out)
+        }
+        Cell::Atom(s) if s == wk.true_ => pos + 1,
+        _ => {
+            out.push(pos as u32);
+            skip_subtree(cells, pos)
+        }
+    }
+}
+
+/// Classifies a body goal as eagerly executable, if it is a builtin.
+fn classify_eager(cells: &[Cell], pos: usize) -> Option<EagerGoal> {
+    let (name, arity) = match cells[pos] {
+        Cell::Atom(s) => (s, 0usize),
+        Cell::Struct(s, a) => (s, a as usize),
+        _ => return None,
+    };
+    let builtin = *builtins::table().get(&(name, arity))?;
+    Some(match builtin {
+        Builtin::NumLt
+        | Builtin::NumGt
+        | Builtin::NumLe
+        | Builtin::NumGe
+        | Builtin::NumEq
+        | Builtin::NumNe => {
+            let lhs = pos + 1;
+            let rhs = skip_subtree(cells, lhs);
+            EagerGoal::NumCompare {
+                op: builtin,
+                lhs: lhs as u32,
+                rhs: rhs as u32,
+            }
+        }
+        Builtin::Is => {
+            let lhs = pos + 1;
+            let rhs = skip_subtree(cells, lhs);
+            EagerGoal::Is {
+                lhs: lhs as u32,
+                rhs: rhs as u32,
+            }
+        }
+        _ => EagerGoal::Other {
+            builtin,
+            goal: pos as u32,
+        },
+    })
+}
+
+/// The offset just past the preorder subtree starting at `pos`.
+fn skip_subtree(cells: &[Cell], pos: usize) -> usize {
+    match cells[pos] {
+        Cell::Struct(_, arity) => {
+            let mut p = pos + 1;
+            for _ in 0..arity {
+                p = skip_subtree(cells, p);
+            }
+            p
+        }
+        _ => pos + 1,
+    }
+}
+
+fn flatten(term: &Term, cells: &mut Vec<Cell>) {
+    match term {
+        Term::Var(v) => cells.push(Cell::Var(*v as u32)),
+        Term::Atom(s) => cells.push(Cell::Atom(*s)),
+        Term::Int(i) => cells.push(Cell::Int(*i)),
+        Term::Float(x) => cells.push(Cell::Float(x.0)),
+        Term::Struct(s, args) => {
+            cells.push(Cell::Struct(*s, args.len() as u32));
+            for arg in args {
+                flatten(arg, cells);
+            }
+        }
+    }
+}
+
+/// Builds the runtime term for the preorder subtree starting at `*pos`,
+/// advancing `*pos` past it. Clause-local variables are offset by
+/// `var_offset` (the activation's heap mark).
+pub fn materialize(cells: &[Cell], pos: &mut usize, var_offset: usize) -> RTerm {
+    let cell = cells[*pos];
+    *pos += 1;
+    match cell {
+        Cell::Var(v) | Cell::VarFirst(v) => RTerm::Var(v as usize + var_offset),
+        Cell::Atom(s) => RTerm::Atom(s),
+        Cell::Int(i) => RTerm::Int(i),
+        Cell::Float(x) => RTerm::Float(x),
+        Cell::Struct(s, arity) => {
+            // Exact-size collect over a range: a single allocation with the
+            // arguments materialized directly into it, in order.
+            let args: Rc<[RTerm]> = (0..arity)
+                .map(|_| materialize(cells, pos, var_offset))
+                .collect();
+            RTerm::Struct(s, args)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_ir::parser::parse_program;
+
+    fn clause(src: &str) -> Clause {
+        parse_program(src).unwrap().clauses()[0].clone()
+    }
+
+    #[test]
+    fn template_matches_from_ir_materialization() {
+        let c = clause("app([H|T], L, [H|R]) :- app(T, L, R).");
+        let t = ClauseTemplate::compile(&c);
+        assert_eq!(t.num_vars(), 4);
+        assert!(!t.body_is_true());
+        for offset in [0usize, 10, 1000] {
+            assert_eq!(t.materialize_body(offset), RTerm::from_ir(&c.body, offset));
+            for (k, pos0) in t.head_arg_positions().iter().enumerate() {
+                let mut pos = *pos0 as usize;
+                assert_eq!(
+                    materialize(t.cells(), &mut pos, offset),
+                    RTerm::from_ir(&c.head.args()[k], offset),
+                    "head arg {k} at offset {offset}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn facts_are_recognised() {
+        let t = ClauseTemplate::compile(&clause("p(a, f(b))."));
+        assert!(t.body_is_true());
+        assert!(t.body_goals().is_empty());
+        assert_eq!(t.head_arg_positions().len(), 2);
+    }
+
+    #[test]
+    fn body_goals_flatten_conjunctions_and_drop_true() {
+        let c = clause("p(X) :- a(X), true, (b(X) ; c(X)), d(X) & e(X), f.");
+        let t = ClauseTemplate::compile(&c);
+        // Top-level goals: a(X), the disjunction, the parallel conjunction,
+        // and f — `true` is dropped, `;` and `&` stay whole.
+        assert_eq!(t.body_goals().len(), 4);
+        let goals: Vec<RTerm> = t
+            .body_goals()
+            .iter()
+            .map(|&p| {
+                let mut pos = p as usize;
+                materialize(t.cells(), &mut pos, 0)
+            })
+            .collect();
+        assert_eq!(goals[0].functor().unwrap().0.as_str(), "a");
+        assert_eq!(goals[1].functor().unwrap().0.as_str(), ";");
+        assert_eq!(goals[2].functor().unwrap().0.as_str(), "&");
+        assert_eq!(goals[3].functor().unwrap().0.as_str(), "f");
+    }
+
+    #[test]
+    fn true_only_bodies_have_no_goals() {
+        let t = ClauseTemplate::compile(&clause("p :- true, true."));
+        assert!(t.body_is_true());
+    }
+
+    #[test]
+    fn leading_builtins_compile_to_eager_steps() {
+        let c = clause("fib(M, N) :- M > 1, M1 is M - 1, fib(M1, N1), N is N1.");
+        let t = ClauseTemplate::compile(&c);
+        // `M > 1` and `M1 is M - 1` are eager; the recursive call stops the
+        // prefix, so the trailing `is` is pushed like any other goal.
+        assert_eq!(t.eager().len(), 2);
+        assert!(matches!(t.eager()[0], EagerGoal::NumCompare { .. }));
+        assert!(matches!(t.eager()[1], EagerGoal::Is { .. }));
+        assert_eq!(t.body_goals().len(), 2);
+        assert!(!t.body_is_true());
+    }
+
+    #[test]
+    fn builtin_only_bodies_are_fully_eager() {
+        let t = ClauseTemplate::compile(&clause("check(X) :- X > 0, X < 10."));
+        assert_eq!(t.eager().len(), 2);
+        assert!(t.body_goals().is_empty());
+        assert!(!t.body_is_true());
+    }
+
+    #[test]
+    fn materialize_advances_cursor_past_subtree() {
+        let c = clause("p(f(g(1), [a]), X).");
+        let t = ClauseTemplate::compile(&c);
+        let mut pos = t.head_arg_positions()[0] as usize;
+        let first = materialize(t.cells(), &mut pos, 0);
+        assert_eq!(pos, t.head_arg_positions()[1] as usize);
+        assert_eq!(first, RTerm::from_ir(&c.head.args()[0], 0));
+    }
+
+    #[test]
+    fn compile_program_is_indexed_by_clause_id() {
+        let p = parse_program("a(1). b(2). a(3).").unwrap();
+        let templates = compile_program(&p);
+        assert_eq!(templates.len(), 3);
+        let mut pos = templates[2].head_arg_positions()[0] as usize;
+        assert_eq!(
+            materialize(templates[2].cells(), &mut pos, 0),
+            RTerm::Int(3)
+        );
+    }
+}

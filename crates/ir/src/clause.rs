@@ -125,7 +125,7 @@ fn collect_called_goals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
             collect_called_goals(&args[0], out);
             collect_called_goals(&args[1], out);
         }
-        Term::Struct(s, args) if s.as_str() == "\\+" && args.len() == 1 => {
+        Term::Struct(s, args) if *s == well_known::get().not && args.len() == 1 => {
             collect_called_goals(&args[0], out);
         }
         other => out.push(other),
@@ -193,7 +193,7 @@ impl<'a> BodyView<'a> {
                     Box::new(BodyView::of(&args[1])),
                 )
             }
-            Term::Struct(s, args) if s.as_str() == "\\+" && args.len() == 1 => {
+            Term::Struct(s, args) if *s == well_known::get().not && args.len() == 1 => {
                 BodyView::Not(Box::new(BodyView::of(&args[0])))
             }
             other => BodyView::Goal(other),

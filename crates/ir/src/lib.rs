@@ -51,6 +51,6 @@ pub use callgraph::{CallGraph, RecursionClass, Scc};
 pub use clause::{Clause, ClauseId};
 pub use modes::{ArgMode, ModeDecl};
 pub use parser::{parse_program, parse_term, ParseError};
-pub use program::{Directive, PredId, Predicate, Program};
-pub use symbol::Symbol;
+pub use program::{ClauseIndex, Directive, IndexKey, PredId, Predicate, Program};
+pub use symbol::{FastHasher, FastMap, Symbol};
 pub use term::{Term, VarId};

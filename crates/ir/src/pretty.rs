@@ -88,7 +88,7 @@ fn fmt_list(term: &Term, var_names: Option<&[Symbol]>, f: &mut fmt::Formatter<'_
     let mut first = true;
     loop {
         match cur {
-            Term::Struct(s, args) if s.as_str() == "." && args.len() == 2 => {
+            Term::Struct(s, args) if *s == crate::symbol::well_known::cons() && args.len() == 2 => {
                 if !first {
                     write!(f, ",")?;
                 }

@@ -12,7 +12,59 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::{Mutex, OnceLock};
+
+/// A fast, non-cryptographic hasher for small fixed-size keys (symbols,
+/// predicate ids, index keys) on hot paths.
+///
+/// The standard library's default SipHash is DoS-resistant but costs tens of
+/// nanoseconds per probe; engine dispatch tables and clause-index buckets are
+/// probed once per goal, so they use this Fibonacci-multiply / xor-shift
+/// hasher instead. Keys are interner indices and small integers — attacker-
+/// controlled collisions are not a concern here.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for FastHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PHI);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(PHI);
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(PHI);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(PHI);
+    }
+
+    fn write_usize(&mut self, v: usize) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(PHI);
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+
+    fn finish(&self) -> u64 {
+        // One final avalanche so high bits (used by hashbrown's control
+        // bytes) depend on every input.
+        let h = self.0;
+        (h ^ (h >> 29)).wrapping_mul(PHI)
+    }
+}
+
+/// `HashMap` keyed by small interned values, using [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
 
 /// An interned string naming an atom, functor or predicate.
 ///
@@ -112,52 +164,107 @@ impl<'de> serde::Deserialize<'de> for Symbol {
 }
 
 /// Well-known symbols used throughout the system.
+///
+/// The individual accessors (`nil()`, `cons()`, ...) are backed by a table
+/// interned exactly once per process ([`well_known::get`]), so calling them in
+/// hot paths costs a relaxed `OnceLock` load rather than an interner-mutex
+/// round trip. Engine inner loops should fetch the whole [`WellKnownSymbols`]
+/// table once and compare against its fields directly.
 pub mod well_known {
     use super::Symbol;
+    use std::sync::OnceLock;
+
+    /// Every well-known symbol, interned once and cached for the process.
+    #[derive(Debug, Clone, Copy)]
+    pub struct WellKnownSymbols {
+        /// The empty-list atom `[]`.
+        pub nil: Symbol,
+        /// The list constructor `'.'`.
+        pub cons: Symbol,
+        /// The atom `true`.
+        pub true_: Symbol,
+        /// The atom `fail`.
+        pub fail: Symbol,
+        /// The atom `false` (synonym of `fail` in goal position).
+        pub false_: Symbol,
+        /// The cut atom `!`.
+        pub cut: Symbol,
+        /// The conjunction functor `','`.
+        pub comma: Symbol,
+        /// The disjunction functor `';'`.
+        pub semicolon: Symbol,
+        /// The if-then functor `'->'`.
+        pub arrow: Symbol,
+        /// The parallel-conjunction functor `'&'`.
+        pub par_and: Symbol,
+        /// The clause-neck functor `':-'`.
+        pub neck: Symbol,
+        /// The negation-as-failure functor `'\+'`.
+        pub not: Symbol,
+    }
+
+    /// The process-wide well-known symbol table.
+    pub fn get() -> &'static WellKnownSymbols {
+        static TABLE: OnceLock<WellKnownSymbols> = OnceLock::new();
+        TABLE.get_or_init(|| WellKnownSymbols {
+            nil: Symbol::intern("[]"),
+            cons: Symbol::intern("."),
+            true_: Symbol::intern("true"),
+            fail: Symbol::intern("fail"),
+            false_: Symbol::intern("false"),
+            cut: Symbol::intern("!"),
+            comma: Symbol::intern(","),
+            semicolon: Symbol::intern(";"),
+            arrow: Symbol::intern("->"),
+            par_and: Symbol::intern("&"),
+            neck: Symbol::intern(":-"),
+            not: Symbol::intern("\\+"),
+        })
+    }
 
     /// The empty-list atom `[]`.
     pub fn nil() -> Symbol {
-        Symbol::intern("[]")
+        get().nil
     }
 
     /// The list constructor `'.'`.
     pub fn cons() -> Symbol {
-        Symbol::intern(".")
+        get().cons
     }
 
     /// The atom `true`.
     pub fn true_() -> Symbol {
-        Symbol::intern("true")
+        get().true_
     }
 
     /// The atom `fail`.
     pub fn fail() -> Symbol {
-        Symbol::intern("fail")
+        get().fail
     }
 
     /// The conjunction functor `','`.
     pub fn comma() -> Symbol {
-        Symbol::intern(",")
+        get().comma
     }
 
     /// The disjunction functor `';'`.
     pub fn semicolon() -> Symbol {
-        Symbol::intern(";")
+        get().semicolon
     }
 
     /// The if-then functor `'->'`.
     pub fn arrow() -> Symbol {
-        Symbol::intern("->")
+        get().arrow
     }
 
     /// The parallel-conjunction functor `'&'`.
     pub fn par_and() -> Symbol {
-        Symbol::intern("&")
+        get().par_and
     }
 
     /// The clause-neck functor `':-'`.
     pub fn neck() -> Symbol {
-        Symbol::intern(":-")
+        get().neck
     }
 }
 
@@ -206,6 +313,18 @@ mod tests {
         assert_eq!(well_known::cons().as_str(), ".");
         assert_eq!(well_known::comma().as_str(), ",");
         assert_eq!(well_known::par_and().as_str(), "&");
+    }
+
+    #[test]
+    fn well_known_table_matches_interner() {
+        let wk = well_known::get();
+        assert_eq!(wk.nil, Symbol::intern("[]"));
+        assert_eq!(wk.cons, Symbol::intern("."));
+        assert_eq!(wk.cut, Symbol::intern("!"));
+        assert_eq!(wk.false_, Symbol::intern("false"));
+        assert_eq!(wk.not, Symbol::intern("\\+"));
+        // The table is interned once: repeated calls return identical symbols.
+        assert_eq!(well_known::get().neck, wk.neck);
     }
 
     #[test]

@@ -224,7 +224,7 @@ mod tests {
     fn sample_tree() -> TaskTree {
         let mut r = TaskRecorder::new();
         r.record_work(10.0);
-        let kids = r.record_fork(2);
+        let kids: Vec<usize> = r.record_fork(2).collect();
         r.push(kids[0]);
         r.record_work(30.0);
         r.pop();
@@ -292,7 +292,7 @@ mod tests {
         // gains — exactly the phenomenon granularity control avoids.
         let mut r = TaskRecorder::new();
         for _ in 0..50 {
-            let kids = r.record_fork(2);
+            let kids: Vec<usize> = r.record_fork(2).collect();
             r.push(kids[0]);
             r.record_work(1.0);
             r.pop();
@@ -314,7 +314,7 @@ mod tests {
     fn coarse_grained_forks_with_high_overhead_still_speed_up() {
         let mut r = TaskRecorder::new();
         let kids = r.record_fork(4);
-        for &k in &kids {
+        for k in kids {
             r.push(k);
             r.record_work(10_000.0);
             r.pop();
@@ -344,10 +344,10 @@ mod tests {
         // root forks two children; each child forks two grandchildren of 10.
         let mut r = TaskRecorder::new();
         let kids = r.record_fork(2);
-        for &k in &kids {
+        for k in kids {
             r.push(k);
             let grand = r.record_fork(2);
-            for &g in &grand {
+            for g in grand {
                 r.push(g);
                 r.record_work(10.0);
                 r.pop();

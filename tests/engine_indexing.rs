@@ -1,0 +1,158 @@
+//! Differential properties for first-argument clause indexing.
+//!
+//! The engine's persistent per-predicate index must be observationally
+//! identical to the reference per-call linear scan (the seed engine's
+//! behaviour, kept as [`ClauseSelection::LinearScan`]): same success/failure,
+//! same bindings, same operation counters (which pins the clause-trial
+//! *order* — a different candidate order changes `head_attempts`), and the
+//! same recorded task tree. Likewise, dereference path compression must be
+//! invisible to everything but wall time.
+
+use granlog_engine::{ClauseSelection, Machine, MachineConfig, QueryOutcome};
+use granlog_ir::parser::parse_program;
+use granlog_ir::{IndexKey, PredId, Term};
+use proptest::prelude::*;
+
+/// First-argument shapes covering atoms, ints, structs and variables.
+const FIRST_ARGS: &[&str] = &["a", "b", "c", "7", "13", "f(k)", "f(W)", "g(1, 2)", "V"];
+
+/// Probe terms for call-site first arguments (a superset: includes keys no
+/// clause has, plus an unbound variable).
+const PROBES: &[&str] = &[
+    "a", "b", "c", "7", "13", "f(k)", "f(z)", "g(1, 2)", "zzz", "99", "Q",
+];
+
+fn program_src(first_args: &[usize]) -> String {
+    let mut src = String::new();
+    for (i, &fa) in first_args.iter().enumerate() {
+        src.push_str(&format!(
+            "p({}, {}).\n",
+            FIRST_ARGS[fa % FIRST_ARGS.len()],
+            i
+        ));
+    }
+    src
+}
+
+fn run(src: &str, query: &str, selection: ClauseSelection, compression: bool) -> QueryOutcome {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("program does not parse: {e}"));
+    let mut machine = Machine::with_config(
+        &program,
+        MachineConfig {
+            clause_selection: selection,
+            path_compression: compression,
+            ..MachineConfig::default()
+        },
+    );
+    machine
+        .run_query(query)
+        .unwrap_or_else(|e| panic!("query {query} failed: {e}"))
+}
+
+fn assert_equivalent(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
+    assert_eq!(a.succeeded, b.succeeded, "success differs: {context}");
+    assert_eq!(a.bindings, b.bindings, "bindings differ: {context}");
+    assert_eq!(a.counters, b.counters, "counters differ: {context}");
+    assert_eq!(a.work, b.work, "work differs: {context}");
+    assert_eq!(a.task_tree, b.task_tree, "task tree differs: {context}");
+}
+
+proptest! {
+    /// Indexed candidate lists equal a filtered linear scan, in order, for
+    /// every probe key — including keys no clause mentions and the no-key
+    /// (variable) probe.
+    #[test]
+    fn index_buckets_match_reference_scan(first_args in prop::collection::vec(0usize..9, 1..12)) {
+        let src = program_src(&first_args);
+        let program = parse_program(&src).unwrap();
+        let pred = program.predicate(PredId::parse("p", 2)).unwrap();
+        let mut probes: Vec<Option<IndexKey>> = vec![None];
+        for probe in PROBES {
+            let (t, _) = granlog_ir::parser::parse_term(probe).unwrap();
+            probes.push(IndexKey::of_term(&t));
+        }
+        for key in probes {
+            let reference: Vec<usize> = pred
+                .clause_ids
+                .iter()
+                .copied()
+                .filter(|&id| {
+                    match (key.as_ref(), IndexKey::of_clause_head(&program.clauses()[id])) {
+                        (Some(gk), Some(hk)) => *gk == hk,
+                        _ => true,
+                    }
+                })
+                .collect();
+            prop_assert_eq!(
+                pred.candidates(key.as_ref()),
+                reference.as_slice(),
+                "key {:?}", key
+            );
+        }
+    }
+
+    /// The indexed engine and the reference scan produce identical outcomes
+    /// (success, bindings, counters, work, task tree) on single-solution
+    /// queries over mixed atom/int/struct/var first arguments.
+    #[test]
+    fn indexed_engine_matches_linear_scan(
+        first_args in prop::collection::vec(0usize..9, 1..12),
+        probe in 0usize..11,
+    ) {
+        let src = program_src(&first_args);
+        let query = format!("p({}, R)", PROBES[probe % PROBES.len()]);
+        let indexed = run(&src, &query, ClauseSelection::Indexed, false);
+        let scanned = run(&src, &query, ClauseSelection::LinearScan, false);
+        assert_equivalent(&indexed, &scanned, &query);
+    }
+
+    /// Backtracking across candidates visits clauses in the same order under
+    /// both selection strategies: a guard forces the engine past earlier
+    /// matches, and the surviving binding plus the head-attempt counter pin
+    /// the trial order.
+    #[test]
+    fn backtracking_order_is_preserved(
+        first_args in prop::collection::vec(0usize..9, 1..12),
+        probe in 0usize..11,
+        threshold in 0i64..12,
+    ) {
+        let src = program_src(&first_args);
+        let query = format!("p({}, R), R >= {threshold}", PROBES[probe % PROBES.len()]);
+        let indexed = run(&src, &query, ClauseSelection::Indexed, false);
+        let scanned = run(&src, &query, ClauseSelection::LinearScan, false);
+        assert_equivalent(&indexed, &scanned, &query);
+        if indexed.succeeded {
+            let r = indexed.binding("R").expect("R bound on success");
+            prop_assert!(matches!(r, Term::Int(v) if *v >= threshold));
+        }
+    }
+
+    /// Path compression changes no observable outcome on a recursive,
+    /// backtracking workload (naive reverse + a failing probe), under either
+    /// clause-selection strategy.
+    #[test]
+    fn path_compression_is_observationally_inert(xs in prop::collection::vec(0i64..50, 0..15)) {
+        let src = r#"
+            nrev([], []).
+            nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
+            append([], L, L).
+            append([H|L1], L2, [H|L3]) :- append(L1, L2, L3).
+        "#;
+        let list: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+        let query = format!("nrev([{}], R)", list.join(","));
+        let mut outcomes = Vec::new();
+        for selection in [ClauseSelection::Indexed, ClauseSelection::LinearScan] {
+            for compression in [false, true] {
+                outcomes.push(run(src, &query, selection, compression));
+            }
+        }
+        for other in &outcomes[1..] {
+            assert_equivalent(&outcomes[0], other, &query);
+        }
+        if !xs.is_empty() {
+            let reversed = outcomes[0].binding("R").unwrap().as_list().unwrap();
+            prop_assert_eq!(reversed.len(), xs.len());
+            prop_assert_eq!(reversed[0], &Term::int(*xs.last().unwrap()));
+        }
+    }
+}

@@ -21,19 +21,33 @@ pub use std::hint::black_box;
 /// How long each benchmark runs in measurement mode.
 const MEASUREMENT_WINDOW: Duration = Duration::from_millis(300);
 
+/// The shortened measurement window selected by `--quick` (the stub's
+/// counterpart of criterion's quick mode), used by CI to smoke-run every
+/// bench without paying full measurement windows.
+const QUICK_WINDOW: Duration = Duration::from_millis(40);
+
 /// The benchmark driver handed to every `criterion_group!` target.
 pub struct Criterion {
     test_mode: bool,
+    window: Duration,
 }
 
 impl Default for Criterion {
     /// Test mode (a single iteration per benchmark) is selected by a `--test`
     /// argument, matching what cargo passes to `harness = false` bench
-    /// targets during `cargo test`.
+    /// targets during `cargo test`. A `--quick` argument (as in
+    /// `cargo bench -- --quick`) shrinks the measurement window instead.
     fn default() -> Self {
-        Criterion {
-            test_mode: std::env::args().any(|a| a == "--test"),
+        let mut test_mode = false;
+        let mut window = MEASUREMENT_WINDOW;
+        for arg in std::env::args() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--quick" => window = QUICK_WINDOW,
+                _ => {}
+            }
         }
+        Criterion { test_mode, window }
     }
 }
 
@@ -43,7 +57,7 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&id.to_string(), self.test_mode, &mut f);
+        run_one(&id.to_string(), self.test_mode, self.window, &mut f);
         self
     }
 
@@ -69,7 +83,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, self.criterion.test_mode, &mut f);
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.criterion.window,
+            &mut f,
+        );
         self
     }
 
@@ -84,9 +103,12 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let label = format!("{}/{}", self.name, id);
-        run_one(&label, self.criterion.test_mode, &mut |b: &mut Bencher| {
-            f(b, input)
-        });
+        run_one(
+            &label,
+            self.criterion.test_mode,
+            self.criterion.window,
+            &mut |b: &mut Bencher| f(b, input),
+        );
         self
     }
 
@@ -125,6 +147,7 @@ impl Display for BenchmarkId {
 /// Drives the timed closure of one benchmark.
 pub struct Bencher {
     test_mode: bool,
+    window: Duration,
     iterations: u64,
     elapsed: Duration,
 }
@@ -142,11 +165,11 @@ impl Bencher {
         let warmup_start = Instant::now();
         black_box(routine());
         let warmup = warmup_start.elapsed().max(Duration::from_nanos(1));
-        let per_batch = (MEASUREMENT_WINDOW.as_nanos() / 10 / warmup.as_nanos()).clamp(1, 10_000);
+        let per_batch = (self.window.as_nanos() / 10 / warmup.as_nanos()).clamp(1, 10_000);
 
         let mut iterations = 0u64;
         let start = Instant::now();
-        while start.elapsed() < MEASUREMENT_WINDOW {
+        while start.elapsed() < self.window {
             for _ in 0..per_batch {
                 black_box(routine());
             }
@@ -157,9 +180,10 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, window: Duration, f: &mut F) {
     let mut bencher = Bencher {
         test_mode,
+        window,
         iterations: 0,
         elapsed: Duration::ZERO,
     };
