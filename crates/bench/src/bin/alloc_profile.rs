@@ -1,52 +1,157 @@
-//! Diagnostic: counts allocator traffic and per-resolution cost on the
-//! allocation-heavy benchmark programs, attributing engine hot-path time
-//! between allocator pressure and interpretive overhead.
+//! Diagnostic: per-benchmark allocator traffic and machine memory profile.
+//!
+//! For every one of the 13 benchmark programs this reports, for one
+//! steady-state query on a warm machine:
+//!
+//! * allocator calls and allocations per resolution (requires the default
+//!   `alloc-count` feature of this crate);
+//! * wall time per resolution;
+//! * the engine's arena high-water mark (cells), goal-stack high-water mark,
+//!   trail high-water mark and maximum live choice-point depth
+//!   ([`granlog_engine::MachineStats`]).
+//!
+//! ```text
+//! cargo run --release -p granlog-bench --bin alloc_profile -- [--output PATH]
+//! ```
+//!
+//! With `--output PATH` the table is also written as JSON, which CI uploads
+//! next to the benchmark snapshot artifact.
 
-use granlog_benchmarks::benchmark;
-use granlog_engine::Machine;
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use granlog_benchmarks::{all_benchmarks, nrev_benchmark};
+use granlog_engine::{Machine, MachineStats};
+use std::fmt::Write as _;
 
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static FREES: AtomicU64 = AtomicU64::new(0);
-
-struct Counting;
-
-unsafe impl GlobalAlloc for Counting {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        FREES.fetch_add(1, Ordering::Relaxed);
-        System.dealloc(ptr, layout)
-    }
+struct ProfileRow {
+    label: String,
+    resolutions: u64,
+    unifications: u64,
+    allocs: Option<u64>,
+    ns_per_resolution: f64,
+    stats: MachineStats,
 }
 
-#[global_allocator]
-static A: Counting = Counting;
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
 
 fn main() {
-    for name in ["nrev", "hanoi", "flatten", "quick_sort"] {
-        let bench = benchmark(name).expect("exists");
-        let program = bench.program().expect("parses");
-        let (goal, vars) =
-            granlog_ir::parser::parse_term(&bench.query(bench.default_size)).expect("parses");
-        let mut machine = Machine::new(&program);
-        // warm up
-        let out = machine.run_goal(&goal, &vars).expect("runs");
-        let a0 = ALLOCS.load(Ordering::Relaxed);
-        let t0 = std::time::Instant::now();
-        let out2 = machine.run_goal(&goal, &vars).expect("runs");
-        let dt = t0.elapsed().as_secs_f64() * 1e9;
-        let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
-        let res = out2.counters.resolutions;
-        println!(
-            "{name:12} resolutions {res:8} unif {:9} allocs {allocs:8} ({:.2}/res)  {:.0} ns/res  total {:.0} us",
-            out.counters.unifications,
-            allocs as f64 / res as f64,
-            dt / res as f64,
-            dt / 1e3,
+    let args: Vec<String> = std::env::args().collect();
+    let output = arg_value(&args, "--output");
+
+    let rows = granlog_engine::with_large_stack(|| {
+        let mut rows = Vec::new();
+        for bench in all_benchmarks()
+            .into_iter()
+            .chain(std::iter::once(nrev_benchmark()))
+        {
+            let size = bench.default_size;
+            let program = bench.program().expect("benchmark parses");
+            let (goal, vars) =
+                granlog_ir::parser::parse_term(&bench.query(size)).expect("benchmark query parses");
+            let mut machine = Machine::new(&program);
+            // Warm up: arena/stack capacities reach steady state.
+            let warm = machine.run_goal(&goal, &vars).expect("benchmark runs");
+            assert!(warm.succeeded, "{} did not succeed", bench.name);
+            let before = granlog_bench::allocations_now();
+            let t0 = std::time::Instant::now();
+            let out = machine.run_goal(&goal, &vars).expect("benchmark runs");
+            let dt = t0.elapsed().as_secs_f64() * 1e9;
+            let allocs = granlog_bench::allocations_now()
+                .zip(before)
+                .map(|(a, b)| a - b);
+            rows.push(ProfileRow {
+                label: format!("{}({size})", bench.name),
+                resolutions: out.counters.resolutions,
+                unifications: out.counters.unifications,
+                allocs,
+                ns_per_resolution: dt / out.counters.resolutions.max(1) as f64,
+                stats: machine.stats(),
+            });
+        }
+        rows
+    });
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{:<20} {:>8} {:>9} {:>8} {:>10} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "program",
+        "res",
+        "unif",
+        "allocs",
+        "allocs/res",
+        "ns/res",
+        "arena_hw",
+        "goals_hw",
+        "trail_hw",
+        "cp_depth"
+    );
+    let mut total_res = 0u64;
+    let mut total_allocs = 0u64;
+    for row in &rows {
+        total_res += row.resolutions;
+        total_allocs += row.allocs.unwrap_or(0);
+        let _ = writeln!(
+            text,
+            "{:<20} {:>8} {:>9} {:>8} {:>10} {:>8.0} {:>10} {:>10} {:>8} {:>8}",
+            row.label,
+            row.resolutions,
+            row.unifications,
+            row.allocs.map_or_else(|| "n/a".into(), |a| a.to_string()),
+            row.allocs.map_or_else(
+                || "n/a".into(),
+                |a| format!("{:.2}", a as f64 / row.resolutions.max(1) as f64)
+            ),
+            row.ns_per_resolution,
+            row.stats.heap_high_water,
+            row.stats.goal_stack_high_water,
+            row.stats.trail_high_water,
+            row.stats.max_choice_depth,
         );
+    }
+    let _ = writeln!(
+        text,
+        "suite aggregate: {total_res} resolutions, {total_allocs} allocations \
+         ({:.3} allocs/res)",
+        total_allocs as f64 / total_res.max(1) as f64
+    );
+    print!("{text}");
+
+    if let Some(path) = output {
+        let mut json = String::new();
+        let _ = writeln!(json, "{{");
+        let _ = writeln!(json, "  \"schema\": \"granlog/alloc-profile/v1\",");
+        let _ = writeln!(json, "  \"programs\": [");
+        for (i, row) in rows.iter().enumerate() {
+            let allocs = row.allocs.map_or_else(|| "null".into(), |a| a.to_string());
+            let _ = writeln!(
+                json,
+                "    {{\"label\": \"{}\", \"resolutions\": {}, \"unifications\": {}, \
+                 \"allocs\": {}, \"ns_per_resolution\": {:.1}, \"arena_high_water\": {}, \
+                 \"goal_stack_high_water\": {}, \"trail_high_water\": {}, \
+                 \"max_choice_depth\": {}}}{}",
+                row.label,
+                row.resolutions,
+                row.unifications,
+                allocs,
+                row.ns_per_resolution,
+                row.stats.heap_high_water,
+                row.stats.goal_stack_high_water,
+                row.stats.trail_high_water,
+                row.stats.max_choice_depth,
+                if i + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        let _ = writeln!(json, "  ],");
+        let _ = writeln!(
+            json,
+            "  \"aggregate_allocs_per_resolution\": {:.3}",
+            total_allocs as f64 / total_res.max(1) as f64
+        );
+        let _ = write!(json, "}}");
+        std::fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[alloc_profile] wrote {path}");
     }
 }

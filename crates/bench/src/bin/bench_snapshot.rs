@@ -11,8 +11,13 @@
 //! With `--baseline PATH`, a previously emitted snapshot is read back; its
 //! wall times become the `baseline_wall_ms` of the new snapshot (with a
 //! derived `speedup` factor), and its operation counters are cross-checked —
-//! any divergence is reported loudly, because an engine optimisation must not
-//! change the operation semantics the experiments count.
+//! any divergence is reported loudly and fails the run, because an engine
+//! optimisation must not change the operation semantics the experiments
+//! count. When built with the default `alloc-count` feature, each row also
+//! carries `allocs` / `allocs_per_resolution` for one steady-state query on
+//! a warm machine, and allocation regressions against the baseline are
+//! reported (without failing: alloc counts legitimately move with engine
+//! internals; the trajectory is what the snapshot tracks).
 
 use granlog_benchmarks::{all_benchmarks, nrev_benchmark, Benchmark};
 use granlog_engine::{Counters, Machine};
@@ -25,6 +30,16 @@ struct Row {
     wall_ms: f64,
     counters: Counters,
     work: f64,
+    /// Steady-state allocator calls for one query on a warm machine, when
+    /// the `alloc-count` feature is on.
+    allocs: Option<u64>,
+}
+
+struct BaselineRow {
+    name: String,
+    wall_ms: f64,
+    counters: Counters,
+    allocs: Option<u64>,
 }
 
 /// Each timed sample batches enough query repetitions to run at least this
@@ -50,6 +65,18 @@ fn measure(bench: &Benchmark, size: usize, runs: usize) -> Row {
     let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
     assert!(out.succeeded, "{} query did not succeed", bench.name);
     let reps = ((MIN_SAMPLE_MS / warm_ms.max(1e-6)).ceil() as usize).clamp(1, 10_000);
+    // Steady-state allocation count: one more query on the warmed machine,
+    // outside the timing loop (the counter reads are two relaxed loads).
+    let allocs = {
+        let before = granlog_bench::allocations_now();
+        let out = machine
+            .run_goal(&goal, &var_names)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", bench.name));
+        std::hint::black_box(out.succeeded);
+        granlog_bench::allocations_now()
+            .zip(before)
+            .map(|(a, b)| a - b)
+    };
     let mut best = f64::INFINITY;
     for _ in 0..runs.max(1) {
         let start = Instant::now();
@@ -70,10 +97,11 @@ fn measure(bench: &Benchmark, size: usize, runs: usize) -> Row {
         wall_ms: best,
         counters: out.counters,
         work: out.work,
+        allocs,
     }
 }
 
-fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[(String, f64, Counters)]) -> String {
+fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[BaselineRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"granlog/bench-engine/v1\",");
@@ -102,15 +130,30 @@ fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[(String, f64, Cou
             c.grain_test_elements,
             row.work,
         );
-        if let Some((_, base_ms, base_counters)) = baseline.iter().find(|(n, _, _)| *n == row.name)
-        {
+        if let Some(allocs) = row.allocs {
+            let _ = write!(
+                line,
+                ", \"allocs\": {}, \"allocs_per_resolution\": {:.3}",
+                allocs,
+                allocs as f64 / (c.resolutions.max(1)) as f64
+            );
+        }
+        if let Some(base) = baseline.iter().find(|b| b.name == row.name) {
             let _ = write!(
                 line,
                 ", \"baseline_wall_ms\": {:.3}, \"speedup\": {:.2}, \"counters_match\": {}",
-                base_ms,
-                base_ms / row.wall_ms.max(1e-9),
-                base_counters == c
+                base.wall_ms,
+                base.wall_ms / row.wall_ms.max(1e-9),
+                base.counters == *c
             );
+            if let (Some(now), Some(before)) = (row.allocs, base.allocs) {
+                let _ = write!(line, ", \"baseline_allocs\": {before}");
+                let _ = write!(
+                    line,
+                    ", \"alloc_ratio\": {:.2}",
+                    now as f64 / before.max(1) as f64
+                );
+            }
         }
         let _ = writeln!(out, "{line}}}{}", if i + 1 < rows.len() { "," } else { "" });
     }
@@ -138,7 +181,7 @@ fn field_str(line: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_owned())
 }
 
-fn read_baseline(path: &str) -> Vec<(String, f64, Counters)> {
+fn read_baseline(path: &str) -> Vec<BaselineRow> {
     let Ok(text) = std::fs::read_to_string(path) else {
         eprintln!("warning: baseline {path} not readable; emitting without baseline");
         return Vec::new();
@@ -146,7 +189,7 @@ fn read_baseline(path: &str) -> Vec<(String, f64, Counters)> {
     text.lines()
         .filter_map(|line| {
             let name = field_str(line, "name")?;
-            let wall = field_num(line, "wall_ms")?;
+            let wall_ms = field_num(line, "wall_ms")?;
             let counters = Counters {
                 resolutions: field_num(line, "resolutions")? as u64,
                 head_attempts: field_num(line, "head_attempts")? as u64,
@@ -155,7 +198,14 @@ fn read_baseline(path: &str) -> Vec<(String, f64, Counters)> {
                 grain_tests: field_num(line, "grain_tests")? as u64,
                 grain_test_elements: field_num(line, "grain_test_elements")? as u64,
             };
-            Some((name, wall, counters))
+            // Older baselines predate allocation tracking; absent = unknown.
+            let allocs = field_num(line, "allocs").map(|a| a as u64);
+            Some(BaselineRow {
+                name,
+                wall_ms,
+                counters,
+                allocs,
+            })
         })
         .collect()
 }
@@ -196,25 +246,46 @@ fn main() {
 
     let mut counters_diverged = false;
     for row in &rows {
-        if let Some((_, base_ms, base_counters)) = baseline.iter().find(|(n, _, _)| *n == row.name)
-        {
-            if *base_counters != row.counters {
+        let alloc_note = match row.allocs {
+            Some(a) => format!(
+                ", {:.2} allocs/res",
+                a as f64 / row.counters.resolutions.max(1) as f64
+            ),
+            None => String::new(),
+        };
+        if let Some(base) = baseline.iter().find(|b| b.name == row.name) {
+            if base.counters != row.counters {
                 counters_diverged = true;
                 eprintln!(
                     "WARNING: {}: operation counters diverge from baseline \
                      (baseline resolutions {}, now {})",
-                    row.name, base_counters.resolutions, row.counters.resolutions
+                    row.name, base.counters.resolutions, row.counters.resolutions
                 );
             }
+            // Allocation drift is reported (not a failure): alloc counts are
+            // deterministic for a given build but legitimately change with
+            // engine internals; the trajectory lives in the snapshot diff.
+            if let (Some(now), Some(before)) = (row.allocs, base.allocs) {
+                if now > before + before / 10 + 16 {
+                    eprintln!(
+                        "WARNING: {}: allocation regression vs baseline \
+                         ({before} -> {now} allocs per steady-state query)",
+                        row.name
+                    );
+                }
+            }
             eprintln!(
-                "[bench_snapshot] {:<20} {:>9.3} ms (baseline {:>9.3} ms, {:.2}x)",
+                "[bench_snapshot] {:<20} {:>9.3} ms (baseline {:>9.3} ms, {:.2}x{alloc_note})",
                 row.label,
                 row.wall_ms,
-                base_ms,
-                base_ms / row.wall_ms.max(1e-9)
+                base.wall_ms,
+                base.wall_ms / row.wall_ms.max(1e-9)
             );
         } else {
-            eprintln!("[bench_snapshot] {:<20} {:>9.3} ms", row.label, row.wall_ms);
+            eprintln!(
+                "[bench_snapshot] {:<20} {:>9.3} ms{alloc_note}",
+                row.label, row.wall_ms
+            );
         }
     }
 

@@ -1,8 +1,13 @@
 //! Arithmetic evaluation for `is/2` and the arithmetic comparison builtins.
+//!
+//! Expressions are evaluated either directly off arena heap cells
+//! ([`eval`]) or off precompiled template cells ([`eval_template`]) — the
+//! eager clause-activation path uses the latter to run arithmetic guards
+//! and `is/2` without ever building the expression term.
 
 use crate::error::{EngineError, EngineResult};
+use crate::heap::HCell;
 use crate::machine::Machine;
-use crate::rterm::RTerm;
 use crate::template::Cell;
 use granlog_ir::{FastMap, Symbol};
 use std::cmp::Ordering;
@@ -26,11 +31,19 @@ impl Num {
         }
     }
 
-    /// Converts to a runtime term.
-    pub fn to_rterm(self) -> RTerm {
+    /// Converts to a heap cell.
+    pub(crate) fn to_cell(self) -> HCell {
         match self {
-            Num::Int(i) => RTerm::Int(i),
-            Num::Float(x) => RTerm::Float(x),
+            Num::Int(i) => HCell::Int(i),
+            Num::Float(x) => HCell::Float(x),
+        }
+    }
+
+    /// Converts to a runtime boundary term.
+    pub fn to_rterm(self) -> crate::rterm::RTerm {
+        match self {
+            Num::Int(i) => crate::rterm::RTerm::Int(i),
+            Num::Float(x) => crate::rterm::RTerm::Float(x),
         }
     }
 
@@ -112,6 +125,17 @@ fn consts() -> &'static ArithConsts {
     })
 }
 
+fn eval_const(s: Symbol) -> EngineResult<Num> {
+    let c = consts();
+    if s == c.pi {
+        Ok(Num::Float(std::f64::consts::PI))
+    } else if s == c.e {
+        Ok(Num::Float(std::f64::consts::E))
+    } else {
+        Err(err(format!("unknown arithmetic constant {s}")))
+    }
+}
+
 /// The function dispatch table: interned `(functor, arity)` → operation,
 /// built once per process so evaluating an expression node costs one hash
 /// probe instead of a string match (and its interner lock).
@@ -160,37 +184,26 @@ fn table() -> &'static FastMap<(Symbol, usize), ArithOp> {
     })
 }
 
-/// Evaluates an arithmetic expression term.
+/// Evaluates the arithmetic expression at a heap index.
 ///
 /// # Errors
 ///
 /// Returns [`EngineError::Arithmetic`] for unbound variables, non-numeric
 /// operands, unknown functions, or division by zero.
-pub fn eval(machine: &Machine<'_>, term: &RTerm) -> EngineResult<Num> {
-    match machine.deref_ref(term) {
-        RTerm::Int(i) => Ok(Num::Int(*i)),
-        RTerm::Float(x) => Ok(Num::Float(*x)),
-        RTerm::Var(_) => Err(err("unbound variable in arithmetic expression")),
-        RTerm::Atom(s) => {
-            let c = consts();
-            if *s == c.pi {
-                Ok(Num::Float(std::f64::consts::PI))
-            } else if *s == c.e {
-                Ok(Num::Float(std::f64::consts::E))
-            } else {
-                Err(err(format!("unknown arithmetic constant {s}")))
-            }
-        }
-        RTerm::Struct(name, args) => {
-            let Some(&op) = table().get(&(*name, args.len())) else {
-                return Err(err(format!(
-                    "unknown arithmetic function {name}/{}",
-                    args.len()
-                )));
+pub(crate) fn eval(machine: &Machine<'_>, idx: usize) -> EngineResult<Num> {
+    let d = machine.deref_idx(idx);
+    match machine.cell(d) {
+        HCell::Int(i) => Ok(Num::Int(i)),
+        HCell::Float(x) => Ok(Num::Float(x)),
+        HCell::Ref(_) => Err(err("unbound variable in arithmetic expression")),
+        HCell::Atom(s) => eval_const(s),
+        HCell::Struct(name, arity, base) => {
+            let Some(&op) = table().get(&(name, arity as usize)) else {
+                return Err(err(format!("unknown arithmetic function {name}/{arity}")));
             };
-            let a = eval(machine, &args[0])?;
-            let b = if args.len() == 2 {
-                Some(eval(machine, &args[1])?)
+            let a = eval(machine, base as usize)?;
+            let b = if arity == 2 {
+                Some(eval(machine, base as usize + 1)?)
             } else {
                 None
             };
@@ -201,8 +214,8 @@ pub fn eval(machine: &Machine<'_>, term: &RTerm) -> EngineResult<Num> {
 
 /// Evaluates an arithmetic expression directly from precompiled template
 /// cells (the subtree starting at `*pos`, clause-local variables offset by
-/// `var_offset`), advancing `*pos` past it. Semantically identical to
-/// materializing the subtree and calling [`eval`], but allocation-free: the
+/// `var_base`), advancing `*pos` past it. Semantically identical to writing
+/// the subtree into the arena and calling [`eval`], but arena-free: the
 /// eager-builtin fast path of clause activation uses this to run arithmetic
 /// guards and `is/2` without ever building the expression term.
 ///
@@ -213,34 +226,22 @@ pub(crate) fn eval_template(
     machine: &Machine<'_>,
     cells: &[Cell],
     pos: &mut usize,
-    var_offset: usize,
+    var_base: usize,
 ) -> EngineResult<Num> {
     let cell = cells[*pos];
     *pos += 1;
     match cell {
         Cell::Int(i) => Ok(Num::Int(i)),
         Cell::Float(x) => Ok(Num::Float(x)),
-        Cell::Var(v) | Cell::VarFirst(v) => {
-            let r = RTerm::Var(v as usize + var_offset);
-            eval(machine, &r)
-        }
-        Cell::Atom(s) => {
-            let c = consts();
-            if s == c.pi {
-                Ok(Num::Float(std::f64::consts::PI))
-            } else if s == c.e {
-                Ok(Num::Float(std::f64::consts::E))
-            } else {
-                Err(err(format!("unknown arithmetic constant {s}")))
-            }
-        }
+        Cell::Var(v) | Cell::VarFirst(v) => eval(machine, var_base + v as usize),
+        Cell::Atom(s) => eval_const(s),
         Cell::Struct(name, arity) => {
             let Some(&op) = table().get(&(name, arity as usize)) else {
                 return Err(err(format!("unknown arithmetic function {name}/{arity}")));
             };
-            let a = eval_template(machine, cells, pos, var_offset)?;
+            let a = eval_template(machine, cells, pos, var_base)?;
             let b = if arity == 2 {
-                Some(eval_template(machine, cells, pos, var_offset)?)
+                Some(eval_template(machine, cells, pos, var_base)?)
             } else {
                 None
             };
@@ -367,11 +368,12 @@ mod tests {
 
     fn eval_src(src: &str) -> EngineResult<Num> {
         let program = empty_program();
-        let machine = Machine::new(&program);
+        let mut machine = Machine::new(&program);
         let (t, _) = parse_term(src).unwrap();
-        let r = RTerm::from_ir(&t, 0);
-        // No variables are bound in these tests, so a fresh machine suffices.
-        eval(&machine, &r)
+        // No variables are bound in these tests: the term is loaded into the
+        // arena and evaluated in place.
+        let idx = machine.write_term(&t);
+        eval(&machine, idx)
     }
 
     #[test]
@@ -432,9 +434,10 @@ mod tests {
     }
 
     #[test]
-    fn to_rterm_round_trip() {
-        assert_eq!(Num::Int(7).to_rterm(), RTerm::Int(7));
-        assert_eq!(Num::Float(1.5).to_rterm(), RTerm::Float(1.5));
+    fn cell_and_rterm_round_trip() {
+        assert_eq!(Num::Int(7).to_cell(), HCell::Int(7));
+        assert_eq!(Num::Float(1.5).to_cell(), HCell::Float(1.5));
+        assert_eq!(Num::Int(7).to_rterm(), crate::rterm::RTerm::Int(7));
         assert_eq!(Num::Int(7).as_f64(), 7.0);
     }
 }

@@ -3,12 +3,15 @@
 //! All builtins are deterministic (at most one solution). The machine folds
 //! [`table`] into its per-program call-target map at load time and invokes
 //! [`dispatch`] directly; goals absent from the table fall back to
-//! user-clause resolution.
+//! user-clause resolution. Builtins operate on arena heap cells throughout
+//! ([`crate::heap::HCell`]); only the structural-comparison family
+//! (`==`, `@<`, `\=` …) materializes boundary terms, mirroring the seed's
+//! resolve-and-compare semantics.
 
 use crate::arith::eval;
 use crate::error::{EngineError, EngineResult};
+use crate::heap::HCell;
 use crate::machine::Machine;
-use crate::rterm::RTerm;
 use granlog_ir::{FastMap, Symbol};
 use std::cmp::Ordering;
 use std::sync::OnceLock;
@@ -103,7 +106,8 @@ pub(crate) fn table() -> &'static FastMap<(Symbol, usize), Builtin> {
 }
 
 /// Executes an already-identified builtin (the machine resolves the goal to a
-/// [`Builtin`] through its per-program call-target map).
+/// [`Builtin`] through its per-program call-target map). The goal cell's
+/// argument block indexes the arena directly.
 ///
 /// # Errors
 ///
@@ -111,35 +115,37 @@ pub(crate) fn table() -> &'static FastMap<(Symbol, usize), Builtin> {
 pub(crate) fn dispatch(
     machine: &mut Machine<'_>,
     builtin: Builtin,
-    goal: &RTerm,
+    goal: HCell,
 ) -> EngineResult<bool> {
-    let args = goal.args();
+    let args = match goal {
+        HCell::Struct(_, _, base) => base as usize,
+        _ => 0,
+    };
     let result = match builtin {
         Builtin::Unify => {
             machine.charge_builtin();
-            machine.unify(&args[0], &args[1])
+            machine.unify(args, args + 1)
         }
         Builtin::NotUnifiable => {
             machine.charge_builtin();
             // Not-unifiable test must not leave bindings behind; probe on
-            // resolved copies via structural comparison where possible, else
-            // use a throwaway unification on fresh terms.
-            let a = machine.resolve(&args[0]);
-            let b = machine.resolve(&args[1]);
+            // resolved copies via the IR's most-general-unifier check.
+            let a = machine.resolve_idx(args);
+            let b = machine.resolve_idx(args + 1);
             granlog_ir::unify::mgu(&a, &b).is_none()
         }
         Builtin::StructEq => {
             machine.charge_builtin();
-            machine.resolve(&args[0]) == machine.resolve(&args[1])
+            machine.resolve_idx(args) == machine.resolve_idx(args + 1)
         }
         Builtin::StructNe => {
             machine.charge_builtin();
-            machine.resolve(&args[0]) != machine.resolve(&args[1])
+            machine.resolve_idx(args) != machine.resolve_idx(args + 1)
         }
         Builtin::TermLt | Builtin::TermGt | Builtin::TermLe | Builtin::TermGe => {
             machine.charge_builtin();
-            let a = machine.resolve(&args[0]);
-            let b = machine.resolve(&args[1]);
+            let a = machine.resolve_idx(args);
+            let b = machine.resolve_idx(args + 1);
             let ord = a.cmp(&b);
             match builtin {
                 Builtin::TermLt => ord == Ordering::Less,
@@ -150,8 +156,8 @@ pub(crate) fn dispatch(
         }
         Builtin::Is => {
             machine.charge_builtin();
-            let value = eval(machine, &args[1])?;
-            machine.unify(&args[0], &value.to_rterm())
+            let value = eval(machine, args + 1)?;
+            machine.unify_cell(args, value.to_cell())
         }
         Builtin::NumLt
         | Builtin::NumGt
@@ -160,8 +166,8 @@ pub(crate) fn dispatch(
         | Builtin::NumEq
         | Builtin::NumNe => {
             machine.charge_builtin();
-            let a = eval(machine, &args[0])?;
-            let b = eval(machine, &args[1])?;
+            let a = eval(machine, args)?;
+            let b = eval(machine, args + 1)?;
             let ord = a.compare(b);
             match builtin {
                 Builtin::NumLt => ord == Ordering::Less,
@@ -174,42 +180,42 @@ pub(crate) fn dispatch(
         }
         Builtin::IsVar => {
             machine.charge_builtin();
-            matches!(machine.deref_ref(&args[0]), RTerm::Var(_))
+            matches!(machine.deref_arg(args, 0), HCell::Ref(_))
         }
         Builtin::Nonvar => {
             machine.charge_builtin();
-            !matches!(machine.deref_ref(&args[0]), RTerm::Var(_))
+            !matches!(machine.deref_arg(args, 0), HCell::Ref(_))
         }
         Builtin::IsAtom => {
             machine.charge_builtin();
-            matches!(machine.deref_ref(&args[0]), RTerm::Atom(_))
+            matches!(machine.deref_arg(args, 0), HCell::Atom(_))
         }
         Builtin::IsNumber => {
             machine.charge_builtin();
-            matches!(machine.deref_ref(&args[0]), RTerm::Int(_) | RTerm::Float(_))
+            matches!(machine.deref_arg(args, 0), HCell::Int(_) | HCell::Float(_))
         }
         Builtin::IsInteger => {
             machine.charge_builtin();
-            matches!(machine.deref_ref(&args[0]), RTerm::Int(_))
+            matches!(machine.deref_arg(args, 0), HCell::Int(_))
         }
         Builtin::IsFloat => {
             machine.charge_builtin();
-            matches!(machine.deref_ref(&args[0]), RTerm::Float(_))
+            matches!(machine.deref_arg(args, 0), HCell::Float(_))
         }
         Builtin::IsAtomic => {
             machine.charge_builtin();
             matches!(
-                machine.deref_ref(&args[0]),
-                RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_)
+                machine.deref_arg(args, 0),
+                HCell::Atom(_) | HCell::Int(_) | HCell::Float(_)
             )
         }
         Builtin::Ground => {
             machine.charge_builtin();
-            machine.resolve(&args[0]).is_ground()
+            is_ground(machine, args)
         }
         Builtin::IsList => {
             machine.charge_builtin();
-            list_length(machine, &args[0], u64::MAX).is_some()
+            list_length(machine, args, u64::MAX).is_some()
         }
         Builtin::Functor => {
             machine.charge_builtin();
@@ -217,20 +223,21 @@ pub(crate) fn dispatch(
         }
         Builtin::Arg => {
             machine.charge_builtin();
-            let n = match machine.deref(&args[0]) {
-                RTerm::Int(i) => i,
+            let n = match machine.deref_arg(args, 0) {
+                HCell::Int(i) => i,
                 other => {
                     return Err(EngineError::TypeError {
                         builtin: "arg",
-                        message: format!("first argument must be an integer, got {other:?}"),
+                        message: format!(
+                            "first argument must be an integer, got {:?}",
+                            machine.resolve_cell(other)
+                        ),
                     })
                 }
             };
-            let t = machine.deref(&args[1]);
-            match t {
-                RTerm::Struct(_, children) if n >= 1 && (n as usize) <= children.len() => {
-                    let child = children[(n - 1) as usize].clone();
-                    machine.unify(&args[2], &child)
+            match machine.deref_arg(args, 1) {
+                HCell::Struct(_, arity, base) if n >= 1 && n as u32 <= arity => {
+                    machine.unify(args + 2, base as usize + (n - 1) as usize)
                 }
                 _ => false,
             }
@@ -241,21 +248,21 @@ pub(crate) fn dispatch(
         }
         Builtin::Length => {
             machine.charge_builtin();
-            match list_length(machine, &args[0], u64::MAX) {
-                Some(n) => machine.unify(&args[1], &RTerm::Int(n as i64)),
+            match list_length(machine, args, u64::MAX) {
+                Some(n) => machine.unify_cell(args + 1, HCell::Int(n as i64)),
                 None => false,
             }
         }
         Builtin::GrainGe => {
-            let threshold = match machine.deref_ref(&args[2]) {
-                RTerm::Int(k) => (*k).max(0) as u64,
+            let threshold = match machine.deref_arg(args, 2) {
+                HCell::Int(k) => k.max(0) as u64,
                 _ => 0,
             };
-            let measure = match machine.deref_ref(&args[1]) {
-                RTerm::Atom(s) => *s,
+            let measure = match machine.deref_arg(args, 1) {
+                HCell::Atom(s) => s,
                 _ => Symbol::intern("size"),
             };
-            grain_test(machine, &args[0], measure, threshold)
+            grain_test(machine, args, measure, threshold)
         }
         Builtin::WriteLike | Builtin::Nl => {
             machine.charge_builtin();
@@ -265,14 +272,14 @@ pub(crate) fn dispatch(
     Ok(result)
 }
 
-fn builtin_functor(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bool> {
-    let t = machine.deref(&args[0]);
-    match &t {
-        RTerm::Var(_) => {
+fn builtin_functor(machine: &mut Machine<'_>, args: usize) -> EngineResult<bool> {
+    let t = machine.deref_idx(args);
+    match machine.cell(t) {
+        HCell::Ref(_) => {
             // Construct: functor(T, Name, Arity).
-            let name = machine.deref(&args[1]);
-            let arity = match machine.deref(&args[2]) {
-                RTerm::Int(i) if i >= 0 => i as usize,
+            let name = machine.deref_arg(args, 1);
+            let arity = match machine.deref_arg(args, 2) {
+                HCell::Int(i) if i >= 0 => i as usize,
                 _ => {
                     return Err(EngineError::TypeError {
                         builtin: "functor",
@@ -281,94 +288,123 @@ fn builtin_functor(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bo
                 }
             };
             match name {
-                RTerm::Atom(s) => {
-                    let fresh_base = machine.heap.len();
-                    machine.heap.resize(fresh_base + arity, None);
-                    let term = RTerm::structure(
-                        s,
-                        (0..arity).map(|i| RTerm::Var(fresh_base + i)).collect(),
-                    );
-                    Ok(machine.unify(&args[0], &term))
+                HCell::Atom(s) => {
+                    if arity == 0 {
+                        Ok(machine.unify_cell(args, HCell::Atom(s)))
+                    } else {
+                        // The fresh argument block doubles as the fresh
+                        // variables themselves.
+                        let base = machine.fresh_vars(arity);
+                        Ok(machine.unify_cell(args, HCell::Struct(s, arity as u32, base as u32)))
+                    }
                 }
-                RTerm::Int(_) | RTerm::Float(_) if arity == 0 => Ok(machine.unify(&args[0], &name)),
+                HCell::Int(_) | HCell::Float(_) if arity == 0 => Ok(machine.unify_cell(args, name)),
                 _ => Ok(false),
             }
         }
-        RTerm::Atom(s) => Ok(
-            machine.unify(&args[1], &RTerm::Atom(*s)) && machine.unify(&args[2], &RTerm::Int(0))
-        ),
-        RTerm::Int(_) | RTerm::Float(_) => {
-            Ok(machine.unify(&args[1], &t) && machine.unify(&args[2], &RTerm::Int(0)))
+        HCell::Atom(s) => Ok(machine.unify_cell(args + 1, HCell::Atom(s))
+            && machine.unify_cell(args + 2, HCell::Int(0))),
+        c @ (HCell::Int(_) | HCell::Float(_)) => {
+            Ok(machine.unify_cell(args + 1, c) && machine.unify_cell(args + 2, HCell::Int(0)))
         }
-        RTerm::Struct(s, children) => Ok(machine.unify(&args[1], &RTerm::Atom(*s))
-            && machine.unify(&args[2], &RTerm::Int(children.len() as i64))),
+        HCell::Struct(s, arity, _) => Ok(machine.unify_cell(args + 1, HCell::Atom(s))
+            && machine.unify_cell(args + 2, HCell::Int(arity as i64))),
     }
 }
 
-fn builtin_univ(machine: &mut Machine<'_>, args: &[RTerm]) -> EngineResult<bool> {
-    let t = machine.deref(&args[0]);
-    match &t {
-        RTerm::Struct(s, children) => {
-            let mut items = vec![RTerm::Atom(*s)];
-            items.extend(children.iter().cloned());
-            let list = RTerm::list(items);
-            Ok(machine.unify(&args[1], &list))
-        }
-        RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_) => {
-            Ok(machine.unify(&args[1], &RTerm::list(vec![t.clone()])))
-        }
-        RTerm::Var(_) => {
-            // Construct from the list.
-            let mut items = Vec::new();
-            let mut cur = machine.deref(&args[1]);
-            loop {
-                if cur.is_nil() {
-                    break;
-                }
-                if !cur.is_cons() {
-                    return Err(EngineError::TypeError {
-                        builtin: "=..",
-                        message: "second argument must be a proper list".into(),
-                    });
-                }
-                items.push(machine.deref(&cur.args()[0]));
-                cur = machine.deref(&cur.args()[1]);
+fn builtin_univ(machine: &mut Machine<'_>, args: usize) -> EngineResult<bool> {
+    let t = machine.deref_idx(args);
+    match machine.cell(t) {
+        HCell::Struct(s, arity, base) => {
+            // Decompose: [Name | Args].
+            let mut items: Vec<HCell> = Vec::with_capacity(arity as usize + 1);
+            items.push(HCell::Atom(s));
+            for k in 0..arity as usize {
+                items.push(machine.cell(base as usize + k));
             }
-            let Some((head, rest)) = items.split_first() else {
+            let list = machine.write_list(&items);
+            Ok(machine.unify_cell(args + 1, list))
+        }
+        c @ (HCell::Atom(_) | HCell::Int(_) | HCell::Float(_)) => {
+            let list = machine.write_list(&[c]);
+            Ok(machine.unify_cell(args + 1, list))
+        }
+        HCell::Ref(_) => {
+            // Construct from the list.
+            let wk = granlog_ir::symbol::well_known::get();
+            let mut items: Vec<HCell> = Vec::new();
+            let mut cur = machine.deref_idx(args + 1);
+            loop {
+                match machine.cell(cur) {
+                    HCell::Atom(s) if s == wk.nil => break,
+                    HCell::Struct(s, 2, base) if s == wk.cons => {
+                        let elem = machine.deref_idx(base as usize);
+                        let cell = match machine.cell(elem) {
+                            HCell::Ref(_) => HCell::Ref(elem as u32),
+                            other => other,
+                        };
+                        items.push(cell);
+                        cur = machine.deref_idx(base as usize + 1);
+                    }
+                    _ => {
+                        return Err(EngineError::TypeError {
+                            builtin: "=..",
+                            message: "second argument must be a proper list".into(),
+                        })
+                    }
+                }
+            }
+            let Some((&head, rest)) = items.split_first() else {
                 return Ok(false);
             };
             match head {
-                RTerm::Atom(s) => {
-                    let term = RTerm::structure(*s, rest.to_vec());
-                    Ok(machine.unify(&args[0], &term))
+                HCell::Atom(s) => {
+                    if rest.is_empty() {
+                        Ok(machine.unify_cell(args, HCell::Atom(s)))
+                    } else {
+                        let base = machine.write_args(rest);
+                        Ok(machine
+                            .unify_cell(args, HCell::Struct(s, rest.len() as u32, base as u32)))
+                    }
                 }
-                RTerm::Int(_) | RTerm::Float(_) if rest.is_empty() => {
-                    Ok(machine.unify(&args[0], head))
+                HCell::Int(_) | HCell::Float(_) if rest.is_empty() => {
+                    Ok(machine.unify_cell(args, head))
                 }
                 _ => Ok(false),
             }
+        }
+    }
+}
+
+/// Is the term at `idx` free of unbound variables? A cell walk — nothing is
+/// materialized.
+fn is_ground(machine: &Machine<'_>, idx: usize) -> bool {
+    match machine.cell(machine.deref_idx(idx)) {
+        HCell::Ref(_) => false,
+        HCell::Atom(_) | HCell::Int(_) | HCell::Float(_) => true,
+        HCell::Struct(_, arity, base) => {
+            (0..arity as usize).all(|k| is_ground(machine, base as usize + k))
         }
     }
 }
 
 /// Walks a list spine counting elements, up to `limit`. Returns `None` for
-/// partial or improper lists. Uses borrowed dereferencing: no clones, no
-/// refcount traffic along the spine.
-fn list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> Option<u64> {
+/// partial or improper lists. A pure cell walk: no clones, no allocation.
+fn list_length(machine: &Machine<'_>, idx: usize, limit: u64) -> Option<u64> {
+    let wk = granlog_ir::symbol::well_known::get();
     let mut count = 0u64;
-    let mut cur = machine.deref_ref(t);
+    let mut cur = machine.deref_idx(idx);
     loop {
-        if cur.is_nil() {
-            return Some(count);
-        }
-        if cur.is_cons() {
-            count += 1;
-            if count >= limit {
-                return Some(count);
+        match machine.cell(cur) {
+            HCell::Atom(s) if s == wk.nil => return Some(count),
+            HCell::Struct(s, 2, base) if s == wk.cons => {
+                count += 1;
+                if count >= limit {
+                    return Some(count);
+                }
+                cur = machine.deref_idx(base as usize + 1);
             }
-            cur = machine.deref_ref(&cur.args()[1]);
-        } else {
-            return None;
+            _ => return None,
         }
     }
 }
@@ -411,7 +447,7 @@ fn measure_kind(measure: Symbol) -> MeasureKind {
 /// proportional to the number of elements it had to traverse (for list/term
 /// measures traversal stops as soon as `K` elements have been seen, mirroring
 /// the cheap tests the paper generates).
-fn grain_test(machine: &mut Machine<'_>, term: &RTerm, measure: Symbol, k: u64) -> bool {
+fn grain_test(machine: &mut Machine<'_>, term: usize, measure: Symbol, k: u64) -> bool {
     match measure_kind(measure) {
         MeasureKind::Length => {
             let seen = bounded_list_length(machine, term, k);
@@ -420,9 +456,9 @@ fn grain_test(machine: &mut Machine<'_>, term: &RTerm, measure: Symbol, k: u64) 
         }
         MeasureKind::Int => {
             machine.charge_grain_test(1);
-            match machine.deref_ref(term) {
-                RTerm::Int(v) => ((*v).max(0) as u64) >= k,
-                RTerm::Float(v) => *v >= k as f64,
+            match machine.cell(machine.deref_idx(term)) {
+                HCell::Int(v) => (v.max(0) as u64) >= k,
+                HCell::Float(v) => v >= k as f64,
                 _ => true, // unknown size: err on the parallel side
             }
         }
@@ -440,30 +476,36 @@ fn grain_test(machine: &mut Machine<'_>, term: &RTerm, measure: Symbol, k: u64) 
     }
 }
 
-fn bounded_list_length(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
+fn bounded_list_length(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
+    let wk = granlog_ir::symbol::well_known::get();
     let mut count = 0u64;
-    let mut cur = machine.deref_ref(t);
-    while count < limit && cur.is_cons() {
-        count += 1;
-        cur = machine.deref_ref(&cur.args()[1]);
+    let mut cur = machine.deref_idx(idx);
+    while count < limit {
+        match machine.cell(cur) {
+            HCell::Struct(s, 2, base) if s == wk.cons => {
+                count += 1;
+                cur = machine.deref_idx(base as usize + 1);
+            }
+            _ => break,
+        }
     }
     count
 }
 
-fn bounded_term_size(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
-    let mut stack = vec![machine.deref_ref(t)];
+fn bounded_term_size(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
+    let mut stack = vec![machine.deref_idx(idx)];
     let mut count = 0u64;
     while let Some(cur) = stack.pop() {
         if count >= limit {
             return count;
         }
-        match cur {
-            RTerm::Var(_) => {}
-            RTerm::Atom(_) | RTerm::Int(_) | RTerm::Float(_) => count += 1,
-            RTerm::Struct(_, args) => {
+        match machine.cell(cur) {
+            HCell::Ref(_) => {}
+            HCell::Atom(_) | HCell::Int(_) | HCell::Float(_) => count += 1,
+            HCell::Struct(_, arity, base) => {
                 count += 1;
-                for a in args.iter() {
-                    stack.push(machine.deref_ref(a));
+                for k in 0..arity as usize {
+                    stack.push(machine.deref_idx(base as usize + k));
                 }
             }
         }
@@ -471,23 +513,22 @@ fn bounded_term_size(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
     count
 }
 
-fn bounded_depth(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
-    fn go(machine: &Machine<'_>, t: &RTerm, limit: u64) -> u64 {
+fn bounded_depth(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
+    fn go(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
         if limit == 0 {
             return 0;
         }
-        match machine.deref_ref(t) {
-            RTerm::Struct(_, args) => {
-                1 + args
-                    .iter()
-                    .map(|a| go(machine, a, limit - 1))
+        match machine.cell(machine.deref_idx(idx)) {
+            HCell::Struct(_, arity, base) => {
+                1 + (0..arity as usize)
+                    .map(|k| go(machine, base as usize + k, limit - 1))
                     .max()
                     .unwrap_or(0)
             }
             _ => 0,
         }
     }
-    go(machine, t, limit)
+    go(machine, idx, limit)
 }
 
 #[cfg(test)]

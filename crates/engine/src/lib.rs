@@ -43,6 +43,7 @@ pub mod arith;
 pub mod builtins;
 pub mod cost;
 pub mod error;
+pub mod heap;
 pub mod machine;
 pub mod rterm;
 pub mod tasktree;
@@ -50,16 +51,19 @@ pub mod template;
 
 pub use cost::{CostModel, Counters};
 pub use error::{EngineError, EngineResult};
-pub use machine::{ClauseSelection, Machine, MachineConfig, QueryOutcome};
-pub use tasktree::{Segment, Task, TaskId, TaskRecorder, TaskTree};
+pub use heap::HCell;
+pub use machine::{ClauseSelection, Machine, MachineConfig, MachineStats, QueryOutcome};
+pub use tasktree::{ForkSpan, Segment, Task, TaskId, TaskRecorder, TaskTree};
 pub use template::{Cell, ClauseTemplate};
 
 /// Runs a closure on a thread with a large stack.
 ///
-/// The engine's solver recursion depth grows with the number of goals resolved
-/// along an execution path, which for the larger benchmark workloads exceeds
-/// the default thread stack. Experiment harnesses wrap their runs in this
-/// helper.
+/// The explicit goal stack executes deterministic recursion and clause
+/// backtracking iteratively, so the native stack only grows with the nesting
+/// of isolation barriers (`&` arms, negation, conditions) and with term
+/// depth during unification/answer extraction. Experiment harnesses still
+/// wrap their runs in this helper as head-room for deeply nested parallel
+/// workloads.
 ///
 /// # Panics
 ///

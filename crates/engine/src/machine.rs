@@ -2,11 +2,28 @@
 //!
 //! [`Machine`] executes queries against a [`Program`] by SLD resolution with
 //! chronological backtracking, first-argument indexing and a small set of
-//! builtins (see [`crate::builtins`]). It is intentionally a straightforward
-//! structure-sharing interpreter rather than a WAM: the quantities the
-//! experiments need are *operation counts* (resolutions, unifications, grain
-//! tests) and the *fork-join task structure*, both of which it records
-//! faithfully while executing the program sequentially.
+//! builtins (see [`crate::builtins`]). Since the arena rewrite it is
+//! WAM-shaped in its memory discipline while remaining an interpreter over
+//! precompiled clause templates:
+//!
+//! * **Terms** live in a bump-arena heap of tagged cells ([`crate::heap`]):
+//!   no reference counting, no per-compound allocation, truncation to a heap
+//!   mark as the garbage policy.
+//! * **The continuation** is a contiguous goal stack of cells rather than a
+//!   shared cons-list: pushing and popping goals is a cursor move. Slots
+//!   below a live choice point's height are part of that choice point's
+//!   saved continuation; overwriting one records the old cell on a *goal
+//!   trail* so backtracking can restore it (the protection check is a single
+//!   integer compare, and deterministic execution never trails).
+//! * **Choice points** are explicit records snapshotting the goal-stack
+//!   height, trail mark, heap mark and clause-bucket cursor. Backtracking
+//!   pops records iteratively; the native call stack is used only for
+//!   isolation barriers (negation, if-then-else conditions, `&` arms),
+//!   which solve a sub-goal to its first solution and commit.
+//!
+//! The quantities the experiments need are *operation counts* (resolutions,
+//! unifications, grain tests) and the *fork-join task structure*, both of
+//! which the machine records bit-identically to the seed interpreter.
 //!
 //! Parallel conjunctions (`&`) are executed with independent and-parallel
 //! semantics: each arm is solved to its first solution in order, and the
@@ -17,9 +34,9 @@
 use crate::builtins::{self, Builtin};
 use crate::cost::{CostModel, Counters};
 use crate::error::{EngineError, EngineResult};
-use crate::rterm::RTerm;
+use crate::heap::HCell;
 use crate::tasktree::{TaskRecorder, TaskTree};
-use crate::template::{self, ClauseTemplate};
+use crate::template::{Cell, ClauseTemplate};
 use granlog_ir::symbol::well_known;
 use granlog_ir::{parser, ClauseId, FastMap, IndexKey, PredId, Predicate, Program, Symbol, Term};
 use std::rc::Rc;
@@ -44,21 +61,14 @@ pub struct MachineConfig {
     /// Maximum number of head-unification attempts before aborting with
     /// [`EngineError::StepLimit`].
     pub max_steps: u64,
-    /// Maximum solver recursion depth (pending goals along one path).
+    /// Maximum engine depth: bounds both the goal-stack height (pending
+    /// goals along one path) and the nesting of isolation barriers
+    /// (negation, conditions, parallel arms).
     pub max_depth: usize,
     /// The cost model converting operations into work units.
     pub cost_model: CostModel,
     /// Candidate-clause selection strategy.
     pub clause_selection: ClauseSelection,
-    /// Compress bound-variable chains during dereferencing (trail-aware, so
-    /// backtracking still restores the exact pre-compression bindings).
-    ///
-    /// Off by default: the benchmark suite's variable chains are 1–2 links,
-    /// where the side-trail bookkeeping costs more than the hops it saves
-    /// (measured ~5% end-to-end). Enable it for workloads that alias long
-    /// variable chains — the `deref chain` microbenchmark in
-    /// `crates/bench/benches/engine_micro.rs` shows the crossover.
-    pub path_compression: bool,
 }
 
 impl Default for MachineConfig {
@@ -68,7 +78,6 @@ impl Default for MachineConfig {
             max_depth: 4_000_000,
             cost_model: CostModel::default(),
             clause_selection: ClauseSelection::Indexed,
-            path_compression: false,
         }
     }
 }
@@ -98,25 +107,20 @@ impl QueryOutcome {
     }
 }
 
-/// Goal continuation: a shared cons-list of pending goals.
-type Goals = Option<Rc<Frame>>;
-
-struct Frame {
-    goal: RTerm,
-    rest: Goals,
+/// Peak-usage statistics of the machine's memory structures, reset per
+/// query. Diagnostic only (used by `alloc_profile`); maintained off the
+/// per-goal hot path except for one compare in the goal push.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// High-water mark of the arena heap, in cells.
+    pub heap_high_water: usize,
+    /// High-water mark of the goal stack, in goals.
+    pub goal_stack_high_water: usize,
+    /// Deepest simultaneously-live choice-point count.
+    pub max_choice_depth: usize,
+    /// High-water mark of the binding trail, in entries.
+    pub trail_high_water: usize,
 }
-
-fn push_goal(goal: RTerm, rest: &Goals) -> Goals {
-    Some(Rc::new(Frame {
-        goal,
-        rest: rest.clone(),
-    }))
-}
-
-/// Upper bound on recycled continuation frames kept by a machine. Frames past
-/// this just drop; the pool exists to make the common deterministic
-/// pop-frame / push-body-goal cycle allocation-free, not to hoard memory.
-const FRAME_POOL_LIMIT: usize = 1024;
 
 /// What a non-control goal resolves to: a builtin or a user predicate. The
 /// machine builds one `(functor, arity)` → `CallTarget` map at program load,
@@ -128,15 +132,47 @@ enum CallTarget<'p> {
     User(&'p Predicate),
 }
 
-/// An undone-on-backtracking record of a path-compression rewrite: at trail
-/// length `trail_len`, `heap[var]` (already bound) was shortcut from `old` to
-/// the chain's end. Compressions only reference bindings made strictly before
-/// `trail_len`, so a compression stays valid exactly as long as the trail is
-/// not unwound below it.
-struct CompressEntry {
-    trail_len: usize,
-    var: usize,
-    old: RTerm,
+/// The candidate-clause list of one call, owned by its choice point while
+/// alternatives remain. The indexed path borrows the program's persistent
+/// bucket; the reference linear scan owns its filtered scratch list.
+enum Cands<'p> {
+    Indexed(&'p [ClauseId]),
+    Scanned(Box<[ClauseId]>),
+}
+
+impl Cands<'_> {
+    fn as_slice(&self) -> &[ClauseId] {
+        match self {
+            Cands::Indexed(s) => s,
+            Cands::Scanned(v) => v,
+        }
+    }
+}
+
+/// What to run when a choice point is resumed by backtracking.
+enum Resume<'p> {
+    /// Retry the pending call's remaining candidate clauses from `cursor`.
+    Clauses {
+        goal: HCell,
+        cands: Cands<'p>,
+        cursor: usize,
+    },
+    /// Run the saved alternative goal (the right arm of a disjunction).
+    Alt { goal: HCell },
+}
+
+/// An explicit choice point: everything needed to restore the machine to the
+/// moment the choice was made and continue with the next alternative.
+struct ChoicePoint<'p> {
+    resume: Resume<'p>,
+    /// Goal-stack height at creation — the saved continuation.
+    goal_top: usize,
+    /// The machine's goal-protection watermark before this record was
+    /// pushed; restored when the record is popped or committed away.
+    protect_prev: usize,
+    trail_mark: usize,
+    heap_mark: usize,
+    goal_trail_mark: usize,
 }
 
 /// The resolution engine.
@@ -144,19 +180,35 @@ pub struct Machine<'p> {
     program: &'p Program,
     config: MachineConfig,
     /// Precompiled clause templates, indexed by [`ClauseId`]. Shared via `Rc`
-    /// so clause activation can borrow a template while mutating the machine.
+    /// so clause activation can borrow a template while mutating the machine
+    /// (one refcount bump per user-predicate call, not per term).
     templates: Rc<[ClauseTemplate]>,
     /// `(functor, arity)` → call target, built once at load. Builtins shadow
     /// user predicates of the same name and arity, as they always have.
     dispatch: FastMap<(Symbol, usize), CallTarget<'p>>,
-    pub(crate) heap: Vec<Option<RTerm>>,
-    trail: Vec<usize>,
-    compress_trail: Vec<CompressEntry>,
-    /// Recycled, uniquely-owned continuation frames (see
-    /// [`Machine::pop_frame`]).
-    frame_pool: Vec<Rc<Frame>>,
+    /// The arena term heap (see [`crate::heap`]).
+    pub(crate) heap: Vec<HCell>,
+    /// Bound-variable trail: indices of cells to restore to self-references.
+    trail: Vec<u32>,
+    /// The contiguous goal stack. `goal_top` is the logical height; slots at
+    /// and above it are dead but kept initialized so backtracking can
+    /// re-expose them by moving the cursor.
+    goal_stack: Vec<HCell>,
+    goal_top: usize,
+    /// Saved `(slot, old cell)` pairs for goal-stack slots overwritten below
+    /// the protection watermark (i.e. slots belonging to a live choice
+    /// point's saved continuation).
+    goal_trail: Vec<(u32, HCell)>,
+    /// Maximum goal height any live choice point needs preserved; 0 when
+    /// execution is deterministic, in which case pushes never trail.
+    protect: usize,
+    choice_points: Vec<ChoicePoint<'p>>,
+    /// Reusable scratch for flattening `&` conjunctions into arms (indexed
+    /// by a per-fork base so nested forks share it without clearing).
+    arm_scratch: Vec<HCell>,
     pub(crate) counters: Counters,
     recorder: TaskRecorder,
+    stats: MachineStats,
 }
 
 impl<'p> Machine<'p> {
@@ -185,50 +237,19 @@ impl<'p> Machine<'p> {
         Machine {
             program,
             config,
-            templates: template::compile_program(program).into(),
+            templates: crate::template::compile_program(program).into(),
             dispatch,
             heap: Vec::new(),
             trail: Vec::new(),
-            compress_trail: Vec::new(),
-            frame_pool: Vec::new(),
+            goal_stack: Vec::new(),
+            goal_top: 0,
+            goal_trail: Vec::new(),
+            protect: 0,
+            choice_points: Vec::new(),
+            arm_scratch: Vec::new(),
             counters: Counters::default(),
             recorder: TaskRecorder::new(),
-        }
-    }
-
-    /// Pops the front frame of a goal list, returning its goal and the rest.
-    ///
-    /// When the frame is uniquely owned (no choice point shares it — the
-    /// common deterministic case) both fields are *moved* out, refcount-free,
-    /// and the emptied frame allocation goes back to the pool for
-    /// [`Machine::push_goal_pooled`] to reuse. Shared frames fall back to
-    /// cloning.
-    fn pop_frame(&mut self, mut frame: Rc<Frame>) -> (RTerm, Goals) {
-        match Rc::get_mut(&mut frame) {
-            Some(f) => {
-                let goal = std::mem::replace(&mut f.goal, RTerm::Int(0));
-                let rest = f.rest.take();
-                if self.frame_pool.len() < FRAME_POOL_LIMIT {
-                    self.frame_pool.push(frame);
-                }
-                (goal, rest)
-            }
-            None => (frame.goal.clone(), frame.rest.clone()),
-        }
-    }
-
-    /// `push_goal`, but reusing a pooled frame allocation when one is
-    /// available. The deterministic pop/push cycle of the solve loop ping-
-    /// pongs a handful of frames through the pool and allocates nothing.
-    fn push_goal_pooled(&mut self, goal: RTerm, rest: Goals) -> Goals {
-        match self.frame_pool.pop() {
-            Some(mut rc) => {
-                let f = Rc::get_mut(&mut rc).expect("pooled frames are uniquely owned");
-                f.goal = goal;
-                f.rest = rest;
-                Some(rc)
-            }
-            None => Some(Rc::new(Frame { goal, rest })),
+            stats: MachineStats::default(),
         }
     }
 
@@ -240,6 +261,11 @@ impl<'p> Machine<'p> {
     /// The operation counters accumulated so far.
     pub fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Peak memory-structure usage of the most recent query.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
     }
 
     /// Parses and runs a query (e.g. `"fib(15, X)"`), returning its outcome.
@@ -268,20 +294,31 @@ impl<'p> Machine<'p> {
     pub fn run_goal(&mut self, goal: &Term, var_names: &[Symbol]) -> EngineResult<QueryOutcome> {
         self.heap.clear();
         self.trail.clear();
-        self.compress_trail.clear();
+        self.goal_top = 0;
+        self.goal_trail.clear();
+        self.protect = 0;
+        self.choice_points.clear();
+        self.arm_scratch.clear();
         self.counters = Counters::default();
         self.recorder = TaskRecorder::new();
+        self.stats = MachineStats::default();
 
+        // Query variables occupy the bottom of the arena, so their cell
+        // indices double as binding-table slots for answer extraction.
         let nvars = var_names.len().max(goal.var_bound());
-        self.heap.resize(nvars, None);
-        let rgoal = RTerm::from_ir(goal, 0);
-        let goals = push_goal(rgoal, &None);
-        let succeeded = self.solve(&goals, 0)?;
+        for i in 0..nvars {
+            self.heap.push(HCell::unbound(i));
+        }
+        let root = self.write_ir(goal, 0);
+        self.push_goal(root)?;
+        let succeeded = self.run(0, 0, 0)?;
+        self.note_heap_high_water();
+        self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
 
         let bindings = var_names
             .iter()
             .enumerate()
-            .map(|(i, name)| (*name, self.resolve(&RTerm::Var(i))))
+            .map(|(i, name)| (*name, self.resolve_idx(i)))
             .collect();
         Ok(QueryOutcome {
             succeeded,
@@ -293,144 +330,428 @@ impl<'p> Machine<'p> {
     }
 
     // ------------------------------------------------------------------
-    // Term plumbing
+    // Arena plumbing
     // ------------------------------------------------------------------
 
-    /// Dereferences a term to a borrowed view: follows bound-variable chains
-    /// without cloning anything. O(chain length), zero allocation, zero
-    /// refcount traffic — the cheap read-only sibling of [`Machine::deref`].
-    pub(crate) fn deref_ref<'a>(&'a self, term: &'a RTerm) -> &'a RTerm {
-        let mut cur = term;
-        while let RTerm::Var(v) = cur {
-            match self.heap.get(*v) {
-                Some(Some(next)) => cur = next,
-                _ => break,
-            }
-        }
-        cur
-    }
-
-    /// Dereferences a term: follows bound-variable chains. O(chain length);
-    /// the returned term is an O(1) clone (structure is shared).
-    pub(crate) fn deref(&self, term: &RTerm) -> RTerm {
-        self.deref_ref(term).clone()
-    }
-
-    /// Dereferences with path compression: when following a chain of two or
-    /// more links, the chain's first variable is rewritten to point directly
-    /// at the result, so subsequent derefs are O(1). The rewrite is recorded
-    /// on a side trail tagged with the current trail length; backtracking
-    /// below that point restores the original link (see
-    /// [`Machine::undo_trail`]), because the shortcut may then refer to
-    /// bindings that no longer exist.
-    pub(crate) fn deref_compress(&mut self, term: &RTerm) -> RTerm {
-        let RTerm::Var(first) = *term else {
-            return term.clone();
-        };
-        let mut cur = first;
-        let mut hops = 0usize;
-        let result = loop {
-            match self.heap.get(cur) {
-                Some(Some(RTerm::Var(next))) => {
-                    cur = *next;
-                    hops += 1;
-                }
-                Some(Some(value)) => break value.clone(),
-                _ => break RTerm::Var(cur),
-            }
-        };
-        // `hops` counts var→var links followed. Short chains are not worth
-        // compressing: the side-trail entry plus its eventual restore costs
-        // more than the one or two dereference hops it saves, as measured on
-        // the benchmark suite. Only genuinely long chains (≥2 intermediate
-        // links, which only degenerate variable-aliasing workloads build) pay
-        // for the rewrite.
-        let worthwhile = hops >= 2;
-        if worthwhile && self.config.path_compression {
-            let old = self.heap[first]
-                .replace(result.clone())
-                .expect("compressed variable is bound");
-            self.compress_trail.push(CompressEntry {
-                trail_len: self.trail.len(),
-                var: first,
-                old,
-            });
-        }
-        result
-    }
-
-    /// Fully resolves a runtime term back into a source-level [`Term`]
-    /// (unbound variables become fresh source variables numbered by their heap
-    /// index).
-    pub(crate) fn resolve(&self, term: &RTerm) -> Term {
-        match self.deref(term) {
-            RTerm::Var(v) => Term::Var(v),
-            RTerm::Atom(s) => Term::Atom(s),
-            RTerm::Int(i) => Term::Int(i),
-            RTerm::Float(x) => Term::float(x),
-            RTerm::Struct(name, args) => {
-                Term::Struct(name, args.iter().map(|a| self.resolve(a)).collect())
+    /// Dereferences a heap index: follows bound `Ref` chains to the
+    /// representative cell. O(chain length), allocation-free.
+    pub(crate) fn deref_idx(&self, mut idx: usize) -> usize {
+        loop {
+            match self.heap[idx] {
+                HCell::Ref(next) if next as usize != idx => idx = next as usize,
+                _ => return idx,
             }
         }
     }
 
-    pub(crate) fn bind(&mut self, var: usize, value: RTerm) {
+    /// The cell at a heap index.
+    #[inline]
+    pub(crate) fn cell(&self, idx: usize) -> HCell {
+        self.heap[idx]
+    }
+
+    /// Dereferences a cell value (following its `Ref`, if it is one).
+    pub(crate) fn deref_cell(&self, cell: HCell) -> HCell {
+        match cell {
+            HCell::Ref(i) => self.heap[self.deref_idx(i as usize)],
+            other => other,
+        }
+    }
+
+    /// The dereferenced cell of argument `k` of a goal whose argument block
+    /// starts at `base` — the builtins' argument accessor.
+    pub(crate) fn deref_arg(&self, base: usize, k: usize) -> HCell {
+        self.heap[self.deref_idx(base + k)]
+    }
+
+    /// Binds the unbound variable cell at `var`, overwriting it in place and
+    /// recording the index on the trail.
+    pub(crate) fn bind_cell(&mut self, var: usize, value: HCell) {
         debug_assert!(
-            self.heap[var].is_none(),
+            matches!(self.heap[var], HCell::Ref(v) if v as usize == var),
             "binding an already-bound variable"
         );
-        self.heap[var] = Some(value);
-        self.trail.push(var);
+        self.heap[var] = value;
+        self.trail.push(var as u32);
+    }
+
+    /// Binds the unbound variable at `var` to the *dereferenced* cell at
+    /// `target`: constants and structs are copied into the variable's cell,
+    /// unbound targets are pointed at.
+    fn bind_to(&mut self, var: usize, target: usize) {
+        let value = match self.heap[target] {
+            HCell::Ref(_) => HCell::Ref(target as u32),
+            other => other,
+        };
+        self.bind_cell(var, value);
     }
 
     fn undo_trail(&mut self, mark: usize) {
-        // Undo path compressions recorded after the mark first (newest first),
-        // restoring the original links, *then* unbind trailed variables — a
-        // variable both compressed and bound after the mark must end up
-        // unbound.
-        while let Some(entry) = self.compress_trail.last() {
-            if entry.trail_len <= mark {
-                break;
-            }
-            let entry = self.compress_trail.pop().expect("checked non-empty");
-            self.heap[entry.var] = Some(entry.old);
-        }
         while self.trail.len() > mark {
-            let var = self.trail.pop().expect("trail length checked");
-            self.heap[var] = None;
+            let var = self.trail.pop().expect("trail length checked") as usize;
+            self.heap[var] = HCell::unbound(var);
         }
     }
 
-    /// Unifies two terms, recording bindings on the trail.
-    pub(crate) fn unify(&mut self, a: &RTerm, b: &RTerm) -> bool {
+    /// Cells are addressed by `u32` (`HCell::Ref`, `Struct` argument bases,
+    /// the trail); panic cleanly before an arena ever outgrows that, instead
+    /// of silently wrapping indices. The margin covers the few single-cell
+    /// growth sites (parked cells) that don't re-check per push.
+    #[inline]
+    fn check_arena_capacity(&self, additional: usize) {
+        assert!(
+            self.heap.len() + additional <= u32::MAX as usize - 64,
+            "arena term heap exceeds u32 cell addressing"
+        );
+    }
+
+    /// Reserves `n` fresh unbound variable cells, returning the first index.
+    pub(crate) fn fresh_vars(&mut self, n: usize) -> usize {
+        self.check_arena_capacity(n);
+        let base = self.heap.len();
+        for k in 0..n {
+            self.heap.push(HCell::unbound(base + k));
+        }
+        base
+    }
+
+    /// Writes an argument block of `cells` into the arena, returning its
+    /// base index.
+    pub(crate) fn write_args(&mut self, cells: &[HCell]) -> usize {
+        self.check_arena_capacity(cells.len());
+        let base = self.heap.len();
+        self.heap.extend_from_slice(cells);
+        base
+    }
+
+    /// Builds a proper list of the given element cells in the arena,
+    /// returning the list's root cell.
+    pub(crate) fn write_list(&mut self, items: &[HCell]) -> HCell {
+        self.check_arena_capacity(items.len() * 2);
+        let wk = well_known::get();
+        let mut acc = HCell::Atom(wk.nil);
+        for &item in items.iter().rev() {
+            let base = self.heap.len();
+            self.heap.push(item);
+            self.heap.push(acc);
+            acc = HCell::Struct(wk.cons, 2, base as u32);
+        }
+        acc
+    }
+
+    /// Writes a source-level term into the arena, renaming its variables by
+    /// `var_base` (whose slots must already exist), and returns its root
+    /// cell.
+    fn write_ir(&mut self, term: &Term, var_base: usize) -> HCell {
+        match term {
+            Term::Var(v) => HCell::Ref((var_base + v) as u32),
+            Term::Atom(s) => HCell::Atom(*s),
+            Term::Int(i) => HCell::Int(*i),
+            Term::Float(x) => HCell::Float(x.0),
+            Term::Struct(name, args) => {
+                // Reserve the argument block first (children may themselves
+                // grow the arena), then fill it in order.
+                let base = self.fresh_vars(args.len());
+                for (k, arg) in args.iter().enumerate() {
+                    let cell = self.write_ir(arg, var_base);
+                    self.heap[base + k] = cell;
+                }
+                HCell::Struct(*name, args.len() as u32, base as u32)
+            }
+        }
+    }
+
+    /// Loads a term into the arena (reserving slots for its variables) and
+    /// returns a heap index for it. Test-only plumbing for unit tests that
+    /// want to evaluate or inspect a term outside a query.
+    #[cfg(test)]
+    pub(crate) fn write_term(&mut self, term: &Term) -> usize {
+        let var_base = self.heap.len();
+        self.fresh_vars(term.var_bound());
+        let cell = self.write_ir(term, var_base);
+        let idx = self.heap.len();
+        self.heap.push(cell);
+        idx
+    }
+
+    /// Writes the template subtree at `*pos` into the arena, advancing
+    /// `*pos` past it, and returns its root cell. Clause-local variables are
+    /// renamed by `var_base` (the activation's variable block).
+    fn write_template(&mut self, cells: &[Cell], pos: &mut usize, var_base: usize) -> HCell {
+        let cell = cells[*pos];
+        *pos += 1;
+        match cell {
+            Cell::Var(v) | Cell::VarFirst(v) => HCell::Ref((var_base + v as usize) as u32),
+            Cell::Atom(s) => HCell::Atom(s),
+            Cell::Int(i) => HCell::Int(i),
+            Cell::Float(x) => HCell::Float(x),
+            Cell::Struct(s, arity) => {
+                let base = self.fresh_vars(arity as usize);
+                for k in 0..arity as usize {
+                    let arg = self.write_template(cells, pos, var_base);
+                    self.heap[base + k] = arg;
+                }
+                HCell::Struct(s, arity, base as u32)
+            }
+        }
+    }
+
+    /// Fully resolves the term at a heap index back into a source-level
+    /// [`Term`] (unbound variables become source variables numbered by their
+    /// cell index). This is the query-answer boundary: answers materialize
+    /// out of the arena here and nowhere else.
+    pub(crate) fn resolve_idx(&self, idx: usize) -> Term {
+        let d = self.deref_idx(idx);
+        match self.heap[d] {
+            HCell::Ref(_) => Term::Var(d),
+            HCell::Atom(s) => Term::Atom(s),
+            HCell::Int(i) => Term::Int(i),
+            HCell::Float(x) => Term::float(x),
+            HCell::Struct(name, arity, base) => Term::Struct(
+                name,
+                (0..arity as usize)
+                    .map(|k| self.resolve_idx(base as usize + k))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// [`Machine::resolve_idx`] for a cell value that need not live in the
+    /// arena (goal-stack entries, error reporting).
+    pub(crate) fn resolve_cell(&self, cell: HCell) -> Term {
+        match cell {
+            HCell::Ref(i) => self.resolve_idx(i as usize),
+            HCell::Atom(s) => Term::Atom(s),
+            HCell::Int(i) => Term::Int(i),
+            HCell::Float(x) => Term::float(x),
+            HCell::Struct(name, arity, base) => Term::Struct(
+                name,
+                (0..arity as usize)
+                    .map(|k| self.resolve_idx(base as usize + k))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn note_heap_high_water(&mut self) {
+        self.stats.heap_high_water = self.stats.heap_high_water.max(self.heap.len());
+    }
+
+    // ------------------------------------------------------------------
+    // Unification
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn count_unification(&mut self) {
         self.counters.unifications += 1;
         self.record_work(self.config.cost_model.per_unification);
-        let a = self.deref_compress(a);
-        let b = self.deref_compress(b);
-        match (&a, &b) {
-            (RTerm::Var(x), RTerm::Var(y)) if x == y => true,
-            (RTerm::Var(x), _) => {
-                self.bind(*x, b);
+    }
+
+    /// Unifies the terms at two heap indices, recording bindings on the
+    /// trail. Counts one unification per visited subterm pair, exactly as
+    /// the seed interpreter did.
+    pub(crate) fn unify(&mut self, a: usize, b: usize) -> bool {
+        self.count_unification();
+        let a = self.deref_idx(a);
+        let b = self.deref_idx(b);
+        match (self.heap[a], self.heap[b]) {
+            (HCell::Ref(_), HCell::Ref(_)) if a == b => true,
+            (HCell::Ref(_), _) => {
+                self.bind_to(a, b);
                 true
             }
-            (_, RTerm::Var(y)) => {
-                self.bind(*y, a);
+            (_, HCell::Ref(_)) => {
+                self.bind_to(b, a);
                 true
             }
-            (RTerm::Atom(x), RTerm::Atom(y)) => x == y,
-            (RTerm::Int(x), RTerm::Int(y)) => x == y,
-            (RTerm::Float(x), RTerm::Float(y)) => x == y,
-            (RTerm::Struct(f, xs), RTerm::Struct(g, ys)) => {
-                if f != g || xs.len() != ys.len() {
+            (HCell::Atom(x), HCell::Atom(y)) => x == y,
+            (HCell::Int(x), HCell::Int(y)) => x == y,
+            (HCell::Float(x), HCell::Float(y)) => x == y,
+            (HCell::Struct(f, n, pa), HCell::Struct(g, m, pb)) => {
+                if f != g || n != m {
                     return false;
                 }
-                // `a` and `b` are owned dereference results, so their
-                // argument slices can be walked directly while unification
-                // mutates the machine.
-                xs.iter().zip(ys.iter()).all(|(x, y)| self.unify(x, y))
+                (0..n as usize).all(|k| self.unify(pa as usize + k, pb as usize + k))
             }
             _ => false,
         }
+    }
+
+    /// Unifies the term at a heap index with a cell value, parking the cell
+    /// in the arena when it needs an address (it is garbage afterwards;
+    /// truncation reclaims it).
+    pub(crate) fn unify_cell(&mut self, a: usize, value: HCell) -> bool {
+        match value {
+            HCell::Ref(j) => self.unify(a, j as usize),
+            other => {
+                let idx = self.heap.len();
+                self.heap.push(other);
+                self.unify(a, idx)
+            }
+        }
+    }
+
+    /// Unifies a goal subterm (by heap index) against the template subtree
+    /// at `*pos`, advancing `*pos` past it on success (on failure the cursor
+    /// is abandoned along with the whole head attempt). Counter-for-counter
+    /// identical to materializing the subtree and unifying: one count per
+    /// visited pair, and a template subtree is only *written into the arena*
+    /// when the goal side is an unbound variable.
+    fn unify_template(
+        &mut self,
+        goal: usize,
+        cells: &[Cell],
+        pos: &mut usize,
+        var_base: usize,
+    ) -> bool {
+        match cells[*pos] {
+            Cell::Var(v) => {
+                *pos += 1;
+                self.unify(goal, var_base + v as usize)
+            }
+            Cell::Atom(s) => {
+                *pos += 1;
+                self.count_unification();
+                let g = self.deref_idx(goal);
+                match self.heap[g] {
+                    HCell::Ref(_) => {
+                        self.bind_cell(g, HCell::Atom(s));
+                        true
+                    }
+                    HCell::Atom(x) => x == s,
+                    _ => false,
+                }
+            }
+            Cell::Int(i) => {
+                *pos += 1;
+                self.count_unification();
+                let g = self.deref_idx(goal);
+                match self.heap[g] {
+                    HCell::Ref(_) => {
+                        self.bind_cell(g, HCell::Int(i));
+                        true
+                    }
+                    HCell::Int(x) => x == i,
+                    _ => false,
+                }
+            }
+            Cell::Float(f) => {
+                *pos += 1;
+                self.count_unification();
+                let g = self.deref_idx(goal);
+                match self.heap[g] {
+                    HCell::Ref(_) => {
+                        self.bind_cell(g, HCell::Float(f));
+                        true
+                    }
+                    HCell::Float(x) => x == f,
+                    _ => false,
+                }
+            }
+            Cell::VarFirst(v) => {
+                // First occurrence of a head variable: its cell is unbound
+                // by construction, so this is a plain bind — same
+                // one-unification count and binding direction as the general
+                // path, minus its dereferences.
+                *pos += 1;
+                self.count_unification();
+                let head_var = var_base + v as usize;
+                debug_assert!(
+                    matches!(self.heap[head_var], HCell::Ref(x) if x as usize == head_var),
+                    "first occurrence is unbound"
+                );
+                let g = self.deref_idx(goal);
+                match self.heap[g] {
+                    HCell::Ref(_) => self.bind_cell(g, HCell::Ref(head_var as u32)),
+                    value => self.bind_cell(head_var, value),
+                }
+                true
+            }
+            Cell::Struct(f, arity) => {
+                self.count_unification();
+                let g = self.deref_idx(goal);
+                match self.heap[g] {
+                    HCell::Ref(_) => {
+                        // Materialization on demand: only here does a
+                        // template subtree become arena cells.
+                        let value = self.write_template(cells, pos, var_base);
+                        self.bind_cell(g, value);
+                        true
+                    }
+                    HCell::Struct(gf, gn, gargs) if gf == f && gn == arity => {
+                        *pos += 1;
+                        for k in 0..arity as usize {
+                            if !self.unify_template(gargs as usize + k, cells, pos, var_base) {
+                                return false;
+                            }
+                        }
+                        true
+                    }
+                    _ => false,
+                }
+            }
+        }
+    }
+
+    /// Unifies an immediate (numeric) value against the template subtree at
+    /// `*pos` — the `Lhs is Rhs` eager path. Same counts as routing the
+    /// value through [`Machine::unify_template`] with a parked goal cell.
+    fn unify_value_template(
+        &mut self,
+        value: HCell,
+        cells: &[Cell],
+        pos: &mut usize,
+        var_base: usize,
+    ) -> bool {
+        match cells[*pos] {
+            Cell::Var(v) => {
+                *pos += 1;
+                self.unify_cell(var_base + v as usize, value)
+            }
+            Cell::VarFirst(v) => {
+                *pos += 1;
+                self.count_unification();
+                self.bind_cell(var_base + v as usize, value);
+                true
+            }
+            Cell::Atom(_) => {
+                *pos += 1;
+                self.count_unification();
+                false
+            }
+            Cell::Int(i) => {
+                *pos += 1;
+                self.count_unification();
+                matches!(value, HCell::Int(x) if x == i)
+            }
+            Cell::Float(f) => {
+                *pos += 1;
+                self.count_unification();
+                matches!(value, HCell::Float(x) if x == f)
+            }
+            Cell::Struct(..) => {
+                // A number never matches a compound; the cursor is abandoned
+                // with the failed activation.
+                self.count_unification();
+                false
+            }
+        }
+    }
+
+    /// Unifies a goal with a clause head template, renaming clause-local
+    /// variables by `var_base`. Counts exactly what the seed's
+    /// `unify(goal, rename(head))` counted: one for the whole-head pair plus
+    /// one per visited subterm pair.
+    fn unify_head(&mut self, goal_args: usize, templ: &ClauseTemplate, var_base: usize) -> bool {
+        self.count_unification();
+        let cells = templ.cells();
+        for (k, start) in templ.head_arg_positions().iter().enumerate() {
+            let mut pos = *start as usize;
+            if !self.unify_template(goal_args + k, cells, &mut pos, var_base) {
+                return false;
+            }
+        }
+        true
     }
 
     // ------------------------------------------------------------------
@@ -472,37 +793,129 @@ impl<'p> Machine<'p> {
     }
 
     // ------------------------------------------------------------------
+    // Goal stack & choice points
+    // ------------------------------------------------------------------
+
+    /// Pushes a goal cell. If the slot being written belongs to a live
+    /// choice point's saved continuation (one integer compare; never true in
+    /// deterministic execution), the old cell is recorded on the goal trail
+    /// first so backtracking restores it.
+    fn push_goal(&mut self, cell: HCell) -> EngineResult<()> {
+        if self.goal_top >= self.config.max_depth {
+            return Err(EngineError::DepthLimit(self.config.max_depth));
+        }
+        if self.goal_top < self.protect {
+            self.goal_trail
+                .push((self.goal_top as u32, self.goal_stack[self.goal_top]));
+        }
+        if self.goal_top == self.goal_stack.len() {
+            self.goal_stack.push(cell);
+        } else {
+            self.goal_stack[self.goal_top] = cell;
+        }
+        self.goal_top += 1;
+        if self.goal_top > self.stats.goal_stack_high_water {
+            self.stats.goal_stack_high_water = self.goal_top;
+        }
+        Ok(())
+    }
+
+    fn undo_goal_trail(&mut self, mark: usize) {
+        while self.goal_trail.len() > mark {
+            let (slot, old) = self.goal_trail.pop().expect("length checked");
+            self.goal_stack[slot as usize] = old;
+        }
+    }
+
+    fn push_choice_point(
+        &mut self,
+        resume: Resume<'p>,
+        trail_mark: usize,
+        heap_mark: usize,
+        goal_trail_mark: usize,
+    ) {
+        let goal_top = self.goal_top;
+        let protect_prev = self.protect;
+        self.protect = self.protect.max(goal_top);
+        self.choice_points.push(ChoicePoint {
+            resume,
+            goal_top,
+            protect_prev,
+            trail_mark,
+            heap_mark,
+            goal_trail_mark,
+        });
+        self.stats.max_choice_depth = self.stats.max_choice_depth.max(self.choice_points.len());
+    }
+
+    /// Discards choice points above `cp_base` without restoring state —
+    /// commit to the bindings made since (first-solution semantics of
+    /// isolation barriers).
+    fn commit_choice_points(&mut self, cp_base: usize) {
+        if self.choice_points.len() > cp_base {
+            self.protect = self.choice_points[cp_base].protect_prev;
+            self.choice_points.truncate(cp_base);
+        }
+    }
+
+    /// Backtracks to the most recent choice point above `cp_base` that
+    /// yields a continuation: restores trail, arena, goal stack and
+    /// protection watermark, then resumes the record's alternative. Returns
+    /// `false` when no choice point above the barrier remains (the current
+    /// (sub-)solve fails).
+    fn backtrack(&mut self, cp_base: usize) -> EngineResult<bool> {
+        while self.choice_points.len() > cp_base {
+            let cp = self.choice_points.pop().expect("length checked");
+            self.protect = cp.protect_prev;
+            self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
+            self.undo_trail(cp.trail_mark);
+            self.note_heap_high_water();
+            self.heap.truncate(cp.heap_mark);
+            self.undo_goal_trail(cp.goal_trail_mark);
+            self.goal_top = cp.goal_top;
+            match cp.resume {
+                Resume::Alt { goal } => {
+                    self.push_goal(goal)?;
+                    return Ok(true);
+                }
+                Resume::Clauses {
+                    goal,
+                    cands,
+                    cursor,
+                } => {
+                    if self.try_clauses(goal, cands, cursor)? {
+                        return Ok(true);
+                    }
+                    // Candidates exhausted: keep unwinding.
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    // ------------------------------------------------------------------
     // The solver
     // ------------------------------------------------------------------
 
-    /// Solves a goal list to its first solution.
-    ///
-    /// The function is written as a loop over the continuation ("last-call
-    /// optimisation"): it only recurses when a choice point must be kept open
-    /// (several candidate clauses, disjunctions, negation, if-then-else
-    /// conditions, parallel arms). Deterministic recursion — the common case
-    /// in the benchmark suite thanks to first-argument indexing and guards —
-    /// therefore runs in bounded stack space.
-    fn solve(&mut self, goals: &Goals, depth: usize) -> EngineResult<bool> {
-        if depth > self.config.max_depth {
-            return Err(EngineError::DepthLimit(self.config.max_depth));
-        }
+    /// Runs the goal stack down to `goal_base` (success) or out of choice
+    /// points above `cp_base` (failure). `depth` counts isolation-barrier
+    /// nesting for the depth limit.
+    fn run(&mut self, goal_base: usize, cp_base: usize, depth: usize) -> EngineResult<bool> {
         let wk = well_known::get();
-        let mut goals: Goals = goals.clone();
         loop {
-            let Some(frame) = goals.take() else {
+            if self.goal_top == goal_base {
                 return Ok(true);
-            };
-            // Move the goal and continuation out (recycling the frame), and
-            // only pay a dereference when the goal is actually a variable.
-            let (goal, rest) = self.pop_frame(frame);
-            let goal = match goal {
-                RTerm::Var(_) => self.deref_compress(&goal),
-                other => other,
-            };
-
-            let Some((name, arity)) = goal.functor() else {
-                return Err(EngineError::NotCallable(self.resolve(&goal)));
+            }
+            self.goal_top -= 1;
+            let mut cell = self.goal_stack[self.goal_top];
+            // Only pay a dereference when the goal is actually a variable.
+            if let HCell::Ref(i) = cell {
+                cell = self.heap[self.deref_idx(i as usize)];
+            }
+            let (name, arity, args) = match cell {
+                HCell::Atom(s) => (s, 0usize, 0usize),
+                HCell::Struct(s, a, base) => (s, a as usize, base as usize),
+                other => return Err(EngineError::NotCallable(self.resolve_cell(other))),
             };
 
             // Control constructs dispatch on cached interned symbols — no
@@ -510,84 +923,136 @@ impl<'p> Machine<'p> {
             match arity {
                 // Cut is approximated as `true`: the benchmark programs use
                 // mutually exclusive guards rather than cuts for control.
-                0 if name == wk.true_ || name == wk.cut => {
-                    goals = rest;
+                0 if name == wk.true_ || name == wk.cut => {}
+                0 if name == wk.fail || name == wk.false_ => {
+                    if !self.backtrack(cp_base)? {
+                        return Ok(false);
+                    }
                 }
-                0 if name == wk.fail || name == wk.false_ => return Ok(false),
                 2 if name == wk.comma => {
-                    let args = goal.args();
-                    let tail = self.push_goal_pooled(args[1].clone(), rest);
-                    goals = self.push_goal_pooled(args[0].clone(), tail);
+                    self.push_goal(self.heap[args + 1])?;
+                    self.push_goal(self.heap[args])?;
                 }
-                2 if name == wk.par_and => match self.solve_parallel(&goal, &rest, depth)? {
-                    Step::Return(v) => return Ok(v),
-                    Step::Continue(next) => goals = next,
-                },
+                2 if name == wk.par_and => {
+                    if !self.solve_parallel(cell, depth)? && !self.backtrack(cp_base)? {
+                        return Ok(false);
+                    }
+                }
                 2 if name == wk.semicolon => {
-                    let args = goal.args();
                     // (Cond -> Then ; Else)
-                    let cond_then = match self.deref_ref(&args[0]) {
-                        RTerm::Struct(arrow, ct) if *arrow == wk.arrow && ct.len() == 2 => {
-                            Some((ct[0].clone(), ct[1].clone()))
+                    let cond_then = match self.deref_cell(self.heap[args]) {
+                        HCell::Struct(arrow, 2, ct) if arrow == wk.arrow => {
+                            let ct = ct as usize;
+                            Some((self.heap[ct], self.heap[ct + 1]))
                         }
                         _ => None,
                     };
                     if let Some((cond, then)) = cond_then {
                         let mark = self.trail.len();
-                        let cond_goals = self.push_goal_pooled(cond, None);
-                        if self.solve(&cond_goals, depth + 1)? {
-                            goals = self.push_goal_pooled(then, rest);
+                        let heap_mark = self.heap.len();
+                        if self.solve_sub(cond, depth)? {
+                            self.push_goal(then)?;
                         } else {
                             self.undo_trail(mark);
-                            goals = self.push_goal_pooled(args[1].clone(), rest);
+                            self.note_heap_high_water();
+                            self.heap.truncate(heap_mark);
+                            self.push_goal(self.heap[args + 1])?;
                         }
                     } else {
-                        let mark = self.trail.len();
-                        let first = self.push_goal_pooled(args[0].clone(), rest.clone());
-                        if self.solve(&first, depth + 1)? {
-                            return Ok(true);
-                        }
-                        self.undo_trail(mark);
-                        goals = self.push_goal_pooled(args[1].clone(), rest);
+                        // Plain disjunction: an explicit choice point holds
+                        // the right arm; the left arm runs against the
+                        // shared continuation in place.
+                        let alt = self.heap[args + 1];
+                        let first = self.heap[args];
+                        self.push_choice_point(
+                            Resume::Alt { goal: alt },
+                            self.trail.len(),
+                            self.heap.len(),
+                            self.goal_trail.len(),
+                        );
+                        self.push_goal(first)?;
                     }
                 }
                 2 if name == wk.arrow => {
-                    let args = goal.args();
+                    let cond = self.heap[args];
+                    let then = self.heap[args + 1];
                     let mark = self.trail.len();
-                    let cond_goals = self.push_goal_pooled(args[0].clone(), None);
-                    if self.solve(&cond_goals, depth + 1)? {
-                        goals = self.push_goal_pooled(args[1].clone(), rest);
+                    let heap_mark = self.heap.len();
+                    if self.solve_sub(cond, depth)? {
+                        self.push_goal(then)?;
                     } else {
                         self.undo_trail(mark);
-                        return Ok(false);
+                        self.note_heap_high_water();
+                        self.heap.truncate(heap_mark);
+                        if !self.backtrack(cp_base)? {
+                            return Ok(false);
+                        }
                     }
                 }
                 1 if name == wk.not => {
-                    let args = goal.args();
+                    let inner = self.heap[args];
                     let mark = self.trail.len();
-                    let inner = self.push_goal_pooled(args[0].clone(), None);
-                    let succeeded = self.solve(&inner, depth + 1)?;
+                    let heap_mark = self.heap.len();
+                    let succeeded = self.solve_sub(inner, depth)?;
                     self.undo_trail(mark);
-                    if succeeded {
+                    self.note_heap_high_water();
+                    self.heap.truncate(heap_mark);
+                    if succeeded && !self.backtrack(cp_base)? {
                         return Ok(false);
                     }
-                    goals = rest;
                 }
                 _ => {
                     // One probe identifies the goal: builtin or user
                     // predicate (builtins shadow same-name user predicates).
                     match self.dispatch.get(&(name, arity)).copied() {
                         Some(CallTarget::Builtin(builtin)) => {
-                            if builtins::dispatch(self, builtin, &goal)? {
-                                goals = rest;
-                                continue;
+                            if !builtins::dispatch(self, builtin, cell)?
+                                && !self.backtrack(cp_base)?
+                            {
+                                return Ok(false);
                             }
-                            return Ok(false);
                         }
                         Some(CallTarget::User(predicate)) => {
-                            match self.solve_user_goal(&goal, predicate, &rest, depth)? {
-                                Step::Return(v) => return Ok(v),
-                                Step::Continue(next) => goals = next,
+                            // First-argument indexing: the principal functor
+                            // of the dereferenced first argument selects the
+                            // candidate clauses.
+                            let goal_key = if arity == 0 {
+                                None
+                            } else {
+                                self.index_key_at(args)
+                            };
+                            let cands = match self.config.clause_selection {
+                                // Fast path: one probe of the persistent
+                                // index, borrowing the precomputed candidate
+                                // list — no per-call allocation or scan.
+                                ClauseSelection::Indexed => {
+                                    Cands::Indexed(predicate.candidates(goal_key.as_ref()))
+                                }
+                                // Reference path: the seed's per-call linear
+                                // scan with a key filter, kept for
+                                // differential testing of the index.
+                                ClauseSelection::LinearScan => {
+                                    let clauses = self.program.clauses();
+                                    Cands::Scanned(
+                                        predicate
+                                            .clause_ids
+                                            .iter()
+                                            .copied()
+                                            .filter(|&id| {
+                                                match (
+                                                    goal_key.as_ref(),
+                                                    IndexKey::of_clause_head(&clauses[id]),
+                                                ) {
+                                                    (Some(gk), Some(hk)) => *gk == hk,
+                                                    _ => true,
+                                                }
+                                            })
+                                            .collect(),
+                                    )
+                                }
+                            };
+                            if !self.try_clauses(cell, cands, 0)? && !self.backtrack(cp_base)? {
+                                return Ok(false);
                             }
                         }
                         None => {
@@ -599,103 +1064,94 @@ impl<'p> Machine<'p> {
         }
     }
 
-    fn solve_user_goal(
-        &mut self,
-        goal: &RTerm,
-        predicate: &'p Predicate,
-        rest: &Goals,
-        depth: usize,
-    ) -> EngineResult<Step> {
-        // First-argument indexing: the principal functor of the dereferenced
-        // first goal argument selects the candidate clauses.
-        let goal_key = goal
-            .args()
-            .first()
-            .and_then(|a| rterm_index_key(self.deref_ref(a)));
-        let scratch: Vec<ClauseId>;
-        let candidates: &[ClauseId] = match self.config.clause_selection {
-            // Fast path: one probe of the persistent index, borrowing the
-            // precomputed candidate list — no per-call allocation or scan.
-            ClauseSelection::Indexed => predicate.candidates(goal_key.as_ref()),
-            // Reference path: the seed's per-call linear scan with a key
-            // filter, kept for differential testing of the index.
-            ClauseSelection::LinearScan => {
-                let clauses = self.program.clauses();
-                scratch = predicate
-                    .clause_ids
-                    .iter()
-                    .copied()
-                    .filter(|&id| {
-                        match (goal_key.as_ref(), IndexKey::of_clause_head(&clauses[id])) {
-                            (Some(gk), Some(hk)) => *gk == hk,
-                            _ => true,
-                        }
-                    })
-                    .collect();
-                &scratch
-            }
-        };
+    /// The index key of the (dereferenced) first goal argument: the
+    /// goal-side counterpart of [`IndexKey::of_term`]. `None` for variables,
+    /// which match every bucket.
+    fn index_key_at(&self, first_arg: usize) -> Option<IndexKey> {
+        match self.heap[self.deref_idx(first_arg)] {
+            HCell::Ref(_) => None,
+            HCell::Atom(s) => Some(IndexKey::Atom(s)),
+            HCell::Int(i) => Some(IndexKey::Int(i)),
+            HCell::Float(x) => Some(IndexKey::of_float(x)),
+            HCell::Struct(s, arity, _) => Some(IndexKey::Struct(s, arity as usize)),
+        }
+    }
+
+    /// Tries the candidate clauses of a call from `cursor` on. On the first
+    /// activation whose head and eager builtin prefix succeed, pushes the
+    /// body goals (and a choice point if candidates remain) and returns
+    /// `true`. Returns `false` with the candidates exhausted.
+    fn try_clauses(&mut self, goal: HCell, cands: Cands<'p>, cursor: usize) -> EngineResult<bool> {
         let templates = Rc::clone(&self.templates);
-        let last_index = candidates.len().checked_sub(1);
-        for (i, &clause_id) in candidates.iter().enumerate() {
+        let trail_mark = self.trail.len();
+        let heap_mark = self.heap.len();
+        let goal_trail_mark = self.goal_trail.len();
+        let goal_args = match goal {
+            HCell::Struct(_, _, base) => base as usize,
+            _ => 0,
+        };
+        let total = cands.as_slice().len();
+        let mut i = cursor;
+        while i < total {
+            let clause_id = cands.as_slice()[i];
             let templ = &templates[clause_id];
             self.charge_head_attempt()?;
-            let trail_mark = self.trail.len();
-            let heap_mark = self.heap.len();
-            self.heap.resize(heap_mark + templ.num_vars(), None);
-            if self.unify_head(goal, templ, heap_mark) {
+            let var_base = self.fresh_vars(templ.num_vars());
+            if self.unify_head(goal_args, templ, var_base) {
                 self.charge_resolution();
                 // Run the body's leading builtins straight off the template
-                // (no materialization, no frames). A failure here fails the
-                // activation exactly where solving the pushed goal would
-                // have.
-                if self.run_eager_prefix(templ, heap_mark)? {
-                    // Materialize the precompiled body goals (right to left),
-                    // so the conjunction spine is never built as a term and
+                // (no materialization, no goal-stack traffic). A failure
+                // here fails the activation exactly where solving the pushed
+                // goal would have.
+                if self.run_eager_prefix(templ, var_base)? {
+                    if i + 1 < total {
+                        self.push_choice_point(
+                            Resume::Clauses {
+                                goal,
+                                cands,
+                                cursor: i + 1,
+                            },
+                            trail_mark,
+                            heap_mark,
+                            goal_trail_mark,
+                        );
+                    }
+                    // Write the precompiled body goals into the arena (right
+                    // to left), so the conjunction spine is never built and
                     // never re-decomposed by the solve loop. Facts push
                     // nothing.
                     let cells = templ.cells();
-                    let mut new_goals = rest.clone();
                     for &start in templ.body_goals().iter().rev() {
                         let mut pos = start as usize;
-                        let body_goal = template::materialize(cells, &mut pos, heap_mark);
-                        new_goals = self.push_goal_pooled(body_goal, new_goals);
+                        let body_goal = self.write_template(cells, &mut pos, var_base);
+                        self.push_goal(body_goal)?;
                     }
-                    if Some(i) == last_index {
-                        // Last (or only) candidate: no choice point to keep —
-                        // continue iteratively in the caller's loop.
-                        return Ok(Step::Continue(new_goals));
-                    }
-                    if self.solve(&new_goals, depth + 1)? {
-                        return Ok(Step::Return(true));
-                    }
-                } else if Some(i) == last_index {
-                    // A failed body builtin on the last candidate propagates
-                    // failure without undoing this activation, exactly as a
-                    // builtin failing in the solve loop would.
-                    return Ok(Step::Return(false));
+                    return Ok(true);
                 }
             }
+            self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
             self.undo_trail(trail_mark);
+            self.note_heap_high_water();
             self.heap.truncate(heap_mark);
+            i += 1;
         }
-        Ok(Step::Return(false))
+        Ok(false)
     }
 
     /// Executes a clause body's eager builtin prefix directly from the
     /// template cells. Returns `Ok(false)` as soon as one builtin fails.
     /// Counter-for-counter identical to materializing each goal and running
-    /// it through the solve loop, minus the allocations.
-    fn run_eager_prefix(&mut self, templ: &ClauseTemplate, heap_mark: usize) -> EngineResult<bool> {
+    /// it through the solve loop, minus the arena writes.
+    fn run_eager_prefix(&mut self, templ: &ClauseTemplate, var_base: usize) -> EngineResult<bool> {
         for step in templ.eager() {
             let cells = templ.cells();
             let ok = match *step {
-                template::EagerGoal::NumCompare { op, lhs, rhs } => {
+                crate::template::EagerGoal::NumCompare { op, lhs, rhs } => {
                     self.charge_builtin();
                     let mut pos = lhs as usize;
-                    let a = crate::arith::eval_template(self, cells, &mut pos, heap_mark)?;
+                    let a = crate::arith::eval_template(self, cells, &mut pos, var_base)?;
                     let mut pos = rhs as usize;
-                    let b = crate::arith::eval_template(self, cells, &mut pos, heap_mark)?;
+                    let b = crate::arith::eval_template(self, cells, &mut pos, var_base)?;
                     let ord = a.compare(b);
                     match op {
                         Builtin::NumLt => ord == std::cmp::Ordering::Less,
@@ -706,17 +1162,17 @@ impl<'p> Machine<'p> {
                         _ => ord != std::cmp::Ordering::Equal,
                     }
                 }
-                template::EagerGoal::Is { lhs, rhs } => {
+                crate::template::EagerGoal::Is { lhs, rhs } => {
                     self.charge_builtin();
                     let mut pos = rhs as usize;
-                    let value = crate::arith::eval_template(self, cells, &mut pos, heap_mark)?;
+                    let value = crate::arith::eval_template(self, cells, &mut pos, var_base)?;
                     let mut pos = lhs as usize;
-                    self.unify_template(&value.to_rterm(), cells, &mut pos, heap_mark)
+                    self.unify_value_template(value.to_cell(), cells, &mut pos, var_base)
                 }
-                template::EagerGoal::Other { builtin, goal } => {
+                crate::template::EagerGoal::Other { builtin, goal } => {
                     let mut pos = goal as usize;
-                    let g = template::materialize(cells, &mut pos, heap_mark);
-                    builtins::dispatch(self, builtin, &g)?
+                    let g = self.write_template(cells, &mut pos, var_base);
+                    builtins::dispatch(self, builtin, g)?
                 }
             };
             if !ok {
@@ -726,181 +1182,78 @@ impl<'p> Machine<'p> {
         Ok(true)
     }
 
-    /// Unifies a goal with a clause head template, renaming clause-local
-    /// variables by `var_offset`.
-    ///
-    /// Counts exactly the unifications the seed's `unify(goal, from_ir(head))`
-    /// counted — one for the whole-head pair plus one per visited subterm
-    /// pair — but materializes a runtime term for a template subtree *only*
-    /// when the corresponding goal position is an unbound variable. Bound
-    /// goal arguments unify against the flat cell array with no allocation.
-    fn unify_head(&mut self, goal: &RTerm, templ: &ClauseTemplate, var_offset: usize) -> bool {
-        self.counters.unifications += 1;
-        self.record_work(self.config.cost_model.per_unification);
-        let cells = templ.cells();
-        let goal_args = goal.args();
-        for (k, start) in templ.head_arg_positions().iter().enumerate() {
-            let mut pos = *start as usize;
-            if !self.unify_template(&goal_args[k], cells, &mut pos, var_offset) {
-                return false;
-            }
+    /// Solves one goal in isolation to its first solution (an isolation
+    /// barrier): negation, if-then-else conditions and `&` arms use this.
+    /// Choice points opened inside are committed on success; bindings are
+    /// kept either way (callers undo their own marks where the construct
+    /// demands it).
+    fn solve_sub(&mut self, goal: HCell, depth: usize) -> EngineResult<bool> {
+        if depth >= self.config.max_depth {
+            return Err(EngineError::DepthLimit(self.config.max_depth));
         }
-        true
+        let goal_base = self.goal_top;
+        let cp_base = self.choice_points.len();
+        self.push_goal(goal)?;
+        let ok = self.run(goal_base, cp_base, depth + 1)?;
+        if ok {
+            self.commit_choice_points(cp_base);
+        } else {
+            // The failed attempt may have left unconsumed goals above the
+            // barrier; drop them.
+            self.goal_top = goal_base;
+        }
+        Ok(ok)
     }
 
-    /// Unifies one goal subterm against the template subtree at `*pos`,
-    /// advancing `*pos` past it on success (on failure the cursor is
-    /// abandoned along with the whole head attempt).
-    fn unify_template(
-        &mut self,
-        goal: &RTerm,
-        cells: &[template::Cell],
-        pos: &mut usize,
-        var_offset: usize,
-    ) -> bool {
-        let cell = cells[*pos];
-        match cell {
-            template::Cell::Var(v) => {
-                *pos += 1;
-                self.unify(goal, &RTerm::Var(v as usize + var_offset))
-            }
-            // Constant cells unify in place: same one-unification count and
-            // case analysis as `unify(goal, const)`, without the call and the
-            // redundant dereference of an already-constant right-hand side.
-            template::Cell::Atom(s) => {
-                *pos += 1;
-                self.counters.unifications += 1;
-                self.record_work(self.config.cost_model.per_unification);
-                match self.deref_compress(goal) {
-                    RTerm::Var(x) => {
-                        self.bind(x, RTerm::Atom(s));
-                        true
-                    }
-                    RTerm::Atom(g) => g == s,
-                    _ => false,
-                }
-            }
-            template::Cell::Int(i) => {
-                *pos += 1;
-                self.counters.unifications += 1;
-                self.record_work(self.config.cost_model.per_unification);
-                match self.deref_compress(goal) {
-                    RTerm::Var(x) => {
-                        self.bind(x, RTerm::Int(i));
-                        true
-                    }
-                    RTerm::Int(g) => g == i,
-                    _ => false,
-                }
-            }
-            template::Cell::Float(x) => {
-                *pos += 1;
-                self.counters.unifications += 1;
-                self.record_work(self.config.cost_model.per_unification);
-                match self.deref_compress(goal) {
-                    RTerm::Var(v) => {
-                        self.bind(v, RTerm::Float(x));
-                        true
-                    }
-                    RTerm::Float(g) => g == x,
-                    _ => false,
-                }
-            }
-            template::Cell::VarFirst(v) => {
-                // First occurrence of a head variable: its heap slot is
-                // unbound by construction, so this is a plain bind — same
-                // one-unification count and binding direction as the general
-                // path, minus its dereferences.
-                *pos += 1;
-                self.counters.unifications += 1;
-                self.record_work(self.config.cost_model.per_unification);
-                let head_var = v as usize + var_offset;
-                debug_assert!(self.heap[head_var].is_none(), "first occurrence is unbound");
-                match self.deref_compress(goal) {
-                    RTerm::Var(x) => self.bind(x, RTerm::Var(head_var)),
-                    value => self.bind(head_var, value),
-                }
-                true
-            }
-            template::Cell::Struct(f, arity) => {
-                self.counters.unifications += 1;
-                self.record_work(self.config.cost_model.per_unification);
-                match self.deref_compress(goal) {
-                    RTerm::Var(x) => {
-                        // Materialization on demand: only here does a
-                        // template subtree become a heap term.
-                        let value = template::materialize(cells, pos, var_offset);
-                        self.bind(x, value);
-                        true
-                    }
-                    RTerm::Struct(gf, gargs) if gf == f && gargs.len() == arity as usize => {
-                        *pos += 1;
-                        for ga in gargs.iter() {
-                            if !self.unify_template(ga, cells, pos, var_offset) {
-                                return false;
-                            }
-                        }
-                        true
-                    }
-                    _ => false,
-                }
-            }
-        }
-    }
-
-    fn solve_parallel(&mut self, goal: &RTerm, rest: &Goals, depth: usize) -> EngineResult<Step> {
-        let mut arms = Vec::with_capacity(2);
-        flatten_par(self, goal, &mut arms);
+    /// Executes a parallel conjunction: flattens nested `&` into arms,
+    /// records one batched fork, and solves each arm in isolation on the
+    /// shared goal stack (no per-arm recursion into a fresh solver).
+    fn solve_parallel(&mut self, goal: HCell, depth: usize) -> EngineResult<bool> {
+        let base = self.arm_scratch.len();
+        self.collect_arms(goal);
+        let n = self.arm_scratch.len() - base;
         let mark = self.trail.len();
-        let children = self.recorder.record_fork(arms.len());
-        for (arm, child) in arms.into_iter().zip(children) {
+        let heap_mark = self.heap.len();
+        let children = self.recorder.record_fork(n);
+        for (k, child) in children.enumerate() {
+            let arm = self.arm_scratch[base + k];
             self.recorder.push(child);
-            let arm_goals = self.push_goal_pooled(arm, None);
-            let result = self.solve(&arm_goals, depth + 1);
+            let result = self.solve_sub(arm, depth);
             self.recorder.pop();
             match result {
                 Ok(true) => {}
                 Ok(false) => {
                     // Independent and-parallelism: if one arm fails the whole
                     // conjunction fails (no backtracking across arms).
+                    self.arm_scratch.truncate(base);
+                    self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
                     self.undo_trail(mark);
-                    return Ok(Step::Return(false));
+                    self.note_heap_high_water();
+                    self.heap.truncate(heap_mark);
+                    return Ok(false);
                 }
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.arm_scratch.truncate(base);
+                    return Err(e);
+                }
             }
         }
-        Ok(Step::Continue(rest.clone()))
+        self.arm_scratch.truncate(base);
+        Ok(true)
     }
-}
 
-/// Outcome of a non-tail step of the solver: either a final answer or the
-/// continuation to keep executing iteratively.
-enum Step {
-    Return(bool),
-    Continue(Goals),
-}
-
-fn flatten_par(machine: &Machine<'_>, goal: &RTerm, out: &mut Vec<RTerm>) {
-    let g = machine.deref(goal);
-    match &g {
-        RTerm::Struct(s, args) if *s == well_known::par_and() && args.len() == 2 => {
-            flatten_par(machine, &args[0], out);
-            flatten_par(machine, &args[1], out);
+    /// Flattens a (possibly nested) `&` conjunction into dereferenced arm
+    /// cells appended to the shared scratch buffer.
+    fn collect_arms(&mut self, cell: HCell) {
+        let c = self.deref_cell(cell);
+        match c {
+            HCell::Struct(s, 2, base) if s == well_known::get().par_and => {
+                let (l, r) = (self.heap[base as usize], self.heap[base as usize + 1]);
+                self.collect_arms(l);
+                self.collect_arms(r);
+            }
+            other => self.arm_scratch.push(other),
         }
-        _ => out.push(g),
-    }
-}
-
-/// The index key of a (dereferenced) runtime term: the goal-side counterpart
-/// of [`IndexKey::of_term`]. `None` for variables, which match every bucket.
-/// A small `Copy` value — no interner traffic, no formatting, no allocation.
-fn rterm_index_key(t: &RTerm) -> Option<IndexKey> {
-    match t {
-        RTerm::Var(_) => None,
-        RTerm::Atom(s) => Some(IndexKey::Atom(*s)),
-        RTerm::Int(i) => Some(IndexKey::Int(*i)),
-        RTerm::Float(x) => Some(IndexKey::of_float(*x)),
-        RTerm::Struct(s, args) => Some(IndexKey::Struct(*s, args.len())),
     }
 }
 
@@ -973,12 +1326,21 @@ mod tests {
             fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
                          fib(M1, N1), fib(M2, N2), N is N1 + N2.
         "#;
-        // fib(11) keeps the solver's continuation depth well within the default
-        // test-thread stack; larger workloads run via `with_large_stack`.
         let out = run(src, "fib(11, X)");
         assert!(out.succeeded);
         assert_eq!(out.binding("X").unwrap(), &Term::int(89));
         assert!(out.counters.resolutions > 200);
+    }
+
+    #[test]
+    fn deep_deterministic_recursion_runs_iteratively() {
+        // The goal stack replaces solver recursion: 50k deterministic
+        // resolutions execute on a test thread's default stack, no
+        // `with_large_stack` required.
+        let src = "count(0). count(N) :- N > 0, N1 is N - 1, count(N1).";
+        let out = run(src, "count(50000)");
+        assert!(out.succeeded);
+        assert_eq!(out.counters.resolutions, 50_001);
     }
 
     #[test]
@@ -1004,6 +1366,21 @@ mod tests {
         assert!(out.succeeded);
         assert_eq!(out.binding("X").unwrap(), &Term::int(2));
         assert_eq!(out.binding("Y").unwrap(), &Term::atom("b"));
+    }
+
+    #[test]
+    fn backtracking_restores_shared_continuations() {
+        // The continuation after the disjunction is consumed by the first
+        // arm's attempt and must be re-exposed (via the goal trail) for the
+        // second arm: r(X) runs twice, once per arm.
+        let src = r#"
+            r(1) :- fail.
+            r(2).
+            s(X) :- ( X = 1 ; X = 2 ), r(X).
+        "#;
+        let out = run(src, "s(X)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap(), &Term::int(2));
     }
 
     #[test]
@@ -1090,6 +1467,23 @@ mod tests {
     }
 
     #[test]
+    fn depth_limit_bounds_the_goal_stack() {
+        // A program that grows the pending-goal stack without bound (each
+        // resolution pushes two goals and consumes one) must hit the depth
+        // limit rather than exhaust memory.
+        let program = parse_program("grow :- grow, grow.").unwrap();
+        let mut machine = Machine::with_config(
+            &program,
+            MachineConfig {
+                max_depth: 500,
+                ..MachineConfig::default()
+            },
+        );
+        let err = machine.run_query("grow").unwrap_err();
+        assert!(matches!(err, EngineError::DepthLimit(_)));
+    }
+
+    #[test]
     fn grain_test_builtin_guides_execution() {
         let src = r#"
             qs([], []).
@@ -1137,6 +1531,25 @@ mod tests {
         assert!(a.succeeded && b.succeeded);
         // Counters are reset between queries.
         assert_eq!(b.counters.resolutions, 1);
+    }
+
+    #[test]
+    fn stats_track_arena_and_choice_points() {
+        let src = r#"
+            color(red). color(green). color(blue).
+            nice(blue).
+            pick(C) :- color(C), nice(C).
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        let out = machine.run_query("pick(X)").unwrap();
+        assert!(out.succeeded);
+        let stats = machine.stats();
+        assert!(stats.heap_high_water > 0);
+        assert!(stats.goal_stack_high_water >= 1);
+        // color/1 keeps a clause choice point open while nice/1 fails twice.
+        assert!(stats.max_choice_depth >= 1);
+        assert!(stats.trail_high_water >= 1);
     }
 
     #[test]

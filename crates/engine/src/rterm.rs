@@ -1,11 +1,15 @@
-//! Runtime term representation.
+//! The seed's shared-structure runtime term representation, kept at the
+//! boundary.
 //!
-//! The engine does not execute [`granlog_ir::Term`] trees directly: runtime
-//! terms share structure through [`std::rc::Rc`] so that dereferencing,
-//! unification and argument passing never deep-copy. Variables are global
-//! indices into the machine's binding store ("heap"); a clause is *renamed*
-//! into runtime form by offsetting its clause-local variable indices by the
-//! current heap size.
+//! The machine itself no longer executes on `RTerm`s: since the arena
+//! rewrite all runtime structure lives as tagged cells in the bump-arena
+//! heap ([`crate::heap`]), and answers materialize directly into
+//! [`granlog_ir::Term`]s. `RTerm` remains as the seed-compatible
+//! structure-sharing representation — variables as global binding-store
+//! indices, compound arguments in one shared `Rc<[RTerm]>` allocation — used
+//! by [`crate::template::ClauseTemplate::materialize_body`] and the
+//! microbenchmarks that compare template instantiation against the seed's
+//! per-activation `from_ir` tree walk.
 
 use granlog_ir::symbol::well_known;
 use granlog_ir::{Symbol, Term};

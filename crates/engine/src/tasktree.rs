@@ -14,21 +14,126 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a task within a [`TaskTree`].
 pub type TaskId = usize;
 
+/// A batch of forked child tasks. Children created by one fork always get
+/// consecutive ids, so the segment stores only the first id and the count —
+/// recording a fork is two integer writes, with no per-fork id vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForkSpan {
+    /// Id of the first forked child.
+    pub first: TaskId,
+    /// Number of forked children.
+    pub count: usize,
+}
+
+impl ForkSpan {
+    /// The child task ids, in order.
+    pub fn ids(self) -> std::ops::Range<TaskId> {
+        self.first..self.first + self.count
+    }
+}
+
 /// One step in a task's sequential execution.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum Segment {
     /// Sequential work, in work units.
     Work(f64),
     /// Fork the given child tasks, then wait for all of them to finish
     /// (fork-join / independent and-parallelism semantics).
-    Fork(Vec<TaskId>),
+    Fork(ForkSpan),
+}
+
+/// A task's segment list. Recorded tasks overwhelmingly take one of two
+/// shapes — a leaf arm whose entire work lands in a single merged
+/// [`Segment::Work`] chunk, or an inner arm's `[Work, Fork, Work]` sandwich
+/// — so up to three segments are stored inline and spawning such tasks costs
+/// no allocation; longer lists spill into a `Vec`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum Segments {
+    /// No segments recorded.
+    #[default]
+    Empty,
+    /// One segment, inline.
+    One([Segment; 1]),
+    /// Two segments, inline.
+    Two([Segment; 2]),
+    /// Three segments, inline.
+    Three([Segment; 3]),
+    /// Four or more segments.
+    Many(Vec<Segment>),
+}
+
+impl Segments {
+    /// The segments as a slice, in execution order.
+    pub fn as_slice(&self) -> &[Segment] {
+        match self {
+            Segments::Empty => &[],
+            Segments::One(a) => a,
+            Segments::Two(a) => a,
+            Segments::Three(a) => a,
+            Segments::Many(v) => v,
+        }
+    }
+
+    /// Number of segments.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// `true` if no segments have been recorded.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Segments::Empty)
+    }
+
+    /// Iterates the segments in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Segment> {
+        self.as_slice().iter()
+    }
+
+    fn push(&mut self, seg: Segment) {
+        match self {
+            Segments::Many(v) => v.push(seg),
+            Segments::Empty => *self = Segments::One([seg]),
+            Segments::One([a]) => *self = Segments::Two([*a, seg]),
+            Segments::Two([a, b]) => *self = Segments::Three([*a, *b, seg]),
+            Segments::Three([a, b, c]) => {
+                let mut v = Vec::with_capacity(6);
+                v.extend_from_slice(&[*a, *b, *c, seg]);
+                *self = Segments::Many(v);
+            }
+        }
+    }
+
+    fn last_mut(&mut self) -> Option<&mut Segment> {
+        match self {
+            Segments::Empty => None,
+            Segments::One(a) => a.last_mut(),
+            Segments::Two(a) => a.last_mut(),
+            Segments::Three(a) => a.last_mut(),
+            Segments::Many(v) => v.last_mut(),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Segments {
+    type Output = Segment;
+    fn index(&self, index: usize) -> &Segment {
+        &self.as_slice()[index]
+    }
+}
+
+impl<'a> IntoIterator for &'a Segments {
+    type Item = &'a Segment;
+    type IntoIter = std::slice::Iter<'a, Segment>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
 }
 
 /// A single task: a sequence of work chunks and forks.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Task {
     /// The task's segments, in execution order.
-    pub segments: Vec<Segment>,
+    pub segments: Segments,
 }
 
 impl Task {
@@ -48,8 +153,8 @@ impl Task {
         self.segments
             .iter()
             .flat_map(|s| match s {
-                Segment::Fork(kids) => kids.clone(),
-                Segment::Work(_) => Vec::new(),
+                Segment::Fork(span) => span.ids(),
+                Segment::Work(_) => 0..0,
             })
             .collect()
     }
@@ -121,10 +226,10 @@ impl TaskTree {
         for segment in &self.tasks[id].segments {
             match segment {
                 Segment::Work(w) => total += w,
-                Segment::Fork(kids) => {
-                    let longest = kids
-                        .iter()
-                        .map(|&k| self.critical_path_of(k))
+                Segment::Fork(span) => {
+                    let longest = span
+                        .ids()
+                        .map(|k| self.critical_path_of(k))
                         .fold(0.0f64, f64::max);
                     total += longest;
                 }
@@ -175,7 +280,7 @@ impl TaskTree {
     }
 
     /// Appends a fork segment to a task.
-    pub fn add_fork(&mut self, id: TaskId, children: Vec<TaskId>) {
+    pub fn add_fork(&mut self, id: TaskId, children: ForkSpan) {
         self.tasks[id].segments.push(Segment::Fork(children));
     }
 }
@@ -230,14 +335,20 @@ impl TaskRecorder {
     }
 
     /// Records a fork of `n` children in the current task and returns their
-    /// ids (in order). Child ids are consecutive, so the returned range
-    /// carries them without allocating; the stored fork segment owns the only
-    /// id vector.
+    /// ids (in order). Child ids are consecutive, so both the returned range
+    /// and the stored [`ForkSpan`] carry them without allocating: the whole
+    /// fork record is batched into one segment push.
     pub fn record_fork(&mut self, n: usize) -> std::ops::Range<TaskId> {
         self.flush();
         let children = self.tree.add_tasks(n);
         let id = self.current();
-        self.tree.add_fork(id, children.clone().collect());
+        self.tree.add_fork(
+            id,
+            ForkSpan {
+                first: children.start,
+                count: n,
+            },
+        );
         children
     }
 

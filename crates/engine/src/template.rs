@@ -11,13 +11,16 @@
 //!   [`Cell`] array in preorder, so walking a template is a cursor bump over
 //!   a cache-friendly slice rather than pointer chasing;
 //! * head unification ([`crate::machine::Machine`]) matches goal arguments
-//!   directly against the cells and only *materializes* a runtime term for a
-//!   template subtree when unification actually demands one (the goal side is
-//!   an unbound variable) — bound input arguments unify with zero
-//!   allocations;
-//! * the body is materialized at most once per successful resolution, and
-//!   `true` bodies (facts) are recognised up front and never materialized at
-//!   all.
+//!   directly against the cells and only *writes arena cells* for a template
+//!   subtree when unification actually demands them (the goal side is an
+//!   unbound variable) — bound input arguments unify without touching the
+//!   term heap;
+//! * body goals are written into the arena at most once per successful
+//!   resolution, and `true` bodies (facts) are recognised up front and never
+//!   materialized at all.
+//!
+//! [`ClauseTemplate::materialize_body`] still produces the seed's
+//! `Rc`-based [`RTerm`] form for tests and microbenchmarks.
 
 use crate::builtins::{self, Builtin};
 use crate::rterm::RTerm;

@@ -86,10 +86,10 @@ pub fn simulate(tree: &TaskTree, config: &SimConfig) -> SimOutcome {
     for (id, task) in tree.tasks().iter().enumerate() {
         for (seg_idx, seg) in task.segments.iter().enumerate() {
             if let Segment::Fork(children) = seg {
-                for &c in children {
+                for c in children.ids() {
                     states[c].parent = Some((id, seg_idx));
                 }
-                states[id].pending.push((seg_idx, children.len(), 0.0));
+                states[id].pending.push((seg_idx, children.count, 0.0));
             }
         }
     }
@@ -140,7 +140,7 @@ pub fn simulate(tree: &TaskTree, config: &SimConfig) -> SimOutcome {
                     seg_idx += 1;
                 }
                 Segment::Fork(children) => {
-                    for &child in children {
+                    for child in children.ids() {
                         now += config.overhead.spawn_parent;
                         total_overhead += config.overhead.spawn_parent;
                         sequence += 1;

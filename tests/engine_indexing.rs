@@ -1,12 +1,16 @@
-//! Differential properties for first-argument clause indexing.
+//! Differential properties for clause indexing and the arena/goal-stack
+//! engine core.
 //!
 //! The engine's persistent per-predicate index must be observationally
 //! identical to the reference per-call linear scan (the seed engine's
 //! behaviour, kept as [`ClauseSelection::LinearScan`]): same success/failure,
 //! same bindings, same operation counters (which pins the clause-trial
 //! *order* — a different candidate order changes `head_attempts`), and the
-//! same recorded task tree. Likewise, dereference path compression must be
-//! invisible to everything but wall time.
+//! same recorded task tree. The deep-backtracking properties additionally
+//! exercise the machinery the arena rewrite introduced: explicit
+//! choice-point records, goal-stack restoration of continuations shared
+//! across disjunction arms and clause retries, and arena truncation to the
+//! heap mark after failed activations that built compound terms.
 
 use granlog_engine::{ClauseSelection, Machine, MachineConfig, QueryOutcome};
 use granlog_ir::parser::parse_program;
@@ -34,13 +38,12 @@ fn program_src(first_args: &[usize]) -> String {
     src
 }
 
-fn run(src: &str, query: &str, selection: ClauseSelection, compression: bool) -> QueryOutcome {
+fn run(src: &str, query: &str, selection: ClauseSelection) -> QueryOutcome {
     let program = parse_program(src).unwrap_or_else(|e| panic!("program does not parse: {e}"));
     let mut machine = Machine::with_config(
         &program,
         MachineConfig {
             clause_selection: selection,
-            path_compression: compression,
             ..MachineConfig::default()
         },
     );
@@ -49,12 +52,39 @@ fn run(src: &str, query: &str, selection: ClauseSelection, compression: bool) ->
         .unwrap_or_else(|e| panic!("query {query} failed: {e}"))
 }
 
+/// Runs a query under both clause-selection strategies, asserts full
+/// observational equivalence, and returns the indexed outcome.
+fn run_differential(src: &str, query: &str) -> QueryOutcome {
+    let indexed = run(src, query, ClauseSelection::Indexed);
+    let scanned = run(src, query, ClauseSelection::LinearScan);
+    assert_equivalent(&indexed, &scanned, query);
+    indexed
+}
+
 fn assert_equivalent(a: &QueryOutcome, b: &QueryOutcome, context: &str) {
     assert_eq!(a.succeeded, b.succeeded, "success differs: {context}");
     assert_eq!(a.bindings, b.bindings, "bindings differ: {context}");
     assert_eq!(a.counters, b.counters, "counters differ: {context}");
     assert_eq!(a.work, b.work, "work differs: {context}");
     assert_eq!(a.task_tree, b.task_tree, "task tree differs: {context}");
+}
+
+/// Renders a small digraph over atoms `n0..n5` as `edge/2` facts.
+fn edge_facts(edges: &[(usize, usize)]) -> String {
+    let mut src = String::new();
+    for &(a, b) in edges {
+        src.push_str(&format!("edge(n{}, n{}).\n", a % 6, b % 6));
+    }
+    src
+}
+
+/// A Peano numeral `s(s(...0...))` of the given depth.
+fn peano(n: usize) -> String {
+    let mut t = "0".to_owned();
+    for _ in 0..n {
+        t = format!("s({t})");
+    }
+    t
 }
 
 proptest! {
@@ -101,9 +131,7 @@ proptest! {
     ) {
         let src = program_src(&first_args);
         let query = format!("p({}, R)", PROBES[probe % PROBES.len()]);
-        let indexed = run(&src, &query, ClauseSelection::Indexed, false);
-        let scanned = run(&src, &query, ClauseSelection::LinearScan, false);
-        assert_equivalent(&indexed, &scanned, &query);
+        run_differential(&src, &query);
     }
 
     /// Backtracking across candidates visits clauses in the same order under
@@ -118,20 +146,95 @@ proptest! {
     ) {
         let src = program_src(&first_args);
         let query = format!("p({}, R), R >= {threshold}", PROBES[probe % PROBES.len()]);
-        let indexed = run(&src, &query, ClauseSelection::Indexed, false);
-        let scanned = run(&src, &query, ClauseSelection::LinearScan, false);
-        assert_equivalent(&indexed, &scanned, &query);
+        let indexed = run_differential(&src, &query);
         if indexed.succeeded {
             let r = indexed.binding("R").expect("R bound on success");
             prop_assert!(matches!(r, Term::Int(v) if *v >= threshold));
         }
     }
 
-    /// Path compression changes no observable outcome on a recursive,
-    /// backtracking workload (naive reverse + a failing probe), under either
-    /// clause-selection strategy.
+    /// Deep chronological backtracking over a random digraph: `reach/3`
+    /// keeps a clause choice point open per recursion level (every `edge`
+    /// call retries the whole variable-headed bucket), so failure paths
+    /// unwind long chains of choice-point records, restore the goal stack,
+    /// and truncate the arena past the `s(_)` depth counters built per
+    /// activation. Both engines must agree on everything, including the
+    /// operation counters that pin the retry order.
     #[test]
-    fn path_compression_is_observationally_inert(xs in prop::collection::vec(0i64..50, 0..15)) {
+    fn deep_backtracking_matches_linear_scan(
+        edges in prop::collection::vec((0usize..6, 0usize..6), 1..14),
+        from in 0usize..6,
+        to in 0usize..6,
+        depth in 0usize..6,
+    ) {
+        let mut src = edge_facts(&edges);
+        src.push_str("reach(X, X, _).\n");
+        src.push_str("reach(X, Y, s(D)) :- edge(X, Z), reach(Z, Y, D).\n");
+        let query = format!("reach(n{from}, n{to}, {})", peano(depth));
+        run_differential(&src, &query);
+    }
+
+    /// Disjunction arms share their continuation on the goal stack: after
+    /// the left arm consumes it and fails, the goal trail must re-expose the
+    /// identical continuation for the right arm. The guard value selects how
+    /// deep the failure happens; counters pin that both engines replayed the
+    /// same goals the same number of times.
+    #[test]
+    fn shared_continuations_replay_identically(
+        edges in prop::collection::vec((0usize..6, 0usize..6), 1..10),
+        left in 0usize..6,
+        right in 0usize..6,
+        hops in 1usize..4,
+    ) {
+        let mut src = edge_facts(&edges);
+        src.push_str("hop(X, Y) :- edge(X, Y).\n");
+        src.push_str("hop(X, Y) :- edge(X, Z), hop(Z, Y).\n");
+        // The continuation after the disjunction is a chain of hop/2 calls,
+        // re-run per arm and per retry of the arms' clause buckets.
+        let mut chain = String::new();
+        let mut prev = "W0".to_owned();
+        for k in 1..=hops {
+            chain.push_str(&format!(", hop({prev}, W{k})"));
+            prev = format!("W{k}");
+        }
+        let query = format!("( W0 = n{left} ; W0 = n{right} ){chain}, edge({prev}, _)");
+        run_differential(&src, &query);
+    }
+
+    /// Failed activations that build compound structure must leave no trace:
+    /// `wrap/2` constructs nested `f/2` terms before a guard fails, so every
+    /// retry exercises arena truncation to the choice point's heap mark.
+    /// Machine reuse across queries doubles as a reset check.
+    #[test]
+    fn arena_truncation_is_invisible(
+        xs in prop::collection::vec(0i64..30, 1..10),
+        threshold in 0i64..30,
+    ) {
+        let src = r#"
+            wrap(X, f(X, g(X))).
+            pick([X|_], W) :- wrap(X, W), ok(W).
+            pick([_|T], W) :- pick(T, W).
+            ok(f(X, _)) :- X >= 0.
+        "#;
+        let list: Vec<String> = xs.iter().map(|x| (x - threshold).to_string()).collect();
+        let query = format!("pick([{}], W)", list.join(","));
+        let indexed = run_differential(src, &query);
+        // Same machine, same query again: the per-query reset of arena,
+        // trail, goal stack and choice points must reproduce the outcome.
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        let first = machine.run_query(&query).unwrap();
+        let second = machine.run_query(&query).unwrap();
+        assert_equivalent(&first, &second, "machine reuse");
+        assert_equivalent(&first, &indexed, "fresh vs reused machine");
+    }
+
+    /// Naive reverse with a failing probe tail under both selection
+    /// strategies: the recursive, backtracking workload the seed suite used
+    /// to pin the (now removed) path-compression flag, kept as a pure
+    /// engine-core differential.
+    #[test]
+    fn nrev_outcomes_match(xs in prop::collection::vec(0i64..50, 0..15)) {
         let src = r#"
             nrev([], []).
             nrev([H|L], R) :- nrev(L, R1), append(R1, [H], R).
@@ -140,19 +243,33 @@ proptest! {
         "#;
         let list: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
         let query = format!("nrev([{}], R)", list.join(","));
-        let mut outcomes = Vec::new();
-        for selection in [ClauseSelection::Indexed, ClauseSelection::LinearScan] {
-            for compression in [false, true] {
-                outcomes.push(run(src, &query, selection, compression));
-            }
-        }
-        for other in &outcomes[1..] {
-            assert_equivalent(&outcomes[0], other, &query);
-        }
+        let outcome = run_differential(src, &query);
         if !xs.is_empty() {
-            let reversed = outcomes[0].binding("R").unwrap().as_list().unwrap();
+            let reversed = outcome.binding("R").unwrap().as_list().unwrap();
             prop_assert_eq!(reversed.len(), xs.len());
             prop_assert_eq!(reversed[0], &Term::int(*xs.last().unwrap()));
+        }
+    }
+
+    /// Parallel conjunctions inside backtracking contexts: task trees (fork
+    /// spans, per-arm work) must match between the selection strategies even
+    /// when earlier candidates fail and the fork is re-recorded on retry.
+    #[test]
+    fn task_trees_match_under_backtracking(
+        n in 0usize..8,
+        cutoff in 0usize..8,
+    ) {
+        let src = r#"
+            work(0).
+            work(N) :- N > 0, N1 is N - 1, work(N1).
+            try(N) :- N < 0, work(N) & work(N).
+            try(N) :- N >= 0, work(N) & work(N).
+            both(N, C) :- try(N), '$grain_ge'([a,b,c], length, C).
+        "#;
+        let query = format!("both({n}, {cutoff})");
+        let outcome = run_differential(src, &query);
+        if outcome.succeeded {
+            prop_assert_eq!(outcome.task_tree.spawned_tasks(), 2);
         }
     }
 }
