@@ -1,7 +1,8 @@
 //! Diagnostic: per-benchmark allocator traffic and machine memory profile.
 //!
-//! For every one of the 13 benchmark programs this reports, for one
-//! steady-state query on a warm machine:
+//! For every one of the 15 benchmark programs (paper tables, `nrev`, and the
+//! control-construct extras) this reports, for one steady-state query on a
+//! warm machine:
 //!
 //! * allocator calls and allocations per resolution (requires the default
 //!   `alloc-count` feature of this crate);
@@ -17,7 +18,7 @@
 //! With `--output PATH` the table is also written as JSON, which CI uploads
 //! next to the benchmark snapshot artifact.
 
-use granlog_benchmarks::{all_benchmarks, nrev_benchmark};
+use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark};
 use granlog_engine::{Machine, MachineStats};
 use std::fmt::Write as _;
 
@@ -45,6 +46,7 @@ fn main() {
         for bench in all_benchmarks()
             .into_iter()
             .chain(std::iter::once(nrev_benchmark()))
+            .chain(control_benchmarks())
         {
             let size = bench.default_size;
             let program = bench.program().expect("benchmark parses");
@@ -76,7 +78,7 @@ fn main() {
     let mut text = String::new();
     let _ = writeln!(
         text,
-        "{:<20} {:>8} {:>9} {:>8} {:>10} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "{:<20} {:>8} {:>9} {:>8} {:>10} {:>8} {:>10} {:>10} {:>8} {:>8} {:>8}",
         "program",
         "res",
         "unif",
@@ -86,7 +88,8 @@ fn main() {
         "arena_hw",
         "goals_hw",
         "trail_hw",
-        "cp_depth"
+        "cp_depth",
+        "barriers"
     );
     let mut total_res = 0u64;
     let mut total_allocs = 0u64;
@@ -95,7 +98,7 @@ fn main() {
         total_allocs += row.allocs.unwrap_or(0);
         let _ = writeln!(
             text,
-            "{:<20} {:>8} {:>9} {:>8} {:>10} {:>8.0} {:>10} {:>10} {:>8} {:>8}",
+            "{:<20} {:>8} {:>9} {:>8} {:>10} {:>8.0} {:>10} {:>10} {:>8} {:>8} {:>8}",
             row.label,
             row.resolutions,
             row.unifications,
@@ -109,6 +112,7 @@ fn main() {
             row.stats.goal_stack_high_water,
             row.stats.trail_high_water,
             row.stats.max_choice_depth,
+            row.stats.max_barrier_depth,
         );
     }
     let _ = writeln!(
@@ -131,7 +135,7 @@ fn main() {
                 "    {{\"label\": \"{}\", \"resolutions\": {}, \"unifications\": {}, \
                  \"allocs\": {}, \"ns_per_resolution\": {:.1}, \"arena_high_water\": {}, \
                  \"goal_stack_high_water\": {}, \"trail_high_water\": {}, \
-                 \"max_choice_depth\": {}}}{}",
+                 \"max_choice_depth\": {}, \"max_barrier_depth\": {}}}{}",
                 row.label,
                 row.resolutions,
                 row.unifications,
@@ -141,6 +145,7 @@ fn main() {
                 row.stats.goal_stack_high_water,
                 row.stats.trail_high_water,
                 row.stats.max_choice_depth,
+                row.stats.max_barrier_depth,
                 if i + 1 < rows.len() { "," } else { "" },
             );
         }

@@ -1,7 +1,8 @@
 //! Emits `BENCH_engine.json`: per-program wall time and operation counters for
-//! the 13 benchmark programs (the 12 Table-1 entries plus the Appendix's
-//! `nrev`), executed raw (as annotated, no granularity-control preparation) on
-//! the resolution engine.
+//! the 15 benchmark programs (the 12 Table-1 entries, the Appendix's `nrev`,
+//! and the two control-construct extras `cut_search`/`ite_dispatch`), executed
+//! raw (as annotated, no granularity-control preparation) on the resolution
+//! engine.
 //!
 //! ```text
 //! cargo run --release -p granlog-bench --bin bench_snapshot -- \
@@ -19,7 +20,7 @@
 //! reported (without failing: alloc counts legitimately move with engine
 //! internals; the trajectory is what the snapshot tracks).
 
-use granlog_benchmarks::{all_benchmarks, nrev_benchmark, Benchmark};
+use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark, Benchmark};
 use granlog_engine::{Counters, Machine};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -232,6 +233,7 @@ fn main() {
         for bench in all_benchmarks()
             .into_iter()
             .chain(std::iter::once(nrev_benchmark()))
+            .chain(control_benchmarks())
         {
             let size = if small {
                 bench.test_size

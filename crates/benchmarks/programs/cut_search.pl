@@ -1,0 +1,20 @@
+% Cut-driven search pruning: deduplicate a list with a committed membership
+% test. Every element scans the already-kept prefix with memb/2, whose cut
+% discards the recursion's choice points the moment a match is found — the
+% classic first-solution commit. Quadratic in the list length, and almost
+% all of its work runs through the engine's cut/choice-point machinery.
+:- mode dedup(+, -).
+:- mode memb(+, +).
+
+dedup(L, U) :- dedup_(L, [], U).
+
+dedup_([], _, []).
+dedup_([X|Xs], Seen, U) :-
+    ( memb(X, Seen) ->
+        dedup_(Xs, Seen, U)
+    ;   U = [X|U1],
+        dedup_(Xs, [X|Seen], U1)
+    ).
+
+memb(X, [X|_]) :- !.
+memb(X, [_|T]) :- memb(X, T).

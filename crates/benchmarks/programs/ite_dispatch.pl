@@ -1,0 +1,20 @@
+% If-then-else dispatch: Collatz trajectory lengths for every start value
+% in a list. Each step is one compiled if-then-else (even/odd dispatch on an
+% arithmetic guard) plus eager arithmetic, so the program is dominated by
+% the engine's control-construct path rather than by unification.
+:- mode collatz_lens(+, -).
+:- mode steps(+, -).
+
+collatz_lens([], []).
+collatz_lens([N|Ns], [L|Ls]) :-
+    steps(N, L),
+    collatz_lens(Ns, Ls).
+
+steps(1, 0) :- !.
+steps(N, L) :-
+    ( N mod 2 =:= 0 ->
+        M is N // 2
+    ;   M is 3 * N + 1
+    ),
+    steps(M, L1),
+    L is L1 + 1.

@@ -49,6 +49,17 @@ pub fn int_list(n: usize, bound: u64, seed: u64) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// A list of `n` pseudo-random integers in `1..=bound` (strictly positive —
+/// for workloads like Collatz trajectories that are undefined at zero),
+/// rendered as Prolog list syntax.
+pub fn pos_int_list(n: usize, bound: u64, seed: u64) -> String {
+    let mut rng = Lcg::new(seed);
+    let items: Vec<String> = (0..n)
+        .map(|_| (rng.below(bound.max(1)) + 1).to_string())
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
 /// A list of `chunks` lists whose lengths sum to `total` (as even as
 /// possible), each containing pseudo-random integers.
 pub fn list_of_lists(total: usize, chunks: usize, bound: u64, seed: u64) -> String {

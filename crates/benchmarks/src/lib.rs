@@ -35,4 +35,6 @@ pub mod suite;
 pub use harness::{
     grain_size_sweep, run_benchmark, table_row, ControlMode, RunResult, SweepPoint, TableRow,
 };
-pub use suite::{all_benchmarks, benchmark, nrev_benchmark, table2_benchmarks, Benchmark};
+pub use suite::{
+    all_benchmarks, benchmark, control_benchmarks, nrev_benchmark, table2_benchmarks, Benchmark,
+};

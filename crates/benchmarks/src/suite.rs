@@ -119,6 +119,19 @@ fn nrev_query(n: usize) -> String {
     format!("nrev({}, Reversed)", generate::int_list(n, 100, 47))
 }
 
+fn cut_search_query(n: usize) -> String {
+    // A small value range forces many duplicates, so memb/2's cut commits
+    // (and prunes) on most elements.
+    format!("dedup({}, Unique)", generate::int_list(n, 25, 53))
+}
+
+fn ite_dispatch_query(n: usize) -> String {
+    format!(
+        "collatz_lens({}, Lens)",
+        generate::pos_int_list(n, 5000, 59)
+    )
+}
+
 /// All benchmarks of the paper's Table 1, in the paper's order.
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
@@ -233,6 +246,30 @@ pub fn nrev_benchmark() -> Benchmark {
     }
 }
 
+/// Control-construct benchmarks (not part of the paper's tables): programs
+/// dominated by cut-driven pruning and if-then-else dispatch, tracking the
+/// engine's compiled-control path in the benchmark snapshot.
+pub fn control_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "cut_search",
+            description: "list deduplication with cut-committed membership search",
+            source: include_str!("../programs/cut_search.pl"),
+            default_size: 400,
+            query: cut_search_query,
+            test_size: 30,
+        },
+        Benchmark {
+            name: "ite_dispatch",
+            description: "Collatz trajectory lengths via if-then-else dispatch",
+            source: include_str!("../programs/ite_dispatch.pl"),
+            default_size: 40,
+            query: ite_dispatch_query,
+            test_size: 6,
+        },
+    ]
+}
+
 /// The subset of benchmarks used for the paper's Table 2 (&-Prolog).
 pub fn table2_benchmarks() -> Vec<Benchmark> {
     all_benchmarks()
@@ -241,11 +278,13 @@ pub fn table2_benchmarks() -> Vec<Benchmark> {
         .collect()
 }
 
-/// Looks a benchmark up by name.
+/// Looks a benchmark up by name (paper tables, `nrev`, and the
+/// control-construct extras).
 pub fn benchmark(name: &str) -> Option<Benchmark> {
     all_benchmarks()
         .into_iter()
         .chain(std::iter::once(nrev_benchmark()))
+        .chain(control_benchmarks())
         .find(|b| b.name == name)
 }
 
@@ -282,9 +321,23 @@ mod tests {
         for b in all_benchmarks()
             .iter()
             .chain(std::iter::once(&nrev_benchmark()))
+            .chain(control_benchmarks().iter())
         {
             let program = b.program().unwrap_or_else(|e| panic!("{}: {e}", b.name));
             assert!(!program.is_empty(), "{} has no clauses", b.name);
+        }
+    }
+
+    #[test]
+    fn control_benchmarks_use_real_control() {
+        let extras = control_benchmarks();
+        assert_eq!(extras.len(), 2);
+        let cut = benchmark("cut_search").unwrap();
+        assert!(cut.source.contains('!'), "cut_search must contain cuts");
+        let ite = benchmark("ite_dispatch").unwrap();
+        assert!(ite.source.contains("->"), "ite_dispatch must use ->");
+        for b in &extras {
+            assert!(granlog_ir::parser::parse_term(&b.query(b.test_size)).is_ok());
         }
     }
 

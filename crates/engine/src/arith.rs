@@ -1,8 +1,8 @@
 //! Arithmetic evaluation for `is/2` and the arithmetic comparison builtins.
 //!
-//! Expressions are evaluated either directly off arena heap cells
-//! ([`eval`]) or off precompiled template cells ([`eval_template`]) — the
-//! eager clause-activation path uses the latter to run arithmetic guards
+//! Expressions are evaluated either directly off arena heap cells (`eval`)
+//! or off precompiled template cells (`eval_template`, both crate-private) —
+//! the eager clause-activation path uses the latter to run arithmetic guards
 //! and `is/2` without ever building the expression term.
 
 use crate::error::{EngineError, EngineResult};

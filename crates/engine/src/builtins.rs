@@ -1,9 +1,9 @@
 //! Builtin predicates.
 //!
 //! All builtins are deterministic (at most one solution). The machine folds
-//! [`table`] into its per-program call-target map at load time and invokes
-//! [`dispatch`] directly; goals absent from the table fall back to
-//! user-clause resolution. Builtins operate on arena heap cells throughout
+//! the crate-private `table` into its per-program call-target map at load
+//! time and invokes `dispatch` directly; goals absent from the table fall
+//! back to user-clause resolution. Builtins operate on arena heap cells throughout
 //! ([`crate::heap::HCell`]); only the structural-comparison family
 //! (`==`, `@<`, `\=` …) materializes boundary terms, mirroring the seed's
 //! resolve-and-compare semantics.

@@ -27,9 +27,10 @@
 //! # Garbage policy
 //!
 //! The arena only ever grows at the top and is reclaimed by *truncation to a
-//! heap mark*: every choice point snapshots the heap height, and
-//! backtracking (after undoing trailed bindings, which may reach below the
-//! mark) truncates the arena back to it. Between a query's choice points the
+//! heap mark*: every choice point — and every isolation barrier (negation,
+//! if-then-else condition, parallel conjunction) — snapshots the heap
+//! height, and unwinding (after undoing trailed bindings, which may reach
+//! below the mark) truncates the arena back to it. Between snapshots the
 //! arena grows monotonically; `run_goal` clears it wholesale. After the
 //! machine's first query the arena's capacity is warm and steady-state
 //! execution touches the system allocator only when a query out-grows every

@@ -13,7 +13,12 @@
 //! Features:
 //!
 //! * SLD resolution with chronological backtracking, first-argument indexing,
-//!   if-then-else, negation as failure and a practical set of builtins;
+//!   if-then-else, negation as failure, real cut (`!` prunes choice points to
+//!   the activating call) and a practical set of builtins;
+//! * a fully iterative machine: clause bodies — control constructs included —
+//!   compile once into template step sequences, and negation / conditions /
+//!   `&` arms run behind explicit barrier records instead of native Rust
+//!   recursion (see [`machine`] and [`template`]);
 //! * independent and-parallel semantics for `&` (each arm solved to its first
 //!   solution; the conjunction fails if any arm fails);
 //! * the `'$grain_ge'(Term, Measure, K)` runtime grain-size test emitted by
@@ -39,6 +44,8 @@
 //! assert_eq!(out.counters.resolutions, 4); // n + 1, as the paper derives
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod arith;
 pub mod builtins;
 pub mod cost;
@@ -54,16 +61,16 @@ pub use error::{EngineError, EngineResult};
 pub use heap::HCell;
 pub use machine::{ClauseSelection, Machine, MachineConfig, MachineStats, QueryOutcome};
 pub use tasktree::{ForkSpan, Segment, Task, TaskId, TaskRecorder, TaskTree};
-pub use template::{Cell, ClauseTemplate};
+pub use template::{Cell, ClauseTemplate, Seq, Step};
 
 /// Runs a closure on a thread with a large stack.
 ///
-/// The explicit goal stack executes deterministic recursion and clause
-/// backtracking iteratively, so the native stack only grows with the nesting
-/// of isolation barriers (`&` arms, negation, conditions) and with term
-/// depth during unification/answer extraction. Experiment harnesses still
-/// wrap their runs in this helper as head-room for deeply nested parallel
-/// workloads.
+/// The explicit goal stack and barrier stack execute deterministic
+/// recursion, clause backtracking *and* control-construct nesting (`&` arms,
+/// negation, conditions) iteratively; the native stack only grows with term
+/// depth during unification, materialization and answer extraction.
+/// Experiment harnesses still wrap their runs in this helper as head-room
+/// for pathologically deep terms.
 ///
 /// # Panics
 ///

@@ -9,17 +9,32 @@
 //! * **Terms** live in a bump-arena heap of tagged cells ([`crate::heap`]):
 //!   no reference counting, no per-compound allocation, truncation to a heap
 //!   mark as the garbage policy.
-//! * **The continuation** is a contiguous goal stack of cells rather than a
-//!   shared cons-list: pushing and popping goals is a cursor move. Slots
-//!   below a live choice point's height are part of that choice point's
-//!   saved continuation; overwriting one records the old cell on a *goal
-//!   trail* so backtracking can restore it (the protection check is a single
-//!   integer compare, and deterministic execution never trails).
+//! * **The continuation** is a contiguous goal stack rather than a shared
+//!   cons-list: pushing and popping goals is a cursor move. A slot is either
+//!   a materialized arena cell or a *compiled body step* (a clause template
+//!   offset plus the activation's variable block and cut barrier — see
+//!   [`crate::template::Step`]), so clause bodies, including their control
+//!   constructs, execute without materializing control spines. Slots below a
+//!   live choice point's height are part of that choice point's saved
+//!   continuation; overwriting one records the old slot on a *goal trail* so
+//!   backtracking can restore it (the protection check is a single integer
+//!   compare, and deterministic execution never trails).
 //! * **Choice points** are explicit records snapshotting the goal-stack
 //!   height, trail mark, heap mark and clause-bucket cursor. Backtracking
-//!   pops records iteratively; the native call stack is used only for
-//!   isolation barriers (negation, if-then-else conditions, `&` arms),
-//!   which solve a sub-goal to its first solution and commit.
+//!   pops records iteratively.
+//! * **Barriers** are explicit records too: negation, if-then-else
+//!   conditions and `&` arms solve their sub-goal to its first solution
+//!   *inside the same solve loop*, bounded below by a barrier record that
+//!   says what success and failure of the sub-solve mean. The machine is
+//!   fully iterative — no native Rust frame is consumed per barrier nesting
+//!   level, so control nesting is bounded by memory, not by the call stack.
+//!   (Native recursion remains only where it is bounded by *term depth*:
+//!   unification, template materialization and answer extraction.)
+//! * **Cut** (`!`) is real: each clause activation records the choice-point
+//!   height at its call, and executing `!` prunes back to it — clamped to
+//!   the innermost barrier, which makes cut local to `\+` and to
+//!   if-then-else conditions and transparent to `;` and `->` branches,
+//!   exactly the standard semantics.
 //!
 //! The quantities the experiments need are *operation counts* (resolutions,
 //! unifications, grain tests) and the *fork-join task structure*, both of
@@ -35,9 +50,9 @@ use crate::builtins::{self, Builtin};
 use crate::cost::{CostModel, Counters};
 use crate::error::{EngineError, EngineResult};
 use crate::heap::HCell;
-use crate::tasktree::{TaskRecorder, TaskTree};
-use crate::template::{Cell, ClauseTemplate};
-use granlog_ir::symbol::well_known;
+use crate::tasktree::{TaskId, TaskRecorder, TaskTree};
+use crate::template::{Cell, ClauseTemplate, Seq, Step};
+use granlog_ir::symbol::well_known::{self, WellKnownSymbols};
 use granlog_ir::{parser, ClauseId, FastMap, IndexKey, PredId, Predicate, Program, Symbol, Term};
 use std::rc::Rc;
 
@@ -120,6 +135,9 @@ pub struct MachineStats {
     pub max_choice_depth: usize,
     /// High-water mark of the binding trail, in entries.
     pub trail_high_water: usize,
+    /// Deepest simultaneously-live barrier count (nesting of negations,
+    /// if-then-else conditions and `&` arms).
+    pub max_barrier_depth: usize,
 }
 
 /// What a non-control goal resolves to: a builtin or a user predicate. The
@@ -149,6 +167,46 @@ impl Cands<'_> {
     }
 }
 
+/// One goal-stack slot: either a materialized arena cell (queries, metacalls
+/// and runtime-classified control arms) or a compiled body step of a clause
+/// activation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Goal {
+    /// A materialized goal cell, dispatched by run-time inspection.
+    Cell(HCell),
+    /// A compiled body step, executed straight off its clause template.
+    Step(StepRef),
+}
+
+/// A compiled body step plus its activation context: the clause template it
+/// belongs to, the activation's variable block in the arena, and the cut
+/// barrier (choice-point height at the activating call, which `!` prunes
+/// to). `Copy` and four words — goal-stack slots stay cheap to move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct StepRef {
+    clause: u32,
+    step: u32,
+    var_base: u32,
+    cut: u32,
+}
+
+/// A goal sequence not yet on the goal stack: what a choice point or barrier
+/// schedules when it fires (a disjunction's right arm, an if-then-else
+/// branch). Compiled sequences carry their activation context; cell goals
+/// are pushed as-is.
+#[derive(Debug, Clone, Copy)]
+enum Pend {
+    /// A materialized goal cell.
+    Cell(HCell),
+    /// A compiled step sequence of a clause activation.
+    Seq {
+        clause: u32,
+        seq: Seq,
+        var_base: u32,
+        cut: u32,
+    },
+}
+
 /// What to run when a choice point is resumed by backtracking.
 enum Resume<'p> {
     /// Retry the pending call's remaining candidate clauses from `cursor`.
@@ -157,8 +215,8 @@ enum Resume<'p> {
         cands: Cands<'p>,
         cursor: usize,
     },
-    /// Run the saved alternative goal (the right arm of a disjunction).
-    Alt { goal: HCell },
+    /// Run the saved alternative (the right arm of a disjunction).
+    Alt { pend: Pend },
 }
 
 /// An explicit choice point: everything needed to restore the machine to the
@@ -173,6 +231,67 @@ struct ChoicePoint<'p> {
     trail_mark: usize,
     heap_mark: usize,
     goal_trail_mark: usize,
+}
+
+/// Where the arms of an in-flight parallel conjunction come from.
+#[derive(Debug, Clone, Copy)]
+enum ArmSource {
+    /// Compiled arm sequences: `template.par_arms()[arms_at + k]` for arm
+    /// `k`, run with the stored activation context.
+    Compiled {
+        clause: u32,
+        arms_at: u32,
+        var_base: u32,
+        cut: u32,
+    },
+    /// Run-time flattened arm cells living in the machine's `arm_scratch`
+    /// buffer at `base .. base + count`.
+    Scratch { base: u32 },
+}
+
+/// Progress of an in-flight parallel conjunction: which arm is running, how
+/// many remain, and the task ids recorded for them.
+#[derive(Debug, Clone, Copy)]
+struct ParState {
+    arms: ArmSource,
+    /// Total number of arms (the fork arity).
+    count: u32,
+    /// Index of the next arm to start; `next - 1` is currently running.
+    next: u32,
+    /// Task id of arm 0 (fork children get consecutive ids).
+    first_task: TaskId,
+}
+
+/// What the completion (success or failure) of a barrier's sub-solve means.
+enum BarrierExit {
+    /// Negation as failure: success of the inner goal fails the `\+`,
+    /// failure succeeds it; bindings are undone either way.
+    Not,
+    /// An if-then(-else) condition: on success, commit the condition's
+    /// choice points and run `then_` (keeping its bindings); on failure,
+    /// undo and run `else_` — or fail the construct if there is none.
+    Cond { then_: Pend, else_: Option<Pend> },
+    /// One arm of a parallel conjunction: on success, commit and start the
+    /// next arm (or finish); on failure, fail the whole conjunction.
+    Par(ParState),
+}
+
+/// An isolation barrier: the explicit record bounding a sub-solve (negation,
+/// if-then-else condition, `&` arm) from below. While a barrier is live, the
+/// solve loop treats `goal_base` as its success height and `cp_base` as its
+/// backtracking floor; `trail_mark`/`heap_mark` are the undo marks the
+/// construct's semantics may need on exit. Replaces the native-stack
+/// recursion the engine used per nesting level before the barrier stack.
+struct Barrier {
+    exit: BarrierExit,
+    /// Goal-stack height when pushed — the sub-solve succeeds when the
+    /// stack is back down to this height.
+    goal_base: usize,
+    /// Choice-point height when pushed — backtracking inside the sub-solve
+    /// never unwinds below this floor.
+    cp_base: usize,
+    trail_mark: usize,
+    heap_mark: usize,
 }
 
 /// The resolution engine.
@@ -193,16 +312,24 @@ pub struct Machine<'p> {
     /// The contiguous goal stack. `goal_top` is the logical height; slots at
     /// and above it are dead but kept initialized so backtracking can
     /// re-expose them by moving the cursor.
-    goal_stack: Vec<HCell>,
+    goal_stack: Vec<Goal>,
     goal_top: usize,
-    /// Saved `(slot, old cell)` pairs for goal-stack slots overwritten below
+    /// Saved `(slot, old goal)` pairs for goal-stack slots overwritten below
     /// the protection watermark (i.e. slots belonging to a live choice
     /// point's saved continuation).
-    goal_trail: Vec<(u32, HCell)>,
+    goal_trail: Vec<(u32, Goal)>,
     /// Maximum goal height any live choice point needs preserved; 0 when
     /// execution is deterministic, in which case pushes never trail.
     protect: usize,
     choice_points: Vec<ChoicePoint<'p>>,
+    /// The barrier stack (see [`Barrier`]).
+    barriers: Vec<Barrier>,
+    /// The innermost live barrier's `goal_base`, cached (0 with no barrier):
+    /// the solve loop's success height.
+    base_goal: usize,
+    /// The innermost live barrier's `cp_base`, cached (0 with no barrier):
+    /// the backtracking floor, and the clamp for metacalled cuts.
+    base_cp: usize,
     /// Reusable scratch for flattening `&` conjunctions into arms (indexed
     /// by a per-fork base so nested forks share it without clearing).
     arm_scratch: Vec<HCell>,
@@ -246,6 +373,9 @@ impl<'p> Machine<'p> {
             goal_trail: Vec::new(),
             protect: 0,
             choice_points: Vec::new(),
+            barriers: Vec::new(),
+            base_goal: 0,
+            base_cp: 0,
             arm_scratch: Vec::new(),
             counters: Counters::default(),
             recorder: TaskRecorder::new(),
@@ -298,6 +428,9 @@ impl<'p> Machine<'p> {
         self.goal_trail.clear();
         self.protect = 0;
         self.choice_points.clear();
+        self.barriers.clear();
+        self.base_goal = 0;
+        self.base_cp = 0;
         self.arm_scratch.clear();
         self.counters = Counters::default();
         self.recorder = TaskRecorder::new();
@@ -310,8 +443,8 @@ impl<'p> Machine<'p> {
             self.heap.push(HCell::unbound(i));
         }
         let root = self.write_ir(goal, 0);
-        self.push_goal(root)?;
-        let succeeded = self.run(0, 0, 0)?;
+        self.push_goal(Goal::Cell(root))?;
+        let succeeded = self.run()?;
         self.note_heap_high_water();
         self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
 
@@ -796,11 +929,11 @@ impl<'p> Machine<'p> {
     // Goal stack & choice points
     // ------------------------------------------------------------------
 
-    /// Pushes a goal cell. If the slot being written belongs to a live
+    /// Pushes a goal slot. If the slot being written belongs to a live
     /// choice point's saved continuation (one integer compare; never true in
-    /// deterministic execution), the old cell is recorded on the goal trail
+    /// deterministic execution), the old slot is recorded on the goal trail
     /// first so backtracking restores it.
-    fn push_goal(&mut self, cell: HCell) -> EngineResult<()> {
+    fn push_goal(&mut self, goal: Goal) -> EngineResult<()> {
         if self.goal_top >= self.config.max_depth {
             return Err(EngineError::DepthLimit(self.config.max_depth));
         }
@@ -809,15 +942,43 @@ impl<'p> Machine<'p> {
                 .push((self.goal_top as u32, self.goal_stack[self.goal_top]));
         }
         if self.goal_top == self.goal_stack.len() {
-            self.goal_stack.push(cell);
+            self.goal_stack.push(goal);
         } else {
-            self.goal_stack[self.goal_top] = cell;
+            self.goal_stack[self.goal_top] = goal;
         }
         self.goal_top += 1;
         if self.goal_top > self.stats.goal_stack_high_water {
             self.stats.goal_stack_high_water = self.goal_top;
         }
         Ok(())
+    }
+
+    /// Pushes a compiled step sequence (in reverse, so execution runs left
+    /// to right) with the given activation context.
+    fn push_seq(&mut self, clause: u32, seq: Seq, var_base: u32, cut: u32) -> EngineResult<()> {
+        for k in (0..seq.len).rev() {
+            self.push_goal(Goal::Step(StepRef {
+                clause,
+                step: seq.start + k,
+                var_base,
+                cut,
+            }))?;
+        }
+        Ok(())
+    }
+
+    /// Pushes a pending goal sequence (a resumed disjunction arm or a taken
+    /// if-then-else branch).
+    fn push_pend(&mut self, pend: Pend) -> EngineResult<()> {
+        match pend {
+            Pend::Cell(cell) => self.push_goal(Goal::Cell(cell)),
+            Pend::Seq {
+                clause,
+                seq,
+                var_base,
+                cut,
+            } => self.push_seq(clause, seq, var_base, cut),
+        }
     }
 
     fn undo_goal_trail(&mut self, mark: usize) {
@@ -858,13 +1019,13 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Backtracks to the most recent choice point above `cp_base` that
-    /// yields a continuation: restores trail, arena, goal stack and
-    /// protection watermark, then resumes the record's alternative. Returns
-    /// `false` when no choice point above the barrier remains (the current
-    /// (sub-)solve fails).
-    fn backtrack(&mut self, cp_base: usize) -> EngineResult<bool> {
-        while self.choice_points.len() > cp_base {
+    /// Backtracks to the most recent choice point above the current barrier
+    /// floor that yields a continuation: restores trail, arena, goal stack
+    /// and protection watermark, then resumes the record's alternative.
+    /// Returns `false` when no choice point above the floor remains (the
+    /// current (sub-)solve fails).
+    fn backtrack(&mut self, templates: &[ClauseTemplate]) -> EngineResult<bool> {
+        while self.choice_points.len() > self.base_cp {
             let cp = self.choice_points.pop().expect("length checked");
             self.protect = cp.protect_prev;
             self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
@@ -874,8 +1035,8 @@ impl<'p> Machine<'p> {
             self.undo_goal_trail(cp.goal_trail_mark);
             self.goal_top = cp.goal_top;
             match cp.resume {
-                Resume::Alt { goal } => {
-                    self.push_goal(goal)?;
+                Resume::Alt { pend } => {
+                    self.push_pend(pend)?;
                     return Ok(true);
                 }
                 Resume::Clauses {
@@ -883,7 +1044,7 @@ impl<'p> Machine<'p> {
                     cands,
                     cursor,
                 } => {
-                    if self.try_clauses(goal, cands, cursor)? {
+                    if self.try_clauses(templates, goal, cands, cursor)? {
                         return Ok(true);
                     }
                     // Candidates exhausted: keep unwinding.
@@ -894,172 +1055,471 @@ impl<'p> Machine<'p> {
     }
 
     // ------------------------------------------------------------------
+    // Barriers
+    // ------------------------------------------------------------------
+
+    /// Pushes an isolation barrier at the current machine position. The
+    /// sub-goal(s) of the guarded construct are pushed (above the barrier's
+    /// `goal_base`) by the caller afterwards.
+    fn push_barrier(&mut self, exit: BarrierExit) -> EngineResult<()> {
+        if self.barriers.len() >= self.config.max_depth {
+            return Err(EngineError::DepthLimit(self.config.max_depth));
+        }
+        self.barriers.push(Barrier {
+            exit,
+            goal_base: self.goal_top,
+            cp_base: self.choice_points.len(),
+            trail_mark: self.trail.len(),
+            heap_mark: self.heap.len(),
+        });
+        self.base_goal = self.goal_top;
+        self.base_cp = self.choice_points.len();
+        self.stats.max_barrier_depth = self.stats.max_barrier_depth.max(self.barriers.len());
+        Ok(())
+    }
+
+    /// Pops the innermost barrier and restores the cached floor fields from
+    /// the one below (or the query's, with none left).
+    fn pop_barrier(&mut self) -> Barrier {
+        let barrier = self.barriers.pop().expect("barrier stack is non-empty");
+        let (goal, cp) = self
+            .barriers
+            .last()
+            .map(|b| (b.goal_base, b.cp_base))
+            .unwrap_or((0, 0));
+        self.base_goal = goal;
+        self.base_cp = cp;
+        barrier
+    }
+
+    /// Undoes bindings and arena growth back to a barrier's entry marks (the
+    /// "condition failed" / "negation" exit path).
+    fn undo_to_barrier(&mut self, trail_mark: usize, heap_mark: usize) {
+        self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
+        self.undo_trail(trail_mark);
+        self.note_heap_high_water();
+        self.heap.truncate(heap_mark);
+    }
+
+    // ------------------------------------------------------------------
     // The solver
     // ------------------------------------------------------------------
 
-    /// Runs the goal stack down to `goal_base` (success) or out of choice
-    /// points above `cp_base` (failure). `depth` counts isolation-barrier
-    /// nesting for the depth limit.
-    fn run(&mut self, goal_base: usize, cp_base: usize, depth: usize) -> EngineResult<bool> {
+    /// The solve loop: runs the goal stack down to the innermost barrier's
+    /// base — resolving barriers as they complete — until the query's own
+    /// base is reached (success) or failure propagates past the last choice
+    /// point and barrier (failure).
+    ///
+    /// This is the whole engine: barriers and choice points are explicit
+    /// records, so no native Rust frame is consumed per control nesting
+    /// level, per resolution, or per backtrack.
+    fn run(&mut self) -> EngineResult<bool> {
+        // One refcount bump per query: the template array is immutable for
+        // the machine's lifetime, so the solve loop borrows it once instead
+        // of re-cloning per clause activation.
+        let templates = Rc::clone(&self.templates);
         let wk = well_known::get();
         loop {
-            if self.goal_top == goal_base {
-                return Ok(true);
+            // Sub-solve completion: the goal stack is back down to the
+            // innermost barrier's base (or the query's — done).
+            while self.goal_top == self.base_goal {
+                if self.barriers.is_empty() {
+                    return Ok(true);
+                }
+                if !self.barrier_done(&templates)? && !self.fail(&templates)? {
+                    return Ok(false);
+                }
             }
             self.goal_top -= 1;
-            let mut cell = self.goal_stack[self.goal_top];
-            // Only pay a dereference when the goal is actually a variable.
-            if let HCell::Ref(i) = cell {
-                cell = self.heap[self.deref_idx(i as usize)];
-            }
-            let (name, arity, args) = match cell {
-                HCell::Atom(s) => (s, 0usize, 0usize),
-                HCell::Struct(s, a, base) => (s, a as usize, base as usize),
-                other => return Err(EngineError::NotCallable(self.resolve_cell(other))),
+            let ok = match self.goal_stack[self.goal_top] {
+                Goal::Cell(cell) => self.exec_cell(&templates, cell, wk)?,
+                Goal::Step(step) => self.exec_step(&templates, step, wk)?,
             };
+            if !ok && !self.fail(&templates)? {
+                return Ok(false);
+            }
+        }
+    }
 
-            // Control constructs dispatch on cached interned symbols — no
-            // string comparison (and no interner lock) on the hot path.
-            match arity {
-                // Cut is approximated as `true`: the benchmark programs use
-                // mutually exclusive guards rather than cuts for control.
-                0 if name == wk.true_ || name == wk.cut => {}
-                0 if name == wk.fail || name == wk.false_ => {
-                    if !self.backtrack(cp_base)? {
-                        return Ok(false);
+    /// Handles the innermost barrier's sub-solve reaching its base
+    /// (success). Returns `Ok(false)` when the construct's semantics turn
+    /// that success into failure (a succeeded `\+`), which the caller
+    /// propagates through [`Machine::fail`].
+    fn barrier_done(&mut self, templates: &[ClauseTemplate]) -> EngineResult<bool> {
+        // A parallel conjunction with arms remaining advances in place: the
+        // finished arm's choice points are committed and the next arm starts
+        // under the same barrier.
+        let top = self.barriers.len() - 1;
+        if let BarrierExit::Par(state) = &self.barriers[top].exit {
+            if state.next < state.count {
+                let state = *state;
+                let cp_base = self.barriers[top].cp_base;
+                if let BarrierExit::Par(s) = &mut self.barriers[top].exit {
+                    s.next += 1;
+                }
+                self.commit_choice_points(cp_base);
+                self.recorder.pop();
+                self.recorder.push(state.first_task + state.next as usize);
+                self.push_arm(templates, state.arms, state.next)?;
+                return Ok(true);
+            }
+        }
+        let barrier = self.pop_barrier();
+        match barrier.exit {
+            BarrierExit::Not => {
+                // The negated goal succeeded: discard the choice points of
+                // its interior, undo its bindings, and fail the `\+`.
+                self.commit_choice_points(barrier.cp_base);
+                self.undo_to_barrier(barrier.trail_mark, barrier.heap_mark);
+                Ok(false)
+            }
+            BarrierExit::Cond { then_, .. } => {
+                // The condition succeeded: commit to its first solution and
+                // take the then-branch with the bindings kept.
+                self.commit_choice_points(barrier.cp_base);
+                self.push_pend(then_)?;
+                Ok(true)
+            }
+            BarrierExit::Par(state) => {
+                // The last arm succeeded: the conjunction succeeds.
+                self.commit_choice_points(barrier.cp_base);
+                self.recorder.pop();
+                if let ArmSource::Scratch { base } = state.arms {
+                    self.arm_scratch.truncate(base as usize);
+                }
+                Ok(true)
+            }
+        }
+    }
+
+    /// Propagates failure: backtracks to the nearest resumable choice point,
+    /// unwinding barriers (and applying their failure semantics) as their
+    /// floors are reached. Returns `false` when the query itself has failed.
+    fn fail(&mut self, templates: &[ClauseTemplate]) -> EngineResult<bool> {
+        loop {
+            if self.backtrack(templates)? {
+                return Ok(true);
+            }
+            // No choice point above the floor: the innermost sub-solve
+            // fails; its barrier decides what that means.
+            if self.barriers.is_empty() {
+                return Ok(false);
+            }
+            let barrier = self.pop_barrier();
+            // Drop unconsumed goals of the failed attempt.
+            self.goal_top = barrier.goal_base;
+            self.undo_to_barrier(barrier.trail_mark, barrier.heap_mark);
+            match barrier.exit {
+                BarrierExit::Not => {
+                    // The negated goal failed: the `\+` succeeds.
+                    return Ok(true);
+                }
+                BarrierExit::Cond {
+                    else_: Some(pend), ..
+                } => {
+                    // The condition failed: take the else-branch with the
+                    // condition's bindings undone.
+                    self.push_pend(pend)?;
+                    return Ok(true);
+                }
+                BarrierExit::Cond { else_: None, .. } => {
+                    // A bare `(Cond -> Then)` fails outright: keep unwinding
+                    // in the enclosing region.
+                }
+                BarrierExit::Par(state) => {
+                    // Independent and-parallelism: one failed arm fails the
+                    // whole conjunction (no backtracking across arms).
+                    self.recorder.pop();
+                    if let ArmSource::Scratch { base } = state.arms {
+                        self.arm_scratch.truncate(base as usize);
                     }
                 }
-                2 if name == wk.comma => {
-                    self.push_goal(self.heap[args + 1])?;
-                    self.push_goal(self.heap[args])?;
-                }
-                2 if name == wk.par_and => {
-                    if !self.solve_parallel(cell, depth)? && !self.backtrack(cp_base)? {
-                        return Ok(false);
+            }
+        }
+    }
+
+    /// Executes a materialized goal cell: run-time control dispatch on
+    /// cached interned symbols — no string comparison (and no interner lock)
+    /// on the hot path — then builtin/user-predicate dispatch with one hash
+    /// probe. Returns `Ok(false)` on failure (the caller backtracks).
+    fn exec_cell(
+        &mut self,
+        templates: &[ClauseTemplate],
+        cell: HCell,
+        wk: &WellKnownSymbols,
+    ) -> EngineResult<bool> {
+        let mut cell = cell;
+        // Only pay a dereference when the goal is actually a variable.
+        if let HCell::Ref(i) = cell {
+            cell = self.heap[self.deref_idx(i as usize)];
+        }
+        let (name, arity, args) = match cell {
+            HCell::Atom(s) => (s, 0usize, 0usize),
+            HCell::Struct(s, a, base) => (s, a as usize, base as usize),
+            other => return Err(EngineError::NotCallable(self.resolve_cell(other))),
+        };
+        match arity {
+            0 if name == wk.true_ => Ok(true),
+            // A cut reaching the machine as a cell is a query goal or a
+            // metacalled variable: it prunes to the innermost barrier (the
+            // whole query, at the top level). Cuts in compiled clause bodies
+            // take the [`Step::Cut`] path with the activation's barrier.
+            0 if name == wk.cut => {
+                self.commit_choice_points(self.base_cp);
+                Ok(true)
+            }
+            0 if name == wk.fail || name == wk.false_ => Ok(false),
+            2 if name == wk.comma => {
+                self.push_goal(Goal::Cell(self.heap[args + 1]))?;
+                self.push_goal(Goal::Cell(self.heap[args]))?;
+                Ok(true)
+            }
+            2 if name == wk.par_and => self.begin_par_cells(cell),
+            2 if name == wk.semicolon => {
+                // (Cond -> Then ; Else): the if-then-else shape is decided
+                // at run time here because the left operand was not a
+                // literal `->` at compile time (or the goal is a query /
+                // metacall cell that was never compiled).
+                let cond_then = match self.deref_cell(self.heap[args]) {
+                    HCell::Struct(arrow, 2, ct) if arrow == wk.arrow => {
+                        let ct = ct as usize;
+                        Some((self.heap[ct], self.heap[ct + 1]))
                     }
+                    _ => None,
+                };
+                if let Some((cond, then)) = cond_then {
+                    self.push_barrier(BarrierExit::Cond {
+                        then_: Pend::Cell(then),
+                        else_: Some(Pend::Cell(self.heap[args + 1])),
+                    })?;
+                    self.push_goal(Goal::Cell(cond))?;
+                } else {
+                    // Plain disjunction: an explicit choice point holds the
+                    // right arm; the left arm runs against the shared
+                    // continuation in place.
+                    let alt = self.heap[args + 1];
+                    let first = self.heap[args];
+                    self.push_choice_point(
+                        Resume::Alt {
+                            pend: Pend::Cell(alt),
+                        },
+                        self.trail.len(),
+                        self.heap.len(),
+                        self.goal_trail.len(),
+                    );
+                    self.push_goal(Goal::Cell(first))?;
                 }
-                2 if name == wk.semicolon => {
-                    // (Cond -> Then ; Else)
-                    let cond_then = match self.deref_cell(self.heap[args]) {
-                        HCell::Struct(arrow, 2, ct) if arrow == wk.arrow => {
-                            let ct = ct as usize;
-                            Some((self.heap[ct], self.heap[ct + 1]))
-                        }
-                        _ => None,
-                    };
-                    if let Some((cond, then)) = cond_then {
-                        let mark = self.trail.len();
-                        let heap_mark = self.heap.len();
-                        if self.solve_sub(cond, depth)? {
-                            self.push_goal(then)?;
+                Ok(true)
+            }
+            2 if name == wk.arrow => {
+                self.push_barrier(BarrierExit::Cond {
+                    then_: Pend::Cell(self.heap[args + 1]),
+                    else_: None,
+                })?;
+                self.push_goal(Goal::Cell(self.heap[args]))?;
+                Ok(true)
+            }
+            1 if name == wk.not => {
+                self.push_barrier(BarrierExit::Not)?;
+                self.push_goal(Goal::Cell(self.heap[args]))?;
+                Ok(true)
+            }
+            _ => {
+                // One probe identifies the goal: builtin or user predicate
+                // (builtins shadow same-name user predicates).
+                match self.dispatch.get(&(name, arity)).copied() {
+                    Some(CallTarget::Builtin(builtin)) => builtins::dispatch(self, builtin, cell),
+                    Some(CallTarget::User(predicate)) => {
+                        // First-argument indexing: the principal functor of
+                        // the dereferenced first argument selects the
+                        // candidate clauses.
+                        let goal_key = if arity == 0 {
+                            None
                         } else {
-                            self.undo_trail(mark);
-                            self.note_heap_high_water();
-                            self.heap.truncate(heap_mark);
-                            self.push_goal(self.heap[args + 1])?;
-                        }
-                    } else {
-                        // Plain disjunction: an explicit choice point holds
-                        // the right arm; the left arm runs against the
-                        // shared continuation in place.
-                        let alt = self.heap[args + 1];
-                        let first = self.heap[args];
-                        self.push_choice_point(
-                            Resume::Alt { goal: alt },
-                            self.trail.len(),
-                            self.heap.len(),
-                            self.goal_trail.len(),
-                        );
-                        self.push_goal(first)?;
-                    }
-                }
-                2 if name == wk.arrow => {
-                    let cond = self.heap[args];
-                    let then = self.heap[args + 1];
-                    let mark = self.trail.len();
-                    let heap_mark = self.heap.len();
-                    if self.solve_sub(cond, depth)? {
-                        self.push_goal(then)?;
-                    } else {
-                        self.undo_trail(mark);
-                        self.note_heap_high_water();
-                        self.heap.truncate(heap_mark);
-                        if !self.backtrack(cp_base)? {
-                            return Ok(false);
-                        }
-                    }
-                }
-                1 if name == wk.not => {
-                    let inner = self.heap[args];
-                    let mark = self.trail.len();
-                    let heap_mark = self.heap.len();
-                    let succeeded = self.solve_sub(inner, depth)?;
-                    self.undo_trail(mark);
-                    self.note_heap_high_water();
-                    self.heap.truncate(heap_mark);
-                    if succeeded && !self.backtrack(cp_base)? {
-                        return Ok(false);
-                    }
-                }
-                _ => {
-                    // One probe identifies the goal: builtin or user
-                    // predicate (builtins shadow same-name user predicates).
-                    match self.dispatch.get(&(name, arity)).copied() {
-                        Some(CallTarget::Builtin(builtin)) => {
-                            if !builtins::dispatch(self, builtin, cell)?
-                                && !self.backtrack(cp_base)?
-                            {
-                                return Ok(false);
+                            self.index_key_at(args)
+                        };
+                        let cands = match self.config.clause_selection {
+                            // Fast path: one probe of the persistent index,
+                            // borrowing the precomputed candidate list — no
+                            // per-call allocation or scan.
+                            ClauseSelection::Indexed => {
+                                Cands::Indexed(predicate.candidates(goal_key.as_ref()))
                             }
-                        }
-                        Some(CallTarget::User(predicate)) => {
-                            // First-argument indexing: the principal functor
-                            // of the dereferenced first argument selects the
-                            // candidate clauses.
-                            let goal_key = if arity == 0 {
-                                None
-                            } else {
-                                self.index_key_at(args)
-                            };
-                            let cands = match self.config.clause_selection {
-                                // Fast path: one probe of the persistent
-                                // index, borrowing the precomputed candidate
-                                // list — no per-call allocation or scan.
-                                ClauseSelection::Indexed => {
-                                    Cands::Indexed(predicate.candidates(goal_key.as_ref()))
-                                }
-                                // Reference path: the seed's per-call linear
-                                // scan with a key filter, kept for
-                                // differential testing of the index.
-                                ClauseSelection::LinearScan => {
-                                    let clauses = self.program.clauses();
-                                    Cands::Scanned(
-                                        predicate
-                                            .clause_ids
-                                            .iter()
-                                            .copied()
-                                            .filter(|&id| {
-                                                match (
-                                                    goal_key.as_ref(),
-                                                    IndexKey::of_clause_head(&clauses[id]),
-                                                ) {
-                                                    (Some(gk), Some(hk)) => *gk == hk,
-                                                    _ => true,
-                                                }
-                                            })
-                                            .collect(),
-                                    )
-                                }
-                            };
-                            if !self.try_clauses(cell, cands, 0)? && !self.backtrack(cp_base)? {
-                                return Ok(false);
+                            // Reference path: the seed's per-call linear
+                            // scan with a key filter, kept for differential
+                            // testing of the index.
+                            ClauseSelection::LinearScan => {
+                                let clauses = self.program.clauses();
+                                Cands::Scanned(
+                                    predicate
+                                        .clause_ids
+                                        .iter()
+                                        .copied()
+                                        .filter(|&id| {
+                                            match (
+                                                goal_key.as_ref(),
+                                                IndexKey::of_clause_head(&clauses[id]),
+                                            ) {
+                                                (Some(gk), Some(hk)) => *gk == hk,
+                                                _ => true,
+                                            }
+                                        })
+                                        .collect(),
+                                )
                             }
-                        }
-                        None => {
-                            return Err(EngineError::UnknownPredicate(PredId::new(name, arity)))
-                        }
+                        };
+                        self.try_clauses(templates, cell, cands, 0)
                     }
+                    None => Err(EngineError::UnknownPredicate(PredId::new(name, arity))),
                 }
+            }
+        }
+    }
+
+    /// Executes one compiled body step. Control steps push barriers or
+    /// choice points with their precompiled arm sequences; plain goal steps
+    /// materialize their subtree and take the cell dispatch path.
+    fn exec_step(
+        &mut self,
+        templates: &[ClauseTemplate],
+        sref: StepRef,
+        wk: &WellKnownSymbols,
+    ) -> EngineResult<bool> {
+        let StepRef {
+            clause,
+            step,
+            var_base,
+            cut,
+        } = sref;
+        let templ = &templates[clause as usize];
+        match templ.steps()[step as usize] {
+            Step::Goal(pos) => {
+                let mut pos = pos as usize;
+                let cell = self.write_template(templ.cells(), &mut pos, var_base as usize);
+                self.exec_cell(templates, cell, wk)
+            }
+            Step::Cut => {
+                // Prune to the activation's barrier, clamped to the
+                // innermost isolation barrier: local inside `\+` and
+                // if-then-else conditions, transparent in `;`/`->` branches.
+                self.commit_choice_points((cut as usize).max(self.base_cp));
+                Ok(true)
+            }
+            Step::Disj { left, right } => {
+                self.push_choice_point(
+                    Resume::Alt {
+                        pend: Pend::Seq {
+                            clause,
+                            seq: right,
+                            var_base,
+                            cut,
+                        },
+                    },
+                    self.trail.len(),
+                    self.heap.len(),
+                    self.goal_trail.len(),
+                );
+                self.push_seq(clause, left, var_base, cut)?;
+                Ok(true)
+            }
+            Step::IfThenElse { cond, then_, else_ } => {
+                self.push_barrier(BarrierExit::Cond {
+                    then_: Pend::Seq {
+                        clause,
+                        seq: then_,
+                        var_base,
+                        cut,
+                    },
+                    else_: Some(Pend::Seq {
+                        clause,
+                        seq: else_,
+                        var_base,
+                        cut,
+                    }),
+                })?;
+                self.push_seq(clause, cond, var_base, cut)?;
+                Ok(true)
+            }
+            Step::IfThen { cond, then_ } => {
+                self.push_barrier(BarrierExit::Cond {
+                    then_: Pend::Seq {
+                        clause,
+                        seq: then_,
+                        var_base,
+                        cut,
+                    },
+                    else_: None,
+                })?;
+                self.push_seq(clause, cond, var_base, cut)?;
+                Ok(true)
+            }
+            Step::Not { inner } => {
+                self.push_barrier(BarrierExit::Not)?;
+                self.push_seq(clause, inner, var_base, cut)?;
+                Ok(true)
+            }
+            Step::Par { arms_at, arms_len } => {
+                let children = self.recorder.record_fork(arms_len as usize);
+                let arms = ArmSource::Compiled {
+                    clause,
+                    arms_at,
+                    var_base,
+                    cut,
+                };
+                self.push_barrier(BarrierExit::Par(ParState {
+                    arms,
+                    count: arms_len,
+                    next: 1,
+                    first_task: children.start,
+                }))?;
+                self.recorder.push(children.start);
+                self.push_arm(templates, arms, 0)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Starts a run-time-flattened parallel conjunction (a query or metacall
+    /// `&` cell): flattens nested `&` into arm cells, records one batched
+    /// fork, and opens the conjunction's barrier with arm 0 running.
+    fn begin_par_cells(&mut self, cell: HCell) -> EngineResult<bool> {
+        let base = self.arm_scratch.len();
+        self.collect_arms(cell);
+        let count = self.arm_scratch.len() - base;
+        let children = self.recorder.record_fork(count);
+        self.push_barrier(BarrierExit::Par(ParState {
+            arms: ArmSource::Scratch { base: base as u32 },
+            count: count as u32,
+            next: 1,
+            first_task: children.start,
+        }))?;
+        self.recorder.push(children.start);
+        let arm = self.arm_scratch[base];
+        self.push_goal(Goal::Cell(arm))?;
+        Ok(true)
+    }
+
+    /// Pushes parallel arm `k` from its source (compiled sequence or
+    /// run-time scratch cell).
+    fn push_arm(
+        &mut self,
+        templates: &[ClauseTemplate],
+        arms: ArmSource,
+        k: u32,
+    ) -> EngineResult<()> {
+        match arms {
+            ArmSource::Compiled {
+                clause,
+                arms_at,
+                var_base,
+                cut,
+            } => {
+                let seq = templates[clause as usize].par_arms()[(arms_at + k) as usize];
+                self.push_seq(clause, seq, var_base, cut)
+            }
+            ArmSource::Scratch { base } => {
+                let arm = self.arm_scratch[base as usize + k as usize];
+                self.push_goal(Goal::Cell(arm))
             }
         }
     }
@@ -1079,10 +1539,22 @@ impl<'p> Machine<'p> {
 
     /// Tries the candidate clauses of a call from `cursor` on. On the first
     /// activation whose head and eager builtin prefix succeed, pushes the
-    /// body goals (and a choice point if candidates remain) and returns
-    /// `true`. Returns `false` with the candidates exhausted.
-    fn try_clauses(&mut self, goal: HCell, cands: Cands<'p>, cursor: usize) -> EngineResult<bool> {
-        let templates = Rc::clone(&self.templates);
+    /// compiled body sequence (and a choice point if candidates remain) and
+    /// returns `true`. Returns `false` with the candidates exhausted.
+    ///
+    /// The choice-point height at entry is the activation's *cut barrier*:
+    /// a `!` in the body prunes back to it, discarding both this call's
+    /// remaining candidates and every choice point created since. (Resumed
+    /// calls observe the same height, because backtracking pops the
+    /// alternatives record before retrying.)
+    fn try_clauses(
+        &mut self,
+        templates: &[ClauseTemplate],
+        goal: HCell,
+        cands: Cands<'p>,
+        cursor: usize,
+    ) -> EngineResult<bool> {
+        let cut_cp = self.choice_points.len() as u32;
         let trail_mark = self.trail.len();
         let heap_mark = self.heap.len();
         let goal_trail_mark = self.goal_trail.len();
@@ -1116,16 +1588,10 @@ impl<'p> Machine<'p> {
                             goal_trail_mark,
                         );
                     }
-                    // Write the precompiled body goals into the arena (right
-                    // to left), so the conjunction spine is never built and
-                    // never re-decomposed by the solve loop. Facts push
-                    // nothing.
-                    let cells = templ.cells();
-                    for &start in templ.body_goals().iter().rev() {
-                        let mut pos = start as usize;
-                        let body_goal = self.write_template(cells, &mut pos, var_base);
-                        self.push_goal(body_goal)?;
-                    }
+                    // Push the precompiled body sequence. Goals materialize
+                    // lazily when executed; control constructs never
+                    // materialize at all. Facts push nothing.
+                    self.push_seq(clause_id as u32, templ.body_seq(), var_base as u32, cut_cp)?;
                     return Ok(true);
                 }
             }
@@ -1179,66 +1645,6 @@ impl<'p> Machine<'p> {
                 return Ok(false);
             }
         }
-        Ok(true)
-    }
-
-    /// Solves one goal in isolation to its first solution (an isolation
-    /// barrier): negation, if-then-else conditions and `&` arms use this.
-    /// Choice points opened inside are committed on success; bindings are
-    /// kept either way (callers undo their own marks where the construct
-    /// demands it).
-    fn solve_sub(&mut self, goal: HCell, depth: usize) -> EngineResult<bool> {
-        if depth >= self.config.max_depth {
-            return Err(EngineError::DepthLimit(self.config.max_depth));
-        }
-        let goal_base = self.goal_top;
-        let cp_base = self.choice_points.len();
-        self.push_goal(goal)?;
-        let ok = self.run(goal_base, cp_base, depth + 1)?;
-        if ok {
-            self.commit_choice_points(cp_base);
-        } else {
-            // The failed attempt may have left unconsumed goals above the
-            // barrier; drop them.
-            self.goal_top = goal_base;
-        }
-        Ok(ok)
-    }
-
-    /// Executes a parallel conjunction: flattens nested `&` into arms,
-    /// records one batched fork, and solves each arm in isolation on the
-    /// shared goal stack (no per-arm recursion into a fresh solver).
-    fn solve_parallel(&mut self, goal: HCell, depth: usize) -> EngineResult<bool> {
-        let base = self.arm_scratch.len();
-        self.collect_arms(goal);
-        let n = self.arm_scratch.len() - base;
-        let mark = self.trail.len();
-        let heap_mark = self.heap.len();
-        let children = self.recorder.record_fork(n);
-        for (k, child) in children.enumerate() {
-            let arm = self.arm_scratch[base + k];
-            self.recorder.push(child);
-            let result = self.solve_sub(arm, depth);
-            self.recorder.pop();
-            match result {
-                Ok(true) => {}
-                Ok(false) => {
-                    // Independent and-parallelism: if one arm fails the whole
-                    // conjunction fails (no backtracking across arms).
-                    self.arm_scratch.truncate(base);
-                    self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
-                    self.undo_trail(mark);
-                    self.note_heap_high_water();
-                    self.heap.truncate(heap_mark);
-                    return Ok(false);
-                }
-                Err(e) => {
-                    self.arm_scratch.truncate(base);
-                    return Err(e);
-                }
-            }
-        }
-        self.arm_scratch.truncate(base);
         Ok(true)
     }
 
@@ -1400,6 +1806,154 @@ mod tests {
         let src = "p(1). q(X) :- \\+ p(X).";
         assert!(!run(src, "q(1)").succeeded);
         assert!(run(src, "q(2)").succeeded);
+    }
+
+    #[test]
+    fn cut_commits_to_first_solution() {
+        // Real cut: after memb/2 finds its first solution, `!` prunes both
+        // the recursive alternatives and the clause choice point, so X = b
+        // is never reached.
+        let src = r#"
+            memb(X, [X|_]) :- !.
+            memb(X, [_|T]) :- memb(X, T).
+            s(X) :- memb(X, [a, b]), X = b.
+        "#;
+        assert!(!run(src, "s(X)").succeeded);
+        // Without the guard the first (committed) solution is returned.
+        let out = run(src, "memb(X, [a, b])");
+        assert_eq!(out.binding("X").unwrap(), &Term::atom("a"));
+    }
+
+    #[test]
+    fn cut_prunes_clause_alternatives() {
+        // `max/3` in the classic cut style: once the first clause's guard
+        // succeeds, the second clause must not be retried on backtracking.
+        let src = r#"
+            max(X, Y, X) :- X >= Y, !.
+            max(_, Y, Y).
+        "#;
+        let out = run(src, "max(5, 3, M)");
+        assert_eq!(out.binding("M").unwrap(), &Term::int(5));
+        // With cut approximated as true this would succeed via clause 2.
+        assert!(!run(src, "max(5, 3, M), M = 3").succeeded);
+        assert!(run(src, "max(2, 3, M), M = 3").succeeded);
+    }
+
+    #[test]
+    fn cut_prunes_choice_points_not_just_semantics() {
+        // head_attempts pins the pruning: `first(X), fail` must not retry
+        // c(2) and c(3) after the cut discarded c/1's choice point.
+        let src = "c(1). c(2). c(3). first(X) :- c(X), !.";
+        let out = run(src, "first(X), fail");
+        assert!(!out.succeeded);
+        // One attempt for first/1, one for c/1 — and none for the retries.
+        assert_eq!(out.counters.head_attempts, 2);
+        let out = run(src, "c(X), fail");
+        assert_eq!(out.counters.head_attempts, 3, "without cut all retried");
+    }
+
+    #[test]
+    fn cut_is_transparent_to_disjunction() {
+        // A cut inside a disjunction arm prunes the disjunction's choice
+        // point and the clause alternatives (ISO transparency).
+        let src = "t(X) :- ( X = 1, ! ; X = 2 ).";
+        assert!(run(src, "t(2)").succeeded, "cut not reached in left arm");
+        assert!(
+            !run(src, "t(X), X = 2").succeeded,
+            "cut commits the left arm's binding"
+        );
+    }
+
+    #[test]
+    fn cut_is_local_to_negation() {
+        // A cut inside `\+` prunes only choice points created inside the
+        // negation (here: c/1's alternatives), never the enclosing ones.
+        // (Double parentheses: `\+ (a, b)` would parse as `\+/2`.)
+        let src = r#"
+            c(1). c(2).
+            d :- \+ ((c(X), !, X > 1)).
+            g(1). g(2).
+            h(Y) :- g(Y), \+ ((!, fail)), Y > 1.
+        "#;
+        // The cut commits `\+` to X = 1, whose guard fails: `\+` succeeds.
+        assert!(run(src, "d").succeeded);
+        // g/1's choice point survives the cut inside the negation: Y
+        // advances to 2 on backtracking.
+        assert!(run(src, "h(Y)").succeeded);
+    }
+
+    #[test]
+    fn cut_is_local_to_if_then_else_conditions() {
+        // ISO: a cut in the condition of if-then-else is local to the
+        // condition. g/1's choice point must survive it.
+        let src = r#"
+            g(1). g(2).
+            h(Y) :- g(Y), ( ! -> true ; true ), Y > 1.
+        "#;
+        let out = run(src, "h(Y)");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("Y").unwrap(), &Term::int(2));
+    }
+
+    #[test]
+    fn cut_in_then_branch_is_transparent() {
+        // A cut in the *then* branch runs after the condition's barrier is
+        // gone, so it prunes back to the clause activation.
+        let src = r#"
+            g(1). g(2).
+            h(Y) :- g(Y), ( true -> ! ; true ), Y > 1.
+        "#;
+        assert!(!run(src, "h(Y)").succeeded);
+    }
+
+    #[test]
+    fn metacalled_cut_prunes_to_the_enclosing_barrier() {
+        // A cut reaching the machine as a bound variable goal (there is no
+        // call/1 wrapper in this engine) prunes to the innermost barrier —
+        // at the query level, the whole query.
+        let src = "c(1). c(2). meta(G) :- c(X), G, X > 1.";
+        assert!(!run(src, "meta(!)").succeeded);
+        assert!(run(src, "meta(true)").succeeded);
+    }
+
+    #[test]
+    fn deep_barrier_nesting_runs_iteratively() {
+        // 10,000 recursion levels each opening negation, condition and
+        // parallel-arm barriers: the explicit barrier stack executes them
+        // without native recursion, so this runs on the default test-thread
+        // stack (no with_large_stack).
+        let src = r#"
+            nn(0).
+            nn(N) :- N > 0, N1 is N - 1, \+ \+ nn(N1).
+            cc(0).
+            cc(N) :- N > 0, N1 is N - 1, ( cc(N1) -> true ; fail ).
+            pp(0).
+            pp(N) :- N > 0, N1 is N - 1, pp(N1) & true.
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        let out = machine.run_query("nn(10000)").unwrap();
+        assert!(out.succeeded);
+        assert!(machine.stats().max_barrier_depth >= 10_000);
+        let out = machine.run_query("cc(10000)").unwrap();
+        assert!(out.succeeded);
+        assert!(machine.stats().max_barrier_depth >= 10_000);
+        let out = machine.run_query("pp(10000)").unwrap();
+        assert!(out.succeeded);
+        assert_eq!(out.task_tree.spawned_tasks(), 20_000);
+        assert!(machine.stats().max_barrier_depth >= 10_000);
+    }
+
+    #[test]
+    fn mixed_barrier_nesting_runs_iteratively() {
+        // All three barrier kinds interleaved per level, 3,000 levels deep.
+        let src = r#"
+            mx(0).
+            mx(N) :- N > 0, N1 is N - 1,
+                     ( \+ \+ (mx(N1) & true) -> true ; fail ).
+        "#;
+        let out = run(src, "mx(3000)");
+        assert!(out.succeeded);
     }
 
     #[test]

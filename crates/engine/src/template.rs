@@ -1,5 +1,6 @@
 //! Precompiled clause templates: a WAM-lite flattening of clause heads and
-//! bodies into compact preorder cell arrays.
+//! bodies into compact preorder cell arrays, plus a compiled control skeleton
+//! for the body.
 //!
 //! The seed interpreter re-translated every candidate clause's head (and, on
 //! success, its body) from the IR tree into `Rc`-based runtime terms on
@@ -15,9 +16,22 @@
 //!   subtree when unification actually demands them (the goal side is an
 //!   unbound variable) — bound input arguments unify without touching the
 //!   term heap;
-//! * body goals are written into the arena at most once per successful
-//!   resolution, and `true` bodies (facts) are recognised up front and never
-//!   materialized at all.
+//! * the body is compiled into a flat array of executable [`Step`]s: plain
+//!   goals keep their cell offset and are written into the arena at most
+//!   once per execution, while control constructs — `;`, `->`/`;`
+//!   if-then-else, `\+`, `!` and (nested) `&` — become dedicated steps whose
+//!   arm positions are resolved at compile time, so the solve loop never
+//!   materializes a control spine and never re-inspects its functor;
+//! * `true` bodies (facts) are recognised up front and never materialized at
+//!   all.
+//!
+//! The one construct that cannot always be classified statically is a
+//! disjunction whose left operand is a variable: `(X ; E)` behaves as an
+//! if-then-else when `X` is bound to `(C -> T)` at run time. Such goals (and
+//! `&` conjunctions with variable arms, whose fork arity depends on run-time
+//! flattening) conservatively compile to [`Step::Goal`] and take the
+//! machine's materialized-cell dispatch path, which performs the run-time
+//! check the seed engine always paid.
 //!
 //! [`ClauseTemplate::materialize_body`] still produces the seed's
 //! `Rc`-based [`RTerm`] form for tests and microbenchmarks.
@@ -69,8 +83,75 @@ pub(crate) enum EagerGoal {
     Other { builtin: Builtin, goal: u32 },
 }
 
+/// A contiguous range of compiled [`Step`]s: `steps[start .. start + len]`.
+///
+/// Sequences are what control constructs schedule — a disjunction arm, an
+/// if-then-else branch, a negated goal, a parallel arm — and what the machine
+/// pushes onto its goal stack (in reverse, so execution runs left to right).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Seq {
+    /// Index of the sequence's first step within [`ClauseTemplate::steps`].
+    pub start: u32,
+    /// Number of steps in the sequence (zero for a `true`-only arm).
+    pub len: u32,
+}
+
+/// One compiled, executable body step.
+///
+/// Plain goals carry their preorder cell offset and are materialized into
+/// the arena when (and only when) they are executed. Control constructs
+/// carry the compiled [`Seq`]s of their operands, so the solve loop starts a
+/// disjunction, condition, negation or parallel conjunction without
+/// materializing the construct or re-dispatching on its functor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Step {
+    /// An ordinary goal (user predicate, builtin, or a run-time-classified
+    /// construct such as a variable goal): materialize the subtree at this
+    /// cell offset and dispatch the resulting cell.
+    Goal(u32),
+    /// `!`: prune choice points down to the activation's cut barrier.
+    Cut,
+    /// A plain disjunction `(Left ; Right)`.
+    Disj {
+        /// The first arm, run against the shared continuation in place.
+        left: Seq,
+        /// The alternative arm, held by a choice point.
+        right: Seq,
+    },
+    /// An if-then-else `(Cond -> Then ; Else)` recognised at compile time.
+    IfThenElse {
+        /// The condition, solved to its first solution behind a barrier.
+        cond: Seq,
+        /// Branch taken (with the condition's bindings) if `cond` succeeds.
+        then_: Seq,
+        /// Branch taken (with the condition's bindings undone) otherwise.
+        else_: Seq,
+    },
+    /// A bare if-then `(Cond -> Then)`: fails outright if `Cond` fails.
+    IfThen {
+        /// The condition, solved to its first solution behind a barrier.
+        cond: Seq,
+        /// Branch taken if the condition succeeds.
+        then_: Seq,
+    },
+    /// Negation as failure `\+ Goal`.
+    Not {
+        /// The negated goal, solved behind a barrier; its bindings are
+        /// undone whether it succeeds or fails.
+        inner: Seq,
+    },
+    /// A parallel conjunction, flattened across nested `&` at compile time:
+    /// the arms are `par_arms[arms_at .. arms_at + arms_len]`.
+    Par {
+        /// Index of the first arm within [`ClauseTemplate::par_arms`].
+        arms_at: u32,
+        /// Number of arms (the fork arity recorded in the task tree).
+        arms_len: u32,
+    },
+}
+
 /// A clause compiled to preorder cell arrays: head argument subtrees first,
-/// then the body subtree.
+/// then the body subtree, plus the body's compiled [`Step`] skeleton.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClauseTemplate {
     cells: Vec<Cell>,
@@ -81,12 +162,16 @@ pub struct ClauseTemplate {
     /// The body's leading builtin goals, executed during activation without
     /// materialization (see [`EagerGoal`]).
     eager: Vec<EagerGoal>,
-    /// Start offsets of the body's remaining top-level sequential goals (the
-    /// body with `','` flattened, `true` literals dropped, and the eager
-    /// prefix removed). The engine pushes these as goal frames directly,
-    /// skipping both the materialization of the conjunction spine and its
-    /// re-decomposition in the solve loop.
-    body_goals: Vec<u32>,
+    /// All compiled body steps (the top-level sequence and, after it, the
+    /// sequences of nested control arms). Each [`Seq`] indexes into this.
+    steps: Vec<Step>,
+    /// Arm sequences of the clause's compiled parallel conjunctions;
+    /// [`Step::Par`] indexes into this.
+    par_arms: Vec<Seq>,
+    /// The body's top-level sequence after the eager prefix: `','`-flattened
+    /// with `true` literals dropped. Empty for facts: nothing to materialize,
+    /// nothing to push.
+    body: Seq,
     num_vars: u32,
 }
 
@@ -115,7 +200,7 @@ impl ClauseTemplate {
         collect_body_goals(&cells, body_start as usize, &mut goal_offsets);
         // Split off the eagerly executable builtin prefix.
         let mut eager = Vec::new();
-        let mut body_goals = Vec::new();
+        let mut rest = Vec::new();
         let mut prefix = true;
         for &pos in &goal_offsets {
             if prefix {
@@ -125,14 +210,20 @@ impl ClauseTemplate {
                 }
                 prefix = false;
             }
-            body_goals.push(pos);
+            rest.push(pos);
         }
+        // Compile the remaining body into its control skeleton.
+        let mut steps = Vec::new();
+        let mut par_arms = Vec::new();
+        let body = compile_seq(&cells, &rest, &mut steps, &mut par_arms);
         ClauseTemplate {
             cells,
             head_args,
             body_start,
             eager,
-            body_goals,
+            steps,
+            par_arms,
+            body,
             num_vars: clause.num_vars() as u32,
         }
     }
@@ -152,12 +243,23 @@ impl ClauseTemplate {
         self.num_vars as usize
     }
 
-    /// Start offsets (within [`Self::cells`]) of the body's top-level
-    /// sequential goals after the eager prefix, `','`-flattened with `true`
-    /// literals dropped. Empty for facts: nothing to materialize, nothing to
-    /// push.
-    pub fn body_goals(&self) -> &[u32] {
-        &self.body_goals
+    /// The compiled body steps. [`Seq`]s — including [`Self::body_seq`] and
+    /// every control-construct arm — index into this array.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Arm sequences of the clause's parallel conjunctions, indexed by
+    /// [`Step::Par`].
+    pub fn par_arms(&self) -> &[Seq] {
+        &self.par_arms
+    }
+
+    /// The body's top-level step sequence after the eager prefix,
+    /// `','`-flattened with `true` literals dropped. Empty for facts:
+    /// nothing to materialize, nothing to push.
+    pub fn body_seq(&self) -> Seq {
+        self.body
     }
 
     /// The body's eagerly executable builtin prefix.
@@ -168,13 +270,13 @@ impl ClauseTemplate {
     /// `true` if the clause body contributes no goals (a fact, or a body that
     /// is only `true` literals).
     pub fn body_is_true(&self) -> bool {
-        self.body_goals.is_empty() && self.eager.is_empty()
+        self.body.len == 0 && self.eager.is_empty()
     }
 
     /// Materializes the whole clause body as a runtime term, renaming
-    /// clause-local variables by `var_offset`. (The engine's fast path pushes
-    /// [`Self::body_goals`] individually instead; this is the one-shot
-    /// equivalent, kept for comparison benchmarks and tests.)
+    /// clause-local variables by `var_offset`. (The engine's fast path
+    /// executes the compiled [`Self::body_seq`] steps instead; this is the
+    /// one-shot equivalent, kept for comparison benchmarks and tests.)
     pub fn materialize_body(&self, var_offset: usize) -> RTerm {
         let mut pos = self.body_start as usize;
         materialize(&self.cells, &mut pos, var_offset)
@@ -205,6 +307,130 @@ fn collect_body_goals(cells: &[Cell], pos: usize, out: &mut Vec<u32>) -> usize {
         _ => {
             out.push(pos as u32);
             skip_subtree(cells, pos)
+        }
+    }
+}
+
+/// Compiles a list of goal cell-offsets into a contiguous [`Seq`] of steps.
+///
+/// The sequence's own slots are reserved first and patched afterwards, so
+/// every sequence occupies a contiguous range of `steps` even though
+/// compiling a control construct appends its arm sequences behind it.
+fn compile_seq(
+    cells: &[Cell],
+    goals: &[u32],
+    steps: &mut Vec<Step>,
+    par_arms: &mut Vec<Seq>,
+) -> Seq {
+    let start = steps.len();
+    steps.resize(start + goals.len(), Step::Cut);
+    for (k, &pos) in goals.iter().enumerate() {
+        let step = compile_step(cells, pos as usize, steps, par_arms);
+        steps[start + k] = step;
+    }
+    Seq {
+        start: start as u32,
+        len: goals.len() as u32,
+    }
+}
+
+/// Compiles the (possibly `','`-structured) subtree at `pos` into a step
+/// sequence: the compile-time image of pushing the subtree as a goal and
+/// letting the solve loop flatten its conjunctions.
+fn compile_subgoal(
+    cells: &[Cell],
+    pos: usize,
+    steps: &mut Vec<Step>,
+    par_arms: &mut Vec<Seq>,
+) -> Seq {
+    let mut goals = Vec::new();
+    collect_body_goals(cells, pos, &mut goals);
+    compile_seq(cells, &goals, steps, par_arms)
+}
+
+/// Compiles one body goal into its [`Step`]. Control constructs recognised
+/// statically get dedicated steps; anything else — including the run-time
+/// ambiguous cases documented in the module docs — becomes [`Step::Goal`].
+fn compile_step(
+    cells: &[Cell],
+    pos: usize,
+    steps: &mut Vec<Step>,
+    par_arms: &mut Vec<Seq>,
+) -> Step {
+    let wk = well_known::get();
+    match cells[pos] {
+        Cell::Atom(s) if s == wk.cut => Step::Cut,
+        Cell::Struct(s, 2) if s == wk.semicolon => {
+            let left = pos + 1;
+            let right = skip_subtree(cells, left);
+            match cells[left] {
+                Cell::Struct(a, 2) if a == wk.arrow => {
+                    let cond = left + 1;
+                    let then_pos = skip_subtree(cells, cond);
+                    Step::IfThenElse {
+                        cond: compile_subgoal(cells, cond, steps, par_arms),
+                        then_: compile_subgoal(cells, then_pos, steps, par_arms),
+                        else_: compile_subgoal(cells, right, steps, par_arms),
+                    }
+                }
+                // A variable in the left operand can only be classified at
+                // run time (it may be bound to `->`, turning the disjunction
+                // into an if-then-else): keep the materialized-cell path.
+                Cell::Var(_) | Cell::VarFirst(_) => Step::Goal(pos as u32),
+                _ => Step::Disj {
+                    left: compile_subgoal(cells, left, steps, par_arms),
+                    right: compile_subgoal(cells, right, steps, par_arms),
+                },
+            }
+        }
+        Cell::Struct(s, 2) if s == wk.arrow => {
+            let cond = pos + 1;
+            let then_pos = skip_subtree(cells, cond);
+            Step::IfThen {
+                cond: compile_subgoal(cells, cond, steps, par_arms),
+                then_: compile_subgoal(cells, then_pos, steps, par_arms),
+            }
+        }
+        Cell::Struct(s, 1) if s == wk.not => Step::Not {
+            inner: compile_subgoal(cells, pos + 1, steps, par_arms),
+        },
+        Cell::Struct(s, 2) if s == wk.par_and => {
+            // Flatten nested `&` into arms at compile time. A variable arm
+            // would be flattened further at run time if bound to another
+            // `&` — the fork arity is then data-dependent, so such
+            // conjunctions keep the materialized-cell path.
+            let mut arm_pos = Vec::new();
+            if collect_par_arms(cells, pos, &mut arm_pos) {
+                let arms: Vec<Seq> = arm_pos
+                    .iter()
+                    .map(|&p| compile_subgoal(cells, p, steps, par_arms))
+                    .collect();
+                let arms_at = par_arms.len() as u32;
+                let arms_len = arms.len() as u32;
+                par_arms.extend(arms);
+                Step::Par { arms_at, arms_len }
+            } else {
+                Step::Goal(pos as u32)
+            }
+        }
+        _ => Step::Goal(pos as u32),
+    }
+}
+
+/// Collects the arm offsets of a (possibly nested) `&` conjunction, exactly
+/// as the machine's run-time flattening would. Returns `false` if any arm is
+/// a variable, in which case the fork arity is not known statically.
+fn collect_par_arms(cells: &[Cell], pos: usize, out: &mut Vec<usize>) -> bool {
+    match cells[pos] {
+        Cell::Struct(s, 2) if s == well_known::get().par_and => {
+            let left = pos + 1;
+            let right = skip_subtree(cells, left);
+            collect_par_arms(cells, left, out) && collect_par_arms(cells, right, out)
+        }
+        Cell::Var(_) | Cell::VarFirst(_) => false,
+        _ => {
+            out.push(pos);
+            true
         }
     }
 }
@@ -326,33 +552,98 @@ mod tests {
         }
     }
 
+    /// The steps of a sequence, as a slice of the template's step array.
+    fn seq_steps(t: &ClauseTemplate, seq: Seq) -> &[Step] {
+        &t.steps()[seq.start as usize..(seq.start + seq.len) as usize]
+    }
+
     #[test]
     fn facts_are_recognised() {
         let t = ClauseTemplate::compile(&clause("p(a, f(b))."));
         assert!(t.body_is_true());
-        assert!(t.body_goals().is_empty());
+        assert_eq!(t.body_seq().len, 0);
         assert_eq!(t.head_arg_positions().len(), 2);
     }
 
     #[test]
-    fn body_goals_flatten_conjunctions_and_drop_true() {
+    fn body_steps_flatten_conjunctions_and_drop_true() {
         let c = clause("p(X) :- a(X), true, (b(X) ; c(X)), d(X) & e(X), f.");
         let t = ClauseTemplate::compile(&c);
-        // Top-level goals: a(X), the disjunction, the parallel conjunction,
-        // and f — `true` is dropped, `;` and `&` stay whole.
-        assert_eq!(t.body_goals().len(), 4);
-        let goals: Vec<RTerm> = t
-            .body_goals()
+        // Top-level steps: a(X), the disjunction, the parallel conjunction,
+        // and f — `true` is dropped, `;` and `&` compile to control steps.
+        let steps = seq_steps(&t, t.body_seq());
+        assert_eq!(steps.len(), 4);
+        assert!(matches!(steps[0], Step::Goal(_)));
+        let (left, right) = match steps[1] {
+            Step::Disj { left, right } => (left, right),
+            other => panic!("expected a disjunction step, got {other:?}"),
+        };
+        assert_eq!((left.len, right.len), (1, 1));
+        assert!(matches!(steps[2], Step::Par { arms_len: 2, .. }));
+        assert!(matches!(steps[3], Step::Goal(_)));
+    }
+
+    #[test]
+    fn if_then_else_compiles_with_arm_sequences() {
+        let c = clause("p(X) :- ( q(X), r(X) -> a(X), b(X) ; c(X) ).");
+        let t = ClauseTemplate::compile(&c);
+        let steps = seq_steps(&t, t.body_seq());
+        assert_eq!(steps.len(), 1);
+        let (cond, then_, else_) = match steps[0] {
+            Step::IfThenElse { cond, then_, else_ } => (cond, then_, else_),
+            other => panic!("expected if-then-else, got {other:?}"),
+        };
+        // Conjunctions inside the arms are flattened at compile time.
+        assert_eq!((cond.len, then_.len, else_.len), (2, 2, 1));
+        assert!(seq_steps(&t, cond)
             .iter()
-            .map(|&p| {
-                let mut pos = p as usize;
-                materialize(t.cells(), &mut pos, 0)
-            })
-            .collect();
-        assert_eq!(goals[0].functor().unwrap().0.as_str(), "a");
-        assert_eq!(goals[1].functor().unwrap().0.as_str(), ";");
-        assert_eq!(goals[2].functor().unwrap().0.as_str(), "&");
-        assert_eq!(goals[3].functor().unwrap().0.as_str(), "f");
+            .all(|s| matches!(s, Step::Goal(_))));
+    }
+
+    #[test]
+    fn cut_and_negation_compile_to_steps() {
+        let c = clause("p(X) :- q(X), !, \\+ r(X).");
+        let t = ClauseTemplate::compile(&c);
+        let steps = seq_steps(&t, t.body_seq());
+        assert_eq!(steps.len(), 3);
+        assert!(matches!(steps[0], Step::Goal(_)));
+        assert!(matches!(steps[1], Step::Cut));
+        let inner = match steps[2] {
+            Step::Not { inner } => inner,
+            other => panic!("expected negation, got {other:?}"),
+        };
+        assert_eq!(inner.len, 1);
+    }
+
+    #[test]
+    fn nested_parallel_arms_flatten_at_compile_time() {
+        let c = clause("p(X, Y, Z) :- a(X) & b(Y) & c(Z).");
+        let t = ClauseTemplate::compile(&c);
+        let steps = seq_steps(&t, t.body_seq());
+        let (arms_at, arms_len) = match steps[0] {
+            Step::Par { arms_at, arms_len } => (arms_at, arms_len),
+            other => panic!("expected parallel step, got {other:?}"),
+        };
+        assert_eq!(arms_len, 3);
+        assert_eq!(arms_at, 0);
+        assert!(t.par_arms().iter().all(|arm| arm.len == 1));
+    }
+
+    #[test]
+    fn variable_headed_constructs_fall_back_to_runtime_dispatch() {
+        // `(Cond ; Else)` with a variable condition may turn out to be an
+        // if-then-else at run time; `G & b` with a variable arm may flatten
+        // further. Both must stay on the materialized-cell path.
+        let c = clause("p(G) :- ( G ; a ).");
+        let t = ClauseTemplate::compile(&c);
+        assert!(matches!(seq_steps(&t, t.body_seq())[0], Step::Goal(_)));
+        let c = clause("p(G) :- G & b.");
+        let t = ClauseTemplate::compile(&c);
+        assert!(matches!(seq_steps(&t, t.body_seq())[0], Step::Goal(_)));
+        // A variable *goal* is also a plain step (metacall at run time).
+        let c = clause("p(G) :- G.");
+        let t = ClauseTemplate::compile(&c);
+        assert!(matches!(seq_steps(&t, t.body_seq())[0], Step::Goal(_)));
     }
 
     #[test]
@@ -370,7 +661,7 @@ mod tests {
         assert_eq!(t.eager().len(), 2);
         assert!(matches!(t.eager()[0], EagerGoal::NumCompare { .. }));
         assert!(matches!(t.eager()[1], EagerGoal::Is { .. }));
-        assert_eq!(t.body_goals().len(), 2);
+        assert_eq!(t.body_seq().len, 2);
         assert!(!t.body_is_true());
     }
 
@@ -378,7 +669,7 @@ mod tests {
     fn builtin_only_bodies_are_fully_eager() {
         let t = ClauseTemplate::compile(&clause("check(X) :- X > 0, X < 10."));
         assert_eq!(t.eager().len(), 2);
-        assert!(t.body_goals().is_empty());
+        assert_eq!(t.body_seq().len, 0);
         assert!(!t.body_is_true());
     }
 

@@ -86,11 +86,20 @@ impl Clause {
 
     /// Returns the goal terms called by this clause, descending into control
     /// structures (`;`, `->`, `\+`, `&`, `,`). Used for call-graph
-    /// construction.
+    /// construction. Control atoms (`true`, `!`) are not calls and are
+    /// skipped.
     pub fn called_goals(&self) -> Vec<&Term> {
         let mut out = Vec::new();
         collect_called_goals(&self.body, &mut out);
         out
+    }
+
+    /// Returns `true` if the clause body contains a cut (`!`) anywhere,
+    /// including inside control structures. Cut makes clause selection
+    /// order-sensitive, which analyses that reorder or parallelise goals
+    /// must respect.
+    pub fn has_cut(&self) -> bool {
+        self.body_view().has_cut()
     }
 
     /// Renders the clause with its source variable names.
@@ -114,7 +123,7 @@ fn collect_literals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
 
 fn collect_called_goals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
     match body {
-        Term::Atom(s) if *s == well_known::true_() => {}
+        Term::Atom(s) if *s == well_known::true_() || *s == well_known::get().cut => {}
         Term::Struct(s, args)
             if args.len() == 2
                 && (*s == well_known::comma()
@@ -140,6 +149,10 @@ fn collect_called_goals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
 pub enum BodyView<'a> {
     /// The trivial body `true`.
     True,
+    /// The cut `!`: commits to the choices made since the clause was
+    /// activated. Classified separately from ordinary goals because it is
+    /// control, not a call — it constrains goal reordering and pruning.
+    Cut,
     /// A sequential conjunction `G1, G2, ..., Gn` (flattened, n >= 2).
     Conj(Vec<BodyView<'a>>),
     /// A parallel conjunction `G1 & G2 & ... & Gn` (flattened, n >= 2).
@@ -161,6 +174,7 @@ impl<'a> BodyView<'a> {
     pub fn of(body: &'a Term) -> BodyView<'a> {
         match body {
             Term::Atom(s) if *s == well_known::true_() => BodyView::True,
+            Term::Atom(s) if *s == well_known::get().cut => BodyView::Cut,
             Term::Struct(s, args) if *s == well_known::comma() && args.len() == 2 => {
                 let mut items = Vec::new();
                 flatten_assoc(body, well_known::comma(), &mut items);
@@ -207,9 +221,21 @@ impl<'a> BodyView<'a> {
         out
     }
 
+    /// `true` if a cut occurs anywhere in the view.
+    pub fn has_cut(&self) -> bool {
+        match self {
+            BodyView::Cut => true,
+            BodyView::True | BodyView::Goal(_) => false,
+            BodyView::Conj(items) | BodyView::Par(items) => items.iter().any(BodyView::has_cut),
+            BodyView::Disj(a, b) | BodyView::IfThen(a, b) => a.has_cut() || b.has_cut(),
+            BodyView::IfThenElse(c, t, e) => c.has_cut() || t.has_cut() || e.has_cut(),
+            BodyView::Not(g) => g.has_cut(),
+        }
+    }
+
     fn collect_goals(&self, out: &mut Vec<&'a Term>) {
         match self {
-            BodyView::True => {}
+            BodyView::True | BodyView::Cut => {}
             BodyView::Conj(items) | BodyView::Par(items) => {
                 for item in items {
                     item.collect_goals(out);
@@ -325,6 +351,25 @@ mod tests {
         assert!(shown.contains("nrev([H|L],R)"), "got: {shown}");
         assert!(shown.contains("R1"));
         assert!(shown.ends_with('.'));
+    }
+
+    #[test]
+    fn cut_is_classified_as_control() {
+        let p = parse_program("m(X, [X|_]) :- !. m(X, [_|T]) :- m(X, T).").unwrap();
+        let c = &p.clauses()[0];
+        assert!(c.has_cut());
+        assert!(!p.clauses()[1].has_cut());
+        assert_eq!(c.body_view(), BodyView::Cut);
+        // `!` is control, not a call: call graphs must not see it.
+        assert!(c.called_goals().is_empty());
+    }
+
+    #[test]
+    fn has_cut_descends_into_control() {
+        let p = parse_program("p(X) :- ( q(X) -> r(X), ! ; s(X) ).").unwrap();
+        assert!(p.clauses()[0].has_cut());
+        let p = parse_program("p(X) :- ( q(X) -> r(X) ; s(X) ).").unwrap();
+        assert!(!p.clauses()[0].has_cut());
     }
 
     #[test]

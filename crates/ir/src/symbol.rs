@@ -168,8 +168,9 @@ impl<'de> serde::Deserialize<'de> for Symbol {
 /// The individual accessors (`nil()`, `cons()`, ...) are backed by a table
 /// interned exactly once per process ([`well_known::get`]), so calling them in
 /// hot paths costs a relaxed `OnceLock` load rather than an interner-mutex
-/// round trip. Engine inner loops should fetch the whole [`WellKnownSymbols`]
-/// table once and compare against its fields directly.
+/// round trip. Engine inner loops should fetch the whole
+/// [`WellKnownSymbols`](well_known::WellKnownSymbols) table once and compare
+/// against its fields directly.
 pub mod well_known {
     use super::Symbol;
     use std::sync::OnceLock;

@@ -10,7 +10,10 @@
 //! exercise the machinery the arena rewrite introduced: explicit
 //! choice-point records, goal-stack restoration of continuations shared
 //! across disjunction arms and clause retries, and arena truncation to the
-//! heap mark after failed activations that built compound terms.
+//! heap mark after failed activations that built compound terms. The
+//! control-construct properties exercise the compiled control skeleton —
+//! nested `;`/`->`/`\+` step sequences, real cut pruning under deep
+//! backtracking, and control inside `&` arms — against the same reference.
 
 use granlog_engine::{ClauseSelection, Machine, MachineConfig, QueryOutcome};
 use granlog_ir::parser::parse_program;
@@ -271,5 +274,115 @@ proptest! {
         if outcome.succeeded {
             prop_assert_eq!(outcome.task_tree.spawned_tasks(), 2);
         }
+    }
+
+    /// Cut under deep backtracking: `first/2` commits to the first list
+    /// member, and the guard behind it forces failure paths that must not
+    /// resurrect the pruned alternatives. Counters pin that both selection
+    /// strategies prune the identical choice points at the identical time.
+    #[test]
+    fn cut_prunes_identically_under_both_strategies(
+        xs in prop::collection::vec(0i64..20, 1..10),
+        threshold in 0i64..20,
+    ) {
+        let src = r#"
+            memb(X, [X|_]).
+            memb(X, [_|T]) :- memb(X, T).
+            first(X, L) :- memb(X, L), !.
+            probe(L, T, R) :- ( first(R, L), R >= T, ! ; R = none ).
+        "#;
+        let list: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+        let query = format!("probe([{}], {threshold}, R)", list.join(","));
+        let outcome = run_differential(src, &query);
+        prop_assert!(outcome.succeeded);
+        // The committed answer is the head of the list if it clears the
+        // threshold, `none` otherwise — cut forbids trying later members.
+        let expected = if xs[0] >= threshold {
+            Term::int(xs[0])
+        } else {
+            Term::atom("none")
+        };
+        prop_assert_eq!(outcome.binding("R").unwrap(), &expected);
+    }
+
+    /// Random nesting of `;`, `->`, `\+` and `!` executed per list element:
+    /// the compiled control skeleton (templates) and the runtime cell path
+    /// must agree with the reference scan on bindings and every counter.
+    #[test]
+    fn nested_control_matches_linear_scan(
+        xs in prop::collection::vec(-10i64..10, 1..12),
+        pivot in -10i64..10,
+    ) {
+        let src = format!(r#"
+            sign(X, neg) :- X < 0, !.
+            sign(X, zero) :- ( X =:= 0 -> true ; fail ), !.
+            sign(_, pos).
+            keepable(X) :- \+ bad(X).
+            bad(X) :- X =:= {pivot}.
+            cls([], []).
+            cls([X|Xs], [S|Ss]) :-
+                ( keepable(X) -> sign(X, S) ; S = dropped ),
+                cls(Xs, Ss).
+        "#);
+        let list: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+        let query = format!("cls([{}], Out)", list.join(","));
+        let outcome = run_differential(&src, &query);
+        prop_assert!(outcome.succeeded);
+        let out = outcome.binding("Out").unwrap().as_list().unwrap();
+        for (x, s) in xs.iter().zip(out) {
+            let expected = if *x == pivot {
+                "dropped"
+            } else if *x < 0 {
+                "neg"
+            } else if *x == 0 {
+                "zero"
+            } else {
+                "pos"
+            };
+            prop_assert_eq!(s.to_string(), expected, "element {}", x);
+        }
+    }
+
+    /// Control constructs over a random digraph with deep backtracking:
+    /// disjunction-with-cut inside a recursive search, guarded by a trailing
+    /// negation. Every failure path unwinds cut-pruned choice-point chains,
+    /// and both strategies must replay them identically (counters pin it).
+    #[test]
+    fn cut_and_negation_in_deep_search_match(
+        edges in prop::collection::vec((0usize..6, 0usize..6), 1..12),
+        from in 0usize..6,
+        to in 0usize..6,
+        depth in 0usize..5,
+    ) {
+        let mut src = edge_facts(&edges);
+        src.push_str("step(X, Y) :- ( edge(X, Y), ! ; edge(Y, X) ).\n");
+        src.push_str("walk(X, X, _).\n");
+        src.push_str("walk(X, Y, s(D)) :- step(X, Z), walk(Z, Y, D).\n");
+        src.push_str("probe(X, Y, D) :- walk(X, Y, D), \\+ edge(Y, X).\n");
+        let query = format!("probe(n{from}, n{to}, {})", peano(depth));
+        run_differential(&src, &query);
+    }
+
+    /// Parallel conjunctions whose arms contain compiled control (an
+    /// if-then-else and a negation): fork structure, per-arm work and
+    /// counters must match between strategies, including when an arm's
+    /// control construct fails the whole conjunction.
+    #[test]
+    fn control_inside_parallel_arms_matches(
+        n in 0i64..12,
+        limit in 0i64..12,
+    ) {
+        let src = r#"
+            work(0).
+            work(N) :- N > 0, N1 is N - 1, work(N1).
+            arm(N, L) :- ( N < L -> work(N) ; work(L) ).
+            other(N) :- \+ bad(N), work(N).
+            bad(N) :- N < 0.
+            both(N, L) :- arm(N, L) & other(N).
+        "#;
+        let query = format!("both({n}, {limit})");
+        let outcome = run_differential(src, &query);
+        prop_assert!(outcome.succeeded);
+        prop_assert_eq!(outcome.task_tree.spawned_tasks(), 2);
     }
 }

@@ -11,7 +11,7 @@ pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
     VecStrategy { element, size }
 }
 
-/// The strategy produced by [`vec`].
+/// The strategy produced by [`vec()`].
 pub struct VecStrategy<S> {
     element: S,
     size: Range<usize>,
