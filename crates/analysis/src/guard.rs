@@ -1,0 +1,196 @@
+//! Threshold → runtime spawn-guard lowering.
+//!
+//! The annotator ([`crate::annotate`]) implements the paper's *source-level*
+//! granularity control: it rewrites parallel conjunctions into `'$grain_ge'`
+//! -guarded if-then-else code, and the rewritten program runs on any engine.
+//! A real multi-threaded executor has a second, complementary option: keep
+//! the program as written and decide **at the spawn site** whether a `&`
+//! conjunction is worth handing to the thread pool. This module compiles the
+//! analysis results into that runtime decision procedure.
+//!
+//! [`SpawnGuards::compile`] lowers each predicate's cost function and
+//! threshold (for a given task-management overhead `W`) into a compact
+//! per-predicate guard:
+//!
+//! * `AlwaysParallel` / unbounded cost → spawn unconditionally;
+//! * `NeverParallel` (the cost can never exceed `W`) → never spawn;
+//! * `SizeAtLeast(k)` → measure the driving input argument of the actual
+//!   call (the same argument position and size measure the `'$grain_ge'`
+//!   test would use) and spawn iff its size reaches `k` — i.e. iff the
+//!   estimated work of the arm is at least the spawn overhead.
+//!
+//! The guards themselves are *evaluated* by the engine, which lowers this
+//! table once more into its cell-level representation
+//! (`granlog_engine::par::CellGuards`) and measures the actual goal
+//! arguments directly over heap cells with bounded traversals — there is
+//! exactly one runtime decision procedure. Arms whose goals carry no
+//! analysis information spawn, following the paper's prescription for
+//! unknown costs (err on the parallel side of a parallel language).
+
+use crate::measure::Measure;
+use crate::pipeline::ProgramAnalysis;
+use crate::threshold::Threshold;
+use granlog_ir::PredId;
+use std::collections::BTreeMap;
+
+/// The compiled runtime guard of one predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredGuard {
+    /// The predicate's work is unbounded or always exceeds the overhead.
+    Always,
+    /// The predicate's work can never exceed the overhead: spawning never
+    /// pays for itself.
+    Never,
+    /// Spawn iff the measured size of the driving input argument is at
+    /// least `k`.
+    SizeAtLeast {
+        /// 0-based argument position whose size is measured.
+        arg_pos: usize,
+        /// The size measure to apply to that argument.
+        measure: Measure,
+        /// The threshold size.
+        k: u64,
+    },
+}
+
+/// Per-predicate runtime spawn guards for one task-management overhead `W`,
+/// compiled once from a [`ProgramAnalysis`] and evaluated in O(measured
+/// prefix) per spawn decision.
+#[derive(Debug, Clone, Default)]
+pub struct SpawnGuards {
+    guards: BTreeMap<PredId, PredGuard>,
+}
+
+impl SpawnGuards {
+    /// Lowers every analysed predicate's threshold (at overhead `W`) into
+    /// its runtime guard.
+    pub fn compile(analysis: &ProgramAnalysis, overhead: f64) -> SpawnGuards {
+        let mut guards = BTreeMap::new();
+        for (&pred, info) in &analysis.preds {
+            let guard = match analysis.threshold_for(pred, overhead) {
+                Threshold::AlwaysParallel => PredGuard::Always,
+                Threshold::NeverParallel => PredGuard::Never,
+                Threshold::SizeAtLeast(k) => match info.driving_input() {
+                    Some((arg_pos, _param)) => PredGuard::SizeAtLeast {
+                        arg_pos,
+                        measure: info
+                            .measures
+                            .get(arg_pos)
+                            .copied()
+                            .unwrap_or(Measure::TermSize),
+                        k,
+                    },
+                    // A threshold without an identifiable driving argument:
+                    // stay parallel, as the annotator does.
+                    None => PredGuard::Always,
+                },
+            };
+            guards.insert(pred, guard);
+        }
+        SpawnGuards { guards }
+    }
+
+    /// The compiled guard of one predicate, if it was analysed.
+    pub fn guard(&self, pred: PredId) -> Option<PredGuard> {
+        self.guards.get(&pred).copied()
+    }
+
+    /// Iterates over every compiled guard (used to lower the table further,
+    /// e.g. into the engine's cell-level guard representation).
+    pub fn iter(&self) -> impl Iterator<Item = (PredId, PredGuard)> + '_ {
+        self.guards.iter().map(|(&pred, &guard)| (pred, guard))
+    }
+
+    /// Number of compiled guards.
+    pub fn len(&self) -> usize {
+        self.guards.len()
+    }
+
+    /// `true` if no predicate was analysed.
+    pub fn is_empty(&self) -> bool {
+        self.guards.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{analyze_program, AnalysisOptions};
+    use granlog_ir::parser::parse_program;
+
+    const QSORT: &str = r#"
+        :- mode qsort(+, -).
+        :- mode partition(+, +, -, -).
+        :- mode app(+, +, -).
+        qsort([], []).
+        qsort([P|Xs], S) :-
+            partition(Xs, P, Small, Big),
+            qsort(Small, SS) & qsort(Big, BS),
+            app(SS, [P|BS], S).
+        partition([], _, [], []).
+        partition([X|Xs], P, [X|S], B) :- X =< P, partition(Xs, P, S, B).
+        partition([X|Xs], P, S, [X|B]) :- X > P, partition(Xs, P, S, B).
+        app([], L, L).
+        app([H|T], L, [H|R]) :- app(T, L, R).
+    "#;
+
+    fn guards(src: &str, overhead: f64) -> SpawnGuards {
+        let program = parse_program(src).unwrap();
+        let analysis = analyze_program(&program, &AnalysisOptions::default());
+        SpawnGuards::compile(&analysis, overhead)
+    }
+
+    #[test]
+    fn qsort_guard_is_a_size_test_on_the_list_argument() {
+        let g = guards(QSORT, 20.0);
+        match g.guard(PredId::parse("qsort", 2)).unwrap() {
+            PredGuard::SizeAtLeast {
+                arg_pos,
+                measure,
+                k,
+            } => {
+                assert_eq!(arg_pos, 0);
+                assert_eq!(measure, Measure::ListLength);
+                assert!(k >= 1);
+            }
+            other => panic!("expected a size guard, got {other:?}"),
+        }
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn guard_thresholds_scale_with_overhead() {
+        // A bigger task-management overhead demands a bigger input before
+        // spawning pays off; the lowered guard reflects it monotonically.
+        let mut last = 0u64;
+        for overhead in [5.0, 20.0, 80.0, 320.0] {
+            let g = guards(QSORT, overhead);
+            let PredGuard::SizeAtLeast { k, .. } = g.guard(PredId::parse("qsort", 2)).unwrap()
+            else {
+                panic!("expected a size guard at overhead {overhead}");
+            };
+            assert!(k >= last, "threshold must not shrink as overhead grows");
+            last = k;
+        }
+    }
+
+    #[test]
+    fn constant_cost_predicates_never_spawn() {
+        let src = r#"
+            :- mode tiny(+).
+            tiny(_).
+            p(X) :- tiny(X) & tiny(X).
+        "#;
+        let g = guards(src, 48.0);
+        assert_eq!(g.guard(PredId::parse("tiny", 1)), Some(PredGuard::Never));
+    }
+
+    #[test]
+    fn tiny_overhead_spawns_everything() {
+        let g = guards(QSORT, 0.5);
+        assert_eq!(g.guard(PredId::parse("qsort", 2)), Some(PredGuard::Always));
+        // Unanalysed predicates have no guard at all: the engine spawns them
+        // (unknown cost errs parallel).
+        assert_eq!(g.guard(PredId::parse("mystery", 1)), None);
+    }
+}

@@ -62,6 +62,7 @@ pub mod cost;
 pub mod ddg;
 pub mod diffeq;
 pub mod expr;
+pub mod guard;
 pub mod measure;
 pub mod pipeline;
 pub mod report;
@@ -72,6 +73,7 @@ pub mod threshold;
 pub use annotate::{apply_granularity_control, sequentialize, AnnotateOptions, AnnotatedProgram};
 pub use cost::CostMetric;
 pub use expr::{Expr, FnRef};
+pub use guard::{PredGuard, SpawnGuards};
 pub use measure::Measure;
 pub use pipeline::{analyze_program, AnalysisOptions, PredAnalysis, ProgramAnalysis};
 pub use solver::{SchemaKind, Solution};

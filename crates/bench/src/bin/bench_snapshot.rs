@@ -22,8 +22,12 @@
 
 use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark, Benchmark};
 use granlog_engine::{Counters, Machine};
+use granlog_par::{Granularity, ParConfig, ParExecutor};
 use std::fmt::Write as _;
 use std::time::Instant;
+
+/// Thread count of the parallel columns.
+const PAR_THREADS: usize = 4;
 
 struct Row {
     name: String,
@@ -34,6 +38,10 @@ struct Row {
     /// Steady-state allocator calls for one query on a warm machine, when
     /// the `alloc-count` feature is on.
     allocs: Option<u64>,
+    /// Wall time of the real multi-threaded executor at [`PAR_THREADS`]
+    /// threads with granularity control on, and the tasks it spawned.
+    par_wall_ms: f64,
+    par_spawned: usize,
 }
 
 struct BaselineRow {
@@ -41,6 +49,7 @@ struct BaselineRow {
     wall_ms: f64,
     counters: Counters,
     allocs: Option<u64>,
+    par_speedup: Option<f64>,
 }
 
 /// Each timed sample batches enough query repetitions to run at least this
@@ -92,6 +101,43 @@ fn measure(bench: &Benchmark, size: usize, runs: usize) -> Row {
             best = elapsed;
         }
     }
+    // Parallel columns: the same query on the real work-sharing executor at
+    // PAR_THREADS threads with granularity control on (runtime spawn
+    // guards). Answers are checked, wall time is best-of-runs.
+    let mut executor = ParExecutor::new(
+        &program,
+        ParConfig {
+            threads: PAR_THREADS,
+            granularity: Granularity::On,
+            ..ParConfig::default()
+        },
+    );
+    let warm_start = Instant::now();
+    let par_out = executor
+        .run_goal(&goal, &var_names)
+        .unwrap_or_else(|e| panic!("{} parallel run failed: {e}", bench.name));
+    let par_warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    assert!(
+        par_out.succeeded,
+        "{} parallel query did not succeed",
+        bench.name
+    );
+    let par_spawned = par_out.spawned_tasks;
+    let par_reps = ((MIN_SAMPLE_MS / par_warm_ms.max(1e-6)).ceil() as usize).clamp(1, 10_000);
+    let mut par_best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        for _ in 0..par_reps {
+            let out = executor
+                .run_goal(&goal, &var_names)
+                .unwrap_or_else(|e| panic!("{} parallel run failed: {e}", bench.name));
+            std::hint::black_box(out.succeeded);
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3 / par_reps as f64;
+        if elapsed < par_best {
+            par_best = elapsed;
+        }
+    }
     Row {
         name: bench.name.to_owned(),
         label: format!("{}({size})", bench.name),
@@ -99,6 +145,8 @@ fn measure(bench: &Benchmark, size: usize, runs: usize) -> Row {
         counters: out.counters,
         work: out.work,
         allocs,
+        par_wall_ms: par_best,
+        par_spawned,
     }
 }
 
@@ -112,6 +160,11 @@ fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[BaselineRow]) -> 
         if small { "small" } else { "default" }
     );
     let _ = writeln!(out, "  \"runs\": {runs},");
+    let _ = writeln!(
+        out,
+        "  \"par_threads\": {PAR_THREADS}, \"host_threads\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
     let _ = writeln!(out, "  \"programs\": [");
     for (i, row) in rows.iter().enumerate() {
         let c = &row.counters;
@@ -139,6 +192,13 @@ fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[BaselineRow]) -> 
                 allocs as f64 / (c.resolutions.max(1)) as f64
             );
         }
+        let _ = write!(
+            line,
+            ", \"par_wall_ms\": {:.3}, \"par_speedup\": {:.2}, \"par_spawned\": {}",
+            row.par_wall_ms,
+            row.wall_ms / row.par_wall_ms.max(1e-9),
+            row.par_spawned
+        );
         if let Some(base) = baseline.iter().find(|b| b.name == row.name) {
             let _ = write!(
                 line,
@@ -199,13 +259,16 @@ fn read_baseline(path: &str) -> Vec<BaselineRow> {
                 grain_tests: field_num(line, "grain_tests")? as u64,
                 grain_test_elements: field_num(line, "grain_test_elements")? as u64,
             };
-            // Older baselines predate allocation tracking; absent = unknown.
+            // Older baselines predate allocation tracking and the parallel
+            // columns; absent = unknown.
             let allocs = field_num(line, "allocs").map(|a| a as u64);
+            let par_speedup = field_num(line, "par_speedup");
             Some(BaselineRow {
                 name,
                 wall_ms,
                 counters,
                 allocs,
+                par_speedup,
             })
         })
         .collect()
@@ -264,6 +327,20 @@ fn main() {
                     row.name, base.counters.resolutions, row.counters.resolutions
                 );
             }
+            // Parallel-speedup drift is reported (not a failure): speedups
+            // move with the host's core count and load, so the trajectory
+            // lives in the snapshot diff. A large drop on the same host is
+            // worth investigating.
+            let par_speedup = row.wall_ms / row.par_wall_ms.max(1e-9);
+            if let Some(before) = base.par_speedup {
+                if before > 0.0 && par_speedup < before * 0.8 {
+                    eprintln!(
+                        "WARNING: {}: parallel speedup regression vs baseline \
+                         ({before:.2}x -> {par_speedup:.2}x at {PAR_THREADS} threads)",
+                        row.name
+                    );
+                }
+            }
             // Allocation drift is reported (not a failure): alloc counts are
             // deterministic for a given build but legitimately change with
             // engine internals; the trajectory lives in the snapshot diff.
@@ -289,6 +366,12 @@ fn main() {
                 row.label, row.wall_ms
             );
         }
+        eprintln!(
+            "[bench_snapshot] {:<20} {:>9.3} ms parallel ({:.2}x at {PAR_THREADS} threads, {} spawns)",
+            "", row.par_wall_ms,
+            row.wall_ms / row.par_wall_ms.max(1e-9),
+            row.par_spawned
+        );
     }
 
     let json = to_json(&rows, runs, small, &baseline);

@@ -11,6 +11,7 @@ use granlog_analysis::report::render_report;
 use granlog_analysis::CostMetric;
 use granlog_engine::{Machine, MachineConfig};
 use granlog_ir::{parser::parse_program, PredId, Program};
+use granlog_par::{Granularity, ParConfig, ParExecutor};
 use granlog_sim::{simulate, OverheadModel, SimConfig};
 use std::fmt;
 use std::io::Write;
@@ -22,7 +23,13 @@ usage:
   granlog annotate <file.pl> [--overhead W]
   granlog run      <file.pl> <query> [--processors P] [--overhead W]
                    [--control | --no-control | --sequential]
-  granlog ddg      <file.pl> <name/arity>";
+                   [--threads N [--granularity on|off|always-spawn]]
+  granlog ddg      <file.pl> <name/arity>
+
+with --threads N the query executes on a real pool of N worker threads
+(measured wall-clock, granularity control as a runtime spawn decision);
+without it, execution is sequential and parallelism is *simulated* on
+--processors P.";
 
 /// Errors surfaced to the user by the CLI.
 #[derive(Debug)]
@@ -78,6 +85,14 @@ struct Options {
     metric: CostMetric,
     processors: usize,
     mode: RunMode,
+    /// `Some(n)`: execute on a real pool of `n` threads instead of
+    /// simulating.
+    threads: Option<usize>,
+    granularity: Granularity,
+    /// Were `--control`/`--no-control`/`--sequential` passed explicitly?
+    mode_explicit: bool,
+    /// Was `--processors` passed explicitly?
+    processors_explicit: bool,
     positional: Vec<String>,
 }
 
@@ -94,6 +109,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         metric: CostMetric::Resolutions,
         processors: 4,
         mode: RunMode::Control,
+        threads: None,
+        granularity: Granularity::On,
+        mode_explicit: false,
+        processors_explicit: false,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -117,6 +136,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 if options.processors == 0 {
                     return Err(usage("--processors must be at least 1"));
                 }
+                options.processors_explicit = true;
             }
             "--metric" => {
                 let value = iter.next().ok_or_else(|| usage("--metric needs a value"))?;
@@ -127,9 +147,41 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     other => return Err(usage(&format!("unknown metric {other:?}"))),
                 };
             }
-            "--control" => options.mode = RunMode::Control,
-            "--no-control" => options.mode = RunMode::NoControl,
-            "--sequential" => options.mode = RunMode::Sequential,
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--threads needs a value"))?;
+                let threads: usize = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid thread count {value:?}")))?;
+                if threads == 0 {
+                    return Err(usage("--threads must be at least 1"));
+                }
+                options.threads = Some(threads);
+            }
+            "--granularity" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--granularity needs a value"))?;
+                options.granularity = match value.as_str() {
+                    "on" => Granularity::On,
+                    "off" => Granularity::Off,
+                    "always-spawn" => Granularity::AlwaysSpawn,
+                    other => return Err(usage(&format!("unknown granularity mode {other:?}"))),
+                };
+            }
+            "--control" => {
+                options.mode = RunMode::Control;
+                options.mode_explicit = true;
+            }
+            "--no-control" => {
+                options.mode = RunMode::NoControl;
+                options.mode_explicit = true;
+            }
+            "--sequential" => {
+                options.mode = RunMode::Sequential;
+                options.mode_explicit = true;
+            }
             other if other.starts_with("--") => {
                 return Err(usage(&format!("unknown option {other}")));
             }
@@ -221,6 +273,23 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(usage("run expects a file and a query"));
     };
     let program = load_program(path)?;
+    if let Some(threads) = options.threads {
+        // Real execution and the simulation path are mutually exclusive:
+        // refuse silently-ignored flags instead of guessing.
+        if options.mode_explicit {
+            return Err(usage(
+                "--threads selects real execution; it cannot be combined with \
+                 --control/--no-control/--sequential (use --granularity)",
+            ));
+        }
+        if options.processors_explicit {
+            return Err(usage(
+                "--processors configures the simulator; with --threads the \
+                 thread count is the processor count",
+            ));
+        }
+        return cmd_run_parallel(options, threads, &program, query, out);
+    }
     let analysis = analyze_program(&program, &AnalysisOptions::default());
     let prepared = match options.mode {
         RunMode::Sequential => sequentialize(&program),
@@ -270,6 +339,59 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         sim.makespan,
         sim.speedup_vs_sequential,
         sim.utilisation * 100.0
+    )?;
+    Ok(())
+}
+
+/// `granlog run --threads N`: real multi-threaded execution on the
+/// work-sharing pool, with granularity control as a runtime spawn decision
+/// and measured (not simulated) wall-clock time.
+fn cmd_run_parallel(
+    options: &Options,
+    threads: usize,
+    program: &Program,
+    query: &str,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    let mut executor = ParExecutor::new(
+        program,
+        ParConfig {
+            threads,
+            granularity: options.granularity,
+            overhead: options.overhead,
+            machine: MachineConfig::default(),
+        },
+    );
+    let start = std::time::Instant::now();
+    let outcome = executor.run_query(query)?;
+    let wall = start.elapsed();
+    if outcome.succeeded {
+        writeln!(out, "yes")?;
+        for (name, value) in &outcome.bindings {
+            if name.as_str() != "_" {
+                writeln!(out, "  {name} = {value}")?;
+            }
+        }
+    } else {
+        writeln!(out, "no")?;
+    }
+    writeln!(
+        out,
+        "work: {:.0} units ({} resolutions, {} grain tests)",
+        outcome.work, outcome.counters.resolutions, outcome.counters.grain_tests
+    )?;
+    let mode = match options.granularity {
+        Granularity::On => "granularity control on",
+        Granularity::Off => "parallelism off",
+        Granularity::AlwaysSpawn => "always spawn",
+    };
+    writeln!(
+        out,
+        "measured time on {} threads ({mode}): {:.3} ms; tasks spawned: {}, conjunctions inlined: {}",
+        threads,
+        wall.as_secs_f64() * 1e3,
+        outcome.spawned_tasks,
+        outcome.inlined_conjunctions
     )?;
     Ok(())
 }
@@ -393,6 +515,79 @@ mod tests {
             assert!(out.contains("S = [1,2,3]"), "{mode}: {out}");
             assert!(out.contains("simulated time"), "{mode}: {out}");
         }
+    }
+
+    #[test]
+    fn run_executes_on_real_threads() {
+        let path = write_temp("qsort_par.pl", QSORT);
+        for granularity in ["on", "off", "always-spawn"] {
+            let out = run(&[
+                "run",
+                path.to_str().unwrap(),
+                "qsort([3,1,2,5,4], S)",
+                "--threads",
+                "2",
+                "--granularity",
+                granularity,
+            ])
+            .unwrap();
+            assert!(out.contains("yes"), "{granularity}: {out}");
+            assert!(out.contains("S = [1,2,3,4,5]"), "{granularity}: {out}");
+            assert!(out.contains("measured time on 2 threads"), "{out}");
+        }
+        // Parallelism off never spawns.
+        let out = run(&[
+            "run",
+            path.to_str().unwrap(),
+            "qsort([3,1,2], S)",
+            "--threads",
+            "4",
+            "--granularity",
+            "off",
+        ])
+        .unwrap();
+        assert!(out.contains("tasks spawned: 0"), "{out}");
+        // Bad values are usage errors.
+        assert!(matches!(
+            run(&["run", path.to_str().unwrap(), "q", "--threads", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        // Simulation-path flags conflict with real execution.
+        assert!(matches!(
+            run(&[
+                "run",
+                path.to_str().unwrap(),
+                "q",
+                "--threads",
+                "2",
+                "--sequential"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "run",
+                path.to_str().unwrap(),
+                "q",
+                "--processors",
+                "8",
+                "--threads",
+                "2"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "run",
+                path.to_str().unwrap(),
+                "q",
+                "--threads",
+                "2",
+                "--granularity",
+                "bogus"
+            ]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -3,10 +3,29 @@
 //! All builtins are deterministic (at most one solution). The machine folds
 //! the crate-private `table` into its per-program call-target map at load
 //! time and invokes `dispatch` directly; goals absent from the table fall
-//! back to user-clause resolution. Builtins operate on arena heap cells throughout
-//! ([`crate::heap::HCell`]); only the structural-comparison family
-//! (`==`, `@<`, `\=` …) materializes boundary terms, mirroring the seed's
-//! resolve-and-compare semantics.
+//! back to user-clause resolution. Builtins operate on arena heap cells
+//! throughout ([`crate::heap::HCell`]): the structural-comparison family
+//! (`==`, `\==`, the `@<` relations and `\=`) walks cells directly under
+//! the standard order of terms — no boundary [`granlog_ir::Term`] is ever
+//! materialized on these paths.
+//!
+//! # Standard order of terms
+//!
+//! `compare_cells` implements the usual total order:
+//! **Var < Number < Atom < Compound**, with
+//!
+//! * variables ordered by their representative heap cell (creation order);
+//! * numbers compared by value across `Int`/`Float`, a numerically-equal
+//!   pair ordering the float first (floats themselves compare by
+//!   [`f64::total_cmp`], so `-0.0 < 0.0` and `NaN` sorts deterministically);
+//! * atoms ordered alphabetically;
+//! * compound terms by arity, then functor name alphabetically, then
+//!   arguments left to right.
+//!
+//! `\=` runs an *uncounted* unifiability probe over cells (the machine's
+//! crate-private `unify_probe`) and undoes its trail entries, so it is
+//! allocation-free and leaves no bindings — with operation counters
+//! identical to the seed's resolve-and-mgu implementation.
 
 use crate::arith::eval;
 use crate::error::{EngineError, EngineResult};
@@ -128,25 +147,24 @@ pub(crate) fn dispatch(
         }
         Builtin::NotUnifiable => {
             machine.charge_builtin();
-            // Not-unifiable test must not leave bindings behind; probe on
-            // resolved copies via the IR's most-general-unifier check.
-            let a = machine.resolve_idx(args);
-            let b = machine.resolve_idx(args + 1);
-            granlog_ir::unify::mgu(&a, &b).is_none()
+            // Probe-and-undo directly over cells: bind through the trail,
+            // then rewind to the mark. No materialization, no allocation.
+            let mark = machine.trail_mark();
+            let unifiable = machine.unify_probe(args, args + 1);
+            machine.undo_trail(mark);
+            !unifiable
         }
         Builtin::StructEq => {
             machine.charge_builtin();
-            machine.resolve_idx(args) == machine.resolve_idx(args + 1)
+            compare_cells(machine, args, args + 1) == Ordering::Equal
         }
         Builtin::StructNe => {
             machine.charge_builtin();
-            machine.resolve_idx(args) != machine.resolve_idx(args + 1)
+            compare_cells(machine, args, args + 1) != Ordering::Equal
         }
         Builtin::TermLt | Builtin::TermGt | Builtin::TermLe | Builtin::TermGe => {
             machine.charge_builtin();
-            let a = machine.resolve_idx(args);
-            let b = machine.resolve_idx(args + 1);
-            let ord = a.cmp(&b);
+            let ord = compare_cells(machine, args, args + 1);
             match builtin {
                 Builtin::TermLt => ord == Ordering::Less,
                 Builtin::TermGt => ord == Ordering::Greater,
@@ -376,6 +394,51 @@ fn builtin_univ(machine: &mut Machine<'_>, args: usize) -> EngineResult<bool> {
     }
 }
 
+/// The standard order of terms, computed directly over heap cells (see the
+/// module docs for the exact order). Recursion is bounded by term depth,
+/// like unification.
+pub(crate) fn compare_cells(machine: &Machine<'_>, a: usize, b: usize) -> Ordering {
+    /// Var < Number < Atom < Compound.
+    fn rank(c: HCell) -> u8 {
+        match c {
+            HCell::Ref(_) => 0,
+            HCell::Int(_) | HCell::Float(_) => 1,
+            HCell::Atom(_) => 2,
+            HCell::Struct(..) => 3,
+        }
+    }
+    let da = machine.deref_idx(a);
+    let db = machine.deref_idx(b);
+    let (ca, cb) = (machine.cell(da), machine.cell(db));
+    match (ca, cb) {
+        (HCell::Ref(_), HCell::Ref(_)) => da.cmp(&db),
+        (HCell::Int(x), HCell::Int(y)) => x.cmp(&y),
+        (HCell::Float(x), HCell::Float(y)) => x.total_cmp(&y),
+        // Mixed numbers embed the integer into the float total order
+        // (`total_cmp`, so NaN sits consistently above +inf on both the
+        // homogeneous and the mixed path — the order stays transitive);
+        // on a numeric tie the float comes first. (The f64 round trip
+        // loses precision above 2^53, the usual caveat of the standard
+        // order's mixed comparison.)
+        (HCell::Int(x), HCell::Float(y)) => (x as f64).total_cmp(&y).then(Ordering::Greater),
+        (HCell::Float(x), HCell::Int(y)) => x.total_cmp(&(y as f64)).then(Ordering::Less),
+        (HCell::Atom(x), HCell::Atom(y)) => x.as_str().cmp(y.as_str()),
+        (HCell::Struct(f, n, pa), HCell::Struct(g, m, pb)) => n
+            .cmp(&m)
+            .then_with(|| f.as_str().cmp(g.as_str()))
+            .then_with(|| {
+                for k in 0..n as usize {
+                    let ord = compare_cells(machine, pa as usize + k, pb as usize + k);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                Ordering::Equal
+            }),
+        _ => rank(ca).cmp(&rank(cb)),
+    }
+}
+
 /// Is the term at `idx` free of unbound variables? A cell walk — nothing is
 /// materialized.
 fn is_ground(machine: &Machine<'_>, idx: usize) -> bool {
@@ -476,7 +539,7 @@ fn grain_test(machine: &mut Machine<'_>, term: usize, measure: Symbol, k: u64) -
     }
 }
 
-fn bounded_list_length(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
+pub(crate) fn bounded_list_length(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
     let wk = granlog_ir::symbol::well_known::get();
     let mut count = 0u64;
     let mut cur = machine.deref_idx(idx);
@@ -492,7 +555,7 @@ fn bounded_list_length(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
     count
 }
 
-fn bounded_term_size(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
+pub(crate) fn bounded_term_size(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
     let mut stack = vec![machine.deref_idx(idx)];
     let mut count = 0u64;
     while let Some(cur) = stack.pop() {
@@ -513,7 +576,7 @@ fn bounded_term_size(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
     count
 }
 
-fn bounded_depth(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
+pub(crate) fn bounded_depth(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
     fn go(machine: &Machine<'_>, idx: usize, limit: u64) -> u64 {
         if limit == 0 {
             return 0;
@@ -538,7 +601,11 @@ mod tests {
     use granlog_ir::Term;
 
     fn run(query: &str) -> QueryOutcome {
-        let program = parse_program("dummy.").unwrap();
+        run2("dummy.", query)
+    }
+
+    fn run2(src: &str, query: &str) -> QueryOutcome {
+        let program = parse_program(src).unwrap();
         let mut machine = Machine::new(&program);
         machine.run_query(query).unwrap()
     }
@@ -559,6 +626,99 @@ mod tests {
         assert!(run("f(a) @> a").succeeded);
         assert!(run("a @=< a").succeeded);
         assert!(!run("b @< a").succeeded);
+    }
+
+    #[test]
+    fn standard_order_ranks_var_number_atom_compound() {
+        // Var < Number < Atom < Compound, at every boundary.
+        assert!(run("X @< 1").succeeded);
+        assert!(run("X @< 1.5").succeeded);
+        assert!(run("X @< a").succeeded);
+        assert!(run("X @< f(a)").succeeded);
+        assert!(run("1 @< a").succeeded);
+        assert!(run("1.5 @< a").succeeded);
+        assert!(run("a @< f(a)").succeeded);
+        assert!(run("99999 @< f(a)").succeeded);
+        assert!(!run("a @< 99999").succeeded);
+    }
+
+    #[test]
+    fn standard_order_on_numbers() {
+        // Ints and floats compare by value; a numeric tie orders the float
+        // first.
+        assert!(run("1 @< 2").succeeded);
+        assert!(run("1.5 @< 2").succeeded);
+        assert!(run("1 @< 1.5").succeeded);
+        assert!(run("1.0 @< 1").succeeded);
+        assert!(run("1 @> 1.0").succeeded);
+        assert!(!run("1 == 1.0").succeeded);
+        assert!(run("1 \\== 1.0").succeeded);
+        assert!(run("-3 @< 2.5").succeeded);
+    }
+
+    #[test]
+    fn standard_order_is_transitive_through_nan_and_infinity() {
+        // total_cmp governs both the homogeneous float path and the mixed
+        // Int/Float path, so a NaN (whatever its sign bit — `inf - inf` is
+        // negative NaN on x86) sits on one consistent side of every number
+        // and the order stays total: no @<-cycle is constructible.
+        let src = "inf(Y) :- Y is 1.0e308 * 10. nan(X) :- inf(I), X is I - I.";
+        assert!(run2(src, "inf(Y), 5 @< Y").succeeded);
+        // NaN is identical to itself.
+        assert!(run2(src, "nan(X), nan(Z), X == Z").succeeded);
+        // The mixed Int/NaN comparison agrees with the Float/NaN one.
+        assert_eq!(
+            run2(src, "nan(X), X @< 5").succeeded,
+            run2(src, "nan(X), X @< 5.0").succeeded
+        );
+        // Exactly one direction holds.
+        assert_eq!(
+            run2(src, "nan(X), 5 @< X").succeeded,
+            !run2(src, "nan(X), X @< 5").succeeded
+        );
+        // The old mixed rule produced the cycle 5 @< Inf @< NaN @< 5.
+        assert!(!run2(src, "inf(Y), nan(X), 5 @< Y, Y @< X, X @< 5").succeeded);
+    }
+
+    #[test]
+    fn standard_order_on_atoms_is_alphabetical() {
+        assert!(run("abc @< abd").succeeded);
+        assert!(run("ab @< abc").succeeded);
+        assert!(run("'Zed' @< a").succeeded, "uppercase sorts before lower");
+    }
+
+    #[test]
+    fn standard_order_on_compounds() {
+        // Arity dominates, then functor name, then arguments left to right.
+        assert!(run("z(1) @< a(1, 2)").succeeded);
+        assert!(run("a(9, 9) @< b(1, 1)").succeeded);
+        assert!(run("f(1, 2) @< f(1, 3)").succeeded);
+        assert!(run("f(1, 2) @< f(2, 1)").succeeded);
+        assert!(run("f(a) == f(a)").succeeded);
+        assert!(run("f(a) \\== f(b)").succeeded);
+    }
+
+    #[test]
+    fn standard_order_on_variables() {
+        // Distinct unbound variables are never identical and are totally
+        // ordered by creation (heap cell) order.
+        assert!(run("X \\== Y").succeeded);
+        assert!(run("X @< Y").succeeded);
+        assert!(run("X == X").succeeded);
+        // Aliased variables share a representative: identical.
+        assert!(run("X = Y, X == Y").succeeded);
+    }
+
+    #[test]
+    fn not_unifiable_probe_leaves_no_bindings() {
+        // `\=` binds through the trail during its probe and must undo: X
+        // stays unbound afterwards, so the subsequent `=` still succeeds.
+        let out = run("\\+ (f(X, b) \\= f(a, b)), X = c");
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap(), &Term::atom("c"));
+        // Deep compound probe, both directions.
+        assert!(run("f(g(X), h(Y)) \\= f(g(1), h(2), z)").succeeded);
+        assert!(!run("f(g(X), h(Y)) \\= f(g(1), h(2))").succeeded);
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //!   `&` arms run behind explicit barrier records instead of native Rust
 //!   recursion (see [`machine`] and [`template`]);
 //! * independent and-parallel semantics for `&` (each arm solved to its first
-//!   solution; the conjunction fails if any arm fails);
+//!   solution; the conjunction fails if any arm fails), executed inline by
+//!   default or offered to a pluggable parallel executor through the
+//!   [`par::ParHook`] spawn boundary (implemented by the `granlog-par`
+//!   crate's multi-threaded work-sharing executor);
 //! * the `'$grain_ge'(Term, Measure, K)` runtime grain-size test emitted by
 //!   the granularity-control transformation, charged with a cost proportional
 //!   to the traversal it performs;
@@ -52,6 +55,7 @@ pub mod cost;
 pub mod error;
 pub mod heap;
 pub mod machine;
+pub mod par;
 pub mod rterm;
 pub mod tasktree;
 pub mod template;
@@ -60,6 +64,7 @@ pub use cost::{CostModel, Counters};
 pub use error::{EngineError, EngineResult};
 pub use heap::HCell;
 pub use machine::{ClauseSelection, Machine, MachineConfig, MachineStats, QueryOutcome};
+pub use par::{ArmAnswer, ParDecision, ParHook};
 pub use tasktree::{ForkSpan, Segment, Task, TaskId, TaskRecorder, TaskTree};
 pub use template::{Cell, ClauseTemplate, Seq, Step};
 

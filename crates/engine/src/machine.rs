@@ -44,17 +44,22 @@
 //! semantics: each arm is solved to its first solution in order, and the
 //! conjunction fails if any arm fails (no backtracking across arms). The
 //! fork/join structure and each arm's work are recorded in a
-//! [`crate::tasktree::TaskTree`] for the multiprocessor simulator.
+//! [`crate::tasktree::TaskTree`] for the multiprocessor simulator. With a
+//! parallel hook installed ([`Machine::run_goal_par`], [`crate::par`]),
+//! each conjunction is first offered to the hook — after an optional
+//! cell-level granularity pre-screen — and may execute on real worker
+//! threads instead, with the answers joined back deterministically.
 
 use crate::builtins::{self, Builtin};
 use crate::cost::{CostModel, Counters};
 use crate::error::{EngineError, EngineResult};
 use crate::heap::HCell;
+use crate::par::{CellGuard, CellGuards, GuardMeasure, ParDecision, ParHook};
 use crate::tasktree::{TaskId, TaskRecorder, TaskTree};
 use crate::template::{Cell, ClauseTemplate, Seq, Step};
 use granlog_ir::symbol::well_known::{self, WellKnownSymbols};
 use granlog_ir::{parser, ClauseId, FastMap, IndexKey, PredId, Predicate, Program, Symbol, Term};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How candidate clauses are selected for a user-predicate call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,10 +303,12 @@ struct Barrier {
 pub struct Machine<'p> {
     program: &'p Program,
     config: MachineConfig,
-    /// Precompiled clause templates, indexed by [`ClauseId`]. Shared via `Rc`
-    /// so clause activation can borrow a template while mutating the machine
-    /// (one refcount bump per user-predicate call, not per term).
-    templates: Rc<[ClauseTemplate]>,
+    /// Precompiled clause templates, indexed by [`ClauseId`]. Shared via
+    /// `Arc` so clause activation can borrow a template while mutating the
+    /// machine (one refcount bump per query, not per term), and so several
+    /// machines — one per worker thread of a parallel executor — can share
+    /// one compiled program.
+    templates: Arc<[ClauseTemplate]>,
     /// `(functor, arity)` → call target, built once at load. Builtins shadow
     /// user predicates of the same name and arity, as they always have.
     dispatch: FastMap<(Symbol, usize), CallTarget<'p>>,
@@ -351,6 +358,33 @@ impl<'p> Machine<'p> {
     /// predicates) is built, so the solve loop never revisits the IR and
     /// identifies every goal with one hash probe.
     pub fn with_config(program: &'p Program, config: MachineConfig) -> Self {
+        let templates: Arc<[ClauseTemplate]> = crate::template::compile_program(program).into();
+        Machine::with_templates(program, config, templates)
+    }
+
+    /// Creates a machine over an already-compiled template array (as
+    /// returned by [`Machine::templates`]), skipping per-machine clause
+    /// compilation. This is how a parallel executor builds one machine per
+    /// worker thread cheaply: the program is compiled once and the `Arc` is
+    /// shared.
+    ///
+    /// `templates` must be the compilation of `program`
+    /// ([`crate::template::compile_program`]); clause ids index into it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the template array's length does not match the program's
+    /// clause count.
+    pub fn with_templates(
+        program: &'p Program,
+        config: MachineConfig,
+        templates: Arc<[ClauseTemplate]>,
+    ) -> Self {
+        assert_eq!(
+            templates.len(),
+            program.clauses().len(),
+            "template array does not match the program"
+        );
         let mut dispatch: FastMap<(Symbol, usize), CallTarget<'p>> = FastMap::default();
         for predicate in program.predicates() {
             dispatch.insert(
@@ -364,7 +398,7 @@ impl<'p> Machine<'p> {
         Machine {
             program,
             config,
-            templates: crate::template::compile_program(program).into(),
+            templates,
             dispatch,
             heap: Vec::new(),
             trail: Vec::new(),
@@ -386,6 +420,12 @@ impl<'p> Machine<'p> {
     /// The program being executed.
     pub fn program(&self) -> &Program {
         self.program
+    }
+
+    /// The compiled clause templates, shareable across machines (and across
+    /// threads) via [`Machine::with_templates`].
+    pub fn templates(&self) -> Arc<[ClauseTemplate]> {
+        Arc::clone(&self.templates)
     }
 
     /// The operation counters accumulated so far.
@@ -422,6 +462,29 @@ impl<'p> Machine<'p> {
     ///
     /// Returns an error if execution hits a limit or runtime error.
     pub fn run_goal(&mut self, goal: &Term, var_names: &[Symbol]) -> EngineResult<QueryOutcome> {
+        self.run_goal_par(goal, var_names, None)
+    }
+
+    /// [`Machine::run_goal`] with a parallel-execution hook: every `&`
+    /// conjunction the solve loop reaches is first offered to `hook` (see
+    /// [`crate::par`]). With `None` this *is* `run_goal` — the machine runs
+    /// every conjunction inline.
+    ///
+    /// The goal's variables must be numbered `0..n`; they occupy the bottom
+    /// of the arena, so after the call `var i` can be read back with
+    /// [`Machine::resolve_var`] — which is how a parallel executor extracts
+    /// an arm's answer without naming its variables.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution hits a limit or runtime error (local or
+    /// inside a spawned arm).
+    pub fn run_goal_par(
+        &mut self,
+        goal: &Term,
+        var_names: &[Symbol],
+        hook: Option<&dyn ParHook>,
+    ) -> EngineResult<QueryOutcome> {
         self.heap.clear();
         self.trail.clear();
         self.goal_top = 0;
@@ -444,7 +507,7 @@ impl<'p> Machine<'p> {
         }
         let root = self.write_ir(goal, 0);
         self.push_goal(Goal::Cell(root))?;
-        let succeeded = self.run()?;
+        let succeeded = self.run(hook)?;
         self.note_heap_high_water();
         self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
 
@@ -519,7 +582,7 @@ impl<'p> Machine<'p> {
         self.bind_cell(var, value);
     }
 
-    fn undo_trail(&mut self, mark: usize) {
+    pub(crate) fn undo_trail(&mut self, mark: usize) {
         while self.trail.len() > mark {
             let var = self.trail.pop().expect("trail length checked") as usize;
             self.heap[var] = HCell::unbound(var);
@@ -666,6 +729,14 @@ impl<'p> Machine<'p> {
         }
     }
 
+    /// Resolves query variable `idx` of the most recent
+    /// [`Machine::run_goal_par`] call back into a source-level [`Term`]
+    /// (unbound variables appear as `Term::Var(cell index)`). Valid until
+    /// the next query resets the arena.
+    pub fn resolve_var(&self, idx: usize) -> Term {
+        self.resolve_idx(idx)
+    }
+
     fn note_heap_high_water(&mut self) {
         self.stats.heap_high_water = self.stats.heap_high_water.max(self.heap.len());
     }
@@ -722,6 +793,42 @@ impl<'p> Machine<'p> {
                 self.unify(a, idx)
             }
         }
+    }
+
+    /// Like [`Machine::unify`] but *uncounted*: the unifiability probe
+    /// behind `\=`. Bindings go on the trail as usual; the caller undoes
+    /// them with [`Machine::undo_trail`] from a saved [`Machine::trail_mark`].
+    /// Kept separate so the probe's internal steps never perturb the
+    /// operation counters the experiments pin.
+    pub(crate) fn unify_probe(&mut self, a: usize, b: usize) -> bool {
+        let a = self.deref_idx(a);
+        let b = self.deref_idx(b);
+        match (self.heap[a], self.heap[b]) {
+            (HCell::Ref(_), HCell::Ref(_)) if a == b => true,
+            (HCell::Ref(_), _) => {
+                self.bind_to(a, b);
+                true
+            }
+            (_, HCell::Ref(_)) => {
+                self.bind_to(b, a);
+                true
+            }
+            (HCell::Atom(x), HCell::Atom(y)) => x == y,
+            (HCell::Int(x), HCell::Int(y)) => x == y,
+            (HCell::Float(x), HCell::Float(y)) => x == y,
+            (HCell::Struct(f, n, pa), HCell::Struct(g, m, pb)) => {
+                if f != g || n != m {
+                    return false;
+                }
+                (0..n as usize).all(|k| self.unify_probe(pa as usize + k, pb as usize + k))
+            }
+            _ => false,
+        }
+    }
+
+    /// The current trail height, for probe-and-undo builtins.
+    pub(crate) fn trail_mark(&self) -> usize {
+        self.trail.len()
     }
 
     /// Unifies a goal subterm (by heap index) against the template subtree
@@ -1113,11 +1220,11 @@ impl<'p> Machine<'p> {
     /// This is the whole engine: barriers and choice points are explicit
     /// records, so no native Rust frame is consumed per control nesting
     /// level, per resolution, or per backtrack.
-    fn run(&mut self) -> EngineResult<bool> {
+    fn run(&mut self, hook: Option<&dyn ParHook>) -> EngineResult<bool> {
         // One refcount bump per query: the template array is immutable for
         // the machine's lifetime, so the solve loop borrows it once instead
         // of re-cloning per clause activation.
-        let templates = Rc::clone(&self.templates);
+        let templates = Arc::clone(&self.templates);
         let wk = well_known::get();
         loop {
             // Sub-solve completion: the goal stack is back down to the
@@ -1132,8 +1239,8 @@ impl<'p> Machine<'p> {
             }
             self.goal_top -= 1;
             let ok = match self.goal_stack[self.goal_top] {
-                Goal::Cell(cell) => self.exec_cell(&templates, cell, wk)?,
-                Goal::Step(step) => self.exec_step(&templates, step, wk)?,
+                Goal::Cell(cell) => self.exec_cell(&templates, cell, wk, hook)?,
+                Goal::Step(step) => self.exec_step(&templates, step, wk, hook)?,
             };
             if !ok && !self.fail(&templates)? {
                 return Ok(false);
@@ -1247,6 +1354,7 @@ impl<'p> Machine<'p> {
         templates: &[ClauseTemplate],
         cell: HCell,
         wk: &WellKnownSymbols,
+        hook: Option<&dyn ParHook>,
     ) -> EngineResult<bool> {
         let mut cell = cell;
         // Only pay a dereference when the goal is actually a variable.
@@ -1274,7 +1382,16 @@ impl<'p> Machine<'p> {
                 self.push_goal(Goal::Cell(self.heap[args]))?;
                 Ok(true)
             }
-            2 if name == wk.par_and => self.begin_par_cells(cell),
+            2 if name == wk.par_and => {
+                let base = self.arm_scratch.len();
+                self.collect_arms(cell);
+                if let Some(h) = hook {
+                    if let Some(done) = self.try_spawn_par(h, base)? {
+                        return Ok(done);
+                    }
+                }
+                self.begin_par_scratch(base)
+            }
             2 if name == wk.semicolon => {
                 // (Cond -> Then ; Else): the if-then-else shape is decided
                 // at run time here because the left operand was not a
@@ -1384,6 +1501,7 @@ impl<'p> Machine<'p> {
         templates: &[ClauseTemplate],
         sref: StepRef,
         wk: &WellKnownSymbols,
+        hook: Option<&dyn ParHook>,
     ) -> EngineResult<bool> {
         let StepRef {
             clause,
@@ -1396,7 +1514,7 @@ impl<'p> Machine<'p> {
             Step::Goal(pos) => {
                 let mut pos = pos as usize;
                 let cell = self.write_template(templ.cells(), &mut pos, var_base as usize);
-                self.exec_cell(templates, cell, wk)
+                self.exec_cell(templates, cell, wk, hook)
             }
             Step::Cut => {
                 // Prune to the activation's barrier, clamped to the
@@ -1459,6 +1577,47 @@ impl<'p> Machine<'p> {
                 Ok(true)
             }
             Step::Par { arms_at, arms_len } => {
+                if let Some(h) = hook {
+                    let templ = &templates[clause as usize];
+                    // Template-level pre-screen: with granularity on, a
+                    // below-threshold conjunction is recognised here from
+                    // the template cells and the activation's variable
+                    // bindings — nothing is materialized, the compiled
+                    // inline path below runs exactly as without a hook.
+                    let screened_out = h.cell_guards().is_some_and(|guards| {
+                        (0..arms_len).any(|k| {
+                            let pos = templ.par_arm_cell_positions()[(arms_at + k) as usize];
+                            self.template_guard_decision(
+                                guards,
+                                templ.cells(),
+                                pos as usize,
+                                var_base as usize,
+                            ) == Some(false)
+                        })
+                    });
+                    if screened_out {
+                        h.note_inlined();
+                    } else {
+                        // Materialize the arm terms and offer the
+                        // conjunction to the hook; on `Inline` fall through
+                        // to the compiled in-place path below.
+                        let base = self.arm_scratch.len();
+                        for k in 0..arms_len {
+                            let positions = templates[clause as usize].par_arm_cell_positions();
+                            let mut pos = positions[(arms_at + k) as usize] as usize;
+                            let cell = self.write_template(
+                                templates[clause as usize].cells(),
+                                &mut pos,
+                                var_base as usize,
+                            );
+                            self.arm_scratch.push(cell);
+                        }
+                        if let Some(done) = self.try_spawn_par(h, base)? {
+                            return Ok(done);
+                        }
+                        self.arm_scratch.truncate(base);
+                    }
+                }
                 let children = self.recorder.record_fork(arms_len as usize);
                 let arms = ArmSource::Compiled {
                     clause,
@@ -1479,12 +1638,11 @@ impl<'p> Machine<'p> {
         }
     }
 
-    /// Starts a run-time-flattened parallel conjunction (a query or metacall
-    /// `&` cell): flattens nested `&` into arm cells, records one batched
-    /// fork, and opens the conjunction's barrier with arm 0 running.
-    fn begin_par_cells(&mut self, cell: HCell) -> EngineResult<bool> {
-        let base = self.arm_scratch.len();
-        self.collect_arms(cell);
+    /// Starts an inline parallel conjunction from arm cells already
+    /// collected in `arm_scratch[base..]` (a query or metacall `&` cell, or
+    /// a hook-declined spawn): records one batched fork and opens the
+    /// conjunction's barrier with arm 0 running.
+    fn begin_par_scratch(&mut self, base: usize) -> EngineResult<bool> {
         let count = self.arm_scratch.len() - base;
         let children = self.recorder.record_fork(count);
         self.push_barrier(BarrierExit::Par(ParState {
@@ -1497,6 +1655,72 @@ impl<'p> Machine<'p> {
         let arm = self.arm_scratch[base];
         self.push_goal(Goal::Cell(arm))?;
         Ok(true)
+    }
+
+    /// Offers the parallel conjunction whose arm cells sit in
+    /// `arm_scratch[base..]` to the parallel hook. Returns:
+    ///
+    /// * `Ok(None)` — the hook declined ([`ParDecision::Inline`]); the
+    ///   caller runs the arms inline (the scratch range is left in place).
+    /// * `Ok(Some(ok))` — the hook executed the arms; `ok` is the
+    ///   conjunction's outcome after the deterministic in-order join
+    ///   (answer bindings unified into the parent arena, child counters and
+    ///   work merged, fork recorded in the task tree). The scratch range is
+    ///   consumed.
+    ///
+    /// The join is the copy-in half of the spawn boundary documented in
+    /// [`crate::par`]: each answer's terms are written into this machine's
+    /// arena over a block of fresh variables and unified with the parent
+    /// cells the arm mentioned, so failures and backtracking behave exactly
+    /// as if the bindings had been made by inline execution.
+    fn try_spawn_par(&mut self, hook: &dyn ParHook, base: usize) -> EngineResult<Option<bool>> {
+        // Cell-guard pre-screen: a bounded cell walk per arm decides most
+        // granularity-control inlines for (at most) the cost of the
+        // threshold, before any arm is copied out of the arena.
+        if let Some(guards) = hook.cell_guards() {
+            for k in base..self.arm_scratch.len() {
+                if !self
+                    .cell_guard_decision(guards, self.arm_scratch[k])
+                    .unwrap_or(true)
+                {
+                    hook.note_inlined();
+                    return Ok(None);
+                }
+            }
+        }
+        let arms: Vec<Term> = (base..self.arm_scratch.len())
+            .map(|k| self.resolve_cell(self.arm_scratch[k]))
+            .collect();
+        match hook.exec_arms(&arms)? {
+            ParDecision::Inline => Ok(None),
+            ParDecision::Executed(None) => {
+                self.arm_scratch.truncate(base);
+                Ok(Some(false))
+            }
+            ParDecision::Executed(Some(answers)) => {
+                self.arm_scratch.truncate(base);
+                let children = self.recorder.record_fork(arms.len());
+                for (k, answer) in answers.iter().enumerate() {
+                    self.recorder.push(children.start + k);
+                    self.recorder.record_work(answer.work);
+                    self.recorder.pop();
+                    self.counters = self.counters.add(&answer.counters);
+                }
+                let mut ok = true;
+                'join: for answer in &answers {
+                    let fresh_base = self.fresh_vars(answer.fresh_vars);
+                    for (parent, term) in &answer.bindings {
+                        let cell = self.write_ir(term, fresh_base);
+                        if !self.unify_cell(*parent, cell) {
+                            ok = false;
+                            break 'join;
+                        }
+                    }
+                }
+                self.note_heap_high_water();
+                Ok(Some(ok))
+            }
+        }
     }
 
     /// Pushes parallel arm `k` from its source (compiled sequence or
@@ -1521,6 +1745,124 @@ impl<'p> Machine<'p> {
                 let arm = self.arm_scratch[base as usize + k as usize];
                 self.push_goal(Goal::Cell(arm))
             }
+        }
+    }
+
+    /// Evaluates an arm's cell-level spawn guard: walks the arm's
+    /// `','`-spine for the first goal with a registered guard and returns
+    /// its verdict (`None` if no goal in the arm is guarded, which spawns).
+    fn cell_guard_decision(&self, guards: &CellGuards, cell: HCell) -> Option<bool> {
+        let wk = well_known::get();
+        match self.deref_cell(cell) {
+            HCell::Struct(s, 2, base) if s == wk.comma => self
+                .cell_guard_decision(guards, self.heap[base as usize])
+                .or_else(|| self.cell_guard_decision(guards, self.heap[base as usize + 1])),
+            HCell::Atom(s) => guards.get(s, 0).map(|g| self.eval_cell_guard(g, 0, 0)),
+            HCell::Struct(s, arity, base) => guards
+                .get(s, arity as usize)
+                .map(|g| self.eval_cell_guard(g, arity as usize, base as usize)),
+            _ => None,
+        }
+    }
+
+    /// Evaluates one goal's guard against its argument block, with the same
+    /// bounded traversals (and the same "unknown size errs parallel"
+    /// convention) as the `'$grain_ge'` builtin.
+    fn eval_cell_guard(&self, guard: CellGuard, arity: usize, args: usize) -> bool {
+        match guard {
+            CellGuard::Always => true,
+            CellGuard::Never => false,
+            CellGuard::SizeAtLeast {
+                arg_pos,
+                measure,
+                k,
+            } => {
+                if arg_pos as usize >= arity {
+                    return true;
+                }
+                self.eval_guard_measure(measure, args + arg_pos as usize, k)
+            }
+        }
+    }
+
+    /// `size_measure(heap[idx]) >= k`, with `'$grain_ge'`-style bounded
+    /// traversals (a walk never visits more than `k` elements).
+    fn eval_guard_measure(&self, measure: GuardMeasure, idx: usize, k: u64) -> bool {
+        match measure {
+            GuardMeasure::ListLength => builtins::bounded_list_length(self, idx, k) >= k,
+            GuardMeasure::TermDepth => builtins::bounded_depth(self, idx, k) >= k,
+            GuardMeasure::TermSize => builtins::bounded_term_size(self, idx, k) >= k,
+            GuardMeasure::IntValue => match self.heap[self.deref_idx(idx)] {
+                HCell::Int(v) => (v.max(0) as u64) >= k,
+                HCell::Float(v) => v >= k as f64,
+                _ => true,
+            },
+        }
+    }
+
+    /// [`Machine::cell_guard_decision`] straight off template cells, before
+    /// any materialization: walks the arm subtree's `','`-spine for the
+    /// first guarded goal and evaluates its guard. The measured argument is
+    /// almost always a clause variable, whose binding already lives in the
+    /// arena at `var_base + v` — zero cells are written. Returns `None`
+    /// when the decision needs the materialized arm (no guarded goal found,
+    /// or a guarded goal whose measured argument is a template literal),
+    /// which the cell-level pre-screen in [`Machine::try_spawn_par`] then
+    /// settles.
+    fn template_guard_decision(
+        &self,
+        guards: &CellGuards,
+        cells: &[Cell],
+        pos: usize,
+        var_base: usize,
+    ) -> Option<bool> {
+        let wk = well_known::get();
+        match cells[pos] {
+            Cell::Struct(s, 2) if s == wk.comma => {
+                let left = pos + 1;
+                self.template_guard_decision(guards, cells, left, var_base)
+                    .or_else(|| {
+                        let right = crate::template::skip_subtree(cells, left);
+                        self.template_guard_decision(guards, cells, right, var_base)
+                    })
+            }
+            // A variable goal: its binding is in the arena — decide there.
+            Cell::Var(v) | Cell::VarFirst(v) => {
+                self.cell_guard_decision(guards, HCell::Ref((var_base + v as usize) as u32))
+            }
+            Cell::Atom(s) => guards.get(s, 0).map(|g| self.eval_cell_guard(g, 0, 0)),
+            Cell::Struct(s, arity) => {
+                let guard = guards.get(s, arity as usize)?;
+                match guard {
+                    CellGuard::Always => Some(true),
+                    CellGuard::Never => Some(false),
+                    CellGuard::SizeAtLeast {
+                        arg_pos,
+                        measure,
+                        k,
+                    } => {
+                        if arg_pos >= arity {
+                            return Some(true);
+                        }
+                        let mut arg = pos + 1;
+                        for _ in 0..arg_pos {
+                            arg = crate::template::skip_subtree(cells, arg);
+                        }
+                        match cells[arg] {
+                            Cell::Var(v) | Cell::VarFirst(v) => {
+                                Some(self.eval_guard_measure(measure, var_base + v as usize, k))
+                            }
+                            Cell::Int(i) if measure == GuardMeasure::IntValue => {
+                                Some((i.max(0) as u64) >= k)
+                            }
+                            // A structured template literal: measuring it
+                            // needs materialization — defer.
+                            _ => None,
+                        }
+                    }
+                }
+            }
+            _ => None,
         }
     }
 
@@ -1678,6 +2020,15 @@ mod tests {
         append([], L, L).
         append([H|T], L, [H|R]) :- append(T, L, R).
     "#;
+
+    #[test]
+    fn machine_is_send() {
+        // The parallel executor moves machines between worker threads (one
+        // machine per worker, plus a shared free-list). Nothing in the
+        // machine may reintroduce a non-Send handle.
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine<'static>>();
+    }
 
     #[test]
     fn facts_and_failure() {

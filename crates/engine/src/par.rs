@@ -1,0 +1,182 @@
+//! The engine side of the parallel-execution boundary.
+//!
+//! The machine itself stays single-threaded: a [`crate::Machine`] owns one
+//! arena, one goal stack and one set of choice points, and nothing in it is
+//! shared. Real and-parallel execution is layered *on top* through the
+//! [`ParHook`] trait: when a hook is passed to
+//! [`crate::Machine::run_goal_par`], every parallel conjunction (`&`) the
+//! solve loop reaches is first offered to the hook, which may either
+//!
+//! * decline ([`ParDecision::Inline`]) — the machine runs the arms inline,
+//!   sequentially, exactly as it does without a hook (this is how runtime
+//!   granularity control turns a spawn into a cheap sequential call); or
+//! * execute the arms itself ([`ParDecision::Executed`]) — typically on a
+//!   pool of worker threads, each with its own machine.
+//!
+//! # Copy semantics at the spawn boundary
+//!
+//! Arms cross the boundary **by value**. The machine resolves each arm out
+//! of its arena into a self-contained [`Term`] in which an unbound parent
+//! variable appears as `Term::Var(i)` where `i` is its parent *heap cell
+//! index*. The hook executes the arm elsewhere and hands back one
+//! [`ArmAnswer`] per arm: bindings for exactly those parent cells, expressed
+//! as terms over a small fresh-variable alphabet `0..fresh_vars` (shared
+//! across the bindings of one answer, so sharing between answer terms is
+//! preserved). The machine writes the answer terms into its own arena and
+//! *unifies* them with the parent cells at the join — so a conflicting
+//! answer (possible only when arms were not independent) fails the
+//! conjunction rather than corrupting state, and backtracking past the
+//! conjunction undoes the joined bindings through the ordinary trail.
+//!
+//! # Determinism guarantees
+//!
+//! The join is deterministic: answers are applied in arm order on the
+//! calling machine, regardless of the order in which the hook finished the
+//! arms. Each arm is solved to its *first* solution and committed — the
+//! same semantics the inline path has always had — so for independent arms
+//! the parallel execution computes exactly the answer the sequential
+//! execution computes.
+
+use crate::cost::Counters;
+use crate::error::EngineResult;
+use granlog_ir::Term;
+
+/// One arm's answer, produced by a [`ParHook`] that executed the arm
+/// remotely.
+#[derive(Debug, Clone)]
+pub struct ArmAnswer {
+    /// `(parent heap cell index, answer term)` pairs — one entry per
+    /// distinct unbound parent variable that occurred in the copied-out arm.
+    /// `Term::Var(k)` inside an answer term names the answer-local fresh
+    /// variable `k`; fresh variables are shared across the bindings of this
+    /// answer, preserving sharing.
+    pub bindings: Vec<(usize, Term)>,
+    /// Number of distinct fresh variables the answer terms mention
+    /// (`Term::Var(k)` with `k < fresh_vars`).
+    pub fresh_vars: usize,
+    /// The operation counters of the arm's execution, merged into the
+    /// calling machine's counters at the join.
+    pub counters: Counters,
+    /// The arm's work in cost-model units, recorded as the forked child
+    /// task's work in the calling machine's task tree.
+    pub work: f64,
+}
+
+/// What a [`ParHook`] decided to do with a parallel conjunction.
+#[derive(Debug)]
+pub enum ParDecision {
+    /// Run the arms inline on the calling machine (sequentially, behind the
+    /// machine's ordinary parallel-conjunction barrier). This is the
+    /// granularity-control "too small to spawn" outcome and the fallback
+    /// for arms the hook cannot isolate (e.g. arms sharing unbound
+    /// variables).
+    Inline,
+    /// The hook executed every arm to its first solution. `Some(answers)`
+    /// carries one [`ArmAnswer`] per arm, in arm order; `None` means at
+    /// least one arm failed, failing the whole conjunction (independent
+    /// and-parallel semantics — no backtracking across arms).
+    Executed(Option<Vec<ArmAnswer>>),
+}
+
+/// The size measure of a cell-level spawn guard, evaluated with the same
+/// bounded traversals as the `'$grain_ge'` builtin (a list walk stops after
+/// `k` elements, a term walk after `k` symbols — the guard's cost is
+/// bounded by its threshold, never by the term).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardMeasure {
+    /// Proper-list prefix length.
+    ListLength,
+    /// The value of an integer (clamped below at 0); non-integers pass.
+    IntValue,
+    /// Term depth.
+    TermDepth,
+    /// Term size (symbol count).
+    TermSize,
+}
+
+/// The cell-level spawn guard of one predicate: the threshold → guard
+/// lowering of the granularity analysis, in a form the machine can evaluate
+/// directly over heap cells *before* paying the copy-out of an arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellGuard {
+    /// Spawn unconditionally.
+    Always,
+    /// Never spawn: the predicate's work cannot exceed the spawn overhead.
+    Never,
+    /// Spawn iff the measured size of argument `arg_pos` is at least `k`.
+    SizeAtLeast {
+        /// 0-based argument position whose size is measured.
+        arg_pos: u32,
+        /// The size measure to apply.
+        measure: GuardMeasure,
+        /// The threshold size.
+        k: u64,
+    },
+}
+
+/// Per-predicate cell-level spawn guards, keyed by `(functor, arity)`. The
+/// machine consults this table at every `&` reached with a hook installed:
+/// if any arm's first guarded goal measures below its threshold, the
+/// conjunction is inlined without copying anything out.
+#[derive(Debug, Clone, Default)]
+pub struct CellGuards {
+    map: granlog_ir::FastMap<(granlog_ir::Symbol, usize), CellGuard>,
+}
+
+impl CellGuards {
+    /// An empty table (every conjunction proceeds to the hook).
+    pub fn new() -> Self {
+        CellGuards::default()
+    }
+
+    /// Registers a predicate's guard.
+    pub fn insert(&mut self, name: granlog_ir::Symbol, arity: usize, guard: CellGuard) {
+        self.map.insert((name, arity), guard);
+    }
+
+    /// The guard of a predicate, if one was registered.
+    pub fn get(&self, name: granlog_ir::Symbol, arity: usize) -> Option<CellGuard> {
+        self.map.get(&(name, arity)).copied()
+    }
+
+    /// Number of registered guards.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` if no guard was registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// A parallel-execution strategy consulted by the solve loop at every `&`
+/// conjunction. Implemented by `granlog-par`'s work-sharing executor; the
+/// engine crate only defines the boundary.
+///
+/// Implementations are expected to be shared across worker threads (each
+/// worker passes the same hook to its own machine so nested conjunctions
+/// spawn recursively), hence the `Sync` bound.
+pub trait ParHook: Sync {
+    /// Offers a parallel conjunction to the hook. `arms` are the copied-out
+    /// arm terms, in source order, with unbound parent variables appearing
+    /// as `Term::Var(parent cell index)`.
+    ///
+    /// # Errors
+    ///
+    /// A propagated engine error from any arm's execution aborts the query.
+    fn exec_arms(&self, arms: &[Term]) -> EngineResult<ParDecision>;
+
+    /// Cell-level spawn guards the machine evaluates *before* copying an
+    /// arm out. Returning `Some` lets the machine inline a too-small
+    /// conjunction for the cost of a bounded cell walk instead of a full
+    /// term copy; `None` (the default) sends every conjunction to
+    /// [`ParHook::exec_arms`].
+    fn cell_guards(&self) -> Option<&CellGuards> {
+        None
+    }
+
+    /// Notification that the machine's cell-guard pre-screen inlined a
+    /// conjunction (so executors can keep their statistics). Default: no-op.
+    fn note_inlined(&self) {}
+}

@@ -168,6 +168,10 @@ pub struct ClauseTemplate {
     /// Arm sequences of the clause's compiled parallel conjunctions;
     /// [`Step::Par`] indexes into this.
     par_arms: Vec<Seq>,
+    /// Cell offset of each parallel arm's *term subtree*, aligned with
+    /// `par_arms`. The spawn path materializes an arm from here when a
+    /// parallel hook wants the arm as a self-contained term.
+    par_arm_cells: Vec<u32>,
     /// The body's top-level sequence after the eager prefix: `','`-flattened
     /// with `true` literals dropped. Empty for facts: nothing to materialize,
     /// nothing to push.
@@ -214,7 +218,7 @@ impl ClauseTemplate {
         }
         // Compile the remaining body into its control skeleton.
         let mut steps = Vec::new();
-        let mut par_arms = Vec::new();
+        let mut par_arms = ParArms::default();
         let body = compile_seq(&cells, &rest, &mut steps, &mut par_arms);
         ClauseTemplate {
             cells,
@@ -222,7 +226,8 @@ impl ClauseTemplate {
             body_start,
             eager,
             steps,
-            par_arms,
+            par_arms: par_arms.seqs,
+            par_arm_cells: par_arms.cell_positions,
             body,
             num_vars: clause.num_vars() as u32,
         }
@@ -253,6 +258,13 @@ impl ClauseTemplate {
     /// [`Step::Par`].
     pub fn par_arms(&self) -> &[Seq] {
         &self.par_arms
+    }
+
+    /// Cell offset of each parallel arm's term subtree within
+    /// [`Self::cells`], aligned with [`Self::par_arms`]. Used by the spawn
+    /// path to materialize an arm as a self-contained goal term.
+    pub fn par_arm_cell_positions(&self) -> &[u32] {
+        &self.par_arm_cells
     }
 
     /// The body's top-level step sequence after the eager prefix,
@@ -311,6 +323,15 @@ fn collect_body_goals(cells: &[Cell], pos: usize, out: &mut Vec<u32>) -> usize {
     }
 }
 
+/// The collected parallel-conjunction arms of one clause: the compiled
+/// [`Seq`] of each arm plus the cell offset of the arm's term subtree (the
+/// spawn path's materialization point), kept aligned.
+#[derive(Default)]
+struct ParArms {
+    seqs: Vec<Seq>,
+    cell_positions: Vec<u32>,
+}
+
 /// Compiles a list of goal cell-offsets into a contiguous [`Seq`] of steps.
 ///
 /// The sequence's own slots are reserved first and patched afterwards, so
@@ -320,7 +341,7 @@ fn compile_seq(
     cells: &[Cell],
     goals: &[u32],
     steps: &mut Vec<Step>,
-    par_arms: &mut Vec<Seq>,
+    par_arms: &mut ParArms,
 ) -> Seq {
     let start = steps.len();
     steps.resize(start + goals.len(), Step::Cut);
@@ -341,7 +362,7 @@ fn compile_subgoal(
     cells: &[Cell],
     pos: usize,
     steps: &mut Vec<Step>,
-    par_arms: &mut Vec<Seq>,
+    par_arms: &mut ParArms,
 ) -> Seq {
     let mut goals = Vec::new();
     collect_body_goals(cells, pos, &mut goals);
@@ -351,12 +372,7 @@ fn compile_subgoal(
 /// Compiles one body goal into its [`Step`]. Control constructs recognised
 /// statically get dedicated steps; anything else — including the run-time
 /// ambiguous cases documented in the module docs — becomes [`Step::Goal`].
-fn compile_step(
-    cells: &[Cell],
-    pos: usize,
-    steps: &mut Vec<Step>,
-    par_arms: &mut Vec<Seq>,
-) -> Step {
+fn compile_step(cells: &[Cell], pos: usize, steps: &mut Vec<Step>, par_arms: &mut ParArms) -> Step {
     let wk = well_known::get();
     match cells[pos] {
         Cell::Atom(s) if s == wk.cut => Step::Cut,
@@ -405,9 +421,12 @@ fn compile_step(
                     .iter()
                     .map(|&p| compile_subgoal(cells, p, steps, par_arms))
                     .collect();
-                let arms_at = par_arms.len() as u32;
+                let arms_at = par_arms.seqs.len() as u32;
                 let arms_len = arms.len() as u32;
-                par_arms.extend(arms);
+                par_arms.seqs.extend(arms);
+                par_arms
+                    .cell_positions
+                    .extend(arm_pos.iter().map(|&p| p as u32));
                 Step::Par { arms_at, arms_len }
             } else {
                 Step::Goal(pos as u32)
@@ -474,7 +493,7 @@ fn classify_eager(cells: &[Cell], pos: usize) -> Option<EagerGoal> {
 }
 
 /// The offset just past the preorder subtree starting at `pos`.
-fn skip_subtree(cells: &[Cell], pos: usize) -> usize {
+pub(crate) fn skip_subtree(cells: &[Cell], pos: usize) -> usize {
     match cells[pos] {
         Cell::Struct(_, arity) => {
             let mut p = pos + 1;

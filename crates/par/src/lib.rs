@@ -1,0 +1,792 @@
+//! # granlog-par
+//!
+//! A **multi-threaded and-parallel executor** for the granlog engine: the
+//! piece that closes the paper's loop. *Task Granularity Analysis in Logic
+//! Programs* (Debray, Lin & Hermenegildo, PLDI 1990) derives cost bounds so
+//! that a parallel conjunction is only spawned when the work under it
+//! exceeds the task-management overhead — a decision that only matters on a
+//! real multiprocessor. `granlog-sim` replays recorded fork-join trees on a
+//! *simulated* machine; this crate executes the annotated programs on a pool
+//! of actual worker threads and lets the analysis drive the spawn decision
+//! at run time.
+//!
+//! # Architecture
+//!
+//! * **One machine per worker.** Each worker thread owns its own
+//!   [`Machine`] (bump arena, goal stack, choice points); the compiled
+//!   clause templates are shared across machines through an
+//!   `Arc<[ClauseTemplate]>` ([`Machine::with_templates`]), and idle
+//!   machines are parked in a free-list so nested spawns reuse warm arenas.
+//! * **A shared injector deque.** Spawned arms are pushed to a global
+//!   `Mutex<VecDeque>` and popped by idle workers — the simple end of the
+//!   work-stealing design space, chosen because granularity control makes
+//!   spawns *coarse*: the queue is touched once per spawned task, not once
+//!   per resolution.
+//! * **Copy in, copy out.** Arms cross the spawn boundary by value (see
+//!   [`granlog_engine::par`]): the parent machine resolves each arm out of
+//!   its arena into a self-contained [`Term`], the child runs it as a fresh
+//!   query against its own arena, and the answer bindings are copied back
+//!   and unified at the join. No heap cell is ever shared between threads.
+//! * **Deterministic join, help-first waiting.** The spawning thread
+//!   executes arm 0 itself, then joins the remaining arms *in order*; while
+//!   a joined arm is still running elsewhere the joiner drains other
+//!   pending jobs from the injector instead of blocking, so the wait-for
+//!   graph stays acyclic and no configuration of nested conjunctions can
+//!   deadlock.
+//! * **Runtime granularity control.** With [`Granularity::On`], the
+//!   analysis' cost functions and thresholds are lowered into per-predicate
+//!   spawn guards ([`SpawnGuards`]): at each `&`, the driving argument of
+//!   each arm is measured on the actual goal and the conjunction is spawned
+//!   only if every arm's estimated work reaches the spawn overhead —
+//!   otherwise it runs inline, sequentially, on the spawning machine.
+//!   [`Granularity::AlwaysSpawn`] spawns every conjunction (the paper's
+//!   "no control" baseline) and [`Granularity::Off`] runs every conjunction
+//!   inline (the sequential baseline, on the same code path).
+//!
+//! Arms that share an unbound variable are not independent; the executor
+//! detects this during copy-out and runs such conjunctions inline, so the
+//! parallel execution always computes the same first answer as the
+//! sequential engine.
+//!
+//! # Example
+//!
+//! ```
+//! use granlog_ir::parser::parse_program;
+//! use granlog_par::{Granularity, ParConfig, ParExecutor};
+//!
+//! let program = parse_program(r#"
+//!     fib(0, 0).
+//!     fib(1, 1).
+//!     fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+//!                  fib(M1, N1) & fib(M2, N2), N is N1 + N2.
+//! "#).unwrap();
+//! let mut exec = ParExecutor::new(&program, ParConfig {
+//!     threads: 2,
+//!     granularity: Granularity::AlwaysSpawn,
+//!     ..ParConfig::default()
+//! });
+//! let out = exec.run_query("fib(12, X)").unwrap();
+//! assert!(out.succeeded);
+//! assert_eq!(out.binding("X").unwrap().to_string(), "144");
+//! assert!(out.spawned_tasks > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use granlog_analysis::guard::{PredGuard, SpawnGuards};
+use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
+use granlog_analysis::Measure;
+use granlog_engine::par::{ArmAnswer, CellGuard, CellGuards, GuardMeasure, ParDecision, ParHook};
+use granlog_engine::{ClauseTemplate, Counters, EngineError, EngineResult, Machine, MachineConfig};
+use granlog_ir::{parser, Program, Symbol, Term};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How the executor decides whether a `&` conjunction is spawned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Granularity control on: spawn a conjunction only when every arm's
+    /// estimated work (the analysis cost function evaluated on the measured
+    /// size of the arm's driving argument) reaches the spawn overhead;
+    /// otherwise run it inline, sequentially.
+    On,
+    /// Parallelism disabled: every conjunction runs inline on the spawning
+    /// machine (the sequential baseline, on the same code path).
+    Off,
+    /// Spawn every conjunction unconditionally (the "no control" baseline
+    /// whose task-management overhead the paper measures).
+    AlwaysSpawn,
+}
+
+/// Configuration of a [`ParExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParConfig {
+    /// Total number of threads executing the query: the caller plus
+    /// `threads - 1` pool workers. `1` runs every spawned arm on the calling
+    /// thread (exercising the full copy-out/copy-in boundary without
+    /// concurrency).
+    pub threads: usize,
+    /// The spawn-decision mode.
+    pub granularity: Granularity,
+    /// Task-management overhead `W` used to compile the spawn guards, in the
+    /// analysis' cost units (resolutions by default). Only read with
+    /// [`Granularity::On`].
+    pub overhead: f64,
+    /// Configuration of every worker machine.
+    pub machine: MachineConfig,
+}
+
+impl Default for ParConfig {
+    fn default() -> Self {
+        ParConfig {
+            threads: 4,
+            granularity: Granularity::On,
+            overhead: granlog_analysis::annotate::AnnotateOptions::default().overhead,
+            machine: MachineConfig::default(),
+        }
+    }
+}
+
+/// The outcome of a parallel query.
+#[derive(Debug, Clone)]
+pub struct ParOutcome {
+    /// Did the query succeed?
+    pub succeeded: bool,
+    /// Bindings of the query's named variables, in source order.
+    pub bindings: Vec<(Symbol, Term)>,
+    /// Operation counters, aggregated across every machine that worked on
+    /// the query (join unifications included).
+    pub counters: Counters,
+    /// Total work in cost-model units, aggregated like the counters.
+    pub work: f64,
+    /// Number of arms handed to the thread pool.
+    pub spawned_tasks: usize,
+    /// Number of `&` conjunctions the granularity guards (or an
+    /// independence fallback) ran inline instead of spawning.
+    pub inlined_conjunctions: usize,
+}
+
+impl ParOutcome {
+    /// The binding of a variable by name, if any.
+    pub fn binding(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n.as_str() == name)
+            .map(|(_, t)| t)
+    }
+}
+
+/// The raw result of one spawned arm, produced on whichever thread ran it.
+/// `var_terms[i]` is the answer for the arm's dense variable `i`, over the
+/// answer-local fresh alphabet `0..fresh` (shared across the arm's answers).
+struct RawAnswer {
+    var_terms: Vec<Term>,
+    fresh: usize,
+    counters: Counters,
+    work: f64,
+}
+
+type JobResult = Result<Option<RawAnswer>, EngineError>;
+
+enum JobState {
+    /// In the injector (or about to be): any thread may claim it.
+    Pending,
+    /// Claimed by some thread and currently executing.
+    Claimed,
+    /// Finished; the result is waiting for its joiner.
+    Done(JobResult),
+    /// The joiner took the result.
+    Consumed,
+}
+
+/// One spawned arm: a self-contained goal (dense variables `0..nvars`) plus
+/// its completion state.
+struct Job {
+    goal: Term,
+    nvars: usize,
+    state: Mutex<JobState>,
+    cv: Condvar,
+}
+
+/// State shared between the spawning thread and the pool workers for the
+/// lifetime of the executor. Also the [`ParHook`] implementation the
+/// machines call at every `&`.
+struct Shared<'p> {
+    program: &'p Program,
+    templates: Arc<[ClauseTemplate]>,
+    machine_config: MachineConfig,
+    granularity: Granularity,
+    /// Cell-level spawn guards (granularity-on only): evaluated by the
+    /// machine over heap cells before any copy-out.
+    cell_guards: Option<CellGuards>,
+    injector: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+    done: AtomicBool,
+    machines: Mutex<Vec<Machine<'p>>>,
+    spawned: AtomicUsize,
+    inlined: AtomicUsize,
+}
+
+impl<'p> Shared<'p> {
+    fn acquire_machine(&self) -> Machine<'p> {
+        let pooled = self.machines.lock().expect("machine pool poisoned").pop();
+        pooled.unwrap_or_else(|| {
+            Machine::with_templates(
+                self.program,
+                self.machine_config,
+                Arc::clone(&self.templates),
+            )
+        })
+    }
+
+    fn release_machine(&self, machine: Machine<'p>) {
+        self.machines
+            .lock()
+            .expect("machine pool poisoned")
+            .push(machine);
+    }
+
+    /// Claims and executes a job if it is still pending; a no-op otherwise.
+    fn run_job(&self, job: &Job) {
+        {
+            let mut state = job.state.lock().expect("job state poisoned");
+            match *state {
+                JobState::Pending => *state = JobState::Claimed,
+                _ => return,
+            }
+        }
+        let result = self.exec_job(job);
+        let mut state = job.state.lock().expect("job state poisoned");
+        *state = JobState::Done(result);
+        job.cv.notify_all();
+    }
+
+    /// Runs a job's goal to its first solution on a pooled machine and
+    /// extracts the dense-variable answers (see [`RawAnswer`]).
+    fn exec_job(&self, job: &Job) -> JobResult {
+        let mut machine = self.acquire_machine();
+        let outcome = machine.run_goal_par(&job.goal, &[], Some(self));
+        let result = match outcome {
+            Err(e) => Err(e),
+            Ok(out) if !out.succeeded => Ok(None),
+            Ok(out) => {
+                // Child-side copy-out: renumber the unbound cells of the
+                // answers into a dense answer-local alphabet, preserving
+                // sharing across the arm's variables.
+                let mut fresh: BTreeMap<usize, usize> = BTreeMap::new();
+                let var_terms: Vec<Term> = (0..job.nvars)
+                    .map(|i| renumber_answer(&machine.resolve_var(i), &mut fresh))
+                    .collect();
+                Ok(Some(RawAnswer {
+                    var_terms,
+                    fresh: fresh.len(),
+                    counters: out.counters,
+                    work: out.work,
+                }))
+            }
+        };
+        self.release_machine(machine);
+        result
+    }
+
+    /// Pops and runs one pending job from the injector. Returns `false` if
+    /// the injector was empty.
+    fn try_help(&self) -> bool {
+        let job = self.injector.lock().expect("injector poisoned").pop_front();
+        match job {
+            Some(job) => {
+                self.run_job(&job);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Waits for a job's completion, running it inline if still pending and
+    /// draining other pending jobs while it runs elsewhere (help-first
+    /// joining: the wait-for graph stays acyclic, so nested conjunctions
+    /// cannot deadlock).
+    fn join_job(&self, job: &Job) -> JobResult {
+        self.run_job(job);
+        loop {
+            {
+                let mut state = job.state.lock().expect("job state poisoned");
+                if matches!(*state, JobState::Done(_)) {
+                    let JobState::Done(result) = std::mem::replace(&mut *state, JobState::Consumed)
+                    else {
+                        unreachable!("matched Done above");
+                    };
+                    return result;
+                }
+            }
+            if !self.try_help() {
+                let state = job.state.lock().expect("job state poisoned");
+                if !matches!(*state, JobState::Done(_)) {
+                    // Short-timeout wait: the runner's notify wakes us
+                    // early; the timeout bounds how long a newly injected
+                    // job can sit unseen while we sleep.
+                    let _ = job
+                        .cv
+                        .wait_timeout(state, Duration::from_millis(1))
+                        .expect("job state poisoned");
+                }
+            }
+        }
+    }
+
+    /// The pool worker's main loop: pop and run jobs until shutdown.
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.injector.lock().expect("injector poisoned");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.done.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    queue = self.work_cv.wait(queue).expect("injector poisoned");
+                }
+            };
+            match job {
+                Some(job) => self.run_job(&job),
+                None => return,
+            }
+        }
+    }
+
+    fn finish(&self) {
+        self.done.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+    }
+}
+
+impl ParHook for Shared<'_> {
+    fn cell_guards(&self) -> Option<&CellGuards> {
+        self.cell_guards.as_ref()
+    }
+
+    fn note_inlined(&self) {
+        self.inlined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn exec_arms(&self, arms: &[Term]) -> EngineResult<ParDecision> {
+        // Granularity-on conjunctions that reach this point already passed
+        // the machine's cell-guard pre-screen ([`ParHook::cell_guards`]);
+        // `Off` installs no hook at all, so only spawn-worthy conjunctions
+        // arrive here.
+        if arms.len() < 2 {
+            return Ok(ParDecision::Inline);
+        }
+        // Copy-out: renumber each arm's unbound parent cells into a dense
+        // per-arm alphabet, remembering which parent cell each dense
+        // variable stands for.
+        let mut jobs: Vec<(Arc<Job>, Vec<usize>)> = Vec::with_capacity(arms.len());
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for arm in arms {
+            let mut map = BTreeMap::new();
+            let mut parents = Vec::new();
+            let goal = renumber_goal(arm, &mut map, &mut parents);
+            // Independence check: an unbound variable shared between arms
+            // would make the arms' first solutions order-dependent — run
+            // such conjunctions inline so parallel execution is always
+            // answer-equivalent to sequential execution.
+            if parents.iter().any(|p| !seen.insert(*p)) {
+                self.inlined.fetch_add(1, Ordering::Relaxed);
+                return Ok(ParDecision::Inline);
+            }
+            let nvars = parents.len();
+            jobs.push((
+                Arc::new(Job {
+                    goal,
+                    nvars,
+                    state: Mutex::new(JobState::Pending),
+                    cv: Condvar::new(),
+                }),
+                parents,
+            ));
+        }
+        self.spawned.fetch_add(jobs.len(), Ordering::Relaxed);
+        {
+            let mut queue = self.injector.lock().expect("injector poisoned");
+            for (job, _) in jobs.iter().skip(1) {
+                queue.push_back(Arc::clone(job));
+            }
+        }
+        self.work_cv.notify_all();
+        // Run arm 0 on this thread, then join the rest in order.
+        self.run_job(&jobs[0].0);
+        let mut answers = Vec::with_capacity(jobs.len());
+        let mut failed = false;
+        let mut error: Option<EngineError> = None;
+        for (job, parents) in &jobs {
+            match self.join_job(job) {
+                Ok(Some(raw)) => answers.push(ArmAnswer {
+                    bindings: parents
+                        .iter()
+                        .zip(raw.var_terms)
+                        .map(|(&parent, term)| (parent, term))
+                        .collect(),
+                    fresh_vars: raw.fresh,
+                    counters: raw.counters,
+                    work: raw.work,
+                }),
+                Ok(None) => failed = true,
+                Err(e) => error = error.or(Some(e)),
+            }
+        }
+        if let Some(e) = error {
+            return Err(e);
+        }
+        if failed {
+            return Ok(ParDecision::Executed(None));
+        }
+        Ok(ParDecision::Executed(Some(answers)))
+    }
+}
+
+/// The multi-threaded and-parallel executor: a program's compiled templates,
+/// a machine free-list, the spawn guards and the injector queue. Reusable
+/// across queries (machines stay warm); one query runs at a time.
+pub struct ParExecutor<'p> {
+    shared: Shared<'p>,
+    threads: usize,
+    /// Does any clause body mention `&` at all? Purely sequential programs
+    /// skip worker startup entirely (a dynamically constructed `&` still
+    /// executes correctly — the spawning thread runs every job itself).
+    has_par: bool,
+}
+
+impl<'p> ParExecutor<'p> {
+    /// Creates an executor for a program. With [`Granularity::On`] the
+    /// program is analysed here and the thresholds are lowered into runtime
+    /// spawn guards; the other modes skip the analysis.
+    pub fn new(program: &'p Program, config: ParConfig) -> Self {
+        let cell_guards = matches!(config.granularity, Granularity::On).then(|| {
+            let analysis = analyze_program(program, &AnalysisOptions::default());
+            lower_guards(&SpawnGuards::compile(&analysis, config.overhead))
+        });
+        let templates: Arc<[ClauseTemplate]> =
+            granlog_engine::template::compile_program(program).into();
+        let has_par = program
+            .clauses()
+            .iter()
+            .any(|clause| mentions_par(&clause.body));
+        ParExecutor {
+            shared: Shared {
+                program,
+                templates,
+                machine_config: config.machine,
+                granularity: config.granularity,
+                cell_guards,
+                injector: Mutex::new(VecDeque::new()),
+                work_cv: Condvar::new(),
+                done: AtomicBool::new(false),
+                machines: Mutex::new(Vec::new()),
+                spawned: AtomicUsize::new(0),
+                inlined: AtomicUsize::new(0),
+            },
+            threads: config.threads.max(1),
+            has_par,
+        }
+    }
+
+    /// Parses and runs a query (e.g. `"fib(15, X)"`) on the thread pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the query does not parse or execution hits a
+    /// limit or runtime error on any machine.
+    pub fn run_query(&mut self, query: &str) -> EngineResult<ParOutcome> {
+        let (goal, var_names) = parser::parse_term(query).map_err(|e| EngineError::TypeError {
+            builtin: "query",
+            message: e.to_string(),
+        })?;
+        self.run_goal(&goal, &var_names)
+    }
+
+    /// Runs an already-parsed goal whose variables are numbered
+    /// `0..var_names.len()`.
+    ///
+    /// The calling thread executes the query's root (and arm 0 of every
+    /// conjunction it spawns); `threads - 1` scoped workers run spawned
+    /// arms. Workers live for the duration of the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution hits a limit or runtime error on any
+    /// machine.
+    pub fn run_goal(&mut self, goal: &Term, var_names: &[Symbol]) -> EngineResult<ParOutcome> {
+        self.shared.done.store(false, Ordering::Release);
+        self.shared.spawned.store(0, Ordering::Relaxed);
+        self.shared.inlined.store(0, Ordering::Relaxed);
+        let shared = &self.shared;
+        // Workers are useful only when something can reach the injector: a
+        // program with `&` in it, run in a mode that installs the hook.
+        let spawns_possible = self.has_par && shared.granularity != Granularity::Off;
+        let workers = if spawns_possible { self.threads - 1 } else { 0 };
+        let outcome = std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| shared.worker_loop());
+            }
+            let hook = (shared.granularity != Granularity::Off).then_some(shared as &dyn ParHook);
+            let mut machine = shared.acquire_machine();
+            let outcome = machine.run_goal_par(goal, var_names, hook);
+            shared.release_machine(machine);
+            shared.finish();
+            outcome
+        })?;
+        Ok(ParOutcome {
+            succeeded: outcome.succeeded,
+            bindings: outcome.bindings,
+            counters: outcome.counters,
+            work: outcome.work,
+            spawned_tasks: self.shared.spawned.load(Ordering::Relaxed),
+            inlined_conjunctions: self.shared.inlined.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Does a clause-body term mention the parallel-conjunction functor
+/// anywhere (including under control constructs)?
+fn mentions_par(term: &Term) -> bool {
+    match term {
+        Term::Struct(s, args) => {
+            (*s == granlog_ir::symbol::well_known::par_and() && args.len() == 2)
+                || args.iter().any(mentions_par)
+        }
+        _ => false,
+    }
+}
+
+/// Lowers the analysis' per-predicate spawn guards into the engine's
+/// cell-level table, so the machine can evaluate them over heap cells with
+/// bounded traversals before paying any copy-out.
+fn lower_guards(guards: &SpawnGuards) -> CellGuards {
+    let mut table = CellGuards::new();
+    for (pred, guard) in guards.iter() {
+        let lowered = match guard {
+            PredGuard::Always => CellGuard::Always,
+            PredGuard::Never => CellGuard::Never,
+            PredGuard::SizeAtLeast {
+                arg_pos,
+                measure,
+                k,
+            } => match measure {
+                Measure::ListLength => CellGuard::SizeAtLeast {
+                    arg_pos: arg_pos as u32,
+                    measure: GuardMeasure::ListLength,
+                    k,
+                },
+                Measure::IntValue => CellGuard::SizeAtLeast {
+                    arg_pos: arg_pos as u32,
+                    measure: GuardMeasure::IntValue,
+                    k,
+                },
+                Measure::TermDepth => CellGuard::SizeAtLeast {
+                    arg_pos: arg_pos as u32,
+                    measure: GuardMeasure::TermDepth,
+                    k,
+                },
+                Measure::TermSize => CellGuard::SizeAtLeast {
+                    arg_pos: arg_pos as u32,
+                    measure: GuardMeasure::TermSize,
+                    k,
+                },
+                // No size information: err on the parallel side.
+                Measure::Ignore => CellGuard::Always,
+            },
+        };
+        table.insert(pred.name, pred.arity, lowered);
+    }
+    table
+}
+
+/// Copy-out renumbering: rewrites `Term::Var(parent cell)` into dense
+/// `Term::Var(0..n)`, recording which parent cell each dense variable stands
+/// for.
+fn renumber_goal(term: &Term, map: &mut BTreeMap<usize, usize>, parents: &mut Vec<usize>) -> Term {
+    match term {
+        Term::Var(parent) => {
+            let id = *map.entry(*parent).or_insert_with(|| {
+                parents.push(*parent);
+                parents.len() - 1
+            });
+            Term::Var(id)
+        }
+        Term::Struct(name, args) => Term::Struct(
+            *name,
+            args.iter()
+                .map(|a| renumber_goal(a, map, parents))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Child-side answer renumbering: rewrites the child machine's unbound cell
+/// indices into a dense answer-local alphabet (shared across one arm's
+/// answers, preserving sharing).
+fn renumber_answer(term: &Term, map: &mut BTreeMap<usize, usize>) -> Term {
+    match term {
+        Term::Var(cell) => {
+            let next = map.len();
+            Term::Var(*map.entry(*cell).or_insert(next))
+        }
+        Term::Struct(name, args) => Term::Struct(
+            *name,
+            args.iter().map(|a| renumber_answer(a, map)).collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use granlog_engine::Machine;
+    use granlog_ir::parser::parse_program;
+
+    fn run(src: &str, query: &str, threads: usize, granularity: Granularity) -> ParOutcome {
+        let program = parse_program(src).unwrap();
+        let mut exec = ParExecutor::new(
+            &program,
+            ParConfig {
+                threads,
+                granularity,
+                ..ParConfig::default()
+            },
+        );
+        exec.run_query(query).unwrap()
+    }
+
+    const FIB: &str = r#"
+        fib(0, 0).
+        fib(1, 1).
+        fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                     fib(M1, N1) & fib(M2, N2), N is N1 + N2.
+    "#;
+
+    #[test]
+    fn parallel_fib_matches_sequential_answer() {
+        for threads in [1, 2, 4] {
+            let out = run(FIB, "fib(14, X)", threads, Granularity::AlwaysSpawn);
+            assert!(out.succeeded);
+            assert_eq!(out.binding("X").unwrap().to_string(), "377", "{threads}");
+            assert!(out.spawned_tasks > 0);
+        }
+    }
+
+    #[test]
+    fn granularity_off_runs_inline() {
+        let out = run(FIB, "fib(10, X)", 4, Granularity::Off);
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap().to_string(), "55");
+        assert_eq!(out.spawned_tasks, 0);
+    }
+
+    #[test]
+    fn granularity_on_inlines_small_conjunctions() {
+        // With modes declared, fib's cost is exponential in the int
+        // argument: small calls inline, the top calls spawn.
+        let src = ":- mode fib(+, -).\n".to_owned() + FIB;
+        let out = run(&src, "fib(14, X)", 2, Granularity::On);
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap().to_string(), "377");
+        assert!(out.inlined_conjunctions > 0, "small calls must inline");
+        assert!(out.spawned_tasks > 0, "big calls must spawn");
+        // Always-spawn pays the boundary on every level.
+        let all = run(&src, "fib(14, X)", 2, Granularity::AlwaysSpawn);
+        assert!(all.spawned_tasks > out.spawned_tasks);
+    }
+
+    #[test]
+    fn failing_arm_fails_the_conjunction() {
+        let src = r#"
+            ok(_).
+            both(X) :- ok(X) & fail.
+            one(X) :- ok(X) & ok(X).
+        "#;
+        assert!(!run(src, "both(1)", 2, Granularity::AlwaysSpawn).succeeded);
+        assert!(run(src, "one(1)", 2, Granularity::AlwaysSpawn).succeeded);
+    }
+
+    #[test]
+    fn dependent_arms_fall_back_to_inline_execution() {
+        // X is shared unbound between the arms: the independence check must
+        // force inline execution, making the outcome identical to the
+        // sequential engine's committed-arms semantics (here: p commits to
+        // X = 1, q(1) fails, so the conjunction fails — in both engines).
+        let src = r#"
+            p(1). p(2).
+            q(2).
+            s(X) :- p(X) & q(X).
+            t(X, Y) :- p(X) & p(Y).
+        "#;
+        let out = run(src, "s(X)", 2, Granularity::AlwaysSpawn);
+        let program = parse_program(src).unwrap();
+        let mut seq = Machine::new(&program);
+        let seq_out = seq.run_query("s(X)").unwrap();
+        assert_eq!(out.succeeded, seq_out.succeeded);
+        assert!(!out.succeeded);
+        assert_eq!(out.spawned_tasks, 0, "dependent arms must not spawn");
+        assert!(out.inlined_conjunctions > 0);
+        // Independent arms of the same shape do spawn.
+        let out = run(src, "t(X, Y)", 2, Granularity::AlwaysSpawn);
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap().to_string(), "1");
+        assert_eq!(out.binding("Y").unwrap().to_string(), "1");
+        assert_eq!(out.spawned_tasks, 2);
+    }
+
+    #[test]
+    fn answers_with_shared_fresh_variables_copy_back() {
+        // The spawned arm's answer leaves structure with unbound variables
+        // shared across two parent variables; the join must preserve the
+        // sharing.
+        let src = r#"
+            mk(f(Z), g(Z)).
+            go(A, B) :- mk(A, B) & mk(_, _).
+        "#;
+        let out = run(src, "go(A, B)", 2, Granularity::AlwaysSpawn);
+        assert!(out.succeeded);
+        let a = out.binding("A").unwrap().to_string();
+        let b = out.binding("B").unwrap().to_string();
+        // Both answers mention the *same* variable.
+        let va = a.trim_start_matches("f(").trim_end_matches(')');
+        let vb = b.trim_start_matches("g(").trim_end_matches(')');
+        assert_eq!(va, vb, "sharing lost: {a} vs {b}");
+    }
+
+    #[test]
+    fn errors_in_spawned_arms_propagate() {
+        let src = r#"
+            ok(_).
+            bad(X) :- ok(X) & undefined_pred(X).
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut exec = ParExecutor::new(
+            &program,
+            ParConfig {
+                threads: 2,
+                granularity: Granularity::AlwaysSpawn,
+                ..ParConfig::default()
+            },
+        );
+        let err = exec.run_query("bad(1)").unwrap_err();
+        assert!(matches!(err, EngineError::UnknownPredicate(_)), "{err}");
+    }
+
+    #[test]
+    fn executor_is_reusable_across_queries() {
+        let program = parse_program(FIB).unwrap();
+        let mut exec = ParExecutor::new(
+            &program,
+            ParConfig {
+                threads: 2,
+                granularity: Granularity::AlwaysSpawn,
+                ..ParConfig::default()
+            },
+        );
+        let a = exec.run_query("fib(10, X)").unwrap();
+        let b = exec.run_query("fib(8, X)").unwrap();
+        assert!(a.succeeded && b.succeeded);
+        assert_eq!(b.binding("X").unwrap().to_string(), "21");
+    }
+
+    #[test]
+    fn deep_nested_spawns_join_without_deadlock() {
+        // A left-leaning spawn chain deeper than the thread count: joiners
+        // must help-run pending jobs rather than block.
+        let src = r#"
+            chain(0).
+            chain(N) :- N > 0, N1 is N - 1, chain(N1) & true.
+        "#;
+        let out = run(src, "chain(64)", 2, Granularity::AlwaysSpawn);
+        assert!(out.succeeded);
+        assert_eq!(out.spawned_tasks, 128);
+    }
+}
