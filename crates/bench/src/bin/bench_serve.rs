@@ -1,0 +1,248 @@
+//! Emits `BENCH_serve.json`: throughput and latency of `granlog serve`
+//! under concurrent mixed load.
+//!
+//! ```text
+//! cargo run --release -p granlog-bench --bin bench_serve -- \
+//!     [--clients N] [--rounds N] [--small] [--steps N] [--quantum N] \
+//!     [--output PATH]
+//! ```
+//!
+//! An in-process server is started on an ephemeral port; `--clients`
+//! sessions (default 8) connect over real TCP and each runs `--rounds`
+//! passes (default 3) over the 15 benchmark programs in its own
+//! deterministic shuffle, re-`load`ing the program before every query the
+//! way independent tenants would — so the run exercises the shared
+//! template cache, the per-program machine pools and the quantum-sliced
+//! preemptible solve loop all at once. Every reply is checked (a failed or
+//! erroring query fails the run); per-query wall latencies feed the
+//! aggregate qps / p50 / p99 and the per-program rows of the snapshot.
+//! The run doubles as the CI smoke test: it asserts nonzero answers from
+//! every session and a clean server shutdown.
+
+use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark, Benchmark};
+use granlog_serve::{PoolConfig, ServeClient, ServeConfig, Server, SessionBudget};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured query: which program, how long, and how many preemption
+/// slices the server reported.
+struct Sample {
+    bench: usize,
+    latency_ms: f64,
+    slices: u64,
+}
+
+/// Deterministic per-client shuffle: a multiplicative LCG walks the
+/// program indices in a client-specific order, so the cache sees mixed
+/// interleavings without any global randomness source.
+fn shuffled_indices(len: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    for i in (1..order.len()).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        order.swap(i, (state >> 33) as usize % (i + 1));
+    }
+    order
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn client_run(
+    addr: std::net::SocketAddr,
+    benches: &[Benchmark],
+    queries: &[String],
+    client_id: usize,
+    rounds: usize,
+) -> Vec<Sample> {
+    let mut client = ServeClient::connect(addr).expect("client connect");
+    let mut samples = Vec::with_capacity(rounds * benches.len());
+    for round in 0..rounds {
+        for &idx in &shuffled_indices(benches.len(), (client_id * 31 + round + 1) as u64) {
+            let start = Instant::now();
+            client
+                .load(benches[idx].source)
+                .expect("io")
+                .expect("benchmark programs parse");
+            let reply = client
+                .query(&queries[idx])
+                .expect("io")
+                .unwrap_or_else(|e| panic!("client {client_id} {}: {e}", benches[idx].name));
+            let latency_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                reply.succeeded,
+                "client {client_id}: {} answered `no`",
+                benches[idx].name
+            );
+            samples.push(Sample {
+                bench: idx,
+                latency_ms,
+                slices: reply.slices,
+            });
+        }
+    }
+    client.quit().expect("clean quit");
+    samples
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let small = args.iter().any(|a| a == "--small");
+    let clients: usize = arg_value(&args, "--clients")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let rounds: usize = arg_value(&args, "--rounds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let steps: Option<u64> = arg_value(&args, "--steps").and_then(|v| v.parse().ok());
+    let quantum: u64 = arg_value(&args, "--quantum")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(SessionBudget::default().quantum);
+    let output = arg_value(&args, "--output").unwrap_or_else(|| "BENCH_serve.json".to_owned());
+
+    let benches: Vec<Benchmark> = all_benchmarks()
+        .into_iter()
+        .chain(std::iter::once(nrev_benchmark()))
+        .chain(control_benchmarks())
+        .collect();
+    let sizes: Vec<usize> = benches
+        .iter()
+        .map(|b| if small { b.test_size } else { b.default_size })
+        .collect();
+    let queries: Vec<String> = benches
+        .iter()
+        .zip(&sizes)
+        .map(|(b, &size)| b.query(size))
+        .collect();
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 64,
+        budget: SessionBudget {
+            steps,
+            heap_cells: None,
+            quantum,
+        },
+        machine_config: Default::default(),
+        pool: PoolConfig::default(),
+    })
+    .expect("server start");
+    let addr = server.addr();
+    eprintln!(
+        "[bench_serve] {clients} clients x {rounds} rounds over {} programs on {addr} \
+         (quantum {quantum}, steps {steps:?})",
+        benches.len()
+    );
+
+    let wall_start = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_id| {
+                let benches = &benches;
+                let queries = &queries;
+                scope.spawn(move || client_run(addr, benches, queries, client_id, rounds))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    let cache = server.cache().stats();
+    server.shutdown();
+
+    assert_eq!(
+        samples.len(),
+        clients * rounds * benches.len(),
+        "every session must answer every query"
+    );
+    let mut all_ms: Vec<f64> = samples.iter().map(|s| s.latency_ms).collect();
+    all_ms.sort_by(f64::total_cmp);
+    let qps = samples.len() as f64 / wall_s.max(1e-9);
+    let p50 = percentile(&all_ms, 0.50);
+    let p99 = percentile(&all_ms, 0.99);
+    let total_slices: u64 = samples.iter().map(|s| s.slices).sum();
+    eprintln!(
+        "[bench_serve] {} queries in {wall_s:.2} s: {qps:.0} qps, p50 {p50:.3} ms, \
+         p99 {p99:.3} ms, {total_slices} preemption slices",
+        samples.len()
+    );
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"granlog/bench-serve/v1\",");
+    let _ = writeln!(
+        json,
+        "  \"sizes\": \"{}\",",
+        if small { "small" } else { "default" }
+    );
+    let _ = writeln!(
+        json,
+        "  \"clients\": {clients}, \"rounds\": {rounds}, \"quantum\": {quantum}, \
+         \"step_budget\": {},",
+        steps.map_or("null".to_owned(), |s| s.to_string())
+    );
+    let _ = writeln!(
+        json,
+        "  \"host_threads\": {},",
+        std::thread::available_parallelism().map_or(0, usize::from)
+    );
+    let _ = writeln!(
+        json,
+        "  \"queries\": {}, \"wall_s\": {wall_s:.3}, \"qps\": {qps:.1}, \
+         \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"slices\": {total_slices},",
+        samples.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},",
+        cache.hits, cache.misses, cache.evictions, cache.entries
+    );
+    let _ = writeln!(json, "  \"programs\": [");
+    for (i, bench) in benches.iter().enumerate() {
+        let mut ms: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.bench == i)
+            .map(|s| s.latency_ms)
+            .collect();
+        ms.sort_by(f64::total_cmp);
+        let slices: u64 = samples
+            .iter()
+            .filter(|s| s.bench == i)
+            .map(|s| s.slices)
+            .sum();
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"label\": \"{}({})\", \"queries\": {}, \
+             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"slices\": {}}}{}",
+            bench.name,
+            bench.name,
+            sizes[i],
+            ms.len(),
+            percentile(&ms, 0.50),
+            percentile(&ms, 0.99),
+            slices,
+            if i + 1 < benches.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = write!(json, "}}");
+    std::fs::write(&output, &json).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
+    eprintln!("[bench_serve] wrote {output}");
+}

@@ -12,6 +12,7 @@ use granlog_analysis::CostMetric;
 use granlog_engine::{Machine, MachineConfig};
 use granlog_ir::{parser::parse_program, PredId, Program};
 use granlog_par::{Granularity, ParConfig, ParExecutor};
+use granlog_serve::{PoolConfig, ServeConfig, Server, SessionBudget};
 use granlog_sim::{simulate, OverheadModel, SimConfig};
 use std::fmt;
 use std::io::Write;
@@ -25,11 +26,18 @@ usage:
                    [--control | --no-control | --sequential]
                    [--threads N [--granularity on|off|always-spawn]]
   granlog ddg      <file.pl> <name/arity>
+  granlog serve    [--addr HOST:PORT] [--steps N] [--heap CELLS]
+                   [--quantum N] [--cache N]
 
 with --threads N the query executes on a real pool of N worker threads
 (measured wall-clock, granularity control as a runtime spawn decision);
 without it, execution is sequential and parallelism is *simulated* on
---processors P.";
+--processors P.
+
+serve starts a multi-tenant query service: one session per connection,
+compiled programs shared through a cache of --cache entries, each query
+bounded by the per-session budgets (--steps head attempts, --heap arena
+cells) and preempted every --quantum steps.";
 
 /// Errors surfaced to the user by the CLI.
 #[derive(Debug)]
@@ -93,6 +101,16 @@ struct Options {
     mode_explicit: bool,
     /// Was `--processors` passed explicitly?
     processors_explicit: bool,
+    /// `serve`: listen address.
+    addr: String,
+    /// `serve`: per-session step budget.
+    serve_steps: Option<u64>,
+    /// `serve`: per-session heap budget, in cells.
+    serve_heap: Option<usize>,
+    /// `serve`: preemption quantum, in steps.
+    quantum: u64,
+    /// `serve`: template-cache capacity, in programs.
+    cache: usize,
     positional: Vec<String>,
 }
 
@@ -113,6 +131,11 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         granularity: Granularity::On,
         mode_explicit: false,
         processors_explicit: false,
+        addr: "127.0.0.1:4517".to_string(),
+        serve_steps: None,
+        serve_heap: None,
+        quantum: SessionBudget::default().quantum,
+        cache: 64,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -170,6 +193,44 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     other => return Err(usage(&format!("unknown granularity mode {other:?}"))),
                 };
             }
+            "--addr" => {
+                let value = iter.next().ok_or_else(|| usage("--addr needs a value"))?;
+                options.addr = value.clone();
+            }
+            "--steps" => {
+                let value = iter.next().ok_or_else(|| usage("--steps needs a value"))?;
+                let steps: u64 = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid step budget {value:?}")))?;
+                options.serve_steps = Some(steps);
+            }
+            "--heap" => {
+                let value = iter.next().ok_or_else(|| usage("--heap needs a value"))?;
+                let cells: usize = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid heap budget {value:?}")))?;
+                options.serve_heap = Some(cells);
+            }
+            "--quantum" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--quantum needs a value"))?;
+                options.quantum = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid quantum {value:?}")))?;
+                if options.quantum == 0 {
+                    return Err(usage("--quantum must be at least 1"));
+                }
+            }
+            "--cache" => {
+                let value = iter.next().ok_or_else(|| usage("--cache needs a value"))?;
+                options.cache = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid cache capacity {value:?}")))?;
+                if options.cache == 0 {
+                    return Err(usage("--cache must be at least 1"));
+                }
+            }
             "--control" => {
                 options.mode = RunMode::Control;
                 options.mode_explicit = true;
@@ -212,6 +273,7 @@ pub fn run_cli(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "annotate" => cmd_annotate(&options, out),
         "run" => cmd_run(&options, out),
         "ddg" => cmd_ddg(&options, out),
+        "serve" => cmd_serve(&options, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -393,6 +455,31 @@ fn cmd_run_parallel(
         outcome.spawned_tasks,
         outcome.inlined_conjunctions
     )?;
+    Ok(())
+}
+
+/// `granlog serve`: run the multi-tenant query service until a client sends
+/// `shutdown`. The listening line is printed (and flushed) before blocking,
+/// so scripts can scrape the bound port even when `--addr` asked for port 0.
+fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
+    if !options.positional.is_empty() {
+        return Err(usage("serve takes no positional arguments"));
+    }
+    let handle = Server::start(ServeConfig {
+        addr: options.addr.clone(),
+        cache_capacity: options.cache,
+        budget: SessionBudget {
+            steps: options.serve_steps,
+            heap_cells: options.serve_heap,
+            quantum: options.quantum,
+        },
+        machine_config: MachineConfig::default(),
+        pool: PoolConfig::default(),
+    })?;
+    writeln!(out, "listening on {}", handle.addr())?;
+    out.flush()?;
+    handle.wait();
+    writeln!(out, "server stopped")?;
     Ok(())
 }
 
@@ -622,6 +709,89 @@ mod tests {
         ));
         let help = run(&["help"]).unwrap();
         assert!(help.contains("usage"));
+    }
+
+    /// A `Write` sink the serve thread and the test can share.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn serve_answers_a_scripted_session_and_shuts_down() {
+        let out = SharedBuf::default();
+        let mut thread_out = out.clone();
+        let server = std::thread::spawn(move || {
+            let args: Vec<String> = ["serve", "--addr", "127.0.0.1:0", "--steps", "4000"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            run_cli(&args, &mut thread_out)
+        });
+        // Scrape the bound port from the listening line.
+        let addr = loop {
+            if let Some(line) = out
+                .contents()
+                .lines()
+                .find_map(|l| l.strip_prefix("listening on ").map(str::to_string))
+            {
+                break line;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        let mut client = granlog_serve::ServeClient::connect(&addr).unwrap();
+        client.load(NREV).unwrap().unwrap();
+        let reply = client
+            .query("nrev([1,2,3], R)")
+            .unwrap()
+            .expect("query must succeed");
+        assert!(reply.succeeded);
+        assert_eq!(reply.bindings, vec![("R".into(), "[3,2,1]".into())]);
+        // The session budget is enforced over the serve path too.
+        let err = client
+            .query(
+                "nrev([1,2,3,4,5,6,7,8,9,10,1,2,3,4,5,6,7,8,9,10,\
+                    1,2,3,4,5,6,7,8,9,10,1,2,3,4,5,6,7,8,9,10,\
+                    1,2,3,4,5,6,7,8,9,10,1,2,3,4,5,6,7,8,9,10,\
+                    1,2,3,4,5,6,7,8,9,10,1,2,3,4,5,6,7,8,9,10,\
+                    1,2,3,4,5,6,7,8,9,10,1,2,3,4,5,6,7,8,9,10], R)",
+            )
+            .unwrap()
+            .expect_err("a 100-element nrev must blow a 4000-step budget");
+        assert!(err.contains("budget"), "{err}");
+        client.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+        assert!(out.contents().contains("server stopped"));
+    }
+
+    #[test]
+    fn serve_rejects_bad_flags() {
+        assert!(matches!(
+            run(&["serve", "--quantum", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--cache", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "stray.pl"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! granlog annotate <file.pl> [--overhead W]
 //! granlog run      <file.pl> <query> [--processors P] [--overhead W] [--control|--no-control|--sequential]
 //! granlog ddg      <file.pl> <name/arity>
+//! granlog serve    [--addr HOST:PORT] [--steps N] [--heap CELLS] [--quantum N] [--cache N]
 //! ```
 //!
 //! * `analyze` prints the per-predicate report: modes, measures, argument-size
@@ -14,6 +15,9 @@
 //! * `run` executes a query and reports the answer, the operation counts and
 //!   the simulated parallel execution time on a P-processor machine.
 //! * `ddg` prints the data dependency graphs of a predicate's clauses.
+//! * `serve` starts the multi-tenant query service: concurrent sessions over
+//!   a shared compiled-template cache, per-session step/heap budgets enforced
+//!   through the engine's preemptible solve loop.
 
 use granlog_cli::{run_cli, CliError};
 use std::process::ExitCode;

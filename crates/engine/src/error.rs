@@ -3,6 +3,17 @@
 use granlog_ir::{PredId, Term};
 use std::fmt;
 
+/// The budget resource that ran out (see `Budget` in the machine module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// Head-unification attempts (the engine's step currency).
+    Steps,
+    /// Arena heap occupancy, in cells.
+    HeapCells,
+    /// Wall-clock time.
+    Wall,
+}
+
 /// An error produced while executing a query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
@@ -25,6 +36,15 @@ pub enum EngineError {
     },
     /// A goal was not callable (e.g. an unbound variable or a number).
     NotCallable(Term),
+    /// A non-preemptible solve budget was exhausted (see `Budget`): the run
+    /// state has been unwound (arena truncated, trail empty) and the machine
+    /// is immediately reusable for the next query.
+    BudgetExceeded {
+        /// Which resource ran out.
+        resource: BudgetKind,
+        /// The configured limit: steps, cells, or milliseconds.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -38,6 +58,13 @@ impl fmt::Display for EngineError {
                 write!(f, "type error in {builtin}: {message}")
             }
             EngineError::NotCallable(t) => write!(f, "goal is not callable: {t}"),
+            EngineError::BudgetExceeded { resource, limit } => match resource {
+                BudgetKind::Steps => {
+                    write!(f, "step budget of {limit} head attempts exceeded")
+                }
+                BudgetKind::HeapCells => write!(f, "heap budget of {limit} cells exceeded"),
+                BudgetKind::Wall => write!(f, "wall-clock budget of {limit} ms exceeded"),
+            },
         }
     }
 }
@@ -68,5 +95,21 @@ mod tests {
         assert!(e.to_string().contains("functor"));
         let e = EngineError::DepthLimit(5);
         assert!(e.to_string().contains('5'));
+        let e = EngineError::BudgetExceeded {
+            resource: BudgetKind::Steps,
+            limit: 128,
+        };
+        assert!(e.to_string().contains("step budget"));
+        assert!(e.to_string().contains("128"));
+        let e = EngineError::BudgetExceeded {
+            resource: BudgetKind::HeapCells,
+            limit: 4096,
+        };
+        assert!(e.to_string().contains("heap budget"));
+        let e = EngineError::BudgetExceeded {
+            resource: BudgetKind::Wall,
+            limit: 250,
+        };
+        assert!(e.to_string().contains("wall-clock"));
     }
 }

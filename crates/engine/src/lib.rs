@@ -28,7 +28,12 @@
 //!   the granularity-control transformation, charged with a cost proportional
 //!   to the traversal it performs;
 //! * configurable cost models ([`CostModel`]) and per-operation counters
-//!   ([`Counters`]).
+//!   ([`Counters`]);
+//! * a **preemptible** solve loop: [`machine::Budget`] bounds a slice by
+//!   steps, arena cells or wall clock, and the machine either yields a
+//!   resumable [`machine::SolveToken`] or raises a typed
+//!   [`EngineError::BudgetExceeded`] — the substrate of the `granlog serve`
+//!   multi-tenant query service.
 //!
 //! # Example
 //!
@@ -61,9 +66,11 @@ pub mod tasktree;
 pub mod template;
 
 pub use cost::{CostModel, Counters};
-pub use error::{EngineError, EngineResult};
+pub use error::{BudgetKind, EngineError, EngineResult};
 pub use heap::HCell;
-pub use machine::{ClauseSelection, Machine, MachineConfig, MachineStats, QueryOutcome};
+pub use machine::{
+    Budget, ClauseSelection, Machine, MachineConfig, MachineStats, QueryOutcome, Solve, SolveToken,
+};
 pub use par::{ArmAnswer, ParDecision, ParHook};
 pub use tasktree::{ForkSpan, Segment, Task, TaskId, TaskRecorder, TaskTree};
 pub use template::{Cell, ClauseTemplate, Seq, Step};

@@ -52,7 +52,7 @@
 
 use crate::builtins::{self, Builtin};
 use crate::cost::{CostModel, Counters};
-use crate::error::{EngineError, EngineResult};
+use crate::error::{BudgetKind, EngineError, EngineResult};
 use crate::heap::HCell;
 use crate::par::{CellGuard, CellGuards, GuardMeasure, ParDecision, ParHook};
 use crate::tasktree::{TaskId, TaskRecorder, TaskTree};
@@ -60,6 +60,7 @@ use crate::template::{Cell, ClauseTemplate, Seq, Step};
 use granlog_ir::symbol::well_known::{self, WellKnownSymbols};
 use granlog_ir::{parser, ClauseId, FastMap, IndexKey, PredId, Predicate, Program, Symbol, Term};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How candidate clauses are selected for a user-predicate call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +101,160 @@ impl Default for MachineConfig {
             clause_selection: ClauseSelection::Indexed,
         }
     }
+}
+
+/// A resource budget for one solve *slice* (see [`Machine::solve_goal`]).
+///
+/// Budgets are checked at **resolution boundaries** — the top of the solve
+/// loop, between goals — where every machine structure (arena, goal stack,
+/// trail, choice points, barriers) is in a consistent state. A slice may
+/// therefore overshoot a limit by the work of one goal execution (at most
+/// one clause activation's worth of head attempts and arena growth) before
+/// the check fires; the checks only *read* the operation counters, so
+/// budgeted-and-resumed runs stay counter-identical to uninterrupted ones.
+///
+/// Exhausting `steps` or `wall` on a `preemptible` budget yields a resumable
+/// [`SolveToken`]; on a non-preemptible budget it is a typed
+/// [`EngineError::BudgetExceeded`]. Exhausting `heap_cells` is **always** the
+/// typed error — waiting cannot reclaim memory, so there is nothing useful a
+/// resume could do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum head-unification attempts (the engine's step currency) this
+    /// slice may perform before it ends; `None` is unlimited. Clamped to at
+    /// least 1 so every slice makes progress.
+    pub steps: Option<u64>,
+    /// Maximum arena occupancy in cells (an absolute bound on the term heap,
+    /// not a per-slice delta); `None` is unlimited.
+    pub heap_cells: Option<usize>,
+    /// Wall-clock allowance for this slice; `None` is unlimited. Polled
+    /// every few hundred resolutions, so enforcement granularity is coarser
+    /// than for `steps`.
+    pub wall: Option<Duration>,
+    /// Whether exhausting `steps`/`wall` suspends the solve
+    /// ([`Solve::Yield`]) instead of erroring.
+    pub preemptible: bool,
+}
+
+impl Budget {
+    /// No limits: the solve runs to completion, as [`Machine::run_goal`]
+    /// always has.
+    pub const UNLIMITED: Budget = Budget {
+        steps: None,
+        heap_cells: None,
+        wall: None,
+        preemptible: false,
+    };
+
+    /// A preemptible slice of `n` steps — the quantum of a scheduler that
+    /// interleaves many queries on one machine pool.
+    pub fn steps(n: u64) -> Budget {
+        Budget {
+            steps: Some(n),
+            preemptible: true,
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// A hard (non-preemptible) limit of `n` steps: exhaustion is
+    /// [`EngineError::BudgetExceeded`], and the machine unwinds to an empty
+    /// run state.
+    pub fn hard_steps(n: u64) -> Budget {
+        Budget {
+            steps: Some(n),
+            ..Budget::UNLIMITED
+        }
+    }
+
+    /// A hard arena bound of `cells`; exhaustion is always an error.
+    pub fn heap_cells(cells: usize) -> Budget {
+        Budget {
+            heap_cells: Some(cells),
+            ..Budget::UNLIMITED
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::UNLIMITED
+    }
+}
+
+/// What a budgeted solve slice produced: the finished outcome, or a token to
+/// resume with.
+#[must_use = "a yielded solve holds machine state; resume it or start a new query"]
+#[derive(Debug)]
+pub enum Solve {
+    /// The query ran to completion (success or failure) within the budget.
+    Done(QueryOutcome),
+    /// The budget ran out first; the machine is suspended mid-solve and
+    /// [`Machine::resume`] continues it.
+    Yield(SolveToken),
+}
+
+impl Solve {
+    /// The finished outcome, if the slice completed.
+    pub fn into_done(self) -> Option<QueryOutcome> {
+        match self {
+            Solve::Done(outcome) => Some(outcome),
+            Solve::Yield(_) => None,
+        }
+    }
+}
+
+/// Proof of a suspended solve, issued by [`Solve::Yield`] and consumed by
+/// [`Machine::resume`]. Deliberately neither `Clone` nor `Copy`: there is
+/// exactly one live token per suspended solve, and starting a new query
+/// invalidates it (resuming with a stale token is an error, not corruption).
+#[must_use = "a suspended solve must be resumed (or superseded by a new query)"]
+#[derive(Debug)]
+pub struct SolveToken {
+    /// The solve generation this token belongs to.
+    gen: u64,
+}
+
+/// A [`Budget`] lowered to absolute thresholds for one slice, precomputed so
+/// the solve loop's budget check is a guarded pair of integer compares.
+struct SliceLimits {
+    /// Any limit set at all? `false` makes the whole check one branch.
+    active: bool,
+    /// Absolute `counters.head_attempts` value at which the slice ends.
+    step_target: u64,
+    /// The budget's step count, for error reporting.
+    steps_limit: u64,
+    /// Absolute arena-size bound in cells.
+    heap_limit: usize,
+    /// Wall-clock deadline of the slice.
+    deadline: Option<Instant>,
+    /// The budget's wall allowance in ms, for error reporting.
+    wall_ms: u64,
+    preemptible: bool,
+}
+
+impl SliceLimits {
+    fn new(budget: &Budget, counters: &Counters) -> SliceLimits {
+        SliceLimits {
+            active: budget.steps.is_some() || budget.heap_cells.is_some() || budget.wall.is_some(),
+            step_target: match budget.steps {
+                Some(n) => counters.head_attempts.saturating_add(n.max(1)),
+                None => u64::MAX,
+            },
+            steps_limit: budget.steps.unwrap_or(u64::MAX),
+            heap_limit: budget.heap_cells.unwrap_or(usize::MAX),
+            deadline: budget.wall.map(|allowance| Instant::now() + allowance),
+            wall_ms: budget.wall.map(|d| d.as_millis() as u64).unwrap_or(0),
+            preemptible: budget.preemptible,
+        }
+    }
+}
+
+/// What [`Machine::run`] returned control for.
+enum RunState {
+    /// The query finished with this success flag.
+    Done(bool),
+    /// A preemptible budget ran out at a resolution boundary.
+    Suspended,
 }
 
 /// The outcome of running a query.
@@ -343,6 +498,16 @@ pub struct Machine<'p> {
     pub(crate) counters: Counters,
     recorder: TaskRecorder,
     stats: MachineStats,
+    /// Names of the current query's variables, kept on the machine (rather
+    /// than a native frame) so the answer can be extracted after any number
+    /// of preemption slices.
+    query_vars: Vec<Symbol>,
+    /// Monotonic solve generation: a [`SolveToken`] is valid only for the
+    /// generation that issued it, so tokens leaked across queries are
+    /// rejected instead of resuming the wrong solve.
+    solve_gen: u64,
+    /// Whether a preempted solve is in flight (a token is outstanding).
+    suspended: bool,
 }
 
 impl<'p> Machine<'p> {
@@ -414,6 +579,9 @@ impl<'p> Machine<'p> {
             counters: Counters::default(),
             recorder: TaskRecorder::new(),
             stats: MachineStats::default(),
+            query_vars: Vec::new(),
+            solve_gen: 0,
+            suspended: false,
         }
     }
 
@@ -485,6 +653,145 @@ impl<'p> Machine<'p> {
         var_names: &[Symbol],
         hook: Option<&dyn ParHook>,
     ) -> EngineResult<QueryOutcome> {
+        match self.solve_goal(goal, var_names, hook, &Budget::UNLIMITED)? {
+            Solve::Done(outcome) => Ok(outcome),
+            Solve::Yield(_) => unreachable!("an unlimited budget never yields"),
+        }
+    }
+
+    /// Starts a **budgeted** solve of an already-parsed goal: like
+    /// [`Machine::run_goal_par`], but execution stops when `budget` runs out.
+    /// A preemptible budget returns [`Solve::Yield`] with a token that
+    /// [`Machine::resume`] continues from — arena, goal stack, trail and
+    /// barrier stack all stay live on the machine between slices, so a
+    /// resumed solve is *the same computation*, producing bit-identical
+    /// answers, counters and task trees to an uninterrupted run.
+    ///
+    /// Starting a new solve invalidates any outstanding [`SolveToken`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution hits a limit, a runtime error, or
+    /// exhausts a non-preemptible budget ([`EngineError::BudgetExceeded`]).
+    /// On any error the run state is unwound eagerly: the arena is truncated
+    /// to empty, the trail emptied, and the machine is immediately reusable.
+    pub fn solve_goal(
+        &mut self,
+        goal: &Term,
+        var_names: &[Symbol],
+        hook: Option<&dyn ParHook>,
+        budget: &Budget,
+    ) -> EngineResult<Solve> {
+        self.reset_run_state();
+        self.counters = Counters::default();
+        self.recorder = TaskRecorder::new();
+        self.stats = MachineStats::default();
+        self.solve_gen += 1;
+        self.query_vars.clear();
+        self.query_vars.extend_from_slice(var_names);
+
+        // Query variables occupy the bottom of the arena, so their cell
+        // indices double as binding-table slots for answer extraction.
+        let nvars = var_names.len().max(goal.var_bound());
+        for i in 0..nvars {
+            self.heap.push(HCell::unbound(i));
+        }
+        let root = self.write_ir(goal, 0);
+        self.push_goal(Goal::Cell(root))?;
+        self.drive(hook, budget)
+    }
+
+    /// Continues a solve suspended by [`Solve::Yield`], under a fresh slice
+    /// budget. `hook` must be the same parallel hook (or `None`) the solve
+    /// was started with — the machine does not retain it across slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `token` is stale (the suspended solve it belonged
+    /// to was superseded by a new query), or under the same conditions as
+    /// [`Machine::solve_goal`].
+    pub fn resume(
+        &mut self,
+        token: SolveToken,
+        hook: Option<&dyn ParHook>,
+        budget: &Budget,
+    ) -> EngineResult<Solve> {
+        if !self.suspended || token.gen != self.solve_gen {
+            return Err(EngineError::TypeError {
+                builtin: "resume",
+                message: "stale solve token: no matching suspended solve".into(),
+            });
+        }
+        self.suspended = false;
+        self.drive(hook, budget)
+    }
+
+    /// Whether a preempted solve is in flight (a [`SolveToken`] is
+    /// outstanding and the only way forward on this machine is
+    /// [`Machine::resume`] or a new query).
+    pub fn is_suspended(&self) -> bool {
+        self.suspended
+    }
+
+    /// Current arena occupancy in cells. After a successful solve the answer
+    /// terms live here until the next query; after an engine error the run
+    /// state has been unwound and this is 0.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Current binding-trail length. 0 after an engine error (the unwind
+    /// empties the trail).
+    pub fn trail_len(&self) -> usize {
+        self.trail.len()
+    }
+
+    /// Runs one budget slice of the current solve and packages the result:
+    /// the outcome when the query finishes, a token when the budget
+    /// preempts it first, and an eagerly-unwound machine on error.
+    fn drive(&mut self, hook: Option<&dyn ParHook>, budget: &Budget) -> EngineResult<Solve> {
+        let limits = SliceLimits::new(budget, &self.counters);
+        match self.run(hook, &limits) {
+            Ok(RunState::Done(succeeded)) => {
+                self.note_heap_high_water();
+                self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
+                let bindings = self
+                    .query_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| (*name, self.resolve_idx(i)))
+                    .collect();
+                Ok(Solve::Done(QueryOutcome {
+                    succeeded,
+                    bindings,
+                    counters: self.counters,
+                    work: self.config.cost_model.work(&self.counters),
+                    task_tree: std::mem::take(&mut self.recorder).into_tree(),
+                }))
+            }
+            Ok(RunState::Suspended) => {
+                self.suspended = true;
+                Ok(Solve::Yield(SolveToken {
+                    gen: self.solve_gen,
+                }))
+            }
+            Err(e) => {
+                // Errors unwind eagerly: truncate the arena and empty the
+                // trail *now*, so an erroring query can never leave a large
+                // heap pinned while the machine sits idle in a pool.
+                self.reset_run_state();
+                Err(e)
+            }
+        }
+    }
+
+    /// Clears every per-run machine structure (arena, trail, goal stack and
+    /// trail, choice points, barriers, scratch), folding their sizes into
+    /// the high-water stats first. Counters, recorder and stats survive —
+    /// the start of a new solve resets those separately.
+    fn reset_run_state(&mut self) {
+        self.note_heap_high_water();
+        self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
         self.heap.clear();
         self.trail.clear();
         self.goal_top = 0;
@@ -495,34 +802,7 @@ impl<'p> Machine<'p> {
         self.base_goal = 0;
         self.base_cp = 0;
         self.arm_scratch.clear();
-        self.counters = Counters::default();
-        self.recorder = TaskRecorder::new();
-        self.stats = MachineStats::default();
-
-        // Query variables occupy the bottom of the arena, so their cell
-        // indices double as binding-table slots for answer extraction.
-        let nvars = var_names.len().max(goal.var_bound());
-        for i in 0..nvars {
-            self.heap.push(HCell::unbound(i));
-        }
-        let root = self.write_ir(goal, 0);
-        self.push_goal(Goal::Cell(root))?;
-        let succeeded = self.run(hook)?;
-        self.note_heap_high_water();
-        self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
-
-        let bindings = var_names
-            .iter()
-            .enumerate()
-            .map(|(i, name)| (*name, self.resolve_idx(i)))
-            .collect();
-        Ok(QueryOutcome {
-            succeeded,
-            bindings,
-            counters: self.counters,
-            work: self.config.cost_model.work(&self.counters),
-            task_tree: std::mem::take(&mut self.recorder).into_tree(),
-        })
+        self.suspended = false;
     }
 
     // ------------------------------------------------------------------
@@ -1219,22 +1499,65 @@ impl<'p> Machine<'p> {
     ///
     /// This is the whole engine: barriers and choice points are explicit
     /// records, so no native Rust frame is consumed per control nesting
-    /// level, per resolution, or per backtrack.
-    fn run(&mut self, hook: Option<&dyn ParHook>) -> EngineResult<bool> {
-        // One refcount bump per query: the template array is immutable for
+    /// level, per resolution, or per backtrack. Because *all* solve state
+    /// lives on the machine, the loop can return at any resolution boundary
+    /// and be re-entered later — which is exactly what a preempted slice
+    /// does.
+    fn run(&mut self, hook: Option<&dyn ParHook>, limits: &SliceLimits) -> EngineResult<RunState> {
+        // One refcount bump per slice: the template array is immutable for
         // the machine's lifetime, so the solve loop borrows it once instead
         // of re-cloning per clause activation.
         let templates = Arc::clone(&self.templates);
         let wk = well_known::get();
+        // Wall-clock is polled once per this many loop iterations; steps and
+        // heap are exact integer compares checked every iteration.
+        const WALL_POLL_MASK: u32 = 0x3FF;
+        let mut iter: u32 = 0;
         loop {
             // Sub-solve completion: the goal stack is back down to the
-            // innermost barrier's base (or the query's — done).
+            // innermost barrier's base (or the query's — done). Checked
+            // before the budget, so a query that finishes exactly as its
+            // budget runs out completes rather than yields.
             while self.goal_top == self.base_goal {
                 if self.barriers.is_empty() {
-                    return Ok(true);
+                    return Ok(RunState::Done(true));
                 }
                 if !self.barrier_done(&templates)? && !self.fail(&templates)? {
-                    return Ok(false);
+                    return Ok(RunState::Done(false));
+                }
+            }
+            // Budget checks, at the resolution boundary only: every machine
+            // structure is consistent between goals, so a yield here can
+            // resume and a budget error can unwind without half-built state.
+            // The checks read the counters and never write them — budgeted
+            // runs stay counter-identical to unbudgeted ones.
+            if limits.active {
+                if self.counters.head_attempts >= limits.step_target {
+                    if limits.preemptible {
+                        return Ok(RunState::Suspended);
+                    }
+                    return Err(EngineError::BudgetExceeded {
+                        resource: BudgetKind::Steps,
+                        limit: limits.steps_limit,
+                    });
+                }
+                if self.heap.len() > limits.heap_limit {
+                    return Err(EngineError::BudgetExceeded {
+                        resource: BudgetKind::HeapCells,
+                        limit: limits.heap_limit as u64,
+                    });
+                }
+                if let Some(deadline) = limits.deadline {
+                    iter = iter.wrapping_add(1);
+                    if iter & WALL_POLL_MASK == 0 && Instant::now() >= deadline {
+                        if limits.preemptible {
+                            return Ok(RunState::Suspended);
+                        }
+                        return Err(EngineError::BudgetExceeded {
+                            resource: BudgetKind::Wall,
+                            limit: limits.wall_ms,
+                        });
+                    }
                 }
             }
             self.goal_top -= 1;
@@ -1243,7 +1566,7 @@ impl<'p> Machine<'p> {
                 Goal::Step(step) => self.exec_step(&templates, step, wk, hook)?,
             };
             if !ok && !self.fail(&templates)? {
-                return Ok(false);
+                return Ok(RunState::Done(false));
             }
         }
     }
@@ -2455,6 +2778,158 @@ mod tests {
         // color/1 keeps a clause choice point open while nice/1 fails twice.
         assert!(stats.max_choice_depth >= 1);
         assert!(stats.trail_high_water >= 1);
+    }
+
+    #[test]
+    fn preempted_solve_resumes_to_identical_outcome() {
+        let src = r#"
+            fib(0, 0).
+            fib(1, 1).
+            fib(M, N) :- M > 1, M1 is M - 1, M2 is M - 2,
+                         fib(M1, N1), fib(M2, N2), N is N1 + N2.
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        let full = machine.run_query("fib(12, X)").unwrap();
+
+        let (goal, vars) = granlog_ir::parser::parse_term("fib(12, X)").unwrap();
+        let mut slices = 1usize;
+        let budget = Budget::steps(17);
+        let mut state = machine.solve_goal(&goal, &vars, None, &budget).unwrap();
+        let sliced = loop {
+            match state {
+                Solve::Done(outcome) => break outcome,
+                Solve::Yield(token) => {
+                    assert!(machine.is_suspended());
+                    slices += 1;
+                    state = machine.resume(token, None, &budget).unwrap();
+                }
+            }
+        };
+        assert!(slices > 10, "a 17-step quantum must actually preempt");
+        assert_eq!(full.succeeded, sliced.succeeded);
+        assert_eq!(full.bindings, sliced.bindings);
+        assert_eq!(full.counters, sliced.counters);
+        assert_eq!(full.work, sliced.work);
+    }
+
+    #[test]
+    fn finishing_on_the_budget_boundary_completes_instead_of_yielding() {
+        let program = parse_program("p(1).").unwrap();
+        let mut machine = Machine::new(&program);
+        let (goal, vars) = granlog_ir::parser::parse_term("p(X)").unwrap();
+        // One head attempt finishes the query exactly as the quantum ends.
+        match machine
+            .solve_goal(&goal, &vars, None, &Budget::steps(1))
+            .unwrap()
+        {
+            Solve::Done(outcome) => assert!(outcome.succeeded),
+            Solve::Yield(_) => panic!("completed query must not yield"),
+        }
+    }
+
+    #[test]
+    fn hard_step_budget_errors_and_unwinds() {
+        let program = parse_program("loop :- loop.").unwrap();
+        let mut machine = Machine::new(&program);
+        let (goal, vars) = granlog_ir::parser::parse_term("loop").unwrap();
+        let err = machine
+            .solve_goal(&goal, &vars, None, &Budget::hard_steps(100))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::BudgetExceeded {
+                resource: BudgetKind::Steps,
+                limit: 100
+            }
+        );
+        // The unwind truncated the arena and emptied the trail, and the
+        // machine answers the next query normally.
+        assert_eq!(machine.heap_len(), 0);
+        assert_eq!(machine.trail_len(), 0);
+        assert!(!machine.is_suspended());
+    }
+
+    #[test]
+    fn heap_budget_is_always_a_hard_error() {
+        let src = r#"
+            build(0, []).
+            build(N, [N|T]) :- N > 0, N1 is N - 1, build(N1, T).
+        "#;
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        let (goal, vars) = granlog_ir::parser::parse_term("build(10000, L)").unwrap();
+        // Preemptible budget — but heap exhaustion must still error, since
+        // waiting cannot reclaim memory.
+        let budget = Budget {
+            heap_cells: Some(512),
+            preemptible: true,
+            ..Budget::UNLIMITED
+        };
+        let err = machine.solve_goal(&goal, &vars, None, &budget).unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                resource: BudgetKind::HeapCells,
+                ..
+            }
+        ));
+        assert_eq!(machine.heap_len(), 0);
+        assert_eq!(machine.trail_len(), 0);
+        let out = machine.run_query("build(3, L)").unwrap();
+        assert!(out.succeeded);
+    }
+
+    #[test]
+    fn stale_tokens_are_rejected() {
+        let src = "count(0). count(N) :- N > 0, N1 is N - 1, count(N1).";
+        let program = parse_program(src).unwrap();
+        let mut machine = Machine::new(&program);
+        let (goal, vars) = granlog_ir::parser::parse_term("count(1000)").unwrap();
+        let token = match machine
+            .solve_goal(&goal, &vars, None, &Budget::steps(5))
+            .unwrap()
+        {
+            Solve::Yield(token) => token,
+            Solve::Done(_) => panic!("a 5-step quantum cannot finish count(1000)"),
+        };
+        // A new query supersedes the suspended solve; the old token must
+        // fail loudly instead of resuming the wrong computation.
+        let out = machine.run_query("count(3)").unwrap();
+        assert!(out.succeeded);
+        let err = machine.resume(token, None, &Budget::UNLIMITED).unwrap_err();
+        assert!(err.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn wall_budget_preempts_long_runs() {
+        let program = parse_program("loop :- loop.").unwrap();
+        let mut machine = Machine::new(&program);
+        let (goal, vars) = granlog_ir::parser::parse_term("loop").unwrap();
+        let budget = Budget {
+            wall: Some(Duration::from_millis(5)),
+            preemptible: true,
+            ..Budget::UNLIMITED
+        };
+        match machine.solve_goal(&goal, &vars, None, &budget).unwrap() {
+            Solve::Yield(token) => {
+                // And a non-preemptible wall budget errors on resume.
+                let hard = Budget {
+                    wall: Some(Duration::from_millis(5)),
+                    preemptible: false,
+                    ..Budget::UNLIMITED
+                };
+                let err = machine.resume(token, None, &hard).unwrap_err();
+                assert!(matches!(
+                    err,
+                    EngineError::BudgetExceeded {
+                        resource: BudgetKind::Wall,
+                        ..
+                    }
+                ));
+            }
+            Solve::Done(_) => panic!("loop/0 cannot complete"),
+        }
     }
 
     #[test]

@@ -77,7 +77,9 @@ use granlog_analysis::guard::{PredGuard, SpawnGuards};
 use granlog_analysis::pipeline::{analyze_program, AnalysisOptions};
 use granlog_analysis::Measure;
 use granlog_engine::par::{ArmAnswer, CellGuard, CellGuards, GuardMeasure, ParDecision, ParHook};
-use granlog_engine::{ClauseTemplate, Counters, EngineError, EngineResult, Machine, MachineConfig};
+use granlog_engine::{
+    Budget, ClauseTemplate, Counters, EngineError, EngineResult, Machine, MachineConfig, Solve,
+};
 use granlog_ir::{parser, Program, Symbol, Term};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -500,6 +502,33 @@ impl<'p> ParExecutor<'p> {
     /// Returns an error if execution hits a limit or runtime error on any
     /// machine.
     pub fn run_goal(&mut self, goal: &Term, var_names: &[Symbol]) -> EngineResult<ParOutcome> {
+        let (outcome, _slices) = self.run_goal_budgeted(goal, var_names, &Budget::UNLIMITED)?;
+        Ok(outcome)
+    }
+
+    /// [`ParExecutor::run_goal`] under a per-slice [`Budget`]: the calling
+    /// thread's top-level machine runs in budget slices, resuming after each
+    /// [`Solve::Yield`] while the scoped workers stay alive across slices.
+    /// Spawned arms run to completion on their workers (an arm is joined
+    /// synchronously at its fork, so a yield can never strand one); the
+    /// budget throttles and bounds the *root* computation. Returns the
+    /// outcome plus the number of slices the solve took (1 = never
+    /// preempted).
+    ///
+    /// Since parallel execution is deterministic here (in-order join, one
+    /// query at a time), a budgeted run produces bit-identical answers and
+    /// counters to an unbudgeted run of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if execution hits a limit, a runtime error on any
+    /// machine, or exhausts a non-preemptible budget.
+    pub fn run_goal_budgeted(
+        &mut self,
+        goal: &Term,
+        var_names: &[Symbol],
+        budget: &Budget,
+    ) -> EngineResult<(ParOutcome, usize)> {
         self.shared.done.store(false, Ordering::Release);
         self.shared.spawned.store(0, Ordering::Relaxed);
         self.shared.inlined.store(0, Ordering::Relaxed);
@@ -508,25 +537,39 @@ impl<'p> ParExecutor<'p> {
         // program with `&` in it, run in a mode that installs the hook.
         let spawns_possible = self.has_par && shared.granularity != Granularity::Off;
         let workers = if spawns_possible { self.threads - 1 } else { 0 };
-        let outcome = std::thread::scope(|scope| {
+        let (outcome, slices) = std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| shared.worker_loop());
             }
             let hook = (shared.granularity != Granularity::Off).then_some(shared as &dyn ParHook);
             let mut machine = shared.acquire_machine();
-            let outcome = machine.run_goal_par(goal, var_names, hook);
+            let mut slices = 1usize;
+            let mut state = machine.solve_goal(goal, var_names, hook, budget);
+            let outcome = loop {
+                match state {
+                    Ok(Solve::Done(outcome)) => break Ok(outcome),
+                    Ok(Solve::Yield(token)) => {
+                        slices += 1;
+                        state = machine.resume(token, hook, budget);
+                    }
+                    Err(e) => break Err(e),
+                }
+            };
             shared.release_machine(machine);
             shared.finish();
-            outcome
+            outcome.map(|outcome| (outcome, slices))
         })?;
-        Ok(ParOutcome {
-            succeeded: outcome.succeeded,
-            bindings: outcome.bindings,
-            counters: outcome.counters,
-            work: outcome.work,
-            spawned_tasks: self.shared.spawned.load(Ordering::Relaxed),
-            inlined_conjunctions: self.shared.inlined.load(Ordering::Relaxed),
-        })
+        Ok((
+            ParOutcome {
+                succeeded: outcome.succeeded,
+                bindings: outcome.bindings,
+                counters: outcome.counters,
+                work: outcome.work,
+                spawned_tasks: self.shared.spawned.load(Ordering::Relaxed),
+                inlined_conjunctions: self.shared.inlined.load(Ordering::Relaxed),
+            },
+            slices,
+        ))
     }
 }
 
@@ -775,6 +818,50 @@ mod tests {
         let b = exec.run_query("fib(8, X)").unwrap();
         assert!(a.succeeded && b.succeeded);
         assert_eq!(b.binding("X").unwrap().to_string(), "21");
+    }
+
+    #[test]
+    fn budgeted_parallel_run_matches_unbudgeted() {
+        let program = parse_program(FIB).unwrap();
+        let mut exec = ParExecutor::new(
+            &program,
+            ParConfig {
+                threads: 2,
+                granularity: Granularity::AlwaysSpawn,
+                ..ParConfig::default()
+            },
+        );
+        let full = exec.run_query("fib(12, X)").unwrap();
+        let (goal, vars) = granlog_ir::parser::parse_term("fib(12, X)").unwrap();
+        let (sliced, slices) = exec
+            .run_goal_budgeted(&goal, &vars, &Budget::steps(16))
+            .unwrap();
+        assert!(slices > 1, "a 16-step quantum must preempt the root");
+        assert_eq!(full.succeeded, sliced.succeeded);
+        assert_eq!(full.bindings, sliced.bindings);
+        assert_eq!(full.counters, sliced.counters);
+        assert_eq!(full.spawned_tasks, sliced.spawned_tasks);
+    }
+
+    #[test]
+    fn hard_budget_errors_through_the_executor() {
+        let program = parse_program(FIB).unwrap();
+        let mut exec = ParExecutor::new(
+            &program,
+            ParConfig {
+                threads: 2,
+                granularity: Granularity::AlwaysSpawn,
+                ..ParConfig::default()
+            },
+        );
+        let (goal, vars) = granlog_ir::parser::parse_term("fib(18, X)").unwrap();
+        let err = exec
+            .run_goal_budgeted(&goal, &vars, &Budget::hard_steps(10))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BudgetExceeded { .. }), "{err}");
+        // The executor (and its machine pool) stays usable.
+        let again = exec.run_query("fib(10, X)").unwrap();
+        assert!(again.succeeded);
     }
 
     #[test]

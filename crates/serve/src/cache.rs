@@ -1,0 +1,383 @@
+//! The shared compiled-template cache and per-program warm machine pools.
+//!
+//! Tenants upload program *text*; the cache parses it, **normalizes** it
+//! (canonical clause/directive printing — whitespace, comments and variable
+//! spelling disappear) and keys the entry by the full normalized text. Two
+//! tenants uploading the same program — however differently formatted —
+//! share one [`ProgramEntry`]: one parse, one template compilation, one
+//! machine pool. A modified program normalizes differently and *cannot* get
+//! a stale entry, because the key is the program's entire content, not a
+//! file path, an mtime, or a truncated digest (the 64-bit FNV hash exposed
+//! as [`ProgramEntry::hash`] is a display id, never the lookup key).
+//!
+//! Machines are recycled through a bounded per-entry free-list. A machine
+//! whose last query pushed its arena high-water mark past the pool's
+//! retirement threshold is dropped instead of pooled, returning its arena
+//! to the allocator — the pool stays warm without slowly accreting the
+//! largest arena any tenant ever needed.
+
+use granlog_engine::{ClauseTemplate, Machine, MachineConfig};
+use granlog_ir::parser::{parse_program, ParseError};
+use granlog_ir::Program;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Machine-pool policy of one cache (applied per program entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Maximum machines kept warm per program entry.
+    pub max_pooled: usize,
+    /// Retirement threshold: a machine whose last query's arena high-water
+    /// mark exceeds this many cells is dropped instead of pooled.
+    pub retire_heap_cells: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_pooled: 16,
+            // 1M cells ≈ 16 MiB of arena: plenty for every benchmark
+            // program at default sizes, small enough that one outlier query
+            // cannot park hundreds of megabytes in the pool.
+            retire_heap_cells: 1 << 20,
+        }
+    }
+}
+
+/// One cached program: its parsed form, compiled templates and warm machine
+/// pool, shared as an `Arc` across every session that loaded the same
+/// (normalized) program text.
+pub struct ProgramEntry {
+    // SAFETY-ORDER: `machines` is declared before `program` so pooled
+    // machines drop before the program they borrow.
+    machines: Mutex<Vec<Machine<'static>>>,
+    hash: u64,
+    clause_count: usize,
+    pool: PoolConfig,
+    machine_config: MachineConfig,
+    templates: Arc<[ClauseTemplate]>,
+    program: Program,
+}
+
+impl ProgramEntry {
+    /// FNV-1a hash of the normalized program text: a stable display id for
+    /// logs and the wire protocol (lookups use the full text).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of clauses in the program.
+    pub fn clause_count(&self) -> usize {
+        self.clause_count
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of machines currently parked in this entry's pool.
+    pub fn pooled_machines(&self) -> usize {
+        self.machines.lock().expect("machine pool poisoned").len()
+    }
+
+    /// Takes a machine for this program — warm from the pool when one is
+    /// parked, freshly built over the shared templates otherwise. The lease
+    /// returns (or retires) the machine on drop.
+    pub(crate) fn lease(self: &Arc<Self>) -> MachineLease {
+        let pooled = self.machines.lock().expect("machine pool poisoned").pop();
+        let machine = pooled.unwrap_or_else(|| {
+            // SAFETY: the `'static` is a crate-internal fiction. The machine
+            // borrows `self.program`, which lives inside this `Arc`
+            // allocation: it is address-stable and never mutated after
+            // construction. Every `Machine<'static>` is confined to either
+            // a `MachineLease` (which holds a clone of this `Arc`, so the
+            // program outlives the lease) or `self.machines` (declared
+            // before `program`, so pooled machines drop first). Neither the
+            // lease's machine accessor nor this method is public, so no
+            // machine can outlive the entry from safe client code.
+            let program: &'static Program = unsafe { &*(&self.program as *const Program) };
+            Machine::with_templates(program, self.machine_config, Arc::clone(&self.templates))
+        });
+        MachineLease {
+            machine: Some(machine),
+            entry: Arc::clone(self),
+        }
+    }
+}
+
+/// A leased machine: RAII over the pool. Dropping the lease parks the
+/// machine back in its entry's pool — unless its last query's arena
+/// high-water mark crossed the retirement threshold, in which case the
+/// machine (and its grown arena buffer) is dropped instead.
+pub(crate) struct MachineLease {
+    machine: Option<Machine<'static>>,
+    entry: Arc<ProgramEntry>,
+}
+
+impl MachineLease {
+    pub(crate) fn machine(&mut self) -> &mut Machine<'static> {
+        self.machine.as_mut().expect("machine present until drop")
+    }
+}
+
+impl Drop for MachineLease {
+    fn drop(&mut self) {
+        let machine = self.machine.take().expect("machine present until drop");
+        if machine.stats().heap_high_water > self.entry.pool.retire_heap_cells {
+            return; // retire: free the grown arena with the machine
+        }
+        let mut pool = self.entry.machines.lock().expect("machine pool poisoned");
+        if pool.len() < self.entry.pool.max_pooled {
+            pool.push(machine);
+        }
+    }
+}
+
+/// Cache hit/miss/eviction counters plus the current entry count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Loads answered by an existing entry.
+    pub hits: u64,
+    /// Loads that parsed and compiled a new entry.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+struct CacheInner {
+    /// Normalized program text → entry. The *full* text is the key:
+    /// correctness never rests on a hash not colliding.
+    entries: HashMap<String, Arc<ProgramEntry>>,
+    /// LRU order, front = coldest. Keys mirror `entries`.
+    lru: VecDeque<String>,
+}
+
+/// The compiled-template cache: bounded, LRU-evicted, shared across every
+/// session of a server. See the module docs for the keying discipline.
+pub struct TemplateCache {
+    capacity: usize,
+    machine_config: MachineConfig,
+    pool: PoolConfig,
+    inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl TemplateCache {
+    /// Creates a cache holding at most `capacity` compiled programs, whose
+    /// leased machines run under `machine_config` and pool under `pool`.
+    pub fn new(capacity: usize, machine_config: MachineConfig, pool: PoolConfig) -> Self {
+        TemplateCache {
+            capacity: capacity.max(1),
+            machine_config,
+            pool,
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                lru: VecDeque::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Loads program text: parse, normalize, and either return the shared
+    /// entry for identical normalized text (a *hit* — second element
+    /// `true`) or compile and cache a new entry (a *miss* — `false`),
+    /// evicting the least-recently-used entry past capacity. Evicted
+    /// entries stay alive for sessions still holding their `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error for malformed program text.
+    pub fn load(&self, source: &str) -> Result<(Arc<ProgramEntry>, bool), ParseError> {
+        let program = parse_program(source)?;
+        let normalized = normalize(&program);
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(entry) = inner.entries.get(&normalized).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            touch_lru(&mut inner.lru, &normalized);
+            return Ok((entry, true));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let templates: Arc<[ClauseTemplate]> =
+            granlog_engine::template::compile_program(&program).into();
+        let entry = Arc::new(ProgramEntry {
+            machines: Mutex::new(Vec::new()),
+            hash: fnv64(normalized.as_bytes()),
+            clause_count: program.clauses().len(),
+            pool: self.pool,
+            machine_config: self.machine_config,
+            templates,
+            program,
+        });
+        inner.entries.insert(normalized.clone(), Arc::clone(&entry));
+        inner.lru.push_back(normalized);
+        while inner.entries.len() > self.capacity {
+            let coldest = inner.lru.pop_front().expect("lru mirrors entries");
+            inner.entries.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok((entry, false))
+    }
+
+    /// Current counters and entry count.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.inner.lock().expect("cache poisoned").entries.len(),
+        }
+    }
+}
+
+fn touch_lru(lru: &mut VecDeque<String>, key: &str) {
+    if let Some(pos) = lru.iter().position(|k| k == key) {
+        let key = lru.remove(pos).expect("position just found");
+        lru.push_back(key);
+    }
+}
+
+/// The canonical text of a parsed program: every directive and every clause
+/// printed one per line. Clause terms print *without* their source name
+/// table, so variables render as `_N` by first-occurrence id — whitespace,
+/// comments and variable spelling all disappear, while any semantic change
+/// (clauses, their order, directives) changes the text.
+fn normalize(program: &Program) -> String {
+    let mut out = String::new();
+    for directive in program.directives() {
+        let _ = writeln!(out, "{directive:?}");
+    }
+    for clause in program.clauses() {
+        let _ = writeln!(out, "{} :- {}", clause.head, clause.body);
+    }
+    out
+}
+
+/// FNV-1a, 64-bit: the display hash of a normalized program.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APPEND: &str = r#"
+        append([], L, L).
+        append([H|T], L, [H|R]) :- append(T, L, R).
+    "#;
+
+    fn cache(capacity: usize) -> TemplateCache {
+        TemplateCache::new(capacity, MachineConfig::default(), PoolConfig::default())
+    }
+
+    #[test]
+    fn identical_programs_share_one_entry() {
+        let cache = cache(8);
+        let (a, hit_a) = cache.load(APPEND).unwrap();
+        // Different whitespace, a comment, different variable names: the
+        // normalized text is identical, so the entry must be shared.
+        let reformatted = "append([],Q,Q).  % base\nappend([X|Xs],Q,[X|R]):-append(Xs,Q,R).";
+        let (b, hit_b) = cache.load(reformatted).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b), "tenants must share one Arc");
+        assert_eq!(a.hash(), b.hash());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn modified_programs_never_reuse_stale_templates() {
+        let cache = cache(8);
+        let (a, _) = cache.load(APPEND).unwrap();
+        // One clause changed: must be a distinct entry with distinct
+        // templates, not a stale hit.
+        let modified = APPEND.replace("append([], L, L).", "append([], _, []).");
+        let (b, hit) = cache.load(&modified).unwrap();
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(a.hash(), b.hash());
+    }
+
+    #[test]
+    fn directives_are_part_of_the_key() {
+        let cache = cache(8);
+        let (a, _) = cache.load(APPEND).unwrap();
+        let with_mode = format!(":- mode append(+, +, -).\n{APPEND}");
+        let (b, hit) = cache.load(&with_mode).unwrap();
+        assert!(!hit);
+        assert!(!Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn lru_eviction_counts_and_evicts_the_coldest() {
+        let cache = cache(2);
+        cache.load("p(1).").unwrap();
+        cache.load("q(1).").unwrap();
+        // Touch p so q becomes the coldest.
+        cache.load("p(1).").unwrap();
+        cache.load("r(1).").unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+        // p survived (hit); q was evicted (miss again).
+        let (_, p_hit) = cache.load("p(1).").unwrap();
+        assert!(p_hit);
+        let (_, q_hit) = cache.load("q(1).").unwrap();
+        assert!(!q_hit);
+    }
+
+    #[test]
+    fn leases_pool_and_retire_machines() {
+        let cache = TemplateCache::new(
+            4,
+            MachineConfig::default(),
+            PoolConfig {
+                max_pooled: 2,
+                retire_heap_cells: 200,
+            },
+        );
+        let src = r#"
+            build(0, []).
+            build(N, [N|T]) :- N > 0, N1 is N - 1, build(N1, T).
+        "#;
+        let (entry, _) = cache.load(src).unwrap();
+        {
+            let mut lease = entry.lease();
+            let out = lease.machine().run_query("build(3, L)").unwrap();
+            assert!(out.succeeded);
+        }
+        assert_eq!(entry.pooled_machines(), 1, "small query pools its machine");
+        {
+            let mut lease = entry.lease();
+            let out = lease.machine().run_query("build(200, L)").unwrap();
+            assert!(out.succeeded);
+        }
+        assert_eq!(
+            entry.pooled_machines(),
+            0,
+            "a query past the high-water threshold retires its machine"
+        );
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let cache = cache(2);
+        assert!(cache.load("p(1").is_err());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,249 @@
+//! A scripted client for the serve protocol, used by the integration
+//! tests, the CI smoke job and `bench_serve`. One blocking call per
+//! protocol command; replies are parsed into typed results.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Parsed reply to a `query` command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientReply {
+    /// Whether the goal succeeded.
+    pub succeeded: bool,
+    /// `(name, rendered term)` binding lines, in reply order.
+    pub bindings: Vec<(String, String)>,
+    /// Head attempts the server reported.
+    pub steps: u64,
+    /// Arena high-water mark the server reported, in cells.
+    pub heap_high_water: u64,
+    /// Preemptible slices the query ran in.
+    pub slices: u64,
+}
+
+/// A connection to a running serve instance.
+pub struct ServeClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects and consumes the greeting line.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures, or a malformed greeting.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?; // commands are single small writes
+        let mut reader = BufReader::new(writer.try_clone()?);
+        let mut greeting = String::new();
+        reader.read_line(&mut greeting)?;
+        if !greeting.starts_with("ok granlog-serve") {
+            return Err(protocol_err(format!("unexpected greeting: {greeting:?}")));
+        }
+        Ok(ServeClient { reader, writer })
+    }
+
+    /// Uploads program text. Returns `(program hash, clause count,
+    /// cache hit)` on success, the server's error message otherwise.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a reply that does not follow the protocol.
+    pub fn load(&mut self, source: &str) -> io::Result<Result<(String, u64, bool), String>> {
+        write!(self.writer, "load {}\n{}", source.len(), source)?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if let Some(err) = line.strip_prefix("err ") {
+            return Ok(Err(err.to_string()));
+        }
+        let fields = parse_fields(&line, "ok")?;
+        Ok(Ok((
+            field(&fields, "program")?.to_string(),
+            field(&fields, "clauses")?
+                .parse()
+                .map_err(|_| protocol_err(format!("bad clause count in {line:?}")))?,
+            field(&fields, "cache")? == "hit",
+        )))
+    }
+
+    /// Runs a goal. Returns the parsed reply on success, the server's error
+    /// message (e.g. a budget violation) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a reply that does not follow the protocol.
+    pub fn query(&mut self, goal: &str) -> io::Result<Result<ClientReply, String>> {
+        writeln!(self.writer, "query {goal}")?;
+        self.writer.flush()?;
+        let mut bindings = Vec::new();
+        loop {
+            let line = self.read_line()?;
+            if let Some(bind) = line.strip_prefix("bind ") {
+                let (name, term) = bind
+                    .split_once(" = ")
+                    .ok_or_else(|| protocol_err(format!("bad bind line: {line:?}")))?;
+                bindings.push((name.to_string(), term.to_string()));
+            } else if let Some(err) = line.strip_prefix("err ") {
+                return Ok(Err(err.to_string()));
+            } else if let Some(done) = line.strip_prefix("done ") {
+                let (status, rest) = done
+                    .split_once(' ')
+                    .ok_or_else(|| protocol_err(format!("bad done line: {line:?}")))?;
+                let fields = parse_fields(rest, "")?;
+                let num = |key: &str| -> io::Result<u64> {
+                    field(&fields, key)?
+                        .parse()
+                        .map_err(|_| protocol_err(format!("bad {key} in {line:?}")))
+                };
+                return Ok(Ok(ClientReply {
+                    succeeded: status == "ok",
+                    bindings,
+                    steps: num("steps")?,
+                    heap_high_water: num("heap")?,
+                    slices: num("slices")?,
+                }));
+            } else {
+                return Err(protocol_err(format!("unexpected reply line: {line:?}")));
+            }
+        }
+    }
+
+    /// Sets the session step budget (`None` = unlimited).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side rejection.
+    pub fn budget_steps(&mut self, steps: Option<u64>) -> io::Result<()> {
+        match steps {
+            Some(n) => self.simple_command(&format!("budget steps {n}")),
+            None => self.simple_command("budget steps off"),
+        }
+    }
+
+    /// Sets the session heap budget in cells (`None` = unlimited).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side rejection.
+    pub fn budget_heap(&mut self, cells: Option<u64>) -> io::Result<()> {
+        match cells {
+            Some(n) => self.simple_command(&format!("budget heap {n}")),
+            None => self.simple_command("budget heap off"),
+        }
+    }
+
+    /// Sets the preemption quantum in steps.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side rejection.
+    pub fn budget_quantum(&mut self, steps: u64) -> io::Result<()> {
+        self.simple_command(&format!("budget quantum {steps}"))
+    }
+
+    /// Fetches server stats as `(hits, misses, evictions, entries,
+    /// sessions)`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a reply that does not follow the protocol.
+    pub fn stats(&mut self) -> io::Result<(u64, u64, u64, u64, u64)> {
+        writeln!(self.writer, "stats")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        let fields = parse_fields(&line, "ok")?;
+        let num = |key: &str| -> io::Result<u64> {
+            field(&fields, key)?
+                .parse()
+                .map_err(|_| protocol_err(format!("bad {key} in {line:?}")))
+        };
+        Ok((
+            num("hits")?,
+            num("misses")?,
+            num("evictions")?,
+            num("entries")?,
+            num("sessions")?,
+        ))
+    }
+
+    /// Ends the session politely.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed farewell.
+    pub fn quit(mut self) -> io::Result<()> {
+        writeln!(self.writer, "quit")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if line.starts_with("ok") {
+            Ok(())
+        } else {
+            Err(protocol_err(format!("unexpected farewell: {line:?}")))
+        }
+    }
+
+    /// Asks the server to stop accepting connections, then disconnects.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a malformed acknowledgement.
+    pub fn shutdown_server(mut self) -> io::Result<()> {
+        writeln!(self.writer, "shutdown")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if line.starts_with("ok") {
+            Ok(())
+        } else {
+            Err(protocol_err(format!("unexpected shutdown ack: {line:?}")))
+        }
+    }
+
+    fn simple_command(&mut self, cmd: &str) -> io::Result<()> {
+        writeln!(self.writer, "{cmd}")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if line.starts_with("ok") {
+            Ok(())
+        } else {
+            Err(protocol_err(format!("server rejected `{cmd}`: {line:?}")))
+        }
+    }
+
+    fn read_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end_matches(['\r', '\n']).to_string())
+    }
+}
+
+fn protocol_err(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Splits `key=value` fields after an optional leading status word.
+fn parse_fields<'a>(line: &'a str, expect: &str) -> io::Result<Vec<(&'a str, &'a str)>> {
+    let rest = if expect.is_empty() {
+        line
+    } else {
+        line.strip_prefix(expect)
+            .ok_or_else(|| protocol_err(format!("expected `{expect} ...`, got {line:?}")))?
+    };
+    Ok(rest
+        .split_whitespace()
+        .filter_map(|f| f.split_once('='))
+        .collect())
+}
+
+fn field<'a>(fields: &[(&'a str, &'a str)], key: &str) -> io::Result<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| protocol_err(format!("missing field `{key}`")))
+}

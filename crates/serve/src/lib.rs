@@ -1,0 +1,70 @@
+//! Multi-tenant query service over the preemptible granlog engine.
+//!
+//! This crate turns the single-shot [`granlog_engine::Machine`] into a
+//! long-lived *service*:
+//!
+//! - [`cache::TemplateCache`] — compiled-template cache keyed by the full
+//!   normalized program text, shared as [`std::sync::Arc`] across tenants,
+//!   LRU-bounded, with hit/miss/eviction counters and a per-program machine
+//!   pool recycled by arena high-water mark.
+//! - [`session::Session`] — one tenant's loaded program and budgets; runs
+//!   queries in quantum-sized preemptible slices over the engine's
+//!   [`granlog_engine::Budget`] API, with a hard tail slice so over-budget
+//!   queries unwind through the engine's own error path.
+//! - [`server::Server`] — a thread-per-connection TCP front end speaking a
+//!   line protocol, plus [`client::ServeClient`], a scripted client used by
+//!   the integration tests, the CI smoke job and `bench_serve`.
+//!
+//! The CLI exposes all of this as `granlog serve` (see the README).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod server;
+pub mod session;
+
+pub use cache::{CacheStats, PoolConfig, ProgramEntry, TemplateCache};
+pub use client::{ClientReply, ServeClient};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use session::{LoadReply, QueryReply, Session, SessionBudget};
+
+use granlog_engine::EngineError;
+use granlog_ir::parser::ParseError;
+use std::fmt;
+
+/// Everything a session operation can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Program or goal text did not parse.
+    Parse(ParseError),
+    /// The engine failed — including `BudgetExceeded` for sessions whose
+    /// step or heap budget ran out.
+    Engine(EngineError),
+    /// A query was issued before any program was loaded.
+    NoProgram,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Parse(e) => write!(f, "parse: {e}"),
+            ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::NoProgram => write!(f, "no program loaded: send `load` first"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ParseError> for ServeError {
+    fn from(e: ParseError) -> Self {
+        ServeError::Parse(e)
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}

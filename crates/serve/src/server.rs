@@ -1,0 +1,317 @@
+//! The TCP front end: thread-per-connection sessions over a shared
+//! [`TemplateCache`], speaking a small line protocol.
+//!
+//! # Protocol
+//!
+//! The server greets each connection with `ok granlog-serve`. Commands are
+//! one line each (`\n`-terminated); replies are one or more lines, the last
+//! starting with `ok`, `done` or `err`:
+//!
+//! | command | reply |
+//! |---|---|
+//! | `load <nbytes>` + exactly N raw bytes of program text | `ok program=<hash> clauses=<n> cache=<hit\|miss>` |
+//! | `query <goal>` | `bind <name> = <term>` lines, then `done ok\|no steps=<n> heap=<n> slices=<n>` |
+//! | `budget steps <n\|off>` | `ok` |
+//! | `budget heap <n\|off>` | `ok` |
+//! | `budget quantum <n>` | `ok` |
+//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n>` |
+//! | `quit` | `ok bye`, connection closes |
+//! | `shutdown` | `ok shutting-down`, server stops accepting |
+//!
+//! Any failure (parse error, engine error, exceeded budget, protocol
+//! misuse) is a single `err <message>` line; the session survives and the
+//! next command is read normally. The `load` payload is a byte-counted
+//! blob, so programs may contain newlines without any quoting scheme.
+
+use crate::cache::{PoolConfig, TemplateCache};
+use crate::session::{Session, SessionBudget};
+use granlog_engine::MachineConfig;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Largest `load` payload the server will read, in bytes.
+const MAX_PROGRAM_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Maximum programs kept compiled in the shared cache.
+    pub cache_capacity: usize,
+    /// Default budget for new sessions (each can adjust its own).
+    pub budget: SessionBudget,
+    /// Engine configuration for pooled machines.
+    pub machine_config: MachineConfig,
+    /// Machine-pool policy per cached program.
+    pub pool: PoolConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            cache_capacity: 64,
+            budget: SessionBudget::default(),
+            machine_config: MachineConfig::default(),
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+struct ServerState {
+    cache: Arc<TemplateCache>,
+    default_budget: SessionBudget,
+    stop: AtomicBool,
+    active_sessions: AtomicU64,
+}
+
+/// The serve front end. [`Server::start`] binds, spawns the accept loop and
+/// returns a [`ServerHandle`]; the server runs until
+/// [`ServerHandle::shutdown`] or a client sends `shutdown`.
+pub struct Server;
+
+impl Server {
+    /// Binds `config.addr` and starts accepting connections, one thread per
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Any `io::Error` from binding the listener.
+    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            cache: Arc::new(TemplateCache::new(
+                config.cache_capacity,
+                config.machine_config,
+                config.pool,
+            )),
+            default_budget: config.budget,
+            stop: AtomicBool::new(false),
+            active_sessions: AtomicU64::new(0),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
+        Ok(ServerHandle {
+            local_addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+}
+
+/// Handle to a running server: its bound address and its lifecycle.
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (with the real port when the
+    /// config asked for port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared template cache (for stats inspection).
+    pub fn cache(&self) -> &Arc<TemplateCache> {
+        &self.state.cache
+    }
+
+    /// Blocks until the server stops on its own (a client sent `shutdown`),
+    /// then waits for every session thread to finish. This is what
+    /// `granlog serve` does after printing its listening line.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+
+    /// Stops accepting connections and waits for the accept loop and every
+    /// session thread to finish.
+    pub fn shutdown(mut self) {
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Nudge the accept loop out of its blocking `accept()`.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            self.state.stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(self.local_addr);
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    let sessions: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+    for stream in listener.incoming() {
+        if state.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let session_state = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            session_state.active_sessions.fetch_add(1, Ordering::SeqCst);
+            let _ = serve_connection(stream, &session_state);
+            session_state.active_sessions.fetch_sub(1, Ordering::SeqCst);
+        });
+        sessions.lock().expect("session list poisoned").push(handle);
+    }
+    for handle in sessions.into_inner().expect("session list poisoned") {
+        let _ = handle.join();
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<()> {
+    // Replies are single small writes; without TCP_NODELAY the Nagle /
+    // delayed-ACK interaction adds tens of milliseconds to every command.
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    writeln!(writer, "ok granlog-serve")?;
+    let mut session = Session::new(Arc::clone(&state.cache), state.default_budget);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client hung up
+        }
+        let cmd = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) = match cmd.split_once(' ') {
+            Some((v, r)) => (v, r.trim()),
+            None => (cmd, ""),
+        };
+        match verb {
+            "load" => cmd_load(&mut reader, &mut writer, &mut session, rest)?,
+            "query" => cmd_query(&mut writer, &mut session, rest)?,
+            "budget" => cmd_budget(&mut writer, &mut session, rest)?,
+            "stats" => {
+                let s = state.cache.stats();
+                writeln!(
+                    writer,
+                    "ok hits={} misses={} evictions={} entries={} sessions={}",
+                    s.hits,
+                    s.misses,
+                    s.evictions,
+                    s.entries,
+                    state.active_sessions.load(Ordering::SeqCst),
+                )?;
+            }
+            "quit" => {
+                writeln!(writer, "ok bye")?;
+                return Ok(());
+            }
+            "shutdown" => {
+                writeln!(writer, "ok shutting-down")?;
+                state.stop.store(true, Ordering::SeqCst);
+                // Nudge the accept loop in case no other connection arrives.
+                if let Ok(addr) = writer.local_addr() {
+                    let _ = TcpStream::connect(addr);
+                }
+                return Ok(());
+            }
+            "" => {} // blank line: ignore
+            other => writeln!(writer, "err unknown command `{other}`")?,
+        }
+    }
+}
+
+fn cmd_load(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    session: &mut Session,
+    arg: &str,
+) -> io::Result<()> {
+    let nbytes: u64 = match arg.parse() {
+        Ok(n) if n <= MAX_PROGRAM_BYTES => n,
+        Ok(_) => {
+            return writeln!(writer, "err program larger than {MAX_PROGRAM_BYTES} bytes");
+        }
+        Err(_) => return writeln!(writer, "err usage: load <nbytes>"),
+    };
+    let mut payload = Vec::with_capacity(nbytes as usize);
+    reader.take(nbytes).read_to_end(&mut payload)?;
+    if payload.len() as u64 != nbytes {
+        return writeln!(writer, "err short read: connection truncated");
+    }
+    let source = match String::from_utf8(payload) {
+        Ok(s) => s,
+        Err(_) => return writeln!(writer, "err program is not valid utf-8"),
+    };
+    match session.load(&source) {
+        Ok(reply) => writeln!(
+            writer,
+            "ok program={:016x} clauses={} cache={}",
+            reply.hash,
+            reply.clauses,
+            if reply.cache_hit { "hit" } else { "miss" },
+        ),
+        Err(e) => writeln!(writer, "err {e}"),
+    }
+}
+
+fn cmd_query(writer: &mut TcpStream, session: &mut Session, goal: &str) -> io::Result<()> {
+    if goal.is_empty() {
+        return writeln!(writer, "err usage: query <goal>");
+    }
+    match session.query(goal) {
+        Ok(reply) => {
+            if reply.succeeded {
+                for (name, term) in &reply.bindings {
+                    writeln!(writer, "bind {name} = {term}")?;
+                }
+            }
+            writeln!(
+                writer,
+                "done {} steps={} heap={} slices={}",
+                if reply.succeeded { "ok" } else { "no" },
+                reply.steps,
+                reply.heap_high_water,
+                reply.slices,
+            )
+        }
+        Err(e) => writeln!(writer, "err {e}"),
+    }
+}
+
+fn cmd_budget(writer: &mut TcpStream, session: &mut Session, args: &str) -> io::Result<()> {
+    let mut budget = session.budget();
+    let reply = match args.split_once(' ').map(|(k, v)| (k, v.trim())) {
+        Some(("steps", "off")) => {
+            budget.steps = None;
+            Ok(())
+        }
+        Some(("steps", v)) => v.parse().map(|n| budget.steps = Some(n)),
+        Some(("heap", "off")) => {
+            budget.heap_cells = None;
+            Ok(())
+        }
+        Some(("heap", v)) => v.parse().map(|n| budget.heap_cells = Some(n)),
+        Some(("quantum", v)) => v.parse().map(|n| budget.quantum = n),
+        _ => {
+            return writeln!(
+                writer,
+                "err usage: budget steps|heap <n|off> | budget quantum <n>"
+            );
+        }
+    };
+    match reply {
+        Ok(()) => {
+            session.set_budget(budget);
+            writeln!(writer, "ok")
+        }
+        Err(_) => writeln!(writer, "err not a number: `{args}`"),
+    }
+}

@@ -1,0 +1,311 @@
+//! One tenant's session: its loaded program, its budgets, and the quantum
+//! slicing that keeps long queries preemptible.
+//!
+//! A session never hands the engine its whole step budget at once. It runs
+//! the query in *quantum*-sized preemptible slices ([`Budget::steps`]),
+//! resuming after each yield, which keeps every session responsive to
+//! cancellation and bounds how long one tenant can monopolize a thread
+//! between scheduling points. When the steps left in the session budget fit
+//! inside one quantum, the final slice is issued *non-preemptible*
+//! ([`Budget::hard_steps`]): the engine itself raises
+//! [`EngineError::BudgetExceeded`] and performs its eager unwind (arena
+//! truncated, trail emptied), so an over-budget query can never leave a
+//! suspended machine pinning a large heap in the pool. The engine reports
+//! the tail slice's limit; the session remaps it to the session-level limit
+//! before surfacing the error.
+
+use crate::cache::{ProgramEntry, TemplateCache};
+use crate::ServeError;
+use granlog_engine::{Budget, BudgetKind, EngineError, Solve};
+use granlog_ir::parser::parse_term;
+use std::sync::Arc;
+
+/// Per-session resource limits, applied to every query the session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionBudget {
+    /// Total head attempts allowed per query (`None` = unlimited).
+    pub steps: Option<u64>,
+    /// Arena heap ceiling in cells per query (`None` = unlimited). Always a
+    /// hard error when exceeded — waiting cannot reclaim memory.
+    pub heap_cells: Option<usize>,
+    /// Steps per preemptible slice.
+    pub quantum: u64,
+}
+
+impl Default for SessionBudget {
+    fn default() -> Self {
+        SessionBudget {
+            steps: None,
+            heap_cells: None,
+            quantum: 4096,
+        }
+    }
+}
+
+/// Result of loading a program into a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadReply {
+    /// Display hash of the normalized program (see [`ProgramEntry::hash`]).
+    pub hash: u64,
+    /// Clause count of the loaded program.
+    pub clauses: usize,
+    /// Whether the shared cache already held this program.
+    pub cache_hit: bool,
+}
+
+/// Result of a completed (non-erroring) query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryReply {
+    /// Did the query succeed?
+    pub succeeded: bool,
+    /// `(name, rendered term)` for each named query variable, source order.
+    pub bindings: Vec<(String, String)>,
+    /// Head attempts consumed.
+    pub steps: u64,
+    /// Arena high-water mark of this query, in cells.
+    pub heap_high_water: usize,
+    /// Preemptible slices the query ran in (1 = never yielded).
+    pub slices: usize,
+}
+
+/// One tenant's connection state: shared cache handle, loaded program,
+/// budgets.
+pub struct Session {
+    cache: Arc<TemplateCache>,
+    entry: Option<Arc<ProgramEntry>>,
+    budget: SessionBudget,
+}
+
+impl Session {
+    /// Opens a session over a shared cache with the given default budget.
+    pub fn new(cache: Arc<TemplateCache>, budget: SessionBudget) -> Self {
+        Session {
+            cache,
+            entry: None,
+            budget,
+        }
+    }
+
+    /// This session's current budget.
+    pub fn budget(&self) -> SessionBudget {
+        self.budget
+    }
+
+    /// Replaces the session budget (applies to subsequent queries).
+    pub fn set_budget(&mut self, budget: SessionBudget) {
+        self.budget = SessionBudget {
+            quantum: budget.quantum.max(1),
+            ..budget
+        };
+    }
+
+    /// Loads (or re-loads) program text through the shared template cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Parse`] for malformed program text.
+    pub fn load(&mut self, source: &str) -> Result<LoadReply, ServeError> {
+        let (entry, cache_hit) = self.cache.load(source)?;
+        let reply = LoadReply {
+            hash: entry.hash(),
+            clauses: entry.clause_count(),
+            cache_hit,
+        };
+        self.entry = Some(entry);
+        Ok(reply)
+    }
+
+    /// Runs one query under the session budget, slicing by quantum.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoProgram`] before any successful [`Session::load`];
+    /// [`ServeError::Parse`] for a malformed goal; [`ServeError::Engine`]
+    /// for engine failures, including `BudgetExceeded` with the
+    /// session-level limit when this query ran out of steps or heap.
+    pub fn query(&mut self, goal_text: &str) -> Result<QueryReply, ServeError> {
+        let entry = self.entry.clone().ok_or(ServeError::NoProgram)?;
+        let (goal, var_names) = parse_term(goal_text)?;
+        let quantum = self.budget.quantum.max(1);
+        let heap_cells = self.budget.heap_cells;
+
+        let mut lease = entry.lease();
+        let machine = lease.machine();
+        let mut slices = 1usize;
+        let mut state = machine.solve_goal(
+            &goal,
+            &var_names,
+            None,
+            &next_slice(self.budget.steps, 0, quantum, heap_cells),
+        );
+        let outcome = loop {
+            match state {
+                Ok(Solve::Done(outcome)) => break outcome,
+                Ok(Solve::Yield(token)) => {
+                    slices += 1;
+                    let used = machine.counters().head_attempts;
+                    let slice = next_slice(self.budget.steps, used, quantum, heap_cells);
+                    state = machine.resume(token, None, &slice);
+                }
+                // The hard tail slice reports its own (possibly clamped)
+                // limit; surface the session-level limit instead.
+                Err(EngineError::BudgetExceeded {
+                    resource: BudgetKind::Steps,
+                    ..
+                }) => {
+                    return Err(ServeError::Engine(EngineError::BudgetExceeded {
+                        resource: BudgetKind::Steps,
+                        limit: self.budget.steps.unwrap_or(u64::MAX),
+                    }))
+                }
+                Err(e) => return Err(ServeError::Engine(e)),
+            }
+        };
+        let heap_high_water = machine.stats().heap_high_water;
+        Ok(QueryReply {
+            succeeded: outcome.succeeded,
+            bindings: outcome
+                .bindings
+                .iter()
+                .map(|(name, term)| (name.to_string(), term.to_string()))
+                .collect(),
+            steps: outcome.counters.head_attempts,
+            heap_high_water,
+            slices,
+        })
+    }
+}
+
+/// The budget for the next slice: a preemptible quantum while more than one
+/// quantum of session steps remains, a **hard** tail slice once the
+/// remainder fits (so the engine's own error path unwinds the machine).
+fn next_slice(
+    session_steps: Option<u64>,
+    used: u64,
+    quantum: u64,
+    heap_cells: Option<usize>,
+) -> Budget {
+    let mut slice = match session_steps {
+        None => Budget::steps(quantum),
+        Some(limit) => {
+            let remaining = limit.saturating_sub(used);
+            if remaining > quantum {
+                Budget::steps(quantum)
+            } else {
+                // `hard_steps` clamps to ≥ 1, so a session already at its
+                // limit errors after at most one more goal.
+                Budget::hard_steps(remaining)
+            }
+        }
+    };
+    slice.heap_cells = heap_cells;
+    slice
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::PoolConfig;
+    use granlog_engine::MachineConfig;
+
+    const COUNT: &str = r#"
+        count(0).
+        count(N) :- N > 0, N1 is N - 1, count(N1).
+    "#;
+
+    fn session(budget: SessionBudget) -> Session {
+        let cache = Arc::new(TemplateCache::new(
+            4,
+            MachineConfig::default(),
+            PoolConfig::default(),
+        ));
+        Session::new(cache, budget)
+    }
+
+    #[test]
+    fn query_before_load_is_an_error() {
+        let mut s = session(SessionBudget::default());
+        assert!(matches!(s.query("true"), Err(ServeError::NoProgram)));
+    }
+
+    #[test]
+    fn small_quantum_slices_but_matches_the_answer() {
+        let mut fine = session(SessionBudget {
+            quantum: 7,
+            ..SessionBudget::default()
+        });
+        fine.load(COUNT).unwrap();
+        let sliced = fine.query("count(200)").unwrap();
+        assert!(sliced.succeeded);
+        assert!(
+            sliced.slices > 10,
+            "quantum 7 must slice: {}",
+            sliced.slices
+        );
+
+        let mut coarse = session(SessionBudget::default());
+        coarse.load(COUNT).unwrap();
+        let whole = coarse.query("count(200)").unwrap();
+        assert_eq!(whole.slices, 1);
+        assert_eq!(sliced.steps, whole.steps, "slicing must not change work");
+        assert_eq!(sliced.bindings, whole.bindings);
+    }
+
+    #[test]
+    fn step_budget_is_enforced_and_remapped_to_the_session_limit() {
+        let mut s = session(SessionBudget {
+            steps: Some(50),
+            quantum: 8,
+            ..SessionBudget::default()
+        });
+        s.load(COUNT).unwrap();
+        match s.query("count(100000)") {
+            Err(ServeError::Engine(EngineError::BudgetExceeded {
+                resource: BudgetKind::Steps,
+                limit,
+            })) => assert_eq!(
+                limit, 50,
+                "limit must be the session's, not the tail slice's"
+            ),
+            other => panic!("expected a step-budget error, got {other:?}"),
+        }
+        // The machine unwound and went back to the pool; the session works.
+        let ok = s.query("count(3)").unwrap();
+        assert!(ok.succeeded);
+    }
+
+    #[test]
+    fn heap_budget_is_enforced() {
+        let mut s = session(SessionBudget {
+            heap_cells: Some(256),
+            ..SessionBudget::default()
+        });
+        s.load(
+            r#"
+            build(0, []).
+            build(N, [N|T]) :- N > 0, N1 is N - 1, build(N1, T).
+            "#,
+        )
+        .unwrap();
+        match s.query("build(100000, L)") {
+            Err(ServeError::Engine(EngineError::BudgetExceeded {
+                resource: BudgetKind::HeapCells,
+                ..
+            })) => {}
+            other => panic!("expected a heap-budget error, got {other:?}"),
+        }
+        assert!(s.query("build(3, L)").unwrap().succeeded);
+    }
+
+    #[test]
+    fn bindings_render_with_source_names() {
+        let mut s = session(SessionBudget::default());
+        s.load("pair(1, two).").unwrap();
+        let reply = s.query("pair(X, Y)").unwrap();
+        assert!(reply.succeeded);
+        assert_eq!(
+            reply.bindings,
+            vec![("X".into(), "1".into()), ("Y".into(), "two".into())]
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Concurrent-session stress and cache-discipline tests for `granlog
+//! serve`.
+//!
+//! Eight clients hammer one server over TCP with interleaved benchmark
+//! queries; every answer is compared against a fresh single-machine run of
+//! the same query (up to variable renaming — the server renders unbound
+//! variables by cell index, which depends on machine reuse). The template
+//! cache must end with exactly one compiled entry per distinct program no
+//! matter how the eight sessions interleave, budgets must be enforced
+//! per-session without disturbing neighbours, and eviction must be
+//! LRU-ordered and counted.
+
+use granlog_benchmarks::{all_benchmarks, Benchmark};
+use granlog_engine::{Machine, MachineConfig};
+use granlog_ir::parser::parse_program;
+use granlog_ir::Term;
+use granlog_serve::{PoolConfig, ServeClient, ServeConfig, Server, SessionBudget};
+use std::collections::BTreeMap;
+
+/// Precomputed `(query, succeeded, bindings)` oracle for one benchmark.
+type ExpectedAnswer = (String, bool, Vec<(String, String)>);
+
+/// Canonicalizes rendered binding terms: every `_N` token is renamed in
+/// first-occurrence order, so answers that differ only in variable
+/// numbering compare equal.
+fn canonical(bindings: &[(String, String)]) -> Vec<(String, String)> {
+    let mut map: BTreeMap<String, usize> = BTreeMap::new();
+    bindings
+        .iter()
+        .map(|(name, term)| {
+            let mut out = String::new();
+            let mut chars = term.chars().peekable();
+            while let Some(c) = chars.next() {
+                if c == '_' && chars.peek().is_some_and(|d| d.is_ascii_digit()) {
+                    let mut id = String::new();
+                    while let Some(d) = chars.peek().filter(|d| d.is_ascii_digit()) {
+                        id.push(*d);
+                        chars.next();
+                    }
+                    let next = map.len();
+                    let canon_id = *map.entry(id).or_insert(next);
+                    out.push_str(&format!("_V{canon_id}"));
+                } else {
+                    out.push(c);
+                }
+            }
+            (name.clone(), out)
+        })
+        .collect()
+}
+
+/// The expected answer for one benchmark query, computed on a fresh
+/// sequential machine and rendered exactly as the server renders it.
+fn expected_answer(bench: &Benchmark, query: &str) -> (bool, Vec<(String, String)>) {
+    let program = parse_program(bench.source).unwrap();
+    let mut machine = Machine::with_config(&program, MachineConfig::default());
+    let outcome = machine.run_query(query).unwrap();
+    let rendered = outcome
+        .bindings
+        .iter()
+        .map(|(name, term): &(granlog_ir::Symbol, Term)| (name.to_string(), term.to_string()))
+        .collect::<Vec<_>>();
+    (outcome.succeeded, rendered)
+}
+
+fn start_server(budget: SessionBudget, cache_capacity: usize) -> granlog_serve::ServerHandle {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity,
+        budget,
+        machine_config: MachineConfig::default(),
+        pool: PoolConfig::default(),
+    })
+    .expect("server must bind an ephemeral port")
+}
+
+/// Eight concurrent clients, each looping over the benchmark suite in its
+/// own rotation: every reply matches a fresh single-machine run, and the
+/// shared cache compiles each program exactly once.
+#[test]
+fn eight_concurrent_sessions_get_correct_answers() {
+    let benches = all_benchmarks();
+    // Precompute expected answers once, outside the client threads.
+    let expected: Vec<ExpectedAnswer> = benches
+        .iter()
+        .map(|b| {
+            let query = b.query(b.test_size);
+            let (succeeded, bindings) = expected_answer(b, &query);
+            (query, succeeded, bindings)
+        })
+        .collect();
+    let server = start_server(SessionBudget::default(), 64);
+    let addr = server.addr();
+
+    std::thread::scope(|scope| {
+        for client_id in 0..8usize {
+            let benches = &benches;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = ServeClient::connect(addr).expect("connect");
+                // Each client walks the suite starting at a different
+                // offset, so programs and queries interleave across
+                // sessions.
+                for round in 0..2 {
+                    for i in 0..benches.len() {
+                        let idx = (client_id + i + round) % benches.len();
+                        let bench = &benches[idx];
+                        let (query, want_success, want_bindings) = &expected[idx];
+                        let (_, clauses, _) = client
+                            .load(bench.source)
+                            .expect("io")
+                            .expect("benchmark programs parse");
+                        assert!(clauses > 0);
+                        let reply = client
+                            .query(query)
+                            .expect("io")
+                            .unwrap_or_else(|e| panic!("client {client_id} {query}: {e}"));
+                        assert_eq!(reply.succeeded, *want_success, "client {client_id} {query}");
+                        assert_eq!(
+                            canonical(&reply.bindings),
+                            canonical(want_bindings),
+                            "client {client_id}: answers diverge for {query}"
+                        );
+                        assert!(reply.steps > 0);
+                    }
+                }
+                client.quit().expect("clean quit");
+            });
+        }
+    });
+
+    // 8 sessions × 2 rounds over 12 programs: 12 compilations, the rest
+    // shared from the cache.
+    let stats = server.cache().stats();
+    assert_eq!(
+        stats.misses as usize,
+        benches.len(),
+        "each distinct program must compile exactly once"
+    );
+    assert_eq!(
+        stats.hits as usize,
+        8 * 2 * benches.len() - benches.len(),
+        "every other load must hit the shared cache"
+    );
+    assert_eq!(stats.evictions, 0);
+    server.shutdown();
+}
+
+/// Per-session budgets: a throttled session gets the typed budget error and
+/// keeps working afterwards, while a concurrent unthrottled session runs
+/// the same heavy query to completion.
+#[test]
+fn budgets_are_enforced_per_session() {
+    let bench = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "nrev" || b.test_size > 1)
+        .expect("suite is non-empty");
+    let heavy = bench.query(bench.default_size.min(30).max(bench.test_size));
+    let light = bench.query(1);
+    let server = start_server(SessionBudget::default(), 16);
+    let addr = server.addr();
+
+    let mut throttled = ServeClient::connect(addr).unwrap();
+    let mut free = ServeClient::connect(addr).unwrap();
+    throttled.load(bench.source).unwrap().unwrap();
+    free.load(bench.source).unwrap().unwrap();
+
+    // Find the real cost, then set the throttled session's budget below it.
+    let full = free
+        .query(&heavy)
+        .unwrap()
+        .expect("unbudgeted run succeeds");
+    assert!(full.succeeded);
+    let limit = full.steps / 2;
+    assert!(
+        limit > 0,
+        "query too small to throttle: {} steps",
+        full.steps
+    );
+    throttled.budget_steps(Some(limit)).unwrap();
+    throttled.budget_quantum(8).unwrap();
+
+    let err = throttled
+        .query(&heavy)
+        .unwrap()
+        .expect_err("half the steps cannot finish the query");
+    assert!(err.contains("budget"), "{err}");
+    assert!(err.contains(&limit.to_string()), "session limit in {err}");
+
+    // The free session is untouched; the throttled one recovers within its
+    // budget and can lift it.
+    assert!(free.query(&heavy).unwrap().unwrap().succeeded);
+    assert!(throttled.query(&light).unwrap().unwrap().succeeded);
+    throttled.budget_steps(None).unwrap();
+    assert!(throttled.query(&heavy).unwrap().unwrap().succeeded);
+
+    throttled.quit().unwrap();
+    free.quit().unwrap();
+    server.shutdown();
+}
+
+/// Cache keying: reformatted and variable-renamed copies of a program share
+/// one entry (hit), any semantic edit misses, and capacity overflow evicts
+/// the least recently used entry — all visible in the counters.
+#[test]
+fn cache_keys_on_normalized_text_and_evicts_lru() {
+    let server = start_server(SessionBudget::default(), 2);
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+
+    let original = "append([], L, L).\nappend([H|T], L, [H|R]) :- append(T, L, R).";
+    let reformatted =
+        "append([],Out,Out).  % same program, new spelling\nappend([X|Xs],Q,[X|R]):-append(Xs,Q,R).";
+    let modified = "append([], L, L).\nappend([H|T], L, [H|R]) :- append(L, T, R).";
+
+    let (hash_a, _, hit_a) = client.load(original).unwrap().unwrap();
+    let (hash_b, _, hit_b) = client.load(reformatted).unwrap().unwrap();
+    assert!(!hit_a);
+    assert!(hit_b, "reformatting must not recompile");
+    assert_eq!(hash_a, hash_b, "identical programs must share one hash");
+
+    let (hash_c, _, hit_c) = client.load(modified).unwrap().unwrap();
+    assert!(!hit_c, "a semantic edit must never reuse stale templates");
+    assert_ne!(hash_a, hash_c);
+
+    // Capacity 2 with {original, modified} cached; touch original so
+    // modified is coldest, then load a third program.
+    client.load(original).unwrap().unwrap();
+    let (_, _, hit_d) = client.load("solo(1).").unwrap().unwrap();
+    assert!(!hit_d);
+    let (hits_before, _, evictions, entries, _) = client.stats().unwrap();
+    assert_eq!(evictions, 1, "third program must evict the LRU entry");
+    assert_eq!(entries, 2);
+
+    // original survived (hit), modified was evicted (miss again).
+    let (_, _, survived) = client.load(original).unwrap().unwrap();
+    assert!(survived, "the recently-touched entry must survive eviction");
+    let (_, _, evicted) = client.load(modified).unwrap().unwrap();
+    assert!(!evicted, "the LRU entry must have been evicted");
+    let (hits_after, ..) = client.stats().unwrap();
+    assert_eq!(hits_after, hits_before + 1);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// Protocol robustness: errors leave the session alive, and malformed
+/// commands get `err` replies rather than hangs or disconnects.
+#[test]
+fn sessions_survive_errors() {
+    let server = start_server(SessionBudget::default(), 4);
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+
+    // Query before load.
+    let err = client.query("p(X)").unwrap().expect_err("no program yet");
+    assert!(err.contains("no program"), "{err}");
+    // Malformed program.
+    let err = client.load("p(1").unwrap().expect_err("unbalanced paren");
+    assert!(err.contains("parse"), "{err}");
+    // Malformed goal after a good load.
+    client.load("p(1).").unwrap().unwrap();
+    let err = client.query("p(").unwrap().expect_err("unbalanced goal");
+    assert!(!err.is_empty());
+    // The session still answers.
+    let reply = client.query("p(X)").unwrap().unwrap();
+    assert!(reply.succeeded);
+    assert_eq!(reply.bindings, vec![("X".to_string(), "1".to_string())]);
+
+    client.quit().unwrap();
+    server.shutdown();
+}
