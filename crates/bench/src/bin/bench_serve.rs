@@ -18,6 +18,15 @@
 //! aggregate qps / p50 / p99 and the per-program rows of the snapshot.
 //! The run doubles as the CI smoke test: it asserts nonzero answers from
 //! every session and a clean server shutdown.
+//!
+//! After the throughput phase an **availability phase** runs against a
+//! second, connection-capped server: more clients than the cap, each
+//! connecting through the client's bounded retry, so some connections are
+//! shed and re-admitted; when the binary is built with `--features
+//! failpoints` one fault class (`engine.solve`, error action, p=0.05) is
+//! armed for the phase. The resulting error rate, shed count and p99 land
+//! in the snapshot's `availability` block — the service's behavior *under*
+//! faults, next to its behavior without them.
 
 use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark, Benchmark};
 use granlog_serve::{PoolConfig, ServeClient, ServeConfig, Server, SessionBudget};
@@ -100,6 +109,107 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Outcome of the availability phase: queries attempted, typed errors
+/// received (injected faults surface as `err fault ...` / `err internal
+/// ...` lines, never broken connections), shed-then-readmitted
+/// connections, and the p99 latency of the queries that did answer.
+struct Availability {
+    queries: usize,
+    errors: usize,
+    shed: u64,
+    p99_ms: f64,
+}
+
+/// Runs `clients` sessions against a server capped below that, one round
+/// over every benchmark, tolerating typed errors. The cap forces shedding;
+/// `connect_with_retry` absorbs it; an armed failpoint (failpoints builds)
+/// injects engine faults that must surface as protocol errors.
+fn availability_phase(
+    benches: &[Benchmark],
+    queries: &[String],
+    clients: usize,
+    steps: Option<u64>,
+    quantum: u64,
+) -> Availability {
+    let injected = cfg!(feature = "failpoints");
+    #[cfg(feature = "failpoints")]
+    {
+        granlog_fault::set_seed(0x0067_7261_6e6c_6f67);
+        granlog_fault::arm("engine.solve", granlog_fault::Action::Error, 0.05);
+    }
+    let cap = (clients / 2).max(1);
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        cache_capacity: 64,
+        budget: SessionBudget {
+            steps,
+            heap_cells: None,
+            quantum,
+        },
+        max_conns: cap,
+        ..ServeConfig::default()
+    })
+    .expect("availability server start");
+    let addr = server.addr();
+    let results: Vec<(Vec<f64>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|client_id| {
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_with_retry(
+                        addr,
+                        50,
+                        std::time::Duration::from_millis(5),
+                    )
+                    .expect("connect within the retry budget");
+                    let mut ms = Vec::new();
+                    let mut errors = 0usize;
+                    for &idx in &shuffled_indices(benches.len(), client_id as u64 + 1) {
+                        let start = Instant::now();
+                        // A load can also catch an injected fault class in
+                        // failpoints builds; count it and move on.
+                        if client.load(benches[idx].source).expect("io").is_err() {
+                            errors += 1;
+                            continue;
+                        }
+                        match client.query(&queries[idx]).expect("io") {
+                            Ok(reply) => {
+                                assert!(reply.succeeded, "{} answered `no`", benches[idx].name);
+                                ms.push(start.elapsed().as_secs_f64() * 1e3);
+                            }
+                            Err(e) => {
+                                assert!(injected, "unexpected error without injection: {e}");
+                                errors += 1;
+                            }
+                        }
+                    }
+                    client.quit().expect("clean quit");
+                    (ms, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("availability client thread"))
+            .collect()
+    });
+    #[cfg(feature = "failpoints")]
+    granlog_fault::disarm_all();
+    let shed = server.shed_connections();
+    server.shutdown();
+    let mut all_ms: Vec<f64> = results
+        .iter()
+        .flat_map(|(ms, _)| ms.iter().copied())
+        .collect();
+    let errors: usize = results.iter().map(|(_, e)| e).sum();
+    all_ms.sort_by(f64::total_cmp);
+    Availability {
+        queries: clients * benches.len(),
+        errors,
+        shed,
+        p99_ms: percentile(&all_ms, 0.99),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
@@ -140,6 +250,7 @@ fn main() {
         },
         machine_config: Default::default(),
         pool: PoolConfig::default(),
+        ..ServeConfig::default()
     })
     .expect("server start");
     let addr = server.addr();
@@ -166,6 +277,21 @@ fn main() {
     let wall_s = wall_start.elapsed().as_secs_f64();
     let cache = server.cache().stats();
     server.shutdown();
+
+    let availability = availability_phase(&benches, &queries, clients.max(4), steps, quantum);
+    eprintln!(
+        "[bench_serve] availability: {} queries, {} errors, {} shed, p99 {:.3} ms \
+         (failpoints {})",
+        availability.queries,
+        availability.errors,
+        availability.shed,
+        availability.p99_ms,
+        if cfg!(feature = "failpoints") {
+            "on: engine.solve p=0.05"
+        } else {
+            "off"
+        }
+    );
 
     assert_eq!(
         samples.len(),
@@ -213,6 +339,22 @@ fn main() {
         json,
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},",
         cache.hits, cache.misses, cache.evictions, cache.entries
+    );
+    let _ = writeln!(
+        json,
+        "  \"availability\": {{\"failpoints\": {}, \"injected\": \"{}\", \"queries\": {}, \
+         \"errors\": {}, \"error_rate\": {:.4}, \"shed\": {}, \"p99_ms\": {:.3}}},",
+        cfg!(feature = "failpoints"),
+        if cfg!(feature = "failpoints") {
+            "engine.solve:0.05"
+        } else {
+            "none"
+        },
+        availability.queries,
+        availability.errors,
+        availability.errors as f64 / (availability.queries.max(1)) as f64,
+        availability.shed,
+        availability.p99_ms
     );
     let _ = writeln!(json, "  \"programs\": [");
     for (i, bench) in benches.iter().enumerate() {

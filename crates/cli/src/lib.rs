@@ -27,7 +27,8 @@ usage:
                    [--threads N [--granularity on|off|always-spawn]]
   granlog ddg      <file.pl> <name/arity>
   granlog serve    [--addr HOST:PORT] [--steps N] [--heap CELLS]
-                   [--quantum N] [--cache N]
+                   [--quantum N] [--cache N] [--max-conns N]
+                   [--idle-timeout SECS]
 
 with --threads N the query executes on a real pool of N worker threads
 (measured wall-clock, granularity control as a runtime spawn decision);
@@ -37,7 +38,10 @@ without it, execution is sequential and parallelism is *simulated* on
 serve starts a multi-tenant query service: one session per connection,
 compiled programs shared through a cache of --cache entries, each query
 bounded by the per-session budgets (--steps head attempts, --heap arena
-cells) and preempted every --quantum steps.";
+cells) and preempted every --quantum steps. Past --max-conns concurrent
+connections new ones are shed with a typed `err overloaded` line (0 =
+unlimited); connections idle longer than --idle-timeout seconds are
+reaped (0 = never).";
 
 /// Errors surfaced to the user by the CLI.
 #[derive(Debug)]
@@ -111,6 +115,10 @@ struct Options {
     quantum: u64,
     /// `serve`: template-cache capacity, in programs.
     cache: usize,
+    /// `serve`: connection cap before shedding (0 = unlimited).
+    max_conns: usize,
+    /// `serve`: idle-session reaping bound, in seconds (0 = never).
+    idle_timeout_secs: u64,
     positional: Vec<String>,
 }
 
@@ -136,6 +144,8 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         serve_heap: None,
         quantum: SessionBudget::default().quantum,
         cache: 64,
+        max_conns: 0,
+        idle_timeout_secs: 0,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -230,6 +240,22 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                 if options.cache == 0 {
                     return Err(usage("--cache must be at least 1"));
                 }
+            }
+            "--max-conns" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--max-conns needs a value"))?;
+                options.max_conns = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid connection cap {value:?}")))?;
+            }
+            "--idle-timeout" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--idle-timeout needs a value"))?;
+                options.idle_timeout_secs = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid idle timeout {value:?}")))?;
             }
             "--control" => {
                 options.mode = RunMode::Control;
@@ -475,6 +501,12 @@ fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         },
         machine_config: MachineConfig::default(),
         pool: PoolConfig::default(),
+        max_conns: options.max_conns,
+        idle_timeout: match options.idle_timeout_secs {
+            0 => None,
+            secs => Some(std::time::Duration::from_secs(secs)),
+        },
+        ..ServeConfig::default()
     })?;
     writeln!(out, "listening on {}", handle.addr())?;
     out.flush()?;

@@ -45,6 +45,16 @@ pub enum EngineError {
         /// The configured limit: steps, cells, or milliseconds.
         limit: u64,
     },
+    /// An armed failpoint injected this failure (fault-injection builds
+    /// only — see the `granlog-fault` crate; never produced when the
+    /// `failpoints` feature is off). Carries the failpoint name. The run
+    /// state is unwound exactly as for any other engine error.
+    Fault(&'static str),
+    /// A parallel worker panicked while executing a spawned arm. The panic
+    /// was caught at the job boundary — the worker's machine is discarded,
+    /// never pooled — and surfaces to the joiner as this error instead of a
+    /// hung join. Carries the panic message.
+    WorkerPanic(String),
 }
 
 impl fmt::Display for EngineError {
@@ -65,6 +75,12 @@ impl fmt::Display for EngineError {
                 BudgetKind::HeapCells => write!(f, "heap budget of {limit} cells exceeded"),
                 BudgetKind::Wall => write!(f, "wall-clock budget of {limit} ms exceeded"),
             },
+            EngineError::Fault(name) => {
+                write!(f, "injected fault at failpoint `{name}`")
+            }
+            EngineError::WorkerPanic(msg) => {
+                write!(f, "parallel worker panicked: {msg}")
+            }
         }
     }
 }
@@ -111,5 +127,9 @@ mod tests {
             limit: 250,
         };
         assert!(e.to_string().contains("wall-clock"));
+        let e = EngineError::Fault("engine.arena.grow");
+        assert!(e.to_string().contains("engine.arena.grow"));
+        let e = EngineError::WorkerPanic("arm 3 exploded".into());
+        assert!(e.to_string().contains("arm 3 exploded"));
     }
 }

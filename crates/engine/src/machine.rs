@@ -227,6 +227,8 @@ struct SliceLimits {
     heap_limit: usize,
     /// Wall-clock deadline of the slice.
     deadline: Option<Instant>,
+    /// The budget's wall allowance, for the adaptive poll-stride halving.
+    wall_allowance: Duration,
     /// The budget's wall allowance in ms, for error reporting.
     wall_ms: u64,
     preemptible: bool,
@@ -243,9 +245,31 @@ impl SliceLimits {
             steps_limit: budget.steps.unwrap_or(u64::MAX),
             heap_limit: budget.heap_cells.unwrap_or(usize::MAX),
             deadline: budget.wall.map(|allowance| Instant::now() + allowance),
+            wall_allowance: budget.wall.unwrap_or(Duration::ZERO),
             wall_ms: budget.wall.map(|d| d.as_millis() as u64).unwrap_or(0),
             preemptible: budget.preemptible,
         }
+    }
+}
+
+/// Initial wall-clock poll stride: the deadline is checked once per
+/// `mask + 1` resolutions. Coarse while most of the budget remains.
+const INITIAL_WALL_POLL_MASK: u32 = 0x3FF;
+
+/// Floor of the adaptive stride: never poll more often than every 16
+/// resolutions, so `Instant::now` stays off the hot path even close to the
+/// deadline.
+const MIN_WALL_POLL_MASK: u32 = 0xF;
+
+/// Adaptive wall-poll stride: once less than half the allowance remains,
+/// each poll halves the stride (down to [`MIN_WALL_POLL_MASK`]), so the
+/// overshoot past the deadline shrinks as the deadline approaches instead
+/// of staying a full coarse stride wide.
+fn next_wall_poll_mask(mask: u32, remaining: Duration, allowance: Duration) -> u32 {
+    if mask > MIN_WALL_POLL_MASK && remaining + remaining < allowance {
+        mask >> 1
+    } else {
+        mask
     }
 }
 
@@ -751,7 +775,12 @@ impl<'p> Machine<'p> {
     /// preempts it first, and an eagerly-unwound machine on error.
     fn drive(&mut self, hook: Option<&dyn ParHook>, budget: &Budget) -> EngineResult<Solve> {
         let limits = SliceLimits::new(budget, &self.counters);
-        match self.run(hook, &limits) {
+        // The `engine.solve` failpoint fires at the slice boundary, where the
+        // machine state is consistent, and takes the same eager-unwind error
+        // path as any engine error below.
+        let injected =
+            granlog_fault::fail_or("engine.solve", || EngineError::Fault("engine.solve"));
+        match injected.and_then(|()| self.run(hook, &limits)) {
             Ok(RunState::Done(succeeded)) => {
                 self.note_heap_high_water();
                 self.stats.trail_high_water = self.stats.trail_high_water.max(self.trail.len());
@@ -1509,10 +1538,17 @@ impl<'p> Machine<'p> {
         // of re-cloning per clause activation.
         let templates = Arc::clone(&self.templates);
         let wk = well_known::get();
-        // Wall-clock is polled once per this many loop iterations; steps and
-        // heap are exact integer compares checked every iteration.
-        const WALL_POLL_MASK: u32 = 0x3FF;
+        // Wall-clock is polled once per `wall_poll_mask + 1` loop iterations
+        // (the stride tightens adaptively near the deadline — see
+        // `next_wall_poll_mask`); steps and heap are exact integer compares
+        // checked every iteration.
+        let mut wall_poll_mask: u32 = INITIAL_WALL_POLL_MASK;
         let mut iter: u32 = 0;
+        // Arena growth is only observable here at resolution boundaries, but
+        // that is exactly where an injected exhaustion must land anyway for
+        // the unwind to be clean.
+        #[cfg(feature = "failpoints")]
+        let mut arena_capacity = self.heap.capacity();
         loop {
             // Sub-solve completion: the goal stack is back down to the
             // innermost barrier's base (or the query's — done). Checked
@@ -1549,15 +1585,30 @@ impl<'p> Machine<'p> {
                 }
                 if let Some(deadline) = limits.deadline {
                     iter = iter.wrapping_add(1);
-                    if iter & WALL_POLL_MASK == 0 && Instant::now() >= deadline {
-                        if limits.preemptible {
-                            return Ok(RunState::Suspended);
+                    if iter & wall_poll_mask == 0 {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            if limits.preemptible {
+                                return Ok(RunState::Suspended);
+                            }
+                            return Err(EngineError::BudgetExceeded {
+                                resource: BudgetKind::Wall,
+                                limit: limits.wall_ms,
+                            });
                         }
-                        return Err(EngineError::BudgetExceeded {
-                            resource: BudgetKind::Wall,
-                            limit: limits.wall_ms,
-                        });
+                        wall_poll_mask = next_wall_poll_mask(
+                            wall_poll_mask,
+                            deadline - now,
+                            limits.wall_allowance,
+                        );
                     }
+                }
+            }
+            #[cfg(feature = "failpoints")]
+            if self.heap.capacity() != arena_capacity {
+                arena_capacity = self.heap.capacity();
+                if granlog_fault::should_fail("engine.arena.grow") {
+                    return Err(EngineError::Fault("engine.arena.grow"));
                 }
             }
             self.goal_top -= 1;
@@ -2930,6 +2981,69 @@ mod tests {
             }
             Solve::Done(_) => panic!("loop/0 cannot complete"),
         }
+    }
+
+    #[test]
+    fn wall_poll_mask_halves_past_the_budget_midpoint() {
+        let ms = Duration::from_millis;
+        let allowance = ms(100);
+        // More than half the allowance left: the stride stays coarse.
+        assert_eq!(
+            next_wall_poll_mask(INITIAL_WALL_POLL_MASK, ms(80), allowance),
+            INITIAL_WALL_POLL_MASK
+        );
+        assert_eq!(
+            next_wall_poll_mask(INITIAL_WALL_POLL_MASK, ms(50), allowance),
+            INITIAL_WALL_POLL_MASK
+        );
+        // Under half left: each poll halves the stride...
+        assert_eq!(
+            next_wall_poll_mask(INITIAL_WALL_POLL_MASK, ms(49), allowance),
+            INITIAL_WALL_POLL_MASK >> 1
+        );
+        // ...down to the floor, never below.
+        let mut mask = INITIAL_WALL_POLL_MASK;
+        for _ in 0..32 {
+            mask = next_wall_poll_mask(mask, ms(1), allowance);
+        }
+        assert_eq!(mask, MIN_WALL_POLL_MASK);
+        // Masks must stay of the form 2^k - 1 for `iter & mask` striding.
+        let mut mask = INITIAL_WALL_POLL_MASK;
+        while mask > MIN_WALL_POLL_MASK {
+            assert_eq!(mask & (mask + 1), 0, "{mask:#x} is not 2^k - 1");
+            mask = next_wall_poll_mask(mask, ms(0), allowance);
+        }
+    }
+
+    #[test]
+    fn wall_budget_overshoot_is_bounded() {
+        let program = parse_program("loop :- loop.").unwrap();
+        let mut machine = Machine::new(&program);
+        let (goal, vars) = granlog_ir::parser::parse_term("loop").unwrap();
+        let allowance = Duration::from_millis(25);
+        let budget = Budget {
+            wall: Some(allowance),
+            preemptible: false,
+            ..Budget::UNLIMITED
+        };
+        let start = Instant::now();
+        let err = machine.solve_goal(&goal, &vars, None, &budget).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(
+            err,
+            EngineError::BudgetExceeded {
+                resource: BudgetKind::Wall,
+                ..
+            }
+        ));
+        // The adaptive stride keeps the overshoot to a handful of fine-grained
+        // polls. The bound is generous (4x the allowance) because CI machines
+        // stall unpredictably, but it still pins the regression where a coarse
+        // fixed stride lets a slow iteration overshoot unboundedly.
+        assert!(
+            elapsed < allowance * 4,
+            "wall budget of {allowance:?} overshot to {elapsed:?}"
+        );
     }
 
     #[test]

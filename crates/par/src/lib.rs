@@ -42,6 +42,14 @@
 //!   [`Granularity::AlwaysSpawn`] spawns every conjunction (the paper's
 //!   "no control" baseline) and [`Granularity::Off`] runs every conjunction
 //!   inline (the sequential baseline, on the same code path).
+//! * **Fault isolation.** Every job runs under `catch_unwind`: a panic in a
+//!   spawned arm completes its job as [`EngineError::WorkerPanic`] instead
+//!   of leaving it claimed forever (which would spin its joiner for the
+//!   rest of the process), and the panicking arm's machine is discarded
+//!   rather than returned to the free-list. Executor locks recover from
+//!   poisoning. Builds with the `failpoints` feature add injectable faults
+//!   at the `par.spawn` (arm execution) and `par.join` (result collection)
+//!   seams — see the `granlog-fault` crate.
 //!
 //! Arms that share an unbound variable are not independent; the executor
 //! detects this during copy-out and runs such conjunctions inline, so the
@@ -82,9 +90,30 @@ use granlog_engine::{
 };
 use granlog_ir::{parser, Program, Symbol, Term};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
+
+/// Locks a mutex, recovering the data from a poisoned lock: a panic in one
+/// worker must never wedge the whole executor, and every structure guarded
+/// here (injector, machine pool, job states) stays consistent across a
+/// mid-critical-section unwind because mutations are single assignments or
+/// push/pop operations.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
 
 /// How the executor decides whether a `&` conjunction is spawned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,7 +242,7 @@ struct Shared<'p> {
 
 impl<'p> Shared<'p> {
     fn acquire_machine(&self) -> Machine<'p> {
-        let pooled = self.machines.lock().expect("machine pool poisoned").pop();
+        let pooled = lock_recovering(&self.machines).pop();
         pooled.unwrap_or_else(|| {
             Machine::with_templates(
                 self.program,
@@ -224,23 +253,33 @@ impl<'p> Shared<'p> {
     }
 
     fn release_machine(&self, machine: Machine<'p>) {
-        self.machines
-            .lock()
-            .expect("machine pool poisoned")
-            .push(machine);
+        lock_recovering(&self.machines).push(machine);
     }
 
     /// Claims and executes a job if it is still pending; a no-op otherwise.
+    ///
+    /// The execution is wrapped in `catch_unwind`: a panic inside a spawned
+    /// arm must complete the job (as [`EngineError::WorkerPanic`]) rather
+    /// than leave it `Claimed` forever — a joiner waiting on a job that will
+    /// never transition to `Done` would spin for the rest of the process.
+    /// The panicking arm's machine is dropped mid-unwind, so it never
+    /// returns to the free-list.
     fn run_job(&self, job: &Job) {
         {
-            let mut state = job.state.lock().expect("job state poisoned");
+            let mut state = lock_recovering(&job.state);
             match *state {
                 JobState::Pending => *state = JobState::Claimed,
                 _ => return,
             }
         }
-        let result = self.exec_job(job);
-        let mut state = job.state.lock().expect("job state poisoned");
+        let result = panic::catch_unwind(AssertUnwindSafe(|| self.exec_job(job))).unwrap_or_else(
+            |payload| {
+                Err(EngineError::WorkerPanic(
+                    panic_message(&*payload).to_string(),
+                ))
+            },
+        );
+        let mut state = lock_recovering(&job.state);
         *state = JobState::Done(result);
         job.cv.notify_all();
     }
@@ -249,6 +288,9 @@ impl<'p> Shared<'p> {
     /// extracts the dense-variable answers (see [`RawAnswer`]).
     fn exec_job(&self, job: &Job) -> JobResult {
         let mut machine = self.acquire_machine();
+        // Injected failures discard the acquired machine (the early return
+        // drops it), mirroring the hygiene of a real panic.
+        granlog_fault::fail_or("par.spawn", || EngineError::Fault("par.spawn"))?;
         let outcome = machine.run_goal_par(&job.goal, &[], Some(self));
         let result = match outcome {
             Err(e) => Err(e),
@@ -276,7 +318,7 @@ impl<'p> Shared<'p> {
     /// Pops and runs one pending job from the injector. Returns `false` if
     /// the injector was empty.
     fn try_help(&self) -> bool {
-        let job = self.injector.lock().expect("injector poisoned").pop_front();
+        let job = lock_recovering(&self.injector).pop_front();
         match job {
             Some(job) => {
                 self.run_job(&job);
@@ -291,10 +333,11 @@ impl<'p> Shared<'p> {
     /// joining: the wait-for graph stays acyclic, so nested conjunctions
     /// cannot deadlock).
     fn join_job(&self, job: &Job) -> JobResult {
+        granlog_fault::fail_or("par.join", || EngineError::Fault("par.join"))?;
         self.run_job(job);
         loop {
             {
-                let mut state = job.state.lock().expect("job state poisoned");
+                let mut state = lock_recovering(&job.state);
                 if matches!(*state, JobState::Done(_)) {
                     let JobState::Done(result) = std::mem::replace(&mut *state, JobState::Consumed)
                     else {
@@ -304,15 +347,13 @@ impl<'p> Shared<'p> {
                 }
             }
             if !self.try_help() {
-                let state = job.state.lock().expect("job state poisoned");
+                let state = lock_recovering(&job.state);
                 if !matches!(*state, JobState::Done(_)) {
                     // Short-timeout wait: the runner's notify wakes us
                     // early; the timeout bounds how long a newly injected
-                    // job can sit unseen while we sleep.
-                    let _ = job
-                        .cv
-                        .wait_timeout(state, Duration::from_millis(1))
-                        .expect("job state poisoned");
+                    // job can sit unseen while we sleep. A poisoned wait is
+                    // ignored — the loop re-reads the state either way.
+                    let _ = job.cv.wait_timeout(state, Duration::from_millis(1));
                 }
             }
         }
@@ -322,7 +363,7 @@ impl<'p> Shared<'p> {
     fn worker_loop(&self) {
         loop {
             let job = {
-                let mut queue = self.injector.lock().expect("injector poisoned");
+                let mut queue = lock_recovering(&self.injector);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break Some(job);
@@ -330,7 +371,10 @@ impl<'p> Shared<'p> {
                     if self.done.load(Ordering::Acquire) {
                         break None;
                     }
-                    queue = self.work_cv.wait(queue).expect("injector poisoned");
+                    queue = self
+                        .work_cv
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             match job {
@@ -393,7 +437,7 @@ impl ParHook for Shared<'_> {
         }
         self.spawned.fetch_add(jobs.len(), Ordering::Relaxed);
         {
-            let mut queue = self.injector.lock().expect("injector poisoned");
+            let mut queue = lock_recovering(&self.injector);
             for (job, _) in jobs.iter().skip(1) {
                 queue.push_back(Arc::clone(job));
             }
@@ -673,7 +717,26 @@ mod tests {
     use granlog_engine::Machine;
     use granlog_ir::parser::parse_program;
 
+    /// The failpoint registry is process-global, so tests that arm
+    /// failpoints take this lock exclusively while every other test holds
+    /// it shared — ordinary runs must never observe another test's armed
+    /// faults.
+    #[cfg(feature = "failpoints")]
+    static FAULT_LOCK: std::sync::RwLock<()> = std::sync::RwLock::new(());
+
+    #[cfg(feature = "failpoints")]
+    fn fault_exclusive() -> std::sync::RwLockWriteGuard<'static, ()> {
+        FAULT_LOCK.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[cfg(feature = "failpoints")]
+    fn fault_shared() -> std::sync::RwLockReadGuard<'static, ()> {
+        FAULT_LOCK.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn run(src: &str, query: &str, threads: usize, granularity: Granularity) -> ParOutcome {
+        #[cfg(feature = "failpoints")]
+        let _shared = fault_shared();
         let program = parse_program(src).unwrap();
         let mut exec = ParExecutor::new(
             &program,
@@ -786,6 +849,8 @@ mod tests {
 
     #[test]
     fn errors_in_spawned_arms_propagate() {
+        #[cfg(feature = "failpoints")]
+        let _shared = fault_shared();
         let src = r#"
             ok(_).
             bad(X) :- ok(X) & undefined_pred(X).
@@ -805,6 +870,8 @@ mod tests {
 
     #[test]
     fn executor_is_reusable_across_queries() {
+        #[cfg(feature = "failpoints")]
+        let _shared = fault_shared();
         let program = parse_program(FIB).unwrap();
         let mut exec = ParExecutor::new(
             &program,
@@ -822,6 +889,8 @@ mod tests {
 
     #[test]
     fn budgeted_parallel_run_matches_unbudgeted() {
+        #[cfg(feature = "failpoints")]
+        let _shared = fault_shared();
         let program = parse_program(FIB).unwrap();
         let mut exec = ParExecutor::new(
             &program,
@@ -845,6 +914,8 @@ mod tests {
 
     #[test]
     fn hard_budget_errors_through_the_executor() {
+        #[cfg(feature = "failpoints")]
+        let _shared = fault_shared();
         let program = parse_program(FIB).unwrap();
         let mut exec = ParExecutor::new(
             &program,
@@ -875,5 +946,66 @@ mod tests {
         let out = run(src, "chain(64)", 2, Granularity::AlwaysSpawn);
         assert!(out.succeeded);
         assert_eq!(out.spawned_tasks, 128);
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod fault {
+        use super::*;
+        use granlog_fault::Action;
+
+        fn fresh_executor(program: &Program) -> ParExecutor<'_> {
+            ParExecutor::new(
+                program,
+                ParConfig {
+                    threads: 2,
+                    granularity: Granularity::AlwaysSpawn,
+                    ..ParConfig::default()
+                },
+            )
+        }
+
+        #[test]
+        fn a_panicking_arm_errors_the_join_instead_of_hanging_it() {
+            let _excl = fault_exclusive();
+            granlog_fault::disarm_all();
+            granlog_fault::arm("par.spawn", Action::Panic, 1.0);
+            let program = parse_program(FIB).unwrap();
+            let mut exec = fresh_executor(&program);
+            let err = exec.run_query("fib(12, X)").unwrap_err();
+            granlog_fault::disarm_all();
+            assert!(matches!(err, EngineError::WorkerPanic(_)), "{err}");
+            assert!(err.to_string().contains("par.spawn"), "{err}");
+            // The executor survives: the panicking arms' machines were
+            // discarded mid-unwind, fresh ones take their place.
+            let out = exec.run_query("fib(10, X)").unwrap();
+            assert!(out.succeeded);
+            assert_eq!(out.binding("X").unwrap().to_string(), "55");
+        }
+
+        #[test]
+        fn an_injected_spawn_fault_is_typed_and_recoverable() {
+            let _excl = fault_exclusive();
+            granlog_fault::disarm_all();
+            granlog_fault::arm("par.spawn", Action::Error, 1.0);
+            let program = parse_program(FIB).unwrap();
+            let mut exec = fresh_executor(&program);
+            let err = exec.run_query("fib(12, X)").unwrap_err();
+            granlog_fault::disarm_all();
+            assert_eq!(err, EngineError::Fault("par.spawn"));
+            assert!(exec.run_query("fib(8, X)").unwrap().succeeded);
+        }
+
+        #[test]
+        fn an_injected_join_fault_is_typed_and_recoverable() {
+            let _excl = fault_exclusive();
+            granlog_fault::disarm_all();
+            granlog_fault::arm("par.join", Action::Error, 1.0);
+            let program = parse_program(FIB).unwrap();
+            let mut exec = fresh_executor(&program);
+            let err = exec.run_query("fib(12, X)").unwrap_err();
+            granlog_fault::disarm_all();
+            assert_eq!(err, EngineError::Fault("par.join"));
+            assert!(exec.run_query("fib(8, X)").unwrap().succeeded);
+        }
     }
 }

@@ -15,14 +15,26 @@
 //! retirement threshold is dropped instead of pooled, returning its arena
 //! to the allocator — the pool stays warm without slowly accreting the
 //! largest arena any tenant ever needed.
+//!
+//! # Quarantine
+//!
+//! A machine whose query **panicked** (or hit an injected fault) is
+//! *quarantined*: dropped on the spot, never pooled, counted in the cache's
+//! [`CacheStats::quarantined`] gauge. Each quarantine also bumps the
+//! entry's **pool generation**; pooled machines remember the generation
+//! they were parked under, and a checkout discards any machine from an
+//! older generation rather than hand it out. A fresh machine replaces it —
+//! correctness never depends on trusting state that shared an entry with a
+//! panic.
 
+use crate::ServeError;
 use granlog_engine::{ClauseTemplate, Machine, MachineConfig};
-use granlog_ir::parser::{parse_program, ParseError};
+use granlog_ir::parser::parse_program;
 use granlog_ir::Program;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Machine-pool policy of one cache (applied per program entry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,13 +58,40 @@ impl Default for PoolConfig {
     }
 }
 
+/// Machine-pool gauges shared by a cache and every entry it creates, so the
+/// server's `stats` line aggregates across programs.
+#[derive(Debug, Default)]
+pub(crate) struct PoolCounters {
+    /// Machines dropped because their query panicked or hit an injected
+    /// fault. Monotonic; any growth is a fault-isolation event.
+    pub(crate) quarantined: AtomicU64,
+    /// Machines dropped by the arena high-water retirement policy (routine
+    /// hygiene, not a fault).
+    pub(crate) retired: AtomicU64,
+    /// Leases checked out and not yet returned. Quiescent servers must read
+    /// 0 here: a stuck positive value is a leaked lease.
+    pub(crate) leases_active: AtomicU64,
+}
+
+/// A parked machine tagged with the pool generation it was parked under.
+/// Checkouts discard machines from generations older than the entry's
+/// current one (a quarantine happened since they were pooled).
+struct PooledMachine {
+    machine: Machine<'static>,
+    generation: u64,
+}
+
 /// One cached program: its parsed form, compiled templates and warm machine
 /// pool, shared as an `Arc` across every session that loaded the same
 /// (normalized) program text.
 pub struct ProgramEntry {
     // SAFETY-ORDER: `machines` is declared before `program` so pooled
     // machines drop before the program they borrow.
-    machines: Mutex<Vec<Machine<'static>>>,
+    machines: Mutex<Vec<PooledMachine>>,
+    /// Bumped on every quarantine; stale-generation pooled machines are
+    /// discarded at checkout instead of handed out.
+    generation: AtomicU64,
+    counters: Arc<PoolCounters>,
     hash: u64,
     clause_count: usize,
     pool: PoolConfig,
@@ -80,14 +119,40 @@ impl ProgramEntry {
 
     /// Number of machines currently parked in this entry's pool.
     pub fn pooled_machines(&self) -> usize {
-        self.machines.lock().expect("machine pool poisoned").len()
+        lock_pool(&self.machines).len()
+    }
+
+    /// The pool generation: bumped each time a machine of this entry is
+    /// quarantined. Exposed for tests and gauges.
+    pub fn pool_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Takes a machine for this program — warm from the pool when one is
     /// parked, freshly built over the shared templates otherwise. The lease
     /// returns (or retires) the machine on drop.
-    pub(crate) fn lease(self: &Arc<Self>) -> MachineLease {
-        let pooled = self.machines.lock().expect("machine pool poisoned").pop();
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Fault`] when the `serve.lease` failpoint is armed and
+    /// fires (fault-injection builds only).
+    pub(crate) fn lease(self: &Arc<Self>) -> Result<MachineLease, ServeError> {
+        granlog_fault::fail_or("serve.lease", || ServeError::Fault("serve.lease"))?;
+        let generation = self.generation.load(Ordering::Relaxed);
+        let pooled = {
+            let mut pool = lock_pool(&self.machines);
+            // Discard parked machines from before the latest quarantine:
+            // they shared an entry with a panic and are not trusted.
+            loop {
+                match pool.pop() {
+                    Some(parked) if parked.generation == generation => {
+                        break Some(parked.machine);
+                    }
+                    Some(_stale) => continue,
+                    None => break None,
+                }
+            }
+        };
         let machine = pooled.unwrap_or_else(|| {
             // SAFETY: the `'static` is a crate-internal fiction. The machine
             // borrows `self.program`, which lives inside this `Arc`
@@ -101,19 +166,37 @@ impl ProgramEntry {
             let program: &'static Program = unsafe { &*(&self.program as *const Program) };
             Machine::with_templates(program, self.machine_config, Arc::clone(&self.templates))
         });
-        MachineLease {
+        self.counters.leases_active.fetch_add(1, Ordering::Relaxed);
+        Ok(MachineLease {
             machine: Some(machine),
+            generation,
+            quarantined: false,
             entry: Arc::clone(self),
-        }
+        })
     }
+}
+
+/// Locks a machine pool, recovering from poison: the pool holds plain data
+/// (a panic can never leave a `Vec` of machines half-updated in a way that
+/// matters — a machine is either in it or not), so the conservative response
+/// to a poisoned lock is to keep serving, not to propagate the panic to
+/// every other tenant.
+fn lock_pool(pool: &Mutex<Vec<PooledMachine>>) -> std::sync::MutexGuard<'_, Vec<PooledMachine>> {
+    pool.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A leased machine: RAII over the pool. Dropping the lease parks the
 /// machine back in its entry's pool — unless its last query's arena
-/// high-water mark crossed the retirement threshold, in which case the
-/// machine (and its grown arena buffer) is dropped instead.
+/// high-water mark crossed the retirement threshold (the machine and its
+/// grown arena are dropped), the lease was [quarantined](Self::quarantine),
+/// or the thread is panic-unwinding, in which cases the machine never
+/// re-enters the pool.
 pub(crate) struct MachineLease {
     machine: Option<Machine<'static>>,
+    /// The entry's pool generation at checkout; parking back under a newer
+    /// generation retires the machine instead.
+    generation: u64,
+    quarantined: bool,
     entry: Arc<ProgramEntry>,
 }
 
@@ -121,22 +204,53 @@ impl MachineLease {
     pub(crate) fn machine(&mut self) -> &mut Machine<'static> {
         self.machine.as_mut().expect("machine present until drop")
     }
+
+    /// Marks this lease's machine as untrusted: its query panicked (caught
+    /// by the session) or an injected fault left its state suspect. The
+    /// machine is dropped instead of pooled, and the entry's pool
+    /// generation bumps so machines pooled before this event are discarded
+    /// at their next checkout.
+    pub(crate) fn quarantine(&mut self) {
+        self.quarantined = true;
+    }
 }
 
 impl Drop for MachineLease {
     fn drop(&mut self) {
+        let counters = &self.entry.counters;
+        counters.leases_active.fetch_sub(1, Ordering::Relaxed);
         let machine = self.machine.take().expect("machine present until drop");
+        // A panic unwinding through the session quarantines implicitly:
+        // machine state at an arbitrary panic point is not pool material.
+        if self.quarantined || std::thread::panicking() {
+            counters.quarantined.fetch_add(1, Ordering::Relaxed);
+            self.entry.generation.fetch_add(1, Ordering::Relaxed);
+            return; // drop the machine, never pool it
+        }
         if machine.stats().heap_high_water > self.entry.pool.retire_heap_cells {
+            counters.retired.fetch_add(1, Ordering::Relaxed);
             return; // retire: free the grown arena with the machine
         }
-        let mut pool = self.entry.machines.lock().expect("machine pool poisoned");
+        // A quarantine elsewhere since checkout retires this machine too —
+        // its generation is stale by definition, the checkout path would
+        // discard it anyway.
+        let generation = self.entry.generation.load(Ordering::Relaxed);
+        if generation != self.generation {
+            counters.retired.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut pool = lock_pool(&self.entry.machines);
         if pool.len() < self.entry.pool.max_pooled {
-            pool.push(machine);
+            pool.push(PooledMachine {
+                machine,
+                generation,
+            });
         }
     }
 }
 
-/// Cache hit/miss/eviction counters plus the current entry count.
+/// Cache hit/miss/eviction counters plus the current entry count and the
+/// machine-pool health gauges.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Loads answered by an existing entry.
@@ -147,6 +261,14 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Machines quarantined after a panic or injected fault (across all
+    /// entries; monotonic).
+    pub quarantined: u64,
+    /// Machines retired by the arena high-water policy (monotonic).
+    pub retired: u64,
+    /// Leases currently checked out. On a quiescent server this is 0; a
+    /// stuck positive value is a leaked lease.
+    pub leases_active: u64,
 }
 
 struct CacheInner {
@@ -167,6 +289,9 @@ pub struct TemplateCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// Shared with every entry this cache creates, so pool gauges aggregate
+    /// across programs.
+    counters: Arc<PoolCounters>,
 }
 
 impl TemplateCache {
@@ -184,6 +309,7 @@ impl TemplateCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            counters: Arc::new(PoolCounters::default()),
         }
     }
 
@@ -195,21 +321,39 @@ impl TemplateCache {
     ///
     /// # Errors
     ///
-    /// Returns the parse error for malformed program text.
-    pub fn load(&self, source: &str) -> Result<(Arc<ProgramEntry>, bool), ParseError> {
+    /// [`ServeError::Parse`] for malformed program text;
+    /// [`ServeError::Fault`] when the `serve.cache.insert` or
+    /// `serve.cache.evict` failpoint fires (fault-injection builds only).
+    /// An injected cache fault is evaluated *before* any cache state
+    /// mutates, so a failed load leaves the cache exactly as it was.
+    pub fn load(&self, source: &str) -> Result<(Arc<ProgramEntry>, bool), ServeError> {
         let program = parse_program(source)?;
         let normalized = normalize(&program);
-        let mut inner = self.inner.lock().expect("cache poisoned");
+        let mut inner = self.lock_inner();
         if let Some(entry) = inner.entries.get(&normalized).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             touch_lru(&mut inner.lru, &normalized);
             return Ok((entry, true));
         }
+        // Both cache failpoints sit before the insert: the invariant that
+        // `entries` and `lru` mirror each other must hold even under
+        // injected faults, so injection can fail the *operation* but never
+        // interleave with the state update.
+        if inner.entries.len() >= self.capacity {
+            granlog_fault::fail_or("serve.cache.evict", || {
+                ServeError::Fault("serve.cache.evict")
+            })?;
+        }
+        granlog_fault::fail_or("serve.cache.insert", || {
+            ServeError::Fault("serve.cache.insert")
+        })?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         let templates: Arc<[ClauseTemplate]> =
             granlog_engine::template::compile_program(&program).into();
         let entry = Arc::new(ProgramEntry {
             machines: Mutex::new(Vec::new()),
+            generation: AtomicU64::new(0),
+            counters: Arc::clone(&self.counters),
             hash: fnv64(normalized.as_bytes()),
             clause_count: program.clauses().len(),
             pool: self.pool,
@@ -220,21 +364,36 @@ impl TemplateCache {
         inner.entries.insert(normalized.clone(), Arc::clone(&entry));
         inner.lru.push_back(normalized);
         while inner.entries.len() > self.capacity {
-            let coldest = inner.lru.pop_front().expect("lru mirrors entries");
+            // The LRU mirrors `entries`; if recovery from a poisoned lock
+            // ever finds them out of sync, stop evicting rather than panic.
+            let Some(coldest) = inner.lru.pop_front() else {
+                break;
+            };
             inner.entries.remove(&coldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         Ok((entry, false))
     }
 
-    /// Current counters and entry count.
+    /// Current counters, entry count and pool gauges.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
-            entries: self.inner.lock().expect("cache poisoned").entries.len(),
+            entries: self.lock_inner().entries.len(),
+            quarantined: self.counters.quarantined.load(Ordering::Relaxed),
+            retired: self.counters.retired.load(Ordering::Relaxed),
+            leases_active: self.counters.leases_active.load(Ordering::Relaxed),
         }
+    }
+
+    /// Locks the cache map, recovering from poison. The insert path orders
+    /// its two-step update (entry map first, then LRU) so every
+    /// intermediate state is safe: a key missing from the LRU can at worst
+    /// dodge eviction until touched again, never corrupt a lookup.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -286,6 +445,8 @@ mod tests {
 
     #[test]
     fn identical_programs_share_one_entry() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let cache = cache(8);
         let (a, hit_a) = cache.load(APPEND).unwrap();
         // Different whitespace, a comment, different variable names: the
@@ -302,6 +463,8 @@ mod tests {
 
     #[test]
     fn modified_programs_never_reuse_stale_templates() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let cache = cache(8);
         let (a, _) = cache.load(APPEND).unwrap();
         // One clause changed: must be a distinct entry with distinct
@@ -315,6 +478,8 @@ mod tests {
 
     #[test]
     fn directives_are_part_of_the_key() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let cache = cache(8);
         let (a, _) = cache.load(APPEND).unwrap();
         let with_mode = format!(":- mode append(+, +, -).\n{APPEND}");
@@ -325,6 +490,8 @@ mod tests {
 
     #[test]
     fn lru_eviction_counts_and_evicts_the_coldest() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let cache = cache(2);
         cache.load("p(1).").unwrap();
         cache.load("q(1).").unwrap();
@@ -343,6 +510,8 @@ mod tests {
 
     #[test]
     fn leases_pool_and_retire_machines() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let cache = TemplateCache::new(
             4,
             MachineConfig::default(),
@@ -357,13 +526,13 @@ mod tests {
         "#;
         let (entry, _) = cache.load(src).unwrap();
         {
-            let mut lease = entry.lease();
+            let mut lease = entry.lease().unwrap();
             let out = lease.machine().run_query("build(3, L)").unwrap();
             assert!(out.succeeded);
         }
         assert_eq!(entry.pooled_machines(), 1, "small query pools its machine");
         {
-            let mut lease = entry.lease();
+            let mut lease = entry.lease().unwrap();
             let out = lease.machine().run_query("build(200, L)").unwrap();
             assert!(out.succeeded);
         }
@@ -372,10 +541,91 @@ mod tests {
             0,
             "a query past the high-water threshold retires its machine"
         );
+        let stats = cache.stats();
+        assert_eq!(stats.retired, 1);
+        assert_eq!(stats.leases_active, 0);
+    }
+
+    #[test]
+    fn quarantined_machines_never_reenter_the_pool() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
+        let cache = cache(4);
+        let (entry, _) = cache.load(APPEND).unwrap();
+        {
+            let mut lease = entry.lease().unwrap();
+            lease.machine().run_query("append([1], [2], X)").unwrap();
+            lease.quarantine();
+        }
+        assert_eq!(entry.pooled_machines(), 0, "quarantined machine dropped");
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(entry.pool_generation(), 1);
+        // A fresh lease works fine and pools normally under the new
+        // generation.
+        {
+            let mut lease = entry.lease().unwrap();
+            let out = lease.machine().run_query("append([1], [2], X)").unwrap();
+            assert!(out.succeeded);
+        }
+        assert_eq!(entry.pooled_machines(), 1);
+        assert_eq!(cache.stats().leases_active, 0);
+    }
+
+    #[test]
+    fn quarantine_flushes_machines_pooled_under_the_old_generation() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
+        let cache = cache(4);
+        let (entry, _) = cache.load(APPEND).unwrap();
+        // Park two machines under generation 0.
+        {
+            let _a = entry.lease().unwrap();
+            let _b = entry.lease().unwrap();
+        }
+        assert_eq!(entry.pooled_machines(), 2);
+        // Quarantine a third: generation bumps, the two parked machines are
+        // now stale.
+        {
+            let mut lease = entry.lease().unwrap();
+            lease.quarantine();
+        }
+        // The next checkout discards both stale machines and builds fresh.
+        {
+            let mut lease = entry.lease().unwrap();
+            let out = lease.machine().run_query("append([], [], X)").unwrap();
+            assert!(out.succeeded);
+        }
+        assert_eq!(
+            entry.pooled_machines(),
+            1,
+            "only the fresh machine (new generation) is pooled"
+        );
+    }
+
+    #[test]
+    fn a_panicking_query_quarantines_implicitly() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
+        let cache = cache(4);
+        let (entry, _) = cache.load(APPEND).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _lease = entry.lease().unwrap();
+            panic!("boom mid-query");
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            entry.pooled_machines(),
+            0,
+            "a machine unwound through a panic must not be pooled"
+        );
+        assert_eq!(cache.stats().quarantined, 1);
+        assert_eq!(cache.stats().leases_active, 0);
     }
 
     #[test]
     fn parse_errors_surface() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let cache = cache(2);
         assert!(cache.load("p(1").is_err());
         assert_eq!(cache.stats().entries, 0);

@@ -20,6 +20,32 @@ pub struct ClientReply {
     pub slices: u64,
 }
 
+/// Parsed reply to a `stats` command: cache counters plus the server's
+/// session and fault-isolation gauges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Cache loads answered by an existing entry.
+    pub hits: u64,
+    /// Cache loads that compiled a new entry.
+    pub misses: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Connections currently being served.
+    pub sessions: u64,
+    /// Machines quarantined after a panic or injected fault.
+    pub quarantined: u64,
+    /// Machines retired by the arena high-water policy.
+    pub retired: u64,
+    /// Machine leases currently checked out — 0 on a quiescent server; a
+    /// stuck positive value means a lease leaked.
+    pub lease_leaked: u64,
+    /// Connections shed at the acceptor because the server was at its
+    /// connection cap.
+    pub shed: u64,
+}
+
 /// A connection to a running serve instance.
 pub struct ServeClient {
     reader: BufReader<TcpStream>,
@@ -31,17 +57,53 @@ impl ServeClient {
     ///
     /// # Errors
     ///
-    /// Connection failures, or a malformed greeting.
+    /// Connection failures, or a malformed greeting. A server at its
+    /// connection cap refuses with `err overloaded ...`, surfaced as
+    /// [`io::ErrorKind::ConnectionRefused`] so callers (and
+    /// [`ServeClient::connect_with_retry`]) can treat it as retryable.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServeClient> {
         let writer = TcpStream::connect(addr)?;
         writer.set_nodelay(true)?; // commands are single small writes
         let mut reader = BufReader::new(writer.try_clone()?);
         let mut greeting = String::new();
         reader.read_line(&mut greeting)?;
+        if let Some(refusal) = greeting.strip_prefix("err overloaded") {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("server shed this connection:{}", refusal.trim_end()),
+            ));
+        }
         if !greeting.starts_with("ok granlog-serve") {
             return Err(protocol_err(format!("unexpected greeting: {greeting:?}")));
         }
         Ok(ServeClient { reader, writer })
+    }
+
+    /// [`ServeClient::connect`] with bounded retry: on a refused connection
+    /// (TCP refusal or an `err overloaded` shed) sleeps `backoff`, doubles
+    /// it, and tries again, up to `attempts` total attempts.
+    ///
+    /// # Errors
+    ///
+    /// The last attempt's error once the budget is exhausted, or
+    /// immediately for errors that are not refusals.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        attempts: u32,
+        mut backoff: std::time::Duration,
+    ) -> io::Result<ServeClient> {
+        let mut tries = 0;
+        loop {
+            tries += 1;
+            match ServeClient::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && tries < attempts => {
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Uploads program text. Returns `(program hash, clause count,
@@ -142,13 +204,13 @@ impl ServeClient {
         self.simple_command(&format!("budget quantum {steps}"))
     }
 
-    /// Fetches server stats as `(hits, misses, evictions, entries,
-    /// sessions)`.
+    /// Fetches server stats: cache counters, live session count and the
+    /// fault-isolation gauges.
     ///
     /// # Errors
     ///
     /// I/O failures, or a reply that does not follow the protocol.
-    pub fn stats(&mut self) -> io::Result<(u64, u64, u64, u64, u64)> {
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
         writeln!(self.writer, "stats")?;
         self.writer.flush()?;
         let line = self.read_line()?;
@@ -158,13 +220,43 @@ impl ServeClient {
                 .parse()
                 .map_err(|_| protocol_err(format!("bad {key} in {line:?}")))
         };
-        Ok((
-            num("hits")?,
-            num("misses")?,
-            num("evictions")?,
-            num("entries")?,
-            num("sessions")?,
-        ))
+        Ok(ServerStats {
+            hits: num("hits")?,
+            misses: num("misses")?,
+            evictions: num("evictions")?,
+            entries: num("entries")?,
+            sessions: num("sessions")?,
+            quarantined: num("quarantined")?,
+            retired: num("retired")?,
+            lease_leaked: num("leases")?,
+            shed: num("shed")?,
+        })
+    }
+
+    /// Sends a full `query` command, flushes it, then drops the connection
+    /// without reading the reply — a client that died mid-query. Chaos-test
+    /// helper: the server must finish the abandoned query, return its
+    /// machine lease and reap the session.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the doomed command.
+    pub fn kill_after_query(mut self, goal: &str) -> io::Result<()> {
+        writeln!(self.writer, "query {goal}")?;
+        self.writer.flush()
+    }
+
+    /// Writes a partial command — no trailing newline — then drops the
+    /// connection, leaving a torn frame on the wire. Chaos-test helper: the
+    /// server must detect the cut (EOF or torn-frame timeout) and reap the
+    /// session without leaking anything.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing the fragment.
+    pub fn kill_mid_command(mut self, partial: &str) -> io::Result<()> {
+        write!(self.writer, "{partial}")?;
+        self.writer.flush()
     }
 
     /// Ends the session politely.

@@ -25,7 +25,7 @@ pub mod server;
 pub mod session;
 
 pub use cache::{CacheStats, PoolConfig, ProgramEntry, TemplateCache};
-pub use client::{ClientReply, ServeClient};
+pub use client::{ClientReply, ServeClient, ServerStats};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use session::{LoadReply, QueryReply, Session, SessionBudget};
 
@@ -33,7 +33,31 @@ use granlog_engine::EngineError;
 use granlog_ir::parser::ParseError;
 use std::fmt;
 
+/// Serializes fault-injection tests against every other test in this
+/// crate: the failpoint registry is process-global, so a test that arms a
+/// failpoint holds the exclusive lock while ordinary tests (whose queries
+/// cross the same failpoint sites) hold the shared one.
+#[cfg(all(test, feature = "failpoints"))]
+pub(crate) mod faultsync {
+    use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+    static LOCK: RwLock<()> = RwLock::new(());
+
+    pub(crate) fn exclusive() -> RwLockWriteGuard<'static, ()> {
+        LOCK.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn shared() -> RwLockReadGuard<'static, ()> {
+        LOCK.read().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 /// Everything a session operation can fail with.
+///
+/// Every variant maps to a stable kebab-case wire code (see
+/// [`ServeError::code`]) that the server prepends to its `err` replies —
+/// `err <code> <message>` — so clients can dispatch on the class of failure
+/// without parsing prose.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServeError {
     /// Program or goal text did not parse.
@@ -43,6 +67,35 @@ pub enum ServeError {
     Engine(EngineError),
     /// A query was issued before any program was loaded.
     NoProgram,
+    /// A serve-layer invariant broke (a worker panicked mid-query, pool
+    /// accounting failed). The offending machine is quarantined and the
+    /// session survives; the message describes what happened.
+    Internal(String),
+    /// An armed failpoint injected this failure at a serve seam
+    /// (fault-injection builds only). Carries the failpoint name.
+    Fault(&'static str),
+    /// The server is at its connection cap and shed this connection.
+    Overloaded,
+    /// The server is draining for shutdown and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ServeError {
+    /// The stable wire code of this error class, sent as the first field of
+    /// an `err` reply line.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Parse(_) => "parse",
+            ServeError::Engine(EngineError::BudgetExceeded { .. }) => "budget",
+            ServeError::Engine(EngineError::Fault(_)) => "fault",
+            ServeError::Engine(_) => "engine",
+            ServeError::NoProgram => "no-program",
+            ServeError::Internal(_) => "internal",
+            ServeError::Fault(_) => "fault",
+            ServeError::Overloaded => "overloaded",
+            ServeError::ShuttingDown => "shutdown",
+        }
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -51,6 +104,12 @@ impl fmt::Display for ServeError {
             ServeError::Parse(e) => write!(f, "parse: {e}"),
             ServeError::Engine(e) => write!(f, "{e}"),
             ServeError::NoProgram => write!(f, "no program loaded: send `load` first"),
+            ServeError::Internal(msg) => write!(f, "internal: {msg}"),
+            ServeError::Fault(name) => write!(f, "injected fault at failpoint `{name}`"),
+            ServeError::Overloaded => {
+                write!(f, "server at connection capacity, retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
     }
 }

@@ -14,26 +14,60 @@
 //! | `budget steps <n\|off>` | `ok` |
 //! | `budget heap <n\|off>` | `ok` |
 //! | `budget quantum <n>` | `ok` |
-//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n>` |
+//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n> quarantined=<n> retired=<n> leases=<n> shed=<n>` |
 //! | `quit` | `ok bye`, connection closes |
 //! | `shutdown` | `ok shutting-down`, server stops accepting |
 //!
 //! Any failure (parse error, engine error, exceeded budget, protocol
-//! misuse) is a single `err <message>` line; the session survives and the
-//! next command is read normally. The `load` payload is a byte-counted
-//! blob, so programs may contain newlines without any quoting scheme.
+//! misuse) is a single `err <code> <message>` line — `code` is the stable
+//! kebab-case class from [`ServeError::code`] (`parse`, `budget`, `engine`,
+//! `no-program`, `proto`, `too-large`, `internal`, `fault`, `overloaded`,
+//! `timeout`, `shutdown`) — and the session survives: the next command is
+//! read normally. The `load` payload is a byte-counted blob, so programs
+//! may contain newlines without any quoting scheme.
+//!
+//! # Robustness
+//!
+//! Reads are *ticked*: the socket runs under a short read timeout and the
+//! connection loop re-checks the server's stop flag and the session's idle
+//! clocks on every tick, so a wedged or silent peer can never pin a thread
+//! past shutdown. Three timers fall out of one mechanism:
+//!
+//! - **graceful shutdown** — when the stop flag rises, in-flight commands
+//!   finish and write their reply (long queries are already bounded by the
+//!   session budget's hard tail slice); any command read after the flag —
+//!   and the next otherwise-idle read tick — closes the connection with
+//!   `err shutdown ...`.
+//! - **idle reaping** — a connection with *no partial command* buffered for
+//!   longer than [`ServeConfig::idle_timeout`] is reaped with
+//!   `err timeout ...`.
+//! - **torn frames** — a connection that started a command (or a `load`
+//!   payload) and stalls mid-frame past [`ServeConfig::io_timeout`] is
+//!   cut: half a frame is a fault, not a session.
+//!
+//! Past [`ServeConfig::max_conns`] concurrent connections the acceptor
+//! *sheds*: the new connection receives `err overloaded ...` instead of
+//! the greeting and is closed, which [`crate::client::ServeClient`] turns
+//! into a typed retryable error. Shed connections are counted in the
+//! `stats` line.
 
 use crate::cache::{PoolConfig, TemplateCache};
 use crate::session::{Session, SessionBudget};
+use crate::ServeError;
 use granlog_engine::MachineConfig;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Largest `load` payload the server will read, in bytes.
 const MAX_PROGRAM_BYTES: u64 = 16 * 1024 * 1024;
+
+/// Socket read-timeout tick: the granularity at which connection threads
+/// notice the stop flag and their idle clocks.
+const READ_TICK: Duration = Duration::from_millis(50);
 
 /// Configuration for [`Server::start`].
 #[derive(Debug, Clone)]
@@ -48,6 +82,15 @@ pub struct ServeConfig {
     pub machine_config: MachineConfig,
     /// Machine-pool policy per cached program.
     pub pool: PoolConfig,
+    /// Connection cap: past this many concurrent sessions new connections
+    /// are shed with `err overloaded ...`. `0` = unlimited.
+    pub max_conns: usize,
+    /// Mid-frame stall bound: a connection that leaves a command line or a
+    /// `load` payload incomplete for this long is cut.
+    pub io_timeout: Duration,
+    /// Idle reaping bound: a connection with no buffered input for this
+    /// long is closed with `err timeout ...`. `None` = never reap.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -58,6 +101,9 @@ impl Default for ServeConfig {
             budget: SessionBudget::default(),
             machine_config: MachineConfig::default(),
             pool: PoolConfig::default(),
+            max_conns: 0,
+            io_timeout: Duration::from_secs(10),
+            idle_timeout: None,
         }
     }
 }
@@ -67,6 +113,10 @@ struct ServerState {
     default_budget: SessionBudget,
     stop: AtomicBool,
     active_sessions: AtomicU64,
+    /// Connections shed at the acceptor because `max_conns` was reached.
+    shed: AtomicU64,
+    io_timeout: Duration,
+    idle_timeout: Option<Duration>,
 }
 
 /// The serve front end. [`Server::start`] binds, spawns the accept loop and
@@ -93,9 +143,13 @@ impl Server {
             default_budget: config.budget,
             stop: AtomicBool::new(false),
             active_sessions: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            io_timeout: config.io_timeout,
+            idle_timeout: config.idle_timeout,
         });
+        let max_conns = config.max_conns;
         let accept_state = Arc::clone(&state);
-        let accept = std::thread::spawn(move || accept_loop(listener, accept_state));
+        let accept = std::thread::spawn(move || accept_loop(listener, accept_state, max_conns));
         Ok(ServerHandle {
             local_addr,
             state,
@@ -123,6 +177,11 @@ impl ServerHandle {
         &self.state.cache
     }
 
+    /// Connections shed so far because the connection cap was reached.
+    pub fn shed_connections(&self) -> u64 {
+        self.state.shed.load(Ordering::Relaxed)
+    }
+
     /// Blocks until the server stops on its own (a client sent `shutdown`),
     /// then waits for every session thread to finish. This is what
     /// `granlog serve` does after printing its listening line.
@@ -132,8 +191,8 @@ impl ServerHandle {
         }
     }
 
-    /// Stops accepting connections and waits for the accept loop and every
-    /// session thread to finish.
+    /// Stops accepting connections, lets in-flight commands finish their
+    /// reply, and waits for the accept loop and every session thread.
     pub fn shutdown(mut self) {
         self.state.stop.store(true, Ordering::SeqCst);
         // Nudge the accept loop out of its blocking `accept()`.
@@ -154,39 +213,181 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>, max_conns: usize) {
     let sessions: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
     for stream in listener.incoming() {
         if state.stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = stream else { continue };
+        // Reap finished session threads so a long-lived server's handle
+        // list tracks live connections, not its whole history.
+        {
+            let mut handles = sessions.lock().unwrap_or_else(PoisonError::into_inner);
+            let finished: Vec<_> = {
+                let mut keep = Vec::new();
+                let mut done = Vec::new();
+                for handle in handles.drain(..) {
+                    if handle.is_finished() {
+                        done.push(handle);
+                    } else {
+                        keep.push(handle);
+                    }
+                }
+                *handles = keep;
+                done
+            };
+            drop(handles);
+            for handle in finished {
+                let _ = handle.join();
+            }
+        }
+        // Shed past the connection cap: a typed one-line refusal is honest
+        // load feedback; an unbounded thread pile-up is an outage.
+        if max_conns > 0 && state.active_sessions.load(Ordering::SeqCst) >= max_conns as u64 {
+            state.shed.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let err = ServeError::Overloaded;
+            let _ = writeln!(stream, "err {} {}", err.code(), err);
+            continue;
+        }
+        state.active_sessions.fetch_add(1, Ordering::SeqCst);
         let session_state = Arc::clone(&state);
         let handle = std::thread::spawn(move || {
-            session_state.active_sessions.fetch_add(1, Ordering::SeqCst);
             let _ = serve_connection(stream, &session_state);
             session_state.active_sessions.fetch_sub(1, Ordering::SeqCst);
         });
-        sessions.lock().expect("session list poisoned").push(handle);
+        sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(handle);
     }
-    for handle in sessions.into_inner().expect("session list poisoned") {
+    for handle in sessions
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+    {
         let _ = handle.join();
     }
+}
+
+/// Why the ticked reader returned without a complete line.
+enum ReadStatus {
+    /// A complete command line (newline stripped by the caller).
+    Line,
+    /// Clean EOF from the peer.
+    Eof,
+    /// The server's stop flag rose while waiting.
+    Stopped,
+    /// No input at all for longer than the idle timeout.
+    Idle,
+    /// A partial command stalled past the io timeout (torn frame).
+    Torn,
+    /// The peer sent bytes that are not UTF-8: not a command stream.
+    Garbage,
+}
+
+/// Reads one command line under the tick discipline: short socket timeouts,
+/// re-checking the stop flag and the idle/torn clocks between ticks.
+fn read_command(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    state: &ServerState,
+) -> io::Result<ReadStatus> {
+    line.clear();
+    let started = Instant::now();
+    loop {
+        if granlog_fault::should_fail("serve.sock.read") {
+            return Err(injected_io_fault("serve.sock.read"));
+        }
+        match reader.read_line(line) {
+            Ok(0) if line.is_empty() => return Ok(ReadStatus::Eof),
+            // EOF mid-line: hand the partial line up; the next read sees
+            // the clean EOF.
+            Ok(0) => return Ok(ReadStatus::Line),
+            Ok(_) if line.ends_with('\n') => return Ok(ReadStatus::Line),
+            Ok(_) => continue,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // `read_line` keeps the bytes it consumed before the
+                // timeout in `line`, so a torn frame accumulates across
+                // ticks instead of being dropped.
+                if state.stop.load(Ordering::SeqCst) {
+                    return Ok(ReadStatus::Stopped);
+                }
+                if !line.is_empty() {
+                    if started.elapsed() >= state.io_timeout {
+                        return Ok(ReadStatus::Torn);
+                    }
+                } else if let Some(idle) = state.idle_timeout {
+                    if started.elapsed() >= idle {
+                        return Ok(ReadStatus::Idle);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => return Ok(ReadStatus::Garbage),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn injected_io_fault(name: &'static str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::ConnectionAborted,
+        format!("injected fault at failpoint `{name}`"),
+    )
+}
+
+fn write_err(writer: &mut TcpStream, err: &ServeError) -> io::Result<()> {
+    writeln!(writer, "err {} {}", err.code(), err)
 }
 
 fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<()> {
     // Replies are single small writes; without TCP_NODELAY the Nagle /
     // delayed-ACK interaction adds tens of milliseconds to every command.
     stream.set_nodelay(true)?;
+    // The tick: all reads time out quickly so the loop stays responsive to
+    // stop/idle/torn conditions. Writes get the full io timeout — a peer
+    // that cannot drain a reply line in that long is gone.
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_write_timeout(Some(state.io_timeout.max(READ_TICK)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     writeln!(writer, "ok granlog-serve")?;
     let mut session = Session::new(Arc::clone(&state.cache), state.default_budget);
     let mut line = String::new();
     loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client hung up
+        match read_command(&mut reader, &mut line, state)? {
+            ReadStatus::Line => {}
+            ReadStatus::Eof => return Ok(()), // client hung up
+            ReadStatus::Stopped => {
+                let _ = write_err(&mut writer, &ServeError::ShuttingDown);
+                return Ok(());
+            }
+            ReadStatus::Idle => {
+                let _ = writeln!(writer, "err timeout idle for longer than the idle timeout");
+                return Ok(());
+            }
+            ReadStatus::Torn => {
+                let _ = writeln!(writer, "err timeout torn frame: command stalled mid-line");
+                return Ok(());
+            }
+            ReadStatus::Garbage => {
+                let _ = writeln!(writer, "err proto command stream is not valid utf-8");
+                return Ok(());
+            }
+        }
+        // Drain discipline: a command *read* after the stop flag rose is
+        // refused — only commands already dispatched finish their reply.
+        if state.stop.load(Ordering::SeqCst) {
+            let _ = write_err(&mut writer, &ServeError::ShuttingDown);
+            return Ok(());
+        }
+        // An injected write fault tears the connection between a command
+        // and its reply — the client sees an abandoned frame.
+        if granlog_fault::should_fail("serve.sock.write") {
+            return Err(injected_io_fault("serve.sock.write"));
         }
         let cmd = line.trim_end_matches(['\r', '\n']);
         let (verb, rest) = match cmd.split_once(' ') {
@@ -194,19 +395,24 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
             None => (cmd, ""),
         };
         match verb {
-            "load" => cmd_load(&mut reader, &mut writer, &mut session, rest)?,
+            "load" => cmd_load(&mut reader, &mut writer, &mut session, state, rest)?,
             "query" => cmd_query(&mut writer, &mut session, rest)?,
             "budget" => cmd_budget(&mut writer, &mut session, rest)?,
             "stats" => {
                 let s = state.cache.stats();
                 writeln!(
                     writer,
-                    "ok hits={} misses={} evictions={} entries={} sessions={}",
+                    "ok hits={} misses={} evictions={} entries={} sessions={} \
+                     quarantined={} retired={} leases={} shed={}",
                     s.hits,
                     s.misses,
                     s.evictions,
                     s.entries,
                     state.active_sessions.load(Ordering::SeqCst),
+                    s.quarantined,
+                    s.retired,
+                    s.leases_active,
+                    state.shed.load(Ordering::Relaxed),
                 )?;
             }
             "quit" => {
@@ -223,32 +429,71 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
                 return Ok(());
             }
             "" => {} // blank line: ignore
-            other => writeln!(writer, "err unknown command `{other}`")?,
+            other => writeln!(writer, "err proto unknown command `{other}`")?,
         }
     }
+}
+
+/// Reads exactly `nbytes` of `load` payload under the tick discipline.
+/// Returns the payload, or `None` when the frame tore (EOF or stall
+/// mid-payload) — the caller reports and drops the connection.
+fn read_payload(
+    reader: &mut BufReader<TcpStream>,
+    nbytes: usize,
+    state: &ServerState,
+) -> io::Result<Option<Vec<u8>>> {
+    let mut payload = vec![0u8; nbytes];
+    let mut filled = 0;
+    let started = Instant::now();
+    while filled < nbytes {
+        match reader.read(&mut payload[filled..]) {
+            Ok(0) => return Ok(None), // EOF mid-payload
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Mid-payload is always "torn", never "idle": the frame
+                // declared a length it is not delivering.
+                if state.stop.load(Ordering::SeqCst) || started.elapsed() >= state.io_timeout {
+                    return Ok(None);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(payload))
 }
 
 fn cmd_load(
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     session: &mut Session,
+    state: &ServerState,
     arg: &str,
 ) -> io::Result<()> {
     let nbytes: u64 = match arg.parse() {
         Ok(n) if n <= MAX_PROGRAM_BYTES => n,
         Ok(_) => {
-            return writeln!(writer, "err program larger than {MAX_PROGRAM_BYTES} bytes");
+            return writeln!(
+                writer,
+                "err too-large program larger than {MAX_PROGRAM_BYTES} bytes"
+            );
         }
-        Err(_) => return writeln!(writer, "err usage: load <nbytes>"),
+        Err(_) => return writeln!(writer, "err proto usage: load <nbytes>"),
     };
-    let mut payload = Vec::with_capacity(nbytes as usize);
-    reader.take(nbytes).read_to_end(&mut payload)?;
-    if payload.len() as u64 != nbytes {
-        return writeln!(writer, "err short read: connection truncated");
-    }
+    let Some(payload) = read_payload(reader, nbytes as usize, state)? else {
+        let _ = writeln!(writer, "err timeout torn frame: load payload truncated");
+        // The stream position is now mid-payload garbage; the only safe
+        // continuation is none.
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "load payload truncated",
+        ));
+    };
     let source = match String::from_utf8(payload) {
         Ok(s) => s,
-        Err(_) => return writeln!(writer, "err program is not valid utf-8"),
+        Err(_) => return writeln!(writer, "err proto program is not valid utf-8"),
     };
     match session.load(&source) {
         Ok(reply) => writeln!(
@@ -258,13 +503,13 @@ fn cmd_load(
             reply.clauses,
             if reply.cache_hit { "hit" } else { "miss" },
         ),
-        Err(e) => writeln!(writer, "err {e}"),
+        Err(e) => write_err(writer, &e),
     }
 }
 
 fn cmd_query(writer: &mut TcpStream, session: &mut Session, goal: &str) -> io::Result<()> {
     if goal.is_empty() {
-        return writeln!(writer, "err usage: query <goal>");
+        return writeln!(writer, "err proto usage: query <goal>");
     }
     match session.query(goal) {
         Ok(reply) => {
@@ -282,7 +527,7 @@ fn cmd_query(writer: &mut TcpStream, session: &mut Session, goal: &str) -> io::R
                 reply.slices,
             )
         }
-        Err(e) => writeln!(writer, "err {e}"),
+        Err(e) => write_err(writer, &e),
     }
 }
 
@@ -303,7 +548,7 @@ fn cmd_budget(writer: &mut TcpStream, session: &mut Session, args: &str) -> io::
         _ => {
             return writeln!(
                 writer,
-                "err usage: budget steps|heap <n|off> | budget quantum <n>"
+                "err proto usage: budget steps|heap <n|off> | budget quantum <n>"
             );
         }
     };
@@ -312,6 +557,6 @@ fn cmd_budget(writer: &mut TcpStream, session: &mut Session, args: &str) -> io::
             session.set_budget(budget);
             writeln!(writer, "ok")
         }
-        Err(_) => writeln!(writer, "err not a number: `{args}`"),
+        Err(_) => writeln!(writer, "err proto not a number: `{args}`"),
     }
 }

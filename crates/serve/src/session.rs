@@ -117,62 +117,129 @@ impl Session {
 
     /// Runs one query under the session budget, slicing by quantum.
     ///
+    /// The whole solve runs under `catch_unwind`: a panic anywhere inside
+    /// the engine (or injected by a failpoint) is caught here, the leased
+    /// machine is **quarantined** — dropped, never pooled, its entry's pool
+    /// generation bumped — and the session reports
+    /// [`ServeError::Internal`] and keeps serving. One tenant's panic never
+    /// takes down a neighbor's connection or poisons the shared pool.
+    ///
     /// # Errors
     ///
     /// [`ServeError::NoProgram`] before any successful [`Session::load`];
     /// [`ServeError::Parse`] for a malformed goal; [`ServeError::Engine`]
     /// for engine failures, including `BudgetExceeded` with the
-    /// session-level limit when this query ran out of steps or heap.
+    /// session-level limit when this query ran out of steps or heap;
+    /// [`ServeError::Internal`] for a caught panic;
+    /// [`ServeError::Fault`] for an injected lease fault.
     pub fn query(&mut self, goal_text: &str) -> Result<QueryReply, ServeError> {
         let entry = self.entry.clone().ok_or(ServeError::NoProgram)?;
         let (goal, var_names) = parse_term(goal_text)?;
         let quantum = self.budget.quantum.max(1);
         let heap_cells = self.budget.heap_cells;
+        let session_steps = self.budget.steps;
 
-        let mut lease = entry.lease();
-        let machine = lease.machine();
-        let mut slices = 1usize;
-        let mut state = machine.solve_goal(
-            &goal,
-            &var_names,
-            None,
-            &next_slice(self.budget.steps, 0, quantum, heap_cells),
-        );
-        let outcome = loop {
-            match state {
-                Ok(Solve::Done(outcome)) => break outcome,
-                Ok(Solve::Yield(token)) => {
-                    slices += 1;
-                    let used = machine.counters().head_attempts;
-                    let slice = next_slice(self.budget.steps, used, quantum, heap_cells);
-                    state = machine.resume(token, None, &slice);
-                }
-                // The hard tail slice reports its own (possibly clamped)
-                // limit; surface the session-level limit instead.
-                Err(EngineError::BudgetExceeded {
-                    resource: BudgetKind::Steps,
-                    ..
-                }) => {
-                    return Err(ServeError::Engine(EngineError::BudgetExceeded {
-                        resource: BudgetKind::Steps,
-                        limit: self.budget.steps.unwrap_or(u64::MAX),
-                    }))
-                }
-                Err(e) => return Err(ServeError::Engine(e)),
+        let mut lease = entry.lease()?;
+        // AssertUnwindSafe: on panic the closure's only captured state, the
+        // leased machine, is quarantined below and never observed again.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_sliced(
+                lease.machine(),
+                &goal,
+                &var_names,
+                session_steps,
+                quantum,
+                heap_cells,
+            )
+        }));
+        match caught {
+            Ok(Ok((outcome, slices))) => {
+                let heap_high_water = lease.machine().stats().heap_high_water;
+                Ok(QueryReply {
+                    succeeded: outcome.succeeded,
+                    bindings: outcome
+                        .bindings
+                        .iter()
+                        .map(|(name, term)| (name.to_string(), term.to_string()))
+                        .collect(),
+                    steps: outcome.counters.head_attempts,
+                    heap_high_water,
+                    slices,
+                })
             }
-        };
-        let heap_high_water = machine.stats().heap_high_water;
-        Ok(QueryReply {
-            succeeded: outcome.succeeded,
-            bindings: outcome
-                .bindings
-                .iter()
-                .map(|(name, term)| (name.to_string(), term.to_string()))
-                .collect(),
-            steps: outcome.counters.head_attempts,
-            heap_high_water,
-            slices,
-        })
+            // The hard tail slice reports its own (possibly clamped) limit;
+            // surface the session-level limit instead.
+            Ok(Err(EngineError::BudgetExceeded {
+                resource: BudgetKind::Steps,
+                ..
+            })) => Err(ServeError::Engine(EngineError::BudgetExceeded {
+                resource: BudgetKind::Steps,
+                limit: session_steps.unwrap_or(u64::MAX),
+            })),
+            Ok(Err(e)) => {
+                // An injected engine fault unwinds the machine like any
+                // engine error, but the point of injecting it is to model
+                // state we do not trust: quarantine anyway.
+                if matches!(e, EngineError::Fault(_)) {
+                    lease.quarantine();
+                }
+                Err(ServeError::Engine(e))
+            }
+            Err(payload) => {
+                // The lease lives *outside* the caught closure, so the
+                // unwind did not drop it: quarantine explicitly — the
+                // machine was abandoned at an arbitrary panic point.
+                lease.quarantine();
+                Err(ServeError::Internal(format!(
+                    "query panicked: {}",
+                    panic_message(&*payload)
+                )))
+            }
+        }
+    }
+}
+
+/// The quantum-slicing solve loop, separated out so [`Session::query`] can
+/// wrap exactly this much in `catch_unwind`. Returns the outcome plus the
+/// number of slices the query ran in.
+fn run_sliced(
+    machine: &mut granlog_engine::Machine<'static>,
+    goal: &granlog_ir::Term,
+    var_names: &[granlog_ir::Symbol],
+    session_steps: Option<u64>,
+    quantum: u64,
+    heap_cells: Option<usize>,
+) -> Result<(granlog_engine::QueryOutcome, usize), EngineError> {
+    let mut slices = 1usize;
+    let mut state = machine.solve_goal(
+        goal,
+        var_names,
+        None,
+        &next_slice(session_steps, 0, quantum, heap_cells),
+    );
+    loop {
+        match state {
+            Ok(Solve::Done(outcome)) => return Ok((outcome, slices)),
+            Ok(Solve::Yield(token)) => {
+                slices += 1;
+                let used = machine.counters().head_attempts;
+                let slice = next_slice(session_steps, used, quantum, heap_cells);
+                state = machine.resume(token, None, &slice);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Renders a caught panic payload: panics carry a `&str` or `String`
+/// message in practice; anything else gets a placeholder.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -224,12 +291,16 @@ mod tests {
 
     #[test]
     fn query_before_load_is_an_error() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let mut s = session(SessionBudget::default());
         assert!(matches!(s.query("true"), Err(ServeError::NoProgram)));
     }
 
     #[test]
     fn small_quantum_slices_but_matches_the_answer() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let mut fine = session(SessionBudget {
             quantum: 7,
             ..SessionBudget::default()
@@ -253,6 +324,8 @@ mod tests {
 
     #[test]
     fn step_budget_is_enforced_and_remapped_to_the_session_limit() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let mut s = session(SessionBudget {
             steps: Some(50),
             quantum: 8,
@@ -276,6 +349,8 @@ mod tests {
 
     #[test]
     fn heap_budget_is_enforced() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let mut s = session(SessionBudget {
             heap_cells: Some(256),
             ..SessionBudget::default()
@@ -297,8 +372,52 @@ mod tests {
         assert!(s.query("build(3, L)").unwrap().succeeded);
     }
 
+    /// Panic isolation end to end: an injected panic inside the solve is
+    /// caught, surfaces as `ServeError::Internal`, quarantines the machine,
+    /// and the session keeps answering. Needs the failpoints feature to
+    /// have a way to panic mid-query on demand.
+    #[test]
+    #[cfg(feature = "failpoints")]
+    fn an_injected_panic_is_caught_and_quarantines_the_machine() {
+        let _excl = crate::faultsync::exclusive();
+        let mut s = session(SessionBudget::default());
+        s.load(COUNT).unwrap();
+        assert!(s.query("count(3)").unwrap().succeeded);
+
+        granlog_fault::arm("engine.solve", granlog_fault::Action::Panic, 1.0);
+        let err = s.query("count(3)").unwrap_err();
+        granlog_fault::disarm("engine.solve");
+        assert!(matches!(err, ServeError::Internal(_)), "{err:?}");
+        assert_eq!(err.code(), "internal");
+        assert!(err.to_string().contains("engine.solve"), "{err}");
+        let stats = s.cache.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.leases_active, 0, "no lease may leak past a panic");
+
+        // The session (and the shared pool) keep working.
+        assert!(s.query("count(3)").unwrap().succeeded);
+    }
+
+    /// An injected lease fault is a typed error, not a panic, and the
+    /// session survives it.
+    #[test]
+    #[cfg(feature = "failpoints")]
+    fn an_injected_lease_fault_is_typed_and_recoverable() {
+        let _excl = crate::faultsync::exclusive();
+        let mut s = session(SessionBudget::default());
+        s.load(COUNT).unwrap();
+        granlog_fault::arm("serve.lease", granlog_fault::Action::Error, 1.0);
+        let err = s.query("count(3)").unwrap_err();
+        granlog_fault::disarm("serve.lease");
+        assert_eq!(err, ServeError::Fault("serve.lease"));
+        assert_eq!(err.code(), "fault");
+        assert!(s.query("count(3)").unwrap().succeeded);
+    }
+
     #[test]
     fn bindings_render_with_source_names() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
         let mut s = session(SessionBudget::default());
         s.load("pair(1, two).").unwrap();
         let reply = s.query("pair(X, Y)").unwrap();

@@ -16,6 +16,9 @@ use granlog_ir::parser::parse_program;
 use granlog_ir::Term;
 use granlog_serve::{PoolConfig, ServeClient, ServeConfig, Server, SessionBudget};
 use std::collections::BTreeMap;
+use std::io::{self, BufRead, BufReader};
+use std::net::TcpStream;
+use std::time::Duration;
 
 /// Precomputed `(query, succeeded, bindings)` oracle for one benchmark.
 type ExpectedAnswer = (String, bool, Vec<(String, String)>);
@@ -70,6 +73,7 @@ fn start_server(budget: SessionBudget, cache_capacity: usize) -> granlog_serve::
         budget,
         machine_config: MachineConfig::default(),
         pool: PoolConfig::default(),
+        ..ServeConfig::default()
     })
     .expect("server must bind an ephemeral port")
 }
@@ -228,17 +232,20 @@ fn cache_keys_on_normalized_text_and_evicts_lru() {
     client.load(original).unwrap().unwrap();
     let (_, _, hit_d) = client.load("solo(1).").unwrap().unwrap();
     assert!(!hit_d);
-    let (hits_before, _, evictions, entries, _) = client.stats().unwrap();
-    assert_eq!(evictions, 1, "third program must evict the LRU entry");
-    assert_eq!(entries, 2);
+    let before = client.stats().unwrap();
+    assert_eq!(
+        before.evictions, 1,
+        "third program must evict the LRU entry"
+    );
+    assert_eq!(before.entries, 2);
 
     // original survived (hit), modified was evicted (miss again).
     let (_, _, survived) = client.load(original).unwrap().unwrap();
     assert!(survived, "the recently-touched entry must survive eviction");
     let (_, _, evicted) = client.load(modified).unwrap().unwrap();
     assert!(!evicted, "the LRU entry must have been evicted");
-    let (hits_after, ..) = client.stats().unwrap();
-    assert_eq!(hits_after, hits_before + 1);
+    let after = client.stats().unwrap();
+    assert_eq!(after.hits, before.hits + 1);
 
     client.quit().unwrap();
     server.shutdown();
@@ -268,4 +275,181 @@ fn sessions_survive_errors() {
 
     client.quit().unwrap();
     server.shutdown();
+}
+
+/// The acceptor sheds past the connection cap with a typed refusal the
+/// client surfaces as retryable, counts the shed, and recovers as soon as a
+/// slot frees.
+#[test]
+fn overload_shedding_is_typed_counted_and_recoverable() {
+    let server = Server::start(ServeConfig {
+        max_conns: 1,
+        ..ServeConfig::default()
+    })
+    .expect("server must bind an ephemeral port");
+    let addr = server.addr();
+    let mut first = ServeClient::connect(addr).unwrap();
+    first.load("p(1).").unwrap().unwrap();
+
+    let Err(err) = ServeClient::connect(addr) else {
+        panic!("second connection must be shed");
+    };
+    assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+    assert!(err.to_string().contains("shed"), "{err}");
+    assert!(server.shed_connections() >= 1);
+
+    // Freeing the slot ends the outage: bounded retry-with-backoff gets the
+    // next tenant in without any out-of-band coordination.
+    first.quit().unwrap();
+    let mut second = ServeClient::connect_with_retry(addr, 50, Duration::from_millis(5))
+        .expect("a freed slot must readmit within the retry budget");
+    second.load("p(2).").unwrap().unwrap();
+    assert!(second.query("p(X)").unwrap().unwrap().succeeded);
+    second.quit().unwrap();
+    server.shutdown();
+}
+
+/// A silent connection is reaped after the idle timeout with a typed
+/// `err timeout` line and a close — while a connection that keeps issuing
+/// commands (each one resets the idle clock) stays alive.
+#[test]
+fn idle_connections_are_reaped_with_a_typed_timeout() {
+    let server = Server::start(ServeConfig {
+        idle_timeout: Some(Duration::from_millis(300)),
+        ..ServeConfig::default()
+    })
+    .expect("server must bind an ephemeral port");
+    let stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok granlog-serve"), "{line}");
+
+    // Activity resets the clock: pauses shorter than the timeout are fine.
+    use std::io::Write as _;
+    let mut writer = stream.try_clone().unwrap();
+    for _ in 0..2 {
+        std::thread::sleep(Duration::from_millis(150));
+        writeln!(writer, "stats").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("ok "), "{line}");
+    }
+
+    // Then silence: the reaper cuts the connection with a typed line.
+    line.clear();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("err timeout idle"), "{line}");
+    line.clear();
+    assert_eq!(
+        reader.read_line(&mut line).unwrap(),
+        0,
+        "connection must close after the idle reap"
+    );
+    server.shutdown();
+}
+
+mod protocol_fuzz {
+    use super::*;
+    use proptest::prelude::*;
+    use std::io::{Read as _, Write as _};
+    use std::sync::OnceLock;
+
+    /// One server shared by every fuzz case: the property under test is
+    /// that no sequence of wire abuse degrades it for the next tenant.
+    fn fuzz_server_addr() -> std::net::SocketAddr {
+        static ADDR: OnceLock<std::net::SocketAddr> = OnceLock::new();
+        *ADDR.get_or_init(|| {
+            let server = Server::start(ServeConfig {
+                io_timeout: Duration::from_millis(250),
+                ..ServeConfig::default()
+            })
+            .expect("fuzz server must bind");
+            let addr = server.addr();
+            // Deliberately leaked: the handle's Drop would stop the server,
+            // and it must outlive every case in this module.
+            std::mem::forget(server);
+            addr
+        })
+    }
+
+    /// One wire frame: a command-shaped line glued from protocol fragments,
+    /// raw (possibly non-UTF-8) bytes, a `load` whose declared length does
+    /// not match its payload, or a fully valid exchange. `shutdown` is
+    /// deliberately absent from the vocabulary.
+    fn frame() -> impl Strategy<Value = Vec<u8>> {
+        let word = prop_oneof![
+            Just("load"),
+            Just("query"),
+            Just("budget"),
+            Just("stats"),
+            Just("steps"),
+            Just("p(X)"),
+            Just("-7"),
+            Just("18446744073709551616"),
+            Just("load 4"),
+            Just(""),
+        ];
+        prop_oneof![
+            // Command-shaped lines, mostly malformed.
+            proptest::collection::vec(word, 0..4).prop_map(|words| format!(
+                "{}\n",
+                words.join(" ")
+            )
+            .into_bytes()),
+            // Raw bytes: newlines, control characters, invalid UTF-8.
+            proptest::collection::vec(0u8..255, 0..40),
+            // A load whose declared length disagrees with its payload.
+            (0u64..64, proptest::collection::vec(32u8..127, 0..32)).prop_map(|(declared, body)| {
+                let mut frame = format!("load {declared}\n").into_bytes();
+                frame.extend(body);
+                frame
+            }),
+            // A valid exchange, so abuse and real traffic interleave.
+            Just(b"load 9\nfz(good).\nquery fz(X)\n".to_vec()),
+        ]
+    }
+
+    proptest! {
+        // Each case opens one abusive connection against the shared server,
+        // then proves a well-behaved tenant is unaffected; 24 cases keep
+        // the walltime down (raise PROPTEST_CASES locally for more).
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Arbitrary frame sequences — garbage bytes, torn loads, half
+        /// commands, interleaved valid exchanges — never wedge the server:
+        /// after every abusive connection the same server still serves
+        /// correct answers and coherent stats.
+        #[test]
+        fn arbitrary_frames_never_wedge_the_server(
+            frames in proptest::collection::vec(frame(), 1..6),
+        ) {
+            let addr = fuzz_server_addr();
+            if let Ok(mut abuser) = TcpStream::connect(addr) {
+                abuser
+                    .set_read_timeout(Some(Duration::from_millis(20)))
+                    .ok();
+                for frame in &frames {
+                    if abuser.write_all(frame).is_err() {
+                        break; // the server already cut us off: its right
+                    }
+                    let mut sink = [0u8; 512];
+                    let _ = abuser.read(&mut sink);
+                }
+            }
+            // The well-behaved tenant: correct answers, parseable stats.
+            let mut client =
+                ServeClient::connect_with_retry(addr, 20, Duration::from_millis(5))
+                    .expect("the server must keep accepting");
+            client.load("ok(fuzz).").unwrap().unwrap();
+            let reply = client.query("ok(X)").unwrap().unwrap();
+            prop_assert!(reply.succeeded);
+            prop_assert_eq!(reply.bindings[0].1.as_str(), "fuzz");
+            let _ = client.stats().unwrap();
+            client.quit().unwrap();
+        }
+    }
 }
