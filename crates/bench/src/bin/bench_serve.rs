@@ -27,6 +27,14 @@
 //! armed for the phase. The resulting error rate, shed count and p99 land
 //! in the snapshot's `availability` block — the service's behavior *under*
 //! faults, next to its behavior without them.
+//!
+//! A final **recovery phase** measures the durable store: the full
+//! 15-program corpus is journaled to a scratch `--data-dir`, the server is
+//! shut down (which snapshots), and a second server boots on the same
+//! directory. The snapshot's `recovery` block records the boot-replay wall
+//! time (asserted < 1 s in release — the acceptance bar) and the first
+//! load+query latency per program on a cold cache versus the
+//! recovery-warmed one.
 
 use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark, Benchmark};
 use granlog_serve::{PoolConfig, ServeClient, ServeConfig, Server, SessionBudget};
@@ -144,6 +152,7 @@ fn availability_phase(
         budget: SessionBudget {
             steps,
             heap_cells: None,
+            wall: None,
             quantum,
         },
         max_conns: cap,
@@ -210,6 +219,84 @@ fn availability_phase(
     }
 }
 
+/// Outcome of the recovery phase: boot-replay wall time for the journaled
+/// corpus, and the first load+query latency per program cold (fresh cache,
+/// every load compiles) versus warm (recovery already compiled everything).
+struct Recovery {
+    programs: u64,
+    replay_ms: f64,
+    wal_bytes_before_snapshot: u64,
+    cold_first_query_p50_ms: f64,
+    warm_first_query_p50_ms: f64,
+}
+
+/// One pass over the corpus on a fresh connection, timing `load` + first
+/// `query` per program; returns the p50 of those first-touch latencies.
+fn first_touch_p50(addr: std::net::SocketAddr, benches: &[Benchmark], queries: &[String]) -> f64 {
+    let mut client = ServeClient::connect(addr).expect("recovery client connect");
+    let mut ms: Vec<f64> = benches
+        .iter()
+        .zip(queries)
+        .map(|(bench, query)| {
+            let start = Instant::now();
+            client.load(bench.source).expect("io").expect("parse");
+            let reply = client.query(query).expect("io").expect("query");
+            assert!(reply.succeeded, "{} answered `no`", bench.name);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    client.quit().expect("clean quit");
+    ms.sort_by(f64::total_cmp);
+    percentile(&ms, 0.50)
+}
+
+/// Journals the corpus to a scratch data dir through a live server, then
+/// restarts on the same dir and measures boot replay plus the cold/warm
+/// first-query split the replay buys.
+fn recovery_phase(benches: &[Benchmark], queries: &[String]) -> Recovery {
+    let dir = std::env::temp_dir().join(format!("granlog-bench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let durable = |addr: &str| ServeConfig {
+        addr: addr.to_string(),
+        cache_capacity: 64,
+        store: Some(granlog_store::StoreConfig::new(&dir)),
+        ..ServeConfig::default()
+    };
+
+    // First life doubles as the *cold* measurement: every load compiles.
+    let server = Server::start(durable("127.0.0.1:0")).expect("recovery server start");
+    let cold_first_query_p50_ms = first_touch_p50(server.addr(), benches, queries);
+    let mut stats_client = ServeClient::connect(server.addr()).expect("stats connect");
+    let wal_bytes_before_snapshot = stats_client.stats().expect("stats").wal_bytes;
+    stats_client.quit().expect("clean quit");
+    server.shutdown(); // drains, flushes, snapshots
+
+    // Second life: the replay is the thing being measured.
+    let replay_start = Instant::now();
+    let server = Server::start(durable("127.0.0.1:0")).expect("recovered server start");
+    let replay_ms = replay_start.elapsed().as_secs_f64() * 1e3;
+    let programs = server.recovered_programs();
+    assert_eq!(
+        programs,
+        benches.len() as u64,
+        "recovery must rebuild the whole corpus"
+    );
+    assert!(
+        cfg!(debug_assertions) || replay_ms < 1_000.0,
+        "acceptance bar: 15-program boot replay must stay under 1 s in release, took {replay_ms:.1} ms"
+    );
+    let warm_first_query_p50_ms = first_touch_p50(server.addr(), benches, queries);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Recovery {
+        programs,
+        replay_ms,
+        wal_bytes_before_snapshot,
+        cold_first_query_p50_ms,
+        warm_first_query_p50_ms,
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let small = args.iter().any(|a| a == "--small");
@@ -246,6 +333,7 @@ fn main() {
         budget: SessionBudget {
             steps,
             heap_cells: None,
+            wall: None,
             quantum,
         },
         machine_config: Default::default(),
@@ -291,6 +379,16 @@ fn main() {
         } else {
             "off"
         }
+    );
+
+    let recovery = recovery_phase(&benches, &queries);
+    eprintln!(
+        "[bench_serve] recovery: {} programs replayed in {:.1} ms, first query p50 \
+         {:.3} ms cold vs {:.3} ms warm",
+        recovery.programs,
+        recovery.replay_ms,
+        recovery.cold_first_query_p50_ms,
+        recovery.warm_first_query_p50_ms
     );
 
     assert_eq!(
@@ -355,6 +453,17 @@ fn main() {
         availability.errors as f64 / (availability.queries.max(1)) as f64,
         availability.shed,
         availability.p99_ms
+    );
+    let _ = writeln!(
+        json,
+        "  \"recovery\": {{\"programs\": {}, \"replay_ms\": {:.3}, \
+         \"wal_bytes_before_snapshot\": {}, \"cold_first_query_p50_ms\": {:.3}, \
+         \"warm_first_query_p50_ms\": {:.3}}},",
+        recovery.programs,
+        recovery.replay_ms,
+        recovery.wal_bytes_before_snapshot,
+        recovery.cold_first_query_p50_ms,
+        recovery.warm_first_query_p50_ms
     );
     let _ = writeln!(json, "  \"programs\": [");
     for (i, bench) in benches.iter().enumerate() {

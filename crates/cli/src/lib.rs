@@ -12,8 +12,9 @@ use granlog_analysis::CostMetric;
 use granlog_engine::{Machine, MachineConfig};
 use granlog_ir::{parser::parse_program, PredId, Program};
 use granlog_par::{Granularity, ParConfig, ParExecutor};
-use granlog_serve::{PoolConfig, ServeConfig, Server, SessionBudget};
+use granlog_serve::{BootError, PoolConfig, ServeConfig, Server, SessionBudget};
 use granlog_sim::{simulate, OverheadModel, SimConfig};
+use granlog_store::{FsyncPolicy, StoreConfig};
 use std::fmt;
 use std::io::Write;
 
@@ -27,8 +28,9 @@ usage:
                    [--threads N [--granularity on|off|always-spawn]]
   granlog ddg      <file.pl> <name/arity>
   granlog serve    [--addr HOST:PORT] [--steps N] [--heap CELLS]
-                   [--quantum N] [--cache N] [--max-conns N]
-                   [--idle-timeout SECS]
+                   [--wall MS] [--quantum N] [--cache N] [--max-conns N]
+                   [--idle-timeout SECS] [--data-dir DIR]
+                   [--fsync always|interval[=MS]|never] [--wal-limit BYTES]
 
 with --threads N the query executes on a real pool of N worker threads
 (measured wall-clock, granularity control as a runtime spawn decision);
@@ -38,10 +40,14 @@ without it, execution is sequential and parallelism is *simulated* on
 serve starts a multi-tenant query service: one session per connection,
 compiled programs shared through a cache of --cache entries, each query
 bounded by the per-session budgets (--steps head attempts, --heap arena
-cells) and preempted every --quantum steps. Past --max-conns concurrent
-connections new ones are shed with a typed `err overloaded` line (0 =
-unlimited); connections idle longer than --idle-timeout seconds are
-reaped (0 = never).";
+cells, --wall milliseconds) and preempted every --quantum steps. Past
+--max-conns concurrent connections new ones are shed with a typed
+`err overloaded` line (0 = unlimited); connections idle longer than
+--idle-timeout seconds are reaped (0 = never). With --data-dir the
+loaded-program corpus is durable: every accepted load is journaled to a
+write-ahead log under DIR (fsynced per --fsync, compacted into a
+snapshot past --wal-limit bytes) and replayed into the cache on the
+next boot.";
 
 /// Errors surfaced to the user by the CLI.
 #[derive(Debug)]
@@ -54,6 +60,10 @@ pub enum CliError {
     Parse(granlog_ir::ParseError),
     /// The engine reported an error while running a query.
     Engine(granlog_engine::EngineError),
+    /// `serve` could not boot: the listen address would not bind or the
+    /// data dir is unusable. Typed, with a nonzero exit — never a panic
+    /// backtrace.
+    Serve(BootError),
     /// Anything else (missing predicate, bad indicator, ...).
     Other(String),
 }
@@ -65,6 +75,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Parse(e) => write!(f, "{e}"),
             CliError::Engine(e) => write!(f, "execution error: {e}"),
+            CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -90,6 +101,12 @@ impl From<granlog_engine::EngineError> for CliError {
     }
 }
 
+impl From<BootError> for CliError {
+    fn from(e: BootError) -> Self {
+        CliError::Serve(e)
+    }
+}
+
 /// Parsed command-line options shared by the subcommands.
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
@@ -111,6 +128,8 @@ struct Options {
     serve_steps: Option<u64>,
     /// `serve`: per-session heap budget, in cells.
     serve_heap: Option<usize>,
+    /// `serve`: per-session wall-clock budget, in milliseconds.
+    serve_wall_ms: Option<u64>,
     /// `serve`: preemption quantum, in steps.
     quantum: u64,
     /// `serve`: template-cache capacity, in programs.
@@ -119,6 +138,13 @@ struct Options {
     max_conns: usize,
     /// `serve`: idle-session reaping bound, in seconds (0 = never).
     idle_timeout_secs: u64,
+    /// `serve`: data directory for the durable program store (None = the
+    /// corpus is in-memory only).
+    data_dir: Option<String>,
+    /// `serve`: WAL fsync policy.
+    fsync: FsyncPolicy,
+    /// `serve`: WAL size that triggers snapshot compaction, in bytes.
+    wal_limit: u64,
     positional: Vec<String>,
 }
 
@@ -142,10 +168,14 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         addr: "127.0.0.1:4517".to_string(),
         serve_steps: None,
         serve_heap: None,
+        serve_wall_ms: None,
         quantum: SessionBudget::default().quantum,
         cache: 64,
         max_conns: 0,
         idle_timeout_secs: 0,
+        data_dir: None,
+        fsync: FsyncPolicy::Always,
+        wal_limit: 4 * 1024 * 1024,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -220,6 +250,35 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| usage(&format!("invalid heap budget {value:?}")))?;
                 options.serve_heap = Some(cells);
+            }
+            "--wall" => {
+                let value = iter.next().ok_or_else(|| usage("--wall needs a value"))?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid wall budget {value:?}")))?;
+                options.serve_wall_ms = Some(ms);
+            }
+            "--data-dir" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--data-dir needs a value"))?;
+                options.data_dir = Some(value.clone());
+            }
+            "--fsync" => {
+                let value = iter.next().ok_or_else(|| usage("--fsync needs a value"))?;
+                options.fsync = FsyncPolicy::parse(value).ok_or_else(|| {
+                    usage(&format!(
+                        "invalid fsync policy {value:?} (always|interval[=MS]|never)"
+                    ))
+                })?;
+            }
+            "--wal-limit" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--wal-limit needs a value"))?;
+                options.wal_limit = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid wal limit {value:?}")))?;
             }
             "--quantum" => {
                 let value = iter
@@ -497,6 +556,7 @@ fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         budget: SessionBudget {
             steps: options.serve_steps,
             heap_cells: options.serve_heap,
+            wall: options.serve_wall_ms.map(std::time::Duration::from_millis),
             quantum: options.quantum,
         },
         machine_config: MachineConfig::default(),
@@ -506,8 +566,16 @@ fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             0 => None,
             secs => Some(std::time::Duration::from_secs(secs)),
         },
+        store: options.data_dir.as_ref().map(|dir| StoreConfig {
+            dir: dir.into(),
+            fsync: options.fsync,
+            wal_limit_bytes: options.wal_limit,
+        }),
         ..ServeConfig::default()
     })?;
+    if options.data_dir.is_some() {
+        writeln!(out, "recovered {} programs", handle.recovered_programs())?;
+    }
     writeln!(out, "listening on {}", handle.addr())?;
     out.flush()?;
     handle.wait();
@@ -810,6 +878,113 @@ mod tests {
         assert!(out.contents().contains("server stopped"));
     }
 
+    /// Starts `granlog serve` on a background thread, scrapes the bound
+    /// address from the listening line, and returns `(addr, join handle,
+    /// shared output)`.
+    fn spawn_serve(
+        extra: &[&str],
+    ) -> (
+        String,
+        std::thread::JoinHandle<Result<(), CliError>>,
+        SharedBuf,
+    ) {
+        let out = SharedBuf::default();
+        let mut thread_out = out.clone();
+        let mut args: Vec<String> = ["serve", "--addr", "127.0.0.1:0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let server = std::thread::spawn(move || run_cli(&args, &mut thread_out));
+        let addr = loop {
+            if let Some(line) = out
+                .contents()
+                .lines()
+                .find_map(|l| l.strip_prefix("listening on ").map(str::to_string))
+            {
+                break line;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        (addr, server, out)
+    }
+
+    #[test]
+    fn serve_with_data_dir_recovers_programs_across_restarts() {
+        let dir = std::env::temp_dir().join(format!("granlog-cli-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_arg = dir.to_str().unwrap();
+
+        let (addr, server, _out) = spawn_serve(&["--data-dir", dir_arg]);
+        let mut client = granlog_serve::ServeClient::connect(&addr).unwrap();
+        client.load(NREV).unwrap().unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.stored, 1, "load must be journaled");
+        assert!(stats.wal_bytes > 0);
+        client.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+
+        // Same data dir, fresh server: the corpus comes back and the first
+        // query of the recovered program is a cache hit.
+        let (addr, server, out) = spawn_serve(&["--data-dir", dir_arg]);
+        assert!(
+            out.contents().contains("recovered 1 programs"),
+            "{}",
+            out.contents()
+        );
+        let mut client = granlog_serve::ServeClient::connect(&addr).unwrap();
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.recovered, 1);
+        let (_, _, cache_hit) = client.load(NREV).unwrap().unwrap();
+        assert!(cache_hit, "recovery must have pre-warmed the cache");
+        let reply = client.query("nrev([1,2,3], R)").unwrap().unwrap();
+        assert_eq!(reply.bindings, vec![("R".into(), "[3,2,1]".into())]);
+        client.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_with_an_unusable_data_dir_is_a_typed_error() {
+        let file = write_temp("not_a_dir.bin", "occupied");
+        let err = run(&[
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--data-dir",
+            file.to_str().unwrap(),
+        ])
+        .expect_err("a regular file cannot be a data dir");
+        assert!(matches!(err, CliError::Serve(_)), "{err:?}");
+        assert!(err.to_string().contains("data dir"), "{err}");
+    }
+
+    #[test]
+    fn serve_with_an_unbindable_addr_is_a_typed_error() {
+        let err =
+            run(&["serve", "--addr", "256.0.0.1:99999"]).expect_err("nonsense address cannot bind");
+        assert!(matches!(err, CliError::Serve(_)), "{err:?}");
+    }
+
+    #[test]
+    fn serve_wall_budget_cuts_runaway_queries() {
+        let (addr, server, _out) = spawn_serve(&["--wall", "50"]);
+        let mut client = granlog_serve::ServeClient::connect(&addr).unwrap();
+        let path = write_temp("loop_wall.pl", "loop :- loop.\np(1).\n");
+        let source = std::fs::read_to_string(&path).unwrap();
+        client.load(&source).unwrap().unwrap();
+        let err = client
+            .query("loop")
+            .unwrap()
+            .expect_err("an infinite loop must blow a 50ms wall budget");
+        assert!(err.starts_with("budget"), "{err}");
+        // The wall budget can also be lifted per session, protocol-side.
+        client.budget_wall(None).unwrap();
+        assert!(client.query("p(X)").unwrap().unwrap().succeeded);
+        client.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+    }
+
     #[test]
     fn serve_rejects_bad_flags() {
         assert!(matches!(
@@ -822,6 +997,18 @@ mod tests {
         ));
         assert!(matches!(
             run(&["serve", "stray.pl"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--fsync", "sometimes"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--wall", "soon"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--wal-limit", "big"]),
             Err(CliError::Usage(_))
         ));
     }

@@ -97,6 +97,7 @@ pub struct ProgramEntry {
     pool: PoolConfig,
     machine_config: MachineConfig,
     templates: Arc<[ClauseTemplate]>,
+    normalized: String,
     program: Program,
 }
 
@@ -105,6 +106,13 @@ impl ProgramEntry {
     /// logs and the wire protocol (lookups use the full text).
     pub fn hash(&self) -> u64 {
         self.hash
+    }
+
+    /// The normalized program text this entry is cached under. This is the
+    /// durable store's key too: journaling by the full normalized text means
+    /// recovery dedups exactly like the live cache, never by hash.
+    pub fn normalized_text(&self) -> &str {
+        &self.normalized
     }
 
     /// Number of clauses in the program.
@@ -359,6 +367,7 @@ impl TemplateCache {
             pool: self.pool,
             machine_config: self.machine_config,
             templates,
+            normalized: normalized.clone(),
             program,
         });
         inner.entries.insert(normalized.clone(), Arc::clone(&entry));

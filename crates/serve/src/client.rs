@@ -44,6 +44,19 @@ pub struct ServerStats {
     /// Connections shed at the acceptor because the server was at its
     /// connection cap.
     pub shed: u64,
+    /// Programs replayed from the durable store at boot (0 when the server
+    /// runs without a store).
+    pub recovered: u64,
+    /// Programs currently in the durable store.
+    pub stored: u64,
+    /// Bytes of valid records in the server's WAL.
+    pub wal_bytes: u64,
+    /// WAL appends not yet fsynced.
+    pub unsynced: u64,
+    /// Age of the server's snapshot file in ms (0 = none or just written).
+    pub snapshot_age_ms: u64,
+    /// Time since the server's last WAL fsync in ms (0 = never or just now).
+    pub last_fsync_ms: u64,
 }
 
 /// A connection to a running serve instance.
@@ -80,8 +93,14 @@ impl ServeClient {
     }
 
     /// [`ServeClient::connect`] with bounded retry: on a refused connection
-    /// (TCP refusal or an `err overloaded` shed) sleeps `backoff`, doubles
-    /// it, and tries again, up to `attempts` total attempts.
+    /// (TCP refusal or an `err overloaded` shed) sleeps and tries again, up
+    /// to `attempts` total attempts.
+    ///
+    /// The sleep follows *decorrelated jitter*: each wait is drawn uniformly
+    /// from `[backoff, prev * 3]`, capped at `backoff * 64`. A shed is by
+    /// definition a moment when many clients hit the server at once;
+    /// deterministic doubling would march the whole cohort back in
+    /// lock-step waves, while jitter spreads the retries out.
     ///
     /// # Errors
     ///
@@ -90,16 +109,21 @@ impl ServeClient {
     pub fn connect_with_retry(
         addr: impl ToSocketAddrs + Copy,
         attempts: u32,
-        mut backoff: std::time::Duration,
+        backoff: std::time::Duration,
     ) -> io::Result<ServeClient> {
+        let base = backoff.max(std::time::Duration::from_micros(1));
+        let cap = base.saturating_mul(64);
+        let mut rng = splitmix_seed();
+        let mut prev = base;
         let mut tries = 0;
         loop {
             tries += 1;
             match ServeClient::connect(addr) {
                 Ok(client) => return Ok(client),
                 Err(e) if e.kind() == io::ErrorKind::ConnectionRefused && tries < attempts => {
-                    std::thread::sleep(backoff);
-                    backoff = backoff.saturating_mul(2);
+                    let ceiling = prev.saturating_mul(3).min(cap);
+                    prev = uniform_between(&mut rng, base, ceiling);
+                    std::thread::sleep(prev);
                 }
                 Err(e) => return Err(e),
             }
@@ -195,6 +219,19 @@ impl ServeClient {
         }
     }
 
+    /// Sets the session wall-clock budget in milliseconds (`None` =
+    /// unlimited).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side rejection.
+    pub fn budget_wall(&mut self, ms: Option<u64>) -> io::Result<()> {
+        match ms {
+            Some(n) => self.simple_command(&format!("budget wall {n}")),
+            None => self.simple_command("budget wall off"),
+        }
+    }
+
     /// Sets the preemption quantum in steps.
     ///
     /// # Errors
@@ -220,6 +257,16 @@ impl ServeClient {
                 .parse()
                 .map_err(|_| protocol_err(format!("bad {key} in {line:?}")))
         };
+        // Durability fields only appear when the server runs with a store;
+        // their absence reads as 0 so this client speaks to both.
+        let num_or = |key: &str| -> io::Result<u64> {
+            match field(&fields, key) {
+                Ok(v) => v
+                    .parse()
+                    .map_err(|_| protocol_err(format!("bad {key} in {line:?}"))),
+                Err(_) => Ok(0),
+            }
+        };
         Ok(ServerStats {
             hits: num("hits")?,
             misses: num("misses")?,
@@ -230,6 +277,12 @@ impl ServeClient {
             retired: num("retired")?,
             lease_leaked: num("leases")?,
             shed: num("shed")?,
+            recovered: num_or("recovered")?,
+            stored: num_or("stored")?,
+            wal_bytes: num_or("wal_bytes")?,
+            unsynced: num_or("unsynced")?,
+            snapshot_age_ms: num_or("snapshot_age_ms")?,
+            last_fsync_ms: num_or("last_fsync_ms")?,
         })
     }
 
@@ -316,6 +369,36 @@ impl ServeClient {
 
 fn protocol_err(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// A per-call splitmix64 state seeded from [`std::collections::hash_map::RandomState`]
+/// (the stdlib's per-process random keys), so concurrent clients draw
+/// different jitter without this crate growing an RNG dependency.
+fn splitmix_seed() -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut hasher = std::collections::hash_map::RandomState::new().build_hasher();
+    hasher.write_u64(0x9e37_79b9_7f4a_7c15);
+    hasher.finish()
+}
+
+fn splitmix_next(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A duration drawn uniformly from `[lo, hi]` (microsecond granularity).
+fn uniform_between(
+    rng: &mut u64,
+    lo: std::time::Duration,
+    hi: std::time::Duration,
+) -> std::time::Duration {
+    let lo_us = lo.as_micros() as u64;
+    let hi_us = (hi.as_micros() as u64).max(lo_us);
+    let span = hi_us - lo_us + 1;
+    std::time::Duration::from_micros(lo_us + splitmix_next(rng) % span)
 }
 
 /// Splits `key=value` fields after an optional leading status word.

@@ -26,7 +26,7 @@ pub mod session;
 
 pub use cache::{CacheStats, PoolConfig, ProgramEntry, TemplateCache};
 pub use client::{ClientReply, ServeClient, ServerStats};
-pub use server::{ServeConfig, Server, ServerHandle};
+pub use server::{BootError, ServeConfig, Server, ServerHandle};
 pub use session::{LoadReply, QueryReply, Session, SessionBudget};
 
 use granlog_engine::EngineError;
@@ -74,6 +74,10 @@ pub enum ServeError {
     /// An armed failpoint injected this failure at a serve seam
     /// (fault-injection builds only). Carries the failpoint name.
     Fault(&'static str),
+    /// The durable store rejected a journaled mutation (WAL append or fsync
+    /// failed). The in-memory load succeeded but is *not* durable, so the
+    /// command fails rather than silently over-promise.
+    Store(String),
     /// The server is at its connection cap and shed this connection.
     Overloaded,
     /// The server is draining for shutdown and no longer accepts work.
@@ -92,6 +96,7 @@ impl ServeError {
             ServeError::NoProgram => "no-program",
             ServeError::Internal(_) => "internal",
             ServeError::Fault(_) => "fault",
+            ServeError::Store(_) => "store",
             ServeError::Overloaded => "overloaded",
             ServeError::ShuttingDown => "shutdown",
         }
@@ -106,6 +111,7 @@ impl fmt::Display for ServeError {
             ServeError::NoProgram => write!(f, "no program loaded: send `load` first"),
             ServeError::Internal(msg) => write!(f, "internal: {msg}"),
             ServeError::Fault(name) => write!(f, "injected fault at failpoint `{name}`"),
+            ServeError::Store(msg) => write!(f, "durable store: {msg}"),
             ServeError::Overloaded => {
                 write!(f, "server at connection capacity, retry later")
             }

@@ -13,16 +13,18 @@
 //! | `query <goal>` | `bind <name> = <term>` lines, then `done ok\|no steps=<n> heap=<n> slices=<n>` |
 //! | `budget steps <n\|off>` | `ok` |
 //! | `budget heap <n\|off>` | `ok` |
+//! | `budget wall <ms\|off>` | `ok` |
 //! | `budget quantum <n>` | `ok` |
-//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n> quarantined=<n> retired=<n> leases=<n> shed=<n>` |
+//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n> quarantined=<n> retired=<n> leases=<n> shed=<n>` plus, with a store configured, ` recovered=<n> stored=<n> wal_bytes=<n> wal_records=<n> unsynced=<n> snapshot_age_ms=<n> last_fsync_ms=<n>` |
 //! | `quit` | `ok bye`, connection closes |
 //! | `shutdown` | `ok shutting-down`, server stops accepting |
 //!
 //! Any failure (parse error, engine error, exceeded budget, protocol
 //! misuse) is a single `err <code> <message>` line — `code` is the stable
 //! kebab-case class from [`ServeError::code`] (`parse`, `budget`, `engine`,
-//! `no-program`, `proto`, `too-large`, `internal`, `fault`, `overloaded`,
-//! `timeout`, `shutdown`) — and the session survives: the next command is
+//! `no-program`, `proto`, `too-large`, `internal`, `fault`, `store`,
+//! `overloaded`, `timeout`, `shutdown`) — and the session survives: the next
+//! command is
 //! read normally. The `load` payload is a byte-counted blob, so programs
 //! may contain newlines without any quoting scheme.
 //!
@@ -55,6 +57,7 @@ use crate::cache::{PoolConfig, TemplateCache};
 use crate::session::{Session, SessionBudget};
 use crate::ServeError;
 use granlog_engine::MachineConfig;
+use granlog_store::{ProgramStore, StoreConfig, StoreError};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -91,6 +94,10 @@ pub struct ServeConfig {
     /// Idle reaping bound: a connection with no buffered input for this
     /// long is closed with `err timeout ...`. `None` = never reap.
     pub idle_timeout: Option<Duration>,
+    /// Durable program store configuration. `None` (the default) keeps the
+    /// server fully in-memory; `Some` journals every accepted `load` to a
+    /// WAL in the configured directory and replays the corpus at boot.
+    pub store: Option<StoreConfig>,
 }
 
 impl Default for ServeConfig {
@@ -104,7 +111,52 @@ impl Default for ServeConfig {
             max_conns: 0,
             io_timeout: Duration::from_secs(10),
             idle_timeout: None,
+            store: None,
         }
+    }
+}
+
+/// Why [`Server::start`] could not boot. Distinct from [`ServeError`]
+/// (which describes per-command failures on a *running* server): a boot
+/// failure is terminal and the CLI turns it into a typed nonzero exit.
+#[derive(Debug)]
+pub enum BootError {
+    /// The listen address could not be bound.
+    Bind {
+        /// Address the config asked for.
+        addr: String,
+        /// Underlying I/O error.
+        source: io::Error,
+    },
+    /// The durable store could not be opened or recovered (unusable data
+    /// dir, unopenable WAL). Torn/corrupt records are *not* boot errors —
+    /// recovery keeps the valid prefix.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for BootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootError::Bind { addr, source } => {
+                write!(f, "cannot bind {addr}: {source}")
+            }
+            BootError::Store(e) => write!(f, "cannot open data dir: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BootError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BootError::Bind { source, .. } => Some(source),
+            BootError::Store(e) => Some(e),
+        }
+    }
+}
+
+impl From<StoreError> for BootError {
+    fn from(e: StoreError) -> Self {
+        BootError::Store(e)
     }
 }
 
@@ -117,6 +169,10 @@ struct ServerState {
     shed: AtomicU64,
     io_timeout: Duration,
     idle_timeout: Option<Duration>,
+    /// The durable store, when `--data-dir` configured one.
+    store: Option<ProgramStore>,
+    /// Programs rebuilt from the store at boot (0 without a store).
+    recovered: u64,
 }
 
 /// The serve front end. [`Server::start`] binds, spawns the accept loop and
@@ -126,26 +182,52 @@ pub struct Server;
 
 impl Server {
     /// Binds `config.addr` and starts accepting connections, one thread per
-    /// session.
+    /// session. With [`ServeConfig::store`] set, opens (or recovers) the
+    /// durable store first and replays the recovered corpus into the
+    /// template cache — each program compiles exactly once, through the
+    /// same normalized-text-keyed path a live `load` takes.
     ///
     /// # Errors
     ///
-    /// Any `io::Error` from binding the listener.
-    pub fn start(config: ServeConfig) -> io::Result<ServerHandle> {
-        let listener = TcpListener::bind(&config.addr)?;
-        let local_addr = listener.local_addr()?;
+    /// [`BootError::Bind`] when the listen address cannot be bound;
+    /// [`BootError::Store`] when the data dir is unusable. Torn or corrupt
+    /// store records never fail boot — recovery keeps the valid prefix.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, BootError> {
+        let store = config.store.map(ProgramStore::open).transpose()?;
+        let cache = Arc::new(TemplateCache::new(
+            config.cache_capacity,
+            config.machine_config,
+            config.pool,
+        ));
+        // Boot replay: warm the cache from the recovered corpus before the
+        // listener exists, so the first client query of a recovered program
+        // is a cache hit. A record whose text no longer parses (impossible
+        // via our own journaling, conceivable via hand-edited files) is
+        // skipped — recovery never panics over bad bytes.
+        let mut recovered = 0u64;
+        if let Some(store) = &store {
+            for (_name, text) in store.programs() {
+                if cache.load(&text).is_ok() {
+                    recovered += 1;
+                }
+            }
+        }
+        let bind_err = |source| BootError::Bind {
+            addr: config.addr.clone(),
+            source,
+        };
+        let listener = TcpListener::bind(&config.addr).map_err(bind_err)?;
+        let local_addr = listener.local_addr().map_err(bind_err)?;
         let state = Arc::new(ServerState {
-            cache: Arc::new(TemplateCache::new(
-                config.cache_capacity,
-                config.machine_config,
-                config.pool,
-            )),
+            cache,
             default_budget: config.budget,
             stop: AtomicBool::new(false),
             active_sessions: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             io_timeout: config.io_timeout,
             idle_timeout: config.idle_timeout,
+            store,
+            recovered,
         });
         let max_conns = config.max_conns;
         let accept_state = Arc::clone(&state);
@@ -180,6 +262,12 @@ impl ServerHandle {
     /// Connections shed so far because the connection cap was reached.
     pub fn shed_connections(&self) -> u64 {
         self.state.shed.load(Ordering::Relaxed)
+    }
+
+    /// Programs replayed from the durable store when this server booted
+    /// (0 when no store is configured).
+    pub fn recovered_programs(&self) -> u64 {
+        self.state.recovered
     }
 
     /// Blocks until the server stops on its own (a client sent `shutdown`),
@@ -267,6 +355,14 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>, max_conns: usize)
         .unwrap_or_else(PoisonError::into_inner)
     {
         let _ = handle.join();
+    }
+    // Graceful drain ends with durability housekeeping: flush whatever the
+    // fsync policy left buffered, then compact so the next boot replays a
+    // snapshot instead of the whole log. Best-effort — a failure here loses
+    // no acknowledged data (the WAL still holds everything flushed).
+    if let Some(store) = &state.store {
+        let _ = store.flush();
+        let _ = store.snapshot();
     }
 }
 
@@ -400,7 +496,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
             "budget" => cmd_budget(&mut writer, &mut session, rest)?,
             "stats" => {
                 let s = state.cache.stats();
-                writeln!(
+                write!(
                     writer,
                     "ok hits={} misses={} evictions={} entries={} sessions={} \
                      quarantined={} retired={} leases={} shed={}",
@@ -414,6 +510,25 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
                     s.leases_active,
                     state.shed.load(Ordering::Relaxed),
                 )?;
+                // Durability fields ride the same line, appended so existing
+                // clients (which parse by field name) never notice. Ages are
+                // reported in ms; `last_fsync_ms` is 0 before the first sync.
+                if let Some(store) = &state.store {
+                    let d = store.stats();
+                    write!(
+                        writer,
+                        " recovered={} stored={} wal_bytes={} wal_records={} unsynced={} \
+                         snapshot_age_ms={} last_fsync_ms={}",
+                        state.recovered,
+                        d.programs,
+                        d.wal_bytes,
+                        d.wal_records,
+                        d.unsynced_records,
+                        d.snapshot_age.map_or(0, |a| a.as_millis() as u64),
+                        d.last_fsync_age.map_or(0, |a| a.as_millis() as u64),
+                    )?;
+                }
+                writeln!(writer)?;
             }
             "quit" => {
                 writeln!(writer, "ok bye")?;
@@ -496,13 +611,25 @@ fn cmd_load(
         Err(_) => return writeln!(writer, "err proto program is not valid utf-8"),
     };
     match session.load(&source) {
-        Ok(reply) => writeln!(
-            writer,
-            "ok program={:016x} clauses={} cache={}",
-            reply.hash,
-            reply.clauses,
-            if reply.cache_hit { "hit" } else { "miss" },
-        ),
+        Ok(reply) => {
+            // Journal *after* the parse succeeded, keyed by the entry's
+            // normalized text — recovery dedups exactly like the live
+            // cache. An append failure is surfaced: acking a load the WAL
+            // did not accept would break the durability contract.
+            if let Some(store) = &state.store {
+                let entry = session.entry().expect("load just succeeded");
+                if let Err(e) = store.record_load(entry.normalized_text(), &source) {
+                    return write_err(writer, &ServeError::Store(e.to_string()));
+                }
+            }
+            writeln!(
+                writer,
+                "ok program={:016x} clauses={} cache={}",
+                reply.hash,
+                reply.clauses,
+                if reply.cache_hit { "hit" } else { "miss" },
+            )
+        }
         Err(e) => write_err(writer, &e),
     }
 }
@@ -544,11 +671,18 @@ fn cmd_budget(writer: &mut TcpStream, session: &mut Session, args: &str) -> io::
             Ok(())
         }
         Some(("heap", v)) => v.parse().map(|n| budget.heap_cells = Some(n)),
+        Some(("wall", "off")) => {
+            budget.wall = None;
+            Ok(())
+        }
+        Some(("wall", v)) => v
+            .parse()
+            .map(|ms| budget.wall = Some(Duration::from_millis(ms))),
         Some(("quantum", v)) => v.parse().map(|n| budget.quantum = n),
         _ => {
             return writeln!(
                 writer,
-                "err proto usage: budget steps|heap <n|off> | budget quantum <n>"
+                "err proto usage: budget steps|heap|wall <n|off> | budget quantum <n>"
             );
         }
     };

@@ -19,6 +19,7 @@ use crate::ServeError;
 use granlog_engine::{Budget, BudgetKind, EngineError, Solve};
 use granlog_ir::parser::parse_term;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Per-session resource limits, applied to every query the session runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +29,10 @@ pub struct SessionBudget {
     /// Arena heap ceiling in cells per query (`None` = unlimited). Always a
     /// hard error when exceeded — waiting cannot reclaim memory.
     pub heap_cells: Option<usize>,
+    /// Wall-clock allowance per query (`None` = unlimited). The deadline is
+    /// taken at query start; each slice carries the time remaining, so the
+    /// engine's own coarse-grained wall polling enforces it.
+    pub wall: Option<Duration>,
     /// Steps per preemptible slice.
     pub quantum: u64,
 }
@@ -37,6 +42,7 @@ impl Default for SessionBudget {
         SessionBudget {
             steps: None,
             heap_cells: None,
+            wall: None,
             quantum: 4096,
         }
     }
@@ -115,6 +121,12 @@ impl Session {
         Ok(reply)
     }
 
+    /// The entry of the last successfully loaded program, if any. The server
+    /// uses it to journal loads under the entry's normalized-text key.
+    pub fn entry(&self) -> Option<&Arc<ProgramEntry>> {
+        self.entry.as_ref()
+    }
+
     /// Runs one query under the session budget, slicing by quantum.
     ///
     /// The whole solve runs under `catch_unwind`: a panic anywhere inside
@@ -138,6 +150,10 @@ impl Session {
         let quantum = self.budget.quantum.max(1);
         let heap_cells = self.budget.heap_cells;
         let session_steps = self.budget.steps;
+        let session_wall = self.budget.wall;
+        // The wall deadline is per *query*, fixed now; slices get whatever
+        // remains of it.
+        let deadline = session_wall.map(|w| Instant::now() + w);
 
         let mut lease = entry.lease()?;
         // AssertUnwindSafe: on panic the closure's only captured state, the
@@ -150,6 +166,7 @@ impl Session {
                 session_steps,
                 quantum,
                 heap_cells,
+                deadline,
             )
         }));
         match caught {
@@ -175,6 +192,15 @@ impl Session {
             })) => Err(ServeError::Engine(EngineError::BudgetExceeded {
                 resource: BudgetKind::Steps,
                 limit: session_steps.unwrap_or(u64::MAX),
+            })),
+            // Same remap for wall time: the final slice saw only the
+            // residue of the deadline; report the session's allowance (ms).
+            Ok(Err(EngineError::BudgetExceeded {
+                resource: BudgetKind::Wall,
+                ..
+            })) => Err(ServeError::Engine(EngineError::BudgetExceeded {
+                resource: BudgetKind::Wall,
+                limit: session_wall.map_or(u64::MAX, |w| w.as_millis() as u64),
             })),
             Ok(Err(e)) => {
                 // An injected engine fault unwinds the machine like any
@@ -209,13 +235,14 @@ fn run_sliced(
     session_steps: Option<u64>,
     quantum: u64,
     heap_cells: Option<usize>,
+    deadline: Option<Instant>,
 ) -> Result<(granlog_engine::QueryOutcome, usize), EngineError> {
     let mut slices = 1usize;
     let mut state = machine.solve_goal(
         goal,
         var_names,
         None,
-        &next_slice(session_steps, 0, quantum, heap_cells),
+        &next_slice(session_steps, 0, quantum, heap_cells, deadline),
     );
     loop {
         match state {
@@ -223,7 +250,7 @@ fn run_sliced(
             Ok(Solve::Yield(token)) => {
                 slices += 1;
                 let used = machine.counters().head_attempts;
-                let slice = next_slice(session_steps, used, quantum, heap_cells);
+                let slice = next_slice(session_steps, used, quantum, heap_cells, deadline);
                 state = machine.resume(token, None, &slice);
             }
             Err(e) => return Err(e),
@@ -246,26 +273,46 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
 /// The budget for the next slice: a preemptible quantum while more than one
 /// quantum of session steps remains, a **hard** tail slice once the
 /// remainder fits (so the engine's own error path unwinds the machine).
+///
+/// The wall deadline rides along on every slice as the time remaining. A
+/// preemptible slice whose wall residue expires *yields* (the engine
+/// suspends on wall exhaustion when preemptible); the next slice then sees
+/// zero remaining and is issued hard, so the engine's own
+/// `BudgetExceeded { Wall }` path unwinds the machine.
 fn next_slice(
     session_steps: Option<u64>,
     used: u64,
     quantum: u64,
     heap_cells: Option<usize>,
+    deadline: Option<Instant>,
 ) -> Budget {
-    let mut slice = match session_steps {
-        None => Budget::steps(quantum),
-        Some(limit) => {
-            let remaining = limit.saturating_sub(used);
-            if remaining > quantum {
-                Budget::steps(quantum)
-            } else {
-                // `hard_steps` clamps to ≥ 1, so a session already at its
-                // limit errors after at most one more goal.
-                Budget::hard_steps(remaining)
+    let remaining_wall = deadline.map(|d| d.saturating_duration_since(Instant::now()));
+    let wall_expired = remaining_wall.is_some_and(|r| r.is_zero());
+    let mut slice = if wall_expired {
+        // Past the deadline, the expired wall must be the budget that
+        // fires: a step-bounded slice could raise `Steps` first and
+        // misreport the failure class. Step-unbounded is safe — the engine
+        // polls the wall within a few hundred resolutions.
+        let mut tail = Budget::UNLIMITED;
+        tail.preemptible = false;
+        tail
+    } else {
+        match session_steps {
+            None => Budget::steps(quantum),
+            Some(limit) => {
+                let remaining = limit.saturating_sub(used);
+                if remaining > quantum {
+                    Budget::steps(quantum)
+                } else {
+                    // `hard_steps` clamps to ≥ 1, so a session already at
+                    // its limit errors after at most one more goal.
+                    Budget::hard_steps(remaining)
+                }
             }
         }
     };
     slice.heap_cells = heap_cells;
+    slice.wall = remaining_wall;
     slice
 }
 
@@ -345,6 +392,39 @@ mod tests {
         // The machine unwound and went back to the pool; the session works.
         let ok = s.query("count(3)").unwrap();
         assert!(ok.succeeded);
+    }
+
+    #[test]
+    fn wall_budget_is_enforced_and_remapped_to_the_session_allowance() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
+        let mut s = session(SessionBudget {
+            wall: Some(Duration::from_millis(30)),
+            quantum: 512,
+            ..SessionBudget::default()
+        });
+        s.load("loop :- loop.").unwrap();
+        let started = Instant::now();
+        match s.query("loop") {
+            Err(ServeError::Engine(EngineError::BudgetExceeded {
+                resource: BudgetKind::Wall,
+                limit,
+            })) => assert_eq!(limit, 30, "limit must be the session's ms allowance"),
+            other => panic!("expected a wall-budget error, got {other:?}"),
+        }
+        // Generous bound: the engine polls wall coarsely, but an infinite
+        // loop must still be cut within a couple of orders of the budget.
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "wall cut took {:?}",
+            started.elapsed()
+        );
+        // The machine unwound; the session keeps serving.
+        let mut ok = s.budget();
+        ok.wall = None;
+        s.set_budget(ok);
+        s.load(COUNT).unwrap();
+        assert!(s.query("count(3)").unwrap().succeeded);
     }
 
     #[test]
