@@ -19,8 +19,18 @@
 //! a warm machine, and allocation regressions against the baseline are
 //! reported (without failing: alloc counts legitimately move with engine
 //! internals; the trajectory is what the snapshot tracks).
+//!
+//! The snapshot also carries a `datalog` section: each attack-graph
+//! topology evaluated by the bottom-up engine, with fixpoint wall time,
+//! derived-fact count and round count. Against a baseline, a change in
+//! facts or rounds is fatal (the fixpoint's semantics moved); wall-time
+//! regressions are warn-only.
 
-use granlog_benchmarks::{all_benchmarks, control_benchmarks, nrev_benchmark, Benchmark};
+use granlog_benchmarks::{
+    all_benchmarks, control_benchmarks, datalog_benchmarks, nrev_benchmark, Benchmark,
+    DatalogBenchmark,
+};
+use granlog_datalog::CompiledDatalog;
 use granlog_engine::{Counters, Machine};
 use granlog_par::{Granularity, ParConfig, ParExecutor};
 use std::fmt::Write as _;
@@ -50,6 +60,25 @@ struct BaselineRow {
     counters: Counters,
     allocs: Option<u64>,
     par_speedup: Option<f64>,
+}
+
+/// One bottom-up fixpoint measurement: an attack-graph topology evaluated
+/// by the semi-naive engine.
+struct DatalogRow {
+    name: String,
+    label: String,
+    wall_ms: f64,
+    derived_facts: u64,
+    rounds: u64,
+    edb_facts: u64,
+    join_batches: u64,
+}
+
+struct DatalogBaselineRow {
+    name: String,
+    wall_ms: f64,
+    derived_facts: u64,
+    rounds: u64,
 }
 
 /// Each timed sample batches enough query repetitions to run at least this
@@ -150,7 +179,54 @@ fn measure(bench: &Benchmark, size: usize, runs: usize) -> Row {
     }
 }
 
-fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[BaselineRow]) -> String {
+fn measure_datalog(bench: &DatalogBenchmark, size: usize, runs: usize) -> DatalogRow {
+    let source = bench.source(size);
+    let program = granlog_ir::parser::parse_program(&source)
+        .unwrap_or_else(|e| panic!("{} does not parse: {e}", bench.name));
+    // Compile once outside the timed region: the snapshot measures the
+    // fixpoint, not subset validation and join planning.
+    let compiled = CompiledDatalog::compile(&program)
+        .unwrap_or_else(|e| panic!("{} is not Datalog: {e}", bench.name));
+    let warm_start = Instant::now();
+    let db = compiled
+        .evaluate()
+        .unwrap_or_else(|e| panic!("{} fixpoint failed: {e}", bench.name));
+    let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+    let stats = *db.stats();
+    let reps = ((MIN_SAMPLE_MS / warm_ms.max(1e-6)).ceil() as usize).clamp(1, 1_000);
+    let mut best = f64::INFINITY;
+    for _ in 0..runs.max(1) {
+        let start = Instant::now();
+        for _ in 0..reps {
+            let db = compiled
+                .evaluate()
+                .unwrap_or_else(|e| panic!("{} fixpoint failed: {e}", bench.name));
+            std::hint::black_box(db.total_facts());
+        }
+        let elapsed = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        if elapsed < best {
+            best = elapsed;
+        }
+    }
+    DatalogRow {
+        name: bench.name.to_owned(),
+        label: format!("{}({size})", bench.name),
+        wall_ms: best,
+        derived_facts: stats.derived_facts,
+        rounds: stats.rounds,
+        edb_facts: stats.edb_facts,
+        join_batches: stats.join_batches,
+    }
+}
+
+fn to_json(
+    rows: &[Row],
+    datalog: &[DatalogRow],
+    runs: usize,
+    small: bool,
+    baseline: &[BaselineRow],
+    datalog_baseline: &[DatalogBaselineRow],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{{");
     let _ = writeln!(out, "  \"schema\": \"granlog/bench-engine/v1\",");
@@ -218,6 +294,35 @@ fn to_json(rows: &[Row], runs: usize, small: bool, baseline: &[BaselineRow]) -> 
         }
         let _ = writeln!(out, "{line}}}{}", if i + 1 < rows.len() { "," } else { "" });
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"datalog\": [");
+    for (i, row) in datalog.iter().enumerate() {
+        let mut line = format!(
+            "    {{\"name\": \"{}\", \"label\": \"{}\", \"wall_ms\": {:.3}, \
+             \"derived_facts\": {}, \"rounds\": {}, \"edb_facts\": {}, \"join_batches\": {}",
+            row.name,
+            row.label,
+            row.wall_ms,
+            row.derived_facts,
+            row.rounds,
+            row.edb_facts,
+            row.join_batches,
+        );
+        if let Some(base) = datalog_baseline.iter().find(|b| b.name == row.name) {
+            let _ = write!(
+                line,
+                ", \"baseline_wall_ms\": {:.3}, \"speedup\": {:.2}, \"facts_match\": {}",
+                base.wall_ms,
+                base.wall_ms / row.wall_ms.max(1e-9),
+                base.derived_facts == row.derived_facts && base.rounds == row.rounds
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{line}}}{}",
+            if i + 1 < datalog.len() { "," } else { "" }
+        );
+    }
     let _ = writeln!(out, "  ]");
     let _ = write!(out, "}}");
     out
@@ -274,6 +379,26 @@ fn read_baseline(path: &str) -> Vec<BaselineRow> {
         .collect()
 }
 
+/// Reads the `datalog` section rows back from a previous snapshot. They
+/// are distinguishable line-by-line: only datalog rows carry
+/// `derived_facts` (and SLD rows carry `resolutions`, which
+/// [`read_baseline`] keys on), so both readers share one file.
+fn read_datalog_baseline(path: &str) -> Vec<DatalogBaselineRow> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            Some(DatalogBaselineRow {
+                name: field_str(line, "name")?,
+                wall_ms: field_num(line, "wall_ms")?,
+                derived_facts: field_num(line, "derived_facts")? as u64,
+                rounds: field_num(line, "rounds")? as u64,
+            })
+        })
+        .collect()
+}
+
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -287,8 +412,14 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
     let output = arg_value(&args, "--output").unwrap_or_else(|| "BENCH_engine.json".to_owned());
-    let baseline = arg_value(&args, "--baseline")
-        .map(|p| read_baseline(&p))
+    let baseline_path = arg_value(&args, "--baseline");
+    let baseline = baseline_path
+        .as_deref()
+        .map(read_baseline)
+        .unwrap_or_default();
+    let datalog_baseline = baseline_path
+        .as_deref()
+        .map(read_datalog_baseline)
         .unwrap_or_default();
 
     let rows = granlog_engine::with_large_stack(move || {
@@ -308,6 +439,21 @@ fn main() {
         }
         rows
     });
+
+    // The bottom-up section: each attack-graph topology, fixpoint wall time
+    // plus the derivation counters the differential oracle pins.
+    let datalog_rows: Vec<DatalogRow> = datalog_benchmarks()
+        .iter()
+        .map(|bench| {
+            let size = if small {
+                bench.test_size
+            } else {
+                bench.default_size
+            };
+            eprintln!("[bench_snapshot] {}({size}) [bottom-up]", bench.name);
+            measure_datalog(bench, size, runs)
+        })
+        .collect();
 
     let mut counters_diverged = false;
     for row in &rows {
@@ -374,7 +520,48 @@ fn main() {
         );
     }
 
-    let json = to_json(&rows, runs, small, &baseline);
+    for row in &datalog_rows {
+        if let Some(base) = datalog_baseline.iter().find(|b| b.name == row.name) {
+            if base.derived_facts != row.derived_facts || base.rounds != row.rounds {
+                // Wall time may drift with the host; the fixpoint's derived
+                // fact count and round count must not — a divergence means
+                // the bottom-up engine's semantics changed.
+                counters_diverged = true;
+                eprintln!(
+                    "WARNING: {}: fixpoint diverges from baseline \
+                     (facts {} -> {}, rounds {} -> {})",
+                    row.name, base.derived_facts, row.derived_facts, base.rounds, row.rounds
+                );
+            }
+            if row.wall_ms > base.wall_ms * 1.5 + 1.0 {
+                // Non-fatal: fixpoint wall time moves with the host.
+                eprintln!(
+                    "WARNING: {}: fixpoint wall regression vs baseline \
+                     ({:.3} ms -> {:.3} ms)",
+                    row.name, base.wall_ms, row.wall_ms
+                );
+            }
+            eprintln!(
+                "[bench_snapshot] {:<20} {:>9.3} ms bottom-up (baseline {:>9.3} ms; \
+                 {} facts in {} rounds)",
+                row.label, row.wall_ms, base.wall_ms, row.derived_facts, row.rounds
+            );
+        } else {
+            eprintln!(
+                "[bench_snapshot] {:<20} {:>9.3} ms bottom-up ({} facts in {} rounds)",
+                row.label, row.wall_ms, row.derived_facts, row.rounds
+            );
+        }
+    }
+
+    let json = to_json(
+        &rows,
+        &datalog_rows,
+        runs,
+        small,
+        &baseline,
+        &datalog_baseline,
+    );
     std::fs::write(&output, &json).unwrap_or_else(|e| panic!("cannot write {output}: {e}"));
     eprintln!("[bench_snapshot] wrote {output}");
     if counters_diverged {

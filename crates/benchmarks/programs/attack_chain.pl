@@ -1,0 +1,14 @@
+% Static chain instance (facts only — combine with attack_graph.pl).
+%
+% A six-host line h0 -> h1 -> ... -> h5. Ownership propagates along the
+% chain until the first non-vulnerable host (h3) breaks it: h3 is the
+% frontier, and the vulnerable hosts beyond it (h4) are reachable but
+% not owned — the `exposed/1` answers.
+
+host(h0). host(h1). host(h2). host(h3). host(h4). host(h5).
+
+link(h0, h1). link(h1, h2). link(h2, h3). link(h3, h4). link(h4, h5).
+
+vuln(h1). vuln(h2). vuln(h4).
+
+entry(h0).

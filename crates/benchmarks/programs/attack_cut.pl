@@ -1,0 +1,20 @@
+% Static random-cut instance (facts only — combine with attack_graph.pl).
+%
+% Two clusters joined by a single cut edge h2 -> h5. The left cluster
+% {h0..h3} is the attacker's side; the right cluster {h4..h7} hangs off
+% the cut. h4 has no incoming link at all, so it is `safe/1`. Severing
+% the cut edge would make the whole right cluster safe.
+
+host(h0). host(h1). host(h2). host(h3).
+host(h4). host(h5). host(h6). host(h7).
+
+% Left cluster (a small DAG).
+link(h0, h1). link(h0, h2). link(h1, h3). link(h2, h3).
+% The cut.
+link(h2, h5).
+% Right cluster.
+link(h5, h6). link(h5, h7). link(h6, h7).
+
+vuln(h1). vuln(h3). vuln(h5). vuln(h7).
+
+entry(h0).

@@ -1,0 +1,32 @@
+% Attack-graph ruleset (MulVAL-flavoured network reachability analysis).
+%
+% EDB (facts, supplied per topology):
+%   host(H)     — H is a host on the network.
+%   link(S, T)  — a directed network link from S to T.
+%   vuln(H)     — H runs an exploitable service.
+%   entry(H)    — the attacker starts with a foothold on H.
+%
+% IDB (derived):
+%   owned(H)    — the attacker can take control of H.
+%   reach(H)    — the attacker can route packets to H.
+%   safe(H)     — H is unreachable from every entry point.
+%   frontier(H) — H is adjacent to owned territory but not yet owned.
+%   exposed(H)  — H is reachable and vulnerable but not owned (a target
+%                 one lateral move away from compromise).
+%
+% The recursive clauses put `link/2` before the recursive call so the
+% rules are also runnable top-down: a ground SLD query terminates on any
+% acyclic topology, which is what makes the bottom-up/SLD differential
+% oracle possible. All generated topologies are DAGs.
+
+owned(H) :- entry(H).
+owned(T) :- link(S, T), vuln(T), owned(S).
+
+reach(H) :- entry(H).
+reach(T) :- link(S, T), reach(S).
+
+safe(H) :- host(H), \+ reach(H).
+
+frontier(T) :- link(S, T), owned(S), \+ owned(T).
+
+exposed(H) :- reach(H), vuln(H), \+ owned(H).

@@ -1,0 +1,15 @@
+% Static star instance (facts only — combine with attack_graph.pl).
+%
+% Hub h0 links to five spokes; h6 and h7 are off-network (isolated), so
+% they are the `safe/1` answers. Spokes h2 and h4 are vulnerable and get
+% owned; h1, h3, h5 stay on the frontier.
+
+host(h0). host(h1). host(h2). host(h3).
+host(h4). host(h5). host(h6). host(h7).
+
+link(h0, h1). link(h0, h2). link(h0, h3).
+link(h0, h4). link(h0, h5).
+
+vuln(h2). vuln(h4). vuln(h6).
+
+entry(h0).

@@ -157,6 +157,91 @@ pub fn item_sets(sets: usize, items_per_set: usize, seed: u64) -> String {
     format!("[{}]", out.join(","))
 }
 
+/// Shared scaffolding for the attack-graph topologies: `host/1` facts for
+/// `n` hosts, seeded `vuln/1` facts with the given density (out of 8), and
+/// an `entry(h0)` foothold.
+fn attack_preamble(n: usize, vuln_in_8: u64, rng: &mut Lcg, out: &mut String) {
+    use std::fmt::Write;
+    for i in 0..n {
+        let _ = writeln!(out, "host(h{i}).");
+    }
+    for i in 0..n {
+        if rng.below(8) < vuln_in_8 {
+            let _ = writeln!(out, "vuln(h{i}).");
+        }
+    }
+    out.push_str("entry(h0).\n");
+}
+
+/// Star attack-graph topology: hub `h0` links to every spoke, except that
+/// roughly one spoke in eight is left off-network (no incoming link), so
+/// `safe/1` has answers. Facts only — combine with `attack_graph.pl`.
+pub fn attack_star(n: usize, seed: u64) -> String {
+    use std::fmt::Write;
+    let n = n.max(2);
+    let mut rng = Lcg::new(seed);
+    let mut out = String::new();
+    attack_preamble(n, 4, &mut rng, &mut out);
+    for i in 1..n {
+        if rng.below(8) != 0 {
+            let _ = writeln!(out, "link(h0, h{i}).");
+        }
+    }
+    out
+}
+
+/// Chain attack-graph topology: `h0 -> h1 -> ... -> h(n-1)`. Ownership
+/// propagates until the first non-vulnerable host breaks the chain, which
+/// exercises the deepest fixpoints (one semi-naive round per hop). Facts
+/// only — combine with `attack_graph.pl`.
+pub fn attack_chain(n: usize, seed: u64) -> String {
+    use std::fmt::Write;
+    let n = n.max(2);
+    let mut rng = Lcg::new(seed);
+    let mut out = String::new();
+    attack_preamble(n, 6, &mut rng, &mut out);
+    for i in 1..n {
+        let _ = writeln!(out, "link(h{}, h{i}).", i - 1);
+    }
+    out
+}
+
+/// Random-cut attack-graph topology: two random DAG clusters (left half,
+/// right half) joined by a handful of cut edges from the left into the
+/// right. Every edge goes from a lower to a higher host index, so the
+/// graph is acyclic by construction (which keeps ground SLD queries over
+/// the ruleset terminating). Roughly one host in eight gets no incoming
+/// link at all, so the `safe/1` stratum has work to do. Facts only —
+/// combine with `attack_graph.pl`.
+pub fn attack_cut(n: usize, seed: u64) -> String {
+    use std::fmt::Write;
+    let n = n.max(4);
+    let mut rng = Lcg::new(seed);
+    let mut out = String::new();
+    attack_preamble(n, 4, &mut rng, &mut out);
+    let mid = n / 2;
+    // Intra-cluster DAG edges: each host (past its cluster's root) picks
+    // one or two predecessors among the earlier hosts of its own cluster.
+    for (lo, hi) in [(0, mid), (mid, n)] {
+        for i in (lo + 1)..hi {
+            if rng.below(8) == 0 {
+                continue; // isolated host — a `safe/1` candidate
+            }
+            for _ in 0..=rng.below(2) {
+                let pred = lo + rng.below((i - lo) as u64) as usize;
+                let _ = writeln!(out, "link(h{pred}, h{i}).");
+            }
+        }
+    }
+    // The cut: a few left-to-right edges.
+    for _ in 0..(n / 32).max(1) {
+        let from = rng.below(mid as u64) as usize;
+        let to = mid + rng.below((n - mid) as u64) as usize;
+        let _ = writeln!(out, "link(h{from}, h{to}).");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,5 +307,44 @@ mod tests {
             assert!(rng.below(7) < 7);
         }
         assert_eq!(Lcg::new(1).below(0), 0);
+    }
+
+    #[test]
+    fn attack_topologies_are_deterministic_facts() {
+        for (gen, name) in [
+            (attack_star as fn(usize, u64) -> String, "star"),
+            (attack_chain, "chain"),
+            (attack_cut, "cut"),
+        ] {
+            assert_eq!(gen(50, 7), gen(50, 7), "{name} not deterministic");
+            let program = granlog_ir::parser::parse_program(&gen(50, 7))
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Facts only: every clause has an empty body.
+            assert!(program.clauses().iter().all(|c| c.is_fact()), "{name}");
+            assert!(gen(50, 7).contains("entry(h0)."), "{name}");
+            assert_eq!(gen(50, 7).matches("host(").count(), 50, "{name}");
+        }
+    }
+
+    #[test]
+    fn attack_chain_links_every_hop() {
+        let facts = attack_chain(40, 11);
+        assert_eq!(facts.matches("link(").count(), 39);
+        assert!(facts.contains("link(h38, h39)."));
+    }
+
+    #[test]
+    fn attack_cut_is_acyclic() {
+        // Every link goes from a lower to a higher host index.
+        for line in attack_cut(96, 5).lines() {
+            if let Some(rest) = line.strip_prefix("link(h") {
+                let (from, rest) = rest.split_once(", h").unwrap();
+                let to = rest.strip_suffix(").").unwrap();
+                assert!(
+                    from.parse::<usize>().unwrap() < to.parse::<usize>().unwrap(),
+                    "backward edge: {line}"
+                );
+            }
+        }
     }
 }

@@ -36,5 +36,7 @@ pub use harness::{
     grain_size_sweep, run_benchmark, table_row, ControlMode, RunResult, SweepPoint, TableRow,
 };
 pub use suite::{
-    all_benchmarks, benchmark, control_benchmarks, nrev_benchmark, table2_benchmarks, Benchmark,
+    all_benchmarks, attack_instances, benchmark, control_benchmarks, datalog_benchmark,
+    datalog_benchmarks, nrev_benchmark, table2_benchmarks, Benchmark, DatalogBenchmark,
+    ATTACK_RULES,
 };

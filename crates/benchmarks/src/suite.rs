@@ -270,6 +270,137 @@ pub fn control_benchmarks() -> Vec<Benchmark> {
     ]
 }
 
+/// The shared attack-graph ruleset (`owned/1`, `reach/1`, `safe/1`,
+/// `frontier/1`, `exposed/1` over `host/1`, `link/2`, `vuln/1`, `entry/1`).
+///
+/// Pure stratified Datalog: the same source runs under SLD resolution and
+/// under the bottom-up engine, which is what makes the family a
+/// differential oracle. See `programs/attack_graph.pl`.
+pub const ATTACK_RULES: &str = include_str!("../programs/attack_graph.pl");
+
+/// A Datalog benchmark: the attack-graph ruleset over a generated topology
+/// parameterised by host count.
+///
+/// Unlike [`Benchmark`], the *program* (not the query) scales with size —
+/// bottom-up evaluation is set-at-a-time, so the workload is the fact base.
+/// The interesting queries are the fixed open goals of [`Self::queries`].
+#[derive(Debug, Clone, Copy)]
+pub struct DatalogBenchmark {
+    /// Short name (`attack_star`, `attack_chain`, `attack_cut`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Generates the topology's facts for a given host count.
+    topology: fn(usize, u64) -> String,
+    /// Seed for the topology generator (fixed per family).
+    pub seed: u64,
+    /// Host count used by the benchmark snapshot (thousands of hosts).
+    pub default_size: usize,
+    /// Smaller host count suitable for the differential test suite.
+    pub test_size: usize,
+}
+
+impl DatalogBenchmark {
+    /// The full program source at the given host count: the shared ruleset
+    /// followed by the generated topology facts.
+    pub fn source(&self, size: usize) -> String {
+        format!("{ATTACK_RULES}\n{}", (self.topology)(size, self.seed))
+    }
+
+    /// Parses the benchmark's program at the given host count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error if the generated source is malformed (a bug).
+    pub fn program(&self, size: usize) -> Result<Program, ParseError> {
+        parse_program(&self.source(size))
+    }
+
+    /// The open queries every instance answers — one per IDB predicate.
+    pub fn queries() -> &'static [&'static str] {
+        &[
+            "owned(X)",
+            "reach(X)",
+            "safe(X)",
+            "frontier(X)",
+            "exposed(X)",
+        ]
+    }
+
+    /// The snapshot label, e.g. `attack_chain(2000)`.
+    pub fn label(&self) -> String {
+        format!("{}({})", self.name, self.default_size)
+    }
+}
+
+/// The attack-graph benchmark family (kept separate from
+/// [`all_benchmarks`], which is pinned to the paper's twelve programs).
+pub fn datalog_benchmarks() -> Vec<DatalogBenchmark> {
+    vec![
+        DatalogBenchmark {
+            name: "attack_star",
+            description: "hub-and-spoke topology: wide single-round joins",
+            topology: generate::attack_star,
+            seed: 61,
+            default_size: 4000,
+            test_size: 48,
+        },
+        DatalogBenchmark {
+            name: "attack_chain",
+            description: "line topology: one semi-naive round per hop",
+            topology: generate::attack_chain,
+            seed: 67,
+            default_size: 2000,
+            test_size: 48,
+        },
+        DatalogBenchmark {
+            name: "attack_cut",
+            description: "two random DAG clusters joined by a sparse cut",
+            topology: generate::attack_cut,
+            seed: 71,
+            default_size: 3000,
+            test_size: 64,
+        },
+    ]
+}
+
+/// Looks a Datalog benchmark up by name.
+pub fn datalog_benchmark(name: &str) -> Option<DatalogBenchmark> {
+    datalog_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// The small static attack-graph instances shipped next to the ruleset,
+/// as `(name, full source)` pairs — handy as fixed CLI/serve examples and
+/// as hand-checkable oracle inputs.
+pub fn attack_instances() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "attack_star",
+            concat!(
+                include_str!("../programs/attack_graph.pl"),
+                "\n",
+                include_str!("../programs/attack_star.pl")
+            ),
+        ),
+        (
+            "attack_chain",
+            concat!(
+                include_str!("../programs/attack_graph.pl"),
+                "\n",
+                include_str!("../programs/attack_chain.pl")
+            ),
+        ),
+        (
+            "attack_cut",
+            concat!(
+                include_str!("../programs/attack_graph.pl"),
+                "\n",
+                include_str!("../programs/attack_cut.pl")
+            ),
+        ),
+    ]
+}
+
 /// The subset of benchmarks used for the paper's Table 2 (&-Prolog).
 pub fn table2_benchmarks() -> Vec<Benchmark> {
     all_benchmarks()
@@ -369,5 +500,53 @@ mod tests {
         assert!(benchmark("fib").is_some());
         assert!(benchmark("nrev").is_some());
         assert!(benchmark("does_not_exist").is_none());
+    }
+
+    #[test]
+    fn datalog_family_generates_parsing_programs() {
+        let family = datalog_benchmarks();
+        assert_eq!(family.len(), 3);
+        for b in &family {
+            let program = b
+                .program(b.test_size)
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!program.is_empty(), "{}", b.name);
+            // The source is the shared ruleset plus facts: all five IDB
+            // predicates are defined.
+            for pred in ["owned", "reach", "safe", "frontier", "exposed"] {
+                assert!(
+                    program
+                        .clauses_of(granlog_ir::PredId::parse(pred, 1))
+                        .iter()
+                        .any(|c| !c.is_fact()),
+                    "{}: missing rule for {pred}/1",
+                    b.name
+                );
+            }
+            assert!(b.default_size >= 2000, "{}: family must scale", b.name);
+            assert!(datalog_benchmark(b.name).is_some());
+        }
+        for q in DatalogBenchmark::queries() {
+            assert!(granlog_ir::parser::parse_term(q).is_ok(), "{q}");
+        }
+    }
+
+    #[test]
+    fn datalog_generators_are_deterministic() {
+        let b = datalog_benchmark("attack_cut").unwrap();
+        assert_eq!(b.source(100), b.source(100));
+        assert_eq!(b.label(), "attack_cut(3000)");
+    }
+
+    #[test]
+    fn static_attack_instances_parse_and_embed_the_ruleset() {
+        let instances = attack_instances();
+        assert_eq!(instances.len(), 3);
+        for (name, source) in instances {
+            assert!(source.starts_with(ATTACK_RULES), "{name}");
+            let program = parse_program(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!program.is_empty(), "{name}");
+            assert!(source.contains("entry(h0)."), "{name}");
+        }
     }
 }

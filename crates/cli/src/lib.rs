@@ -23,7 +23,8 @@ pub const USAGE: &str = "\
 usage:
   granlog analyze  <file.pl> [--overhead W] [--metric resolutions|unifications|steps]
   granlog annotate <file.pl> [--overhead W]
-  granlog run      <file.pl> <query> [--processors P] [--overhead W]
+  granlog run      <file.pl> <query> [--engine sld|bottom-up]
+                   [--processors P] [--overhead W]
                    [--control | --no-control | --sequential]
                    [--threads N [--granularity on|off|always-spawn]]
   granlog ddg      <file.pl> <name/arity>
@@ -36,6 +37,13 @@ with --threads N the query executes on a real pool of N worker threads
 (measured wall-clock, granularity control as a runtime spawn decision);
 without it, execution is sequential and parallelism is *simulated* on
 --processors P.
+
+--engine bottom-up evaluates the program as stratified Datalog: a
+semi-naive fixpoint materialises every derivable fact, and the query
+prints *all* answers (SLD resolution prints the first). Programs
+outside the Datalog subset (cut, disjunction, arithmetic, builtins,
+metacalls, non-ground compound arguments, unstratified negation) are
+rejected with a diagnostic naming the offending clause.
 
 serve starts a multi-tenant query service: one session per connection,
 compiled programs shared through a cache of --cache entries, each query
@@ -60,6 +68,9 @@ pub enum CliError {
     Parse(granlog_ir::ParseError),
     /// The engine reported an error while running a query.
     Engine(granlog_engine::EngineError),
+    /// The bottom-up engine rejected the program or query (outside the
+    /// Datalog subset, unstratified, or unsafe), or evaluation failed.
+    Datalog(granlog_datalog::DatalogError),
     /// `serve` could not boot: the listen address would not bind or the
     /// data dir is unusable. Typed, with a nonzero exit — never a panic
     /// backtrace.
@@ -75,6 +86,7 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Parse(e) => write!(f, "{e}"),
             CliError::Engine(e) => write!(f, "execution error: {e}"),
+            CliError::Datalog(e) => write!(f, "bottom-up: {e}"),
             CliError::Serve(e) => write!(f, "serve: {e}"),
             CliError::Other(m) => write!(f, "{m}"),
         }
@@ -107,6 +119,12 @@ impl From<BootError> for CliError {
     }
 }
 
+impl From<granlog_datalog::DatalogError> for CliError {
+    fn from(e: granlog_datalog::DatalogError) -> Self {
+        CliError::Datalog(e)
+    }
+}
+
 /// Parsed command-line options shared by the subcommands.
 #[derive(Debug, Clone, PartialEq)]
 struct Options {
@@ -118,6 +136,8 @@ struct Options {
     /// simulating.
     threads: Option<usize>,
     granularity: Granularity,
+    /// `run`: which evaluation engine answers the query.
+    engine: Engine,
     /// Were `--control`/`--no-control`/`--sequential` passed explicitly?
     mode_explicit: bool,
     /// Was `--processors` passed explicitly?
@@ -155,6 +175,15 @@ enum RunMode {
     Sequential,
 }
 
+/// Which evaluation strategy `granlog run` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Top-down SLD resolution (first answer), the default.
+    Sld,
+    /// Bottom-up semi-naive Datalog evaluation (all answers).
+    BottomUp,
+}
+
 fn parse_options(args: &[String]) -> Result<Options, CliError> {
     let mut options = Options {
         overhead: OverheadModel::rolog_like().per_task_overhead(),
@@ -163,6 +192,7 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         mode: RunMode::Control,
         threads: None,
         granularity: Granularity::On,
+        engine: Engine::Sld,
         mode_explicit: false,
         processors_explicit: false,
         addr: "127.0.0.1:4517".to_string(),
@@ -221,6 +251,16 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     return Err(usage("--threads must be at least 1"));
                 }
                 options.threads = Some(threads);
+            }
+            "--engine" => {
+                let value = iter.next().ok_or_else(|| usage("--engine needs a value"))?;
+                options.engine = match value.as_str() {
+                    "sld" => Engine::Sld,
+                    "bottom-up" => Engine::BottomUp,
+                    other => {
+                        return Err(usage(&format!("unknown engine {other:?} (sld|bottom-up)")))
+                    }
+                };
             }
             "--granularity" => {
                 let value = iter
@@ -420,6 +460,18 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         return Err(usage("run expects a file and a query"));
     };
     let program = load_program(path)?;
+    if options.engine == Engine::BottomUp {
+        // Bottom-up evaluation is set-at-a-time: there is no task tree to
+        // simulate and no spawn decision to control, so the SLD-side knobs
+        // are refused instead of silently ignored.
+        if options.threads.is_some() || options.mode_explicit || options.processors_explicit {
+            return Err(usage(
+                "--engine bottom-up evaluates a fixpoint; it cannot be combined \
+                 with --threads/--processors/--control/--no-control/--sequential",
+            ));
+        }
+        return cmd_run_bottom_up(&program, query, out);
+    }
     if let Some(threads) = options.threads {
         // Real execution and the simulation path are mutually exclusive:
         // refuse silently-ignored flags instead of guessing.
@@ -539,6 +591,43 @@ fn cmd_run_parallel(
         wall.as_secs_f64() * 1e3,
         outcome.spawned_tasks,
         outcome.inlined_conjunctions
+    )?;
+    Ok(())
+}
+
+/// `granlog run --engine bottom-up`: compile the program as stratified
+/// Datalog, run the semi-naive fixpoint, and print *every* answer to the
+/// query (SLD resolution prints the first).
+fn cmd_run_bottom_up(program: &Program, query: &str, out: &mut dyn Write) -> Result<(), CliError> {
+    let compiled = granlog_datalog::CompiledDatalog::compile(program)?;
+    let database = compiled.evaluate()?;
+    let (goal, var_names) = granlog_ir::parser::parse_term(query)?;
+    let answers = database.query(&goal, &var_names)?;
+    if answers.succeeded() {
+        writeln!(out, "yes")?;
+        for i in 0..answers.rows.len() {
+            let line: Vec<String> = answers
+                .bindings(i)
+                .iter()
+                .filter(|(name, _)| name.as_str() != "_")
+                .map(|(name, value)| format!("{name} = {value}"))
+                .collect();
+            if !line.is_empty() {
+                writeln!(out, "  {}", line.join(", "))?;
+            }
+        }
+    } else {
+        writeln!(out, "no")?;
+    }
+    let stats = database.stats();
+    writeln!(
+        out,
+        "bottom-up: {} answers; {} facts derived in {} rounds ({} edb facts, {} join batches)",
+        answers.rows.len(),
+        stats.derived_facts,
+        stats.rounds,
+        stats.edb_facts,
+        stats.join_batches
     )?;
     Ok(())
 }
@@ -782,6 +871,107 @@ mod tests {
         let path = write_temp("fail_run.pl", "p(1).");
         let out = run(&["run", path.to_str().unwrap(), "p(2)"]).unwrap();
         assert!(out.contains("no"));
+    }
+
+    const ATTACK: &str = r#"
+        host(a). host(b). host(c). host(d).
+        link(a, b). link(b, c).
+        vuln(b). vuln(c).
+        entry(a).
+        reach(H) :- entry(H).
+        reach(T) :- link(S, T), reach(S).
+        safe(H) :- host(H), \+ reach(H).
+    "#;
+
+    #[test]
+    fn run_bottom_up_prints_all_answers() {
+        let path = write_temp("attack_run.pl", ATTACK);
+        let out = run(&[
+            "run",
+            path.to_str().unwrap(),
+            "reach(X)",
+            "--engine",
+            "bottom-up",
+        ])
+        .unwrap();
+        assert!(out.contains("yes"), "{out}");
+        for host in ["X = a", "X = b", "X = c"] {
+            assert!(out.contains(host), "missing {host}: {out}");
+        }
+        assert!(out.contains("3 answers"), "{out}");
+        assert!(out.contains("facts derived in"), "{out}");
+        // The stratified-negation stratum works over the CLI too.
+        let out = run(&[
+            "run",
+            path.to_str().unwrap(),
+            "safe(X)",
+            "--engine",
+            "bottom-up",
+        ])
+        .unwrap();
+        assert!(out.contains("X = d"), "{out}");
+        assert!(out.contains("1 answers"), "{out}");
+        // A ground query is yes/no.
+        let out = run(&[
+            "run",
+            path.to_str().unwrap(),
+            "reach(d)",
+            "--engine",
+            "bottom-up",
+        ])
+        .unwrap();
+        assert!(out.starts_with("no"), "{out}");
+        // `--engine sld` is the explicit spelling of the default.
+        let out = run(&["run", path.to_str().unwrap(), "reach(X)", "--engine", "sld"]).unwrap();
+        assert!(out.contains("X = a"), "{out}");
+        assert!(out.contains("simulated time"), "{out}");
+    }
+
+    #[test]
+    fn run_bottom_up_rejects_non_datalog_with_the_clause_named() {
+        let path = write_temp("nrev_bottom_up.pl", NREV);
+        let err = run(&[
+            "run",
+            path.to_str().unwrap(),
+            "nrev([1,2], R)",
+            "--engine",
+            "bottom-up",
+        ])
+        .expect_err("nrev builds lists; it is not Datalog");
+        assert!(matches!(err, CliError::Datalog(_)), "{err:?}");
+        let msg = err.to_string();
+        assert!(msg.contains("not a Datalog program"), "{msg}");
+        assert!(
+            msg.contains("nrev"),
+            "diagnostic must name the clause: {msg}"
+        );
+    }
+
+    #[test]
+    fn run_bottom_up_refuses_sld_side_flags() {
+        let path = write_temp("attack_flags.pl", ATTACK);
+        for extra in [
+            &["--threads", "2"][..],
+            &["--sequential"][..],
+            &["--processors", "4"][..],
+        ] {
+            let mut args = vec![
+                "run",
+                path.to_str().unwrap(),
+                "reach(X)",
+                "--engine",
+                "bottom-up",
+            ];
+            args.extend_from_slice(extra);
+            assert!(
+                matches!(run(&args), Err(CliError::Usage(_))),
+                "{extra:?} must conflict with --engine bottom-up"
+            );
+        }
+        assert!(matches!(
+            run(&["run", path.to_str().unwrap(), "q", "--engine", "magic"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Typed diagnostics for the Datalog front end and evaluator.
+
+use std::fmt;
+
+/// Why a program (or query) was rejected by the bottom-up engine, or why an
+/// evaluation failed.
+///
+/// The bottom-up evaluator accepts only the Datalog subset of the IR; every
+/// rejection names the offending clause (rendered with its source variable
+/// names) so the caller can point at the exact line. A rejection is always
+/// produced *before* evaluation starts — the engine never computes a wrong
+/// answer for an out-of-subset program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// The clause uses a construct outside the Datalog subset (cut,
+    /// disjunction, if-then-else, arithmetic, a builtin, a metacall, or a
+    /// non-ground compound argument).
+    NotDatalog {
+        /// The offending clause, rendered with source variable names.
+        clause: String,
+        /// The construct that put it outside the subset.
+        construct: String,
+    },
+    /// Negation occurs inside a recursive cycle, so no stratification
+    /// exists.
+    NotStratified {
+        /// A predicate on the offending negative cycle.
+        pred: String,
+        /// The clause whose negative dependency closes the cycle.
+        clause: String,
+    },
+    /// The clause is not range-restricted: `var` does not appear in any
+    /// positive body literal.
+    UnsafeClause {
+        /// The offending clause (or query).
+        clause: String,
+        /// The unrestricted variable, by source name.
+        var: String,
+    },
+    /// An injected fault from a named failpoint seam (only with
+    /// `--features failpoints`).
+    Fault(&'static str),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::NotDatalog { clause, construct } => {
+                write!(f, "not a Datalog program: {construct} in clause `{clause}`")
+            }
+            DatalogError::NotStratified { pred, clause } => {
+                write!(
+                    f,
+                    "not stratified: negation inside a recursive cycle through {pred} (clause `{clause}`)"
+                )
+            }
+            DatalogError::UnsafeClause { clause, var } => {
+                write!(
+                    f,
+                    "unsafe clause: variable {var} does not occur in a positive body literal in `{clause}`"
+                )
+            }
+            DatalogError::Fault(seam) => write!(f, "fault injected at {seam}"),
+        }
+    }
+}
+
+impl std::error::Error for DatalogError {}

@@ -1,0 +1,575 @@
+//! Semi-naive fixpoint evaluation and query answering.
+//!
+//! Strata run in dependency order. Within a stratum, a seeding round runs
+//! every rule against the current totals, then semi-naive rounds join each
+//! rule's delta position against the previous round's new tuples: for the
+//! delta literal the probe range is exactly the previous round's insertions,
+//! positions *before* it read the full total (old plus delta) and positions
+//! *after* it read only the old tuples — every new combination is derived
+//! exactly once. Relations keep their registered hash indexes incrementally
+//! (posting lists of ascending tuple indices, extended on insert), so a
+//! round touching a one-tuple delta costs a handful of probes rather than an
+//! index rebuild — on a chain topology the fixpoint is O(n) rounds of O(1)
+//! work instead of the O(n^2) a per-round rebuild would cost.
+//!
+//! Failpoint seams: `datalog.join` (one check per join batch, query probes
+//! included) and `datalog.fixpoint.round` (one check per round). Without
+//! `--features failpoints` both compile to const no-ops.
+
+use crate::compile::{ArgPat, CompiledDatalog, ConstId, ConstResolver, ConstTable, LowerCtx};
+use crate::error::DatalogError;
+use granlog_engine::rterm::RTerm;
+use granlog_ir::{FastMap, PredId, Symbol, Term};
+use std::collections::BTreeSet;
+
+/// Slot sentinel: not yet bound.
+const UNBOUND: u32 = u32::MAX;
+
+/// Counters of one fixpoint evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Fixpoint rounds across all strata (seeding rounds included).
+    pub rounds: u64,
+    /// Facts derived by rules (EDB facts and duplicates excluded).
+    pub derived_facts: u64,
+    /// Ground facts loaded from the program.
+    pub edb_facts: u64,
+    /// Join batches executed (one per rule/delta-variant/round, plus one
+    /// per query).
+    pub join_batches: u64,
+}
+
+/// One hash index over a relation: key columns → posting list of tuple
+/// indices, ascending (maintained incrementally on insert).
+#[derive(Debug, Default)]
+struct Index {
+    cols: Vec<u32>,
+    map: FastMap<Box<[ConstId]>, Vec<usize>>,
+}
+
+/// A fact relation: insertion-ordered tuples, a dedup/membership map, and
+/// the registered indexes.
+#[derive(Debug, Default)]
+struct Relation {
+    tuples: Vec<Box<[ConstId]>>,
+    set: FastMap<Box<[ConstId]>, usize>,
+    indexes: Vec<Index>,
+}
+
+impl Relation {
+    fn insert(&mut self, tuple: Box<[ConstId]>) -> bool {
+        if self.set.contains_key(&tuple) {
+            return false;
+        }
+        let idx = self.tuples.len();
+        for ix in &mut self.indexes {
+            let key: Box<[ConstId]> = ix.cols.iter().map(|&c| tuple[c as usize]).collect();
+            ix.map.entry(key).or_default().push(idx);
+        }
+        self.set.insert(tuple.clone(), idx);
+        self.tuples.push(tuple);
+        true
+    }
+
+    fn len(&self) -> usize {
+        self.tuples.len()
+    }
+}
+
+/// The materialized result of a fixpoint evaluation, ready to answer
+/// queries. Immutable once built — safe to cache and share across sessions.
+#[derive(Debug)]
+pub struct Database {
+    consts: ConstTable,
+    rels: Vec<Relation>,
+    preds: Vec<(PredId, usize)>,
+    pred_ix: FastMap<PredId, usize>,
+    stats: FixpointStats,
+}
+
+/// All answers to a query: the query's variables (first-occurrence order)
+/// and one ground row per answer, in derivation order.
+///
+/// Rows are materialized through the engine's canonical [`RTerm`] runtime
+/// boundary — the same representation SLD answers cross — so the two
+/// engines' answer sets are directly comparable.
+#[derive(Debug, Clone)]
+pub struct QueryAnswers {
+    /// The query's variables, in first-occurrence order.
+    pub vars: Vec<Symbol>,
+    /// One ground row per answer (same length as `vars`).
+    pub rows: Vec<Vec<RTerm>>,
+}
+
+impl QueryAnswers {
+    /// Did at least one answer exist?
+    pub fn succeeded(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// Row `i` as SLD-shaped name/term bindings.
+    pub fn bindings(&self, i: usize) -> Vec<(Symbol, Term)> {
+        self.vars
+            .iter()
+            .zip(&self.rows[i])
+            .map(|(&name, r)| (name, rterm_to_ir(r)))
+            .collect()
+    }
+}
+
+/// Converts a ground runtime term back to IR for display and comparison
+/// (the inverse of [`RTerm::from_ir`] on ground terms).
+fn rterm_to_ir(r: &RTerm) -> Term {
+    match r {
+        RTerm::Var(v) => Term::Var(*v),
+        RTerm::Atom(s) => Term::Atom(*s),
+        RTerm::Int(i) => Term::Int(*i),
+        RTerm::Float(x) => Term::float(*x),
+        RTerm::Struct(s, args) => Term::structure(*s, args.iter().map(rterm_to_ir).collect()),
+    }
+}
+
+/// A probe-ready literal for the join driver (compiled rules and lowered
+/// queries both reduce to this).
+struct EvalLit {
+    rel: usize,
+    negated: bool,
+    args: Vec<ArgPat>,
+    /// Registered index serving this probe (`None`: full scan within
+    /// bounds, or an all-columns-bound membership test).
+    index_slot: Option<usize>,
+    all_bound: bool,
+}
+
+/// Nested-loop join over indexed relation views with per-position
+/// tuple-index bounds `(lo, hi)` — the semi-naive delta/total split is
+/// expressed purely through these ranges.
+struct Join<'a, F: FnMut(&[u32])> {
+    rels: &'a [&'a Relation],
+    lits: &'a [EvalLit],
+    bounds: &'a [(usize, usize)],
+    /// Per-literal scratch recording which slots that probe bound, so the
+    /// bindings can be undone on backtrack without per-tuple allocation.
+    trails: Vec<Vec<u32>>,
+    emit: F,
+}
+
+impl<'a, F: FnMut(&[u32])> Join<'a, F> {
+    fn new(
+        rels: &'a [&'a Relation],
+        lits: &'a [EvalLit],
+        bounds: &'a [(usize, usize)],
+        emit: F,
+    ) -> Self {
+        Join {
+            rels,
+            lits,
+            bounds,
+            trails: vec![Vec::new(); lits.len()],
+            emit,
+        }
+    }
+
+    fn run(&mut self, num_slots: usize) -> Result<(), DatalogError> {
+        granlog_fault::fail_or("datalog.join", || DatalogError::Fault("datalog.join"))?;
+        let mut bind = vec![UNBOUND; num_slots];
+        self.step(0, &mut bind);
+        Ok(())
+    }
+
+    fn resolve(arg: ArgPat, bind: &[u32]) -> ConstId {
+        match arg {
+            ArgPat::Const(c) => c,
+            ArgPat::Var(s) => bind[s as usize],
+        }
+    }
+
+    fn step(&mut self, pos: usize, bind: &mut Vec<u32>) {
+        if pos == self.lits.len() {
+            (self.emit)(bind);
+            return;
+        }
+        let lits = self.lits;
+        let rels = self.rels;
+        let lit = &lits[pos];
+        let rel = rels[lit.rel];
+        let (lo, hi) = self.bounds[pos];
+        if lit.negated {
+            // Anti-join: all columns are bound (range restriction) and the
+            // relation is from a strictly lower stratum, hence complete.
+            let key: Box<[ConstId]> = lit.args.iter().map(|&a| Self::resolve(a, bind)).collect();
+            if rel.set.get(&key).is_none_or(|&i| i >= hi) {
+                self.step(pos + 1, bind);
+            }
+            return;
+        }
+        if lit.all_bound {
+            let key: Box<[ConstId]> = lit.args.iter().map(|&a| Self::resolve(a, bind)).collect();
+            if rel.set.get(&key).is_some_and(|&i| lo <= i && i < hi) {
+                self.step(pos + 1, bind);
+            }
+            return;
+        }
+        match lit.index_slot {
+            Some(slot) => {
+                let ix = &rel.indexes[slot];
+                let key: Box<[ConstId]> = ix
+                    .cols
+                    .iter()
+                    .map(|&c| Self::resolve(lit.args[c as usize], bind))
+                    .collect();
+                let Some(postings) = ix.map.get(&key) else {
+                    return;
+                };
+                let start = postings.partition_point(|&i| i < lo);
+                for &i in &postings[start..] {
+                    if i >= hi {
+                        break;
+                    }
+                    self.try_tuple(pos, i, bind);
+                }
+            }
+            None => {
+                let end = hi.min(rel.len());
+                for i in lo..end {
+                    self.try_tuple(pos, i, bind);
+                }
+            }
+        }
+    }
+
+    fn try_tuple(&mut self, pos: usize, tuple_idx: usize, bind: &mut Vec<u32>) {
+        let lits = self.lits;
+        let rels = self.rels;
+        let lit = &lits[pos];
+        let tuple = &rels[lit.rel].tuples[tuple_idx];
+        let mut matched = true;
+        self.trails[pos].clear();
+        for (col, &arg) in lit.args.iter().enumerate() {
+            let v = tuple[col];
+            match arg {
+                ArgPat::Const(c) => {
+                    if c != v {
+                        matched = false;
+                        break;
+                    }
+                }
+                ArgPat::Var(s) => {
+                    let slot = s as usize;
+                    if bind[slot] == UNBOUND {
+                        bind[slot] = v;
+                        self.trails[pos].push(s);
+                    } else if bind[slot] != v {
+                        matched = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if matched {
+            self.step(pos + 1, bind);
+        }
+        let mut k = 0;
+        while k < self.trails[pos].len() {
+            bind[self.trails[pos][k] as usize] = UNBOUND;
+            k += 1;
+        }
+        self.trails[pos].clear();
+    }
+}
+
+impl CompiledDatalog {
+    /// Runs the stratified semi-naive fixpoint to completion.
+    ///
+    /// Deterministic for a given program; fails only through injected
+    /// faults (`--features failpoints`).
+    pub fn evaluate(&self) -> Result<Database, DatalogError> {
+        let mut stats = FixpointStats::default();
+        let mut rels: Vec<Relation> = self
+            .preds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| Relation {
+                tuples: Vec::new(),
+                set: FastMap::default(),
+                indexes: self.rel_indexes[i]
+                    .iter()
+                    .map(|cols| Index {
+                        cols: cols.clone(),
+                        map: FastMap::default(),
+                    })
+                    .collect(),
+            })
+            .collect();
+
+        for (rel, tuple) in &self.facts {
+            if rels[*rel].insert(tuple.clone()) {
+                stats.edb_facts += 1;
+            }
+        }
+
+        for stratum in &self.strata {
+            if stratum.rules.is_empty() {
+                continue;
+            }
+            // Delta ranges per relation written by this stratum:
+            // (start, end) of the tuples inserted by the previous round.
+            let mut delta: FastMap<usize, (usize, usize)> = FastMap::default();
+
+            // Seeding round: every rule once against the current totals
+            // (lower strata plus this stratum's ground facts).
+            granlog_fault::fail_or("datalog.fixpoint.round", || {
+                DatalogError::Fault("datalog.fixpoint.round")
+            })?;
+            stats.rounds += 1;
+            let mut out: Vec<(usize, Box<[ConstId]>)> = Vec::new();
+            for &r in &stratum.rules {
+                let rule = &self.rules[r];
+                let bounds: Vec<(usize, usize)> =
+                    rule.lits.iter().map(|l| (0, rels[l.rel].len())).collect();
+                run_rule(rule, &rels, &bounds, &mut out, &mut stats)?;
+            }
+            loop {
+                let before: Vec<usize> = stratum.rels.iter().map(|&r| rels[r].len()).collect();
+                let mut inserted = 0u64;
+                for (rel, tuple) in out.drain(..) {
+                    if rels[rel].insert(tuple) {
+                        inserted += 1;
+                    }
+                }
+                stats.derived_facts += inserted;
+                delta.clear();
+                for (i, &r) in stratum.rels.iter().enumerate() {
+                    if rels[r].len() > before[i] {
+                        delta.insert(r, (before[i], rels[r].len()));
+                    }
+                }
+                if delta.is_empty() {
+                    break;
+                }
+
+                // Semi-naive round: each rule joins its delta positions
+                // against the previous round's insertions.
+                granlog_fault::fail_or("datalog.fixpoint.round", || {
+                    DatalogError::Fault("datalog.fixpoint.round")
+                })?;
+                stats.rounds += 1;
+                for &r in &stratum.rules {
+                    let rule = &self.rules[r];
+                    for &dpos in &rule.delta_positions {
+                        let drel = rule.lits[dpos].rel;
+                        let Some(&(dlo, dhi)) = delta.get(&drel) else {
+                            continue;
+                        };
+                        let bounds: Vec<(usize, usize)> = rule
+                            .lits
+                            .iter()
+                            .enumerate()
+                            .map(|(pos, l)| {
+                                if pos == dpos {
+                                    (dlo, dhi)
+                                } else if pos > dpos {
+                                    // Strictly-old tuples after the delta
+                                    // position: no double derivation.
+                                    match delta.get(&l.rel) {
+                                        Some(&(lo, _)) => (0, lo),
+                                        None => (0, rels[l.rel].len()),
+                                    }
+                                } else {
+                                    (0, rels[l.rel].len())
+                                }
+                            })
+                            .collect();
+                        run_rule(rule, &rels, &bounds, &mut out, &mut stats)?;
+                    }
+                }
+            }
+        }
+
+        Ok(Database {
+            consts: self.consts.clone(),
+            rels,
+            preds: self.preds.iter().map(|p| (p.pred, p.arity)).collect(),
+            pred_ix: self.pred_ix.clone(),
+            stats,
+        })
+    }
+}
+
+/// Executes one rule (one join batch) under the given per-position bounds,
+/// collecting derived head tuples into `out`.
+fn run_rule(
+    rule: &crate::compile::PlannedRule,
+    rels: &[Relation],
+    bounds: &[(usize, usize)],
+    out: &mut Vec<(usize, Box<[ConstId]>)>,
+    stats: &mut FixpointStats,
+) -> Result<(), DatalogError> {
+    stats.join_batches += 1;
+    let lits: Vec<EvalLit> = rule
+        .lits
+        .iter()
+        .map(|l| EvalLit {
+            rel: l.rel,
+            negated: l.negated,
+            args: l.args.clone(),
+            index_slot: l.index_slot,
+            all_bound: l.all_bound,
+        })
+        .collect();
+    let views: Vec<&Relation> = rels.iter().collect();
+    let head_rel = rule.rel;
+    let head_args = &rule.head_args;
+    let mut join = Join::new(&views, &lits, bounds, |bind: &[u32]| {
+        let tuple: Box<[ConstId]> = head_args
+            .iter()
+            .map(|a| match a {
+                ArgPat::Const(c) => *c,
+                ArgPat::Var(s) => bind[*s as usize],
+            })
+            .collect();
+        out.push((head_rel, tuple));
+    });
+    join.run(rule.num_slots)
+}
+
+impl Database {
+    /// Evaluation counters.
+    pub fn stats(&self) -> &FixpointStats {
+        &self.stats
+    }
+
+    /// Total tuples across every relation (EDB plus derived).
+    pub fn total_facts(&self) -> u64 {
+        self.rels.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Tuples in one relation (0 for unknown predicates — legal Datalog,
+    /// an empty relation).
+    pub fn relation_size(&self, pred: PredId) -> usize {
+        self.pred_ix.get(&pred).map_or(0, |&i| self.rels[i].len())
+    }
+
+    /// Every predicate in the database with its relation size, in
+    /// deterministic order.
+    pub fn predicates(&self) -> impl Iterator<Item = (PredId, usize)> + '_ {
+        self.preds
+            .iter()
+            .enumerate()
+            .map(|(i, &(pred, _))| (pred, self.rels[i].len()))
+    }
+
+    /// Answers a query goal against the materialized database.
+    ///
+    /// The goal is a conjunction of literals in the same Datalog subset as
+    /// program bodies (negation allowed, range-restricted over the goal's
+    /// positive literals); `var_names` maps the goal's
+    /// [`granlog_ir::VarId`]s to source names, exactly as
+    /// [`granlog_ir::parser::parse_term`] returns them. Answers come back
+    /// in derivation order, one row per distinct variable assignment.
+    pub fn query(&self, goal: &Term, var_names: &[Symbol]) -> Result<QueryAnswers, DatalogError> {
+        let display = granlog_ir::pretty::TermWithNames::new(goal, var_names).to_string();
+        let mut ctx = LowerCtx::new(display, var_names);
+        let mut resolver = ConstResolver::Lookup(&self.consts);
+        let mut lowered = Vec::new();
+        ctx.lower_body(goal, &mut resolver, &mut lowered)?;
+
+        // The answer columns: every goal variable, first-occurrence order.
+        let vars: Vec<Symbol> = ctx.slot_names.clone();
+        let num_slots = vars.len();
+
+        // Order probes like rule planning: positives first (source order),
+        // then negations; enforce range restriction over the goal itself.
+        let mut pos_lits = Vec::new();
+        let mut neg_lits = Vec::new();
+        let mut impossible = false;
+        for l in lowered {
+            if l.lit.negated {
+                if l.impossible {
+                    // `\+ p(<unknown constant>)`: trivially true, drop it.
+                    continue;
+                }
+                neg_lits.push(l.lit);
+            } else {
+                impossible |= l.impossible;
+                pos_lits.push(l.lit);
+            }
+        }
+        let positive_slots: BTreeSet<u32> = pos_lits
+            .iter()
+            .flat_map(|l| l.args.iter())
+            .filter_map(|a| match a {
+                ArgPat::Var(s) => Some(*s),
+                ArgPat::Const(_) => None,
+            })
+            .collect();
+        for s in 0..num_slots as u32 {
+            if !positive_slots.contains(&s) {
+                return Err(DatalogError::UnsafeClause {
+                    clause: ctx.display.clone(),
+                    var: ctx.slot_name(s).to_string(),
+                });
+            }
+        }
+        if impossible {
+            return Ok(QueryAnswers {
+                vars,
+                rows: Vec::new(),
+            });
+        }
+
+        // A positive literal over a predicate the program never mentions is
+        // an empty relation: no answers. A negated one passes trivially and
+        // is pointed at a shared empty relation view.
+        let empty = Relation::default();
+        let mut views: Vec<&Relation> = self.rels.iter().collect();
+        views.push(&empty);
+        let empty_idx = views.len() - 1;
+
+        let mut bound_slots: BTreeSet<u32> = BTreeSet::new();
+        let mut lits: Vec<EvalLit> = Vec::with_capacity(pos_lits.len() + neg_lits.len());
+        for l in pos_lits.iter().chain(neg_lits.iter()) {
+            let rel = match self.pred_ix.get(&l.pred) {
+                Some(&i) => i,
+                None if l.negated => empty_idx,
+                None => {
+                    return Ok(QueryAnswers {
+                        vars,
+                        rows: Vec::new(),
+                    })
+                }
+            };
+            let all_bound = l.args.iter().all(|a| match a {
+                ArgPat::Const(_) => true,
+                ArgPat::Var(s) => bound_slots.contains(s),
+            });
+            if !l.negated {
+                for a in &l.args {
+                    if let ArgPat::Var(s) = a {
+                        bound_slots.insert(*s);
+                    }
+                }
+            }
+            lits.push(EvalLit {
+                rel,
+                negated: l.negated,
+                args: l.args.clone(),
+                index_slot: None,
+                all_bound,
+            });
+        }
+
+        let bounds: Vec<(usize, usize)> = lits.iter().map(|_| (0, usize::MAX)).collect();
+        let mut rows: Vec<Vec<RTerm>> = Vec::new();
+        let mut join = Join::new(&views, &lits, &bounds, |bind: &[u32]| {
+            rows.push(
+                (0..num_slots)
+                    .map(|s| RTerm::from_ir(self.consts.term(bind[s]), 0))
+                    .collect(),
+            );
+        });
+        join.run(num_slots)?;
+        drop(join);
+        Ok(QueryAnswers { vars, rows })
+    }
+}

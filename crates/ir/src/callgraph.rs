@@ -80,15 +80,26 @@ impl CallGraph {
         for (caller_idx, &caller) in nodes.iter().enumerate() {
             for clause in program.clauses_of(caller) {
                 for goal in clause.called_goals() {
-                    if let Some(callee) = PredId::of_term(goal) {
-                        match index_of.get(&callee) {
+                    match PredId::of_term(goal) {
+                        Some(callee) => match index_of.get(&callee) {
                             Some(&callee_idx) => {
                                 edges[caller_idx].insert(callee_idx);
                             }
                             None => {
                                 external.insert(callee);
                             }
+                        },
+                        // An unknown-target metacall (a `Var` leaf from
+                        // `called_goals`) may call any predicate at run
+                        // time; over-approximate it as an edge to every
+                        // defined predicate so SCC-based analyses stay
+                        // sound instead of silently dropping the call.
+                        None if goal.is_var() => {
+                            for callee_idx in 0..nodes.len() {
+                                edges[caller_idx].insert(callee_idx);
+                            }
                         }
+                        None => {}
                     }
                 }
             }
@@ -451,6 +462,28 @@ mod tests {
         assert!(callees.contains(&pid("nrev", 2)));
         assert!(callees.contains(&pid("append", 3)));
         assert_eq!(g.callees(pid("missing", 9)), Vec::<PredId>::new());
+    }
+
+    #[test]
+    fn variable_goal_over_approximates_as_edges_to_everything() {
+        // `p :- X.` may call any predicate at run time; the graph must show
+        // p → {every defined predicate}, which also pulls p into a cycle
+        // with itself (it may call itself through the metacall).
+        let p = parse_program("p(X) :- q(X), X. q(_). r(_).").unwrap();
+        let g = CallGraph::build(&p);
+        for callee in [("p", 1), ("q", 1), ("r", 1)] {
+            assert!(
+                g.calls(pid("p", 1), pid(callee.0, callee.1)),
+                "missing conservative edge to {}/{}",
+                callee.0,
+                callee.1
+            );
+        }
+        // `call(q(X))` is transparent: a precise edge, no `call/1` external.
+        let p = parse_program("p(X) :- call(q(X)). q(_).").unwrap();
+        let g = CallGraph::build(&p);
+        assert!(g.calls(pid("p", 1), pid("q", 1)));
+        assert!(!g.external_calls().contains(&pid("call", 1)));
     }
 
     #[test]

@@ -88,6 +88,16 @@ impl Clause {
     /// structures (`;`, `->`, `\+`, `&`, `,`). Used for call-graph
     /// construction. Control atoms (`true`, `!`) are not calls and are
     /// skipped.
+    ///
+    /// Metacalls are reported as a conservative over-approximation of their
+    /// runtime targets: `call(G)` is transparent (the result names `G`'s own
+    /// target, so `call(q(X))` reports `q/1`, not `call/1`), and a variable
+    /// goal — bare (`p :- X.`) or behind `call/1` (`p :- call(X).`) — is
+    /// kept as the `Term::Var` leaf itself, the "may call any predicate"
+    /// marker. Callers that map goals to [`PredId`]s must treat `Var` leaves
+    /// conservatively (see [`crate::callgraph::CallGraph::build`], which
+    /// over-approximates them as edges to every defined predicate) rather
+    /// than silently dropping them.
     pub fn called_goals(&self) -> Vec<&Term> {
         let mut out = Vec::new();
         collect_called_goals(&self.body, &mut out);
@@ -135,6 +145,13 @@ fn collect_called_goals<'a>(body: &'a Term, out: &mut Vec<&'a Term>) {
             collect_called_goals(&args[1], out);
         }
         Term::Struct(s, args) if *s == well_known::get().not && args.len() == 1 => {
+            collect_called_goals(&args[0], out);
+        }
+        // `call/1` is transparent: the called goal is its argument. A
+        // variable argument falls through to the `Var` leaf below, so
+        // `p :- call(X).` and `p :- X.` report the same unknown-target
+        // marker instead of the former naming a phantom `call/1` predicate.
+        Term::Struct(s, args) if s.as_str() == "call" && args.len() == 1 => {
             collect_called_goals(&args[0], out);
         }
         other => out.push(other),
@@ -342,6 +359,47 @@ mod tests {
             .map(|g| g.functor().unwrap().0.as_str())
             .collect();
         assert_eq!(names, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn called_goals_see_through_call_1() {
+        let p = parse_program("p(X) :- q(X), call(r(X, 1)).").unwrap();
+        let goals = p.clauses()[0].called_goals();
+        let names: Vec<&str> = goals
+            .iter()
+            .map(|g| g.functor().unwrap().0.as_str())
+            .collect();
+        // `call(r(X, 1))` reports `r/2`, not a phantom `call/1`.
+        assert_eq!(names, vec!["q", "r"]);
+        assert_eq!(goals[1].functor().unwrap().1, 2);
+    }
+
+    #[test]
+    fn variable_goals_report_a_consistent_unknown_marker() {
+        // Bare variable body and `call(X)` are the same metacall; both must
+        // surface as the `Var` leaf (the "may call anything" marker).
+        let bare = parse_program("p(X) :- X.").unwrap();
+        let wrapped = parse_program("p(X) :- call(X).").unwrap();
+        let in_control = parse_program("p(X) :- ( X ; q(X) ).").unwrap();
+        for prog in [&bare, &wrapped] {
+            let goals = prog.clauses()[0].called_goals();
+            assert_eq!(goals.len(), 1);
+            assert!(goals[0].is_var(), "expected Var leaf, got {:?}", goals[0]);
+        }
+        let goals = in_control.clauses()[0].called_goals();
+        assert_eq!(goals.len(), 2);
+        assert!(goals[0].is_var());
+        assert_eq!(goals[1].functor().unwrap().0.as_str(), "q");
+    }
+
+    #[test]
+    fn call_with_extra_args_is_an_ordinary_goal() {
+        // The engine has no `call/N` builtin for N > 1; such a goal really
+        // is a call of the `call/N` predicate, so it is reported as-is.
+        let p = parse_program("p(X) :- call(q, X).").unwrap();
+        let goals = p.clauses()[0].called_goals();
+        assert_eq!(goals.len(), 1);
+        assert_eq!(goals[0].functor().unwrap(), (Symbol::intern("call"), 2));
     }
 
     #[test]

@@ -28,13 +28,14 @@
 //! panic.
 
 use crate::ServeError;
+use granlog_datalog::{CompiledDatalog, Database, DatalogError};
 use granlog_engine::{ClauseTemplate, Machine, MachineConfig};
 use granlog_ir::parser::parse_program;
 use granlog_ir::Program;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Machine-pool policy of one cache (applied per program entry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,16 @@ pub struct ProgramEntry {
     pool: PoolConfig,
     machine_config: MachineConfig,
     templates: Arc<[ClauseTemplate]>,
+    /// Bottom-up join plans, compiled lazily on the first `engine
+    /// bottom-up` query of this program. Compilation is deterministic (no
+    /// failpoints cross it), so the result — including a rejection — is
+    /// cached for the entry's lifetime, exactly like the SLD templates.
+    datalog_plans: OnceLock<Result<CompiledDatalog, DatalogError>>,
+    /// The evaluated fact database, shared by every bottom-up session of
+    /// this program. Cached only on *success*: an evaluation failed by an
+    /// injected fault leaves this slot empty, so the next query simply
+    /// re-evaluates — a fault never poisons the entry.
+    datalog_db: Mutex<Option<Arc<Database>>>,
     normalized: String,
     program: Program,
 }
@@ -134,6 +145,49 @@ impl ProgramEntry {
     /// quarantined. Exposed for tests and gauges.
     pub fn pool_generation(&self) -> u64 {
         self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The bottom-up fact database of this program: compiles the join
+    /// plans on first use (cached, like the SLD templates), then runs the
+    /// stratified semi-naive fixpoint once and shares the evaluated
+    /// [`Database`] across every bottom-up session of this entry.
+    ///
+    /// No machine lease is involved: bottom-up evaluation owns its own
+    /// relations, so a failure here can never quarantine a pooled machine.
+    ///
+    /// # Errors
+    ///
+    /// [`DatalogError`] when the program is outside the Datalog subset,
+    /// not stratified, or unsafe — deterministic, so the rejection is
+    /// cached — or when an armed `datalog.*` failpoint fails the fixpoint
+    /// (fault-injection builds only; *not* cached, the next query retries).
+    pub fn datalog(&self) -> Result<Arc<Database>, DatalogError> {
+        // The lock is held across the evaluation on purpose: racing
+        // sessions would otherwise each run the whole fixpoint only for
+        // all but one result to be dropped.
+        let mut slot = self
+            .datalog_db
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(db) = slot.as_ref() {
+            return Ok(Arc::clone(db));
+        }
+        let plans = self
+            .datalog_plans
+            .get_or_init(|| CompiledDatalog::compile(&self.program));
+        let plans = plans.as_ref().map_err(Clone::clone)?;
+        let db = Arc::new(plans.evaluate()?);
+        *slot = Some(Arc::clone(&db));
+        Ok(db)
+    }
+
+    /// Whether this entry currently holds an evaluated bottom-up database
+    /// (for tests and gauges).
+    pub fn datalog_cached(&self) -> bool {
+        self.datalog_db
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some()
     }
 
     /// Takes a machine for this program — warm from the pool when one is
@@ -367,6 +421,8 @@ impl TemplateCache {
             pool: self.pool,
             machine_config: self.machine_config,
             templates,
+            datalog_plans: OnceLock::new(),
+            datalog_db: Mutex::new(None),
             normalized: normalized.clone(),
             program,
         });

@@ -2,6 +2,7 @@
 //! tests, the CI smoke job and `bench_serve`. One blocking call per
 //! protocol command; replies are parsed into typed results.
 
+use crate::session::DatalogReplyStats;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -10,7 +11,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub struct ClientReply {
     /// Whether the goal succeeded.
     pub succeeded: bool,
-    /// `(name, rendered term)` binding lines, in reply order.
+    /// `(name, rendered term)` binding lines, in reply order. Under the
+    /// bottom-up engine there is one `bind` line per variable per answer,
+    /// so names repeat once per answer.
     pub bindings: Vec<(String, String)>,
     /// Head attempts the server reported.
     pub steps: u64,
@@ -18,6 +21,9 @@ pub struct ClientReply {
     pub heap_high_water: u64,
     /// Preemptible slices the query ran in.
     pub slices: u64,
+    /// Fixpoint statistics (`answers=`/`rounds=`/`facts=` fields) when the
+    /// bottom-up engine answered; `None` for SLD replies.
+    pub datalog: Option<DatalogReplyStats>,
 }
 
 /// Parsed reply to a `stats` command: cache counters plus the server's
@@ -182,12 +188,22 @@ impl ServeClient {
                         .parse()
                         .map_err(|_| protocol_err(format!("bad {key} in {line:?}")))
                 };
+                let datalog = if fields.iter().any(|(k, _)| *k == "answers") {
+                    Some(DatalogReplyStats {
+                        answers: num("answers")?,
+                        rounds: num("rounds")?,
+                        facts: num("facts")?,
+                    })
+                } else {
+                    None
+                };
                 return Ok(Ok(ClientReply {
                     succeeded: status == "ok",
                     bindings,
                     steps: num("steps")?,
                     heap_high_water: num("heap")?,
                     slices: num("slices")?,
+                    datalog,
                 }));
             } else {
                 return Err(protocol_err(format!("unexpected reply line: {line:?}")));
@@ -239,6 +255,27 @@ impl ServeClient {
     /// I/O failures or a server-side rejection.
     pub fn budget_quantum(&mut self, steps: u64) -> io::Result<()> {
         self.simple_command(&format!("budget quantum {steps}"))
+    }
+
+    /// Selects the evaluation engine for subsequent queries (`"sld"` or
+    /// `"bottom-up"`). Returns the server's error message if it rejects the
+    /// name.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a reply that does not follow the protocol.
+    pub fn engine(&mut self, name: &str) -> io::Result<Result<(), String>> {
+        writeln!(self.writer, "engine {name}")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        if let Some(err) = line.strip_prefix("err ") {
+            return Ok(Err(err.to_string()));
+        }
+        if line.starts_with("ok") {
+            Ok(Ok(()))
+        } else {
+            Err(protocol_err(format!("unexpected engine ack: {line:?}")))
+        }
     }
 
     /// Fetches server stats: cache counters, live session count and the

@@ -27,7 +27,7 @@ pub mod session;
 pub use cache::{CacheStats, PoolConfig, ProgramEntry, TemplateCache};
 pub use client::{ClientReply, ServeClient, ServerStats};
 pub use server::{BootError, ServeConfig, Server, ServerHandle};
-pub use session::{LoadReply, QueryReply, Session, SessionBudget};
+pub use session::{DatalogReplyStats, EngineKind, LoadReply, QueryReply, Session, SessionBudget};
 
 use granlog_engine::EngineError;
 use granlog_ir::parser::ParseError;
@@ -65,6 +65,12 @@ pub enum ServeError {
     /// The engine failed — including `BudgetExceeded` for sessions whose
     /// step or heap budget ran out.
     Engine(EngineError),
+    /// The bottom-up engine rejected the loaded program or the goal
+    /// (outside the Datalog subset, unstratified, unsafe), or an injected
+    /// fault failed the fixpoint/join. Shares the `engine` wire code: for
+    /// a client it is the same class — this engine cannot answer this
+    /// query — and the session survives it identically.
+    Datalog(granlog_datalog::DatalogError),
     /// A query was issued before any program was loaded.
     NoProgram,
     /// A serve-layer invariant broke (a worker panicked mid-query, pool
@@ -93,6 +99,7 @@ impl ServeError {
             ServeError::Engine(EngineError::BudgetExceeded { .. }) => "budget",
             ServeError::Engine(EngineError::Fault(_)) => "fault",
             ServeError::Engine(_) => "engine",
+            ServeError::Datalog(_) => "engine",
             ServeError::NoProgram => "no-program",
             ServeError::Internal(_) => "internal",
             ServeError::Fault(_) => "fault",
@@ -108,6 +115,7 @@ impl fmt::Display for ServeError {
         match self {
             ServeError::Parse(e) => write!(f, "parse: {e}"),
             ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Datalog(e) => write!(f, "bottom-up: {e}"),
             ServeError::NoProgram => write!(f, "no program loaded: send `load` first"),
             ServeError::Internal(msg) => write!(f, "internal: {msg}"),
             ServeError::Fault(name) => write!(f, "injected fault at failpoint `{name}`"),
@@ -131,5 +139,11 @@ impl From<ParseError> for ServeError {
 impl From<EngineError> for ServeError {
     fn from(e: EngineError) -> Self {
         ServeError::Engine(e)
+    }
+}
+
+impl From<granlog_datalog::DatalogError> for ServeError {
+    fn from(e: granlog_datalog::DatalogError) -> Self {
+        ServeError::Datalog(e)
     }
 }

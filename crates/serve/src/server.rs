@@ -15,6 +15,7 @@
 //! | `budget heap <n\|off>` | `ok` |
 //! | `budget wall <ms\|off>` | `ok` |
 //! | `budget quantum <n>` | `ok` |
+//! | `engine <sld\|bottom-up>` | `ok engine=<name>` |
 //! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n> quarantined=<n> retired=<n> leases=<n> shed=<n>` plus, with a store configured, ` recovered=<n> stored=<n> wal_bytes=<n> wal_records=<n> unsynced=<n> snapshot_age_ms=<n> last_fsync_ms=<n>` |
 //! | `quit` | `ok bye`, connection closes |
 //! | `shutdown` | `ok shutting-down`, server stops accepting |
@@ -27,6 +28,11 @@
 //! command is
 //! read normally. The `load` payload is a byte-counted blob, so programs
 //! may contain newlines without any quoting scheme.
+//!
+//! Under `engine bottom-up` a query's `done` line keeps the legacy
+//! `steps=0 heap=0 slices=0` fields (a fixpoint has no SLD resource
+//! meters) and appends `answers=<n> rounds=<n> facts=<n>`; `bind` lines
+//! enumerate every answer, so variable names repeat once per answer.
 //!
 //! # Robustness
 //!
@@ -54,7 +60,7 @@
 //! `stats` line.
 
 use crate::cache::{PoolConfig, TemplateCache};
-use crate::session::{Session, SessionBudget};
+use crate::session::{EngineKind, Session, SessionBudget};
 use crate::ServeError;
 use granlog_engine::MachineConfig;
 use granlog_store::{ProgramStore, StoreConfig, StoreError};
@@ -494,6 +500,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
             "load" => cmd_load(&mut reader, &mut writer, &mut session, state, rest)?,
             "query" => cmd_query(&mut writer, &mut session, rest)?,
             "budget" => cmd_budget(&mut writer, &mut session, rest)?,
+            "engine" => cmd_engine(&mut writer, &mut session, rest)?,
             "stats" => {
                 let s = state.cache.stats();
                 write!(
@@ -645,17 +652,40 @@ fn cmd_query(writer: &mut TcpStream, session: &mut Session, goal: &str) -> io::R
                     writeln!(writer, "bind {name} = {term}")?;
                 }
             }
-            writeln!(
-                writer,
-                "done {} steps={} heap={} slices={}",
-                if reply.succeeded { "ok" } else { "no" },
-                reply.steps,
-                reply.heap_high_water,
-                reply.slices,
-            )
+            let status = if reply.succeeded { "ok" } else { "no" };
+            match reply.datalog {
+                Some(d) => writeln!(
+                    writer,
+                    "done {status} steps={} heap={} slices={} answers={} rounds={} facts={}",
+                    reply.steps, reply.heap_high_water, reply.slices, d.answers, d.rounds, d.facts,
+                ),
+                None => writeln!(
+                    writer,
+                    "done {status} steps={} heap={} slices={}",
+                    reply.steps, reply.heap_high_water, reply.slices,
+                ),
+            }
         }
         Err(e) => write_err(writer, &e),
     }
+}
+
+fn cmd_engine(writer: &mut TcpStream, session: &mut Session, name: &str) -> io::Result<()> {
+    let engine = match name.trim() {
+        "sld" => EngineKind::Sld,
+        "bottom-up" => EngineKind::BottomUp,
+        _ => return writeln!(writer, "err proto usage: engine sld|bottom-up"),
+    };
+    session.set_engine(engine);
+    writeln!(
+        writer,
+        "ok engine={}",
+        if engine == EngineKind::Sld {
+            "sld"
+        } else {
+            "bottom-up"
+        }
+    )
 }
 
 fn cmd_budget(writer: &mut TcpStream, session: &mut Session, args: &str) -> io::Result<()> {

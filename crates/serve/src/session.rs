@@ -59,19 +59,48 @@ pub struct LoadReply {
     pub cache_hit: bool,
 }
 
+/// Which evaluation engine a session's queries run on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Top-down SLD resolution over a leased machine (first answer), the
+    /// default.
+    #[default]
+    Sld,
+    /// Bottom-up semi-naive Datalog evaluation over the entry's shared
+    /// fact database (*all* answers).
+    BottomUp,
+}
+
+/// Fixpoint statistics of a bottom-up query, riding along on the reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatalogReplyStats {
+    /// Distinct answers to the goal.
+    pub answers: u64,
+    /// Semi-naive rounds of the (possibly cached) fixpoint.
+    pub rounds: u64,
+    /// IDB facts the fixpoint derived.
+    pub facts: u64,
+}
+
 /// Result of a completed (non-erroring) query.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryReply {
     /// Did the query succeed?
     pub succeeded: bool,
     /// `(name, rendered term)` for each named query variable, source order.
+    /// A bottom-up reply repeats the variable names once per answer.
     pub bindings: Vec<(String, String)>,
-    /// Head attempts consumed.
+    /// Head attempts consumed (0 under the bottom-up engine).
     pub steps: u64,
-    /// Arena high-water mark of this query, in cells.
+    /// Arena high-water mark of this query, in cells (0 under the
+    /// bottom-up engine — it does not lease a machine).
     pub heap_high_water: usize,
-    /// Preemptible slices the query ran in (1 = never yielded).
+    /// Preemptible slices the query ran in (1 = never yielded; 0 under the
+    /// bottom-up engine).
     pub slices: usize,
+    /// Fixpoint statistics when the bottom-up engine answered, `None` for
+    /// SLD replies.
+    pub datalog: Option<DatalogReplyStats>,
 }
 
 /// One tenant's connection state: shared cache handle, loaded program,
@@ -80,6 +109,7 @@ pub struct Session {
     cache: Arc<TemplateCache>,
     entry: Option<Arc<ProgramEntry>>,
     budget: SessionBudget,
+    engine: EngineKind,
 }
 
 impl Session {
@@ -89,12 +119,25 @@ impl Session {
             cache,
             entry: None,
             budget,
+            engine: EngineKind::default(),
         }
     }
 
     /// This session's current budget.
     pub fn budget(&self) -> SessionBudget {
         self.budget
+    }
+
+    /// The engine this session's queries run on.
+    pub fn engine(&self) -> EngineKind {
+        self.engine
+    }
+
+    /// Switches the evaluation engine (applies to subsequent queries).
+    /// Switching never invalidates anything: the loaded entry keeps both
+    /// its SLD templates and any evaluated bottom-up database.
+    pub fn set_engine(&mut self, engine: EngineKind) {
+        self.engine = engine;
     }
 
     /// Replaces the session budget (applies to subsequent queries).
@@ -143,10 +186,16 @@ impl Session {
     /// for engine failures, including `BudgetExceeded` with the
     /// session-level limit when this query ran out of steps or heap;
     /// [`ServeError::Internal`] for a caught panic;
-    /// [`ServeError::Fault`] for an injected lease fault.
+    /// [`ServeError::Fault`] for an injected lease fault;
+    /// [`ServeError::Datalog`] under the bottom-up engine when the program
+    /// or goal is outside the Datalog subset, or an injected `datalog.*`
+    /// fault failed the fixpoint or a join.
     pub fn query(&mut self, goal_text: &str) -> Result<QueryReply, ServeError> {
         let entry = self.entry.clone().ok_or(ServeError::NoProgram)?;
         let (goal, var_names) = parse_term(goal_text)?;
+        if self.engine == EngineKind::BottomUp {
+            return query_bottom_up(&entry, &goal, &var_names);
+        }
         let quantum = self.budget.quantum.max(1);
         let heap_cells = self.budget.heap_cells;
         let session_steps = self.budget.steps;
@@ -182,6 +231,7 @@ impl Session {
                     steps: outcome.counters.head_attempts,
                     heap_high_water,
                     slices,
+                    datalog: None,
                 })
             }
             // The hard tail slice reports its own (possibly clamped) limit;
@@ -223,6 +273,40 @@ impl Session {
             }
         }
     }
+}
+
+/// The bottom-up query path: fetch (or build) the entry's shared fact
+/// database and read *all* answers out of it. No machine lease, no
+/// slicing — the fixpoint ran (or was cached) inside
+/// [`ProgramEntry::datalog`], and reading answers out of an immutable
+/// database is join work bounded by the database itself, not by a
+/// tenant-controlled search space, so the session budgets do not apply.
+fn query_bottom_up(
+    entry: &Arc<ProgramEntry>,
+    goal: &granlog_ir::Term,
+    var_names: &[granlog_ir::Symbol],
+) -> Result<QueryReply, ServeError> {
+    let db = entry.datalog()?;
+    let answers = db.query(goal, var_names).map_err(ServeError::Datalog)?;
+    let mut bindings = Vec::new();
+    for i in 0..answers.rows.len() {
+        for (name, term) in answers.bindings(i) {
+            bindings.push((name.to_string(), term.to_string()));
+        }
+    }
+    let stats = db.stats();
+    Ok(QueryReply {
+        succeeded: answers.succeeded(),
+        bindings,
+        steps: 0,
+        heap_high_water: 0,
+        slices: 0,
+        datalog: Some(DatalogReplyStats {
+            answers: answers.rows.len() as u64,
+            rounds: stats.rounds,
+            facts: stats.derived_facts,
+        }),
+    })
 }
 
 /// The quantum-slicing solve loop, separated out so [`Session::query`] can
@@ -506,5 +590,72 @@ mod tests {
             reply.bindings,
             vec![("X".into(), "1".into()), ("Y".into(), "two".into())]
         );
+    }
+
+    const REACH: &str = r#"
+        edge(a, b).
+        edge(b, c).
+        reach(a).
+        reach(T) :- edge(S, T), reach(S).
+        stuck(X) :- edge(X, _), \+ reach(X).
+    "#;
+
+    #[test]
+    fn bottom_up_engine_returns_every_answer_and_caches_the_database() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
+        let mut s = session(SessionBudget::default());
+        s.load(REACH).unwrap();
+        assert_eq!(s.engine(), EngineKind::Sld);
+        s.set_engine(EngineKind::BottomUp);
+
+        let reply = s.query("reach(X)").unwrap();
+        assert!(reply.succeeded);
+        let stats = reply.datalog.expect("bottom-up replies carry stats");
+        assert_eq!(stats.answers, 3);
+        assert!(stats.rounds >= 2, "recursion needs delta rounds");
+        let mut values: Vec<_> = reply.bindings.iter().map(|(_, t)| t.clone()).collect();
+        values.sort();
+        assert_eq!(values, ["a", "b", "c"]);
+        assert!(
+            reply.bindings.iter().all(|(n, _)| n == "X"),
+            "one bind per answer, all for X"
+        );
+        assert_eq!(
+            (reply.steps, reply.heap_high_water, reply.slices),
+            (0, 0, 0)
+        );
+
+        // The evaluated database is cached on the shared entry: a second
+        // query reuses it (same fixpoint stats object, no recompute).
+        let again = s.query("stuck(X)").unwrap();
+        assert!(!again.succeeded, "every forward node is reached");
+        assert_eq!(again.datalog.unwrap().rounds, stats.rounds);
+
+        // Switching back to SLD restores first-solution semantics.
+        s.set_engine(EngineKind::Sld);
+        let sld = s.query("reach(X)").unwrap();
+        assert!(sld.succeeded);
+        assert_eq!(sld.bindings.len(), 1, "SLD returns the first solution");
+        assert!(sld.datalog.is_none());
+    }
+
+    #[test]
+    fn bottom_up_rejection_is_typed_and_the_session_survives() {
+        #[cfg(feature = "failpoints")]
+        let _shared = crate::faultsync::shared();
+        let mut s = session(SessionBudget::default());
+        s.load(COUNT).unwrap();
+        s.set_engine(EngineKind::BottomUp);
+        let err = s.query("count(3)").unwrap_err();
+        assert!(matches!(err, ServeError::Datalog(_)), "{err:?}");
+        assert_eq!(err.code(), "engine");
+        assert!(err.to_string().contains("not a Datalog program"), "{err}");
+
+        // The SLD path still answers on the same session and machines were
+        // never involved, so nothing is quarantined.
+        s.set_engine(EngineKind::Sld);
+        assert!(s.query("count(3)").unwrap().succeeded);
+        assert_eq!(s.cache.stats().quarantined, 0);
     }
 }

@@ -466,6 +466,64 @@ fn a_panicking_query_quarantines_over_the_wire() {
     server.shutdown();
 }
 
+/// The bottom-up engine's failpoint seams (`datalog.fixpoint.round` mid
+/// semi-naive round, `datalog.join` per join batch — query probes
+/// included) fail typed as `err engine`, quarantine *nothing* (the
+/// fixpoint never leases a machine from the pool), and the session keeps
+/// answering — including from the cached database once one evaluation has
+/// succeeded.
+#[test]
+fn datalog_seams_fail_typed_and_quarantine_nothing() {
+    let _lock = chaos_lock();
+    fault::disarm_all();
+    let server = start_server(ServeConfig::default());
+    let mut client = ServeClient::connect(server.addr()).unwrap();
+    const REACH: &str = "edge(a, b). edge(b, c). reach(a). reach(T) :- edge(S, T), reach(S).";
+    client.load(REACH).unwrap().unwrap();
+    client.engine("bottom-up").unwrap().unwrap();
+
+    // Round seam first: it only fires while the fixpoint actually runs, so
+    // it must trip before any successful evaluation caches the database.
+    fault::arm("datalog.fixpoint.round", Action::Error, 1.0);
+    let err = client.query("reach(X)").unwrap().unwrap_err();
+    fault::disarm_all();
+    assert!(err.starts_with("engine"), "{err}");
+    assert!(err.contains("datalog.fixpoint.round"), "{err}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.quarantined, 0, "a fixpoint fault leases no machine");
+    assert_eq!(stats.lease_leaked, 0);
+
+    // An injected fault must never be cached as the program's database:
+    // disarmed, the same session evaluates from scratch and answers fully.
+    let reply = client.query("reach(X)").unwrap().unwrap();
+    assert!(reply.succeeded);
+    assert_eq!(reply.datalog.expect("bottom-up stats").answers, 3);
+
+    // Join seam: fires on query probes too, so it trips even though the
+    // database is now cached and no further fixpoint runs.
+    fault::arm("datalog.join", Action::Error, 1.0);
+    let err = client.query("reach(X)").unwrap().unwrap_err();
+    fault::disarm_all();
+    assert!(err.starts_with("engine"), "{err}");
+    assert!(err.contains("datalog.join"), "{err}");
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.quarantined, 0, "a join fault leases no machine");
+    assert_eq!(stats.lease_leaked, 0);
+
+    // The session survives both seams and the cached database is intact.
+    let reply = client.query("reach(X)").unwrap().unwrap();
+    assert!(reply.succeeded);
+    let mut hosts: Vec<_> = reply.bindings.iter().map(|(_, t)| t.clone()).collect();
+    hosts.sort();
+    assert_eq!(hosts, ["a", "b", "c"]);
+
+    // SLD queries on the same session are untouched by the excursion.
+    client.engine("sld").unwrap().unwrap();
+    assert!(client.query("reach(a)").unwrap().unwrap().succeeded);
+    client.quit().unwrap();
+    server.shutdown();
+}
+
 /// Torn, oversized and malformed frames each get their typed `err` line
 /// (or a clean cut) and never wedge the server: a well-behaved client gets
 /// correct answers after every abuse.

@@ -277,6 +277,68 @@ fn sessions_survive_errors() {
     server.shutdown();
 }
 
+/// The `engine` command switches one session to bottom-up evaluation over
+/// the wire: the `done` line grows `answers=/rounds=/facts=` fields, every
+/// answer arrives as a `bind` line, non-Datalog programs get a typed
+/// `err engine` reply, bad engine names get `err proto`, and switching back
+/// to `sld` restores first-solution semantics — all without disturbing a
+/// neighbour session still on the default engine.
+#[test]
+fn engine_command_switches_to_bottom_up_per_session() {
+    let server = start_server(SessionBudget::default(), 8);
+    let addr = server.addr();
+    let mut client = ServeClient::connect(addr).unwrap();
+    let mut neighbour = ServeClient::connect(addr).unwrap();
+
+    const REACH: &str = "edge(a, b). edge(b, c). reach(a). reach(T) :- edge(S, T), reach(S).";
+    client.load(REACH).unwrap().unwrap();
+    neighbour.load(REACH).unwrap().unwrap();
+
+    let err = client.engine("magic").unwrap().expect_err("unknown engine");
+    assert!(err.contains("proto"), "{err}");
+    client.engine("bottom-up").unwrap().unwrap();
+
+    let reply = client.query("reach(X)").unwrap().unwrap();
+    assert!(reply.succeeded);
+    let stats = reply.datalog.expect("bottom-up done line carries stats");
+    assert_eq!(stats.answers, 3);
+    let mut values: Vec<_> = reply.bindings.iter().map(|(_, t)| t.clone()).collect();
+    values.sort();
+    assert_eq!(values, ["a", "b", "c"]);
+    assert_eq!(
+        (reply.steps, reply.heap_high_water, reply.slices),
+        (0, 0, 0)
+    );
+
+    // The neighbour session still runs SLD: one answer, no datalog stats.
+    let sld = neighbour.query("reach(X)").unwrap().unwrap();
+    assert!(sld.succeeded);
+    assert_eq!(sld.bindings.len(), 1);
+    assert!(sld.datalog.is_none());
+
+    // A non-Datalog program under bottom-up is a typed rejection and the
+    // session survives it.
+    client
+        .load("count(0). count(N) :- N > 0, N1 is N - 1, count(N1).")
+        .unwrap()
+        .unwrap();
+    let err = client
+        .query("count(3)")
+        .unwrap()
+        .expect_err("arithmetic is not Datalog");
+    assert!(err.starts_with("engine "), "{err}");
+    assert!(err.contains("not a Datalog program"), "{err}");
+
+    client.engine("sld").unwrap().unwrap();
+    let back = client.query("count(3)").unwrap().unwrap();
+    assert!(back.succeeded);
+    assert!(back.datalog.is_none());
+
+    client.quit().unwrap();
+    neighbour.quit().unwrap();
+    server.shutdown();
+}
+
 /// The acceptor sheds past the connection cap with a typed refusal the
 /// client surfaces as retryable, counts the shed, and recovers as soon as a
 /// slot frees.
