@@ -364,6 +364,14 @@ fn main() {
     });
     let wall_s = wall_start.elapsed().as_secs_f64();
     let cache = server.cache().stats();
+    // Server-side latency distribution, straight from the metrics registry
+    // the serve layer records into — the same numbers a `metrics` scrape
+    // exposes, not a private accumulator of this binary.
+    let latency_hist = server
+        .obs()
+        .registry
+        .histogram_snapshot("granlog_query_latency_ms")
+        .expect("serve registers its latency histogram at boot");
     server.shutdown();
 
     let availability = availability_phase(&benches, &queries, clients.max(4), steps, quantum);
@@ -400,12 +408,18 @@ fn main() {
     all_ms.sort_by(f64::total_cmp);
     let qps = samples.len() as f64 / wall_s.max(1e-9);
     let p50 = percentile(&all_ms, 0.50);
+    let p90 = percentile(&all_ms, 0.90);
     let p99 = percentile(&all_ms, 0.99);
     let total_slices: u64 = samples.iter().map(|s| s.slices).sum();
     eprintln!(
         "[bench_serve] {} queries in {wall_s:.2} s: {qps:.0} qps, p50 {p50:.3} ms, \
-         p99 {p99:.3} ms, {total_slices} preemption slices",
+         p90 {p90:.3} ms, p99 {p99:.3} ms, {total_slices} preemption slices",
         samples.len()
+    );
+    assert_eq!(
+        latency_hist.count,
+        samples.len() as u64,
+        "the registry histogram must have seen exactly the answered queries"
     );
 
     let mut json = String::new();
@@ -430,7 +444,8 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"queries\": {}, \"wall_s\": {wall_s:.3}, \"qps\": {qps:.1}, \
-         \"p50_ms\": {p50:.3}, \"p99_ms\": {p99:.3}, \"slices\": {total_slices},",
+         \"p50_ms\": {p50:.3}, \"p90_ms\": {p90:.3}, \"p99_ms\": {p99:.3}, \
+         \"slices\": {total_slices},",
         samples.len()
     );
     let _ = writeln!(
@@ -438,6 +453,38 @@ fn main() {
         "  \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \"entries\": {}}},",
         cache.hits, cache.misses, cache.evictions, cache.entries
     );
+    // Prometheus-style cumulative buckets from the server's registry:
+    // server-side per-query latency (the client-side figures above include
+    // the re-`load` round-trip each tenant pays).
+    let _ = writeln!(
+        json,
+        "  \"latency_histogram\": {{\"source\": \"registry:granlog_query_latency_ms\", \
+         \"count\": {}, \"sum_ms\": {:.3}, \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \
+         \"p99_ms\": {:.3}, \"buckets\": [",
+        latency_hist.count,
+        latency_hist.sum,
+        latency_hist.quantile(0.50),
+        latency_hist.quantile(0.90),
+        latency_hist.quantile(0.99),
+    );
+    let mut cumulative = 0u64;
+    for (i, &bucket_count) in latency_hist.counts.iter().enumerate() {
+        cumulative += bucket_count;
+        let le = latency_hist
+            .bounds
+            .get(i)
+            .map_or_else(|| "\"+Inf\"".to_owned(), |b| format!("{b}"));
+        let _ = writeln!(
+            json,
+            "    {{\"le\": {le}, \"count\": {cumulative}}}{}",
+            if i + 1 < latency_hist.counts.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "  ]}},");
     let _ = writeln!(
         json,
         "  \"availability\": {{\"failpoints\": {}, \"injected\": \"{}\", \"queries\": {}, \
@@ -481,12 +528,13 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"label\": \"{}({})\", \"queries\": {}, \
-             \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"slices\": {}}}{}",
+             \"p50_ms\": {:.3}, \"p90_ms\": {:.3}, \"p99_ms\": {:.3}, \"slices\": {}}}{}",
             bench.name,
             bench.name,
             sizes[i],
             ms.len(),
             percentile(&ms, 0.50),
+            percentile(&ms, 0.90),
             percentile(&ms, 0.99),
             slices,
             if i + 1 < benches.len() { "," } else { "" }

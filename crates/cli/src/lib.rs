@@ -27,11 +27,13 @@ usage:
                    [--processors P] [--overhead W]
                    [--control | --no-control | --sequential]
                    [--threads N [--granularity on|off|always-spawn]]
+                   [--trace FILE] [--profile]
   granlog ddg      <file.pl> <name/arity>
   granlog serve    [--addr HOST:PORT] [--steps N] [--heap CELLS]
                    [--wall MS] [--quantum N] [--cache N] [--max-conns N]
                    [--idle-timeout SECS] [--data-dir DIR]
                    [--fsync always|interval[=MS]|never] [--wal-limit BYTES]
+                   [--metrics-addr HOST:PORT] [--slow-ms MS]
 
 with --threads N the query executes on a real pool of N worker threads
 (measured wall-clock, granularity control as a runtime spawn decision);
@@ -55,7 +57,18 @@ cells, --wall milliseconds) and preempted every --quantum steps. Past
 loaded-program corpus is durable: every accepted load is journaled to a
 write-ahead log under DIR (fsynced per --fsync, compacted into a
 snapshot past --wal-limit bytes) and replayed into the cache on the
-next boot.";
+next boot.
+
+observability: `run --profile` turns on the engine's per-predicate port
+profiler (call/exit/fail/redo counts plus head-attempt, unification and
+heap-cell work) and prints the table joined against the analysis' cost
+bounds; `run --trace FILE` dumps the query's structured events (query
+begin/end, par spawn/inline/steal/join, datalog stratum/round) as JSONL
+to FILE. `serve --metrics-addr` starts a plaintext HTTP listener
+answering every request with the Prometheus text exposition the
+`metrics` protocol command returns; `serve --slow-ms MS` logs every
+query at or above MS milliseconds to stderr with its program key, goal
+and budget consumption.";
 
 /// Errors surfaced to the user by the CLI.
 #[derive(Debug)]
@@ -165,6 +178,14 @@ struct Options {
     fsync: FsyncPolicy,
     /// `serve`: WAL size that triggers snapshot compaction, in bytes.
     wal_limit: u64,
+    /// `run`: dump structured trace events as JSONL to this file.
+    trace: Option<String>,
+    /// `run`: enable the per-predicate port profiler and print its table.
+    profile: bool,
+    /// `serve`: address for the Prometheus scrape listener.
+    metrics_addr: Option<String>,
+    /// `serve`: slow-query threshold in milliseconds.
+    slow_ms: Option<u64>,
     positional: Vec<String>,
 }
 
@@ -206,6 +227,10 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
         data_dir: None,
         fsync: FsyncPolicy::Always,
         wal_limit: 4 * 1024 * 1024,
+        trace: None,
+        profile: false,
+        metrics_addr: None,
+        slow_ms: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter().peekable();
@@ -356,6 +381,28 @@ fn parse_options(args: &[String]) -> Result<Options, CliError> {
                     .parse()
                     .map_err(|_| usage(&format!("invalid idle timeout {value:?}")))?;
             }
+            "--trace" => {
+                let value = iter.next().ok_or_else(|| usage("--trace needs a file"))?;
+                options.trace = Some(value.clone());
+            }
+            "--profile" => {
+                options.profile = true;
+            }
+            "--metrics-addr" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--metrics-addr needs a value"))?;
+                options.metrics_addr = Some(value.clone());
+            }
+            "--slow-ms" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| usage("--slow-ms needs a value"))?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| usage(&format!("invalid slow threshold {value:?}")))?;
+                options.slow_ms = Some(ms);
+            }
             "--control" => {
                 options.mode = RunMode::Control;
                 options.mode_explicit = true;
@@ -470,7 +517,13 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
                  with --threads/--processors/--control/--no-control/--sequential",
             ));
         }
-        return cmd_run_bottom_up(&program, query, out);
+        if options.profile {
+            return Err(usage(
+                "--profile counts SLD resolution ports; the bottom-up engine \
+                 has none (its fixpoint stats are printed unconditionally)",
+            ));
+        }
+        return cmd_run_bottom_up(&program, query, options.trace.as_deref(), out);
     }
     if let Some(threads) = options.threads {
         // Real execution and the simulation path are mutually exclusive:
@@ -485,6 +538,12 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             return Err(usage(
                 "--processors configures the simulator; with --threads the \
                  thread count is the processor count",
+            ));
+        }
+        if options.profile {
+            return Err(usage(
+                "--profile reads one machine's port counters; with --threads \
+                 each worker has its own machine (profile sequentially)",
             ));
         }
         return cmd_run_parallel(options, threads, &program, query, out);
@@ -504,8 +563,30 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             .program
         }
     };
-    let mut machine = Machine::with_config(&prepared, MachineConfig::default());
+    let tracer = options
+        .trace
+        .as_ref()
+        .map(|_| granlog_obs::Tracer::new(TRACE_RING_CAPACITY));
+    if let Some(t) = &tracer {
+        t.emit("query_begin", vec![("goal", query.as_str().into())]);
+    }
+    let mut machine = Machine::with_config(
+        &prepared,
+        MachineConfig {
+            profile: options.profile,
+            ..MachineConfig::default()
+        },
+    );
     let outcome = machine.run_query(query)?;
+    if let Some(t) = &tracer {
+        t.emit(
+            "query_end",
+            vec![
+                ("ok", outcome.succeeded.into()),
+                ("resolutions", outcome.counters.resolutions.into()),
+            ],
+        );
+    }
     if outcome.succeeded {
         writeln!(out, "yes")?;
         for (name, value) in &outcome.bindings {
@@ -524,6 +605,12 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         outcome.counters.grain_tests,
         outcome.task_tree.spawned_tasks()
     )?;
+    if let Some(rows) = machine.profile() {
+        write_profile(out, &rows, &analysis)?;
+    }
+    if let (Some(path), Some(t)) = (&options.trace, &tracer) {
+        write_trace(path, t)?;
+    }
     let scaled = OverheadModel::rolog_like();
     let per_task = scaled.per_task_overhead();
     let overhead = scaled.scaled(options.overhead / per_task.max(1e-9));
@@ -539,6 +626,57 @@ fn cmd_run(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
         sim.speedup_vs_sequential,
         sim.utilisation * 100.0
     )?;
+    Ok(())
+}
+
+/// Events the `--trace` ring can hold; past this the oldest are dropped
+/// (the dump's `dropped` figure is visible via ring accounting, and a
+/// single CLI query rarely approaches it).
+const TRACE_RING_CAPACITY: usize = 65536;
+
+/// Writes the tracer's events to `path` as JSONL (one event object per
+/// line), without draining the ring.
+fn write_trace(path: &str, tracer: &granlog_obs::Tracer) -> Result<(), CliError> {
+    std::fs::write(path, tracer.jsonl(false))?;
+    Ok(())
+}
+
+/// Prints the profiler's per-predicate table, joining observed port counts
+/// against the analysis' predicted cost bound for each predicate (`-` for
+/// predicates the analysis has no closed form for, e.g. builtins-heavy or
+/// transformed ones).
+fn write_profile(
+    out: &mut dyn Write,
+    rows: &[(PredId, granlog_engine::PredProfile)],
+    analysis: &granlog_analysis::pipeline::ProgramAnalysis,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "profile: per-predicate ports (call + redo = exit + fail on completed runs)"
+    )?;
+    writeln!(
+        out,
+        "  {:<18} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>10}  predicted cost",
+        "predicate", "calls", "exits", "fails", "redos", "head-att", "unif", "heap-cells",
+    )?;
+    for (pred, p) in rows {
+        let cost = analysis
+            .cost_of(*pred)
+            .map_or_else(|| "-".to_string(), |e| e.to_string());
+        writeln!(
+            out,
+            "  {:<18} {:>7} {:>7} {:>7} {:>7} {:>9} {:>9} {:>10}  {}",
+            pred.to_string(),
+            p.calls,
+            p.exits,
+            p.fails,
+            p.redos,
+            p.head_attempts,
+            p.unifications,
+            p.heap_cells,
+            cost,
+        )?;
+    }
     Ok(())
 }
 
@@ -561,9 +699,32 @@ fn cmd_run_parallel(
             machine: MachineConfig::default(),
         },
     );
+    // With --trace, hook a local registry + ring into the executor so the
+    // spawn/inline/steal/join stream lands in the dump.
+    let tracer = options.trace.as_ref().map(|_| {
+        let registry = granlog_obs::Registry::new();
+        let tracer = std::sync::Arc::new(granlog_obs::Tracer::new(TRACE_RING_CAPACITY));
+        executor.set_obs(Some(std::sync::Arc::new(granlog_par::ParObs::register(
+            &registry,
+            std::sync::Arc::clone(&tracer),
+        ))));
+        tracer
+    });
+    if let Some(t) = &tracer {
+        t.emit("query_begin", vec![("goal", query.into())]);
+    }
     let start = std::time::Instant::now();
     let outcome = executor.run_query(query)?;
     let wall = start.elapsed();
+    if let Some(t) = &tracer {
+        t.emit(
+            "query_end",
+            vec![
+                ("ok", outcome.succeeded.into()),
+                ("spawned", outcome.spawned_tasks.into()),
+            ],
+        );
+    }
     if outcome.succeeded {
         writeln!(out, "yes")?;
         for (name, value) in &outcome.bindings {
@@ -592,15 +753,27 @@ fn cmd_run_parallel(
         outcome.spawned_tasks,
         outcome.inlined_conjunctions
     )?;
+    if let (Some(path), Some(t)) = (&options.trace, &tracer) {
+        write_trace(path, t)?;
+    }
     Ok(())
 }
 
 /// `granlog run --engine bottom-up`: compile the program as stratified
 /// Datalog, run the semi-naive fixpoint, and print *every* answer to the
 /// query (SLD resolution prints the first).
-fn cmd_run_bottom_up(program: &Program, query: &str, out: &mut dyn Write) -> Result<(), CliError> {
+fn cmd_run_bottom_up(
+    program: &Program,
+    query: &str,
+    trace: Option<&str>,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
     let compiled = granlog_datalog::CompiledDatalog::compile(program)?;
-    let database = compiled.evaluate()?;
+    let tracer = trace.map(|_| granlog_obs::Tracer::new(TRACE_RING_CAPACITY));
+    if let Some(t) = &tracer {
+        t.emit("query_begin", vec![("goal", query.into())]);
+    }
+    let database = compiled.evaluate_traced(tracer.as_ref())?;
     let (goal, var_names) = granlog_ir::parser::parse_term(query)?;
     let answers = database.query(&goal, &var_names)?;
     if answers.succeeded() {
@@ -629,6 +802,16 @@ fn cmd_run_bottom_up(program: &Program, query: &str, out: &mut dyn Write) -> Res
         stats.edb_facts,
         stats.join_batches
     )?;
+    if let (Some(path), Some(t)) = (trace, &tracer) {
+        t.emit(
+            "query_end",
+            vec![
+                ("ok", answers.succeeded().into()),
+                ("answers", answers.rows.len().into()),
+            ],
+        );
+        write_trace(path, t)?;
+    }
     Ok(())
 }
 
@@ -660,10 +843,15 @@ fn cmd_serve(options: &Options, out: &mut dyn Write) -> Result<(), CliError> {
             fsync: options.fsync,
             wal_limit_bytes: options.wal_limit,
         }),
+        metrics_addr: options.metrics_addr.clone(),
+        slow_ms: options.slow_ms,
         ..ServeConfig::default()
     })?;
     if options.data_dir.is_some() {
         writeln!(out, "recovered {} programs", handle.recovered_programs())?;
+    }
+    if let Some(addr) = handle.metrics_addr() {
+        writeln!(out, "metrics on {addr}")?;
     }
     writeln!(out, "listening on {}", handle.addr())?;
     out.flush()?;
@@ -1171,6 +1359,148 @@ mod tests {
         // The wall budget can also be lifted per session, protocol-side.
         client.budget_wall(None).unwrap();
         assert!(client.query("p(X)").unwrap().unwrap().succeeded);
+        client.shutdown_server().unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn run_profile_prints_the_port_table() {
+        let path = write_temp("nrev_profile.pl", NREV);
+        let out = run(&[
+            "run",
+            path.to_str().unwrap(),
+            "nrev([1,2,3,4], R)",
+            "--profile",
+        ])
+        .unwrap();
+        assert!(out.contains("profile: per-predicate ports"), "{out}");
+        assert!(out.contains("nrev/2"), "{out}");
+        assert!(out.contains("append/3"), "{out}");
+        // The table joins observed work against the analysis' cost bounds.
+        assert!(out.contains("0.5*n^2"), "{out}");
+        // Without the flag the table never appears.
+        let plain = run(&["run", path.to_str().unwrap(), "nrev([1,2,3,4], R)"]).unwrap();
+        assert!(!plain.contains("profile:"), "{plain}");
+    }
+
+    #[test]
+    fn run_profile_refuses_threads_and_bottom_up() {
+        let path = write_temp("nrev_profile_refuse.pl", NREV);
+        assert!(matches!(
+            run(&[
+                "run",
+                path.to_str().unwrap(),
+                "nrev([1], R)",
+                "--profile",
+                "--threads",
+                "2"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&[
+                "run",
+                path.to_str().unwrap(),
+                "nrev([1], R)",
+                "--profile",
+                "--engine",
+                "bottom-up"
+            ]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn run_trace_dumps_jsonl_events() {
+        let path = write_temp("nrev_trace.pl", NREV);
+        let trace = std::env::temp_dir()
+            .join("granlog-cli-tests")
+            .join(format!("trace-{}.jsonl", std::process::id()));
+        let trace_arg = trace.to_str().unwrap().to_string();
+        run(&[
+            "run",
+            path.to_str().unwrap(),
+            "nrev([1,2], R)",
+            "--trace",
+            &trace_arg,
+        ])
+        .unwrap();
+        let dump = std::fs::read_to_string(&trace).unwrap();
+        assert!(dump.contains("\"kind\":\"query_begin\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"query_end\""), "{dump}");
+        assert!(dump.lines().all(|l| l.starts_with('{')), "{dump}");
+
+        // Bottom-up runs dump the fixpoint's stratum/round events.
+        let dl = write_temp(
+            "dl_trace.pl",
+            "edge(a,b).\nedge(b,c).\npath(X,Y) :- edge(X,Y).\npath(X,Z) :- edge(X,Y), path(Y,Z).\n",
+        );
+        run(&[
+            "run",
+            dl.to_str().unwrap(),
+            "path(a, X)",
+            "--engine",
+            "bottom-up",
+            "--trace",
+            &trace_arg,
+        ])
+        .unwrap();
+        let dump = std::fs::read_to_string(&trace).unwrap();
+        assert!(dump.contains("\"kind\":\"datalog_stratum\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"datalog_round\""), "{dump}");
+        let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn serve_metrics_trace_and_slow_log_end_to_end() {
+        let (addr, server, out) = spawn_serve(&[
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slow-ms",
+            "0", // every query is "slow": the log path runs deterministically
+        ]);
+        let mut client = granlog_serve::ServeClient::connect(&addr).unwrap();
+        client.load(NREV).unwrap().unwrap();
+        client.trace(true).unwrap();
+        let reply = client.query("nrev([1,2,3], R)").unwrap().unwrap();
+        assert!(reply.succeeded);
+
+        // Protocol scrape: histograms have the query, the slow log counted.
+        let text = client.metrics().unwrap();
+        assert!(
+            text.contains("# TYPE granlog_query_latency_ms histogram"),
+            "{text}"
+        );
+        assert!(text.contains("granlog_queries_total 1"), "{text}");
+        assert!(text.contains("granlog_slow_queries_total 1"), "{text}");
+        assert!(text.contains("granlog_query_latency_ms_count 1"), "{text}");
+        assert!(text.contains("granlog_loads_total 1"), "{text}");
+
+        // The trace ring captured the query events.
+        let dump = client.trace_dump().unwrap();
+        assert!(dump.contains("\"kind\":\"query_begin\""), "{dump}");
+        assert!(dump.contains("\"kind\":\"query_end\""), "{dump}");
+        client.trace(false).unwrap();
+
+        // The stats line now reports liveness and build identity.
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.version, env!("CARGO_PKG_VERSION"));
+        assert!(stats.extra.is_empty(), "unknown fields: {:?}", stats.extra);
+
+        // HTTP scrape on the side listener serves the same exposition.
+        let metrics_addr = out
+            .contents()
+            .lines()
+            .find_map(|l| l.strip_prefix("metrics on ").map(str::to_string))
+            .expect("serve must print the metrics address");
+        let mut http = std::net::TcpStream::connect(&metrics_addr).unwrap();
+        use std::io::{Read as _, Write as _};
+        http.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        http.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("granlog_queries_total"), "{response}");
+
         client.shutdown_server().unwrap();
         server.join().unwrap().unwrap();
     }

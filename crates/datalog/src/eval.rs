@@ -284,6 +284,19 @@ impl CompiledDatalog {
     /// Deterministic for a given program; fails only through injected
     /// faults (`--features failpoints`).
     pub fn evaluate(&self) -> Result<Database, DatalogError> {
+        self.evaluate_traced(None)
+    }
+
+    /// [`CompiledDatalog::evaluate`] with structured trace emission: one
+    /// `datalog_stratum` event per non-empty stratum and one
+    /// `datalog_round` event per seeding/semi-naive round, carrying the
+    /// running round number and that round's insertion count. With
+    /// `tracer` absent (or disabled) evaluation is byte-for-byte the plain
+    /// path — the fixpoint itself never consults the tracer.
+    pub fn evaluate_traced(
+        &self,
+        tracer: Option<&granlog_obs::Tracer>,
+    ) -> Result<Database, DatalogError> {
         let mut stats = FixpointStats::default();
         let mut rels: Vec<Relation> = self
             .preds
@@ -308,9 +321,18 @@ impl CompiledDatalog {
             }
         }
 
-        for stratum in &self.strata {
+        for (stratum_ix, stratum) in self.strata.iter().enumerate() {
             if stratum.rules.is_empty() {
                 continue;
+            }
+            if let Some(t) = tracer {
+                t.emit(
+                    "datalog_stratum",
+                    vec![
+                        ("stratum", stratum_ix.into()),
+                        ("rules", stratum.rules.len().into()),
+                    ],
+                );
             }
             // Delta ranges per relation written by this stratum:
             // (start, end) of the tuples inserted by the previous round.
@@ -338,6 +360,16 @@ impl CompiledDatalog {
                     }
                 }
                 stats.derived_facts += inserted;
+                if let Some(t) = tracer {
+                    t.emit(
+                        "datalog_round",
+                        vec![
+                            ("stratum", stratum_ix.into()),
+                            ("round", stats.rounds.into()),
+                            ("inserted", inserted.into()),
+                        ],
+                    );
+                }
                 delta.clear();
                 for (i, &r) in stratum.rels.iter().enumerate() {
                     if rels[r].len() > before[i] {

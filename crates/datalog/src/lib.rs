@@ -81,6 +81,31 @@ mod tests {
     }
 
     #[test]
+    fn traced_evaluation_matches_plain_and_emits_rounds() {
+        let program = parse_program(GRAPH).expect("program parses");
+        let compiled = CompiledDatalog::compile(&program).expect("compiles");
+        let plain = compiled.evaluate().expect("evaluates");
+        let tracer = granlog_obs::Tracer::new(256);
+        let traced = compiled
+            .evaluate_traced(Some(&tracer))
+            .expect("evaluates traced");
+        // Tracing must not perturb the fixpoint.
+        assert_eq!(plain.stats(), traced.stats());
+        assert_eq!(
+            plain.relation_size(PredId::parse("path", 2)),
+            traced.relation_size(PredId::parse("path", 2))
+        );
+        let events = tracer.events();
+        let strata = events
+            .iter()
+            .filter(|e| e.kind == "datalog_stratum")
+            .count();
+        let rounds = events.iter().filter(|e| e.kind == "datalog_round").count();
+        assert!(strata >= 1, "no stratum events");
+        assert_eq!(rounds as u64, traced.stats().rounds);
+    }
+
+    #[test]
     fn stratified_negation() {
         let db = db("
             node(a). node(b). node(c).

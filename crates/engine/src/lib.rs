@@ -61,6 +61,7 @@ pub mod error;
 pub mod heap;
 pub mod machine;
 pub mod par;
+pub mod profile;
 pub mod rterm;
 pub mod tasktree;
 pub mod template;
@@ -72,6 +73,7 @@ pub use machine::{
     Budget, ClauseSelection, Machine, MachineConfig, MachineStats, QueryOutcome, Solve, SolveToken,
 };
 pub use par::{ArmAnswer, ParDecision, ParHook};
+pub use profile::PredProfile;
 pub use tasktree::{ForkSpan, Segment, Task, TaskId, TaskRecorder, TaskTree};
 pub use template::{Cell, ClauseTemplate, Seq, Step};
 

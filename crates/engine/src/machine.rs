@@ -90,6 +90,11 @@ pub struct MachineConfig {
     pub cost_model: CostModel,
     /// Candidate-clause selection strategy.
     pub clause_selection: ClauseSelection,
+    /// Enable the per-predicate port profiler (see [`crate::profile`]).
+    /// Off by default: the disabled configuration costs one null-check per
+    /// clause-selection entry and leaves operation counters bit-identical
+    /// to an unprofiled machine.
+    pub profile: bool,
 }
 
 impl Default for MachineConfig {
@@ -99,6 +104,7 @@ impl Default for MachineConfig {
             max_depth: 4_000_000,
             cost_model: CostModel::default(),
             clause_selection: ClauseSelection::Indexed,
+            profile: false,
         }
     }
 }
@@ -532,6 +538,10 @@ pub struct Machine<'p> {
     solve_gen: u64,
     /// Whether a preempted solve is in flight (a token is outstanding).
     suspended: bool,
+    /// Per-predicate port profiler; `Some` only when
+    /// [`MachineConfig::profile`] is set, so the disabled path is one
+    /// null-check at each clause-selection entry.
+    profiler: Option<Box<crate::profile::Profiler>>,
 }
 
 impl<'p> Machine<'p> {
@@ -606,6 +616,11 @@ impl<'p> Machine<'p> {
             query_vars: Vec::new(),
             solve_gen: 0,
             suspended: false,
+            profiler: if config.profile {
+                Some(Box::default())
+            } else {
+                None
+            },
         }
     }
 
@@ -628,6 +643,13 @@ impl<'p> Machine<'p> {
     /// Peak memory-structure usage of the most recent query.
     pub fn stats(&self) -> MachineStats {
         self.stats
+    }
+
+    /// Per-predicate port counters for the most recent query, in a
+    /// deterministic order (descending entries, then name). `None` unless
+    /// the machine was configured with [`MachineConfig::profile`].
+    pub fn profile(&self) -> Option<Vec<(PredId, crate::profile::PredProfile)>> {
+        self.profiler.as_ref().map(|p| p.rows())
     }
 
     /// Parses and runs a query (e.g. `"fib(15, X)"`), returning its outcome.
@@ -710,6 +732,9 @@ impl<'p> Machine<'p> {
         self.counters = Counters::default();
         self.recorder = TaskRecorder::new();
         self.stats = MachineStats::default();
+        if let Some(profiler) = self.profiler.as_mut() {
+            profiler.clear();
+        }
         self.solve_gen += 1;
         self.query_vars.clear();
         self.query_vars.extend_from_slice(var_names);
@@ -1460,7 +1485,7 @@ impl<'p> Machine<'p> {
                     cands,
                     cursor,
                 } => {
-                    if self.try_clauses(templates, goal, cands, cursor)? {
+                    if self.profiled_clauses(templates, goal, cands, cursor)? {
                         return Ok(true);
                     }
                     // Candidates exhausted: keep unwinding.
@@ -1859,7 +1884,7 @@ impl<'p> Machine<'p> {
                                 )
                             }
                         };
-                        self.try_clauses(templates, cell, cands, 0)
+                        self.profiled_clauses(templates, cell, cands, 0)
                     }
                     None => Err(EngineError::UnknownPredicate(PredId::new(name, arity))),
                 }
@@ -2263,6 +2288,57 @@ impl<'p> Machine<'p> {
     /// remaining candidates and every choice point created since. (Resumed
     /// calls observe the same height, because backtracking pops the
     /// alternatives record before retrying.)
+    /// [`Machine::try_clauses`] with per-predicate port accounting when the
+    /// profiler is on. Both clause-selection entry points (`exec_cell` for
+    /// fresh calls, `backtrack` for redos) route through here; with the
+    /// profiler off this is a single null-check and a tail call, and the
+    /// operation counters are untouched either way.
+    #[inline]
+    fn profiled_clauses(
+        &mut self,
+        templates: &[ClauseTemplate],
+        goal: HCell,
+        cands: Cands<'p>,
+        cursor: usize,
+    ) -> EngineResult<bool> {
+        if self.profiler.is_none() {
+            return self.try_clauses(templates, goal, cands, cursor);
+        }
+        let pred = match goal {
+            HCell::Struct(name, arity, _) => PredId::new(name, arity as usize),
+            HCell::Atom(name) => PredId::new(name, 0),
+            // Unreachable: clause selection only runs for user-predicate
+            // goals, which are atoms or structures. Fall through untracked.
+            _ => return self.try_clauses(templates, goal, cands, cursor),
+        };
+        let head_attempts_before = self.counters.head_attempts;
+        let unifications_before = self.counters.unifications;
+        let heap_before = self.heap.len();
+        let result = self.try_clauses(templates, goal, cands, cursor);
+        // Compute deltas into locals before borrowing the profiler mutably.
+        let head_attempts = self.counters.head_attempts - head_attempts_before;
+        let unifications = self.counters.unifications - unifications_before;
+        let heap_cells = (self.heap.len().saturating_sub(heap_before)) as u64;
+        let profiler = self.profiler.as_mut().expect("checked above");
+        let entry = profiler.entry(pred);
+        if cursor == 0 {
+            entry.calls += 1;
+        } else {
+            entry.redos += 1;
+        }
+        entry.head_attempts += head_attempts;
+        entry.unifications += unifications;
+        entry.heap_cells += heap_cells;
+        match result {
+            Ok(true) => entry.exits += 1,
+            Ok(false) => entry.fails += 1,
+            // Budget/limit error: the run is aborting and the port is
+            // undetermined; leave the entry as-is.
+            Err(_) => {}
+        }
+        result
+    }
+
     fn try_clauses(
         &mut self,
         templates: &[ClauseTemplate],
@@ -3059,5 +3135,112 @@ mod tests {
         let out = machine.run_query("append([1,2], [3], X)").unwrap();
         assert!(out.succeeded);
         assert!(out.work > out.counters.resolutions as f64);
+    }
+
+    #[test]
+    fn profiler_ports_on_deterministic_query() {
+        let program = parse_program(APPEND).unwrap();
+        let mut machine = Machine::with_config(
+            &program,
+            MachineConfig {
+                profile: true,
+                ..MachineConfig::default()
+            },
+        );
+        let out = machine.run_query("append([1,2,3], [4], X)").unwrap();
+        assert!(out.succeeded);
+        let rows = machine.profile().expect("profiling enabled");
+        let (pred, p) = rows
+            .iter()
+            .find(|(pred, _)| pred.to_string() == "append/3")
+            .expect("append profiled");
+        assert_eq!(pred.arity, 3);
+        // n + 1 calls, all deterministic: every entry exits, none backtrack.
+        assert_eq!(p.calls, 4);
+        assert_eq!(p.exits, 4);
+        assert_eq!(p.fails, 0);
+        assert_eq!(p.redos, 0);
+        assert_eq!(p.calls + p.redos, p.exits + p.fails);
+        // Head-attempt work attributed to append equals the machine total
+        // (the query runs nothing else).
+        assert_eq!(p.head_attempts, out.counters.head_attempts);
+        assert!(p.heap_cells > 0);
+    }
+
+    #[test]
+    fn profiler_counts_redos_and_fails() {
+        let program = parse_program(
+            r#"
+            choice(1).
+            choice(2).
+            choice(3).
+            pick(X) :- choice(X), X > 2.
+        "#,
+        )
+        .unwrap();
+        let mut machine = Machine::with_config(
+            &program,
+            MachineConfig {
+                profile: true,
+                ..MachineConfig::default()
+            },
+        );
+        let out = machine.run_query("pick(X)").unwrap();
+        assert!(out.succeeded);
+        let rows = machine.profile().expect("profiling enabled");
+        let (_, choice) = rows
+            .iter()
+            .find(|(pred, _)| pred.to_string() == "choice/1")
+            .expect("choice profiled");
+        // One call, two redos (X=1 and X=2 rejected by the guard), each
+        // entry exits with the next candidate.
+        assert_eq!(choice.calls, 1);
+        assert_eq!(choice.redos, 2);
+        assert_eq!(choice.exits, 3);
+        assert_eq!(choice.fails, 0);
+        assert_eq!(choice.calls + choice.redos, choice.exits + choice.fails);
+    }
+
+    #[test]
+    fn profiler_off_by_default_and_counters_identical() {
+        let program = parse_program(APPEND).unwrap();
+        let mut plain = Machine::new(&program);
+        let out_plain = plain.run_query("append([1,2,3], [4], X)").unwrap();
+        assert!(plain.profile().is_none());
+
+        let mut profiled = Machine::with_config(
+            &program,
+            MachineConfig {
+                profile: true,
+                ..MachineConfig::default()
+            },
+        );
+        let out_profiled = profiled.run_query("append([1,2,3], [4], X)").unwrap();
+        assert_eq!(out_plain.counters, out_profiled.counters);
+        assert_eq!(
+            out_plain.binding("X").unwrap().to_string(),
+            out_profiled.binding("X").unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn profiler_resets_between_queries() {
+        let program = parse_program(APPEND).unwrap();
+        let mut machine = Machine::with_config(
+            &program,
+            MachineConfig {
+                profile: true,
+                ..MachineConfig::default()
+            },
+        );
+        machine.run_query("append([1,2,3], [4], X)").unwrap();
+        machine.run_query("append([1], [2], X)").unwrap();
+        let rows = machine.profile().expect("profiling enabled");
+        let (_, p) = rows
+            .iter()
+            .find(|(pred, _)| pred.to_string() == "append/3")
+            .expect("append profiled");
+        // Counts reflect only the second (n = 1) query.
+        assert_eq!(p.calls, 2);
     }
 }

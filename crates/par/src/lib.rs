@@ -93,7 +93,10 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+pub mod obs;
+pub use obs::ParObs;
 
 /// Locks a mutex, recovering the data from a poisoned lock: a panic in one
 /// worker must never wedge the whole executor, and every structure guarded
@@ -238,6 +241,9 @@ struct Shared<'p> {
     machines: Mutex<Vec<Machine<'p>>>,
     spawned: AtomicUsize,
     inlined: AtomicUsize,
+    /// Instrumentation bundle; `None` leaves every path unmeasured. The
+    /// outcome's own spawn/inline counts never route through this.
+    obs: Option<Arc<ParObs>>,
 }
 
 impl<'p> Shared<'p> {
@@ -264,12 +270,12 @@ impl<'p> Shared<'p> {
     /// never transition to `Done` would spin for the rest of the process.
     /// The panicking arm's machine is dropped mid-unwind, so it never
     /// returns to the free-list.
-    fn run_job(&self, job: &Job) {
+    fn run_job(&self, job: &Job) -> bool {
         {
             let mut state = lock_recovering(&job.state);
             match *state {
                 JobState::Pending => *state = JobState::Claimed,
-                _ => return,
+                _ => return false,
             }
         }
         let result = panic::catch_unwind(AssertUnwindSafe(|| self.exec_job(job))).unwrap_or_else(
@@ -282,6 +288,7 @@ impl<'p> Shared<'p> {
         let mut state = lock_recovering(&job.state);
         *state = JobState::Done(result);
         job.cv.notify_all();
+        true
     }
 
     /// Runs a job's goal to its first solution on a pooled machine and
@@ -291,7 +298,16 @@ impl<'p> Shared<'p> {
         // Injected failures discard the acquired machine (the early return
         // drops it), mirroring the hygiene of a real panic.
         granlog_fault::fail_or("par.spawn", || EngineError::Fault("par.spawn"))?;
+        let started = self.obs.as_ref().map(|_| Instant::now());
         let outcome = machine.run_goal_par(&job.goal, &[], Some(self));
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            let elapsed = started.elapsed();
+            obs.arm_ms.observe_duration_ms(elapsed);
+            obs.tracer.emit(
+                "par_arm",
+                vec![("ms", (elapsed.as_secs_f64() * 1e3).into())],
+            );
+        }
         let result = match outcome {
             Err(e) => Err(e),
             Ok(out) if !out.succeeded => Ok(None),
@@ -321,10 +337,21 @@ impl<'p> Shared<'p> {
         let job = lock_recovering(&self.injector).pop_front();
         match job {
             Some(job) => {
-                self.run_job(&job);
+                if self.run_job(&job) {
+                    self.note_steal();
+                }
                 true
             }
             None => false,
+        }
+    }
+
+    /// Records a job executed by a thread other than its forker (a pool
+    /// worker, or a joiner helping while it waits).
+    fn note_steal(&self) {
+        if let Some(obs) = &self.obs {
+            obs.steals.inc();
+            obs.tracer.emit("par_steal", vec![]);
         }
     }
 
@@ -334,8 +361,9 @@ impl<'p> Shared<'p> {
     /// cannot deadlock).
     fn join_job(&self, job: &Job) -> JobResult {
         granlog_fault::fail_or("par.join", || EngineError::Fault("par.join"))?;
+        let started = self.obs.as_ref().map(|_| Instant::now());
         self.run_job(job);
-        loop {
+        let result = loop {
             {
                 let mut state = lock_recovering(&job.state);
                 if matches!(*state, JobState::Done(_)) {
@@ -343,7 +371,7 @@ impl<'p> Shared<'p> {
                     else {
                         unreachable!("matched Done above");
                     };
-                    return result;
+                    break result;
                 }
             }
             if !self.try_help() {
@@ -356,7 +384,16 @@ impl<'p> Shared<'p> {
                     let _ = job.cv.wait_timeout(state, Duration::from_millis(1));
                 }
             }
+        };
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            let elapsed = started.elapsed();
+            obs.join_wait_ms.observe_duration_ms(elapsed);
+            obs.tracer.emit(
+                "par_join",
+                vec![("ms", (elapsed.as_secs_f64() * 1e3).into())],
+            );
         }
+        result
     }
 
     /// The pool worker's main loop: pop and run jobs until shutdown.
@@ -378,7 +415,11 @@ impl<'p> Shared<'p> {
                 }
             };
             match job {
-                Some(job) => self.run_job(&job),
+                Some(job) => {
+                    if self.run_job(&job) {
+                        self.note_steal();
+                    }
+                }
                 None => return,
             }
         }
@@ -397,6 +438,10 @@ impl ParHook for Shared<'_> {
 
     fn note_inlined(&self) {
         self.inlined.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.inlined.inc();
+            obs.tracer.emit("par_inline", vec![]);
+        }
     }
 
     fn exec_arms(&self, arms: &[Term]) -> EngineResult<ParDecision> {
@@ -422,6 +467,10 @@ impl ParHook for Shared<'_> {
             // answer-equivalent to sequential execution.
             if parents.iter().any(|p| !seen.insert(*p)) {
                 self.inlined.fetch_add(1, Ordering::Relaxed);
+                if let Some(obs) = &self.obs {
+                    obs.inlined.inc();
+                    obs.tracer.emit("par_inline", vec![]);
+                }
                 return Ok(ParDecision::Inline);
             }
             let nvars = parents.len();
@@ -436,6 +485,11 @@ impl ParHook for Shared<'_> {
             ));
         }
         self.spawned.fetch_add(jobs.len(), Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.spawned.add(jobs.len() as u64);
+            obs.tracer
+                .emit("par_spawn", vec![("arms", jobs.len().into())]);
+        }
         {
             let mut queue = lock_recovering(&self.injector);
             for (job, _) in jobs.iter().skip(1) {
@@ -514,10 +568,18 @@ impl<'p> ParExecutor<'p> {
                 machines: Mutex::new(Vec::new()),
                 spawned: AtomicUsize::new(0),
                 inlined: AtomicUsize::new(0),
+                obs: None,
             },
             threads: config.threads.max(1),
             has_par,
         }
+    }
+
+    /// Installs (or clears) spawn/steal/join instrumentation (see
+    /// [`obs::ParObs`]). With no bundle installed the executor measures
+    /// nothing; either way its answers and counters are identical.
+    pub fn set_obs(&mut self, obs: Option<Arc<ParObs>>) {
+        self.shared.obs = obs;
     }
 
     /// Parses and runs a query (e.g. `"fib(15, X)"`) on the thread pool.
@@ -764,6 +826,47 @@ mod tests {
             assert_eq!(out.binding("X").unwrap().to_string(), "377", "{threads}");
             assert!(out.spawned_tasks > 0);
         }
+    }
+
+    #[test]
+    fn obs_observes_spawns_and_joins_without_perturbing_counters() {
+        #[cfg(feature = "failpoints")]
+        let _shared = fault_shared();
+        let program = parse_program(FIB).unwrap();
+        let plain = run(FIB, "fib(12, X)", 2, Granularity::AlwaysSpawn);
+
+        let registry = granlog_obs::Registry::new();
+        let tracer = Arc::new(granlog_obs::Tracer::new(4096));
+        let mut exec = ParExecutor::new(
+            &program,
+            ParConfig {
+                threads: 2,
+                granularity: Granularity::AlwaysSpawn,
+                ..ParConfig::default()
+            },
+        );
+        exec.set_obs(Some(Arc::new(ParObs::register(
+            &registry,
+            Arc::clone(&tracer),
+        ))));
+        let out = exec.run_query("fib(12, X)").unwrap();
+        assert!(out.succeeded);
+        assert_eq!(out.binding("X").unwrap().to_string(), "144");
+        // The instrumented registry mirrors the outcome's own counter...
+        assert_eq!(
+            registry.counter_value("granlog_par_spawned_total"),
+            Some(out.spawned_tasks as u64)
+        );
+        // ...and the instrumented run is counter-identical to the plain one.
+        assert_eq!(out.counters, plain.counters);
+        assert_eq!(out.spawned_tasks, plain.spawned_tasks);
+        let joins = registry
+            .histogram_snapshot("granlog_par_join_wait_ms")
+            .expect("registered");
+        assert_eq!(joins.count, out.spawned_tasks as u64);
+        let kinds: Vec<&str> = tracer.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"par_spawn"));
+        assert!(kinds.contains(&"par_join"));
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub struct ClientReply {
 
 /// Parsed reply to a `stats` command: cache counters plus the server's
 /// session and fault-isolation gauges.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Cache loads answered by an existing entry.
     pub hits: u64,
@@ -57,12 +57,23 @@ pub struct ServerStats {
     pub stored: u64,
     /// Bytes of valid records in the server's WAL.
     pub wal_bytes: u64,
+    /// Valid records in the server's WAL.
+    pub wal_records: u64,
     /// WAL appends not yet fsynced.
     pub unsynced: u64,
     /// Age of the server's snapshot file in ms (0 = none or just written).
     pub snapshot_age_ms: u64,
     /// Time since the server's last WAL fsync in ms (0 = never or just now).
     pub last_fsync_ms: u64,
+    /// Milliseconds the server has been up.
+    pub uptime_ms: u64,
+    /// The server's build version (`version=` field; empty from a server
+    /// predating the field).
+    pub version: String,
+    /// Every `key=value` field this client did not recognize, in reply
+    /// order. A server newer than this client surfaces its additions here
+    /// instead of dropping them silently.
+    pub extra: Vec<(String, String)>,
 }
 
 /// A connection to a running serve instance.
@@ -304,6 +315,26 @@ impl ServeClient {
                 Err(_) => Ok(0),
             }
         };
+        const KNOWN: &[&str] = &[
+            "hits",
+            "misses",
+            "evictions",
+            "entries",
+            "sessions",
+            "quarantined",
+            "retired",
+            "leases",
+            "shed",
+            "recovered",
+            "stored",
+            "wal_bytes",
+            "wal_records",
+            "unsynced",
+            "snapshot_age_ms",
+            "last_fsync_ms",
+            "uptime_ms",
+            "version",
+        ];
         Ok(ServerStats {
             hits: num("hits")?,
             misses: num("misses")?,
@@ -317,10 +348,65 @@ impl ServeClient {
             recovered: num_or("recovered")?,
             stored: num_or("stored")?,
             wal_bytes: num_or("wal_bytes")?,
+            wal_records: num_or("wal_records")?,
             unsynced: num_or("unsynced")?,
             snapshot_age_ms: num_or("snapshot_age_ms")?,
             last_fsync_ms: num_or("last_fsync_ms")?,
+            uptime_ms: num_or("uptime_ms")?,
+            version: field(&fields, "version").map_or_else(|_| String::new(), str::to_string),
+            extra: fields
+                .iter()
+                .filter(|(k, _)| !KNOWN.contains(k))
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
         })
+    }
+
+    /// Fetches the server's Prometheus text exposition (the `metrics`
+    /// command's byte-counted body).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a reply that does not follow the protocol.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        writeln!(self.writer, "metrics")?;
+        self.writer.flush()?;
+        self.read_counted_body()
+    }
+
+    /// Toggles the server-global trace ring.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a server-side rejection.
+    pub fn trace(&mut self, on: bool) -> io::Result<()> {
+        self.simple_command(if on { "trace on" } else { "trace off" })
+    }
+
+    /// Drains the server's trace ring as JSONL (possibly empty).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or a reply that does not follow the protocol.
+    pub fn trace_dump(&mut self) -> io::Result<String> {
+        writeln!(self.writer, "trace dump")?;
+        self.writer.flush()?;
+        self.read_counted_body()
+    }
+
+    /// Reads an `ok <nbytes>` header then exactly that many body bytes.
+    fn read_counted_body(&mut self) -> io::Result<String> {
+        let line = self.read_line()?;
+        if let Some(err) = line.strip_prefix("err ") {
+            return Err(protocol_err(format!("server refused: {err}")));
+        }
+        let nbytes: usize = line
+            .strip_prefix("ok ")
+            .and_then(|n| n.trim().parse().ok())
+            .ok_or_else(|| protocol_err(format!("expected `ok <nbytes>`, got {line:?}")))?;
+        let mut body = vec![0u8; nbytes];
+        io::Read::read_exact(&mut self.reader, &mut body)?;
+        String::from_utf8(body).map_err(|_| protocol_err("body is not valid utf-8".to_string()))
     }
 
     /// Sends a full `query` command, flushes it, then drops the connection

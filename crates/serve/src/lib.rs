@@ -21,11 +21,13 @@
 
 pub mod cache;
 pub mod client;
+pub mod obs;
 pub mod server;
 pub mod session;
 
 pub use cache::{CacheStats, PoolConfig, ProgramEntry, TemplateCache};
 pub use client::{ClientReply, ServeClient, ServerStats};
+pub use obs::ServeObs;
 pub use server::{BootError, ServeConfig, Server, ServerHandle};
 pub use session::{DatalogReplyStats, EngineKind, LoadReply, QueryReply, Session, SessionBudget};
 

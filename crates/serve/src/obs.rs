@@ -1,0 +1,120 @@
+//! Serve-layer observability: the server-wide metrics registry, trace ring
+//! and slow-query threshold, bundled so every connection thread shares one
+//! set of handles.
+//!
+//! The bundle is created once in [`crate::Server::start`] and lives on the
+//! server state. Query-path metrics (latency/steps/heap histograms, the
+//! query/error/slice counters) are *pushed* as queries complete;
+//! cache/pool/store/session figures are *sampled* at scrape time into
+//! gauges, so the cache's own counters remain the single source of truth
+//! and a scrape never double-counts. The tracer starts **disabled**: until
+//! a client sends `trace on` the per-event cost is one relaxed atomic load.
+
+use granlog_obs::{Counter, Histogram, Registry, Tracer, LATENCY_BUCKETS_MS, WORK_BUCKETS};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Events the serve trace ring can hold before dropping the oldest.
+const TRACE_CAPACITY: usize = 8192;
+
+/// Shared observability bundle for one server instance.
+///
+/// Cloneable handles into one [`Registry`] plus the server-global trace
+/// ring. All fields are cheap to touch from connection threads: counters
+/// and histograms are lock-free, and the tracer's disabled fast path is a
+/// single atomic load.
+#[derive(Debug)]
+pub struct ServeObs {
+    /// The server's metrics registry; `metrics` scrapes render from here.
+    pub registry: Arc<Registry>,
+    /// Server-global event ring (`trace on|off|dump`, `--trace`).
+    pub tracer: Arc<Tracer>,
+    /// Boot instant, for the `stats` line's `uptime_ms`.
+    pub started: Instant,
+    /// Slow-query threshold in milliseconds (`--slow-ms`); `None` disables
+    /// the slow-query log.
+    pub slow_ms: Option<u64>,
+    /// Queries answered (successes and `done no` both count; errors do not).
+    pub queries: Arc<Counter>,
+    /// Queries that ended in an `err` reply.
+    pub query_errors: Arc<Counter>,
+    /// Queries at or above the [`ServeObs::slow_ms`] threshold.
+    pub slow_queries: Arc<Counter>,
+    /// Programs accepted by `load`.
+    pub loads: Arc<Counter>,
+    /// Wall time per answered query, milliseconds.
+    pub query_latency_ms: Arc<Histogram>,
+    /// Head attempts (steps) per answered query.
+    pub query_steps: Arc<Histogram>,
+    /// Heap high water per answered query, cells.
+    pub query_heap: Arc<Histogram>,
+    /// Preemption slices consumed, summed over queries.
+    pub slices: Arc<Counter>,
+    /// Bottom-up fixpoint rounds, summed over datalog queries.
+    pub datalog_rounds: Arc<Counter>,
+    /// Facts derived by bottom-up evaluation, summed over datalog queries.
+    pub datalog_facts: Arc<Counter>,
+}
+
+impl ServeObs {
+    /// Builds the bundle: fresh registry, disabled tracer, all query-path
+    /// metrics registered under their canonical `granlog_*` names.
+    pub fn new(slow_ms: Option<u64>) -> ServeObs {
+        let registry = Arc::new(Registry::new());
+        let tracer = Arc::new(Tracer::disabled(TRACE_CAPACITY));
+        ServeObs {
+            queries: registry.counter("granlog_queries_total"),
+            query_errors: registry.counter("granlog_query_errors_total"),
+            slow_queries: registry.counter("granlog_slow_queries_total"),
+            loads: registry.counter("granlog_loads_total"),
+            query_latency_ms: registry.histogram("granlog_query_latency_ms", LATENCY_BUCKETS_MS),
+            query_steps: registry.histogram("granlog_query_steps", WORK_BUCKETS),
+            query_heap: registry.histogram("granlog_query_heap_cells", WORK_BUCKETS),
+            slices: registry.counter("granlog_slices_total"),
+            datalog_rounds: registry.counter("granlog_datalog_rounds_total"),
+            datalog_facts: registry.counter("granlog_datalog_derived_facts_total"),
+            registry,
+            tracer,
+            started: Instant::now(),
+            slow_ms,
+        }
+    }
+
+    /// Milliseconds since the server booted.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Samples cache/pool/session/store figures into scrape-time gauges and
+    /// renders the whole registry as Prometheus text exposition. The inputs
+    /// are passed in (rather than read here) so this module stays decoupled
+    /// from the server's state layout.
+    pub fn scrape(
+        &self,
+        cache: &crate::cache::CacheStats,
+        sessions: u64,
+        shed: u64,
+        recovered: u64,
+        store: Option<&granlog_store::StoreStats>,
+    ) -> String {
+        let g = |name: &str, v: i64| self.registry.gauge(name).set(v);
+        g("granlog_cache_hits", cache.hits as i64);
+        g("granlog_cache_misses", cache.misses as i64);
+        g("granlog_cache_evictions", cache.evictions as i64);
+        g("granlog_cache_entries", cache.entries as i64);
+        g("granlog_pool_quarantined", cache.quarantined as i64);
+        g("granlog_pool_retired", cache.retired as i64);
+        g("granlog_leases_active", cache.leases_active as i64);
+        g("granlog_sessions_active", sessions as i64);
+        g("granlog_shed_connections", shed as i64);
+        g("granlog_recovered_programs", recovered as i64);
+        g("granlog_uptime_ms", self.uptime_ms() as i64);
+        if let Some(d) = store {
+            g("granlog_store_programs", d.programs as i64);
+            g("granlog_wal_bytes", d.wal_bytes as i64);
+            g("granlog_wal_records", d.wal_records as i64);
+            g("granlog_wal_unsynced", d.unsynced_records as i64);
+        }
+        self.registry.render()
+    }
+}

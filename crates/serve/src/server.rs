@@ -16,7 +16,10 @@
 //! | `budget wall <ms\|off>` | `ok` |
 //! | `budget quantum <n>` | `ok` |
 //! | `engine <sld\|bottom-up>` | `ok engine=<name>` |
-//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n> quarantined=<n> retired=<n> leases=<n> shed=<n>` plus, with a store configured, ` recovered=<n> stored=<n> wal_bytes=<n> wal_records=<n> unsynced=<n> snapshot_age_ms=<n> last_fsync_ms=<n>` |
+//! | `stats` | `ok hits=<n> misses=<n> evictions=<n> entries=<n> sessions=<n> quarantined=<n> retired=<n> leases=<n> shed=<n>` plus, with a store configured, ` recovered=<n> stored=<n> wal_bytes=<n> wal_records=<n> unsynced=<n> snapshot_age_ms=<n> last_fsync_ms=<n>`, always ending ` uptime_ms=<n> version=<semver>` |
+//! | `metrics` | `ok <nbytes>` + exactly N bytes of Prometheus text exposition |
+//! | `trace on\|off` | `ok trace=on\|off` — toggles the **server-global** event ring |
+//! | `trace dump` | `ok <nbytes>` + exactly N bytes of JSONL trace events (drains the ring) |
 //! | `quit` | `ok bye`, connection closes |
 //! | `shutdown` | `ok shutting-down`, server stops accepting |
 //!
@@ -60,10 +63,11 @@
 //! `stats` line.
 
 use crate::cache::{PoolConfig, TemplateCache};
+use crate::obs::ServeObs;
 use crate::session::{EngineKind, Session, SessionBudget};
 use crate::ServeError;
 use granlog_engine::MachineConfig;
-use granlog_store::{ProgramStore, StoreConfig, StoreError};
+use granlog_store::{ProgramStore, StoreConfig, StoreError, StoreObs};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -104,6 +108,14 @@ pub struct ServeConfig {
     /// server fully in-memory; `Some` journals every accepted `load` to a
     /// WAL in the configured directory and replays the corpus at boot.
     pub store: Option<StoreConfig>,
+    /// Address for the plaintext Prometheus scrape listener (`None`, the
+    /// default, starts none). Serves `GET /` — well, any request — with the
+    /// same exposition the `metrics` protocol command returns.
+    pub metrics_addr: Option<String>,
+    /// Slow-query threshold in milliseconds: an answered query at or above
+    /// it is counted, traced, and logged to stderr with its program key,
+    /// goal and budget consumption. `None` (the default) disables the log.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +130,8 @@ impl Default for ServeConfig {
             io_timeout: Duration::from_secs(10),
             idle_timeout: None,
             store: None,
+            metrics_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -179,6 +193,9 @@ struct ServerState {
     store: Option<ProgramStore>,
     /// Programs rebuilt from the store at boot (0 without a store).
     recovered: u64,
+    /// Metrics registry, trace ring and slow-query threshold, shared by
+    /// every connection thread and the metrics listener.
+    obs: Arc<ServeObs>,
 }
 
 /// The serve front end. [`Server::start`] binds, spawns the accept loop and
@@ -199,7 +216,16 @@ impl Server {
     /// [`BootError::Store`] when the data dir is unusable. Torn or corrupt
     /// store records never fail boot — recovery keeps the valid prefix.
     pub fn start(config: ServeConfig) -> Result<ServerHandle, BootError> {
+        let obs = Arc::new(ServeObs::new(config.slow_ms));
         let store = config.store.map(ProgramStore::open).transpose()?;
+        // The store's WAL/fsync/snapshot latencies land in the same registry
+        // and ring as everything else.
+        if let Some(store) = &store {
+            store.set_obs(Some(Arc::new(StoreObs::register(
+                &obs.registry,
+                Arc::clone(&obs.tracer),
+            ))));
+        }
         let cache = Arc::new(TemplateCache::new(
             config.cache_capacity,
             config.machine_config,
@@ -224,6 +250,23 @@ impl Server {
         };
         let listener = TcpListener::bind(&config.addr).map_err(bind_err)?;
         let local_addr = listener.local_addr().map_err(bind_err)?;
+        // Bind the scrape listener before spawning anything: a bad metrics
+        // address is a boot error, same as a bad serve address.
+        let metrics_listener = config
+            .metrics_addr
+            .as_ref()
+            .map(|addr| -> Result<TcpListener, BootError> {
+                let err = |source| BootError::Bind {
+                    addr: addr.clone(),
+                    source,
+                };
+                let l = TcpListener::bind(addr).map_err(err)?;
+                // Non-blocking accept so the loop can poll the stop flag
+                // without needing a shutdown nudge on this socket too.
+                l.set_nonblocking(true).map_err(err)?;
+                Ok(l)
+            })
+            .transpose()?;
         let state = Arc::new(ServerState {
             cache,
             default_budget: config.budget,
@@ -234,14 +277,30 @@ impl Server {
             idle_timeout: config.idle_timeout,
             store,
             recovered,
+            obs,
         });
         let max_conns = config.max_conns;
         let accept_state = Arc::clone(&state);
         let accept = std::thread::spawn(move || accept_loop(listener, accept_state, max_conns));
+        let (metrics_addr, metrics) = match metrics_listener {
+            Some(listener) => {
+                let addr = listener.local_addr().ok();
+                let metrics_state = Arc::clone(&state);
+                (
+                    addr,
+                    Some(std::thread::spawn(move || {
+                        metrics_loop(listener, &metrics_state)
+                    })),
+                )
+            }
+            None => (None, None),
+        };
         Ok(ServerHandle {
             local_addr,
+            metrics_addr,
             state,
             accept: Some(accept),
+            metrics,
         })
     }
 }
@@ -249,8 +308,10 @@ impl Server {
 /// Handle to a running server: its bound address and its lifecycle.
 pub struct ServerHandle {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -260,9 +321,20 @@ impl ServerHandle {
         self.local_addr
     }
 
+    /// The address of the Prometheus scrape listener, when
+    /// [`ServeConfig::metrics_addr`] configured one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
     /// The shared template cache (for stats inspection).
     pub fn cache(&self) -> &Arc<TemplateCache> {
         &self.state.cache
+    }
+
+    /// The server's observability bundle (registry, trace ring).
+    pub fn obs(&self) -> &Arc<ServeObs> {
+        &self.state.obs
     }
 
     /// Connections shed so far because the connection cap was reached.
@@ -283,6 +355,11 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        // The accept loop only returns once the stop flag rose, which is
+        // also the metrics loop's exit condition (it polls every tick).
+        if let Some(metrics) = self.metrics.take() {
+            let _ = metrics.join();
+        }
     }
 
     /// Stops accepting connections, lets in-flight commands finish their
@@ -294,6 +371,9 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        if let Some(metrics) = self.metrics.take() {
+            let _ = metrics.join();
+        }
     }
 }
 
@@ -303,6 +383,10 @@ impl Drop for ServerHandle {
             self.state.stop.store(true, Ordering::SeqCst);
             let _ = TcpStream::connect(self.local_addr);
             let _ = accept.join();
+        }
+        if let Some(metrics) = self.metrics.take() {
+            self.state.stop.store(true, Ordering::SeqCst);
+            let _ = metrics.join();
         }
     }
 }
@@ -458,6 +542,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
     let mut writer = stream;
     writeln!(writer, "ok granlog-serve")?;
     let mut session = Session::new(Arc::clone(&state.cache), state.default_budget);
+    session.set_tracer(Some(Arc::clone(&state.obs.tracer)));
     let mut line = String::new();
     loop {
         match read_command(&mut reader, &mut line, state)? {
@@ -498,9 +583,11 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
         };
         match verb {
             "load" => cmd_load(&mut reader, &mut writer, &mut session, state, rest)?,
-            "query" => cmd_query(&mut writer, &mut session, rest)?,
+            "query" => cmd_query(&mut writer, &mut session, state, rest)?,
             "budget" => cmd_budget(&mut writer, &mut session, rest)?,
             "engine" => cmd_engine(&mut writer, &mut session, rest)?,
+            "metrics" => cmd_metrics(&mut writer, state)?,
+            "trace" => cmd_trace(&mut writer, state, rest)?,
             "stats" => {
                 let s = state.cache.stats();
                 write!(
@@ -535,6 +622,14 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServerState>) -> io::Result<(
                         d.last_fsync_age.map_or(0, |a| a.as_millis() as u64),
                     )?;
                 }
+                // Liveness and build identity close the line; clients parse
+                // by field name, so position is compatibility-irrelevant.
+                write!(
+                    writer,
+                    " uptime_ms={} version={}",
+                    state.obs.uptime_ms(),
+                    env!("CARGO_PKG_VERSION"),
+                )?;
                 writeln!(writer)?;
             }
             "quit" => {
@@ -629,6 +724,17 @@ fn cmd_load(
                     return write_err(writer, &ServeError::Store(e.to_string()));
                 }
             }
+            state.obs.loads.inc();
+            if state.obs.tracer.is_enabled() {
+                state.obs.tracer.emit(
+                    "load",
+                    vec![
+                        ("program", format!("{:016x}", reply.hash).into()),
+                        ("clauses", reply.clauses.into()),
+                        ("cache_hit", reply.cache_hit.into()),
+                    ],
+                );
+            }
             writeln!(
                 writer,
                 "ok program={:016x} clauses={} cache={}",
@@ -641,12 +747,69 @@ fn cmd_load(
     }
 }
 
-fn cmd_query(writer: &mut TcpStream, session: &mut Session, goal: &str) -> io::Result<()> {
+fn cmd_query(
+    writer: &mut TcpStream,
+    session: &mut Session,
+    state: &ServerState,
+    goal: &str,
+) -> io::Result<()> {
     if goal.is_empty() {
         return writeln!(writer, "err proto usage: query <goal>");
     }
+    let obs = &state.obs;
+    if obs.tracer.is_enabled() {
+        obs.tracer.emit("query_begin", vec![("goal", goal.into())]);
+    }
+    let started = Instant::now();
     match session.query(goal) {
         Ok(reply) => {
+            let elapsed = started.elapsed();
+            let ms = elapsed.as_secs_f64() * 1e3;
+            obs.queries.inc();
+            obs.query_latency_ms.observe(ms);
+            obs.query_steps.observe(reply.steps as f64);
+            obs.query_heap.observe(reply.heap_high_water as f64);
+            obs.slices.add(reply.slices as u64);
+            if let Some(d) = &reply.datalog {
+                obs.datalog_rounds.add(d.rounds);
+                obs.datalog_facts.add(d.facts);
+            }
+            // The slow-query log works with tracing off: threshold hits are
+            // worth a counter and a stderr line even when nobody is dumping
+            // the ring.
+            if let Some(slow) = obs.slow_ms {
+                if elapsed.as_millis() as u64 >= slow {
+                    obs.slow_queries.inc();
+                    let program = session.entry().map_or(0, |e| e.hash());
+                    eprintln!(
+                        "slow-query program={program:016x} goal={goal} ms={ms:.1} \
+                         steps={} heap={} slices={}",
+                        reply.steps, reply.heap_high_water, reply.slices,
+                    );
+                    if obs.tracer.is_enabled() {
+                        obs.tracer.emit(
+                            "slow_query",
+                            vec![
+                                ("program", format!("{program:016x}").into()),
+                                ("goal", goal.into()),
+                                ("ms", ms.into()),
+                                ("steps", reply.steps.into()),
+                            ],
+                        );
+                    }
+                }
+            }
+            if obs.tracer.is_enabled() {
+                obs.tracer.emit(
+                    "query_end",
+                    vec![
+                        ("ok", reply.succeeded.into()),
+                        ("ms", ms.into()),
+                        ("steps", reply.steps.into()),
+                        ("slices", reply.slices.into()),
+                    ],
+                );
+            }
             if reply.succeeded {
                 for (name, term) in &reply.bindings {
                     writeln!(writer, "bind {name} = {term}")?;
@@ -666,7 +829,85 @@ fn cmd_query(writer: &mut TcpStream, session: &mut Session, goal: &str) -> io::R
                 ),
             }
         }
-        Err(e) => write_err(writer, &e),
+        Err(e) => {
+            obs.query_errors.inc();
+            if obs.tracer.is_enabled() {
+                obs.tracer
+                    .emit("query_end", vec![("error", e.code().into())]);
+            }
+            write_err(writer, &e)
+        }
+    }
+}
+
+/// The `metrics` command: a byte-counted Prometheus exposition frame,
+/// mirroring the `load` payload framing so the body may span lines.
+fn cmd_metrics(writer: &mut TcpStream, state: &ServerState) -> io::Result<()> {
+    let body = scrape(state);
+    writeln!(writer, "ok {}", body.len())?;
+    writer.write_all(body.as_bytes())
+}
+
+/// The `trace` command. `on`/`off` toggle the **server-global** ring (the
+/// trace is a server diagnostic, not a per-tenant stream — sessions share
+/// one ring); `dump` drains it as byte-counted JSONL.
+fn cmd_trace(writer: &mut TcpStream, state: &ServerState, arg: &str) -> io::Result<()> {
+    match arg.trim() {
+        "on" => {
+            state.obs.tracer.set_enabled(true);
+            writeln!(writer, "ok trace=on")
+        }
+        "off" => {
+            state.obs.tracer.set_enabled(false);
+            writeln!(writer, "ok trace=off")
+        }
+        "dump" => {
+            let body = state.obs.tracer.jsonl(true);
+            writeln!(writer, "ok {}", body.len())?;
+            writer.write_all(body.as_bytes())
+        }
+        _ => writeln!(writer, "err proto usage: trace on|off|dump"),
+    }
+}
+
+/// Samples the scrape-time gauges and renders the registry.
+fn scrape(state: &ServerState) -> String {
+    state.obs.scrape(
+        &state.cache.stats(),
+        state.active_sessions.load(Ordering::SeqCst),
+        state.shed.load(Ordering::Relaxed),
+        state.recovered,
+        state.store.as_ref().map(|s| s.stats()).as_ref(),
+    )
+}
+
+/// The `--metrics-addr` listener: minimal HTTP/1.0, one response per
+/// connection, every request answered with the current exposition. The
+/// accept socket is non-blocking so the loop can poll the stop flag —
+/// shutdown needs no nudge connection here.
+fn metrics_loop(listener: TcpListener, state: &Arc<ServerState>) {
+    while !state.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                // Switch the accepted socket back to blocking with a short
+                // timeout: we only need to consume the request line.
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut discard = [0u8; 1024];
+                let _ = stream.read(&mut discard);
+                let body = scrape(state);
+                let _ = write!(
+                    stream,
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+                     Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len(),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(READ_TICK);
+            }
+            Err(_) => std::thread::sleep(READ_TICK),
+        }
     }
 }
 

@@ -18,6 +18,7 @@ use crate::cache::{ProgramEntry, TemplateCache};
 use crate::ServeError;
 use granlog_engine::{Budget, BudgetKind, EngineError, Solve};
 use granlog_ir::parser::parse_term;
+use granlog_obs::Tracer;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -110,6 +111,9 @@ pub struct Session {
     entry: Option<Arc<ProgramEntry>>,
     budget: SessionBudget,
     engine: EngineKind,
+    /// Event sink for slice yield/resume events; `None` (the default) and a
+    /// disabled tracer both cost one branch per slice.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Session {
@@ -120,7 +124,15 @@ impl Session {
             entry: None,
             budget,
             engine: EngineKind::default(),
+            tracer: None,
         }
+    }
+
+    /// Installs (or removes) the trace sink for this session's slice
+    /// events. The server installs its global ring on every connection; the
+    /// ring's own enabled flag then gates recording.
+    pub fn set_tracer(&mut self, tracer: Option<Arc<Tracer>>) {
+        self.tracer = tracer;
     }
 
     /// This session's current budget.
@@ -205,6 +217,7 @@ impl Session {
         let deadline = session_wall.map(|w| Instant::now() + w);
 
         let mut lease = entry.lease()?;
+        let tracer = self.tracer.as_deref();
         // AssertUnwindSafe: on panic the closure's only captured state, the
         // leased machine, is quarantined below and never observed again.
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -216,6 +229,7 @@ impl Session {
                 quantum,
                 heap_cells,
                 deadline,
+                tracer,
             )
         }));
         match caught {
@@ -312,6 +326,7 @@ fn query_bottom_up(
 /// The quantum-slicing solve loop, separated out so [`Session::query`] can
 /// wrap exactly this much in `catch_unwind`. Returns the outcome plus the
 /// number of slices the query ran in.
+#[allow(clippy::too_many_arguments)]
 fn run_sliced(
     machine: &mut granlog_engine::Machine<'static>,
     goal: &granlog_ir::Term,
@@ -320,6 +335,7 @@ fn run_sliced(
     quantum: u64,
     heap_cells: Option<usize>,
     deadline: Option<Instant>,
+    tracer: Option<&Tracer>,
 ) -> Result<(granlog_engine::QueryOutcome, usize), EngineError> {
     let mut slices = 1usize;
     let mut state = machine.solve_goal(
@@ -334,7 +350,20 @@ fn run_sliced(
             Ok(Solve::Yield(token)) => {
                 slices += 1;
                 let used = machine.counters().head_attempts;
+                if let Some(t) = tracer {
+                    if t.is_enabled() {
+                        t.emit(
+                            "slice_yield",
+                            vec![("slice", (slices - 1).into()), ("steps", used.into())],
+                        );
+                    }
+                }
                 let slice = next_slice(session_steps, used, quantum, heap_cells, deadline);
+                if let Some(t) = tracer {
+                    if t.is_enabled() {
+                        t.emit("slice_resume", vec![("slice", slices.into())]);
+                    }
+                }
                 state = machine.resume(token, None, &slice);
             }
             Err(e) => return Err(e),

@@ -25,11 +25,13 @@
 
 #![warn(missing_docs)]
 
+pub mod obs;
 pub mod record;
 mod snapshot;
 mod store;
 mod wal;
 
+pub use obs::StoreObs;
 pub use store::ProgramStore;
 
 use std::path::{Path, PathBuf};

@@ -1,0 +1,36 @@
+//! Durability instrumentation handles.
+//!
+//! The store does not own a metrics registry; the embedding layer (serve, or
+//! a harness) registers the histograms once and hands the store a
+//! [`StoreObs`] bundle via [`crate::ProgramStore::set_obs`]. With no bundle
+//! installed the hot paths skip all measurement — the WAL append path stays
+//! exactly the seed's sequence of syscalls.
+
+use granlog_obs::{Histogram, Registry, Tracer, LATENCY_BUCKETS_MS};
+use std::sync::Arc;
+
+/// Metric and trace handles for WAL and snapshot latency.
+#[derive(Debug, Clone)]
+pub struct StoreObs {
+    /// Wall time of one record's framed write (excluding any policy fsync).
+    pub append_ms: Arc<Histogram>,
+    /// Wall time of one `fdatasync`.
+    pub fsync_ms: Arc<Histogram>,
+    /// Wall time of one snapshot compaction (write + rename + WAL reset).
+    pub snapshot_ms: Arc<Histogram>,
+    /// Event sink for `wal_append` / `wal_fsync` / `wal_snapshot` events.
+    pub tracer: Arc<Tracer>,
+}
+
+impl StoreObs {
+    /// Register the store's metrics under their canonical names and bundle
+    /// them with `tracer`. Idempotent per registry.
+    pub fn register(registry: &Registry, tracer: Arc<Tracer>) -> StoreObs {
+        StoreObs {
+            append_ms: registry.histogram("granlog_wal_append_ms", LATENCY_BUCKETS_MS),
+            fsync_ms: registry.histogram("granlog_wal_fsync_ms", LATENCY_BUCKETS_MS),
+            snapshot_ms: registry.histogram("granlog_store_snapshot_ms", LATENCY_BUCKETS_MS),
+            tracer,
+        }
+    }
+}

@@ -9,8 +9,8 @@ use crate::{RecoveryReport, StoreConfig, StoreError, StoreStats};
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::{BufReader, Read};
-use std::sync::Mutex;
-use std::time::SystemTime;
+use std::sync::{Arc, Mutex};
+use std::time::{Instant, SystemTime};
 
 /// Wraps a reader and counts consumed bytes, so the WAL scan knows the
 /// offset of the last intact record boundary (everything past it is the
@@ -129,12 +129,20 @@ impl Inner {
     /// the WAL reset leaves a stale log whose replay over the snapshot is
     /// idempotent (the last record per key wins either way).
     fn compact(&mut self, config: &StoreConfig) -> Result<(), StoreError> {
+        let started = self.wal.obs().map(|_| Instant::now());
         let id = self.next_snapshot_id;
         write_snapshot(&config.dir, id, &self.corpus())?;
         self.snapshot_at = Some(SystemTime::now());
         self.wal.restart_after_snapshot(id)?;
         self.next_snapshot_id = id + 1;
         self.compactions += 1;
+        if let (Some(obs), Some(started)) = (self.wal.obs(), started) {
+            obs.snapshot_ms.observe_duration_ms(started.elapsed());
+            obs.tracer.emit(
+                "wal_snapshot",
+                vec![("id", id.into()), ("programs", self.order.len().into())],
+            );
+        }
         Ok(())
     }
 }
@@ -216,6 +224,13 @@ impl ProgramStore {
     /// What recovery found when this store was opened.
     pub fn recovery(&self) -> &RecoveryReport {
         &self.recovery
+    }
+
+    /// Installs (or clears) latency instrumentation (see
+    /// [`crate::obs::StoreObs`]). With no bundle installed the WAL paths do
+    /// not measure anything.
+    pub fn set_obs(&self, obs: Option<Arc<crate::obs::StoreObs>>) {
+        self.lock().wal.set_obs(obs);
     }
 
     /// The recovered corpus as `(name, text)` pairs in first-load order.
@@ -385,6 +400,44 @@ mod tests {
                 ("k2".to_string(), "q(b).".to_string()),
             ]
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn obs_records_append_fsync_and_snapshot_latency() {
+        let dir = temp_dir("obs");
+        let registry = granlog_obs::Registry::new();
+        let tracer = Arc::new(granlog_obs::Tracer::new(64));
+        {
+            let store = ProgramStore::open(config(&dir)).expect("open");
+            let obs = Arc::new(crate::obs::StoreObs::register(
+                &registry,
+                Arc::clone(&tracer),
+            ));
+            store.set_obs(Some(obs));
+            store.record_load("k1", "p(a).").expect("load");
+            store.snapshot().expect("snapshot");
+        }
+        let appends = registry
+            .histogram_snapshot("granlog_wal_append_ms")
+            .expect("registered");
+        // The load plus the snapshot-mark record.
+        assert!(appends.count >= 2, "append count = {}", appends.count);
+        let fsyncs = registry
+            .histogram_snapshot("granlog_wal_fsync_ms")
+            .expect("registered");
+        assert!(fsyncs.count >= 1, "fsync count = {}", fsyncs.count);
+        assert_eq!(
+            registry
+                .histogram_snapshot("granlog_store_snapshot_ms")
+                .expect("registered")
+                .count,
+            1
+        );
+        let kinds: Vec<&str> = tracer.events().iter().map(|e| e.kind).collect();
+        assert!(kinds.contains(&"wal_append"));
+        assert!(kinds.contains(&"wal_fsync"));
+        assert!(kinds.contains(&"wal_snapshot"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

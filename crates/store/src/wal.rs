@@ -1,11 +1,13 @@
 //! The append-only write-ahead log: framed records, a configurable fsync
 //! policy, and truncation back to a fresh log after snapshot compaction.
 
+use crate::obs::StoreObs;
 use crate::record::{encode, Record};
 use crate::{FsyncPolicy, StoreError};
 use std::fs::{File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// File name of the WAL inside the store directory.
@@ -24,6 +26,9 @@ pub(crate) struct Wal {
     last_fsync: Option<Instant>,
     /// Appends buffered since the last fsync (0 means the tail is durable).
     unsynced: u64,
+    /// Latency histograms + trace sink, installed by the embedding layer;
+    /// `None` leaves the append/fsync paths unmeasured.
+    obs: Option<Arc<StoreObs>>,
 }
 
 impl Wal {
@@ -57,7 +62,18 @@ impl Wal {
             records,
             last_fsync: None,
             unsynced: 0,
+            obs: None,
         })
+    }
+
+    /// Installs (or clears) the instrumentation bundle.
+    pub(crate) fn set_obs(&mut self, obs: Option<Arc<StoreObs>>) {
+        self.obs = obs;
+    }
+
+    /// The installed instrumentation bundle, if any.
+    pub(crate) fn obs(&self) -> Option<&Arc<StoreObs>> {
+        self.obs.as_ref()
     }
 
     /// Appends one record and applies the fsync policy.
@@ -68,12 +84,23 @@ impl Wal {
     ) -> Result<(), StoreError> {
         granlog_fault::fail_or("store.wal.append", || StoreError::Fault("store.wal.append"))?;
         let framed = encode(record);
+        let started = self.obs.as_ref().map(|_| Instant::now());
         self.file
             .write_all(&framed)
             .map_err(|e| StoreError::wal_io("append", &self.path, e))?;
         self.bytes += framed.len() as u64;
         self.records += 1;
         self.unsynced += 1;
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            obs.append_ms.observe_duration_ms(started.elapsed());
+            obs.tracer.emit(
+                "wal_append",
+                vec![
+                    ("bytes", framed.len().into()),
+                    ("wal_bytes", self.bytes.into()),
+                ],
+            );
+        }
         let due = match policy {
             FsyncPolicy::Always => true,
             FsyncPolicy::Interval(every) => self.last_fsync.is_none_or(|at| at.elapsed() >= every),
@@ -88,11 +115,18 @@ impl Wal {
     /// Forces the OS to persist every appended byte (`fdatasync`).
     pub(crate) fn fsync(&mut self) -> Result<(), StoreError> {
         granlog_fault::fail_or("store.wal.fsync", || StoreError::Fault("store.wal.fsync"))?;
+        let started = self.obs.as_ref().map(|_| Instant::now());
+        let synced = self.unsynced;
         self.file
             .sync_data()
             .map_err(|e| StoreError::wal_io("fsync", &self.path, e))?;
         self.last_fsync = Some(Instant::now());
         self.unsynced = 0;
+        if let (Some(obs), Some(started)) = (&self.obs, started) {
+            obs.fsync_ms.observe_duration_ms(started.elapsed());
+            obs.tracer
+                .emit("wal_fsync", vec![("records", synced.into())]);
+        }
         Ok(())
     }
 
